@@ -1,0 +1,60 @@
+"""Shared infrastructure for the figure/table regeneration benches.
+
+Every bench both (a) times a representative kernel via pytest-benchmark
+and (b) regenerates the corresponding paper artifact, printing it and
+writing it under ``results/``.  Accuracy studies are expensive, so they
+are computed once per session and shared across the Fig. 7/8/9/16 benches.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — "tiny" (default) / "small" / "paper".
+* ``REPRO_BENCH_EPOCHS`` — override epochs per training run.
+* ``REPRO_BENCH_CFS``    — comma-separated chop factors (default "2,4,6").
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import compression_study, get_benchmark
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "4"))
+CFS = tuple(int(c) for c in os.environ.get("REPRO_BENCH_CFS", "2,4,6").split(","))
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a figure/table rendering under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+class StudyCache:
+    """Session-wide cache of accuracy studies keyed by benchmark name."""
+
+    def __init__(self) -> None:
+        self._studies: dict[str, dict] = {}
+
+    def study(self, name: str):
+        if name not in self._studies:
+            spec = get_benchmark(name, SCALE)
+            self._studies[name] = compression_study(
+                spec, cfs=CFS, epochs=EPOCHS, seed=0
+            )
+        return self._studies[name]
+
+    def spec(self, name: str):
+        return get_benchmark(name, SCALE)
+
+
+@pytest.fixture(scope="session")
+def studies() -> StudyCache:
+    return StudyCache()

@@ -1,0 +1,67 @@
+"""Ablation: DCT block size 4 / 8 / 16 at a fixed 4x compression ratio.
+
+The paper fixes 8x8 ("an appropriate size for balancing computational
+complexity ... with keeping enough local information").  Two findings:
+
+* With the paper's *dense* two-matmul formulation, per-plane FLOPs at a
+  fixed ratio are block-size invariant — the operand shapes depend only
+  on ``cf/block = 1/2``, so the complexity argument only bites for an
+  implementation that exploits the block-diagonal structure (per-block
+  batched matmuls cost ``~1.5 n^2 b`` FLOPs, linear in the block size).
+* Quality on smooth data improves with larger blocks (better energy
+  compaction); 8 captures most of the gain.
+"""
+
+import numpy as np
+
+from repro.core import DCTChopCompressor, compression_flops, psnr
+from repro.data.synthetic import correlated_field
+
+from benchmarks.conftest import write_result
+
+
+def blockwise_flops(n: int, block: int, cf: int) -> float:
+    """Per-plane FLOPs when the block-diagonal structure is exploited:
+    (n/b)^2 blocks, each needing 2*cf*b^2 + 2*cf^2*b multiply-adds."""
+    return (n / block) ** 2 * (2 * cf * block**2 + 2 * cf**2 * block)
+
+# (block, cf) pairs all giving CR = 4.
+CONFIGS = ((4, 2), (8, 4), (16, 8))
+RES = 64
+
+
+def test_ablation_blocksize(benchmark):
+    rng = np.random.default_rng(0)
+    batch = np.stack(
+        [correlated_field((RES, RES), rng, beta=2.5) for _ in range(16)]
+    )[:, None]
+    comp8 = DCTChopCompressor(RES, cf=4, block=8)
+    benchmark(lambda: comp8.roundtrip(batch))
+
+    lines = [f"Ablation: block size at fixed CR=4 ({RES}x{RES} correlated fields)"]
+    rows = []
+    for block, cf in CONFIGS:
+        comp = DCTChopCompressor(RES, cf=cf, block=block)
+        assert comp.ratio == 4.0
+        quality = psnr(batch, comp.roundtrip(batch))
+        dense = compression_flops(RES, cf, block)
+        structured = blockwise_flops(RES, block, cf)
+        rows.append((block, quality, dense, structured))
+        lines.append(
+            f"  block={block:>2} cf={cf}: PSNR {quality:6.2f} dB, dense "
+            f"{dense / 1e6:6.2f} MFLOPs/plane, structured "
+            f"{structured / 1e6:6.2f} MFLOPs/plane"
+        )
+    write_result("ablation_blocksize", "\n".join(lines))
+
+    blocks, qualities, dense, structured = zip(*rows)
+    # Dense two-matmul cost is block-size invariant at fixed ratio...
+    assert dense[0] == dense[1] == dense[2]
+    # ...but a structure-exploiting kernel pays linearly in block size.
+    assert structured[0] < structured[1] < structured[2]
+    # Larger blocks compact energy better on smooth data (the quality side).
+    assert qualities[0] < qualities[2]
+    # The default 8x8 captures most of the quality gain at a fraction of
+    # the 16x16 cost — the paper's "appropriate size" claim.
+    assert qualities[1] > qualities[0]
+    assert (qualities[2] - qualities[1]) < (qualities[1] - qualities[0]) + 3.0

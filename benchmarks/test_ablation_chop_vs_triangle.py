@@ -1,0 +1,52 @@
+"""Ablation: square chop (DC) vs zig-zag triangle retention (SG) as a
+rate-distortion frontier.
+
+For each method, sweep CF and record (compression ratio, PSNR); the
+triangle variant buys strictly more ratio at the same CF, and per
+*retained coefficient* the triangle keeps the more useful (low-sequency)
+ones — its frontier should not be dominated by the square's.
+"""
+
+import numpy as np
+
+from repro.core import DCTChopCompressor, ScatterGatherCompressor, psnr
+from repro.data import EMGrapheneDataset
+
+from benchmarks.conftest import write_result
+
+
+def _batch(n=16, res=64):
+    ds = EMGrapheneDataset(n=n, resolution=res, seed=0)
+    return np.stack([ds[i][0] for i in range(n)])
+
+
+def test_ablation_chop_vs_triangle(benchmark):
+    batch = _batch()
+    sg = ScatterGatherCompressor(64, cf=4)
+    benchmark(lambda: sg.roundtrip(batch))
+
+    lines = ["Ablation: rate-distortion of square chop vs triangle retention (em data)"]
+    frontier = {}
+    for method, cls in (("dc", DCTChopCompressor), ("sg", ScatterGatherCompressor)):
+        pts = []
+        for cf in range(2, 8):
+            comp = cls(64, cf=cf)
+            quality = psnr(batch, comp.roundtrip(batch))
+            pts.append((comp.ratio, quality))
+            lines.append(f"  {method} cf={cf}: CR {comp.ratio:6.2f}, PSNR {quality:6.2f} dB")
+        frontier[method] = pts
+    write_result("ablation_chop_vs_triangle", "\n".join(lines))
+
+    # Quality is monotone in CF for both methods.
+    for pts in frontier.values():
+        quality = [q for _, q in pts]
+        assert all(a <= b + 1e-9 for a, b in zip(quality, quality[1:]))
+    # At equal CF the triangle gives strictly more ratio, slightly less PSNR.
+    for (dc_r, dc_q), (sg_r, sg_q) in zip(frontier["dc"], frontier["sg"]):
+        assert sg_r > dc_r
+        assert sg_q <= dc_q + 1e-6
+    # At ~matched ratio (DC cf=5 -> CR 2.56 vs SG cf=7 -> CR 2.29) the
+    # triangle's low-sequency selection is competitive: within a few dB.
+    dc_cf5 = frontier["dc"][3][1]
+    sg_cf7 = frontier["sg"][5][1]
+    assert abs(dc_cf5 - sg_cf7) < 5.0

@@ -1,0 +1,54 @@
+"""Ablation: RGB (paper's choice) vs YCbCr color transform before DCT+Chop.
+
+The paper keeps RGB "to keep compression fast and lightweight" (Section
+3.2).  This bench quantifies the trade: reconstruction quality at matched
+ratios with and without the JPEG color stage, plus the conversion's own
+cost (two extra channel-mixing matmuls per direction).
+"""
+
+import numpy as np
+
+from repro.core import DCTChopCompressor, psnr
+from repro.core.colorspace import rgb_to_ycbcr, ycbcr_to_rgb
+from repro.data import SyntheticCIFAR10
+
+from benchmarks.conftest import write_result
+
+
+def _batch(n=32, res=32):
+    ds = SyntheticCIFAR10(n=n, resolution=res, seed=0)
+    x = np.stack([ds[i][0] for i in range(n)])
+    # Map to a pixel-like positive range so luminance dominance is realistic.
+    return (x - x.min()) / (x.max() - x.min())
+
+
+def test_ablation_colorspace(benchmark):
+    batch = _batch()
+    benchmark(lambda: ycbcr_to_rgb(rgb_to_ycbcr(batch)))
+
+    lines = ["Ablation: RGB vs YCbCr before DCT+Chop (PSNR dB, 32 images)"]
+    results = {}
+    for cf in (2, 4, 7):
+        comp = DCTChopCompressor(32, cf=cf)
+        rgb_rec = comp.roundtrip(batch).numpy()
+        ycc = rgb_to_ycbcr(batch)
+        ycc_rec = ycbcr_to_rgb(comp.roundtrip(ycc).numpy())
+        results[cf] = (psnr(batch, rgb_rec), psnr(batch, ycc_rec))
+        lines.append(
+            f"  cf={cf} (CR {comp.ratio:5.2f}): rgb {results[cf][0]:6.2f}  "
+            f"ycbcr {results[cf][1]:6.2f}"
+        )
+    lines.append(
+        "  (YCbCr adds 2 channel-mix matmuls per direction; the paper skips "
+        "it for speed/portability)"
+    )
+    write_result("ablation_colorspace", "\n".join(lines))
+
+    for cf, (rgb_q, ycc_q) in results.items():
+        assert np.isfinite(rgb_q) and np.isfinite(ycc_q)
+        # The orthonormal color rotation cannot change quality drastically:
+        # both pipelines land within a few dB of each other.
+        assert abs(rgb_q - ycc_q) < 6.0
+    # Quality improves with CF for both pipelines.
+    assert results[2][0] < results[4][0] < results[7][0]
+    assert results[2][1] < results[4][1] < results[7][1]

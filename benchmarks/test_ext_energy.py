@@ -1,0 +1,48 @@
+"""Extension: bytes-per-joule comparison the paper leaves open.
+
+Section 4.2.2: "power differences are not accounted for in this
+evaluation. Thus, we cannot directly compare performance differences
+between accelerators."  With nameplate board powers attached to the
+timing model, the ranking inverts: the 20 kW CS-2 wins raw throughput
+but the sub-kW SN30/IPU win efficiency.
+"""
+
+import numpy as np
+
+from repro.accel import compile_program, estimate_energy
+from repro.core import DCTChopCompressor
+
+from benchmarks.conftest import write_result
+
+PLATFORMS = ("cs2", "sn30", "groq", "ipu", "a100")
+PAYLOAD = 100 * 3 * 256 * 256 * 4
+
+
+def test_ext_energy_efficiency(benchmark):
+    comp = DCTChopCompressor(256, cf=4)
+    x = np.zeros((100, 3, 256, 256), np.float32)
+    prog = compile_program(comp.compress, x, "sn30")
+    benchmark(lambda: estimate_energy(prog.cost, "sn30"))
+
+    lines = [
+        "Extension: compression energy at 256x256, cf=4 (modelled)",
+        f"{'platform':>8} {'time':>10} {'power':>9} {'energy':>10} {'MB/J':>8}",
+    ]
+    results = {}
+    for platform in PLATFORMS:
+        p = compile_program(comp.compress, x, platform)
+        est = estimate_energy(p.cost, platform)
+        eff = est.bytes_per_joule(PAYLOAD) / 1e6
+        results[platform] = eff
+        lines.append(
+            f"{platform:>8} {est.seconds * 1e3:8.2f}ms {est.board_watts:7.0f}W "
+            f"{est.joules:9.3f}J {eff:8.2f}"
+        )
+    write_result("ext_energy", "\n".join(lines))
+
+    # Throughput ranking has CS-2 on top; efficiency ranking does not.
+    assert results["sn30"] > results["cs2"]
+    assert results["ipu"] > results["cs2"]
+    assert results["a100"] > results["cs2"]
+    # GroqChip's long runtimes hurt it on energy too.
+    assert results["groq"] < results["sn30"]

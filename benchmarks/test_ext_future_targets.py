@@ -1,0 +1,104 @@
+"""Extension: the paper's Section 6 future-work targets, measured.
+
+Weight, activation, and gradient compression against the same DCT+Chop
+core: achieved ratios and the accuracy/convergence cost of each, at
+miniature scale.
+"""
+
+import numpy as np
+
+import repro.nn as nn
+from repro.data.loader import DataLoader, Dataset
+from repro.targets import (
+    DataParallelSimulator,
+    compress_activations,
+    compress_state_dict,
+    state_dict_ratio,
+)
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+from benchmarks.conftest import write_result
+
+
+class LinearTask(Dataset):
+    def __init__(self, n=64, seed=0):
+        rng = np.random.default_rng(seed)
+        self.x = rng.standard_normal((n, 16)).astype(np.float32)
+        self.y = self.x @ rng.standard_normal((16, 4)).astype(np.float32)
+
+    def __len__(self):
+        return len(self.x)
+
+    def __getitem__(self, i):
+        return self.x[i], self.y[i]
+
+
+def test_ext_weight_compression(benchmark):
+    model = nn.DeepEncoderDecoder(base_channels=8, depth=2, gen=Generator(0))
+    state = model.state_dict()
+    benchmark(lambda: compress_state_dict(state, cf=6))
+
+    lines = ["Extension: weight compression (encoder-decoder state dict)"]
+    ratios = {}
+    for cf in (7, 6, 4, 3):
+        packed = compress_state_dict(state, cf=cf)
+        ratios[cf] = state_dict_ratio(state, packed)
+        lines.append(f"  cf={cf}: {ratios[cf]:5.2f}x smaller")
+    write_result("ext_weights", "\n".join(lines))
+
+    assert ratios[3] > ratios[6] > ratios[7] > 1.0
+
+
+def test_ext_activation_compression(benchmark):
+    model = nn.DeepEncoderDecoder(base_channels=4, depth=2, gen=Generator(0))
+    wrappers = compress_activations(model, cf=6)
+    x = Tensor(np.random.default_rng(0).standard_normal((4, 1, 16, 16)).astype(np.float32))
+    benchmark(lambda: model(x))
+
+    ratio = wrappers[0].observed_ratio
+    write_result(
+        "ext_activations",
+        "Extension: activation compression\n"
+        f"  {len(wrappers)} conv layers wrapped, activation storage {ratio:.2f}x smaller",
+    )
+    assert ratio > 1.3
+
+
+def test_ext_gradient_compression(benchmark):
+    loader = DataLoader(LinearTask(), 16, shuffle=True, gen=Generator(0))
+
+    def run(cf):
+        model = nn.Linear(16, 4, gen=Generator(0))
+        sim = DataParallelSimulator(
+            model, nn.MSELoss(), nn.Adam(model.parameters(), lr=0.05),
+            world_size=4, gradient_cf=cf,
+        )
+        first = sim.train_epoch(loader)
+        for _ in range(8):
+            last = sim.train_epoch(loader)
+        return first, last, sim.log
+
+    base_first, base_last, base_log = run(None)
+    comp_first, comp_last, comp_log = run(4)
+
+    model = nn.Linear(16, 4, gen=Generator(0))
+    sim = DataParallelSimulator(
+        model, nn.MSELoss(), nn.Adam(model.parameters(), lr=0.05),
+        world_size=4, gradient_cf=4,
+    )
+    x = np.stack([LinearTask()[i][0] for i in range(16)])
+    y = np.stack([LinearTask()[i][1] for i in range(16)])
+    benchmark(lambda: sim.step(x, y))
+
+    write_result(
+        "ext_gradients",
+        "Extension: gradient compression in 4-worker data parallel\n"
+        f"  uncompressed: loss {base_first:7.3f} -> {base_last:7.3f}, traffic 1.00x\n"
+        f"  cf=4 chop:    loss {comp_first:7.3f} -> {comp_last:7.3f}, "
+        f"traffic saved {comp_log.savings_ratio:4.2f}x",
+    )
+    # Both converge; compression saves real bytes.
+    assert base_last < base_first * 0.5
+    assert comp_last < comp_first * 0.5
+    assert comp_log.savings_ratio > 1.5

@@ -1,0 +1,55 @@
+"""Extension: multi-device scaling ("rely on scalability to outperform GPU").
+
+Quantifies the paper's closing comparison: how many GroqChips / IPUs does
+it take to overtake a single A100 at 256x256, cf=4 compression, and what
+does a standard deployment node deliver.
+"""
+
+from repro.accel.multichip import NODE_SIZES, devices_to_match, estimate_multichip
+from repro.harness import measure
+
+from benchmarks.conftest import write_result
+
+BATCH = 128  # shards evenly across 1..64 devices
+PAYLOAD = BATCH * 3 * 256 * 256 * 4
+
+
+def test_ext_multichip_scaling(benchmark):
+    benchmark(
+        lambda: estimate_multichip("ipu", n_devices=4, resolution=256, cf=4, batch=BATCH)
+    )
+
+    a100 = measure("a100", resolution=256, cf=4, direction="compress", batch=BATCH)
+    lines = [
+        "Extension: multi-device compression scaling at 256x256, cf=4",
+        f"  A100 single-GPU reference: {a100.throughput_gbps:5.2f} GB/s",
+    ]
+    node_results = {}
+    for platform in ("groq", "ipu"):
+        for n in sorted({1, 2, 4, 8, NODE_SIZES[platform]}):
+            est = estimate_multichip(
+                platform, n_devices=n, resolution=256, cf=4, batch=BATCH
+            )
+            if est.status != "ok":
+                continue
+            gbps = est.throughput_gbps(PAYLOAD)
+            node_results[(platform, n)] = gbps
+            lines.append(f"  {platform} x{n:>2}: {gbps:6.2f} GB/s")
+        crossover = devices_to_match(platform, a100.throughput_gbps, batch=BATCH)
+        lines.append(
+            f"  -> {platform} needs {crossover} device(s) to match the A100"
+        )
+        node_results[(platform, "crossover")] = crossover
+    write_result("ext_multichip", "\n".join(lines))
+
+    # Scaling is effective: each doubling helps.
+    assert node_results[("ipu", 4)] > node_results[("ipu", 2)] > node_results[("ipu", 1)]
+    # The paper's claim, quantified: a deployment node of either platform
+    # beats the single A100, while a single chip does not.
+    assert node_results[("ipu", 1)] < a100.throughput_gbps
+    assert node_results[("groq", 1)] < a100.throughput_gbps
+    assert node_results[("ipu", NODE_SIZES["ipu"])] > a100.throughput_gbps
+    ipu_cross = node_results[("ipu", "crossover")]
+    assert ipu_cross is not None and ipu_cross <= NODE_SIZES["ipu"]
+    groq_cross = node_results[("groq", "crossover")]
+    assert groq_cross is not None

@@ -1,0 +1,53 @@
+"""Fig. 3: nonzero-DCT-coefficient heatmap after JPEG quantization.
+
+Regenerates the per-(channel, quality) 8x8 nonzero-fraction maps over
+synthetic CIFAR10 images; the timed kernel is one quantization pass.
+"""
+
+import numpy as np
+
+from repro.baselines import JPEGQuantizer
+from repro.data import SyntheticCIFAR10
+from repro.harness import fig3_heatmap
+
+from benchmarks.conftest import write_result
+
+QUALITIES = (5, 10, 25, 50, 75, 95)
+N_IMAGES = 200  # paper uses 1000; scaled for bench runtime
+
+
+def _render(heatmap: np.ndarray) -> str:
+    lines = ["Fig. 3: fraction of blocks with nonzero coefficient (rows=i, cols=j)"]
+    for ch in range(heatmap.shape[0]):
+        for qi, q in enumerate(QUALITIES):
+            lines.append(f"\nchannel {ch}, quality {q}:")
+            for row in heatmap[ch, qi]:
+                lines.append("  " + " ".join(f"{v:5.2f}" for v in row))
+    return "\n".join(lines)
+
+
+def test_fig3_heatmap(benchmark):
+    ds = SyntheticCIFAR10(n=32, resolution=32, seed=0)
+    images = np.stack([ds[i][0] for i in range(32)])
+    images = (images - images.min()) / (images.max() - images.min()) * 255 - 128
+    quantizer = JPEGQuantizer(25)
+    benchmark(lambda: quantizer.nonzero_fraction(images[:, 0]))
+
+    heatmap = fig3_heatmap(QUALITIES, n_images=N_IMAGES, resolution=32, seed=0)
+    write_result("fig03_heatmap", _render(heatmap))
+
+    # Shape checks mirroring the paper's reading of the figure:
+    # (1) more zeros at lower quality;
+    means = heatmap.mean(axis=(0, 2, 3))
+    assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+    # (2) nonzeros concentrate in the low-frequency corner;
+    low_q = heatmap[:, 0]
+    assert low_q[:, :4, :4].sum() > 0.9 * low_q.sum()
+    # (3) under meaningful quantization (q <= 25) the densest position is
+    # near DC; at q >= 75 nearly every position survives, so the argmax is
+    # uninformative (ties at 1.0).
+    for ch in range(3):
+        for qi, q in enumerate(QUALITIES):
+            if q <= 25:
+                i, j = np.unravel_index(heatmap[ch, qi].argmax(), (8, 8))
+                assert i + j <= 2

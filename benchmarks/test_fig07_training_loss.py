@@ -1,0 +1,48 @@
+"""Fig. 7: per-epoch training loss across compression ratios, 4 benchmarks.
+
+Each batch is compressed and decompressed before the forward pass; the
+series must (a) converge and (b) track the no-compression baseline for
+the three SciML tasks while lagging with heavy compression on classify —
+the paper's reading of the figure.
+
+Timed kernel: one compress+decompress of a training batch (the per-batch
+overhead the compressor adds to the loop).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import make_compressor
+from repro.harness import BENCHMARKS, format_series
+
+from benchmarks.conftest import CFS, SCALE, write_result
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_fig7_training_loss(benchmark, studies, name):
+    spec = studies.spec(name)
+    comp = make_compressor(spec.resolution, cf=max(CFS))
+    batch = np.zeros((spec.batch_size, *spec.sample_shape), dtype=np.float32)
+    benchmark(lambda: comp.roundtrip(batch))
+
+    study = studies.study(name)
+    series = {label: h.train_loss for label, h in study.items()}
+    write_result(
+        f"fig07_train_loss_{name}",
+        format_series(series, f"Fig. 7 ({name}, scale={SCALE}): training loss per epoch"),
+    )
+
+    base = study["base"].train_loss
+    # Training converges: final loss below first-epoch loss.
+    assert base[-1] < base[0]
+    for label, hist in study.items():
+        assert np.isfinite(hist.train_loss).all(), f"NaN loss in series {label}"
+        # Every compressed run still converges from its starting point.
+        assert hist.train_loss[-1] < hist.train_loss[0] * 1.1
+
+    if name != "classify":
+        # SciML tasks: compressed training loss closely follows baseline.
+        for label, hist in study.items():
+            if label == "base":
+                continue
+            assert hist.train_loss[-1] < base[-1] * 3 + 0.05

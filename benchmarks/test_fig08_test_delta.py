@@ -1,0 +1,53 @@
+"""Fig. 8: per-epoch test loss/accuracy percent difference vs baseline.
+
+The paper's reading: em_denoise and slstr_cloud stay near baseline (and
+em_denoise can *improve* under compression); classify stratifies by
+compression ratio with the highest CR clearly worst.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compression_ratio, make_compressor
+from repro.harness import BENCHMARKS, format_series, percent_diff_series
+
+from benchmarks.conftest import CFS, SCALE, write_result
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_fig8_test_delta(benchmark, studies, name):
+    spec = studies.spec(name)
+    comp = make_compressor(spec.resolution, cf=min(CFS))
+    batch = np.zeros((spec.batch_size, *spec.sample_shape), dtype=np.float32)
+    benchmark(lambda: comp.decompress(comp.compress(batch)))
+
+    study = studies.study(name)
+    use_acc = spec.classification
+    series = percent_diff_series(study, use_accuracy=use_acc)
+    metric = "test accuracy" if use_acc else "test loss"
+    write_result(
+        f"fig08_test_delta_{name}",
+        format_series(
+            series,
+            f"Fig. 8 ({name}, scale={SCALE}): {metric} % difference vs baseline",
+            fmt="{:9.2f}",
+        ),
+    )
+
+    for label, vals in series.items():
+        assert np.isfinite(vals).all(), f"non-finite delta in {label}"
+
+    if name == "em_denoise":
+        # Paper: compression can *improve* em_denoise (negative delta) —
+        # chopping high-frequency coefficients denoises the input.
+        finals = [vals[-1] for vals in series.values()]
+        assert min(finals) < 0.5, finals
+
+    if name == "classify":
+        # Highest compression ratio hurts accuracy the most at the end.
+        final = {label: vals[-1] for label, vals in series.items()}
+        worst_label = f"{compression_ratio(min(CFS)):.2f}"
+        best_label = f"{compression_ratio(max(CFS)):.2f}"
+        assert final[worst_label] <= final[best_label] + 1e-6
+        # CR16 clearly degrades accuracy (negative % difference).
+        assert final[worst_label] < 0

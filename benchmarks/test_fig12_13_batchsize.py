@@ -1,0 +1,93 @@
+"""Figs. 12/13: compression/decompression time vs batch size (64x64x3).
+
+Batch sizes 10..5000, CF 2..7.  Reproduces the GroqChip compile failure
+beyond batch 1000, CS-2's flat-until-2000 curve, and the linear scaling
+everywhere else.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import make_compressor
+from repro.harness import CF_SWEEP, timing_sweep
+
+from benchmarks.conftest import write_result
+
+PLATFORMS = ("cs2", "sn30", "groq", "ipu")
+BATCHES = (10, 50, 100, 500, 1000, 2000, 5000)
+RES = 64
+
+
+def _render(points, title):
+    lines = [title, f"{'platform':>8} {'batch':>6} {'cf':>3} {'time':>12}"]
+    for p in points:
+        time_s = f"{p.seconds * 1e3:10.3f}ms" if p.status == "ok" else "  COMPILE-ERR"
+        lines.append(f"{p.platform:>8} {p.batch:>6} {p.cf:>3} {time_s}")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        direction: timing_sweep(
+            PLATFORMS,
+            resolutions=(RES,),
+            batches=BATCHES,
+            cfs=CF_SWEEP,
+            direction=direction,
+        )
+        for direction in ("compress", "decompress")
+    }
+
+
+def test_fig12_compression_vs_batch(benchmark, sweeps):
+    comp = make_compressor(RES, cf=4)
+    x = np.random.default_rng(0).standard_normal((100, 3, RES, RES)).astype(np.float32)
+    benchmark(lambda: comp.compress(x))
+
+    points = sweeps["compress"]
+    write_result("fig12_compress_vs_batch", _render(points, "Fig. 12: compression time vs batch size"))
+
+    by = {(p.platform, p.batch, p.cf): p for p in points}
+    # GroqChip: OK through 1000, compile error beyond.
+    for cf in CF_SWEEP:
+        assert by[("groq", 1000, cf)].status == "ok"
+        assert by[("groq", 2000, cf)].status == "compile_error"
+        assert by[("groq", 5000, cf)].status == "compile_error"
+    # Everyone else handles 5000.
+    for platform in ("cs2", "sn30", "ipu"):
+        assert by[(platform, 5000, 4)].status == "ok"
+    # CS-2 nearly flat to 2000, then grows.
+    t = {b: by[("cs2", b, 4)].seconds for b in BATCHES}
+    assert t[2000] / t[10] < 3.0
+    assert t[5000] / t[2000] > 1.5
+    # SN30/IPU: linear growth — 10x batch => ~10x time at large batches.
+    for platform in ("sn30", "ipu"):
+        ratio = by[(platform, 5000, 4)].seconds / by[(platform, 500, 4)].seconds
+        assert 6.0 < ratio < 12.0
+
+
+def test_fig13_decompression_vs_batch(benchmark, sweeps):
+    comp = make_compressor(RES, cf=4)
+    y = np.random.default_rng(0).standard_normal((100, 3, RES // 2, RES // 2)).astype(np.float32)
+    benchmark(lambda: comp.decompress(y))
+
+    points = sweeps["decompress"]
+    write_result("fig13_decompress_vs_batch", _render(points, "Fig. 13: decompression time vs batch size"))
+
+    by = {(p.platform, p.batch, p.cf): p for p in points}
+    comp_by = {(p.platform, p.batch, p.cf): p for p in sweeps["compress"]}
+    # Decompression <= compression everywhere both compiled.
+    for key, d in by.items():
+        c = comp_by[key]
+        if d.status == c.status == "ok":
+            assert d.seconds <= c.seconds + 1e-12
+    # Batch scaling is monotone for every platform/cf.
+    for platform in PLATFORMS:
+        for cf in (2, 7):
+            times = [
+                by[(platform, b, cf)].seconds
+                for b in BATCHES
+                if by[(platform, b, cf)].status == "ok"
+            ]
+            assert all(a <= b for a, b in zip(times, times[1:]))

@@ -1,0 +1,51 @@
+"""Fig. 14: A100 GPU decompression time vs resolution.
+
+Paper: ~2.5 GB/s with little variation across compression ratios; the
+CS-2 and SN30 beat the A100, the single GroqChip and IPU do not (at
+mid compression ratios).
+"""
+
+import numpy as np
+
+from repro.core import make_compressor
+from repro.harness import CF_SWEEP, measure, timing_sweep
+
+from benchmarks.conftest import write_result
+
+RESOLUTIONS = (32, 64, 128, 256, 512)
+
+
+def test_fig14_a100_decompression(benchmark):
+    comp = make_compressor(64, cf=4)
+    y = np.random.default_rng(0).standard_normal((100, 3, 32, 32)).astype(np.float32)
+    benchmark(lambda: comp.decompress(y))
+
+    points = timing_sweep(
+        ["a100"], resolutions=RESOLUTIONS, cfs=CF_SWEEP, direction="decompress"
+    )
+    lines = ["Fig. 14: A100 decompression time vs resolution"]
+    for p in points:
+        lines.append(
+            f"  res={p.resolution:>4} cf={p.cf} ratio={p.ratio:5.2f} "
+            f"time={p.seconds * 1e3:9.3f}ms throughput={p.throughput_gbps:6.2f} GB/s"
+        )
+    write_result("fig14_a100_decompress", "\n".join(lines))
+
+    by = {(p.resolution, p.cf): p for p in points}
+    # All points compile (40 GB HBM).
+    assert all(p.status == "ok" for p in points)
+    # ~2.5 GB/s with little CF variation at 256.
+    vals = [by[(256, cf)].throughput_gbps for cf in CF_SWEEP]
+    assert 1.5 < min(vals) and max(vals) < 4.0
+    assert max(vals) / min(vals) < 2.0
+    # Cross-platform comparison (paper's "Comparison with GPU").
+    a100 = by[(256, 4)].throughput_gbps
+    cs2 = measure("cs2", resolution=256, cf=4, direction="decompress").throughput_gbps
+    sn30 = measure("sn30", resolution=256, cf=4, direction="decompress").throughput_gbps
+    assert cs2 > a100 and sn30 > a100
+    # A single GroqChip/IPU loses to the A100 on compression throughput
+    # (they "rely on scalability to outperform GPU").
+    a100_c = measure("a100", resolution=256, cf=4, direction="compress").throughput_gbps
+    groq_c = measure("groq", resolution=256, cf=4, direction="compress").throughput_gbps
+    ipu_c = measure("ipu", resolution=256, cf=4, direction="compress").throughput_gbps
+    assert groq_c < a100_c and ipu_c < a100_c

@@ -1,0 +1,47 @@
+"""Fig. 17: SG vs DC decompression throughput on the IPU (100x3x32x32).
+
+Paper: SG is 1.5-2.7x slower than DC while improving the ratio by
+1.3-1.75x — the ratio/throughput trade is not one-for-one.
+"""
+
+import numpy as np
+
+from repro.core import make_compressor
+from repro.harness import CF_SWEEP, measure
+
+from benchmarks.conftest import write_result
+
+
+def test_fig17_sg_vs_dc_throughput(benchmark):
+    sg = make_compressor(32, method="sg", cf=4)
+    z = np.zeros((100, 3, 16, 10), np.float32)
+    benchmark(lambda: sg.decompress(z))
+
+    lines = ["Fig. 17: IPU decompression throughput, SG ('opt') vs DC ('dct'), 32x32"]
+    slowdowns, gains = [], []
+    for cf in CF_SWEEP:
+        dct = measure("ipu", resolution=32, cf=cf, direction="decompress", method="dc")
+        opt = measure("ipu", resolution=32, cf=cf, direction="decompress", method="sg")
+        assert dct.status == opt.status == "ok"
+        slow = opt.seconds / dct.seconds
+        gain = opt.ratio / dct.ratio
+        slowdowns.append(slow)
+        gains.append(gain)
+        lines.append(
+            f"  cf={cf}: dct {dct.throughput_gbps:6.2f} GB/s (CR {dct.ratio:5.2f})  "
+            f"opt {opt.throughput_gbps:6.2f} GB/s (CR {opt.ratio:5.2f})  "
+            f"slowdown {slow:4.2f}x, ratio gain {gain:4.2f}x"
+        )
+    write_result("fig17_sg_throughput", "\n".join(lines))
+
+    # Paper bands.
+    assert all(1.2 <= s <= 3.0 for s in slowdowns), slowdowns
+    assert max(slowdowns) > 1.5
+    assert all(1.3 <= g <= 1.76 for g in gains), gains
+    # The trade is not linear: slowdown exceeds ratio gain somewhere.
+    assert any(s > g for s, g in zip(slowdowns, gains))
+
+    # SG never compiles on the non-IPU accelerators (reproduced failure).
+    for platform in ("cs2", "sn30", "groq"):
+        p = measure(platform, resolution=32, cf=4, direction="decompress", method="sg")
+        assert p.status == "compile_error"

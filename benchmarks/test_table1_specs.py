@@ -1,0 +1,29 @@
+"""Tables 1-3: accelerator specs, dataset inventory, benchmark configs."""
+
+from repro.harness import format_table, table1, table2, table3
+
+from benchmarks.conftest import write_result
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1)
+    write_result("table1", format_table(rows, "Table 1: Accelerator specifications"))
+    assert [r["name"] for r in rows] == ["cs2", "sn30", "groq", "ipu"]
+    assert rows[0]["CUs"] == 850_000
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2)
+    write_result("table2", format_table(rows, "Table 2: Image datasets"))
+    assert len(rows) == 4
+
+
+def test_table3(benchmark):
+    rows = benchmark(lambda: table3("paper"))
+    write_result("table3", format_table(rows, "Table 3: Evaluation benchmarks"))
+    assert [r["Test"] for r in rows] == [
+        "classify",
+        "em_denoise",
+        "optical_damage",
+        "slstr_cloud",
+    ]

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Future-work compression targets: weights, activations, gradients.
+
+The paper evaluates training-data compression and sketches three further
+targets (Fig. 1 / Section 6).  This example exercises all three against
+the same DCT+Chop core:
+
+1. weight compression for model storage,
+2. activation compression during training,
+3. gradient compression in simulated 4-worker data-parallel training.
+
+Run:  python examples/future_targets.py
+"""
+
+import numpy as np
+
+import repro.nn as nn
+from repro.data.loader import DataLoader, Dataset
+from repro.targets import (
+    DataParallelSimulator,
+    compress_activations,
+    compress_state_dict,
+    decompress_state_dict,
+    state_dict_ratio,
+)
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+class SmoothImages(Dataset):
+    """Autoencoder-friendly smooth targets."""
+
+    def __init__(self, n=32, seed=0):
+        rng = np.random.default_rng(seed)
+        base = rng.standard_normal((n, 1, 4, 4)).astype(np.float32)
+        self.x = base.repeat(4, axis=2).repeat(4, axis=3)
+
+    def __len__(self):
+        return len(self.x)
+
+    def __getitem__(self, i):
+        return self.x[i], self.x[i]
+
+
+def weights_demo() -> None:
+    print("== 1. weight compression (model storage) ==")
+    model = nn.DeepEncoderDecoder(base_channels=8, depth=2, gen=Generator(0))
+    state = model.state_dict()
+    for cf in (7, 5, 3):
+        packed = compress_state_dict(state, cf=cf)
+        print(f"  cf={cf}: state dict {state_dict_ratio(state, packed):5.2f}x smaller")
+    model.load_state_dict(decompress_state_dict(compress_state_dict(state, cf=7)))
+    print("  reloaded lossy weights successfully")
+
+
+def activations_demo() -> None:
+    print("\n== 2. activation compression (training memory) ==")
+    model = nn.DeepEncoderDecoder(base_channels=4, depth=2, gen=Generator(0))
+    wrappers = compress_activations(model, cf=6)
+    opt = nn.Adam(model.parameters(), lr=2e-3)
+    loss_fn = nn.MSELoss()
+    loader = DataLoader(SmoothImages(), 8, shuffle=True, gen=Generator(0))
+    losses = []
+    for _ in range(8):
+        for x, y in loader:
+            opt.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+    ratio = wrappers[0].observed_ratio
+    print(f"  wrapped {len(wrappers)} conv layers; activation storage {ratio:.2f}x smaller")
+    print(f"  loss {losses[0]:.4f} -> {losses[-1]:.4f} with compressed activations")
+
+
+def gradients_demo() -> None:
+    print("\n== 3. gradient compression (distributed training) ==")
+    rng = np.random.default_rng(0)
+
+    class LinearTask(Dataset):
+        def __init__(self):
+            self.x = rng.standard_normal((64, 16)).astype(np.float32)
+            self.y = self.x @ rng.standard_normal((16, 4)).astype(np.float32)
+
+        def __len__(self):
+            return 64
+
+        def __getitem__(self, i):
+            return self.x[i], self.y[i]
+
+    for cf in (None, 4):
+        model = nn.Linear(16, 4, gen=Generator(0))
+        sim = DataParallelSimulator(
+            model,
+            nn.MSELoss(),
+            nn.Adam(model.parameters(), lr=0.05),
+            world_size=4,
+            gradient_cf=cf,
+        )
+        loader = DataLoader(LinearTask(), 16, shuffle=True, gen=Generator(0))
+        first = sim.train_epoch(loader)
+        for _ in range(10):
+            last = sim.train_epoch(loader)
+        mode = "uncompressed" if cf is None else f"cf={cf} chop"
+        print(
+            f"  {mode:>13}: loss {first:7.3f} -> {last:7.3f}, "
+            f"gradient traffic saved {sim.log.savings_ratio:4.2f}x "
+            f"({sim.log.exchanged_bytes} of {sim.log.raw_bytes} B exchanged)"
+        )
+
+
+if __name__ == "__main__":
+    weights_demo()
+    activations_demo()
+    gradients_demo()

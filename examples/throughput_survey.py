@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Survey modelled compression/decompression throughput across platforms.
+
+Regenerates the headline numbers of the paper's Section 4.2.2 in one
+table: per-platform compress/decompress throughput at 256x256, the
+CF spread, and the cross-platform ranking against the A100.
+
+Run:  python examples/throughput_survey.py
+"""
+
+from repro.harness import CF_SWEEP, measure
+
+PLATFORMS = ("cs2", "sn30", "ipu", "groq", "a100")
+
+
+def main() -> None:
+    print("modelled throughput, 100 x 3 x 256 x 256 FP32 "
+          "(GB/s against uncompressed payload)\n")
+    header = f"{'platform':>8} {'direction':>11}" + "".join(
+        f"   cf={cf}" for cf in CF_SWEEP
+    )
+    print(header)
+    print("-" * len(header))
+    for platform in PLATFORMS:
+        for direction in ("compress", "decompress"):
+            cells = []
+            for cf in CF_SWEEP:
+                point = measure(platform, resolution=256, cf=cf, direction=direction)
+                cells.append(f"{point.throughput_gbps:7.2f}")
+            print(f"{platform:>8} {direction:>11}" + "".join(cells))
+
+    print("\npaper reference bands: CS-2 16-26 GB/s, SN30 7-10 GB/s, "
+          "IPU 1.2 (comp) / 2-21 (decomp) GB/s,")
+    print("GroqChip ~0.15/0.2 GB/s, A100 ~2.5 GB/s decompression.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim so ``pip install -e .`` works offline with old setuptools."""
+
+from setuptools import setup
+
+setup()

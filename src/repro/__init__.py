@@ -1,0 +1,37 @@
+"""Reproduction of "A Portable, Fast, DCT-based Compressor for AI Accelerators".
+
+(Shah, Yu, Di, Becchi, Cappello — HPDC '24.)
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.tensor``
+    NumPy-backed tensor library with reverse-mode autograd exposing the
+    torch-like operator surface the paper's compressor is written against.
+``repro.nn``
+    Neural-network layers, losses, optimisers and the four evaluation
+    architectures (ResNet34, encoder-decoder, autoencoder, UNet).
+``repro.core``
+    The DCT+Chop compressor and its two optimisations (partial
+    serialization and scatter/gather triangle retention).
+``repro.accel``
+    Simulators for the four AI accelerators (Cerebras CS-2, SambaNova
+    SN30, Groq GroqChip, Graphcore IPU) plus A100 GPU and host CPU:
+    graph capture, compiler with static-shape/op-support/memory checks,
+    and a calibrated analytical timing model.
+``repro.data``
+    Seeded synthetic stand-ins for the paper's four datasets.
+``repro.baselines``
+    ZFP-style fixed-rate compressor, JPEG quantization pipeline and a
+    color quantizer used as comparators.
+``repro.train``
+    Training loop with the compress->decompress-per-batch hook used in
+    the accuracy experiments.
+``repro.harness``
+    Per-figure experiment drivers that regenerate every table and figure
+    in the paper's evaluation section.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,56 @@
+"""Accelerator simulators for the paper's five evaluation platforms.
+
+No Cerebras CS-2, SambaNova SN30, Groq GroqChip, Graphcore IPU, or NVIDIA
+A100 is attached to this repository, so each platform is modelled by three
+cooperating pieces (see DESIGN.md, "Substitutions"):
+
+1. **Graph capture** (:mod:`repro.accel.graph`) — compressor programs are
+   traced into a static computation graph, mirroring the trace-and-compile
+   flow every real toolchain uses (Section 3.1 of the paper).
+2. **Compiler** (:mod:`repro.accel.compiler`) — enforces the real
+   constraints: static tensor shapes, each platform's PyTorch operator
+   support matrix, and on-chip memory capacity.  This reproduces the
+   paper's observed compile *failures* (SN30/GroqChip out-of-memory at
+   512x512 resolution, GroqChip beyond batch 1000, gather/scatter only
+   available on IPU).
+3. **Timing model** (:mod:`repro.accel.perf`) — an analytical
+   transfer/compute/pipeline model with per-platform parameters calibrated
+   to the paper's reported throughput ranges.  Numerics always execute for
+   real on NumPy; only the clock is modelled.
+"""
+
+from repro.accel.spec import AcceleratorSpec, PerfParams, MemoryModel
+from repro.accel.opsupport import supported_ops, is_supported
+from repro.accel.graph import Graph, Node, trace
+from repro.accel.cost import ProgramCost, cost_of_graph
+from repro.accel.perf import TimingBreakdown, estimate_time
+from repro.accel.compiler import compile_program, CompiledProgram
+from repro.accel.registry import get_platform, platform_names, register_platform
+from repro.accel.energy import EnergyEstimate, estimate_energy, board_power
+from repro.accel.multichip import MultiChipEstimate, estimate_multichip, devices_to_match
+
+__all__ = [
+    "AcceleratorSpec",
+    "PerfParams",
+    "MemoryModel",
+    "supported_ops",
+    "is_supported",
+    "Graph",
+    "Node",
+    "trace",
+    "ProgramCost",
+    "cost_of_graph",
+    "TimingBreakdown",
+    "estimate_time",
+    "compile_program",
+    "CompiledProgram",
+    "get_platform",
+    "platform_names",
+    "register_platform",
+    "EnergyEstimate",
+    "estimate_energy",
+    "board_power",
+    "MultiChipEstimate",
+    "estimate_multichip",
+    "devices_to_match",
+]

@@ -1,0 +1,160 @@
+"""Compile a traced program for a target platform.
+
+``compile_program`` runs the three checks every real toolchain in the
+paper applies, in order:
+
+1. **Operator support** — every traced op must be in the platform's
+   PyTorch support matrix (:mod:`repro.accel.opsupport`); e.g. the SG
+   compressor's ``gather``/``scatter`` only compile on the IPU.
+2. **Matmul-unit limits** — GroqChip's MXM modules accept matrices up to
+   320 per side; larger operands fail compilation.
+3. **On-chip memory allocation** — per-compute-unit tile capacity (SN30
+   PMUs) and whole-graph on-chip residence (GroqChip, IPU) are enforced,
+   reproducing the paper's 512x512 and batch>1000 failures.
+
+The returned :class:`CompiledProgram` executes the original function
+numerically (real NumPy results) while reporting modelled device timing;
+shapes are frozen, so feeding a different shape raises, exactly like the
+real compilers' static-shape requirement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.accel.cost import ProgramCost, cost_of_graph
+from repro.accel.graph import Graph, trace
+from repro.accel.opsupport import supported_ops
+from repro.accel.perf import TimingBreakdown, estimate_time
+from repro.accel.registry import get_platform
+from repro.accel.spec import AcceleratorSpec, MB
+from repro.errors import OutOfMemoryError, ShapeError, UnsupportedOperatorError
+from repro.tensor import Tensor, no_grad
+
+
+def _check_operators(graph: Graph, spec: AcceleratorSpec) -> None:
+    allowed = supported_ops(spec.name)
+    for op in graph.op_names:
+        if op not in allowed:
+            raise UnsupportedOperatorError(
+                f"operator {op!r} is not supported by the {spec.name} toolchain",
+                platform=spec.name,
+                reason=f"unsupported operator: {op}",
+            )
+
+
+def _check_matmul_unit(cost: ProgramCost, spec: AcceleratorSpec) -> None:
+    limit = spec.memory.max_matmul_dim
+    if limit is not None and cost.max_matmul_dim > limit:
+        raise OutOfMemoryError(
+            f"{spec.name}: matmul operand side {cost.max_matmul_dim} exceeds "
+            f"the {limit}x{limit} matrix unit limit",
+            platform=spec.name,
+            reason="matmul unit limit",
+        )
+
+
+def _check_memory(cost: ProgramCost, spec: AcceleratorSpec) -> None:
+    mem = spec.memory
+    if mem.per_tile_tensor_bytes is not None and cost.max_compute_tile_bytes > mem.per_tile_tensor_bytes:
+        raise OutOfMemoryError(
+            f"{spec.name}: a {cost.max_compute_tile_bytes / MB:.2f} MB operand "
+            f"tile exceeds the {mem.per_tile_tensor_bytes / MB:.2f} MB "
+            "per-memory-unit capacity",
+            platform=spec.name,
+            reason="per-tile capacity",
+        )
+    onchip_required = cost.total_tensor_bytes + cost.n_samples * mem.per_sample_schedule_bytes
+    if mem.graph_must_fit_onchip and onchip_required > mem.total_onchip_bytes:
+        raise OutOfMemoryError(
+            f"{spec.name}: program requires {onchip_required / MB:.1f} MB "
+            f"on-chip but only {mem.total_onchip_bytes / MB:.0f} MB is available",
+            platform=spec.name,
+            reason="on-chip capacity",
+        )
+    if mem.offchip_bytes is not None and cost.total_tensor_bytes > mem.offchip_bytes:
+        raise OutOfMemoryError(
+            f"{spec.name}: program exceeds device memory",
+            platform=spec.name,
+            reason="device memory",
+        )
+
+
+@dataclass
+class RunResult:
+    """Output of one compiled-program invocation."""
+
+    output: Tensor
+    timing: TimingBreakdown
+    wall_seconds: float  # host-side NumPy execution time (not the model)
+
+    @property
+    def device_seconds(self) -> float:
+        """Modelled end-to-end time including host-device transfer."""
+        return self.timing.total
+
+
+@dataclass
+class CompiledProgram:
+    """A shape-frozen program bound to one accelerator."""
+
+    fn: Callable[..., Tensor]
+    graph: Graph
+    cost: ProgramCost
+    spec: AcceleratorSpec
+    name: str = "program"
+    _runs: int = field(default=0, repr=False)
+
+    def run(self, *inputs) -> RunResult:
+        """Execute numerically and report modelled timing.
+
+        Input shapes must match the compile-time shapes — all four
+        accelerator toolchains fix tensor sizes at compile time.
+        """
+        arrays = [x if isinstance(x, Tensor) else Tensor(np.asarray(x)) for x in inputs]
+        if tuple(a.shape for a in arrays) != self.graph.input_shapes:
+            raise ShapeError(
+                f"{self.spec.name}: program compiled for input shapes "
+                f"{self.graph.input_shapes}, got {tuple(a.shape for a in arrays)}"
+            )
+        start = time.perf_counter()
+        with no_grad():
+            out = self.fn(*arrays)
+        wall = time.perf_counter() - start
+        self._runs += 1
+        return RunResult(output=out, timing=estimate_time(self.cost, self.spec), wall_seconds=wall)
+
+    @property
+    def runs(self) -> int:
+        return self._runs
+
+    def estimated_time(self) -> float:
+        """Modelled seconds per run at the compiled shapes."""
+        return estimate_time(self.cost, self.spec).total
+
+
+def compile_program(
+    fn: Callable[..., Tensor],
+    example_inputs,
+    platform: str | AcceleratorSpec,
+    *,
+    name: str = "program",
+) -> CompiledProgram:
+    """Trace ``fn`` and compile it for ``platform``.
+
+    Raises :class:`UnsupportedOperatorError` or :class:`OutOfMemoryError`
+    when the platform's toolchain would reject the program.
+    """
+    spec = platform if isinstance(platform, AcceleratorSpec) else get_platform(platform)
+    if not isinstance(example_inputs, (list, tuple)):
+        example_inputs = (example_inputs,)
+    graph = trace(fn, *example_inputs)
+    cost = cost_of_graph(graph)
+    _check_operators(graph, spec)
+    _check_matmul_unit(cost, spec)
+    _check_memory(cost, spec)
+    return CompiledProgram(fn=fn, graph=graph, cost=cost, spec=spec, name=name)

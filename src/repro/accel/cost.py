@@ -1,0 +1,147 @@
+"""Derive per-program cost figures from a traced :class:`Graph`.
+
+The timing model (:mod:`repro.accel.perf`) consumes a :class:`ProgramCost`
+summary: total FLOPs, total bytes touched on-chip, host transfer sizes,
+gather/scatter traffic, and the plane census used by the SN30
+small-tensor penalty term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.graph import Graph, Node
+
+_LAYOUT_OPS = frozenset(
+    {"reshape", "transpose", "broadcast_to", "getitem", "concat", "stack", "identity"}
+)
+_GATHER_OPS = frozenset({"gather", "scatter"})
+
+
+def node_flops(node: Node) -> float:
+    """FLOPs for one traced op.
+
+    matmul: ``2 * prod(out_shape) * K`` with K the contracted dim;
+    elementwise/reduction: one FLOP per output element; layout ops: zero
+    (they compile to routing/addressing on these platforms).
+    """
+    out_elems = float(np.prod(node.output_shape)) if node.output_shape else 1.0
+    if node.op == "matmul":
+        k = node.input_shapes[0][-1]
+        return 2.0 * out_elems * k
+    if node.op in _LAYOUT_OPS or node.op in _GATHER_OPS:
+        return 0.0
+    if node.op == "conv2d":
+        # out (N,F,OH,OW); weight (F,C,KH,KW)
+        f, c, kh, kw = node.input_shapes[1]
+        return 2.0 * out_elems * c * kh * kw
+    # Reductions consume input once.
+    if node.op in ("sum", "mean", "max"):
+        return float(np.prod(node.input_shapes[0]))
+    return out_elems
+
+
+def node_touched_bytes(node: Node) -> int:
+    """Bytes moved through on-chip memory by one op (inputs + output)."""
+    if node.op in _LAYOUT_OPS:
+        return 0  # routing, not data movement, on dataflow/TSP targets
+    return node.input_bytes + node.output_bytes
+
+
+@dataclass(frozen=True)
+class ProgramCost:
+    """Aggregate cost figures of a compiled program at its static shapes."""
+
+    in_bytes: int           # host -> device payload per run
+    out_bytes: int          # device -> host payload per run
+    flops: float            # arithmetic work per run
+    touched_bytes: int      # on-chip memory traffic per run
+    gather_bytes: int       # traffic through gather/scatter units per run
+    n_planes: int           # independent 2-D planes in the output
+    plane_bytes: int        # bytes of one output plane
+    constant_bytes: int     # resident compile-time operands (LHS/RHS, indices)
+    peak_tensor_bytes: int  # largest single tensor in the graph
+    total_tensor_bytes: int  # sum of all distinct tensors (for OCM fitting)
+    max_compute_tile_bytes: int  # largest trailing-2D tile placed in a compute
+                                 # unit's local memory (matmul/gather operands,
+                                 # their outputs, and resident constants)
+    min_io_plane_bytes: int  # smallest plane among program inputs/outputs
+                             # (drives the SN30 small-tensor penalty)
+    max_matmul_dim: int     # largest matrix side appearing in any matmul
+    n_compute_nodes: int    # non-layout ops (per-op dispatch overhead)
+    n_samples: int          # leading batch extent (per-sample schedule cost)
+
+
+def _plane_tile_bytes(shape: tuple[int, ...], itemsize: int) -> int:
+    if len(shape) == 0:
+        return itemsize
+    if len(shape) == 1:
+        return shape[0] * itemsize
+    return int(shape[-1]) * int(shape[-2]) * itemsize
+
+
+def cost_of_graph(graph: Graph) -> ProgramCost:
+    itemsize = graph.itemsize
+    flops = 0.0
+    touched = 0
+    gather_bytes = 0
+    peak = graph.input_bytes
+    total = graph.input_bytes + graph.constant_bytes
+    # Constants (LHS/RHS, index tensors) stay resident in compute-unit-local
+    # memory for the lifetime of the program.
+    compute_tile = max(
+        (_plane_tile_bytes(s, itemsize) for s in graph.constant_shapes),
+        default=0,
+    )
+    max_mm_dim = 0
+    n_compute = 0
+    for node in graph.nodes:
+        flops += node_flops(node)
+        touched += node_touched_bytes(node)
+        if node.op in _GATHER_OPS:
+            gather_bytes += node.input_bytes + node.output_bytes
+        peak = max(peak, node.output_bytes)
+        if node.op not in _LAYOUT_OPS:
+            # Layout ops alias their input; others materialise a tensor, and
+            # their operands/result tiles must be placed near compute.
+            n_compute += 1
+            total += node.output_bytes
+            for shape in node.input_shapes + (node.output_shape,):
+                compute_tile = max(compute_tile, _plane_tile_bytes(shape, itemsize))
+        if node.op == "matmul":
+            for shape in node.input_shapes:
+                max_mm_dim = max(max_mm_dim, shape[-1], shape[-2] if len(shape) > 1 else 0)
+
+    out_shape = graph.output_shape
+    if len(out_shape) >= 2:
+        n_planes = int(np.prod(out_shape[:-2])) if len(out_shape) > 2 else 1
+        plane_bytes = out_shape[-1] * out_shape[-2] * itemsize
+    else:
+        n_planes = 1
+        plane_bytes = graph.output_bytes
+    min_io_plane = min(
+        _plane_tile_bytes(s, itemsize)
+        for s in graph.input_shapes + (graph.output_shape,)
+    )
+    first_input = graph.input_shapes[0] if graph.input_shapes else ()
+    n_samples = int(first_input[0]) if len(first_input) >= 3 else 1
+
+    return ProgramCost(
+        in_bytes=graph.input_bytes,
+        out_bytes=graph.output_bytes,
+        flops=flops,
+        touched_bytes=touched,
+        gather_bytes=gather_bytes,
+        n_planes=n_planes,
+        plane_bytes=plane_bytes,
+        constant_bytes=graph.constant_bytes,
+        peak_tensor_bytes=peak,
+        total_tensor_bytes=total,
+        max_compute_tile_bytes=compute_tile,
+        min_io_plane_bytes=min_io_plane,
+        max_matmul_dim=max_mm_dim,
+        n_compute_nodes=n_compute,
+        n_samples=n_samples,
+    )

@@ -1,0 +1,64 @@
+"""Energy model — the comparison the paper explicitly leaves open.
+
+Section 4.2.2's last takeaway: "power differences are not accounted for
+in this evaluation.  Thus, we cannot directly compare performance
+differences between accelerators."  This module closes that gap with a
+first-order board-power model: energy per run = board power x modelled
+time (+ idle host share).  It is an *extension* of the paper, not a
+reproduction; power figures are public nameplate numbers.
+
+The punchline it enables: the wafer-scale CS-2 wins on raw throughput but
+its ~20 kW board makes the SN30 and IPU far better on bytes-per-joule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.cost import ProgramCost
+from repro.accel.perf import estimate_time
+from repro.accel.registry import get_platform
+from repro.accel.spec import AcceleratorSpec
+
+# Public nameplate board power, watts.
+BOARD_POWER_W: dict[str, float] = {
+    "cs2": 20_000.0,   # system power of a CS-2 (wafer + cooling)
+    "sn30": 620.0,     # one RDU's share of an SN30 node
+    "groq": 275.0,     # GroqCard
+    "ipu": 300.0,      # one Bow IPU (1/4 of an M2000-class machine)
+    "a100": 250.0,     # A100-PCIe TDP
+    "cpu": 350.0,      # dual-socket host under load
+}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy figures for one program run."""
+
+    platform: str
+    seconds: float
+    board_watts: float
+
+    @property
+    def joules(self) -> float:
+        return self.seconds * self.board_watts
+
+    def bytes_per_joule(self, payload_bytes: int) -> float:
+        """Efficiency against a caller-chosen payload (uncompressed bytes)."""
+        return payload_bytes / self.joules
+
+
+def board_power(platform: str | AcceleratorSpec) -> float:
+    name = platform.name if isinstance(platform, AcceleratorSpec) else platform
+    try:
+        return BOARD_POWER_W[name]
+    except KeyError:
+        raise KeyError(f"no power figure for platform {name!r}") from None
+
+
+def estimate_energy(cost: ProgramCost, spec: AcceleratorSpec | str) -> EnergyEstimate:
+    """Board-power x modelled-time energy for one run."""
+    if isinstance(spec, str):
+        spec = get_platform(spec)
+    seconds = estimate_time(cost, spec).total
+    return EnergyEstimate(platform=spec.name, seconds=seconds, board_watts=board_power(spec))

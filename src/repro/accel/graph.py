@@ -1,0 +1,139 @@
+"""Static computation-graph capture.
+
+Every accelerator toolchain in the paper converts the model to a
+computation graph with tensor sizes fixed at compile time (Section 3.1).
+We get the same artifact for free from the autograd tape: tracing runs the
+program once on an example input with gradient recording enabled and walks
+the resulting ``Function`` DAG, yielding one :class:`Node` per operator
+with concrete input/output shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.tensor.tensor import Function
+
+
+@dataclass(frozen=True)
+class Node:
+    """One traced operator with static shapes."""
+
+    op: str
+    input_shapes: tuple[tuple[int, ...], ...]
+    output_shape: tuple[int, ...]
+    itemsize: int = 4
+
+    @property
+    def output_bytes(self) -> int:
+        return int(np.prod(self.output_shape, dtype=np.int64)) * self.itemsize if self.output_shape else self.itemsize
+
+    @property
+    def input_bytes(self) -> int:
+        total = 0
+        for shape in self.input_shapes:
+            total += int(np.prod(shape, dtype=np.int64)) * self.itemsize if shape else self.itemsize
+        return total
+
+
+@dataclass
+class Graph:
+    """A traced program: ops in topological order plus boundary tensors."""
+
+    nodes: list[Node] = field(default_factory=list)
+    input_shapes: tuple[tuple[int, ...], ...] = ()
+    output_shape: tuple[int, ...] = ()
+    constant_shapes: tuple[tuple[int, ...], ...] = ()
+    itemsize: int = 4
+
+    @property
+    def op_names(self) -> list[str]:
+        return [n.op for n in self.nodes]
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(
+            int(np.prod(s, dtype=np.int64)) * self.itemsize for s in self.input_shapes
+        )
+
+    @property
+    def output_bytes(self) -> int:
+        return int(np.prod(self.output_shape, dtype=np.int64)) * self.itemsize
+
+    @property
+    def constant_bytes(self) -> int:
+        """Bytes of compile-time constants (LHS/RHS matrices, indices)."""
+        return sum(
+            int(np.prod(s, dtype=np.int64)) * self.itemsize for s in self.constant_shapes
+        )
+
+    def count(self, op: str) -> int:
+        return sum(1 for n in self.nodes if n.op == op)
+
+
+def _op_name(fn: Function) -> str:
+    name = type(fn).__name__.lower()
+    return name[:-2] if name.endswith("fn") else name
+
+
+def trace(fn: Callable[..., Tensor], *example_inputs) -> Graph:
+    """Trace ``fn`` on example inputs into a static :class:`Graph`.
+
+    ``example_inputs`` are arrays/tensors with the compile-time shapes.
+    The trace marks tensors fed here as graph inputs; every other leaf the
+    program touches (precomputed LHS/RHS operands, index tensors) is
+    recorded as a compile-time constant.
+    """
+    inputs = [
+        x if isinstance(x, Tensor) else Tensor(np.asarray(x)) for x in example_inputs
+    ]
+    traced_inputs = [Tensor(x.data, requires_grad=True) for x in inputs]
+    out = fn(*traced_inputs)
+    if not isinstance(out, Tensor):
+        raise TypeError(f"traced function must return a Tensor, got {type(out)}")
+
+    input_ids = {id(t) for t in traced_inputs}
+    nodes: list[Node] = []
+    constants: list[tuple[int, ...]] = []
+    seen: set[int] = set()
+    # Depth-first walk from the output; emit nodes in reverse-topological
+    # order and flip at the end.
+    stack: list[tuple[Tensor, bool]] = [(out, False)]
+    order: list[Tensor] = []
+    while stack:
+        t, processed = stack.pop()
+        if processed:
+            order.append(t)
+            continue
+        if id(t) in seen:
+            continue
+        seen.add(id(t))
+        stack.append((t, True))
+        if t._ctx is not None:
+            for parent in t._ctx.parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+        elif id(t) not in input_ids:
+            constants.append(t.shape)
+
+    for t in order:
+        if t._ctx is None:
+            continue
+        nodes.append(
+            Node(
+                op=_op_name(t._ctx),
+                input_shapes=tuple(p.shape for p in t._ctx.parents),
+                output_shape=t.shape,
+            )
+        )
+
+    return Graph(
+        nodes=nodes,
+        input_shapes=tuple(t.shape for t in traced_inputs),
+        output_shape=out.shape,
+        constant_shapes=tuple(constants),
+    )

@@ -1,0 +1,142 @@
+"""Multi-device scaling model (paper Section 4.2.2, "Comparison with GPU").
+
+The paper notes that a single GroqChip or IPU loses to the A100 but that
+"both the GroqChip and IPU are generally deployed with other GroqChips
+or IPUs" — a GroqNode carries 8 GroqCards, a Bow-Pod64 carries 64 IPUs —
+and "rely on scalability to outperform GPU".  This module models that
+deployment: the batch shards across ``n`` devices, each with its own
+host link (PCIe per card / per-IPU exchange), so compression scales
+near-linearly minus a logarithmic coordination term.
+
+Sharded compression of independent samples needs no inter-device
+traffic; each device must still *compile* its shard, so per-device
+memory limits are re-checked at the shard size (a GroqNode can therefore
+run batch 8000 where one chip caps at 1000).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.compiler import compile_program
+from repro.accel.registry import get_platform
+from repro.core.api import make_compressor
+from repro.errors import CompileError, ConfigError
+
+# Devices per standard deployment node (paper's examples).
+NODE_SIZES = {"groq": 8, "ipu": 64, "sn30": 8, "cs2": 1, "a100": 8}
+
+# Per-step coordination latency coefficient (s); total sync cost is
+# coeff * log2(n), the depth of a combining tree across devices.
+SYNC_COEFF_S = 0.2e-3
+
+
+@dataclass(frozen=True)
+class MultiChipEstimate:
+    """Timing of one sharded run across ``n_devices``."""
+
+    platform: str
+    n_devices: int
+    per_device_batch: int
+    shard_seconds: float
+    sync_seconds: float
+    status: str = "ok"
+    reason: str = ""
+
+    @property
+    def seconds(self) -> float:
+        return self.shard_seconds + self.sync_seconds
+
+    def throughput_gbps(self, total_bytes: int) -> float:
+        if self.status != "ok":
+            return float("nan")
+        return total_bytes / self.seconds / 1e9
+
+
+def estimate_multichip(
+    platform: str,
+    *,
+    n_devices: int,
+    resolution: int,
+    cf: int = 4,
+    direction: str = "compress",
+    batch: int = 100,
+    channels: int = 3,
+    method: str = "dc",
+    s: int = 2,
+) -> MultiChipEstimate:
+    """Model one compressor run sharded across ``n_devices``.
+
+    The global batch must shard evenly.  Each device runs the identical
+    program on ``batch / n`` samples; wall time is the per-shard time plus
+    a log-depth synchronization term.
+    """
+    if n_devices < 1:
+        raise ConfigError(f"n_devices must be >= 1, got {n_devices}")
+    if batch % n_devices:
+        raise ConfigError(f"batch {batch} does not shard across {n_devices} devices")
+    shard = batch // n_devices
+    comp = make_compressor(resolution, method=method, cf=cf, s=s)
+    in_shape = (shard, channels, resolution, resolution)
+    if direction == "compress":
+        fn, example_shape = comp.compress, in_shape
+    else:
+        fn, example_shape = comp.decompress, comp.compressed_shape(in_shape)
+    sync = SYNC_COEFF_S * math.log2(n_devices) if n_devices > 1 else 0.0
+    try:
+        prog = compile_program(
+            fn, np.zeros(example_shape, np.float32), platform,
+            name=f"shard-{platform}-x{n_devices}",
+        )
+    except CompileError as exc:
+        return MultiChipEstimate(
+            platform=platform,
+            n_devices=n_devices,
+            per_device_batch=shard,
+            shard_seconds=float("nan"),
+            sync_seconds=sync,
+            status="compile_error",
+            reason=exc.reason or str(exc),
+        )
+    return MultiChipEstimate(
+        platform=platform,
+        n_devices=n_devices,
+        per_device_batch=shard,
+        shard_seconds=prog.estimated_time(),
+        sync_seconds=sync,
+    )
+
+
+def devices_to_match(
+    platform: str,
+    target_gbps: float,
+    *,
+    resolution: int = 256,
+    cf: int = 4,
+    direction: str = "compress",
+    batch: int = 96,
+    channels: int = 3,
+    max_devices: int = 128,
+) -> int | None:
+    """Smallest power-of-two device count whose modelled throughput meets
+    ``target_gbps``; ``None`` if ``max_devices`` is not enough."""
+    total_bytes = batch * channels * resolution * resolution * 4
+    n = 1
+    while n <= max_devices:
+        if batch % n == 0:
+            est = estimate_multichip(
+                platform,
+                n_devices=n,
+                resolution=resolution,
+                cf=cf,
+                direction=direction,
+                batch=batch,
+                channels=channels,
+            )
+            if est.status == "ok" and est.throughput_gbps(total_bytes) >= target_gbps:
+                return n
+        n *= 2
+    return None

@@ -1,0 +1,79 @@
+"""Per-platform PyTorch-operator support matrix (paper Section 3.1).
+
+The paper's central programmability observation: every platform exposes a
+PyTorch front end, but not the *whole* operator set.  Bitwise shifts —
+required by variable-length encoders such as RLE/Huffman — are missing on
+all four accelerators, which is why the compressor avoids an encoding
+stage entirely.  ``gather``/``scatter`` are available on the IPU only
+(Section 3.5.2), enabling the SG optimisation there and nowhere else.
+
+Op names here are the canonical names produced by
+:func:`repro.accel.graph.trace` from autograd ``Function`` class names.
+"""
+
+from __future__ import annotations
+
+# Ops every traced compressor graph can contain, grouped by family.
+_MATMUL = frozenset({"matmul"})
+_ELEMENTWISE = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "div",
+        "neg",
+        "pow",
+        "exp",
+        "log",
+        "sqrt",
+        "tanh",
+        "sigmoid",
+        "relu",
+        "abs",
+        "clip",
+        "maximum",
+        "minimum",
+        "where",
+        "identity",
+    }
+)
+_LAYOUT = frozenset(
+    {"reshape", "transpose", "broadcast_to", "getitem", "concat", "stack", "pad2d"}
+)
+_REDUCTION = frozenset({"sum", "mean", "max"})
+_NN = frozenset(
+    {"conv2dfn", "dilate2d", "maxpool2dfn", "avgpool2dfn", "upsamplenearest"}
+)
+_GATHER_SCATTER = frozenset({"gather", "scatter"})
+_BITWISE_SHIFT = frozenset({"left_shift", "right_shift"})  # needed by VLE encoders
+_BITWISE = frozenset({"bitwise_not", "bitwise_and", "bitwise_or"})
+
+_COMMON = _MATMUL | _ELEMENTWISE | _LAYOUT | _REDUCTION | _NN
+
+_SUPPORT: dict[str, frozenset[str]] = {
+    # CS-2: PyTorch front end; no gather/scatter exposed, no bit shifts.
+    "cs2": _COMMON,
+    # SN30 (SambaFlow): has torch.bitwise_not but no shifts, no gather/scatter.
+    "sn30": _COMMON | _BITWISE,
+    # GroqChip (GroqFlow/ONNX path): matmul-centric; no gather/scatter/shifts.
+    "groq": _COMMON,
+    # IPU (PopTorch): supports torch.scatter and torch.gather (Section 3.5.2).
+    "ipu": _COMMON | _GATHER_SCATTER | _BITWISE,
+    # GPU / CPU run full PyTorch: everything.
+    "a100": _COMMON | _GATHER_SCATTER | _BITWISE | _BITWISE_SHIFT,
+    "cpu": _COMMON | _GATHER_SCATTER | _BITWISE | _BITWISE_SHIFT,
+}
+
+
+def supported_ops(platform: str) -> frozenset[str]:
+    """Canonical op names the platform's toolchain accepts."""
+    try:
+        return _SUPPORT[platform]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {platform!r}; known: {sorted(_SUPPORT)}"
+        ) from None
+
+
+def is_supported(platform: str, op: str) -> bool:
+    return op in supported_ops(platform)

@@ -1,0 +1,19 @@
+"""Built-in platform definitions (the paper's Table 1 plus A100 and CPU).
+
+Importing this package registers every built-in spec with the registry.
+"""
+
+from repro.accel.platforms.cerebras import CS2
+from repro.accel.platforms.sambanova import SN30
+from repro.accel.platforms.groq import GROQCHIP
+from repro.accel.platforms.graphcore import IPU
+from repro.accel.platforms.gpu import A100
+from repro.accel.platforms.cpu import CPU
+from repro.accel.registry import register_platform
+
+ALL_PLATFORMS = (CS2, SN30, GROQCHIP, IPU, A100, CPU)
+
+for _spec in ALL_PLATFORMS:
+    register_platform(_spec)
+
+__all__ = ["CS2", "SN30", "GROQCHIP", "IPU", "A100", "CPU", "ALL_PLATFORMS"]

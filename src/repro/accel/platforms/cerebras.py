@@ -1,0 +1,37 @@
+"""Cerebras CS-2 (paper Section 2.1.1).
+
+Wafer-scale dataflow engine: 850k processing elements, each with 48 KB of
+local SRAM, 40 GB aggregate.  The compiler maps the whole computation onto
+the wafer, so memory is never a constraint for the compressor; timing is
+dominated by the host ingest link plus a multi-millisecond pipeline-fill
+latency, which makes time nearly flat in batch size until the inbound
+stream itself exceeds the fill time (the paper's "flat until batch 2000"
+observation for 64x64x3 samples).
+
+Calibration targets (paper Section 4.2.2): 16-26 GB/s compression and
+decompression throughput on 100x3x256x256 inputs, decompression faster
+and more CF-stratified than compression.
+"""
+
+from repro.accel.spec import GB, AcceleratorSpec, MemoryModel, PerfParams
+
+CS2 = AcceleratorSpec(
+    name="cs2",
+    vendor="Cerebras",
+    compute_units=850_000,
+    onchip_memory_bytes=40 * GB,
+    software=("TF", "PT", "CSL"),
+    architecture="dataflow",
+    memory=MemoryModel(
+        total_onchip_bytes=40 * GB,
+        graph_must_fit_onchip=True,
+    ),
+    perf=PerfParams(
+        host_bw=30e9,          # 1.2 Tb/s ingest fabric, ~30 GB/s effective
+        out_weight=0.10,       # results drain inside the dataflow pipeline
+        compute_flops=400e12,  # sustained wafer FP32
+        mem_bw=15e15,          # 20 PB/s aggregate SRAM, derated
+        pipeline_fill=2.5e-3,  # deep pipeline fill/drain
+    ),
+    notes="One CS-2 chip; weight-streaming not needed at compressor scale.",
+)

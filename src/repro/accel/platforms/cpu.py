@@ -1,0 +1,29 @@
+"""Host CPU platform.
+
+Used for the ZFP comparison (Fig. 9 runs on CPU in the paper) and as the
+unconstrained fallback target.  No host-device transfer, no compile-time
+memory gates; compute/memory terms use typical server-class Xeon figures.
+"""
+
+from repro.accel.spec import GB, MB, AcceleratorSpec, MemoryModel, PerfParams
+
+CPU = AcceleratorSpec(
+    name="cpu",
+    vendor="host",
+    compute_units=64,
+    onchip_memory_bytes=256 * MB,  # LLC
+    software=("PT", "TF", "NumPy"),
+    architecture="cpu",
+    memory=MemoryModel(
+        total_onchip_bytes=256 * GB,  # DRAM is the placement pool
+        graph_must_fit_onchip=False,
+    ),
+    perf=PerfParams(
+        host_bw=50e9,        # memcpy-speed "transfer" (data already local)
+        out_weight=0.0,
+        compute_flops=1.5e12,
+        mem_bw=150e9,
+        gather_bw=20e9,
+    ),
+    notes="AVX-512 dual-socket reference host.",
+)

@@ -1,0 +1,34 @@
+"""NVIDIA A100 40 GB PCIe — the paper's GPU comparison point (Fig. 14).
+
+The A100 runs the same two-matmul compressor through regular PyTorch.
+Calibration: ~2.5 GB/s decompression with little CF variation, because
+the PCIe 4.0 round trip (compressed payload in, full payload out) plus
+kernel launch/sync dominates; on-device GEMMs are negligible at these
+sizes.  The CS-2 and SN30 beat a single A100; GroqChip and IPU rely on
+multi-chip scaling to catch up (paper Section 4.2.2, "Comparison with
+GPU").
+"""
+
+from repro.accel.spec import GB, MB, AcceleratorSpec, MemoryModel, PerfParams
+
+A100 = AcceleratorSpec(
+    name="a100",
+    vendor="NVIDIA",
+    compute_units=108,            # SMs
+    onchip_memory_bytes=40 * MB,  # L2
+    software=("PT", "TF"),
+    architecture="simt",
+    memory=MemoryModel(
+        total_onchip_bytes=40 * GB,  # HBM2e is the placement pool
+        graph_must_fit_onchip=True,
+        offchip_bytes=40 * GB,
+    ),
+    perf=PerfParams(
+        host_bw=4e9,          # PCIe 4.0 with per-batch sync, effective
+        out_weight=1.0,       # synchronous D2H copy of the result
+        compute_flops=15e12,  # FP32 CUDA-core path
+        mem_bw=1.3e12,        # HBM2e derated
+        launch_overhead=3e-3,
+    ),
+    notes="A100-PCIe 40 GB, PCIe 4.0 host link.",
+)

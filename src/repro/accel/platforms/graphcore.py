@@ -1,0 +1,39 @@
+"""Graphcore IPU, single Bow IPU (paper Section 2.1.4).
+
+MIMD: 1472 tiles each running its own instruction stream, 900 MB SRAM
+distributed evenly, 4.1 TB streaming DRAM for host exchange on the
+Bow-Pod64.  PopTorch exposes ``torch.gather``/``torch.scatter``, making
+the IPU the one platform where the SG optimisation compiles.
+
+Timing calibration (Section 4.2.2): ~1.2 GB/s compression with the least
+CF variance of any platform; decompression from ~2 GB/s (CF 7) up to
+~21 GB/s (CF 2) because the inbound compressed payload shrinks with CR.
+SG decompression is 1.5-2.7x slower than DC at 32x32 (Fig. 17) — priced
+by the gather/scatter bandwidth term.
+"""
+
+from repro.accel.spec import GB, MB, AcceleratorSpec, MemoryModel, PerfParams
+
+IPU = AcceleratorSpec(
+    name="ipu",
+    vendor="Graphcore",
+    compute_units=1472,
+    onchip_memory_bytes=900 * MB,
+    software=("TF", "PT", "PopArt"),
+    architecture="mimd",
+    memory=MemoryModel(
+        total_onchip_bytes=900 * MB,
+        graph_must_fit_onchip=True,
+        offchip_bytes=int(4.1 * 1024) * GB,
+    ),
+    perf=PerfParams(
+        host_bw=1.35e9,        # host I/O through streaming memory
+        out_weight=0.01,       # exchange overlaps compute almost fully
+        compute_flops=60e12,   # Bow FP32 AMP path, sustained
+        mem_bw=7.8e12,         # 47.5 TB/s aggregate SRAM, derated
+        pipeline_fill=0.05e-3,
+        gather_bw=1.5e9,       # tile-exchange cost of scatter/gather
+        op_overhead=0.21e-3,   # per-op exchange-program dispatch
+    ),
+    notes="One IPU of a Bow-Pod64; PopTorch 3.3 operator set.",
+)

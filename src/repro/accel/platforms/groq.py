@@ -1,0 +1,42 @@
+"""Groq GroqChip (paper Section 2.1.3).
+
+Tensor Streaming Processor: 5120 ALUs fed from a single 230 MB on-chip
+memory by a fully static, compiler-generated instruction schedule.  Two
+compile-time limits matter for the compressor:
+
+* the whole program's tensors must be resident in the 230 MB (data is
+  streamed from it) — this is what kills batch sizes beyond 1000 for
+  64x64x3 inputs and 512x512 resolutions;
+* the MXM matmul modules handle up to 320x320 operands [Ahmed et al.,
+  ASAP'22], so a 512-wide plane cannot be scheduled either.
+
+Timing calibration (Section 4.2.2): ~150 MB/s compression with very low
+variance across CF, ~200 MB/s decompression with more CF stratification.
+The effective rate is launch + instruction-stream dominated rather than
+PCIe-limited, hence the low host_bw value.
+"""
+
+from repro.accel.spec import MB, AcceleratorSpec, MemoryModel, PerfParams
+
+GROQCHIP = AcceleratorSpec(
+    name="groq",
+    vendor="Groq",
+    compute_units=5120,
+    onchip_memory_bytes=230 * MB,
+    software=("PT", "Keras", "ONNX"),
+    architecture="simd",
+    memory=MemoryModel(
+        total_onchip_bytes=230 * MB,
+        graph_must_fit_onchip=True,
+        max_matmul_dim=320,
+        per_sample_schedule_bytes=80 * 1024,  # static stream descriptors
+    ),
+    perf=PerfParams(
+        host_bw=0.2e9,        # effective streamed rate incl. schedule replay
+        out_weight=0.60,
+        compute_flops=1e12,   # FP32 path of the int8-optimised MXMs
+        mem_bw=0.5e12,
+        launch_overhead=10e-3,
+    ),
+    notes="Single GroqChip; GroqNode deployments gang eight GroqCards.",
+)

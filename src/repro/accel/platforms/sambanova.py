@@ -1,0 +1,40 @@
+"""SambaNova SN30, single RDU (paper Section 2.1.2).
+
+Reconfigurable dataflow: 1280 PCUs + 1280 PMUs per RDU (8 tiles of
+160+160), 640 MB on-chip, 1 TB off-chip device DRAM.  The binding
+compile-time constraint is PMU capacity: one PMU holds 0.5 MB, i.e. at
+most one single-channel 362x362 FP32 tile — which is exactly why
+512x512 planes fail to compile without partial serialization.
+
+Timing calibration (Section 4.2.2): 7-10 GB/s for both directions over
+PCIe 4.0, decompression faster than compression, and CR 16.0 *slower*
+than CR 4.0/7.11 because sub-PMU-sized compressed planes scatter across
+memory units and pay a per-tensor placement overhead.
+"""
+
+from repro.accel.spec import GB, KB, MB, AcceleratorSpec, MemoryModel, PerfParams
+
+SN30 = AcceleratorSpec(
+    name="sn30",
+    vendor="SambaNova",
+    compute_units=1280,
+    onchip_memory_bytes=640 * MB,
+    software=("SF", "PT"),
+    architecture="dataflow",
+    memory=MemoryModel(
+        total_onchip_bytes=640 * MB,
+        per_tile_tensor_bytes=512 * KB,  # one PMU
+        offchip_bytes=1024 * GB,
+        graph_must_fit_onchip=False,  # sections page via device DRAM
+    ),
+    perf=PerfParams(
+        host_bw=11e9,           # PCIe 4.0 x16, effective
+        out_weight=0.60,
+        compute_flops=50e12,
+        mem_bw=2e12,
+        pipeline_fill=0.3e-3,
+        small_tensor_threshold=32 * KB,
+        small_tensor_penalty=8e-6,  # per plane, PMU placement overhead
+    ),
+    notes="Single RDU of the eight in an SN30 node; ~3% PCU utilisation at 256x256.",
+)

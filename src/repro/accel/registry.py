@@ -1,0 +1,38 @@
+"""Platform registry mapping names to :class:`AcceleratorSpec` instances."""
+
+from __future__ import annotations
+
+from repro.accel.spec import AcceleratorSpec
+
+_REGISTRY: dict[str, AcceleratorSpec] = {}
+
+
+def register_platform(spec: AcceleratorSpec) -> AcceleratorSpec:
+    """Register (or replace) a platform spec under ``spec.name``."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_platform(name: str) -> AcceleratorSpec:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def platform_names(accelerators_only: bool = False) -> list[str]:
+    """Registered platform names; optionally only the four paper accelerators."""
+    _ensure_builtins()
+    names = sorted(_REGISTRY)
+    if accelerators_only:
+        names = [n for n in names if n in ("cs2", "sn30", "groq", "ipu")]
+    return names
+
+
+def _ensure_builtins() -> None:
+    if not _REGISTRY:
+        # Deferred import: platforms module registers itself on import.
+        from repro.accel import platforms  # noqa: F401

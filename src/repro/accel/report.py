@@ -1,0 +1,66 @@
+"""Human-readable reports for compiled programs.
+
+``program_report`` renders what a vendor profiler would show: the traced
+op list with shapes/FLOPs/bytes, the aggregate cost, the timing-model
+term breakdown, and the roofline balance point — useful when deciding
+whether a new compressor variant will be compute- or transfer-bound on a
+given platform.
+"""
+
+from __future__ import annotations
+
+from repro.accel.compiler import CompiledProgram
+from repro.accel.cost import node_flops, node_touched_bytes
+from repro.accel.energy import BOARD_POWER_W, estimate_energy
+from repro.accel.perf import estimate_time
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024:
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} TiB"
+
+
+def program_report(program: CompiledProgram) -> str:
+    """Full compile/cost/timing report for one compiled program."""
+    graph, cost, spec = program.graph, program.cost, program.spec
+    lines = [
+        f"program {program.name!r} on {spec.name} ({spec.vendor}, {spec.architecture})",
+        f"  inputs:  {graph.input_shapes}  ({_fmt_bytes(graph.input_bytes)})",
+        f"  output:  {graph.output_shape}  ({_fmt_bytes(graph.output_bytes)})",
+        f"  constants: {len(graph.constant_shapes)} tensors "
+        f"({_fmt_bytes(graph.constant_bytes)})",
+        "",
+        f"  {'#':>3} {'op':<12} {'output shape':<22} {'MFLOPs':>9} {'touched':>10}",
+    ]
+    for i, node in enumerate(graph.nodes):
+        lines.append(
+            f"  {i:>3} {node.op:<12} {str(node.output_shape):<22} "
+            f"{node_flops(node) / 1e6:>9.2f} {_fmt_bytes(node_touched_bytes(node)):>10}"
+        )
+    timing = estimate_time(cost, spec)
+    bound = "compute" if timing.compute >= timing.memory else "memory"
+    lines += [
+        "",
+        f"  total: {cost.flops / 1e9:.3f} GFLOPs, "
+        f"{_fmt_bytes(cost.touched_bytes)} touched, "
+        f"{cost.n_compute_nodes} compute ops, {cost.n_planes} output planes",
+        f"  on-chip residency: {_fmt_bytes(cost.total_tensor_bytes)} "
+        f"(largest compute tile {_fmt_bytes(cost.max_compute_tile_bytes)})",
+        "",
+        "  modelled timing:",
+        f"    launch    {timing.launch * 1e3:9.3f} ms",
+        f"    fill      {timing.pipeline_fill * 1e3:9.3f} ms",
+        f"    host in   {timing.host_in * 1e3:9.3f} ms",
+        f"    host out  {timing.host_out * 1e3:9.3f} ms",
+        f"    device    {timing.device * 1e3:9.3f} ms ({bound}-bound roofline)",
+        f"    total     {timing.total * 1e3:9.3f} ms",
+    ]
+    if spec.name in BOARD_POWER_W:
+        energy = estimate_energy(cost, spec)
+        lines.append(
+            f"    energy    {energy.joules:9.3f} J at {energy.board_watts:.0f} W"
+        )
+    return "\n".join(lines)

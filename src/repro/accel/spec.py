@@ -1,0 +1,119 @@
+"""Accelerator specification dataclasses (paper Table 1 plus model params).
+
+``AcceleratorSpec`` carries the public Table 1 facts; ``MemoryModel``
+carries the compile-time capacity constraints; ``PerfParams`` carries the
+calibrated analytical-timing coefficients.  Parameter values live in
+:mod:`repro.accel.platforms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GB = 1024**3
+MB = 1024**2
+KB = 1024
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Compile-time memory constraints for one platform.
+
+    Attributes
+    ----------
+    total_onchip_bytes:
+        Aggregate on-chip memory (Table 1 OCM).  When
+        ``graph_must_fit_onchip`` is set, the sum of all graph tensors must
+        fit (GroqChip streams everything from its 230 MB; the IPU keeps
+        tensors resident in its 900 MB).
+    per_tile_tensor_bytes:
+        Largest 2-D tensor tile a single memory unit can hold, or ``None``.
+        On the SN30 one PMU holds 0.5 MB — a single-channel plane larger
+        than ~362x362 FP32 cannot be placed, which is exactly the paper's
+        512x512 compile failure.
+    offchip_bytes:
+        Device DRAM backing store (SN30 1 TB, IPU 4.1 TB streaming memory,
+        A100 40 GB HBM); bounds total program footprint when on-chip
+        residence is not required.
+    graph_must_fit_onchip:
+        Whether the compiler requires the whole program's tensors on-chip.
+    max_matmul_dim:
+        Largest matrix side the matmul unit accepts (GroqChip's MXM
+        handles up to 320x320 [Ahmed et al. 2022]); ``None`` = unlimited.
+    per_sample_schedule_bytes:
+        On-chip bytes of static instruction-schedule/stream-descriptor
+        state per batch sample.  The GroqChip TSP replays a fully static
+        schedule, so descriptors scale with batch size — this is what
+        exhausts its 230 MB beyond batch 1000 at any chop factor.
+    """
+
+    total_onchip_bytes: int
+    per_tile_tensor_bytes: int | None = None
+    offchip_bytes: int | None = None
+    graph_must_fit_onchip: bool = False
+    max_matmul_dim: int | None = None
+    per_sample_schedule_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class PerfParams:
+    """Calibrated coefficients of the analytical timing model.
+
+    The model charges, per program run::
+
+        t = launch_overhead + pipeline_fill
+            + in_bytes / host_bw + out_weight * out_bytes / host_bw
+            + max(flops / compute_flops, touched_bytes / mem_bw)
+            + gather_bytes / gather_bw                (gather/scatter ops)
+            + n_small_planes * small_tensor_penalty   (plane < threshold)
+
+    ``out_weight < 1`` models platforms that overlap device-to-host result
+    drainage with the inbound stream (deep dataflow pipelines); GPU-style
+    platforms pay the full round trip.
+    """
+
+    host_bw: float                 # bytes/s effective host<->device link
+    out_weight: float              # fraction of out_bytes charged
+    compute_flops: float           # sustained FP32 FLOP/s
+    mem_bw: float                  # on-chip memory bandwidth, bytes/s
+    launch_overhead: float = 0.0   # s, per program invocation
+    pipeline_fill: float = 0.0     # s, dataflow pipeline fill latency
+    gather_bw: float | None = None  # bytes/s for gather/scatter traffic
+    small_tensor_threshold: int = 0   # bytes; planes below this pay penalty
+    small_tensor_penalty: float = 0.0  # s per small plane (SN30 layout cost)
+    op_overhead: float = 0.0       # s per compute op (kernel/exchange dispatch)
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One platform: Table 1 facts + memory + perf models."""
+
+    name: str
+    vendor: str
+    compute_units: int
+    onchip_memory_bytes: int
+    software: tuple[str, ...]
+    architecture: str              # "dataflow" | "simd" | "mimd" | "simt" | "cpu"
+    memory: MemoryModel = field(default=None)  # type: ignore[assignment]
+    perf: PerfParams = field(default=None)     # type: ignore[assignment]
+    notes: str = ""
+
+    @property
+    def ocm_per_cu_bytes(self) -> float:
+        """Table 1's OCM/CUs row."""
+        return self.onchip_memory_bytes / self.compute_units
+
+    def table1_row(self) -> dict[str, object]:
+        """Render this spec as a Table 1 column."""
+        return {
+            "name": self.name,
+            "CUs": self.compute_units,
+            "OCM": f"{self.onchip_memory_bytes / GB:.2f} GB"
+            if self.onchip_memory_bytes >= GB
+            else f"{self.onchip_memory_bytes / MB:.0f} MB",
+            "OCM/CUs": f"{self.ocm_per_cu_bytes / KB:.1f} KB"
+            if self.ocm_per_cu_bytes < 100 * KB
+            else f"{self.ocm_per_cu_bytes / MB:.2f} MB",
+            "Software": ", ".join(self.software),
+            "Arch.": self.architecture,
+        }

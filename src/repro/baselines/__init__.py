@@ -1,0 +1,33 @@
+"""Comparator compressors.
+
+* :mod:`repro.baselines.zfp`  — fixed-rate ZFP-style block-transform
+  coder (the paper's Fig. 9 CPU comparator).
+* :mod:`repro.baselines.jpeg` — JPEG quantization pipeline used to build
+  the Fig. 3 nonzero-coefficient heatmap, plus a host-only RLE/zig-zag
+  encoder demonstrating the variable-length stage the accelerators cannot
+  run (no bit-shift operators).
+* :mod:`repro.baselines.quantization` — color/uniform quantization
+  baseline (Section 2.2's "another form of lossy image compression").
+"""
+
+from repro.baselines.zfp import ZFPCompressor
+from repro.baselines.jpeg import (
+    JPEGQuantizer,
+    luminance_table,
+    quality_scaled_table,
+    zigzag_order,
+    run_length_encode,
+    run_length_decode,
+)
+from repro.baselines.quantization import UniformQuantizer
+
+__all__ = [
+    "ZFPCompressor",
+    "JPEGQuantizer",
+    "luminance_table",
+    "quality_scaled_table",
+    "zigzag_order",
+    "run_length_encode",
+    "run_length_decode",
+    "UniformQuantizer",
+]

@@ -1,0 +1,142 @@
+"""JPEG quantization pipeline and host-only variable-length encoding.
+
+Used for the Fig. 3 study (fraction of nonzero DCT coefficients per block
+position after quality-scaled quantization) and as a reference lossy
+image codec.  The zig-zag + run-length stage exists to demonstrate the
+encoding the accelerators *cannot* run: it needs data-dependent output
+sizes and bit manipulation, which is exactly why the paper replaces it
+with the fixed-shape "chop".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.dct import dct_matrix
+from repro.errors import ConfigError, ShapeError
+
+BLOCK = 8
+
+# ITU-T T.81 Annex K luminance quantization table.
+_LUMINANCE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def luminance_table() -> np.ndarray:
+    """The standard JPEG luminance quantization table (Annex K)."""
+    return _LUMINANCE.copy()
+
+
+def quality_scaled_table(quality: int) -> np.ndarray:
+    """libjpeg's quality scaling of the base table (quality in [1, 100])."""
+    if not 1 <= quality <= 100:
+        raise ConfigError(f"quality must be in [1, 100], got {quality}")
+    scale = 5000.0 / quality if quality < 50 else 200.0 - 2.0 * quality
+    table = np.floor((_LUMINANCE * scale + 50.0) / 100.0)
+    return np.clip(table, 1.0, 255.0)
+
+
+@lru_cache(maxsize=8)
+def zigzag_order(block: int = BLOCK) -> np.ndarray:
+    """Flat indices visiting a ``block x block`` matrix in zig-zag order."""
+    coords = sorted(
+        ((i, j) for i in range(block) for j in range(block)),
+        key=lambda ij: (ij[0] + ij[1], ij[1] if (ij[0] + ij[1]) % 2 else ij[0]),
+    )
+    return np.array([i * block + j for i, j in coords], dtype=np.int64)
+
+
+def _blockify(x: np.ndarray) -> np.ndarray:
+    h, w = x.shape[-2:]
+    if h % BLOCK or w % BLOCK:
+        raise ShapeError(f"dimensions {h}x{w} must be multiples of {BLOCK}")
+    lead = x.shape[:-2]
+    x = x.reshape(*lead, h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+    return np.moveaxis(x, -3, -2)
+
+
+def _unblockify(b: np.ndarray) -> np.ndarray:
+    lead = b.shape[:-4]
+    nbh, nbw = b.shape[-4], b.shape[-3]
+    return np.moveaxis(b, -2, -3).reshape(*lead, nbh * BLOCK, nbw * BLOCK)
+
+
+class JPEGQuantizer:
+    """DCT + quality-scaled quantization on 8x8 blocks (no entropy stage).
+
+    ``quantize`` returns integer DCT coefficients (the Fig. 3 input);
+    ``roundtrip`` dequantises and inverts for a JPEG-fidelity image.
+    """
+
+    def __init__(self, quality: int = 75) -> None:
+        self.quality = int(quality)
+        self.table = quality_scaled_table(self.quality)
+        self._t = dct_matrix(BLOCK).astype(np.float64)
+
+    def quantize(self, x) -> np.ndarray:
+        """Quantised coefficient blocks, shape (..., nbh, nbw, 8, 8)."""
+        blocks = _blockify(np.asarray(x, dtype=np.float64))
+        coeff = np.einsum("ij,...jk,lk->...il", self._t, blocks, self._t, optimize=True)
+        return np.round(coeff / self.table).astype(np.int64)
+
+    def dequantize(self, quant: np.ndarray) -> np.ndarray:
+        coeff = quant.astype(np.float64) * self.table
+        blocks = np.einsum(
+            "ji,...jk,kl->...il", self._t, coeff, self._t, optimize=True
+        )
+        return _unblockify(blocks).astype(np.float32)
+
+    def roundtrip(self, x) -> np.ndarray:
+        return self.dequantize(self.quantize(x))
+
+    def nonzero_fraction(self, images) -> np.ndarray:
+        """Fig. 3 statistic: per-position fraction of blocks with a nonzero
+        quantised coefficient, over all blocks of all images."""
+        quant = self.quantize(images)
+        flat = quant.reshape(-1, BLOCK, BLOCK)
+        return (flat != 0).mean(axis=0)
+
+
+def run_length_encode(quant_block: np.ndarray) -> list[tuple[int, int]]:
+    """(zero-run-length, value) pairs over a zig-zag scan of one block.
+
+    Host-only: output length depends on the data, which no target
+    accelerator can express (tensor sizes are fixed at compile time).
+    """
+    flat = quant_block.reshape(-1)[zigzag_order(quant_block.shape[-1])]
+    pairs: list[tuple[int, int]] = []
+    run = 0
+    for v in flat:
+        if v == 0:
+            run += 1
+        else:
+            pairs.append((run, int(v)))
+            run = 0
+    pairs.append((run, 0))  # end-of-block marker
+    return pairs
+
+
+def run_length_decode(pairs: list[tuple[int, int]], block: int = BLOCK) -> np.ndarray:
+    """Inverse of :func:`run_length_encode`."""
+    flat = np.zeros(block * block, dtype=np.int64)
+    pos = 0
+    for run, value in pairs[:-1]:
+        pos += run
+        flat[pos] = value
+        pos += 1
+    out = np.zeros(block * block, dtype=np.int64)
+    out[zigzag_order(block)] = flat
+    return out.reshape(block, block)

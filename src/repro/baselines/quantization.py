@@ -1,0 +1,44 @@
+"""Uniform (color) quantization baseline (paper Section 2.2, [17]).
+
+Restricts values to ``2^bits`` uniformly-spaced levels over the data
+range — the simplest fixed-ratio lossy scheme, included as a sanity
+baseline for the accuracy studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class UniformQuantizer:
+    method = "quant"
+
+    def __init__(self, bits: int = 8) -> None:
+        if not 1 <= bits <= 16:
+            raise ConfigError(f"bits must be in [1, 16], got {bits}")
+        self.bits = int(bits)
+        self.levels = 2**self.bits
+
+    @property
+    def ratio(self) -> float:
+        """CR against FP32 storage."""
+        return 32.0 / self.bits
+
+    def compress(self, x) -> dict:
+        x = np.asarray(x, dtype=np.float32)
+        lo = float(x.min())
+        hi = float(x.max())
+        span = hi - lo if hi > lo else 1.0
+        codes = np.round((x - lo) / span * (self.levels - 1)).astype(np.uint16)
+        return {"codes": codes, "lo": lo, "span": span}
+
+    def decompress(self, payload: dict) -> np.ndarray:
+        codes = payload["codes"].astype(np.float32)
+        return (codes / (self.levels - 1) * payload["span"] + payload["lo"]).astype(
+            np.float32
+        )
+
+    def roundtrip(self, x) -> np.ndarray:
+        return self.decompress(self.compress(x))

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table {1,2,3}``
+    Print a paper table.
+``figure <figNN>``
+    Regenerate a paper figure's data series (see ``figure --list``).
+``platforms``
+    Show the registered accelerator simulators.
+``bench``
+    Model one compressor configuration on one platform.
+``compress`` / ``decompress``
+    Compress a ``.npy`` array into a ``.dcz`` container and back.
+``autotune``
+    Pick the highest ratio meeting a PSNR floor on calibration data.
+``inspect``
+    Compile a compressor for a platform and print the profiler-style
+    report (traced ops, cost, timing-term breakdown, energy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_table(args) -> int:
+    from repro.harness import format_table, table1, table2, table3
+
+    tables = {
+        "1": lambda: format_table(table1(), "Table 1: Accelerator specifications"),
+        "2": lambda: format_table(table2(), "Table 2: Image datasets"),
+        "3": lambda: format_table(table3(args.scale), "Table 3: Evaluation benchmarks"),
+    }
+    print(tables[args.number]())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.harness.figures import FIGURES
+
+    if args.list or args.name is None:
+        print("available figures:", ", ".join(sorted(FIGURES)))
+        return 0
+    fn = FIGURES.get(args.name)
+    if fn is None:
+        print(f"unknown figure {args.name!r}; try --list", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.name in ("fig07", "fig08", "fig16"):
+        kwargs["scale"] = args.scale
+        if args.epochs:
+            kwargs["epochs"] = args.epochs
+    print(fn(**kwargs))
+    return 0
+
+
+def _cmd_platforms(args) -> int:
+    from repro.accel import get_platform, platform_names
+    from repro.accel.spec import GB, MB
+
+    for name in platform_names():
+        spec = get_platform(name)
+        ocm = (
+            f"{spec.onchip_memory_bytes / GB:.0f} GB"
+            if spec.onchip_memory_bytes >= GB
+            else f"{spec.onchip_memory_bytes / MB:.0f} MB"
+        )
+        print(
+            f"{name:>6}: {spec.vendor:<10} {spec.architecture:<9} "
+            f"{spec.compute_units:>7} CUs, {ocm:>7} on-chip — {spec.notes}"
+        )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.harness import measure
+
+    point = measure(
+        args.platform,
+        resolution=args.resolution,
+        cf=args.cf,
+        direction=args.direction,
+        batch=args.batch,
+        channels=args.channels,
+        method=args.method,
+        s=args.s,
+    )
+    if point.status != "ok":
+        print(f"compile error on {args.platform}: {point.reason}")
+        return 1
+    print(
+        f"{args.platform} {args.direction} {args.method} cf={args.cf} "
+        f"(CR {point.ratio:.2f}) on {args.batch}x{args.channels}x"
+        f"{args.resolution}x{args.resolution}:"
+    )
+    print(f"  modelled time:  {point.seconds * 1e3:10.3f} ms")
+    print(f"  throughput:     {point.throughput_gbps:10.2f} GB/s (vs uncompressed)")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.core import container, make_compressor
+
+    data = np.load(args.input).astype(np.float32)
+    if data.ndim < 2:
+        print("input must be at least 2-D", file=sys.stderr)
+        return 2
+    comp = make_compressor(
+        data.shape[-2], data.shape[-1], method=args.method, cf=args.cf, s=args.s
+    )
+    path = container.save(args.output, data, comp)
+    blob = path.read_bytes()
+    print(
+        f"{args.input} ({data.nbytes} B) -> {path} ({len(blob)} B), "
+        f"ratio {container.packed_ratio(blob):.2f}x"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    from repro.core import container
+
+    rec, header = container.load(args.input)
+    np.save(args.output, rec)
+    print(
+        f"{args.input} -> {args.output}: shape {tuple(header['shape'])}, "
+        f"method {header['method']}, cf {header['cf']}"
+    )
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from repro.core import select_cf
+
+    data = np.load(args.input).astype(np.float32)
+    result = select_cf(data, min_psnr=args.min_psnr, method=args.method)
+    status = "ok" if result.satisfied else "TARGET NOT REACHABLE (best effort)"
+    print(
+        f"cf={result.cf} ratio={result.ratio:.2f} "
+        f"psnr={result.achieved_psnr:.2f} dB nrmse={result.achieved_nrmse:.4f} [{status}]"
+    )
+    return 0 if result.satisfied else 1
+
+
+def _cmd_inspect(args) -> int:
+    from repro.accel import compile_program
+    from repro.accel.report import program_report
+    from repro.core import make_compressor
+    from repro.errors import CompileError
+
+    comp = make_compressor(args.resolution, method=args.method, cf=args.cf, s=args.s)
+    shape = (args.batch, args.channels, args.resolution, args.resolution)
+    fn = comp.compress if args.direction == "compress" else comp.decompress
+    example = (
+        np.zeros(shape, np.float32)
+        if args.direction == "compress"
+        else np.zeros(comp.compressed_shape(shape), np.float32)
+    )
+    try:
+        prog = compile_program(fn, example, args.platform, name=f"{args.method}-{args.direction}")
+    except CompileError as exc:
+        print(f"compile error on {args.platform}: {exc}")
+        return 1
+    print(program_report(prog))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table", help="print a paper table")
+    p.add_argument("number", choices=("1", "2", "3"))
+    p.add_argument("--scale", default="paper", choices=("tiny", "small", "paper"))
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name", nargs="?")
+    p.add_argument("--list", action="store_true")
+    p.add_argument("--scale", default="tiny", choices=("tiny", "small", "paper"))
+    p.add_argument("--epochs", type=int, default=0)
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("platforms", help="list accelerator simulators")
+    p.set_defaults(fn=_cmd_platforms)
+
+    p = sub.add_parser("bench", help="model one configuration")
+    p.add_argument("--platform", default="ipu")
+    p.add_argument("--direction", default="compress", choices=("compress", "decompress"))
+    p.add_argument("--method", default="dc", choices=("dc", "ps", "sg"))
+    p.add_argument("--resolution", type=int, default=256)
+    p.add_argument("--batch", type=int, default=100)
+    p.add_argument("--channels", type=int, default=3)
+    p.add_argument("--cf", type=int, default=4)
+    p.add_argument("--s", type=int, default=2)
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("compress", help="compress a .npy file to .dcz")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--method", default="dc", choices=("dc", "ps", "sg"))
+    p.add_argument("--cf", type=int, default=4)
+    p.add_argument("--s", type=int, default=2)
+    p.set_defaults(fn=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a .dcz file to .npy")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(fn=_cmd_decompress)
+
+    p = sub.add_parser("inspect", help="profiler-style report for one program")
+    p.add_argument("--platform", default="ipu")
+    p.add_argument("--direction", default="compress", choices=("compress", "decompress"))
+    p.add_argument("--method", default="dc", choices=("dc", "ps", "sg"))
+    p.add_argument("--resolution", type=int, default=64)
+    p.add_argument("--batch", type=int, default=100)
+    p.add_argument("--channels", type=int, default=3)
+    p.add_argument("--cf", type=int, default=4)
+    p.add_argument("--s", type=int, default=2)
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("autotune", help="pick CF for a PSNR target")
+    p.add_argument("input")
+    p.add_argument("--min-psnr", type=float, required=True)
+    p.add_argument("--method", default="dc", choices=("dc", "ps", "sg"))
+    p.set_defaults(fn=_cmd_autotune)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

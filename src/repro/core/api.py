@@ -1,0 +1,101 @@
+"""Top-level compressor API: the two calls an end user makes.
+
+The paper's usage model is "call our compress or decompress APIs directly
+from Python training or inference code".  :func:`make_compressor` builds a
+compiled (fixed-shape) compressor for one of the three methods; the
+convenience :func:`compress`/:func:`decompress` pair builds and caches
+compressors keyed on (shape, method, cf, s).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.chop import DCTChopCompressor
+from repro.core.dct import DEFAULT_BLOCK
+from repro.core.scatter_gather import ScatterGatherCompressor
+from repro.core.serialization import PartialSerializedCompressor
+from repro.errors import ConfigError
+from repro.tensor import Tensor
+
+METHODS = ("dc", "ps", "sg")
+
+
+@runtime_checkable
+class Compressor(Protocol):
+    """Structural interface shared by the three compressor variants."""
+
+    method: str
+    cf: int
+
+    @property
+    def ratio(self) -> float: ...
+
+    def compress(self, x) -> Tensor: ...
+
+    def decompress(self, y) -> Tensor: ...
+
+    def roundtrip(self, x) -> Tensor: ...
+
+    def compressed_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]: ...
+
+
+def make_compressor(
+    height: int,
+    width: int | None = None,
+    *,
+    method: str = "dc",
+    cf: int = 4,
+    s: int = 2,
+    block: int = DEFAULT_BLOCK,
+) -> Compressor:
+    """Build a compiled compressor.
+
+    Parameters
+    ----------
+    method:
+        ``"dc"`` (baseline DCT+Chop), ``"ps"`` (partial serialization with
+        subdivision factor ``s``), or ``"sg"`` (scatter/gather triangle).
+    cf:
+        Chop factor; the paper sweeps 2..7.
+    """
+    if method == "dc":
+        return DCTChopCompressor(height, width, cf=cf, block=block)
+    if method == "ps":
+        return PartialSerializedCompressor(height, width, cf=cf, s=s, block=block)
+    if method == "sg":
+        return ScatterGatherCompressor(height, width, cf=cf, block=block)
+    raise ConfigError(f"unknown method {method!r}; expected one of {METHODS}")
+
+
+_cache: dict[tuple, Compressor] = {}
+
+
+def _cached(height: int, width: int, method: str, cf: int, s: int, block: int) -> Compressor:
+    key = (height, width, method, cf, s, block)
+    comp = _cache.get(key)
+    if comp is None:
+        comp = make_compressor(height, width, method=method, cf=cf, s=s, block=block)
+        _cache[key] = comp
+    return comp
+
+
+def compress(x, *, method: str = "dc", cf: int = 4, s: int = 2, block: int = DEFAULT_BLOCK) -> Tensor:
+    """One-shot compression of a ``(..., H, W)`` array/tensor."""
+    shape = x.shape
+    comp = _cached(shape[-2], shape[-1], method, cf, s, block)
+    return comp.compress(x)
+
+
+def decompress(
+    y,
+    original_shape: tuple[int, ...],
+    *,
+    method: str = "dc",
+    cf: int = 4,
+    s: int = 2,
+    block: int = DEFAULT_BLOCK,
+) -> Tensor:
+    """One-shot decompression back to ``original_shape``'s plane size."""
+    comp = _cached(original_shape[-2], original_shape[-1], method, cf, s, block)
+    return comp.decompress(y)

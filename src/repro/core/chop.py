@@ -1,0 +1,190 @@
+"""Baseline **DCT+Chop** compressor (paper Sections 3.2-3.4).
+
+Compression of a plane ``A`` is ``Y = LHS @ A @ RHS`` with the two
+operands precomputed at construction ("compile") time:
+
+* ``LHS = M @ T_L``           — shape ``(CF*H/8, H)``
+* ``RHS = T_L^T @ M^T``       — shape ``(W, CF*W/8)``
+
+Decompression swaps the operands: ``A' = RHS_d @ Y @ LHS_d`` where
+``RHS_d = LHS.T`` and ``LHS_d = RHS.T`` (Eq. 6).  Batches and channels ride
+along for free through broadcasting: an input of shape ``(BD, C, H, W)``
+is ``BD*C*H*W/64`` independent block transforms executed as two matmuls,
+exactly the paper's PyTorch listing::
+
+    Y = torch.matmul(LHS, torch.matmul(A, RHS))
+    A_prime = torch.matmul(RHS_d, torch.matmul(Y, LHS_d))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.tensor as rt
+from repro.core import flops as flops_mod
+from repro.core.dct import DEFAULT_BLOCK, block_diagonal_dct
+from repro.core.mask import chop_mask
+from repro.errors import ConfigError, ShapeError
+from repro.tensor import Tensor
+
+
+def _block_diagonal(mat: np.ndarray, n: int) -> np.ndarray:
+    """Tile ``mat`` (b x b) along the diagonal of an ``n x n`` zero matrix."""
+    b = mat.shape[0]
+    out = np.zeros((n, n), dtype=np.float32)
+    for k in range(n // b):
+        out[k * b : (k + 1) * b, k * b : (k + 1) * b] = mat
+    return out
+
+
+class DCTChopCompressor:
+    """Fixed-shape DCT+Chop compressor for planes of size ``height x width``.
+
+    Shapes are fixed at construction because every target accelerator's
+    compiler requires tensor sizes at compile time (Section 3.1); the
+    compression ratio therefore cannot vary sample-to-sample.
+
+    Parameters
+    ----------
+    height, width:
+        Plane resolution.  ``width`` defaults to ``height``.  Both must be
+        multiples of ``block``.
+    cf:
+        Chop factor in ``[1, block]``; the paper evaluates 2..7.
+    block:
+        Transform block size (8 in the paper / JPEG).
+    transform:
+        Optional custom ``block x block`` decorrelating transform replacing
+        DCT-II (the paper's future-work suggestion of the ZFP block
+        transform).  Must be invertible; decompression uses its inverse, so
+        a non-orthonormal transform still round-trips exactly at CF=block.
+    """
+
+    method = "dc"
+
+    def __init__(
+        self,
+        height: int,
+        width: int | None = None,
+        *,
+        cf: int = 4,
+        block: int = DEFAULT_BLOCK,
+        transform: np.ndarray | None = None,
+    ) -> None:
+        width = height if width is None else width
+        if not 1 <= cf <= block:
+            raise ConfigError(f"chop factor must be in [1, {block}], got {cf}")
+        if height % block or width % block:
+            raise ConfigError(
+                f"resolution {height}x{width} must be a multiple of block {block}"
+            )
+        self.height = int(height)
+        self.width = int(width)
+        self.cf = int(cf)
+        self.block = int(block)
+
+        # "Computed offline ... during compilation" (Section 3.3).
+        # Forward (per block): D = T A T^T; inverse: A = S D S^T with
+        # S = T^-1 (equal to T^T for the orthonormal DCT-II).
+        if transform is None:
+            t_h = block_diagonal_dct(self.height, block)
+            t_w = block_diagonal_dct(self.width, block)
+            s_h, s_w = t_h.T, t_w.T
+        else:
+            transform = np.asarray(transform, dtype=np.float32)
+            if transform.shape != (block, block):
+                raise ConfigError(
+                    f"custom transform must be {block}x{block}, got {transform.shape}"
+                )
+            inv = np.linalg.inv(transform.astype(np.float64)).astype(np.float32)
+            t_h = _block_diagonal(transform, self.height)
+            t_w = _block_diagonal(transform, self.width)
+            s_h = _block_diagonal(inv, self.height)
+            s_w = _block_diagonal(inv, self.width)
+        m_h = chop_mask(self.height, cf, block)
+        m_w = chop_mask(self.width, cf, block)
+        # Compression: Y = (M_h T_h) A (T_w^T M_w^T).
+        self._lhs = Tensor(np.ascontiguousarray(m_h @ t_h))
+        self._rhs = Tensor(np.ascontiguousarray(t_w.T @ m_w.T))
+        # Decompression: A' = (S_h M_h^T) Y (M_w S_w^T) — for the DCT these
+        # are exactly the transposes of the compression operands (Eq. 6).
+        self._rhs_d = Tensor(np.ascontiguousarray(s_h @ m_h.T))
+        self._lhs_d = Tensor(np.ascontiguousarray(m_w @ s_w.T))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def lhs(self) -> np.ndarray:
+        """``M @ T_L`` (compression left operand)."""
+        return self._lhs.data
+
+    @property
+    def rhs(self) -> np.ndarray:
+        """``T_L^T @ M^T`` (compression right operand)."""
+        return self._rhs.data
+
+    @property
+    def compressed_height(self) -> int:
+        return self.cf * self.height // self.block
+
+    @property
+    def compressed_width(self) -> int:
+        return self.cf * self.width // self.block
+
+    def compressed_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Output shape for a given ``(..., H, W)`` input shape."""
+        self._check_plane(input_shape)
+        return input_shape[:-2] + (self.compressed_height, self.compressed_width)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``block^2 / cf^2`` (Eq. 3)."""
+        return flops_mod.compression_ratio(self.cf, self.block)
+
+    def flops_compress(self) -> float:
+        """Per-plane FLOPs (Eq. 5); only exact for square planes."""
+        return flops_mod.compression_flops(self.height, self.cf, self.block)
+
+    def flops_decompress(self) -> float:
+        """Per-plane FLOPs (Eq. 7)."""
+        return flops_mod.decompression_flops(self.height, self.cf, self.block)
+
+    # ------------------------------------------------------------------
+    # Compress / decompress
+    # ------------------------------------------------------------------
+    def _check_plane(self, shape: tuple[int, ...]) -> None:
+        if len(shape) < 2:
+            raise ShapeError(f"expected at least 2-D input, got shape {shape}")
+        if shape[-2] != self.height or shape[-1] != self.width:
+            raise ShapeError(
+                f"compressor compiled for {self.height}x{self.width} planes, "
+                f"got {shape[-2]}x{shape[-1]} (static shapes are required at "
+                "compile time on all target accelerators)"
+            )
+
+    def compress(self, x) -> Tensor:
+        """``Y = LHS @ A @ RHS`` over every leading batch/channel dim."""
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        self._check_plane(x.shape)
+        return rt.matmul(self._lhs, rt.matmul(x, self._rhs))
+
+    def decompress(self, y) -> Tensor:
+        """``A' = RHS_d @ Y @ LHS_d`` (Eq. 6)."""
+        y = y if isinstance(y, Tensor) else Tensor(y)
+        if y.shape[-2] != self.compressed_height or y.shape[-1] != self.compressed_width:
+            raise ShapeError(
+                f"expected compressed planes of "
+                f"{self.compressed_height}x{self.compressed_width}, got {y.shape}"
+            )
+        return rt.matmul(self._rhs_d, rt.matmul(y, self._lhs_d))
+
+    def roundtrip(self, x) -> Tensor:
+        """Compress then decompress — the per-batch op used during training."""
+        return self.decompress(self.compress(x))
+
+    def __repr__(self) -> str:
+        return (
+            f"DCTChopCompressor(height={self.height}, width={self.width}, "
+            f"cf={self.cf}, block={self.block}, ratio={self.ratio:.2f})"
+        )

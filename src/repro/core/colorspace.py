@@ -1,0 +1,45 @@
+"""RGB <-> YCbCr color transform (ITU-R BT.601, JPEG's color stage).
+
+The paper deliberately keeps data in RGB "to keep compression fast and
+lightweight" (Section 3.2); this module exists so the colorspace ablation
+bench can quantify what that choice costs.  Both directions are pure
+tensor arithmetic (one 3x3 matmul over the channel axis plus an offset),
+so they would also be portable to the accelerators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+# BT.601 full-range coefficients (JPEG convention).
+_FWD = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ],
+    dtype=np.float32,
+)
+_INV = np.linalg.inv(_FWD.astype(np.float64)).astype(np.float32)
+
+
+def _check_channels(x: np.ndarray) -> None:
+    if x.ndim < 3 or x.shape[-3] != 3:
+        raise ShapeError(f"expected (..., 3, H, W) input, got {x.shape}")
+
+
+def rgb_to_ycbcr(x) -> np.ndarray:
+    """Convert ``(..., 3, H, W)`` RGB to YCbCr (offset-free, zero-centred
+    chroma)."""
+    x = np.asarray(x, dtype=np.float32)
+    _check_channels(x)
+    return np.einsum("ck,...khw->...chw", _FWD, x, optimize=True)
+
+
+def ycbcr_to_rgb(x) -> np.ndarray:
+    """Inverse of :func:`rgb_to_ycbcr`."""
+    x = np.asarray(x, dtype=np.float32)
+    _check_channels(x)
+    return np.einsum("ck,...khw->...chw", _INV, x, optimize=True)

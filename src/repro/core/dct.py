@@ -1,0 +1,70 @@
+"""DCT-II transform matrices (paper Eq. 1 and Eq. 2).
+
+The orthonormal DCT-II matrix ``T`` satisfies ``T @ T.T == I``; applying
+the 2-D transform to a block ``A`` is ``D = T @ A @ T.T`` and the inverse
+is ``A = T.T @ D @ T``.  For a full ``n x n`` input tiled into ``8 x 8``
+blocks the paper builds a block-diagonal matrix ``T_L`` with ``T`` repeated
+along the diagonal (Fig. 4), so one matmul transforms every block row at
+once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+DEFAULT_BLOCK = 8
+
+
+@lru_cache(maxsize=64)
+def _dct_matrix_cached(n: int) -> np.ndarray:
+    j = np.arange(n)
+    i = np.arange(n).reshape(-1, 1)
+    t = np.sqrt(2.0 / n) * np.cos(np.pi * (2 * j + 1) * i / (2 * n))
+    t[0, :] = 1.0 / np.sqrt(n)
+    return t.astype(np.float32)
+
+
+def dct_matrix(n: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Return the ``n x n`` orthonormal DCT-II matrix ``T`` of Eq. 2.
+
+    ``T[i, j] = 1/sqrt(n)`` for ``i == 0`` and
+    ``sqrt(2/n) * cos(pi * (2j+1) * i / (2n))`` otherwise.
+    """
+    if n < 1:
+        raise ConfigError(f"DCT size must be >= 1, got {n}")
+    return _dct_matrix_cached(int(n)).copy()
+
+
+def idct_matrix(n: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Inverse transform matrix — simply ``T.T`` because T is orthonormal."""
+    return dct_matrix(n).T.copy()
+
+
+@lru_cache(maxsize=64)
+def _block_diagonal_cached(n: int, block: int) -> np.ndarray:
+    nblocks = n // block
+    t = _dct_matrix_cached(block)
+    t_l = np.zeros((n, n), dtype=np.float32)
+    for b in range(nblocks):
+        lo = b * block
+        t_l[lo : lo + block, lo : lo + block] = t
+    return t_l
+
+
+def block_diagonal_dct(n: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Return ``T_L``: the ``n x n`` block-diagonal DCT matrix of Fig. 4.
+
+    ``T_L @ A @ T_L.T`` applies the 2-D DCT-II independently to every
+    ``block x block`` tile of ``A``.
+
+    Raises :class:`ConfigError` when ``n`` is not a multiple of ``block`` —
+    the accelerators need static tensor sizes, so ragged edge blocks are
+    not supported (callers pad instead).
+    """
+    if n % block != 0:
+        raise ConfigError(f"input size {n} must be a multiple of the block size {block}")
+    return _block_diagonal_cached(int(n), int(block)).copy()

@@ -1,0 +1,91 @@
+"""Analytical cost models from the paper (Eq. 3, 5, 7) plus operand sizes.
+
+These are used both by the documentation-level analysis and by the
+accelerator timing model, which charges compute time proportional to the
+FLOP counts and memory time proportional to the operand sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dct import DEFAULT_BLOCK
+from repro.core.mask import triangle_count
+from repro.errors import ConfigError
+
+BYTES_F32 = 4
+
+
+def compression_ratio(cf: int, block: int = DEFAULT_BLOCK) -> float:
+    """DCT+Chop compression ratio: ``block^2 / cf^2`` (Eq. 3; 64/CF^2 for 8x8)."""
+    if not 1 <= cf <= block:
+        raise ConfigError(f"chop factor must be in [1, {block}], got {cf}")
+    return (block * block) / float(cf * cf)
+
+
+def sg_compression_ratio(cf: int, block: int = DEFAULT_BLOCK) -> float:
+    """Scatter/gather ratio: ``block^2 / (cf*(cf+1)/2)`` (Section 3.5.2)."""
+    if not 1 <= cf <= block:
+        raise ConfigError(f"chop factor must be in [1, {block}], got {cf}")
+    return (block * block) / float(triangle_count(cf))
+
+
+def sg_ratio_gain(cf: int) -> float:
+    """SG improvement factor over plain chop: ``2*CF / (CF + 1)``."""
+    return 2.0 * cf / (cf + 1.0)
+
+
+def compression_flops(n: int, cf: int, block: int = DEFAULT_BLOCK) -> float:
+    """FLOPs to compress one ``n x n`` plane (paper Eq. 5, for block=8).
+
+    ``2 n^3 CF/8 (CF/8 + 1) - n^2 (CF/8 + CF^2/64)``.
+    """
+    b = float(block)
+    return (2.0 * n**3 * cf / b) * (cf / b + 1.0) - n**2 * (cf / b + cf**2 / b**2)
+
+
+def decompression_flops(n: int, cf: int, block: int = DEFAULT_BLOCK) -> float:
+    """FLOPs to decompress one plane back to ``n x n`` (paper Eq. 7).
+
+    ``2 n^3 CF/8 (CF/8 + 1) - n^2 (CF/8 + 1)`` — strictly fewer than
+    compression for ``CF < 8``.
+    """
+    b = float(block)
+    return (2.0 * n**3 * cf / b) * (cf / b + 1.0) - n**2 * (cf / b + 1.0)
+
+
+@dataclass(frozen=True)
+class OperandSizes:
+    """Byte sizes of every tensor touched by one DC compress/decompress."""
+
+    input_bytes: int        # the n x n plane (uncompressed)
+    compressed_bytes: int   # the (cf*n/8)^2 plane
+    lhs_bytes: int          # M @ T_L, shape (cf*n/8, n)
+    rhs_bytes: int          # T_L^T @ M^T, shape (n, cf*n/8)
+    intermediate_bytes: int # A @ RHS, shape (n, cf*n/8)
+
+    @property
+    def compress_working_set(self) -> int:
+        """Peak bytes resident while compressing one plane."""
+        return self.input_bytes + self.lhs_bytes + self.rhs_bytes + self.intermediate_bytes + self.compressed_bytes
+
+    @property
+    def decompress_working_set(self) -> int:
+        return self.compressed_bytes + self.lhs_bytes + self.rhs_bytes + self.intermediate_bytes + self.input_bytes
+
+
+def operand_sizes(n: int, cf: int, block: int = DEFAULT_BLOCK, itemsize: int = BYTES_F32) -> OperandSizes:
+    """Sizes of the matrices in Fig. 4 for one single-channel plane."""
+    m = cf * n // block
+    return OperandSizes(
+        input_bytes=n * n * itemsize,
+        compressed_bytes=m * m * itemsize,
+        lhs_bytes=m * n * itemsize,
+        rhs_bytes=n * m * itemsize,
+        intermediate_bytes=n * m * itemsize,
+    )
+
+
+def parallel_block_runs(batch: int, channels: int, n: int, block: int = DEFAULT_BLOCK) -> int:
+    """Number of independent per-block DCT+Chop runs: ``BD*C*n*n / (8*8)``."""
+    return batch * channels * n * n // (block * block)

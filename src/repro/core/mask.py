@@ -1,0 +1,79 @@
+"""The chop mask ``M`` and the SG triangle index set (Fig. 4 and Fig. 6).
+
+``M`` is a ``(CF * n/8) x n`` selection matrix: ``CF x CF`` identity blocks
+placed every 8 columns, so ``M @ D @ M.T`` retains the upper-left
+``CF x CF`` corner of every ``8 x 8`` DCT block.  Each row of ``M`` has a
+single one; only columns corresponding to retained coefficients contain a
+one.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.dct import DEFAULT_BLOCK
+from repro.errors import ConfigError
+
+
+def _validate_cf(cf: int, block: int) -> None:
+    if not 1 <= cf <= block:
+        raise ConfigError(f"chop factor must be in [1, {block}], got {cf}")
+
+
+@lru_cache(maxsize=256)
+def _chop_mask_cached(n: int, cf: int, block: int) -> np.ndarray:
+    nblocks = n // block
+    m = np.zeros((cf * nblocks, n), dtype=np.float32)
+    rows = np.arange(cf * nblocks)
+    block_idx = rows // cf
+    within = rows % cf
+    m[rows, block_idx * block + within] = 1.0
+    return m
+
+
+def chop_mask(n: int, cf: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Return the mask matrix ``M`` of shape ``(cf * n/block, n)``.
+
+    ``M[b*cf + r, b*block + r] = 1`` for every block ``b`` and retained
+    row ``r`` in ``[0, cf)``.
+    """
+    _validate_cf(cf, block)
+    if n % block != 0:
+        raise ConfigError(f"input size {n} must be a multiple of the block size {block}")
+    return _chop_mask_cached(int(n), int(cf), int(block)).copy()
+
+
+def retained_coefficients(cf: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Boolean ``block x block`` map of coefficients kept by the chop."""
+    _validate_cf(cf, block)
+    keep = np.zeros((block, block), dtype=bool)
+    keep[:cf, :cf] = True
+    return keep
+
+
+@lru_cache(maxsize=64)
+def _triangle_cached(cf: int) -> np.ndarray:
+    i, j = np.meshgrid(np.arange(cf), np.arange(cf), indexing="ij")
+    flat = np.flatnonzero((i + j < cf).reshape(-1))
+    return flat.astype(np.int64)
+
+
+def triangle_indices(cf: int) -> np.ndarray:
+    """Flat indices of the upper-left triangle within a ``cf x cf`` block.
+
+    A coefficient at (i, j) is kept when ``i + j < cf`` — the zig-zag
+    diagonals closest to the DC coefficient (Fig. 6).  The index array has
+    ``cf * (cf + 1) / 2`` entries and indexes a row-major flattened
+    ``cf x cf`` block.  Computable at compile time, so it is never stored
+    with the data.
+    """
+    if cf < 1:
+        raise ConfigError(f"chop factor must be >= 1, got {cf}")
+    return _triangle_cached(int(cf)).copy()
+
+
+def triangle_count(cf: int) -> int:
+    """Number of retained values per block under SG: ``cf*(cf+1)/2``."""
+    return cf * (cf + 1) // 2

@@ -1,0 +1,49 @@
+"""Reconstruction-quality metrics for compressor evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def _arr(x) -> np.ndarray:
+    return x.data if isinstance(x, Tensor) else np.asarray(x)
+
+
+def mse(original, reconstructed) -> float:
+    """Mean squared error between original and reconstructed data."""
+    a, b = _arr(original), _arr(reconstructed)
+    return float(np.mean((a.astype(np.float64) - b.astype(np.float64)) ** 2))
+
+
+def nrmse(original, reconstructed) -> float:
+    """RMSE normalised by the original's value range (SZ-style)."""
+    a = _arr(original).astype(np.float64)
+    rng = a.max() - a.min()
+    if rng == 0:
+        return 0.0 if mse(original, reconstructed) == 0 else float("inf")
+    return float(np.sqrt(mse(original, reconstructed)) / rng)
+
+
+def psnr(original, reconstructed) -> float:
+    """Peak signal-to-noise ratio in dB w.r.t. the original's value range."""
+    err = mse(original, reconstructed)
+    a = _arr(original).astype(np.float64)
+    peak = a.max() - a.min()
+    if err == 0:
+        return float("inf")
+    if peak == 0:
+        return float("-inf")
+    return float(20.0 * np.log10(peak) - 10.0 * np.log10(err))
+
+
+def max_abs_error(original, reconstructed) -> float:
+    a, b = _arr(original), _arr(reconstructed)
+    return float(np.max(np.abs(a.astype(np.float64) - b.astype(np.float64))))
+
+
+def achieved_ratio(original, compressed) -> float:
+    """Actual bytes(original)/bytes(compressed) for fixed-rate compressors."""
+    a, b = _arr(original), _arr(compressed)
+    return a.nbytes / b.nbytes

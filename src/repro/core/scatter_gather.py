@@ -1,0 +1,138 @@
+"""**torch.scatter / torch.gather** optimisation (paper Section 3.5.2, Fig. 6).
+
+On platforms that support ``gather``/``scatter`` (the Graphcore IPU among
+the paper's four), the ``CF x CF`` square kept by DCT+Chop still stores
+high-frequency values in its lower-right half that contribute little to
+fidelity.  SG keeps only the upper-left *triangle* — the ``cf*(cf+1)/2``
+coefficients with ``i + j < CF`` — via one ``gather`` with indices
+precomputed at compile time, improving the ratio by ``2CF/(CF+1)``.
+Decompression ``scatter``s the retained values back to their block
+positions and then runs the normal DC decompression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.tensor as rt
+from repro.core import flops as flops_mod
+from repro.core.chop import DCTChopCompressor
+from repro.core.dct import DEFAULT_BLOCK
+from repro.core.mask import triangle_count, triangle_indices
+from repro.errors import ShapeError
+from repro.tensor import Tensor
+
+
+class ScatterGatherCompressor:
+    """DC compressor followed by triangle gather (IPU-targeted SG variant)."""
+
+    method = "sg"
+
+    def __init__(
+        self,
+        height: int,
+        width: int | None = None,
+        *,
+        cf: int = 4,
+        block: int = DEFAULT_BLOCK,
+    ) -> None:
+        self.inner = DCTChopCompressor(height, width, cf=cf, block=block)
+        self.height = self.inner.height
+        self.width = self.inner.width
+        self.cf = self.inner.cf
+        self.block = self.inner.block
+        # Indices of the retained triangle within a flattened CF x CF block;
+        # known at compile time, never shipped with the data.
+        self._tri = triangle_indices(self.cf)
+        self._index_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    @property
+    def nblocks_h(self) -> int:
+        return self.height // self.block
+
+    @property
+    def nblocks_w(self) -> int:
+        return self.width // self.block
+
+    @property
+    def nblocks(self) -> int:
+        return self.nblocks_h * self.nblocks_w
+
+    @property
+    def values_per_block(self) -> int:
+        return triangle_count(self.cf)
+
+    @property
+    def ratio(self) -> float:
+        """``block^2 / (cf*(cf+1)/2)`` — e.g. 64/3 for CF=2."""
+        return flops_mod.sg_compression_ratio(self.cf, self.block)
+
+    def compressed_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) < 2 or input_shape[-2] != self.height or input_shape[-1] != self.width:
+            raise ShapeError(
+                f"expected (..., {self.height}, {self.width}) input, got {input_shape}"
+            )
+        return input_shape[:-2] + (self.nblocks, self.values_per_block)
+
+    # ------------------------------------------------------------------
+    # Block layout shuffles (pure reshape/transpose — free on device)
+    # ------------------------------------------------------------------
+    def _to_blocks(self, y: Tensor) -> Tensor:
+        """(..., CF*nbh, CF*nbw) -> (..., nblocks, CF*CF)."""
+        lead = y.shape[:-2]
+        nbh, nbw, cf = self.nblocks_h, self.nblocks_w, self.cf
+        t = y.reshape(*lead, nbh, cf, nbw, cf)
+        ndim = t.ndim
+        axes = tuple(range(ndim - 4)) + (ndim - 4, ndim - 2, ndim - 3, ndim - 1)
+        t = t.transpose(*axes)  # (..., nbh, nbw, cf, cf)
+        return t.reshape(*lead, nbh * nbw, cf * cf)
+
+    def _from_blocks(self, b: Tensor) -> Tensor:
+        """(..., nblocks, CF*CF) -> (..., CF*nbh, CF*nbw)."""
+        lead = b.shape[:-2]
+        nbh, nbw, cf = self.nblocks_h, self.nblocks_w, self.cf
+        t = b.reshape(*lead, nbh, nbw, cf, cf)
+        ndim = t.ndim
+        axes = tuple(range(ndim - 4)) + (ndim - 4, ndim - 2, ndim - 3, ndim - 1)
+        t = t.transpose(*axes)  # (..., nbh, cf, nbw, cf)
+        return t.reshape(*lead, nbh * cf, nbw * cf)
+
+    def _indices_for(self, lead: tuple[int, ...]) -> np.ndarray:
+        """Gather/scatter index tensor broadcast to the full operand shape."""
+        key = lead
+        idx = self._index_cache.get(key)
+        if idx is None:
+            shape = lead + (self.nblocks, self.values_per_block)
+            idx = np.broadcast_to(
+                self._tri.reshape((1,) * (len(shape) - 1) + (-1,)), shape
+            ).copy()
+            self._index_cache[key] = idx
+        return idx
+
+    # ------------------------------------------------------------------
+    # Compress / decompress
+    # ------------------------------------------------------------------
+    def compress(self, x) -> Tensor:
+        """DC compress, reshape to blocks, then gather the triangle."""
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        y = self.inner.compress(x)
+        blocks = self._to_blocks(y)
+        return rt.gather(blocks, -1, self._indices_for(x.shape[:-2]))
+
+    def decompress(self, z) -> Tensor:
+        """Scatter the triangle back into CFxCF blocks, then DC decompress."""
+        z = z if isinstance(z, Tensor) else Tensor(z)
+        expected = (self.nblocks, self.values_per_block)
+        if z.shape[-2:] != expected:
+            raise ShapeError(f"expected (..., {expected[0]}, {expected[1]}), got {z.shape}")
+        blocks = rt.scatter(z, -1, self._indices_for(z.shape[:-2]), self.cf * self.cf)
+        return self.inner.decompress(self._from_blocks(blocks))
+
+    def roundtrip(self, x) -> Tensor:
+        return self.decompress(self.compress(x))
+
+    def __repr__(self) -> str:
+        return (
+            f"ScatterGatherCompressor(height={self.height}, width={self.width}, "
+            f"cf={self.cf}, ratio={self.ratio:.2f})"
+        )

@@ -1,0 +1,58 @@
+"""Minimal map-style ``Dataset`` / batching ``DataLoader``."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor.random import Generator
+
+
+class Dataset:
+    """Map-style dataset: ``__len__`` plus ``__getitem__ -> (x, y)``."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class DataLoader:
+    """Batches a dataset into stacked NumPy arrays.
+
+    The last partial batch is dropped when ``drop_last`` (the paper's
+    accelerator targets need every batch the same static size).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = True,
+        gen: Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.gen = gen or Generator(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.gen.permutation(n) if self.shuffle else np.arange(n)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            xs, ys = zip(*(self.dataset[int(i)] for i in idx))
+            yield np.stack(xs), np.stack(ys)

@@ -1,0 +1,105 @@
+"""Primitive image synthesizers shared by the dataset generators.
+
+All functions are vectorised and take an explicit ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def correlated_field(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    beta: float = 2.0,
+) -> np.ndarray:
+    """Power-law (1/f^beta) correlated random field via spectral synthesis.
+
+    ``beta=0`` is white noise; ``beta~2`` resembles natural images /
+    geophysical fields whose DCT energy compacts into low frequencies —
+    the property the paper's compressor relies on.
+    Output is normalised to zero mean, unit variance.
+    """
+    h, w = shape
+    fy = np.fft.fftfreq(h).reshape(-1, 1)
+    fx = np.fft.rfftfreq(w).reshape(1, -1)
+    radius = np.sqrt(fy * fy + fx * fx)
+    radius[0, 0] = 1.0  # avoid div-by-zero at DC
+    amplitude = radius ** (-beta / 2.0)
+    amplitude[0, 0] = 0.0  # zero-mean field
+    phase = rng.uniform(0.0, 2.0 * np.pi, size=amplitude.shape)
+    spectrum = amplitude * np.exp(1j * phase)
+    field = np.fft.irfft2(spectrum, s=shape)
+    std = field.std()
+    if std > 0:
+        field = field / std
+    return field.astype(np.float32)
+
+
+def gaussian_blobs(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    n_blobs: int = 5,
+    sigma_range: tuple[float, float] = (2.0, 8.0),
+    amplitude_range: tuple[float, float] = (0.5, 1.5),
+) -> np.ndarray:
+    """Sum of random Gaussian bumps (particles, damage spots, cloud cores)."""
+    h, w = shape
+    yy = np.arange(h, dtype=np.float32).reshape(-1, 1)
+    xx = np.arange(w, dtype=np.float32).reshape(1, -1)
+    out = np.zeros(shape, dtype=np.float32)
+    for _ in range(n_blobs):
+        cy, cx = rng.uniform(0, h), rng.uniform(0, w)
+        sigma = rng.uniform(*sigma_range)
+        amp = rng.uniform(*amplitude_range)
+        out += amp * np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2.0 * sigma**2))
+    return out
+
+
+def lattice_pattern(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    period: float = 8.0,
+    jitter: float = 0.1,
+) -> np.ndarray:
+    """Hexagonal interference pattern (graphene-like micrograph texture).
+
+    Sum of three plane waves at 60-degree spacings with random global
+    orientation and phase.
+    """
+    h, w = shape
+    yy = np.arange(h, dtype=np.float32).reshape(-1, 1)
+    xx = np.arange(w, dtype=np.float32).reshape(1, -1)
+    theta0 = rng.uniform(0.0, np.pi / 3.0)
+    k = 2.0 * np.pi / (period * (1.0 + rng.uniform(-jitter, jitter)))
+    out = np.zeros(shape, dtype=np.float32)
+    for m in range(3):
+        theta = theta0 + m * np.pi / 3.0
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        out += np.cos(k * (np.cos(theta) * xx + np.sin(theta) * yy) + phase)
+    return out / 3.0
+
+
+def radial_profile(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    rings: int = 4,
+) -> np.ndarray:
+    """Laser-beam-like radial intensity with interference rings in [0, 1]."""
+    h, w = shape
+    yy = (np.arange(h, dtype=np.float32) - h / 2.0).reshape(-1, 1)
+    xx = (np.arange(w, dtype=np.float32) - w / 2.0).reshape(1, -1)
+    cy = rng.uniform(-0.05, 0.05) * h
+    cx = rng.uniform(-0.05, 0.05) * w
+    r = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    waist = rng.uniform(0.25, 0.35) * min(h, w)
+    beam = np.exp(-((r / waist) ** 2))
+    ring_phase = rng.uniform(0.0, 2.0 * np.pi)
+    ring = 0.5 + 0.5 * np.cos(2.0 * np.pi * rings * r / (min(h, w) / 2.0) + ring_phase)
+    out = beam * (0.8 + 0.2 * ring)
+    return np.clip(out, 0.0, 1.0).astype(np.float32)
+
+
+def index_rng(seed: int, index: int) -> np.random.Generator:
+    """Deterministic per-sample generator from (dataset seed, index)."""
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(index,)))

@@ -1,0 +1,34 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ShapeError(ReproError):
+    """An operation received tensors with incompatible shapes."""
+
+
+class CompileError(ReproError):
+    """An accelerator compiler rejected a computation graph.
+
+    Mirrors the paper's observed compile failures (e.g. SN30 and GroqChip
+    out-of-memory at 512x512 resolution, GroqChip beyond batch size 1000).
+    """
+
+    def __init__(self, message: str, *, platform: str | None = None, reason: str | None = None):
+        super().__init__(message)
+        self.platform = platform
+        self.reason = reason
+
+
+class UnsupportedOperatorError(CompileError):
+    """The target platform's toolchain does not support a required operator."""
+
+
+class OutOfMemoryError(CompileError):
+    """On-chip memory allocation failed during compilation."""
+
+
+class ConfigError(ReproError):
+    """Invalid user-facing configuration (chop factor, block size, ...)."""

@@ -1,0 +1,43 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+One module per artifact family:
+
+* :mod:`repro.harness.experiments` — the four Table 3 benchmark configs
+  with a ``scale`` knob ("tiny"/"small"/"paper").
+* :mod:`repro.harness.accuracy`    — compression-vs-accuracy studies
+  (Figs. 7, 8, 9, 16).
+* :mod:`repro.harness.timing`      — compression/decompression timing
+  sweeps over resolution, batch size, platform, and method
+  (Figs. 10-15, 17, and the Fig. 14 GPU run).
+* :mod:`repro.harness.heatmap`     — the Fig. 3 JPEG nonzero-coefficient
+  heatmap.
+* :mod:`repro.harness.tables`      — Tables 1-3.
+* :mod:`repro.harness.report`      — plain-text rendering helpers.
+"""
+
+from repro.harness.experiments import BenchmarkSpec, get_benchmark, BENCHMARKS, SCALES
+from repro.harness.accuracy import run_benchmark, compression_study, percent_diff_series
+from repro.harness.timing import TimingPoint, measure, timing_sweep, CF_SWEEP
+from repro.harness.heatmap import fig3_heatmap
+from repro.harness.tables import table1, table2, table3
+from repro.harness.report import format_table, format_series
+
+__all__ = [
+    "BenchmarkSpec",
+    "get_benchmark",
+    "BENCHMARKS",
+    "SCALES",
+    "run_benchmark",
+    "compression_study",
+    "percent_diff_series",
+    "TimingPoint",
+    "measure",
+    "timing_sweep",
+    "CF_SWEEP",
+    "fig3_heatmap",
+    "table1",
+    "table2",
+    "table3",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,86 @@
+"""Accuracy-vs-compression studies (paper Figs. 7, 8, 9, 16).
+
+``compression_study`` trains one model per compression ratio (plus the
+no-compression baseline) with identical seeds, mirroring Section 4.2.1:
+every training batch is compressed and decompressed before the forward
+pass; evaluation uses clean test data.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core import make_compressor
+from repro.harness.experiments import BenchmarkSpec
+from repro.tensor.random import Generator
+from repro.train import History, Trainer
+from repro.train.metrics import percent_difference
+
+
+def run_benchmark(
+    spec: BenchmarkSpec,
+    compressor=None,
+    *,
+    seed: int = 0,
+    epochs: int | None = None,
+) -> History:
+    """Train ``spec`` once (optionally with a compressor) and return history."""
+    gen = Generator(seed)
+    model = spec.make_model(gen)
+    trainer = Trainer(
+        model,
+        spec.make_loss(),
+        spec.train_config(epochs),
+        compressor=compressor,
+        classification=spec.classification,
+    )
+    train_loader, test_loader = spec.loaders(seed)
+    return trainer.fit(train_loader, test_loader, epochs)
+
+
+def compression_study(
+    spec: BenchmarkSpec,
+    cfs=(2, 3, 4, 5, 6, 7),
+    *,
+    method: str = "dc",
+    seed: int = 0,
+    epochs: int | None = None,
+    compressor_factory=None,
+) -> dict[str, History]:
+    """Histories keyed by series label: ``base`` plus one per ratio.
+
+    ``compressor_factory(cf) -> compressor`` overrides the default
+    :func:`make_compressor` (used for the ZFP comparison in Fig. 9, where
+    ``cf`` is reinterpreted as the matched compression-ratio knob).
+    """
+    results: dict[str, History] = {
+        "base": run_benchmark(spec, None, seed=seed, epochs=epochs)
+    }
+    for cf in cfs:
+        if compressor_factory is not None:
+            comp = compressor_factory(cf)
+        else:
+            comp = make_compressor(spec.resolution, method=method, cf=cf)
+        label = f"{comp.ratio:.2f}"
+        results[label] = run_benchmark(spec, comp, seed=seed, epochs=epochs)
+    return results
+
+
+def percent_diff_series(
+    study: Mapping[str, History], *, use_accuracy: bool = False
+) -> dict[str, list[float]]:
+    """Fig. 8's y-axis: per-epoch percent difference from the baseline.
+
+    Test loss by default; test accuracy for the classify benchmark.
+    """
+    base = study["base"]
+    base_series = base.test_accuracy if use_accuracy else base.test_loss
+    out: dict[str, list[float]] = {}
+    for label, hist in study.items():
+        if label == "base":
+            continue
+        series = hist.test_accuracy if use_accuracy else hist.test_loss
+        out[label] = [
+            percent_difference(v, b) for v, b in zip(series, base_series)
+        ]
+    return out

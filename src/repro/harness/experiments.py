@@ -1,0 +1,217 @@
+"""The four evaluation benchmarks (paper Table 3) at three scales.
+
+``paper`` scale matches Table 3 exactly (ResNet34 on 3x32x32 at BS=100,
+LR=0.001; encoder-decoder on 1x256x256 at BS=32, LR=0.0005; autoencoder
+on 1x200x200 at BS=2; UNet on 9x256x256 at BS=4 — all 30 epochs).  The
+``tiny``/``small`` scales shrink resolution, width, dataset size, and
+epochs so the full study runs on a CPU box; learning rates and the
+architecture family are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data import (
+    DataLoader,
+    EMGrapheneDataset,
+    OpticalDamageDataset,
+    SLSTRCloudDataset,
+    SyntheticCIFAR10,
+)
+from repro.data.loader import Dataset
+from repro.nn import (
+    Autoencoder,
+    BCEWithLogitsLoss,
+    CrossEntropyLoss,
+    DeepEncoderDecoder,
+    MSELoss,
+    Module,
+    UNet,
+    resnet34,
+)
+from repro.tensor.random import Generator
+from repro.train import TrainConfig
+
+SCALES = ("tiny", "small", "paper")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table 3 row, fully configured for a scale."""
+
+    name: str
+    task: str
+    network: str
+    classification: bool
+    channels: int
+    resolution: int
+    batch_size: int
+    lr: float
+    epochs: int
+    n_train: int
+    n_test: int
+    make_model: Callable[[Generator], Module]
+    make_loss: Callable[[], Module]
+    make_train_dataset: Callable[[int], Dataset]
+    make_test_dataset: Callable[[int], Dataset]
+
+    @property
+    def sample_shape(self) -> tuple[int, int, int]:
+        return (self.channels, self.resolution, self.resolution)
+
+    def train_config(self, epochs: int | None = None) -> TrainConfig:
+        return TrainConfig(epochs=epochs if epochs is not None else self.epochs, lr=self.lr)
+
+    def loaders(self, seed: int = 0) -> tuple[DataLoader, DataLoader]:
+        gen = Generator(seed)
+        train = DataLoader(
+            self.make_train_dataset(seed), self.batch_size, shuffle=True, gen=gen
+        )
+        test = DataLoader(self.make_test_dataset(seed), self.batch_size, shuffle=False)
+        return train, test
+
+    def table3_row(self) -> dict[str, object]:
+        return {
+            "Test": self.name,
+            "Task": self.task,
+            "Network": self.network,
+            "Sample Size": f"{self.channels}x{self.resolution}x{self.resolution}",
+            "Training Params.": f"BS={self.batch_size}, LR={self.lr}",
+        }
+
+
+def _classify(scale: str) -> BenchmarkSpec:
+    res = 32
+    cfg = {
+        "tiny": dict(bs=32, epochs=3, n_train=192, n_test=96, width=0.125),
+        "small": dict(bs=64, epochs=10, n_train=1024, n_test=512, width=0.25),
+        "paper": dict(bs=100, epochs=30, n_train=50000, n_test=10000, width=1.0),
+    }[scale]
+    return BenchmarkSpec(
+        name="classify",
+        task="Classify images into 10 classes",
+        network="ResNet34",
+        classification=True,
+        channels=3,
+        resolution=res,
+        batch_size=cfg["bs"],
+        lr=0.001,
+        epochs=cfg["epochs"],
+        n_train=cfg["n_train"],
+        n_test=cfg["n_test"],
+        make_model=lambda gen: resnet34(width_mult=cfg["width"], gen=gen),
+        make_loss=CrossEntropyLoss,
+        make_train_dataset=lambda seed: SyntheticCIFAR10(cfg["n_train"], res, seed=seed),
+        make_test_dataset=lambda seed: SyntheticCIFAR10(
+            cfg["n_test"], res, seed=seed, start=cfg["n_train"]
+        ),
+    )
+
+
+def _em_denoise(scale: str) -> BenchmarkSpec:
+    cfg = {
+        "tiny": dict(res=32, bs=8, epochs=3, n_train=96, n_test=32, base=4, depth=2),
+        "small": dict(res=64, bs=16, epochs=10, n_train=256, n_test=64, base=8, depth=3),
+        "paper": dict(res=256, bs=32, epochs=30, n_train=4096, n_test=512, base=32, depth=4),
+    }[scale]
+    return BenchmarkSpec(
+        name="em_denoise",
+        task="Denoise electron micrographs",
+        network="Deep Encoder-Decoder",
+        classification=False,
+        channels=1,
+        resolution=cfg["res"],
+        batch_size=cfg["bs"],
+        lr=0.0005,
+        epochs=cfg["epochs"],
+        n_train=cfg["n_train"],
+        n_test=cfg["n_test"],
+        make_model=lambda gen: DeepEncoderDecoder(
+            base_channels=cfg["base"], depth=cfg["depth"], gen=gen
+        ),
+        make_loss=MSELoss,
+        make_train_dataset=lambda seed: EMGrapheneDataset(cfg["n_train"], cfg["res"], seed=seed),
+        make_test_dataset=lambda seed: EMGrapheneDataset(
+            cfg["n_test"], cfg["res"], seed=seed, start=cfg["n_train"]
+        ),
+    )
+
+
+def _optical_damage(scale: str) -> BenchmarkSpec:
+    cfg = {
+        "tiny": dict(res=24, bs=4, epochs=3, n_train=64, n_test=24, base=4, depth=2),
+        "small": dict(res=48, bs=4, epochs=10, n_train=192, n_test=48, base=8, depth=3),
+        "paper": dict(res=200, bs=2, epochs=30, n_train=2048, n_test=256, base=16, depth=3),
+    }[scale]
+    return BenchmarkSpec(
+        name="optical_damage",
+        task="Reconstruct laser optics images",
+        network="Autoencoder",
+        classification=False,
+        channels=1,
+        resolution=cfg["res"],
+        batch_size=cfg["bs"],
+        lr=0.0005,
+        epochs=cfg["epochs"],
+        n_train=cfg["n_train"],
+        n_test=cfg["n_test"],
+        make_model=lambda gen: Autoencoder(
+            base_channels=cfg["base"], depth=cfg["depth"], gen=gen
+        ),
+        make_loss=MSELoss,
+        make_train_dataset=lambda seed: OpticalDamageDataset(
+            cfg["n_train"], cfg["res"], damaged=False, seed=seed
+        ),
+        make_test_dataset=lambda seed: OpticalDamageDataset(
+            cfg["n_test"], cfg["res"], damaged=False, seed=seed, start=cfg["n_train"]
+        ),
+    )
+
+
+def _slstr_cloud(scale: str) -> BenchmarkSpec:
+    cfg = {
+        "tiny": dict(res=32, bs=2, epochs=3, n_train=32, n_test=16, base=4, depth=2),
+        "small": dict(res=64, bs=4, epochs=10, n_train=96, n_test=32, base=8, depth=3),
+        "paper": dict(res=256, bs=4, epochs=30, n_train=1024, n_test=256, base=32, depth=4),
+    }[scale]
+    return BenchmarkSpec(
+        name="slstr_cloud",
+        task="Identify pixels that are clouds",
+        network="UNet",
+        classification=False,
+        channels=9,
+        resolution=cfg["res"],
+        batch_size=cfg["bs"],
+        lr=0.0005,
+        epochs=cfg["epochs"],
+        n_train=cfg["n_train"],
+        n_test=cfg["n_test"],
+        make_model=lambda gen: UNet(
+            in_channels=9, base_channels=cfg["base"], depth=cfg["depth"], gen=gen
+        ),
+        make_loss=BCEWithLogitsLoss,
+        make_train_dataset=lambda seed: SLSTRCloudDataset(cfg["n_train"], cfg["res"], seed=seed),
+        make_test_dataset=lambda seed: SLSTRCloudDataset(
+            cfg["n_test"], cfg["res"], seed=seed, start=cfg["n_train"]
+        ),
+    )
+
+
+BENCHMARKS = ("classify", "em_denoise", "optical_damage", "slstr_cloud")
+_FACTORIES = {
+    "classify": _classify,
+    "em_denoise": _em_denoise,
+    "optical_damage": _optical_damage,
+    "slstr_cloud": _slstr_cloud,
+}
+
+
+def get_benchmark(name: str, scale: str = "tiny") -> BenchmarkSpec:
+    """Fetch one of the four Table 3 benchmarks at the given scale."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown benchmark {name!r}; known: {BENCHMARKS}")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; known: {SCALES}")
+    return _FACTORIES[name](scale)

@@ -1,0 +1,158 @@
+"""One-call figure regeneration, shared by the CLI and notebooks.
+
+Each ``figXX`` function returns the figure's data as plain text rows —
+the same series the pytest benches assert on, without the assertions.
+"""
+
+from __future__ import annotations
+
+from repro.harness.accuracy import compression_study, percent_diff_series
+from repro.harness.experiments import get_benchmark
+from repro.harness.heatmap import DEFAULT_QUALITIES, fig3_heatmap
+from repro.harness.report import format_series
+from repro.harness.timing import CF_SWEEP, measure, timing_sweep
+
+ACCEL = ("cs2", "sn30", "groq", "ipu")
+RESOLUTIONS = (32, 64, 128, 256, 512)
+BATCHES = (10, 50, 100, 500, 1000, 2000, 5000)
+
+
+def _render_points(points, title: str, x_attr: str) -> str:
+    lines = [title, f"{'platform':>8} {x_attr:>6} {'cf':>3} {'ratio':>6} {'time':>12} {'GB/s':>8}"]
+    for p in points:
+        x = getattr(p, x_attr)
+        if p.status == "ok":
+            lines.append(
+                f"{p.platform:>8} {x:>6} {p.cf:>3} {p.ratio:>6.2f} "
+                f"{p.seconds * 1e3:10.3f}ms {p.throughput_gbps:8.2f}"
+            )
+        else:
+            lines.append(
+                f"{p.platform:>8} {x:>6} {p.cf:>3} {p.ratio:>6.2f} "
+                f"  COMPILE-ERR ({p.reason})"
+            )
+    return "\n".join(lines)
+
+
+def fig03(n_images: int = 200, resolution: int = 32) -> str:
+    heatmap = fig3_heatmap(DEFAULT_QUALITIES, n_images=n_images, resolution=resolution)
+    lines = ["Fig. 3: nonzero-coefficient fraction per 8x8 position"]
+    for ch in range(heatmap.shape[0]):
+        for qi, q in enumerate(DEFAULT_QUALITIES):
+            lines.append(f"\nchannel {ch}, quality {q}:")
+            for row in heatmap[ch, qi]:
+                lines.append("  " + " ".join(f"{v:5.2f}" for v in row))
+    return "\n".join(lines)
+
+
+def _accuracy_fig(benchmarks, *, scale: str, epochs: int | None, cfs, train_loss: bool) -> str:
+    chunks = []
+    for name in benchmarks:
+        spec = get_benchmark(name, scale)
+        study = compression_study(spec, cfs=cfs, epochs=epochs)
+        if train_loss:
+            series = {label: h.train_loss for label, h in study.items()}
+            title = f"{name}: training loss per epoch"
+        else:
+            series = percent_diff_series(study, use_accuracy=spec.classification)
+            metric = "test accuracy" if spec.classification else "test loss"
+            title = f"{name}: {metric} % difference vs baseline"
+        chunks.append(format_series(series, title, fmt="{:9.3f}"))
+    return "\n\n".join(chunks)
+
+
+def fig07(scale: str = "tiny", epochs: int | None = None, cfs=(2, 4, 6), benchmarks=None) -> str:
+    names = benchmarks or ("classify", "em_denoise", "optical_damage", "slstr_cloud")
+    return _accuracy_fig(names, scale=scale, epochs=epochs, cfs=cfs, train_loss=True)
+
+
+def fig08(scale: str = "tiny", epochs: int | None = None, cfs=(2, 4, 6), benchmarks=None) -> str:
+    names = benchmarks or ("classify", "em_denoise", "optical_damage", "slstr_cloud")
+    return _accuracy_fig(names, scale=scale, epochs=epochs, cfs=cfs, train_loss=False)
+
+
+def fig10(platforms=ACCEL) -> str:
+    points = timing_sweep(platforms, resolutions=RESOLUTIONS, cfs=CF_SWEEP, direction="compress")
+    return _render_points(points, "Fig. 10: compression time vs resolution", "resolution")
+
+
+def fig11(platforms=ACCEL) -> str:
+    points = timing_sweep(platforms, resolutions=RESOLUTIONS, cfs=CF_SWEEP, direction="decompress")
+    return _render_points(points, "Fig. 11: decompression time vs resolution", "resolution")
+
+
+def fig12(platforms=ACCEL) -> str:
+    points = timing_sweep(
+        platforms, resolutions=(64,), batches=BATCHES, cfs=CF_SWEEP, direction="compress"
+    )
+    return _render_points(points, "Fig. 12: compression time vs batch size", "batch")
+
+
+def fig13(platforms=ACCEL) -> str:
+    points = timing_sweep(
+        platforms, resolutions=(64,), batches=BATCHES, cfs=CF_SWEEP, direction="decompress"
+    )
+    return _render_points(points, "Fig. 13: decompression time vs batch size", "batch")
+
+
+def fig14() -> str:
+    points = timing_sweep(["a100"], resolutions=RESOLUTIONS, cfs=CF_SWEEP, direction="decompress")
+    return _render_points(points, "Fig. 14: A100 decompression time vs resolution", "resolution")
+
+
+def fig15() -> str:
+    lines = ["Fig. 15: partial serialization s=2 decompression, 100x3x512x512"]
+    for platform in ("sn30", "ipu"):
+        for cf in reversed(CF_SWEEP):
+            ps = measure(platform, resolution=512, cf=cf, direction="decompress", method="ps", s=2)
+            native = measure(platform, resolution=256, cf=cf, direction="decompress")
+            lines.append(
+                f"  {platform} cf={cf} ratio={ps.ratio:5.2f}: "
+                f"{ps.throughput_gbps:6.2f} GB/s "
+                f"(slowdown vs 256 native: {ps.seconds / native.seconds:4.2f}x)"
+            )
+    return "\n".join(lines)
+
+
+def fig16(scale: str = "tiny", epochs: int | None = None) -> str:
+    from repro.core import make_compressor
+    from repro.harness.accuracy import run_benchmark
+
+    chunks = []
+    for name in ("classify", "em_denoise"):
+        spec = get_benchmark(name, scale)
+        base = run_benchmark(spec, None, epochs=epochs)
+        series = {"base": base.train_loss}
+        for cf in (2, 7):
+            comp = make_compressor(spec.resolution, method="sg", cf=cf)
+            hist = run_benchmark(spec, comp, epochs=epochs)
+            series[f"sg {comp.ratio:.2f}"] = hist.train_loss
+        chunks.append(format_series(series, f"{name}: SG training loss", fmt="{:9.4f}"))
+    return "\n\n".join(chunks)
+
+
+def fig17() -> str:
+    lines = ["Fig. 17: SG ('opt') vs DC ('dct') IPU decompression, 100x3x32x32"]
+    for cf in CF_SWEEP:
+        dct = measure("ipu", resolution=32, cf=cf, direction="decompress", method="dc")
+        opt = measure("ipu", resolution=32, cf=cf, direction="decompress", method="sg")
+        lines.append(
+            f"  cf={cf}: dct {dct.throughput_gbps:6.2f} GB/s (CR {dct.ratio:5.2f})   "
+            f"opt {opt.throughput_gbps:6.2f} GB/s (CR {opt.ratio:5.2f})"
+        )
+    return "\n".join(lines)
+
+
+FIGURES = {
+    "fig03": fig03,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+}

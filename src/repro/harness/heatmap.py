@@ -1,0 +1,41 @@
+"""Fig. 3: nonzero-DCT-coefficient heatmap after JPEG quantization.
+
+The paper computes, over 1000 CIFAR10 images and for each (color channel,
+quality factor), the fraction of 8x8 blocks whose quantised DCT
+coefficient at each position is nonzero.  Lower quality -> stronger
+quantization -> more zeros concentrated away from the DC corner — the
+observation motivating the upper-left "chop".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.jpeg import JPEGQuantizer
+from repro.data import SyntheticCIFAR10
+
+DEFAULT_QUALITIES = (5, 10, 25, 50, 75, 95)
+
+
+def fig3_heatmap(
+    qualities=DEFAULT_QUALITIES,
+    *,
+    n_images: int = 1000,
+    resolution: int = 32,
+    seed: int = 0,
+) -> np.ndarray:
+    """Nonzero fractions, shape (channels, len(qualities), 8, 8).
+
+    Images are scaled to the 0-255 pixel range JPEG quantization tables
+    assume.
+    """
+    ds = SyntheticCIFAR10(n=n_images, resolution=resolution, seed=seed)
+    images = np.stack([ds[i][0] for i in range(n_images)])  # (N, 3, H, W)
+    lo, hi = images.min(), images.max()
+    images = (images - lo) / (hi - lo) * 255.0 - 128.0  # JPEG level shift
+    out = np.zeros((images.shape[1], len(qualities), 8, 8), dtype=np.float64)
+    for qi, quality in enumerate(qualities):
+        quantizer = JPEGQuantizer(quality)
+        for ch in range(images.shape[1]):
+            out[ch, qi] = quantizer.nonzero_fraction(images[:, ch])
+    return out

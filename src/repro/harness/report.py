@@ -1,0 +1,43 @@
+"""Plain-text rendering of tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    headers = list(rows[0].keys())
+    cells = [[str(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Iterable[float]],
+    title: str = "",
+    fmt: str = "{:9.4f}",
+    x_label: str = "epoch",
+) -> str:
+    """Render {label: values} as one row per label (figure-series dump)."""
+    lines = []
+    if title:
+        lines.append(title)
+    labels = list(series)
+    n = max(len(list(series[k])) for k in labels) if labels else 0
+    lines.append(f"{'series':>12} | " + " ".join(f"{x_label}{i:<3d}" for i in range(1, n + 1)))
+    for label in labels:
+        vals = " ".join(fmt.format(v) for v in series[label])
+        lines.append(f"{label:>12} | {vals}")
+    return "\n".join(lines)

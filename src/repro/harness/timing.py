@@ -1,0 +1,145 @@
+"""Timing sweeps (paper Figs. 10-15 and 17).
+
+Every measurement compiles a fixed-shape compressor program for one
+platform (resolution x batch x CF x direction), runs it once on real data
+for numerical sanity, and reports the model-estimated end-to-end time —
+host-device transfer included, compilation excluded, matching the paper's
+methodology (Section 4.1).  Compile failures are captured as data points
+with ``status="compile_error"`` because the failures themselves are
+results the paper reports (SN30/GroqChip at 512x512, GroqChip beyond
+batch 1000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel import compile_program
+from repro.core import make_compressor
+from repro.errors import CompileError
+
+CF_SWEEP = (2, 3, 4, 5, 6, 7)
+RESOLUTION_SWEEP = (32, 64, 128, 256, 512)
+BATCH_SWEEP = (10, 50, 100, 500, 1000, 2000, 5000)
+DEFAULT_SAMPLES = 100
+DEFAULT_CHANNELS = 3
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    """One cell of a timing figure."""
+
+    platform: str
+    direction: str        # "compress" | "decompress"
+    method: str           # "dc" | "ps" | "sg"
+    resolution: int
+    batch: int
+    channels: int
+    cf: int
+    ratio: float
+    status: str           # "ok" | "compile_error"
+    seconds: float = float("nan")
+    reason: str = ""
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        return self.batch * self.channels * self.resolution * self.resolution * 4
+
+    @property
+    def throughput_gbps(self) -> float:
+        """GB/s against the uncompressed payload (the paper's convention)."""
+        if self.status != "ok":
+            return float("nan")
+        return self.uncompressed_bytes / self.seconds / 1e9
+
+
+def measure(
+    platform: str,
+    *,
+    resolution: int,
+    cf: int,
+    direction: str = "compress",
+    batch: int = DEFAULT_SAMPLES,
+    channels: int = DEFAULT_CHANNELS,
+    method: str = "dc",
+    s: int = 2,
+    execute: bool = False,
+) -> TimingPoint:
+    """Compile and time one configuration on one platform.
+
+    ``execute=True`` additionally runs the program on random data and
+    verifies the output shape — slower, used by correctness tests; the
+    modelled time does not depend on it.
+    """
+    comp = make_compressor(resolution, method=method, cf=cf, s=s)
+    in_shape = (batch, channels, resolution, resolution)
+    if direction == "compress":
+        fn = comp.compress
+        example_shape = in_shape
+    elif direction == "decompress":
+        fn = comp.decompress
+        example_shape = comp.compressed_shape(in_shape)
+    else:
+        raise ValueError(f"direction must be compress|decompress, got {direction!r}")
+
+    base = dict(
+        platform=platform,
+        direction=direction,
+        method=method,
+        resolution=resolution,
+        batch=batch,
+        channels=channels,
+        cf=cf,
+        ratio=comp.ratio,
+    )
+    try:
+        program = compile_program(
+            fn,
+            np.zeros(example_shape, dtype=np.float32),
+            platform,
+            name=f"{method}-{direction}-{resolution}-cf{cf}",
+        )
+    except CompileError as exc:
+        return TimingPoint(**base, status="compile_error", reason=exc.reason or str(exc))
+
+    if execute:
+        rng = np.random.default_rng(0)
+        result = program.run(rng.standard_normal(example_shape).astype(np.float32))
+        seconds = result.device_seconds
+    else:
+        seconds = program.estimated_time()
+    return TimingPoint(**base, status="ok", seconds=seconds)
+
+
+def timing_sweep(
+    platforms,
+    *,
+    resolutions=(RESOLUTION_SWEEP,),
+    batches=(DEFAULT_SAMPLES,),
+    cfs=CF_SWEEP,
+    direction: str = "compress",
+    method: str = "dc",
+    channels: int = DEFAULT_CHANNELS,
+    s: int = 2,
+) -> list[TimingPoint]:
+    """Cartesian sweep over platforms x resolutions x batches x CFs."""
+    points = []
+    for platform in platforms:
+        for resolution in resolutions:
+            for batch in batches:
+                for cf in cfs:
+                    points.append(
+                        measure(
+                            platform,
+                            resolution=resolution,
+                            cf=cf,
+                            direction=direction,
+                            batch=batch,
+                            channels=channels,
+                            method=method,
+                            s=s,
+                        )
+                    )
+    return points

@@ -1,0 +1,71 @@
+"""Neural-network substrate: layers, losses, optimisers, and the paper's
+four evaluation architectures (Table 3).
+
+* ``classify``       — :func:`repro.nn.resnet.resnet34` on 3x32x32 images.
+* ``em_denoise``     — :class:`repro.nn.encdec.DeepEncoderDecoder` on 1x256x256.
+* ``optical_damage`` — :class:`repro.nn.autoencoder.Autoencoder` on 1x200x200.
+* ``slstr_cloud``    — :class:`repro.nn.unet.UNet` on 9-channel inputs.
+
+Every model takes a ``base_channels`` knob so the accuracy experiments can
+run at laptop scale while keeping the paper's architecture shape; the
+harness documents the full-scale setting per experiment.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn import init
+from repro.nn.layers import (
+    Linear,
+    Conv2d,
+    ConvTranspose2d,
+    BatchNorm2d,
+    MaxPool2d,
+    AvgPool2d,
+    AdaptiveAvgPool2d,
+    Upsample,
+    Flatten,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Identity,
+    Dropout,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss, BCEWithLogitsLoss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.resnet import ResNet, resnet34, resnet18
+from repro.nn.encdec import DeepEncoderDecoder
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.unet import UNet
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "init",
+    "Linear",
+    "Conv2d",
+    "ConvTranspose2d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "Upsample",
+    "Flatten",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Dropout",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "BCEWithLogitsLoss",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "ResNet",
+    "resnet34",
+    "resnet18",
+    "DeepEncoderDecoder",
+    "Autoencoder",
+    "UNet",
+]

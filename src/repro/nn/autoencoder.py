@@ -1,0 +1,49 @@
+"""Autoencoder for the ``optical_damage`` benchmark.
+
+SciML-Bench's optical-damage task trains an autoencoder to reconstruct
+*undamaged* laser-optics images; damaged optics then reconstruct poorly,
+so high MSE flags damage.  Conv encoder to a compact bottleneck, deconv
+decoder, sigmoid output in [0, 1].
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2d, ConvTranspose2d, ReLU, Sigmoid
+from repro.nn.module import Module, Sequential
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+class Autoencoder(Module):
+    def __init__(
+        self,
+        in_channels: int = 1,
+        base_channels: int = 8,
+        depth: int = 3,
+        gen: Generator | None = None,
+    ) -> None:
+        super().__init__()
+        enc = []
+        ch = in_channels
+        width = base_channels
+        for _ in range(depth):
+            enc.append(Conv2d(ch, width, 3, stride=2, padding=1, gen=gen))
+            enc.append(ReLU())
+            ch, width = width, width * 2
+        self.encoder = Sequential(*enc)
+        dec = []
+        for i in range(depth):
+            out_ch = in_channels if i == depth - 1 else ch // 2
+            dec.append(ConvTranspose2d(ch, out_ch, 4, stride=2, padding=1, gen=gen))
+            dec.append(Sigmoid() if i == depth - 1 else ReLU())
+            ch = out_ch
+        self.decoder = Sequential(*dec)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decoder(self.encoder(x))
+
+    def reconstruction_error(self, x: Tensor) -> Tensor:
+        """Per-sample MSE — the damage score used at inference time."""
+        rec = self.forward(x)
+        diff = rec - x
+        return (diff * diff).mean(axis=(1, 2, 3))

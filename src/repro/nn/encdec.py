@@ -1,0 +1,51 @@
+"""Deep encoder-decoder for the ``em_denoise`` benchmark.
+
+SciML-Bench's em_denoise task trains a convolutional encoder-decoder to
+remove synthetic noise from 1x256x256 graphene electron micrographs.
+Strided-conv encoder, transposed-conv decoder, MSE objective.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import BatchNorm2d, Conv2d, ConvTranspose2d, ReLU
+from repro.nn.module import Module, Sequential
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+import repro.tensor as rt
+
+
+class DeepEncoderDecoder(Module):
+    """Symmetric conv/deconv stack; ``depth`` halvings of the resolution."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        base_channels: int = 16,
+        depth: int = 3,
+        gen: Generator | None = None,
+    ) -> None:
+        super().__init__()
+        enc = []
+        ch = in_channels
+        width = base_channels
+        for _ in range(depth):
+            enc.append(Conv2d(ch, width, 3, stride=2, padding=1, gen=gen))
+            enc.append(BatchNorm2d(width))
+            enc.append(ReLU())
+            ch, width = width, width * 2
+        self.encoder = Sequential(*enc)
+        dec = []
+        width = ch // 2
+        for i in range(depth):
+            out_ch = in_channels if i == depth - 1 else width
+            dec.append(
+                ConvTranspose2d(ch, out_ch, 4, stride=2, padding=1, gen=gen)
+            )
+            if i != depth - 1:
+                dec.append(BatchNorm2d(out_ch))
+                dec.append(ReLU())
+            ch, width = out_ch, width // 2
+        self.decoder = Sequential(*dec)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decoder(self.encoder(x))

@@ -1,0 +1,40 @@
+"""Weight initialisers (He/Glorot), seeded through a Generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.random import Generator, default_generator
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # Linear: (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # Conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(shape, gen: Generator | None = None) -> np.ndarray:
+    """He-normal init for ReLU networks."""
+    gen = gen or default_generator
+    fan_in, _ = _fan_in_out(tuple(shape))
+    std = np.sqrt(2.0 / fan_in)
+    return (gen.rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(shape, gen: Generator | None = None) -> np.ndarray:
+    """Glorot-uniform init for tanh/sigmoid networks."""
+    gen = gen or default_generator
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return gen.rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

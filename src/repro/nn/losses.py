@@ -1,0 +1,46 @@
+"""Loss functions used by the four evaluation benchmarks.
+
+* ``classify``                    — cross entropy (ResNet34 on CIFAR-like)
+* ``em_denoise``/``optical_damage`` — mean squared error
+* ``slstr_cloud``                 — per-pixel binary cross entropy
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+import repro.tensor as rt
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross entropy over logits with integer class labels."""
+
+    def forward(self, logits: Tensor, labels) -> Tensor:
+        labels = np.asarray(labels.data if isinstance(labels, Tensor) else labels)
+        logp = F.log_softmax(logits, axis=-1)
+        onehot = F.one_hot(labels.astype(np.int64), logits.shape[-1])
+        return -(logp * onehot).sum(axis=-1).mean()
+
+
+class MSELoss(Module):
+    def forward(self, pred: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        diff = pred - target
+        return (diff * diff).mean()
+
+
+class BCEWithLogitsLoss(Module):
+    """Numerically-stable sigmoid + binary cross entropy.
+
+    Uses the identity ``bce(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+
+    def forward(self, logits: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        zeros = Tensor(np.zeros(1, dtype=np.float32))
+        loss = rt.maximum(logits, zeros) - logits * target + rt.log(
+            1.0 + rt.exp(-rt.abs(logits))
+        )
+        return loss.mean()

@@ -1,0 +1,90 @@
+"""ResNet for the ``classify`` benchmark (Table 3: ResNet34 on 3x32x32).
+
+CIFAR-style stem (3x3 conv, no initial maxpool).  ``width_mult`` scales
+channel counts so the 30-epoch accuracy experiments can run at laptop
+scale; ``width_mult=1.0`` is the paper-scale network.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Identity,
+    Linear,
+    ReLU,
+)
+from repro.nn.module import Module, ModuleList, Sequential
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+import repro.tensor as rt
+
+
+class BasicBlock(Module):
+    """Two 3x3 convs with an identity (or 1x1-projected) shortcut."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int = 1, gen: Generator | None = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, gen=gen)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1, bias=False, gen=gen)
+        self.bn2 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut = Sequential(
+                Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, gen=gen),
+                BatchNorm2d(out_ch),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = rt.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return rt.relu(out + self.shortcut(x))
+
+
+class ResNet(Module):
+    """CIFAR-style ResNet with configurable stage depths and width."""
+
+    def __init__(
+        self,
+        layers: tuple[int, int, int, int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+        gen: Generator | None = None,
+    ) -> None:
+        super().__init__()
+        widths = [max(4, int(w * width_mult)) for w in (64, 128, 256, 512)]
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, gen=gen)
+        self.bn1 = BatchNorm2d(widths[0])
+        self.stages = ModuleList()
+        in_ch = widths[0]
+        for stage, (depth, width) in enumerate(zip(layers, widths)):
+            blocks = ModuleList()
+            for b in range(depth):
+                stride = 2 if (stage > 0 and b == 0) else 1
+                blocks.append(BasicBlock(in_ch, width, stride=stride, gen=gen))
+                in_ch = width
+            self.stages.append(blocks)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.flatten = Flatten()
+        self.fc = Linear(in_ch, num_classes, gen=gen)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = rt.relu(self.bn1(self.conv1(x)))
+        for stage in self.stages:
+            for block in stage:
+                out = block(out)
+        return self.fc(self.flatten(self.pool(out)))
+
+
+def resnet34(num_classes: int = 10, width_mult: float = 1.0, gen: Generator | None = None) -> ResNet:
+    """The paper's classify network: (3, 4, 6, 3) basic blocks."""
+    return ResNet((3, 4, 6, 3), num_classes=num_classes, width_mult=width_mult, gen=gen)
+
+
+def resnet18(num_classes: int = 10, width_mult: float = 1.0, gen: Generator | None = None) -> ResNet:
+    return ResNet((2, 2, 2, 2), num_classes=num_classes, width_mult=width_mult, gen=gen)

@@ -1,0 +1,72 @@
+"""UNet for the ``slstr_cloud`` benchmark (per-pixel cloud masking).
+
+SciML-Bench's slstr_cloud task segments cloud pixels in 9-channel
+Sentinel-3 SLSTR imagery.  Classic UNet: conv blocks + maxpool on the way
+down, upsample + skip concatenation on the way up, 1-channel logit map
+out (BCE-with-logits objective).
+"""
+
+from __future__ import annotations
+
+import repro.tensor as rt
+from repro.nn.layers import BatchNorm2d, Conv2d, MaxPool2d, ReLU, Upsample
+from repro.nn.module import Module, ModuleList, Sequential
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+def _double_conv(in_ch: int, out_ch: int, gen: Generator | None) -> Sequential:
+    return Sequential(
+        Conv2d(in_ch, out_ch, 3, padding=1, bias=False, gen=gen),
+        BatchNorm2d(out_ch),
+        ReLU(),
+        Conv2d(out_ch, out_ch, 3, padding=1, bias=False, gen=gen),
+        BatchNorm2d(out_ch),
+        ReLU(),
+    )
+
+
+class UNet(Module):
+    def __init__(
+        self,
+        in_channels: int = 9,
+        out_channels: int = 1,
+        base_channels: int = 16,
+        depth: int = 3,
+        gen: Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError(f"UNet depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.pool = MaxPool2d(2)
+        self.up = Upsample(2)
+
+        self.down_blocks = ModuleList()
+        ch = in_channels
+        width = base_channels
+        for _ in range(depth):
+            self.down_blocks.append(_double_conv(ch, width, gen))
+            ch, width = width, width * 2
+        self.bottleneck = _double_conv(ch, width, gen)
+
+        self.up_blocks = ModuleList()
+        for _ in range(depth):
+            # input: upsampled (width) + skip (ch) channels
+            self.up_blocks.append(_double_conv(width + ch, ch, gen))
+            width, ch = ch, ch // 2
+        self.head = Conv2d(base_channels, out_channels, 1, gen=gen)
+
+    def forward(self, x: Tensor) -> Tensor:
+        skips: list[Tensor] = []
+        out = x
+        for block in self.down_blocks:
+            out = block(out)
+            skips.append(out)
+            out = self.pool(out)
+        out = self.bottleneck(out)
+        for block in self.up_blocks:
+            skip = skips.pop()
+            out = rt.concatenate([self.up(out), skip], axis=1)
+            out = block(out)
+        return self.head(out)

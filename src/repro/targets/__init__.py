@@ -1,0 +1,33 @@
+"""Future-work compression targets (paper Fig. 1 / Section 6).
+
+The paper evaluates *training data* compression because accelerator
+toolchains did not yet expose activations and gradients.  This package
+implements the remaining targets the paper anticipates, against the same
+DCT+Chop core, so the designs are ready when those APIs land:
+
+* :mod:`repro.targets.activations` — compress layer outputs during the
+  forward pass (ActNN/COMET-style training-memory reduction).
+* :mod:`repro.targets.gradients`   — compress gradients before the
+  optimiser/communication step (QSGD/3LC-style).
+* :mod:`repro.targets.weights`     — compress model parameters for
+  storage/deployment.
+* :mod:`repro.targets.distributed` — simulated data-parallel training
+  quantifying communication-byte savings from gradient compression.
+"""
+
+from repro.targets.activations import ActivationCompression, compress_activations
+from repro.targets.gradients import GradientCompressor, CompressedOptimizer
+from repro.targets.weights import compress_state_dict, decompress_state_dict, state_dict_ratio
+from repro.targets.distributed import DataParallelSimulator, CommunicationLog
+
+__all__ = [
+    "ActivationCompression",
+    "compress_activations",
+    "GradientCompressor",
+    "CompressedOptimizer",
+    "compress_state_dict",
+    "decompress_state_dict",
+    "state_dict_ratio",
+    "DataParallelSimulator",
+    "CommunicationLog",
+]

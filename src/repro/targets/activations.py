@@ -1,0 +1,83 @@
+"""Activation compression (paper future work; cf. ActNN [13], COMET [19]).
+
+:class:`ActivationCompression` wraps a module and round-trips its output
+through a DCT+Chop compressor during training, simulating a pipeline that
+stores activations compressed between the forward and backward pass.  The
+roundtrip is two matmuls, so gradients flow through it and training sees
+exactly the reconstruction the backward pass would read from compressed
+storage.  In eval mode activations pass through untouched.
+
+Shapes vary per layer, so an :class:`~repro.core.padded.AdaptiveCompressor`
+compiles one padded compressor per distinct spatial size.
+"""
+
+from __future__ import annotations
+
+from repro.core.padded import AdaptiveCompressor
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class ActivationCompression(Module):
+    """Wrap ``inner`` so its training-time outputs are chop-compressed."""
+
+    def __init__(self, inner: Module, *, cf: int = 4, method: str = "dc") -> None:
+        super().__init__()
+        self.inner = inner
+        self.compressor = AdaptiveCompressor(method=method, cf=cf)
+        self.bytes_raw = 0
+        self.bytes_compressed = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.inner(x)
+        if not self.training or out.ndim < 2:
+            return out
+        comp = self.compressor.for_shape(out.shape)
+        compressed = comp.compress(out)
+        self.bytes_raw += out.nbytes
+        self.bytes_compressed += compressed.nbytes
+        return comp.decompress(compressed)
+
+    @property
+    def observed_ratio(self) -> float:
+        """Aggregate activation-storage ratio over the run so far."""
+        if self.bytes_compressed == 0:
+            return 1.0
+        return self.bytes_raw / self.bytes_compressed
+
+
+def compress_activations(model: Module, *, cf: int = 4, layer_types: tuple = None) -> list[ActivationCompression]:
+    """Wrap matching sub-modules of ``model`` in-place.
+
+    ``layer_types`` defaults to convolution layers (the dominant
+    activation producers in the four evaluation networks).  Returns the
+    wrappers so callers can read the observed ratios.
+    """
+    from repro.nn.layers import Conv2d, ConvTranspose2d
+
+    if layer_types is None:
+        layer_types = (Conv2d, ConvTranspose2d)
+
+    wrapped: list[ActivationCompression] = []
+
+    def visit(module: Module) -> None:
+        for name, value in list(vars(module).items()):
+            if isinstance(value, layer_types):
+                wrapper = ActivationCompression(value, cf=cf)
+                setattr(module, name, wrapper)
+                wrapped.append(wrapper)
+            elif isinstance(value, ActivationCompression):
+                continue
+            elif isinstance(value, Module):
+                visit(value)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, layer_types):
+                        wrapper = ActivationCompression(item, cf=cf)
+                        value[i] = wrapper
+                        wrapped.append(wrapper)
+                    elif isinstance(item, Module):
+                        visit(item)
+
+    visit(model)
+    return wrapped

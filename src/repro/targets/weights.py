@@ -1,0 +1,81 @@
+"""Weight compression (paper future work: model-footprint reduction).
+
+``compress_state_dict`` packs every parameter of a state dict into the
+DCZ container format through a shape-adaptive DCT+Chop compressor
+(parameters are viewed as 2-D planes and padded to the block grid);
+``decompress_state_dict`` restores a loadable state dict.  BatchNorm
+running statistics and other 1-D buffers are tiny and numerically
+sensitive, so anything under ``min_elements`` is stored raw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import container
+from repro.core.padded import AdaptiveCompressor
+from repro.errors import ConfigError
+
+_RAW_KEY = "__raw__"
+MIN_ELEMENTS_DEFAULT = 512
+
+
+def _as_plane(arr: np.ndarray) -> np.ndarray:
+    if arr.ndim == 0:
+        return arr.reshape(1, 1)
+    if arr.ndim == 1:
+        return arr.reshape(1, -1)
+    return arr.reshape(arr.shape[0], -1)
+
+
+def compress_state_dict(
+    state: dict[str, np.ndarray],
+    *,
+    cf: int = 6,
+    min_elements: int = MIN_ELEMENTS_DEFAULT,
+) -> dict[str, dict]:
+    """Compress a state dict; returns {name: entry} with DCZ blobs.
+
+    Small tensors (below ``min_elements``) are stored raw — compressing a
+    64-entry bias would cost more in padding than it saves.
+    """
+    adaptive = AdaptiveCompressor(cf=cf)
+    out: dict[str, dict] = {}
+    for name, arr in state.items():
+        arr = np.asarray(arr)
+        if arr.size < min_elements or not np.issubdtype(arr.dtype, np.floating):
+            out[name] = {_RAW_KEY: arr.copy(), "shape": arr.shape}
+            continue
+        plane = _as_plane(arr.astype(np.float32))
+        comp = adaptive.for_shape(plane.shape)
+        out[name] = {
+            "blob": container.pack(plane, comp),
+            "shape": arr.shape,
+        }
+    return out
+
+
+def decompress_state_dict(packed: dict[str, dict]) -> dict[str, np.ndarray]:
+    """Inverse of :func:`compress_state_dict`."""
+    out: dict[str, np.ndarray] = {}
+    for name, entry in packed.items():
+        if _RAW_KEY in entry:
+            out[name] = entry[_RAW_KEY].copy()
+            continue
+        plane, _header = container.unpack(entry["blob"])
+        out[name] = plane.reshape(entry["shape"])
+    return out
+
+
+def state_dict_ratio(state: dict[str, np.ndarray], packed: dict[str, dict]) -> float:
+    """End-to-end bytes(original)/bytes(packed) including raw entries."""
+    original = sum(np.asarray(v).nbytes for v in state.values())
+    stored = 0
+    for entry in packed.values():
+        if _RAW_KEY in entry:
+            stored += entry[_RAW_KEY].nbytes
+        else:
+            stored += len(entry["blob"])
+    if stored == 0:
+        raise ConfigError("empty state dict")
+    return original / stored

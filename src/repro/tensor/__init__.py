@@ -1,0 +1,84 @@
+"""NumPy-backed tensor library with reverse-mode autograd.
+
+This package is the stand-in for the PyTorch operator surface the paper's
+compressor is implemented against.  The public names intentionally mirror
+``torch``: :func:`matmul`, :func:`gather`, :func:`scatter`, etc., so the
+compressor code in :mod:`repro.core` reads exactly like the paper's
+listings (``Y = matmul(LHS, matmul(A, RHS))``).
+
+Only the ops actually needed by the compressor, the four evaluation
+networks, and the baselines are provided; each op has a NumPy forward and
+a NumPy backward, and the hot paths are fully vectorised (no Python loops
+over elements).
+"""
+
+from repro.tensor.tensor import (
+    Tensor,
+    Function,
+    no_grad,
+    is_grad_enabled,
+    tensor,
+    zeros,
+    zeros_like,
+    ones,
+    ones_like,
+    full,
+    arange,
+    eye,
+    stack,
+    concatenate,
+    where,
+    maximum,
+    minimum,
+    matmul,
+    exp,
+    log,
+    sqrt,
+    tanh,
+    sigmoid,
+    relu,
+    abs,  # noqa: A004 - mirrors torch.abs
+    clip,
+)
+from repro.tensor.gather_scatter import gather, scatter, take_along_axis
+from repro.tensor import functional
+from repro.tensor.random import Generator, default_generator, manual_seed, randn, rand, randint
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "zeros_like",
+    "ones",
+    "ones_like",
+    "full",
+    "arange",
+    "eye",
+    "stack",
+    "concatenate",
+    "where",
+    "maximum",
+    "minimum",
+    "matmul",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "abs",
+    "clip",
+    "gather",
+    "scatter",
+    "take_along_axis",
+    "functional",
+    "Generator",
+    "default_generator",
+    "manual_seed",
+    "randn",
+    "rand",
+    "randint",
+]

@@ -1,0 +1,278 @@
+"""NN-oriented operators: convolution, pooling, padding, upsampling, softmax.
+
+Convolutions use the im2col formulation so the inner loop is a single
+large ``matmul`` — the same "everything is a matrix multiply" principle
+the paper's compressor exploits on the accelerators.  ``col2im`` (the
+backward-data pass) is vectorised with a precomputed advanced-indexing
+pattern and one ``np.add.at`` scatter-add.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Function, Tensor
+
+
+# ----------------------------------------------------------------------
+# im2col helpers
+# ----------------------------------------------------------------------
+def _im2col_indices(
+    c: int, kh: int, kw: int, out_h: int, out_w: int, stride: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays mapping (C*KH*KW, L) column entries to padded-image pixels."""
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int):
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(f"conv output size would be non-positive for input {x.shape}")
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    k, i, j = _im2col_indices(c, kh, kw, out_h, out_w, stride)
+    cols = x[:, k, i, j]  # (N, C*KH*KW, L)
+    return cols, (k, i, j), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, ...],
+    idx: tuple[np.ndarray, np.ndarray, np.ndarray],
+    padding: int,
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    k, i, j = idx
+    np.add.at(out, (slice(None), k, i, j), cols)
+    if padding > 0:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return out
+
+
+class Conv2dFn(Function):
+    def forward(self, x, weight, bias=None, *, stride, padding):
+        if x.ndim != 4 or weight.ndim != 4:
+            raise ShapeError("conv2d expects 4-D input (N,C,H,W) and weight (F,C,KH,KW)")
+        f, c, kh, kw = weight.shape
+        if x.shape[1] != c:
+            raise ShapeError(f"conv2d channel mismatch: input {x.shape[1]} vs weight {c}")
+        cols, idx, out_h, out_w = _im2col(x, kh, kw, stride, padding)
+        w2 = weight.reshape(f, -1)
+        out = np.matmul(w2, cols)  # (N, F, L)
+        if bias is not None:
+            out = out + bias.reshape(1, -1, 1)
+        self.save(cols, idx, x.shape, weight, bias is not None, stride, padding)
+        return out.reshape(x.shape[0], f, out_h, out_w)
+
+    def backward(self, grad):
+        cols, idx, x_shape, weight, has_bias, stride, padding = self.saved
+        n, f = grad.shape[0], grad.shape[1]
+        g2 = grad.reshape(n, f, -1)  # (N, F, L)
+        gw = np.einsum("nfl,nkl->fk", g2, cols, optimize=True).reshape(weight.shape)
+        gcols = np.matmul(weight.reshape(f, -1).T, g2)  # (N, K, L)
+        gx = _col2im(gcols, x_shape, idx, padding)
+        gb = g2.sum(axis=(0, 2)) if has_bias else None
+        return gx, gw, gb
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D cross-correlation (torch semantics)."""
+    if bias is None:
+        return Conv2dFn.apply(x, weight, stride=int(stride), padding=int(padding))
+    return Conv2dFn.apply(x, weight, bias, stride=int(stride), padding=int(padding))
+
+
+class Dilate2d(Function):
+    """Insert ``stride - 1`` zeros between spatial elements (for conv-transpose)."""
+
+    def forward(self, x, *, stride, extra):
+        n, c, h, w = x.shape
+        out = np.zeros(
+            (n, c, (h - 1) * stride + 1 + extra, (w - 1) * stride + 1 + extra),
+            dtype=x.dtype,
+        )
+        out[:, :, : (h - 1) * stride + 1 : stride, : (w - 1) * stride + 1 : stride] = x
+        self.save(stride, h, w)
+        return out
+
+    def backward(self, grad):
+        stride, h, w = self.saved
+        return (
+            grad[:, :, : (h - 1) * stride + 1 : stride, : (w - 1) * stride + 1 : stride],
+        )
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    output_padding: int = 0,
+) -> Tensor:
+    """2-D transposed convolution; ``weight`` is (C_in, C_out, KH, KW)."""
+    c_in, c_out, kh, kw = weight.shape
+    if kh != kw:
+        raise ShapeError("conv_transpose2d supports square kernels only")
+    dilated = Dilate2d.apply(x, stride=int(stride), extra=int(output_padding))
+    # Flip kernel spatially and swap channel roles: transposed conv is the
+    # backward-data pass of a regular conv.
+    w_flipped = weight.transpose(1, 0, 2, 3)[:, :, ::-1, ::-1]
+    return conv2d(dilated, w_flipped, bias, stride=1, padding=kh - 1 - int(padding))
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+class MaxPool2dFn(Function):
+    def forward(self, x, *, kernel, stride):
+        n, c, h, w = x.shape
+        out_h = (h - kernel) // stride + 1
+        out_w = (w - kernel) // stride + 1
+        windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+        windows = windows[:, :, ::stride, ::stride]  # (N,C,OH,OW,K,K)
+        flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+        arg = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+        self.save(x.shape, arg, kernel, stride)
+        return out
+
+    def backward(self, grad):
+        x_shape, arg, kernel, stride = self.saved
+        n, c, h, w = x_shape
+        out_h, out_w = arg.shape[2], arg.shape[3]
+        gx = np.zeros(x_shape, dtype=grad.dtype)
+        kh = arg // kernel
+        kw = arg % kernel
+        oh = np.arange(out_h).reshape(1, 1, -1, 1)
+        ow = np.arange(out_w).reshape(1, 1, 1, -1)
+        rows = oh * stride + kh
+        cols = ow * stride + kw
+        nn = np.arange(n).reshape(-1, 1, 1, 1)
+        cc = np.arange(c).reshape(1, -1, 1, 1)
+        np.add.at(gx, (nn, cc, rows, cols), grad)
+        return (gx,)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    return MaxPool2dFn.apply(x, kernel=int(kernel), stride=int(stride or kernel))
+
+
+class AvgPool2dFn(Function):
+    def forward(self, x, *, kernel, stride):
+        windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+        windows = windows[:, :, ::stride, ::stride]
+        self.save(x.shape, kernel, stride)
+        return windows.mean(axis=(-1, -2))
+
+    def backward(self, grad):
+        x_shape, kernel, stride = self.saved
+        gx = np.zeros(x_shape, dtype=grad.dtype)
+        g = grad / (kernel * kernel)
+        if stride == kernel:
+            # Non-overlapping fast path: each input pixel belongs to one window.
+            gx_view = gx[
+                :, :, : grad.shape[2] * kernel, : grad.shape[3] * kernel
+            ].reshape(gx.shape[0], gx.shape[1], grad.shape[2], kernel, grad.shape[3], kernel)
+            gx_view += g[:, :, :, None, :, None]
+        else:
+            out_h, out_w = grad.shape[2], grad.shape[3]
+            for kh in range(kernel):
+                for kw in range(kernel):
+                    gx[
+                        :,
+                        :,
+                        kh : kh + out_h * stride : stride,
+                        kw : kw + out_w * stride : stride,
+                    ] += g
+        return (gx,)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    return AvgPool2dFn.apply(x, kernel=int(kernel), stride=int(stride or kernel))
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Global average pooling when ``output_size == 1`` (the ResNet head case)."""
+    if output_size != 1:
+        raise ShapeError("adaptive_avg_pool2d only supports output_size=1")
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+# ----------------------------------------------------------------------
+# Padding / upsampling
+# ----------------------------------------------------------------------
+class Pad2d(Function):
+    def forward(self, x, *, pad):
+        left, right, top, bottom = pad
+        self.save(pad, x.shape)
+        return np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)))
+
+    def backward(self, grad):
+        (left, right, top, bottom), shape = self.saved
+        h, w = shape[2], shape[3]
+        return (grad[:, :, top : top + h, left : left + w],)
+
+
+def pad2d(x: Tensor, pad: tuple[int, int, int, int]) -> Tensor:
+    """Zero-pad a NCHW tensor; ``pad`` is (left, right, top, bottom)."""
+    return Pad2d.apply(x, pad=tuple(int(p) for p in pad))
+
+
+class UpsampleNearest(Function):
+    def forward(self, x, *, scale):
+        self.save(scale)
+        return x.repeat(scale, axis=2).repeat(scale, axis=3)
+
+    def backward(self, grad):
+        (scale,) = self.saved
+        n, c, h, w = grad.shape
+        return (
+            grad.reshape(n, c, h // scale, scale, w // scale, scale).sum(axis=(3, 5)),
+        )
+
+
+def upsample_nearest(x: Tensor, scale: int = 2) -> Tensor:
+    return UpsampleNearest.apply(x, scale=int(scale))
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax built from primitives."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> Tensor:
+    """Non-differentiable one-hot encoding of integer labels."""
+    labels = np.asarray(labels)
+    out = np.zeros((labels.size, num_classes), dtype=np.float32)
+    out[np.arange(labels.size), labels.reshape(-1)] = 1.0
+    return Tensor(out.reshape(*labels.shape, num_classes))
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ W^T + b`` (torch.nn.functional.linear semantics)."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out

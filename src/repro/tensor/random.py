@@ -1,0 +1,66 @@
+"""Seeded randomness helpers.
+
+All stochastic code in the repo (data synthesis, weight init, shuffling)
+draws from a :class:`Generator` so every experiment is reproducible from a
+single seed.  ``manual_seed`` mirrors ``torch.manual_seed`` for the global
+default generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import DEFAULT_DTYPE, Tensor
+
+
+class Generator:
+    """Thin wrapper over ``numpy.random.Generator`` producing Tensors."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.seed(seed)
+
+    def seed(self, seed: int | None) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def randn(self, *shape, dtype=DEFAULT_DTYPE, requires_grad: bool = False) -> Tensor:
+        return Tensor(
+            self._rng.standard_normal(shape).astype(dtype), requires_grad=requires_grad
+        )
+
+    def rand(self, *shape, dtype=DEFAULT_DTYPE, requires_grad: bool = False) -> Tensor:
+        return Tensor(self._rng.random(shape).astype(dtype), requires_grad=requires_grad)
+
+    def randint(self, low: int, high: int, shape) -> np.ndarray:
+        return self._rng.integers(low, high, size=shape)
+
+    def permutation(self, n: int) -> np.ndarray:
+        return self._rng.permutation(n)
+
+    def spawn(self) -> "Generator":
+        """Derive an independent child generator (for parallel workloads)."""
+        return Generator(int(self._rng.integers(0, 2**31 - 1)))
+
+
+default_generator = Generator(0)
+
+
+def manual_seed(seed: int) -> None:
+    """Reseed the global default generator."""
+    default_generator.seed(seed)
+
+
+def randn(*shape, requires_grad: bool = False) -> Tensor:
+    return default_generator.randn(*shape, requires_grad=requires_grad)
+
+
+def rand(*shape, requires_grad: bool = False) -> Tensor:
+    return default_generator.rand(*shape, requires_grad=requires_grad)
+
+
+def randint(low: int, high: int, shape) -> np.ndarray:
+    return default_generator.randint(low, high, shape)

@@ -1,0 +1,22 @@
+"""Training loop with the paper's compression-in-the-loop hook.
+
+During the accuracy experiments "each batch is first compressed and then
+decompressed" (Section 4.2.1) before being fed to the model, so the model
+trains on reconstructed data at a known compression ratio.
+"""
+
+from repro.train.trainer import Trainer, TrainConfig, History
+from repro.train.metrics import accuracy_from_logits, percent_difference
+from repro.train.schedules import LRScheduler, StepLR, CosineAnnealingLR, WarmupLR
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "History",
+    "accuracy_from_logits",
+    "percent_difference",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+]

@@ -1,0 +1,25 @@
+"""Training/evaluation metric helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def accuracy_from_logits(logits, labels) -> float:
+    """Top-1 accuracy for integer labels."""
+    arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    labels = np.asarray(labels.data if isinstance(labels, Tensor) else labels)
+    return float((arr.argmax(axis=-1) == labels).mean())
+
+
+def percent_difference(value: float, baseline: float) -> float:
+    """Percent difference from a no-compression baseline (Fig. 8's y-axis).
+
+    ``100 * (value - baseline) / |baseline|``; for losses lower is better,
+    for accuracy higher is better.
+    """
+    if baseline == 0:
+        return 0.0 if value == 0 else float("inf") if value > 0 else float("-inf")
+    return 100.0 * (value - baseline) / abs(baseline)

@@ -1,0 +1,81 @@
+"""Learning-rate schedules.
+
+The paper trains at a fixed LR (Table 3); schedules are provided for the
+extended studies (paper-scale 30-epoch runs benefit from decay).  Each
+scheduler mutates ``optimizer.lr`` (our optimisers read it per step).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base: call ``step()`` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        inner = getattr(self.optimizer, "inner", None)
+        if inner is not None:
+            inner.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * t / self.t_max)
+        )
+
+
+class WarmupLR(LRScheduler):
+    """Linear ramp from ``warmup_factor * base`` to ``base`` over ``warmup`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, warmup: int, warmup_factor: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        self.warmup = warmup
+        self.warmup_factor = warmup_factor
+
+    def get_lr(self) -> float:
+        if self.epoch >= self.warmup:
+            return self.base_lr
+        alpha = self.epoch / self.warmup
+        return self.base_lr * (self.warmup_factor + (1.0 - self.warmup_factor) * alpha)

@@ -1,0 +1,134 @@
+"""The training loop used by every accuracy experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer, SGD
+from repro.tensor import Tensor, no_grad
+from repro.train.metrics import accuracy_from_logits
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters (paper Table 3 style: BS + LR per benchmark)."""
+
+    epochs: int = 30
+    lr: float = 1e-3
+    optimizer: str = "adam"  # "adam" | "sgd"
+    momentum: float = 0.9
+
+    def build_optimizer(self, model: Module) -> Optimizer:
+        if self.optimizer == "adam":
+            return Adam(model.parameters(), lr=self.lr)
+        if self.optimizer == "sgd":
+            return SGD(model.parameters(), lr=self.lr, momentum=self.momentum)
+        raise ValueError(f"unknown optimizer {self.optimizer!r}")
+
+
+@dataclass
+class History:
+    """Per-epoch metrics; what Figs. 7/8/9/16 plot."""
+
+    train_loss: list[float] = field(default_factory=list)
+    test_loss: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_loss[-1]
+
+    @property
+    def final_test_loss(self) -> float:
+        return self.test_loss[-1]
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1]
+
+
+class Trainer:
+    """Trains a model, optionally compressing every batch first.
+
+    Parameters
+    ----------
+    compressor:
+        Any object with a ``roundtrip(x) -> Tensor`` method (the three
+        :mod:`repro.core` variants, ZFP, quantizers).  ``None`` trains the
+        no-compression baseline.
+    classification:
+        When True, evaluation also reports top-1 accuracy (the classify
+        benchmark); otherwise test loss only, as SciML-Bench specifies.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Callable,
+        config: TrainConfig,
+        compressor=None,
+        classification: bool = False,
+    ) -> None:
+        self.model = model
+        self.loss_fn = loss_fn
+        self.config = config
+        self.compressor = compressor
+        self.classification = classification
+        self.optimizer = config.build_optimizer(model)
+
+    # ------------------------------------------------------------------
+    def _prepare_batch(self, x: np.ndarray) -> Tensor:
+        if self.compressor is None:
+            return Tensor(x)
+        with no_grad():
+            rec = self.compressor.roundtrip(x)
+        return rec if isinstance(rec, Tensor) else Tensor(np.asarray(rec))
+
+    def train_epoch(self, loader) -> float:
+        """One pass over ``loader``; returns mean batch loss."""
+        self.model.train()
+        losses = []
+        for x, y in loader:
+            batch = self._prepare_batch(x)
+            self.optimizer.zero_grad()
+            out = self.model(batch)
+            loss = self.loss_fn(out, y)
+            loss.backward()
+            self.optimizer.step()
+            losses.append(loss.item())
+        return float(np.mean(losses))
+
+    def evaluate(self, loader) -> tuple[float, float]:
+        """Mean test loss (and accuracy when classification).
+
+        Test *inputs* pass through the same compressor as training inputs:
+        the compressor sits on the host-to-device path, so at inference
+        time incoming data is compressed exactly like training data.
+        Targets/labels are never touched.  This matches the paper's
+        observed behaviour — notably that chopping high-frequency DCT
+        coefficients can *improve* em_denoise test loss (the chop itself
+        denoises the input).
+        """
+        self.model.eval()
+        losses = []
+        accs = []
+        with no_grad():
+            for x, y in loader:
+                out = self.model(self._prepare_batch(x))
+                losses.append(self.loss_fn(out, y).item())
+                if self.classification:
+                    accs.append(accuracy_from_logits(out, y))
+        return float(np.mean(losses)), float(np.mean(accs)) if accs else float("nan")
+
+    def fit(self, train_loader, test_loader, epochs: int | None = None) -> History:
+        history = History()
+        for _ in range(epochs if epochs is not None else self.config.epochs):
+            history.train_loss.append(self.train_epoch(train_loader))
+            test_loss, test_acc = self.evaluate(test_loader)
+            history.test_loss.append(test_loss)
+            history.test_accuracy.append(test_acc)
+        return history

@@ -1,0 +1,109 @@
+"""Program-cost derivation from traced graphs."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.accel import cost_of_graph, trace
+from repro.accel.cost import node_flops, node_touched_bytes
+from repro.accel.graph import Node
+from repro.core import DCTChopCompressor, ScatterGatherCompressor, compression_flops
+from repro.tensor import Tensor
+
+
+class TestNodeCosts:
+    def test_matmul_flops(self):
+        node = Node(op="matmul", input_shapes=((3, 4), (4, 5)), output_shape=(3, 5))
+        assert node_flops(node) == 2 * 3 * 5 * 4
+
+    def test_batched_matmul_flops(self):
+        node = Node(
+            op="matmul",
+            input_shapes=((10, 3, 8, 8), (8, 4)),
+            output_shape=(10, 3, 8, 4),
+        )
+        assert node_flops(node) == 2 * 10 * 3 * 8 * 4 * 8
+
+    def test_elementwise_flops(self):
+        node = Node(op="add", input_shapes=((4, 4), (4, 4)), output_shape=(4, 4))
+        assert node_flops(node) == 16
+
+    def test_layout_free(self):
+        node = Node(op="reshape", input_shapes=((4, 4),), output_shape=(16,))
+        assert node_flops(node) == 0
+        assert node_touched_bytes(node) == 0
+
+    def test_touched_bytes(self):
+        node = Node(op="add", input_shapes=((4,), (4,)), output_shape=(4,))
+        assert node_touched_bytes(node) == 3 * 16
+
+
+class TestProgramCost:
+    def test_dc_compress_flops_match_eq5(self):
+        """The traced graph's FLOPs equal Eq. 5 x planes (within the
+        first-touch-add convention difference)."""
+        n, cf, planes = 64, 4, 6
+        comp = DCTChopCompressor(n, cf=cf)
+        graph = trace(comp.compress, np.zeros((2, 3, n, n), np.float32))
+        cost = cost_of_graph(graph)
+        eq5 = planes * compression_flops(n, cf)
+        # Graph counts 2mnk per matmul; Eq.5 subtracts one add per output.
+        assert cost.flops == pytest.approx(eq5, rel=0.02)
+
+    def test_in_out_bytes(self):
+        comp = DCTChopCompressor(32, cf=4)
+        graph = trace(comp.compress, np.zeros((10, 3, 32, 32), np.float32))
+        cost = cost_of_graph(graph)
+        assert cost.in_bytes == 10 * 3 * 32 * 32 * 4
+        assert cost.out_bytes == 10 * 3 * 16 * 16 * 4
+
+    def test_plane_census(self):
+        comp = DCTChopCompressor(32, cf=2)
+        graph = trace(comp.compress, np.zeros((10, 3, 32, 32), np.float32))
+        cost = cost_of_graph(graph)
+        assert cost.n_planes == 30
+        assert cost.plane_bytes == 8 * 8 * 4
+        assert cost.min_io_plane_bytes == 8 * 8 * 4
+
+    def test_decompress_min_plane_is_compressed_side(self):
+        comp = DCTChopCompressor(32, cf=2)
+        graph = trace(comp.decompress, np.zeros((10, 3, 8, 8), np.float32))
+        cost = cost_of_graph(graph)
+        assert cost.min_io_plane_bytes == 8 * 8 * 4  # input side
+
+    def test_gather_bytes_nonzero_only_for_sg(self):
+        dc_graph = trace(
+            DCTChopCompressor(32, cf=4).compress, np.zeros((1, 3, 32, 32), np.float32)
+        )
+        sg_graph = trace(
+            ScatterGatherCompressor(32, cf=4).compress,
+            np.zeros((1, 3, 32, 32), np.float32),
+        )
+        assert cost_of_graph(dc_graph).gather_bytes == 0
+        assert cost_of_graph(sg_graph).gather_bytes > 0
+
+    def test_max_matmul_dim(self):
+        comp = DCTChopCompressor(512, cf=4)
+        graph = trace(comp.compress, np.zeros((1, 1, 512, 512), np.float32))
+        assert cost_of_graph(graph).max_matmul_dim == 512
+
+    def test_compute_tile_for_dc_is_full_plane(self):
+        comp = DCTChopCompressor(64, cf=4)
+        graph = trace(comp.compress, np.zeros((1, 1, 64, 64), np.float32))
+        assert cost_of_graph(graph).max_compute_tile_bytes == 64 * 64 * 4
+
+    def test_compute_tile_for_ps_is_chunk(self):
+        from repro.core import PartialSerializedCompressor
+
+        comp = PartialSerializedCompressor(64, cf=4, s=2)
+        graph = trace(comp.compress, np.zeros((1, 1, 64, 64), np.float32))
+        # Chunks are 32x32: the full 64x64 input never feeds a compute op.
+        assert cost_of_graph(graph).max_compute_tile_bytes == 32 * 32 * 4
+
+    def test_total_tensor_bytes_counts_constants(self):
+        comp = DCTChopCompressor(32, cf=4)
+        graph = trace(comp.compress, np.zeros((1, 1, 32, 32), np.float32))
+        cost = cost_of_graph(graph)
+        lhs_rhs = 2 * 16 * 32 * 4
+        assert cost.constant_bytes == lhs_rhs
+        assert cost.total_tensor_bytes >= cost.in_bytes + lhs_rhs

@@ -1,0 +1,53 @@
+"""Energy-model extension (bytes per joule)."""
+
+import numpy as np
+import pytest
+
+from repro.accel import compile_program
+from repro.accel.energy import BOARD_POWER_W, EnergyEstimate, board_power, estimate_energy
+from repro.core import DCTChopCompressor
+
+
+def cost_for(platform, n=256, cf=4):
+    comp = DCTChopCompressor(n, cf=cf)
+    prog = compile_program(comp.compress, np.zeros((100, 3, n, n), np.float32), platform)
+    return prog.cost
+
+
+class TestEnergyModel:
+    def test_all_platforms_have_power(self):
+        for name in ("cs2", "sn30", "groq", "ipu", "a100", "cpu"):
+            assert board_power(name) > 0
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            board_power("tpu")
+
+    def test_joules_are_power_times_time(self):
+        est = EnergyEstimate(platform="x", seconds=2.0, board_watts=100.0)
+        assert est.joules == 200.0
+        assert est.bytes_per_joule(400) == 2.0
+
+    def test_estimate_roundtrip(self):
+        cost = cost_for("sn30")
+        est = estimate_energy(cost, "sn30")
+        assert est.platform == "sn30"
+        assert est.joules > 0
+
+    def test_cs2_throughput_king_but_not_efficiency_king(self):
+        """The extension's punchline: per joule, the 20 kW CS-2 loses to
+        the sub-kW SN30 and IPU despite winning on raw speed."""
+        payload = 100 * 3 * 256 * 256 * 4
+        results = {
+            p: estimate_energy(cost_for(p), p).bytes_per_joule(payload)
+            for p in ("cs2", "sn30", "ipu", "a100")
+        }
+        assert results["sn30"] > results["cs2"]
+        assert results["ipu"] > results["cs2"]
+
+    def test_spec_object_accepted(self):
+        from repro.accel import get_platform
+
+        cost = cost_for("ipu")
+        est = estimate_energy(cost, get_platform("ipu"))
+        assert est.board_watts == BOARD_POWER_W["ipu"]

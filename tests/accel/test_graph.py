@@ -1,0 +1,92 @@
+"""Graph capture from the autograd tape."""
+
+import numpy as np
+
+import repro.tensor as rt
+from repro.accel import trace
+from repro.core import DCTChopCompressor, ScatterGatherCompressor
+from repro.tensor import Tensor
+
+
+class TestTraceBasics:
+    def test_single_matmul(self, rng):
+        w = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+        graph = trace(lambda x: rt.matmul(x, w), np.zeros((2, 4), np.float32))
+        assert graph.op_names == ["matmul"]
+        assert graph.input_shapes == ((2, 4),)
+        assert graph.output_shape == (2, 3)
+        assert graph.constant_shapes == ((4, 3),)
+
+    def test_chain(self, rng):
+        graph = trace(lambda x: rt.relu(x * 2.0 + 1.0), np.zeros((3,), np.float32))
+        assert graph.op_names == ["mul", "add", "relu"]
+
+    def test_constants_vs_inputs(self, rng):
+        const = Tensor(np.ones((3, 3), np.float32))
+        graph = trace(lambda x: rt.matmul(const, x) + const, np.zeros((3, 3), np.float32))
+        # const is used twice but recorded once.
+        assert graph.constant_shapes == ((3, 3),)
+        assert graph.constant_bytes == 9 * 4
+
+    def test_multiple_inputs(self, rng):
+        graph = trace(
+            lambda a, b: a + b,
+            np.zeros((2, 2), np.float32),
+            np.zeros((2, 2), np.float32),
+        )
+        assert graph.input_shapes == ((2, 2), (2, 2))
+        assert graph.constant_shapes == ()
+
+    def test_byte_accounting(self):
+        graph = trace(lambda x: x * 2.0, np.zeros((10, 10), np.float32))
+        assert graph.input_bytes == 400
+        assert graph.output_bytes == 400
+
+    def test_count(self):
+        graph = trace(lambda x: (x * 2.0) * 3.0, np.zeros((2,), np.float32))
+        assert graph.count("mul") == 2
+        assert graph.count("matmul") == 0
+
+    def test_topological_order(self, rng):
+        w = Tensor(rng.standard_normal((3, 3)).astype(np.float32))
+        graph = trace(lambda x: rt.relu(rt.matmul(x, w)) + 1.0, np.zeros((2, 3), np.float32))
+        assert graph.op_names.index("matmul") < graph.op_names.index("relu")
+        assert graph.op_names.index("relu") < graph.op_names.index("add")
+
+
+class TestCompressorGraphs:
+    def test_dc_compress_is_two_matmuls(self):
+        comp = DCTChopCompressor(32, cf=4)
+        graph = trace(comp.compress, np.zeros((10, 3, 32, 32), np.float32))
+        assert graph.op_names == ["matmul", "matmul"]
+        assert graph.output_shape == (10, 3, 16, 16)
+        # Constants: LHS and RHS.
+        assert sorted(graph.constant_shapes) == [(16, 32), (32, 16)]
+
+    def test_dc_decompress_is_two_matmuls(self):
+        comp = DCTChopCompressor(32, cf=4)
+        graph = trace(comp.decompress, np.zeros((10, 3, 16, 16), np.float32))
+        assert graph.op_names == ["matmul", "matmul"]
+        assert graph.output_shape == (10, 3, 32, 32)
+
+    def test_sg_compress_contains_gather(self):
+        comp = ScatterGatherCompressor(32, cf=4)
+        graph = trace(comp.compress, np.zeros((2, 3, 32, 32), np.float32))
+        assert graph.count("gather") == 1
+        assert graph.count("matmul") == 2
+
+    def test_sg_decompress_contains_scatter(self):
+        comp = ScatterGatherCompressor(32, cf=4)
+        z = np.zeros((2, 3, 16, 10), np.float32)
+        graph = trace(comp.decompress, z)
+        assert graph.count("scatter") == 1
+
+    def test_ps_compress_has_serial_matmuls(self):
+        from repro.core import PartialSerializedCompressor
+
+        comp = PartialSerializedCompressor(64, cf=4, s=2)
+        graph = trace(comp.compress, np.zeros((1, 1, 64, 64), np.float32))
+        # 4 chunks x 2 matmuls.
+        assert graph.count("matmul") == 8
+        assert graph.count("getitem") == 4
+        assert graph.count("concat") == 3

@@ -1,0 +1,47 @@
+"""Operator-support matrix (paper Section 3.1 programmability constraints)."""
+
+import pytest
+
+from repro.accel import is_supported, supported_ops
+
+
+class TestSupportMatrix:
+    def test_matmul_everywhere(self):
+        for platform in ("cs2", "sn30", "groq", "ipu", "a100", "cpu"):
+            assert is_supported(platform, "matmul")
+
+    def test_gather_scatter_ipu_only_among_accelerators(self):
+        """Section 3.5.2: torch.scatter/gather available on the IPU."""
+        assert is_supported("ipu", "gather")
+        assert is_supported("ipu", "scatter")
+        for platform in ("cs2", "sn30", "groq"):
+            assert not is_supported(platform, "gather")
+            assert not is_supported(platform, "scatter")
+
+    def test_gpu_cpu_support_everything(self):
+        for op in ("gather", "scatter", "left_shift", "bitwise_not"):
+            assert is_supported("a100", op)
+            assert is_supported("cpu", op)
+
+    def test_no_accelerator_has_bit_shifts(self):
+        """The constraint that rules out RLE/Huffman encoders (Section 3.1)."""
+        for platform in ("cs2", "sn30", "groq", "ipu"):
+            assert not is_supported(platform, "left_shift")
+            assert not is_supported(platform, "right_shift")
+
+    def test_sn30_has_bitwise_not(self):
+        """Paper: SN30's PyTorch includes torch.bitwise_not but no shifts."""
+        assert is_supported("sn30", "bitwise_not")
+        assert not is_supported("sn30", "left_shift")
+
+    def test_layout_ops_everywhere(self):
+        for platform in ("cs2", "sn30", "groq", "ipu"):
+            for op in ("reshape", "transpose", "concat", "getitem"):
+                assert is_supported(platform, op)
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            supported_ops("dpu")
+
+    def test_returns_frozenset(self):
+        assert isinstance(supported_ops("ipu"), frozenset)

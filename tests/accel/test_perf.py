@@ -1,0 +1,176 @@
+"""Timing-model behaviour (term-level unit tests)."""
+
+import numpy as np
+import pytest
+
+from repro.accel import compile_program, estimate_time, get_platform
+from repro.accel.cost import ProgramCost
+from repro.accel.spec import AcceleratorSpec, MemoryModel, PerfParams
+
+
+def make_cost(**overrides) -> ProgramCost:
+    base = dict(
+        in_bytes=1_000_000,
+        out_bytes=250_000,
+        flops=1e7,
+        touched_bytes=2_000_000,
+        gather_bytes=0,
+        n_planes=100,
+        plane_bytes=2500,
+        constant_bytes=1000,
+        peak_tensor_bytes=1_000_000,
+        total_tensor_bytes=2_000_000,
+        max_compute_tile_bytes=10_000,
+        min_io_plane_bytes=2500,
+        max_matmul_dim=64,
+        n_compute_nodes=2,
+        n_samples=100,
+    )
+    base.update(overrides)
+    return ProgramCost(**base)
+
+
+def make_spec(**perf_overrides) -> AcceleratorSpec:
+    perf = dict(
+        host_bw=1e9,
+        out_weight=0.5,
+        compute_flops=1e12,
+        mem_bw=1e12,
+        launch_overhead=1e-3,
+        pipeline_fill=2e-3,
+    )
+    perf.update(perf_overrides)
+    return AcceleratorSpec(
+        name="toyperf",
+        vendor="test",
+        compute_units=1,
+        onchip_memory_bytes=10**9,
+        software=("PT",),
+        architecture="dataflow",
+        memory=MemoryModel(total_onchip_bytes=10**9),
+        perf=PerfParams(**perf),
+    )
+
+
+class TestTerms:
+    def test_host_terms(self):
+        t = estimate_time(make_cost(), make_spec())
+        assert t.host_in == pytest.approx(1e-3)
+        assert t.host_out == pytest.approx(0.5 * 0.25e-3)
+
+    def test_fixed_terms(self):
+        t = estimate_time(make_cost(), make_spec())
+        assert t.launch == 1e-3
+        assert t.pipeline_fill == 2e-3
+
+    def test_roofline_max(self):
+        # Memory-bound case: 2 MB / 1 TB/s.
+        t = estimate_time(make_cost(flops=1.0), make_spec())
+        assert t.device == pytest.approx(2e-6)
+        # Compute-bound case: 1e13 FLOPs / 1e12 FLOP/s.
+        t = estimate_time(make_cost(flops=1e13), make_spec())
+        assert t.device == pytest.approx(10.0)
+
+    def test_gather_term(self):
+        spec = make_spec(gather_bw=1e9)
+        t = estimate_time(make_cost(gather_bytes=1_000_000), spec)
+        assert t.gather == pytest.approx(1e-3)
+        t0 = estimate_time(make_cost(gather_bytes=0), spec)
+        assert t0.gather == 0.0
+
+    def test_gather_ignored_without_bw(self):
+        t = estimate_time(make_cost(gather_bytes=10**9), make_spec())
+        assert t.gather == 0.0
+
+    def test_small_tensor_penalty(self):
+        spec = make_spec(small_tensor_threshold=4096, small_tensor_penalty=1e-5)
+        slow = estimate_time(make_cost(min_io_plane_bytes=1000), spec)
+        fast = estimate_time(make_cost(min_io_plane_bytes=8192), spec)
+        assert slow.small_tensor == pytest.approx(100 * 1e-5)
+        assert fast.small_tensor == 0.0
+        assert slow.total > fast.total
+
+    def test_total_is_sum(self):
+        t = estimate_time(make_cost(), make_spec())
+        assert t.total == pytest.approx(
+            t.launch + t.pipeline_fill + t.host_in + t.host_out + t.device
+        )
+
+    def test_throughput_reference(self):
+        t = estimate_time(make_cost(), make_spec())
+        assert t.throughput(10**9) == pytest.approx(10**9 / t.total)
+
+
+class TestModelShapeProperties:
+    """Structural behaviours the paper reports, checked on a real platform."""
+
+    def _time(self, platform, n, cf, direction, batch=100):
+        from repro.core import DCTChopCompressor
+
+        comp = DCTChopCompressor(n, cf=cf)
+        shape = (
+            (batch, 3, n, n)
+            if direction == "compress"
+            else (batch, 3, comp.compressed_height, comp.compressed_width)
+        )
+        fn = comp.compress if direction == "compress" else comp.decompress
+        return compile_program(fn, np.zeros(shape, np.float32), platform).estimated_time()
+
+    @pytest.mark.parametrize("platform", ["cs2", "sn30", "ipu"])
+    def test_decompress_faster_than_compress(self, platform):
+        """Key takeaway 1: compression is slower than decompression."""
+        for cf in (2, 4, 7):
+            assert self._time(platform, 128, cf, "decompress") < self._time(
+                platform, 128, cf, "compress"
+            )
+
+    def test_a100_symmetric_round_trip(self):
+        """The PCIe-synchronous A100 pays the full round trip both ways, so
+        compression and decompression times coincide (the paper omits GPU
+        compression plots because "trends are similar")."""
+        for cf in (2, 4, 7):
+            assert self._time("a100", 128, cf, "decompress") <= self._time(
+                "a100", 128, cf, "compress"
+            )
+
+    @pytest.mark.parametrize("platform", ["cs2", "sn30", "groq", "ipu"])
+    def test_time_grows_with_resolution(self, platform):
+        times = [self._time(platform, n, 4, "compress") for n in (32, 64, 128, 256)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    @pytest.mark.parametrize("platform", ["groq", "ipu"])
+    def test_linear_in_pixels(self, platform):
+        """Key takeaway 2: time ~ linear in pixel count (4x per doubling),
+        modulo the fixed fill/launch overhead."""
+        t1 = self._time(platform, 128, 4, "compress")
+        t2 = self._time(platform, 256, 4, "compress")
+        assert 2.5 < t2 / t1 < 4.5
+
+    @pytest.mark.parametrize("platform", ["cs2", "sn30", "ipu", "a100"])
+    def test_higher_ratio_faster_decompress(self, platform):
+        """Key takeaway 3: higher CR -> faster decompression (less data in),
+        except where the small-tensor penalty bites (SN30 CF=2, tested
+        separately)."""
+        t_cf3 = self._time(platform, 256, 3, "decompress")
+        t_cf7 = self._time(platform, 256, 7, "decompress")
+        assert t_cf3 < t_cf7
+
+    def test_sn30_cr16_slower_than_cr4(self):
+        """Paper: on SN30, CR 16.0 is slower than CR 4.0 despite fewer FLOPs
+        (small-tensor placement overhead)."""
+        t_cf2 = self._time("sn30", 256, 2, "decompress")
+        t_cf4 = self._time("sn30", 256, 4, "decompress")
+        assert t_cf2 > t_cf4
+
+    def test_cs2_flat_until_batch_2000(self):
+        """Paper: CS-2 time barely moves until batch exceeds ~2000."""
+        t10 = self._time("cs2", 64, 4, "compress", batch=10)
+        t2000 = self._time("cs2", 64, 4, "compress", batch=2000)
+        t5000 = self._time("cs2", 64, 4, "compress", batch=5000)
+        assert t2000 / t10 < 3.0       # near-flat region
+        assert t5000 / t2000 > 1.5     # linear growth after saturation
+
+    def test_compress_time_cf_insensitive_on_ipu(self):
+        """Paper: IPU compression throughput has the least CF variance."""
+        times = [self._time("ipu", 128, cf, "compress") for cf in (2, 4, 7)]
+        assert max(times) / min(times) < 1.15

@@ -1,0 +1,111 @@
+"""Hypothesis property tests on the platform timing/compile models."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.accel import compile_program, estimate_time, get_platform
+from repro.accel.cost import ProgramCost
+from repro.core import DCTChopCompressor
+from repro.errors import CompileError
+
+
+def make_cost(in_bytes=10**6, out_bytes=10**5, flops=1e6, n_planes=10, plane=10**4):
+    return ProgramCost(
+        in_bytes=in_bytes,
+        out_bytes=out_bytes,
+        flops=flops,
+        touched_bytes=in_bytes + out_bytes,
+        gather_bytes=0,
+        n_planes=n_planes,
+        plane_bytes=plane,
+        constant_bytes=0,
+        peak_tensor_bytes=in_bytes,
+        total_tensor_bytes=in_bytes + out_bytes,
+        max_compute_tile_bytes=plane,
+        min_io_plane_bytes=plane,
+        max_matmul_dim=64,
+        n_compute_nodes=2,
+        n_samples=n_planes,
+    )
+
+
+PLATFORMS = ("cs2", "sn30", "groq", "ipu", "a100", "cpu")
+
+
+class TestTimingModelProperties:
+    @given(
+        st.sampled_from(PLATFORMS),
+        st.integers(10**3, 10**9),
+        st.integers(10**3, 10**9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_input_bytes(self, platform, small, large):
+        spec = get_platform(platform)
+        lo, hi = sorted((small, large))
+        t_lo = estimate_time(make_cost(in_bytes=lo), spec).total
+        t_hi = estimate_time(make_cost(in_bytes=hi), spec).total
+        assert t_hi >= t_lo
+
+    @given(st.sampled_from(PLATFORMS), st.integers(10**3, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_time_positive_and_finite(self, platform, in_bytes):
+        t = estimate_time(make_cost(in_bytes=in_bytes), get_platform(platform))
+        assert 0 < t.total < 3600
+        assert np.isfinite(t.total)
+
+    @given(st.sampled_from(PLATFORMS), st.floats(1e3, 1e15))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_flops(self, platform, flops):
+        spec = get_platform(platform)
+        t1 = estimate_time(make_cost(flops=flops), spec).total
+        t2 = estimate_time(make_cost(flops=flops * 2), spec).total
+        assert t2 >= t1
+
+    @given(st.sampled_from(PLATFORMS))
+    @settings(max_examples=12, deadline=None)
+    def test_total_is_sum_of_terms(self, platform):
+        t = estimate_time(make_cost(), get_platform(platform))
+        assert t.total == t.launch + t.pipeline_fill + t.host_in + t.host_out + t.device
+
+
+class TestCompileModelProperties:
+    @given(st.sampled_from([2, 3, 4, 5, 6, 7]), st.sampled_from([32, 64, 128]))
+    @settings(max_examples=20, deadline=None)
+    def test_every_cf_resolution_combo_compiles_on_cs2(self, cf, n):
+        comp = DCTChopCompressor(n, cf=cf)
+        compile_program(comp.compress, np.zeros((10, 3, n, n), np.float32), "cs2")
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_groq_batch_failure_is_monotone(self, cf):
+        """If batch B compiles on GroqChip, every smaller batch compiles."""
+        comp = DCTChopCompressor(64, cf=cf)
+
+        def compiles(batch):
+            try:
+                compile_program(
+                    comp.compress, np.zeros((batch, 3, 64, 64), np.float32), "groq"
+                )
+                return True
+            except CompileError:
+                return False
+
+        outcomes = [compiles(b) for b in (100, 500, 1000, 2000, 4000)]
+        # Once it fails it never recovers at a larger batch.
+        seen_fail = False
+        for ok in outcomes:
+            if not ok:
+                seen_fail = True
+            assert not (seen_fail and ok)
+
+    @given(st.sampled_from([2, 4, 7]))
+    @settings(max_examples=6, deadline=None)
+    def test_modelled_time_scales_with_batch(self, cf):
+        comp = DCTChopCompressor(64, cf=cf)
+        times = []
+        for batch in (10, 100, 1000):
+            prog = compile_program(
+                comp.compress, np.zeros((batch, 3, 64, 64), np.float32), "sn30"
+            )
+            times.append(prog.estimated_time())
+        assert times[0] < times[1] < times[2]

@@ -1,0 +1,52 @@
+"""Profiler-style program report."""
+
+import numpy as np
+
+from repro.accel import compile_program
+from repro.accel.report import program_report
+from repro.core import DCTChopCompressor, ScatterGatherCompressor
+
+
+class TestProgramReport:
+    def _prog(self, platform="sn30", cf=4, n=64):
+        comp = DCTChopCompressor(n, cf=cf)
+        return compile_program(
+            comp.compress, np.zeros((10, 3, n, n), np.float32), platform, name="t"
+        )
+
+    def test_contains_sections(self):
+        text = program_report(self._prog())
+        for needle in ("inputs:", "output:", "matmul", "modelled timing", "total"):
+            assert needle in text
+
+    def test_lists_every_node(self):
+        prog = self._prog()
+        text = program_report(prog)
+        assert text.count("matmul") == len(prog.graph.nodes)
+
+    def test_energy_line_for_known_platforms(self):
+        assert "energy" in program_report(self._prog("cs2"))
+
+    def test_roofline_label(self):
+        text = program_report(self._prog())
+        assert "memory-bound" in text or "compute-bound" in text
+
+    def test_sg_program_shows_gather(self):
+        comp = ScatterGatherCompressor(32, cf=4)
+        prog = compile_program(
+            comp.compress, np.zeros((4, 3, 32, 32), np.float32), "ipu", name="sg"
+        )
+        assert "gather" in program_report(prog)
+
+    def test_cli_inspect(self, capsys):
+        from repro.cli import main
+
+        assert main(["inspect", "--platform", "cs2", "--resolution", "32"]) == 0
+        assert "modelled timing" in capsys.readouterr().out
+
+    def test_cli_inspect_compile_error(self, capsys):
+        from repro.cli import main
+
+        rc = main(["inspect", "--platform", "sn30", "--resolution", "512"])
+        assert rc == 1
+        assert "compile error" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Platform specs reproduce the paper's Table 1 facts."""
+
+import pytest
+
+from repro.accel import get_platform, platform_names
+from repro.accel.spec import GB, KB, MB
+
+
+class TestTable1:
+    def test_all_platforms_registered(self):
+        names = platform_names()
+        for expected in ("cs2", "sn30", "groq", "ipu", "a100", "cpu"):
+            assert expected in names
+
+    def test_accelerators_only_filter(self):
+        assert platform_names(accelerators_only=True) == ["cs2", "groq", "ipu", "sn30"]
+
+    def test_cs2(self):
+        spec = get_platform("cs2")
+        assert spec.compute_units == 850_000
+        assert spec.onchip_memory_bytes == 40 * GB
+        assert spec.architecture == "dataflow"
+        assert "CSL" in spec.software
+
+    def test_sn30(self):
+        spec = get_platform("sn30")
+        assert spec.compute_units == 1280
+        assert spec.onchip_memory_bytes == 640 * MB
+        # OCM/CUs = 0.5 MB (one PMU per PCU).
+        assert spec.ocm_per_cu_bytes == pytest.approx(0.5 * MB)
+        assert spec.memory.per_tile_tensor_bytes == 512 * KB
+
+    def test_groq(self):
+        spec = get_platform("groq")
+        assert spec.compute_units == 5120
+        assert spec.onchip_memory_bytes == 230 * MB
+        assert spec.architecture == "simd"
+        assert spec.memory.max_matmul_dim == 320
+
+    def test_ipu(self):
+        spec = get_platform("ipu")
+        assert spec.compute_units == 1472
+        assert spec.onchip_memory_bytes == 900 * MB
+        assert spec.architecture == "mimd"
+        assert spec.perf.gather_bw is not None
+
+    def test_table1_row_rendering(self):
+        row = get_platform("sn30").table1_row()
+        assert row["CUs"] == 1280
+        assert row["OCM"] == "640 MB"
+        assert "0.50 MB" in str(row["OCM/CUs"])
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            get_platform("tpu")
+
+    def test_pmu_holds_362_square_not_512(self):
+        """Paper: one 0.5 MB PMU holds up to one 362x362 FP32 matrix."""
+        pmu = get_platform("sn30").memory.per_tile_tensor_bytes
+        assert 362 * 362 * 4 <= pmu < 512 * 512 * 4
+
+
+class TestRegistry:
+    def test_register_custom(self):
+        from repro.accel import register_platform
+        from repro.accel.spec import AcceleratorSpec, MemoryModel, PerfParams
+
+        spec = AcceleratorSpec(
+            name="toy",
+            vendor="test",
+            compute_units=1,
+            onchip_memory_bytes=MB,
+            software=("PT",),
+            architecture="cpu",
+            memory=MemoryModel(total_onchip_bytes=MB),
+            perf=PerfParams(host_bw=1e9, out_weight=1.0, compute_flops=1e9, mem_bw=1e9),
+        )
+        register_platform(spec)
+        assert get_platform("toy").vendor == "test"

@@ -1,0 +1,122 @@
+"""JPEG quantization pipeline and the host-only RLE stage."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    JPEGQuantizer,
+    luminance_table,
+    quality_scaled_table,
+    run_length_decode,
+    run_length_encode,
+    zigzag_order,
+)
+from repro.core import psnr
+from repro.errors import ConfigError, ShapeError
+
+
+class TestQuantizationTables:
+    def test_luminance_corner(self):
+        t = luminance_table()
+        assert t[0, 0] == 16 and t[7, 7] == 99
+
+    def test_quality_50_is_base(self):
+        np.testing.assert_allclose(quality_scaled_table(50), luminance_table())
+
+    def test_lower_quality_larger_steps(self):
+        assert (quality_scaled_table(10) >= quality_scaled_table(75)).all()
+
+    def test_quality_100_minimal(self):
+        assert quality_scaled_table(100).max() == 1.0
+
+    def test_bounds(self):
+        with pytest.raises(ConfigError):
+            quality_scaled_table(0)
+        with pytest.raises(ConfigError):
+            quality_scaled_table(101)
+
+    def test_clipping_range(self):
+        t = quality_scaled_table(1)
+        assert t.max() <= 255.0 and t.min() >= 1.0
+
+
+class TestZigzag:
+    def test_is_permutation(self):
+        z = zigzag_order()
+        assert sorted(z.tolist()) == list(range(64))
+
+    def test_starts_at_dc(self):
+        z = zigzag_order()
+        assert z[0] == 0
+        # Next two are (0,1) and (1,0).
+        assert set(z[1:3].tolist()) == {1, 8}
+
+    def test_ends_at_corner(self):
+        assert zigzag_order()[-1] == 63
+
+    def test_small_block(self):
+        z = zigzag_order(2)
+        assert sorted(z.tolist()) == [0, 1, 2, 3]
+
+
+class TestQuantizer:
+    def test_roundtrip_quality(self, rng):
+        x = (rng.random((2, 32, 32)) * 255 - 128).astype(np.float32)
+        high = psnr(x, JPEGQuantizer(95).roundtrip(x))
+        low = psnr(x, JPEGQuantizer(5).roundtrip(x))
+        assert high > low
+
+    def test_more_zeros_at_lower_quality(self, rng):
+        x = (rng.random((4, 32, 32)) * 255 - 128).astype(np.float32)
+        frac_low = JPEGQuantizer(5).nonzero_fraction(x)
+        frac_high = JPEGQuantizer(95).nonzero_fraction(x)
+        assert frac_low.mean() < frac_high.mean()
+
+    def test_dc_survives_quantization(self, rng):
+        """The DC coefficient stays nonzero for non-trivial blocks."""
+        x = (rng.random((8, 32, 32)) * 255).astype(np.float32)
+        frac = JPEGQuantizer(10).nonzero_fraction(x)
+        assert frac[0, 0] > 0.95
+
+    def test_high_freq_mostly_zero_at_low_quality(self, rng):
+        # Blocks with strong means so the DC coefficient survives.
+        x = (rng.random((8, 32, 32)) * 50 + 100).astype(np.float32)
+        frac = JPEGQuantizer(5).nonzero_fraction(x)
+        assert frac[7, 7] < frac[0, 0]
+
+    def test_shape_constraint(self, rng):
+        with pytest.raises(ShapeError):
+            JPEGQuantizer(50).quantize(rng.random((10, 10)))
+
+    def test_quantize_dtype(self, rng):
+        q = JPEGQuantizer(50).quantize((rng.random((16, 16)) * 255).astype(np.float32))
+        assert q.dtype == np.int64
+        assert q.shape == (2, 2, 8, 8)
+
+
+class TestRLE:
+    def test_roundtrip(self, rng):
+        block = rng.integers(-5, 5, (8, 8)) * (rng.random((8, 8)) > 0.7)
+        pairs = run_length_encode(block)
+        np.testing.assert_array_equal(run_length_decode(pairs), block)
+
+    def test_all_zero_block(self):
+        block = np.zeros((8, 8), np.int64)
+        pairs = run_length_encode(block)
+        assert pairs == [(64, 0)]
+        np.testing.assert_array_equal(run_length_decode(pairs), block)
+
+    def test_variable_length_output(self, rng):
+        """RLE output length is data-dependent — the property that breaks
+        static-shape compilation on the accelerators (Section 3.1)."""
+        sparse = np.zeros((8, 8), np.int64)
+        sparse[0, 0] = 3
+        dense = rng.integers(1, 5, (8, 8))
+        assert len(run_length_encode(sparse)) < len(run_length_encode(dense))
+
+    def test_compresses_sparse_blocks(self):
+        sparse = np.zeros((8, 8), np.int64)
+        sparse[0, 0] = 7
+        sparse[0, 1] = -2
+        pairs = run_length_encode(sparse)
+        assert len(pairs) == 3  # two values + end marker

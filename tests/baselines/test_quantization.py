@@ -1,0 +1,46 @@
+"""Uniform quantization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import UniformQuantizer
+from repro.core import max_abs_error, mse
+from repro.errors import ConfigError
+
+
+class TestUniformQuantizer:
+    def test_ratio(self):
+        assert UniformQuantizer(bits=8).ratio == 4.0
+        assert UniformQuantizer(bits=4).ratio == 8.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigError):
+            UniformQuantizer(bits=0)
+        with pytest.raises(ConfigError):
+            UniformQuantizer(bits=17)
+
+    def test_error_bound(self, rng):
+        """Uniform quantization error is bounded by half a step."""
+        x = rng.standard_normal((16, 16)).astype(np.float32) * 10
+        q = UniformQuantizer(bits=8)
+        step = (x.max() - x.min()) / (q.levels - 1)
+        assert max_abs_error(x, q.roundtrip(x)) <= step / 2 + 1e-5
+
+    def test_quality_monotone_in_bits(self, rng):
+        x = rng.standard_normal((32, 32)).astype(np.float32)
+        errs = [mse(x, UniformQuantizer(bits=b).roundtrip(x)) for b in (2, 4, 8, 12)]
+        assert all(a >= b for a, b in zip(errs, errs[1:]))
+
+    def test_endpoints_exact(self):
+        x = np.array([0.0, 0.5, 1.0], np.float32)
+        rec = UniformQuantizer(bits=8).roundtrip(x)
+        assert rec[0] == pytest.approx(0.0, abs=1e-6)
+        assert rec[2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_constant_input(self):
+        x = np.full((4, 4), 3.0, np.float32)
+        np.testing.assert_allclose(UniformQuantizer(bits=4).roundtrip(x), x)
+
+    def test_codes_dtype(self, rng):
+        payload = UniformQuantizer(bits=8).compress(rng.standard_normal((4, 4)))
+        assert payload["codes"].dtype == np.uint16

@@ -1,0 +1,92 @@
+"""ZFP-style fixed-rate codec."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ZFPCompressor
+from repro.baselines.zfp import _bit_allocation, _T, _T_INV
+from repro.core import mse, psnr
+from repro.errors import ConfigError, ShapeError
+
+
+class TestTransform:
+    def test_invertible(self):
+        np.testing.assert_allclose(_T @ _T_INV, np.eye(4), atol=1e-12)
+
+    def test_first_row_averages(self):
+        """Row 0 of the lifted transform is the block mean (x4)."""
+        np.testing.assert_allclose(_T[0], [1, 1, 1, 1])
+
+
+class TestBitAllocation:
+    def test_budget_respected(self):
+        for rate in (1, 2, 4, 8, 16):
+            bits = _bit_allocation(rate)
+            assert bits.sum() == 16 * rate
+
+    def test_low_sequency_gets_more_bits(self):
+        bits = _bit_allocation(4)
+        assert bits[0, 0] >= bits[1, 1] >= bits[3, 3]
+
+    def test_high_rate_covers_all(self):
+        assert (_bit_allocation(16) > 0).all()
+
+
+class TestCompressor:
+    def test_ratio(self):
+        assert ZFPCompressor(rate=2).ratio == 16.0
+        assert ZFPCompressor(rate=8).ratio == 4.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            ZFPCompressor(rate=0.1)
+        with pytest.raises(ConfigError):
+            ZFPCompressor(rate=64)
+
+    def test_shape_requirements(self, rng):
+        with pytest.raises(ShapeError):
+            ZFPCompressor(rate=8).compress(rng.standard_normal((5, 5)))
+
+    def test_roundtrip_preserves_shape(self, rng):
+        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        rec = ZFPCompressor(rate=8).roundtrip(x)
+        assert rec.shape == x.shape
+        assert rec.dtype == np.float32
+
+    def test_quality_monotone_in_rate(self, rng):
+        x = rng.standard_normal((4, 32, 32)).astype(np.float32)
+        errors = [mse(x, ZFPCompressor(rate=r).roundtrip(x)) for r in (1, 2, 4, 8, 16)]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_high_rate_near_lossless(self, rng):
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        assert psnr(x, ZFPCompressor(rate=24).roundtrip(x)) > 80.0
+
+    def test_zero_block_exact(self):
+        x = np.zeros((1, 8, 8), np.float32)
+        np.testing.assert_array_equal(ZFPCompressor(rate=4).roundtrip(x), x)
+
+    def test_block_floating_point_scale_invariance(self, rng):
+        """Relative error roughly unchanged when the data is scaled 2^k —
+        the block-exponent alignment property."""
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        z = ZFPCompressor(rate=6)
+        e1 = mse(x, z.roundtrip(x))
+        e2 = mse(x * 1024, z.roundtrip(x * 1024)) / 1024**2
+        assert e2 == pytest.approx(e1, rel=0.2)
+
+    def test_smooth_better_than_noise(self, rng):
+        """Decorrelating transform: smooth data compresses better."""
+        g = np.linspace(0, 1, 32, dtype=np.float32)
+        smooth = np.outer(g, g)[None]
+        noise = rng.standard_normal((1, 32, 32)).astype(np.float32)
+        noise /= np.abs(noise).max()
+        z = ZFPCompressor(rate=4)
+        assert mse(smooth, z.roundtrip(smooth)) < mse(noise, z.roundtrip(noise))
+
+    def test_payload_fields(self, rng):
+        x = rng.standard_normal((1, 8, 8)).astype(np.float32)
+        payload = ZFPCompressor(rate=4).compress(x)
+        assert payload["coeff"].shape == (1, 2, 2, 4, 4)
+        assert payload["exponents"].shape == (1, 2, 2)
+        assert payload["shape"] == (1, 8, 8)

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gen() -> Generator:
+    return Generator(12345)
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` w.r.t. ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(op, x: np.ndarray, atol: float = 2e-2, rtol: float = 2e-2) -> None:
+    """Compare autograd and numerical gradients of ``sum(op(tensor))``."""
+
+    def scalar(arr):
+        return op(Tensor(arr.astype(np.float32))).sum().item()
+
+    t = Tensor(x.astype(np.float32), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    num = numerical_gradient(scalar, x.astype(np.float64).copy())
+    np.testing.assert_allclose(t.grad, num, atol=atol, rtol=rtol)

@@ -1,0 +1,64 @@
+"""Top-level compress/decompress API and factory."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Compressor,
+    DCTChopCompressor,
+    PartialSerializedCompressor,
+    ScatterGatherCompressor,
+    compress,
+    decompress,
+    make_compressor,
+)
+from repro.errors import ConfigError
+
+
+class TestFactory:
+    def test_methods(self):
+        assert isinstance(make_compressor(32, method="dc"), DCTChopCompressor)
+        assert isinstance(make_compressor(64, method="ps", s=2), PartialSerializedCompressor)
+        assert isinstance(make_compressor(32, method="sg"), ScatterGatherCompressor)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigError):
+            make_compressor(32, method="huffman")
+
+    def test_protocol_conformance(self):
+        for method in ("dc", "ps", "sg"):
+            comp = make_compressor(64, method=method, cf=3)
+            assert isinstance(comp, Compressor)
+            assert comp.method == method
+            assert comp.cf == 3
+
+    def test_rectangular(self):
+        c = make_compressor(32, 64, method="dc", cf=2)
+        assert c.compressed_shape((1, 32, 64)) == (1, 8, 16)
+
+
+class TestOneShot:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        y = compress(x, cf=4)
+        assert y.shape == (2, 3, 16, 16)
+        rec = decompress(y, x.shape, cf=4)
+        assert rec.shape == x.shape
+        ref = DCTChopCompressor(32, cf=4).roundtrip(x).numpy()
+        np.testing.assert_allclose(rec.numpy(), ref, atol=1e-5)
+
+    def test_compressor_cache_reused(self, rng):
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        from repro.core import api
+
+        before = len(api._cache)
+        compress(x, cf=5)
+        compress(x, cf=5)
+        assert len(api._cache) == before + 1
+
+    def test_sg_method(self, rng):
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        y = compress(x, method="sg", cf=3)
+        assert y.shape == (1, 4, 6)
+        rec = decompress(y, x.shape, method="sg", cf=3)
+        assert rec.shape == x.shape

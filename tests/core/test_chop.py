@@ -1,0 +1,152 @@
+"""DCT+Chop compressor against an explicit blockwise reference (Eq. 4/6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCTChopCompressor, dct_matrix, mse, psnr
+from repro.errors import ConfigError, ShapeError
+from repro.tensor import Tensor
+
+
+def reference_roundtrip(x: np.ndarray, cf: int) -> np.ndarray:
+    """Per-block DCT, zero all coefficients outside the CFxCF corner, invert."""
+    t = dct_matrix(8)
+    out = np.zeros_like(x)
+    h, w = x.shape[-2:]
+    for i in range(0, h, 8):
+        for j in range(0, w, 8):
+            d = t @ x[..., i : i + 8, j : j + 8] @ t.T
+            d2 = np.zeros_like(d)
+            d2[..., :cf, :cf] = d[..., :cf, :cf]
+            out[..., i : i + 8, j : j + 8] = t.T @ d2 @ t
+    return out
+
+
+class TestConstruction:
+    def test_defaults(self):
+        c = DCTChopCompressor(64)
+        assert c.width == 64 and c.cf == 4 and c.block == 8
+
+    def test_invalid_cf(self):
+        with pytest.raises(ConfigError):
+            DCTChopCompressor(32, cf=0)
+        with pytest.raises(ConfigError):
+            DCTChopCompressor(32, cf=9)
+
+    def test_non_multiple_resolution(self):
+        with pytest.raises(ConfigError):
+            DCTChopCompressor(30)
+
+    def test_operand_shapes(self):
+        c = DCTChopCompressor(64, cf=3)
+        assert c.lhs.shape == (24, 64)
+        assert c.rhs.shape == (64, 24)
+
+    def test_ratio(self):
+        assert DCTChopCompressor(32, cf=2).ratio == 16.0
+        assert DCTChopCompressor(32, cf=4).ratio == 4.0
+        assert DCTChopCompressor(32, cf=8).ratio == 1.0
+
+    def test_repr(self):
+        assert "cf=5" in repr(DCTChopCompressor(32, cf=5))
+
+
+class TestCompress:
+    @pytest.mark.parametrize("cf", range(1, 9))
+    def test_matches_reference(self, rng, cf):
+        x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        rec = DCTChopCompressor(32, cf=cf).roundtrip(x).numpy()
+        np.testing.assert_allclose(rec, reference_roundtrip(x, cf), atol=1e-4)
+
+    def test_cf8_lossless(self, rng):
+        x = rng.standard_normal((1, 1, 16, 16)).astype(np.float32)
+        rec = DCTChopCompressor(16, cf=8).roundtrip(x).numpy()
+        np.testing.assert_allclose(rec, x, atol=1e-5)
+
+    def test_compressed_shape(self):
+        c = DCTChopCompressor(64, cf=3)
+        assert c.compressed_shape((10, 3, 64, 64)) == (10, 3, 24, 24)
+        assert c.compressed_height == 24
+
+    def test_compress_output_shape(self, rng):
+        c = DCTChopCompressor(32, cf=5)
+        y = c.compress(rng.standard_normal((4, 3, 32, 32)).astype(np.float32))
+        assert y.shape == (4, 3, 20, 20)
+
+    def test_static_shape_enforced(self, rng):
+        c = DCTChopCompressor(32, cf=4)
+        with pytest.raises(ShapeError):
+            c.compress(rng.standard_normal((1, 3, 64, 64)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            c.decompress(rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ShapeError):
+            DCTChopCompressor(32).compress(np.zeros(32, np.float32))
+
+    def test_accepts_2d_plane(self, rng):
+        x = rng.standard_normal((16, 16)).astype(np.float32)
+        rec = DCTChopCompressor(16, cf=6).roundtrip(x).numpy()
+        np.testing.assert_allclose(rec, reference_roundtrip(x, 6), atol=1e-4)
+
+    def test_rectangular(self, rng):
+        x = rng.standard_normal((2, 16, 24)).astype(np.float32)
+        c = DCTChopCompressor(16, 24, cf=4)
+        assert c.compress(x).shape == (2, 8, 12)
+        np.testing.assert_allclose(
+            c.roundtrip(x).numpy(), reference_roundtrip(x, 4), atol=1e-4
+        )
+
+    def test_accepts_tensor_input(self, rng):
+        x = Tensor(rng.standard_normal((1, 16, 16)).astype(np.float32))
+        c = DCTChopCompressor(16)
+        assert c.compress(x).shape == (1, 8, 8)
+
+
+class TestQuality:
+    def test_error_monotone_in_cf(self, rng):
+        """Larger CF keeps more coefficients -> lower reconstruction error."""
+        x = rng.standard_normal((4, 32, 32)).astype(np.float32)
+        errors = [
+            mse(x, DCTChopCompressor(32, cf=cf).roundtrip(x)) for cf in range(1, 9)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_smooth_data_compresses_well(self):
+        """Energy compaction: smooth fields survive heavy chopping."""
+        g = np.linspace(0, 1, 64, dtype=np.float32)
+        x = np.outer(g, g)[None]
+        assert psnr(x, DCTChopCompressor(64, cf=2).roundtrip(x)) > 40.0
+
+    def test_dc_only_preserves_block_means(self, rng):
+        """CF=1 keeps only the DC coefficient: block means must survive."""
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        rec = DCTChopCompressor(16, cf=1).roundtrip(x).numpy()
+        for i in range(0, 16, 8):
+            for j in range(0, 16, 8):
+                assert rec[0, i : i + 8, j : j + 8].mean() == pytest.approx(
+                    x[0, i : i + 8, j : j + 8].mean(), abs=1e-4
+                )
+
+    def test_roundtrip_is_projection(self, rng):
+        """compress->decompress->compress->decompress is idempotent."""
+        x = rng.standard_normal((2, 32, 32)).astype(np.float32)
+        c = DCTChopCompressor(32, cf=3)
+        once = c.roundtrip(x).numpy()
+        twice = c.roundtrip(once).numpy()
+        np.testing.assert_allclose(once, twice, atol=1e-4)
+
+    def test_linearity(self, rng):
+        """The compressor is a linear map (two matmuls)."""
+        c = DCTChopCompressor(16, cf=4)
+        a = rng.standard_normal((16, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 16)).astype(np.float32)
+        np.testing.assert_allclose(
+            c.compress(a + b).numpy(),
+            c.compress(a).numpy() + c.compress(b).numpy(),
+            atol=1e-4,
+        )
+
+    def test_flops_accessors(self):
+        c = DCTChopCompressor(64, cf=4)
+        assert c.flops_decompress() < c.flops_compress()

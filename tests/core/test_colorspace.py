@@ -1,0 +1,74 @@
+"""RGB <-> YCbCr colorspace transform."""
+
+import numpy as np
+import pytest
+
+from repro.core.colorspace import rgb_to_ycbcr, ycbcr_to_rgb
+from repro.errors import ShapeError
+
+
+class TestColorspace:
+    def test_roundtrip(self, rng):
+        x = rng.random((2, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_allclose(ycbcr_to_rgb(rgb_to_ycbcr(x)), x, atol=1e-5)
+
+    def test_luma_weights(self):
+        """Pure gray maps to (Y=gray, Cb=0, Cr=0)."""
+        gray = np.full((3, 4, 4), 0.5, np.float32)
+        ycc = rgb_to_ycbcr(gray)
+        np.testing.assert_allclose(ycc[0], 0.5, atol=1e-6)
+        np.testing.assert_allclose(ycc[1:], 0.0, atol=1e-6)
+
+    def test_bt601_luma(self):
+        red = np.zeros((3, 1, 1), np.float32)
+        red[0] = 1.0
+        assert rgb_to_ycbcr(red)[0, 0, 0] == pytest.approx(0.299)
+
+    def test_requires_three_channels(self):
+        with pytest.raises(ShapeError):
+            rgb_to_ycbcr(np.zeros((1, 4, 4), np.float32))
+        with pytest.raises(ShapeError):
+            ycbcr_to_rgb(np.zeros((4, 4), np.float32))
+
+    def test_batch_dims(self, rng):
+        x = rng.random((5, 2, 3, 8, 8)).astype(np.float32)
+        assert rgb_to_ycbcr(x).shape == x.shape
+
+
+class TestCustomTransform:
+    def test_identity_transform_is_pixel_chop(self, rng):
+        """With the identity 'transform' the chop keeps raw pixels of each
+        block's upper-left corner."""
+        from repro.core import DCTChopCompressor
+
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        comp = DCTChopCompressor(16, cf=2, block=4, transform=np.eye(4, dtype=np.float32))
+        rec = comp.roundtrip(x).numpy()
+        np.testing.assert_allclose(rec[0, 0, 0], x[0, 0, 0], atol=1e-5)
+        assert rec[0, 3, 3] == 0.0  # chopped pixel position
+
+    def test_nonorthonormal_transform_lossless_at_full_cf(self, rng):
+        from repro.baselines.zfp import _T
+        from repro.core import DCTChopCompressor
+
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        comp = DCTChopCompressor(16, cf=4, block=4, transform=_T.astype(np.float32))
+        np.testing.assert_allclose(comp.roundtrip(x).numpy(), x, atol=1e-4)
+
+    def test_wrong_transform_shape(self):
+        from repro.core import DCTChopCompressor
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            DCTChopCompressor(16, cf=2, block=4, transform=np.eye(8, dtype=np.float32))
+
+    def test_custom_transform_error_monotone(self, rng):
+        from repro.baselines.zfp import _T
+        from repro.core import DCTChopCompressor, mse
+
+        x = rng.standard_normal((2, 16, 16)).astype(np.float32)
+        errs = [
+            mse(x, DCTChopCompressor(16, cf=cf, block=4, transform=_T.astype(np.float32)).roundtrip(x))
+            for cf in (1, 2, 3, 4)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(errs, errs[1:]))

@@ -1,0 +1,116 @@
+"""DCZ container format: pack/unpack/save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCTChopCompressor, ScatterGatherCompressor, make_compressor
+from repro.core import container
+from repro.errors import ConfigError
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        comp = DCTChopCompressor(32, cf=4)
+        blob = container.pack(x, comp)
+        rec, header = container.unpack(blob)
+        assert rec.shape == x.shape
+        np.testing.assert_allclose(rec, comp.roundtrip(x).numpy(), atol=1e-5)
+        assert header["method"] == "dc" and header["cf"] == 4
+
+    def test_bad_magic(self):
+        with pytest.raises(ConfigError):
+            container.unpack(b"NOPE" + b"\x00" * 16)
+
+    def test_packed_ratio_close_to_nominal(self, rng):
+        x = rng.standard_normal((8, 3, 64, 64)).astype(np.float32)
+        comp = DCTChopCompressor(64, cf=2)
+        blob = container.pack(x, comp)
+        ratio = container.packed_ratio(blob)
+        # Header overhead is tiny relative to a real batch.
+        assert 0.9 * comp.ratio < ratio <= comp.ratio
+
+    def test_sg_container(self, rng):
+        x = rng.standard_normal((1, 32, 32)).astype(np.float32)
+        comp = ScatterGatherCompressor(32, cf=3)
+        rec, header = container.unpack(container.pack(x, comp))
+        np.testing.assert_allclose(rec, comp.roundtrip(x).numpy(), atol=1e-5)
+        assert header["method"] == "sg"
+
+    def test_ps_container_records_s(self, rng):
+        x = rng.standard_normal((1, 64, 64)).astype(np.float32)
+        comp = make_compressor(64, method="ps", cf=4, s=2)
+        blob = container.pack(x, comp)
+        rec, header = container.unpack(blob)
+        assert header["s"] == 2
+        np.testing.assert_allclose(rec, comp.roundtrip(x).numpy(), atol=1e-5)
+
+    def test_compressor_for_header_rejects_bad_shape(self):
+        with pytest.raises(ConfigError):
+            container.compressor_for_header({"shape": [8], "method": "dc", "cf": 2, "block": 8})
+
+
+class TestFP16Payload:
+    def test_doubles_ratio(self, rng):
+        x = rng.standard_normal((8, 3, 64, 64)).astype(np.float32)
+        comp = DCTChopCompressor(64, cf=4)
+        blob32 = container.pack(x, comp)
+        blob16 = container.pack(x, comp, payload_dtype="float16")
+        assert container.packed_ratio(blob16) > 1.9 * container.packed_ratio(blob32)
+
+    def test_quality_cost_small(self, rng):
+        from repro.core import psnr
+
+        x = rng.standard_normal((4, 64, 64)).astype(np.float32)
+        comp = DCTChopCompressor(64, cf=4)
+        rec32, _ = container.unpack(container.pack(x, comp))
+        rec16, _ = container.unpack(container.pack(x, comp, payload_dtype="float16"))
+        # Half-precision coefficients cost only a little PSNR on top of the chop.
+        assert psnr(x, rec16) > psnr(x, rec32) - 3.0
+
+    def test_header_records_dtype(self, rng):
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        blob = container.pack(x, DCTChopCompressor(16, cf=4), payload_dtype="float16")
+        rec, header = container.unpack(blob)
+        assert header["dtype"] == "float16"
+        assert rec.dtype == np.float32
+
+    def test_invalid_dtype(self, rng):
+        with pytest.raises(ConfigError):
+            container.pack(
+                rng.standard_normal((1, 16, 16)).astype(np.float32),
+                DCTChopCompressor(16, cf=4),
+                payload_dtype="int8",
+            )
+
+
+class TestPaddedContainer:
+    def test_padded_compressor_roundtrip(self, rng):
+        from repro.core import PaddedCompressor
+
+        x = rng.standard_normal((2, 20, 28)).astype(np.float32)
+        comp = PaddedCompressor(20, 28, cf=4)
+        rec, header = container.unpack(container.pack(x, comp))
+        assert rec.shape == x.shape
+        assert header["padded"] is True
+        np.testing.assert_allclose(rec, comp.roundtrip(x).numpy(), atol=1e-5)
+
+
+class TestFiles:
+    def test_save_load(self, rng, tmp_path):
+        x = rng.standard_normal((4, 16, 16)).astype(np.float32)
+        comp = DCTChopCompressor(16, cf=4)
+        path = container.save(tmp_path / "batch.dcz", x, comp)
+        rec, header = container.load(path)
+        np.testing.assert_allclose(rec, comp.roundtrip(x).numpy(), atol=1e-5)
+        assert path.stat().st_size < x.nbytes / 2
+
+    def test_decoder_needs_no_sideband(self, rng, tmp_path):
+        """The file alone suffices: decode without knowing cf/method."""
+        x = rng.standard_normal((2, 24, 24)).astype(np.float32)
+        for method, cf in (("dc", 2), ("sg", 5)):
+            comp = make_compressor(24, method=method, cf=cf)
+            path = container.save(tmp_path / f"{method}.dcz", x, comp)
+            rec, header = container.load(path)
+            assert rec.shape == x.shape
+            assert header["cf"] == cf

@@ -1,0 +1,90 @@
+"""DCT-II matrices (Eq. 1/2): orthonormality, scipy agreement, block layout."""
+
+import numpy as np
+import pytest
+from scipy.fft import dct as scipy_dct
+
+from repro.core import block_diagonal_dct, dct_matrix, idct_matrix
+from repro.errors import ConfigError
+
+
+class TestDCTMatrix:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_orthonormal(self, n):
+        t = dct_matrix(n)
+        np.testing.assert_allclose(t @ t.T, np.eye(n), atol=1e-5)
+
+    def test_matches_scipy_orthonormal_dct2(self, rng):
+        x = rng.standard_normal(8).astype(np.float32)
+        ours = dct_matrix(8) @ x
+        ref = scipy_dct(x, type=2, norm="ortho")
+        np.testing.assert_allclose(ours, ref, atol=1e-5)
+
+    def test_2d_transform_matches_scipy(self, rng):
+        x = rng.standard_normal((8, 8)).astype(np.float32)
+        t = dct_matrix(8)
+        ours = t @ x @ t.T
+        ref = scipy_dct(scipy_dct(x, axis=0, norm="ortho"), axis=1, norm="ortho")
+        np.testing.assert_allclose(ours, ref, atol=1e-4)
+
+    def test_first_row_is_constant(self):
+        t = dct_matrix(8)
+        np.testing.assert_allclose(t[0], np.full(8, 1 / np.sqrt(8)), atol=1e-6)
+
+    def test_dc_coefficient_is_scaled_mean(self, rng):
+        """D[0,0] represents the average value of the block (paper Sec 3.2)."""
+        x = rng.standard_normal((8, 8)).astype(np.float32)
+        t = dct_matrix(8)
+        d = t @ x @ t.T
+        assert d[0, 0] == pytest.approx(8.0 * x.mean(), rel=1e-4)
+
+    def test_idct_inverts(self, rng):
+        x = rng.standard_normal((8, 8)).astype(np.float32)
+        t, ti = dct_matrix(8), idct_matrix(8)
+        np.testing.assert_allclose(ti @ (t @ x @ t.T) @ ti.T, x, atol=1e-5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            dct_matrix(0)
+
+    def test_returns_copy(self):
+        a = dct_matrix(8)
+        a[0, 0] = 99.0
+        assert dct_matrix(8)[0, 0] != 99.0
+
+
+class TestBlockDiagonal:
+    def test_structure(self):
+        t_l = block_diagonal_dct(24, 8)
+        t = dct_matrix(8)
+        for b in range(3):
+            lo = b * 8
+            np.testing.assert_array_equal(t_l[lo : lo + 8, lo : lo + 8], t)
+        # Off-diagonal blocks are zero.
+        assert t_l[0:8, 8:16].sum() == 0.0
+
+    def test_orthonormal(self):
+        t_l = block_diagonal_dct(32)
+        np.testing.assert_allclose(t_l @ t_l.T, np.eye(32), atol=1e-5)
+
+    def test_equals_per_block_transform(self, rng):
+        x = rng.standard_normal((16, 16)).astype(np.float32)
+        t_l = block_diagonal_dct(16)
+        full = t_l @ x @ t_l.T
+        t = dct_matrix(8)
+        for bi in range(2):
+            for bj in range(2):
+                blk = x[bi * 8 : bi * 8 + 8, bj * 8 : bj * 8 + 8]
+                np.testing.assert_allclose(
+                    full[bi * 8 : bi * 8 + 8, bj * 8 : bj * 8 + 8],
+                    t @ blk @ t.T,
+                    atol=1e-4,
+                )
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ConfigError):
+            block_diagonal_dct(20, 8)
+
+    def test_custom_block_size(self):
+        t_l = block_diagonal_dct(16, 4)
+        np.testing.assert_allclose(t_l @ t_l.T, np.eye(16), atol=1e-5)

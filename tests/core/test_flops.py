@@ -1,0 +1,95 @@
+"""Cost-model identities (Eq. 3, 5, 7 and operand sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compression_flops,
+    compression_ratio,
+    decompression_flops,
+    operand_sizes,
+    sg_compression_ratio,
+)
+from repro.core.flops import parallel_block_runs, sg_ratio_gain
+from repro.errors import ConfigError
+
+
+class TestRatios:
+    def test_eq3_values(self):
+        """CR = 64/CF^2: the paper's series 16, 7.11, 4, 2.56, 1.78, 1.31."""
+        expected = {2: 16.0, 3: 64 / 9, 4: 4.0, 5: 2.56, 6: 64 / 36, 7: 64 / 49}
+        for cf, cr in expected.items():
+            assert compression_ratio(cf) == pytest.approx(cr)
+
+    def test_sg_ratio(self):
+        assert sg_compression_ratio(2) == pytest.approx(64 / 3)
+        assert sg_compression_ratio(7) == pytest.approx(64 / 28)
+
+    def test_sg_gain(self):
+        for cf in range(1, 9):
+            assert sg_compression_ratio(cf) / compression_ratio(cf) == pytest.approx(
+                sg_ratio_gain(cf)
+            )
+
+    def test_invalid_cf(self):
+        with pytest.raises(ConfigError):
+            compression_ratio(0)
+        with pytest.raises(ConfigError):
+            sg_compression_ratio(9)
+
+    def test_custom_block(self):
+        assert compression_ratio(2, block=4) == 4.0
+
+
+class TestFlops:
+    def test_decompress_fewer_flops_below_cf8(self):
+        """Paper: decompression needs fewer FLOPs for CF < 8 (Eq. 5 vs 7)."""
+        for n in (32, 64, 256):
+            for cf in range(1, 8):
+                assert decompression_flops(n, cf) < compression_flops(n, cf)
+
+    def test_equal_at_cf8(self):
+        assert compression_flops(64, 8) == pytest.approx(decompression_flops(64, 8))
+
+    def test_matches_direct_matmul_count(self):
+        """Eq. 5 equals the FLOPs of the two actual matmuls.
+
+        compress: (m x n)(n x n) then (m x n)(n x m) with m = cf*n/8;
+        using the multiply+add convention 2*m*n*k minus one add per output
+        element for the first touch (the paper's n^2 correction terms).
+        """
+        n, cf = 64, 4
+        m = cf * n // 8
+        inner = 2 * m * n * n - m * n   # LHS @ A
+        outer = 2 * m * n * m - m * m   # (LHS A) @ RHS
+        assert compression_flops(n, cf) == pytest.approx(inner + outer)
+
+    def test_decompress_matches_direct_count(self):
+        n, cf = 64, 4
+        m = cf * n // 8
+        inner = 2 * n * m * m - n * m   # RHS_d @ Y
+        outer = 2 * n * m * n - n * n   # (RHS_d Y) @ LHS_d
+        assert decompression_flops(n, cf) == pytest.approx(inner + outer)
+
+    def test_cubic_scaling(self):
+        """Doubling n increases FLOPs ~8x (n^3 leading term)."""
+        ratio = compression_flops(512, 4) / compression_flops(256, 4)
+        assert 7.5 < ratio < 8.5
+
+
+class TestOperandSizes:
+    def test_shapes(self):
+        s = operand_sizes(256, 4)
+        assert s.input_bytes == 256 * 256 * 4
+        assert s.compressed_bytes == 128 * 128 * 4
+        assert s.lhs_bytes == 128 * 256 * 4
+        assert s.rhs_bytes == s.lhs_bytes
+
+    def test_working_sets(self):
+        s = operand_sizes(64, 2)
+        assert s.compress_working_set == s.decompress_working_set
+        assert s.compress_working_set > s.input_bytes
+
+    def test_parallel_block_runs(self):
+        """BD*C*n*n/64 independent per-block runs (Section 3.2)."""
+        assert parallel_block_runs(100, 3, 256) == 100 * 3 * 256 * 256 // 64

@@ -1,0 +1,90 @@
+"""Chop mask ``M`` and SG triangle indices (Fig. 4 / Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import chop_mask, retained_coefficients, triangle_indices
+from repro.core.mask import triangle_count
+from repro.errors import ConfigError
+
+
+class TestChopMask:
+    def test_shape(self):
+        m = chop_mask(24, 5)
+        assert m.shape == (5 * 3, 24)
+
+    def test_one_per_row(self):
+        m = chop_mask(32, 4)
+        np.testing.assert_array_equal(m.sum(axis=1), np.ones(m.shape[0]))
+
+    def test_selected_columns(self):
+        """Each CFxCF identity sits every 8 columns (Fig. 4)."""
+        m = chop_mask(16, 3)
+        for block in range(2):
+            for r in range(3):
+                row = block * 3 + r
+                col = block * 8 + r
+                assert m[row, col] == 1.0
+
+    def test_column_sums_binary(self):
+        m = chop_mask(16, 3)
+        sums = m.sum(axis=0)
+        assert set(sums.tolist()) == {0.0, 1.0}
+        # Exactly cf columns selected per 8-column group.
+        assert sums.sum() == 2 * 3
+
+    def test_applied_to_matrix_selects_rows(self, rng):
+        x = rng.standard_normal((16, 16)).astype(np.float32)
+        m = chop_mask(16, 2)
+        picked = m @ x
+        np.testing.assert_array_equal(picked[0], x[0])
+        np.testing.assert_array_equal(picked[1], x[1])
+        np.testing.assert_array_equal(picked[2], x[8])
+        np.testing.assert_array_equal(picked[3], x[9])
+
+    def test_cf8_is_identity(self):
+        np.testing.assert_array_equal(chop_mask(16, 8), np.eye(16))
+
+    def test_invalid_cf(self):
+        with pytest.raises(ConfigError):
+            chop_mask(16, 0)
+        with pytest.raises(ConfigError):
+            chop_mask(16, 9)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            chop_mask(20, 4)
+
+    def test_retained_coefficients_map(self):
+        keep = retained_coefficients(3)
+        assert keep[:3, :3].all()
+        assert not keep[3:, :].any() and not keep[:, 3:].any()
+
+
+class TestTriangleIndices:
+    @pytest.mark.parametrize("cf", range(1, 9))
+    def test_count(self, cf):
+        assert len(triangle_indices(cf)) == triangle_count(cf) == cf * (cf + 1) // 2
+
+    def test_cf3_values(self):
+        # 3x3 block, keep (i,j) with i+j<3: (0,0),(0,1),(0,2),(1,0),(1,1),(2,0)
+        np.testing.assert_array_equal(triangle_indices(3), [0, 1, 2, 3, 4, 6])
+
+    def test_all_in_range(self):
+        for cf in range(1, 9):
+            idx = triangle_indices(cf)
+            assert idx.min() >= 0 and idx.max() < cf * cf
+
+    def test_triangle_condition(self):
+        for cf in range(1, 9):
+            for flat in triangle_indices(cf):
+                i, j = divmod(int(flat), cf)
+                assert i + j < cf
+
+    def test_sorted_unique(self):
+        idx = triangle_indices(6)
+        assert np.array_equal(idx, np.unique(idx))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            triangle_indices(0)

@@ -1,0 +1,55 @@
+"""Reconstruction metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import achieved_ratio, max_abs_error, mse, nrmse, psnr
+from repro.tensor import Tensor
+
+
+class TestMSE:
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal((4, 4))
+        assert mse(x, x.copy()) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.zeros(4), np.full(4, 2.0)) == pytest.approx(4.0)
+
+    def test_accepts_tensors(self):
+        assert mse(Tensor(np.ones(3, np.float32)), Tensor(np.zeros(3, np.float32))) == 1.0
+
+
+class TestPSNR:
+    def test_infinite_for_identical(self, rng):
+        x = rng.standard_normal((8, 8))
+        assert psnr(x, x.copy()) == float("inf")
+
+    def test_decreases_with_noise(self, rng):
+        x = rng.standard_normal((32, 32))
+        small = psnr(x, x + 0.01 * rng.standard_normal((32, 32)))
+        large = psnr(x, x + 0.5 * rng.standard_normal((32, 32)))
+        assert small > large
+
+    def test_constant_original(self):
+        assert psnr(np.ones(4), np.zeros(4)) == float("-inf")
+
+
+class TestNRMSE:
+    def test_scale_invariant(self, rng):
+        x = rng.standard_normal((16, 16))
+        y = x + 0.1 * rng.standard_normal((16, 16))
+        assert nrmse(x, y) == pytest.approx(nrmse(10 * x, 10 * y), rel=1e-3)
+
+    def test_zero_range(self):
+        assert nrmse(np.ones(4), np.ones(4)) == 0.0
+        assert nrmse(np.ones(4), np.zeros(4)) == float("inf")
+
+
+class TestOthers:
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 2.0]), np.array([1.5, 1.0])) == 1.0
+
+    def test_achieved_ratio(self):
+        orig = np.zeros((8, 8), np.float32)
+        comp = np.zeros((4, 4), np.float32)
+        assert achieved_ratio(orig, comp) == 4.0

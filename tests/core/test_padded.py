@@ -1,0 +1,82 @@
+"""PaddedCompressor / AdaptiveCompressor: arbitrary shapes."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCTChopCompressor, PaddedCompressor, AdaptiveCompressor, psnr
+from repro.errors import ShapeError
+
+
+class TestPaddedCompressor:
+    def test_non_multiple_shape(self, rng):
+        """The Table 2 optical_damage shape (492x656) compresses directly."""
+        comp = PaddedCompressor(492, 656, cf=4)
+        x = rng.standard_normal((1, 492, 656)).astype(np.float32)
+        rec = comp.roundtrip(x)
+        assert rec.shape == x.shape
+        assert comp.padded_height == 496 and comp.padded_width == 656
+        assert comp.pad == (4, 0)
+
+    def test_exact_multiple_is_passthrough(self, rng):
+        comp = PaddedCompressor(64, cf=4)
+        assert comp.pad == (0, 0)
+        x = rng.standard_normal((2, 64, 64)).astype(np.float32)
+        ref = DCTChopCompressor(64, cf=4).roundtrip(x).numpy()
+        np.testing.assert_allclose(comp.roundtrip(x).numpy(), ref, atol=1e-6)
+
+    def test_effective_ratio_accounts_padding(self):
+        comp = PaddedCompressor(100, 100, cf=4)  # pads to 104x104
+        assert comp.ratio < 4.0
+        assert comp.ratio == pytest.approx(4.0 * (100 * 100) / (104 * 104))
+
+    def test_edge_padding_quality(self, rng):
+        """Edge replication keeps boundary blocks high quality on smooth data."""
+        g = np.linspace(0, 1, 50, dtype=np.float32)
+        x = np.outer(g, g)[None]
+        comp = PaddedCompressor(50, 50, cf=4)
+        assert psnr(x, comp.roundtrip(x)) > 35.0
+
+    def test_compressed_shape(self):
+        comp = PaddedCompressor(30, 50, cf=2)  # pads to 32x56
+        assert comp.compressed_shape((7, 30, 50)) == (7, 8, 14)
+
+    def test_shape_check(self, rng):
+        comp = PaddedCompressor(30, 50, cf=2)
+        with pytest.raises(ShapeError):
+            comp.compress(rng.standard_normal((1, 32, 56)).astype(np.float32))
+
+    def test_sg_method(self, rng):
+        comp = PaddedCompressor(20, 20, method="sg", cf=3)
+        x = rng.standard_normal((2, 20, 20)).astype(np.float32)
+        assert comp.roundtrip(x).shape == x.shape
+
+    def test_batch_dims(self, rng):
+        comp = PaddedCompressor(12, 12, cf=2)
+        x = rng.standard_normal((3, 4, 12, 12)).astype(np.float32)
+        assert comp.roundtrip(x).shape == x.shape
+
+
+class TestAdaptiveCompressor:
+    def test_caches_per_shape(self, rng):
+        ad = AdaptiveCompressor(cf=4)
+        ad.roundtrip(rng.standard_normal((1, 16, 16)).astype(np.float32))
+        ad.roundtrip(rng.standard_normal((1, 16, 16)).astype(np.float32))
+        ad.roundtrip(rng.standard_normal((1, 20, 24)).astype(np.float32))
+        assert ad.compiled_shapes == [(16, 16), (20, 24)]
+
+    def test_matches_padded(self, rng):
+        ad = AdaptiveCompressor(cf=3)
+        x = rng.standard_normal((2, 20, 20)).astype(np.float32)
+        ref = PaddedCompressor(20, 20, cf=3).roundtrip(x).numpy()
+        np.testing.assert_allclose(ad.roundtrip(x).numpy(), ref, atol=1e-6)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            AdaptiveCompressor().for_shape((5,))
+
+    def test_tensor_input(self, rng):
+        from repro.tensor import Tensor
+
+        ad = AdaptiveCompressor(cf=4)
+        x = Tensor(rng.standard_normal((1, 16, 16)).astype(np.float32))
+        assert ad.compress(x).shape == (1, 8, 8)

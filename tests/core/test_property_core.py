@@ -1,0 +1,108 @@
+"""Hypothesis property tests on compressor invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    DCTChopCompressor,
+    PartialSerializedCompressor,
+    ScatterGatherCompressor,
+    compression_flops,
+    compression_ratio,
+    decompression_flops,
+    mse,
+)
+
+cf_strategy = st.integers(1, 8)
+res_strategy = st.sampled_from([8, 16, 24, 32])
+
+
+def planes(res):
+    return hnp.arrays(
+        np.float32,
+        (2, res, res),
+        elements=st.floats(-100, 100, width=32, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestDCProperties:
+    @given(res_strategy.flatmap(lambda r: st.tuples(planes(r), cf_strategy)))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_idempotent(self, args):
+        """The roundtrip is an orthogonal projection: applying twice = once."""
+        x, cf = args
+        c = DCTChopCompressor(x.shape[-1], cf=cf)
+        once = c.roundtrip(x).numpy()
+        twice = c.roundtrip(once).numpy()
+        scale = max(1.0, np.abs(once).max())
+        assert np.abs(twice - once).max() / scale < 1e-4
+
+    @given(res_strategy.flatmap(lambda r: st.tuples(planes(r), cf_strategy)))
+    @settings(max_examples=25, deadline=None)
+    def test_energy_never_increases(self, args):
+        """Chopping coefficients of an orthonormal transform cannot add energy."""
+        x, cf = args
+        rec = DCTChopCompressor(x.shape[-1], cf=cf).roundtrip(x).numpy()
+        assert (rec**2).sum() <= (x**2).sum() * (1 + 1e-3) + 1e-3
+
+    @given(res_strategy.flatmap(lambda r: st.tuples(planes(r), cf_strategy)))
+    @settings(max_examples=25, deadline=None)
+    def test_compressed_size_matches_ratio(self, args):
+        x, cf = args
+        c = DCTChopCompressor(x.shape[-1], cf=cf)
+        y = c.compress(x)
+        assert x.size / y.size == c.ratio
+
+    @given(res_strategy.flatmap(planes), st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_error_orthogonality(self, x, cf):
+        """Pythagoras: ||x||^2 = ||rec||^2 + ||x - rec||^2 for a projection."""
+        rec = DCTChopCompressor(x.shape[-1], cf=cf).roundtrip(x).numpy().astype(np.float64)
+        x64 = x.astype(np.float64)
+        lhs = (x64**2).sum()
+        rhs = (rec**2).sum() + ((x64 - rec) ** 2).sum()
+        assert abs(lhs - rhs) <= max(1.0, lhs) * 1e-3
+
+
+class TestVariantProperties:
+    @given(st.sampled_from([16, 32]), st.integers(1, 8), st.sampled_from([1, 2]))
+    @settings(max_examples=25, deadline=None)
+    def test_ps_equals_dc(self, res, cf, s):
+        rng = np.random.default_rng(res * 100 + cf * 10 + s)
+        x = rng.standard_normal((1, res, res)).astype(np.float32)
+        ps = PartialSerializedCompressor(res, cf=cf, s=s).roundtrip(x).numpy()
+        dc = DCTChopCompressor(res, cf=cf).roundtrip(x).numpy()
+        np.testing.assert_allclose(ps, dc, atol=1e-5)
+
+    @given(st.sampled_from([16, 32]), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_sg_error_dominates_dc(self, res, cf):
+        rng = np.random.default_rng(res + cf)
+        x = rng.standard_normal((1, res, res)).astype(np.float32)
+        err_sg = mse(x, ScatterGatherCompressor(res, cf=cf).roundtrip(x))
+        err_dc = mse(x, DCTChopCompressor(res, cf=cf).roundtrip(x))
+        assert err_sg >= err_dc - 1e-9
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_cf_monotone_error(self, cf):
+        rng = np.random.default_rng(cf)
+        x = rng.standard_normal((1, 32, 32)).astype(np.float32)
+        if cf < 8:
+            low = mse(x, DCTChopCompressor(32, cf=cf).roundtrip(x))
+            high = mse(x, DCTChopCompressor(32, cf=cf + 1).roundtrip(x))
+            assert high <= low + 1e-9
+
+
+class TestCostModelProperties:
+    @given(st.sampled_from([16, 32, 64, 128, 256]), st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_decompress_cheaper(self, n, cf):
+        assert decompression_flops(n, cf) < compression_flops(n, cf)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_ratio_monotone_decreasing_in_cf(self, cf):
+        if cf < 8:
+            assert compression_ratio(cf) > compression_ratio(cf + 1)

@@ -1,0 +1,88 @@
+"""Partial serialization (Section 3.5.1): equivalence and memory savings."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCTChopCompressor, PartialSerializedCompressor, operand_sizes
+from repro.errors import ConfigError, ShapeError
+
+
+class TestConstruction:
+    def test_chunk_operands_shrink_by_s(self):
+        """LHS is (CF*n/(8s), n/s) — the memory reduction that lets 512x512
+        compile on SN30/IPU."""
+        ps = PartialSerializedCompressor(512, cf=4, s=2)
+        assert ps.inner.lhs.shape == (4 * 256 // 8, 256)
+        full = DCTChopCompressor(512, cf=4)
+        assert ps.inner.lhs.size * 4 == full.lhs.size  # s*s = 4x smaller
+
+    def test_invalid_s(self):
+        with pytest.raises(ConfigError):
+            PartialSerializedCompressor(64, s=0)
+
+    def test_indivisible_resolution(self):
+        with pytest.raises(ConfigError):
+            PartialSerializedCompressor(64, s=3)
+
+    def test_chunk_must_be_block_multiple(self):
+        # 16/4 = 4 pixels per chunk: not a multiple of the 8-pixel block.
+        with pytest.raises(ConfigError):
+            PartialSerializedCompressor(16, s=4)
+        # 32/4 = 8 is fine.
+        PartialSerializedCompressor(32, s=4)
+
+    def test_num_chunks(self):
+        assert PartialSerializedCompressor(64, s=2).num_chunks == 4
+        assert PartialSerializedCompressor(96, s=3).num_chunks == 9
+
+    def test_ratio_matches_dc(self):
+        assert PartialSerializedCompressor(64, cf=3, s=2).ratio == pytest.approx(64 / 9)
+
+    def test_s1_degenerates_to_dc(self, rng):
+        x = rng.standard_normal((1, 64, 64)).astype(np.float32)
+        ps = PartialSerializedCompressor(64, cf=4, s=1)
+        dc = DCTChopCompressor(64, cf=4)
+        np.testing.assert_allclose(ps.roundtrip(x).numpy(), dc.roundtrip(x).numpy(), atol=1e-5)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("s", [1, 2, 4])
+    def test_roundtrip_equals_dc(self, rng, s):
+        """Subdividing along 8-pixel-aligned boundaries never crosses a DCT
+        block, so PS output is bit-identical to DC."""
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        ps = PartialSerializedCompressor(64, cf=5, s=s)
+        dc = DCTChopCompressor(64, cf=5)
+        np.testing.assert_allclose(ps.roundtrip(x).numpy(), dc.roundtrip(x).numpy(), atol=1e-5)
+
+    def test_compressed_shape(self):
+        ps = PartialSerializedCompressor(64, cf=4, s=2)
+        assert ps.compressed_shape((10, 3, 64, 64)) == (10, 3, 32, 32)
+
+    def test_compress_decompress_shapes(self, rng):
+        x = rng.standard_normal((2, 64, 64)).astype(np.float32)
+        ps = PartialSerializedCompressor(64, cf=2, s=2)
+        y = ps.compress(x)
+        assert y.shape == (2, 16, 16)
+        assert ps.decompress(y).shape == (2, 64, 64)
+
+    def test_wrong_shape_rejected(self, rng):
+        ps = PartialSerializedCompressor(64, cf=4, s=2)
+        with pytest.raises(ShapeError):
+            ps.compress(rng.standard_normal((1, 32, 32)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            ps.decompress(rng.standard_normal((1, 16, 16)).astype(np.float32))
+
+    def test_rectangular(self, rng):
+        x = rng.standard_normal((1, 32, 64)).astype(np.float32)
+        ps = PartialSerializedCompressor(32, 64, cf=4, s=2)
+        dc = DCTChopCompressor(32, 64, cf=4)
+        np.testing.assert_allclose(ps.roundtrip(x).numpy(), dc.roundtrip(x).numpy(), atol=1e-5)
+
+
+class TestMemoryModel:
+    def test_working_set_reduction(self):
+        """Per-chunk working set shrinks ~s*s (paper's stated motivation)."""
+        full = operand_sizes(512, 4)
+        chunk = operand_sizes(256, 4)
+        assert full.compress_working_set / chunk.compress_working_set == pytest.approx(4.0)

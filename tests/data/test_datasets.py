@@ -1,0 +1,148 @@
+"""The four synthetic datasets: shapes, determinism, and task signal."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    EMGrapheneDataset,
+    OpticalDamageDataset,
+    SLSTRCloudDataset,
+    SyntheticCIFAR10,
+)
+
+
+class TestSyntheticCIFAR10:
+    def test_sample_shape(self):
+        ds = SyntheticCIFAR10(n=4, resolution=32)
+        x, y = ds[0]
+        assert x.shape == (3, 32, 32)
+        assert x.dtype == np.float32
+        assert 0 <= int(y) < 10
+
+    def test_deterministic(self):
+        a = SyntheticCIFAR10(n=4, seed=1)[2]
+        b = SyntheticCIFAR10(n=4, seed=1)[2]
+        np.testing.assert_array_equal(a[0], b[0])
+        assert a[1] == b[1]
+
+    def test_start_offset_changes_samples_not_templates(self):
+        train = SyntheticCIFAR10(n=4, seed=1)
+        test = SyntheticCIFAR10(n=4, seed=1, start=4)
+        assert not np.array_equal(train[0][0], test[0][0])
+        np.testing.assert_array_equal(train._layouts, test._layouts)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            SyntheticCIFAR10(n=2)[2]
+
+    def test_resolution_must_be_block_multiple(self):
+        with pytest.raises(ValueError):
+            SyntheticCIFAR10(resolution=30)
+
+    def test_all_classes_appear(self):
+        ds = SyntheticCIFAR10(n=300, seed=0)
+        labels = {int(ds[i][1]) for i in range(300)}
+        assert labels == set(range(10))
+
+    def test_texture_signal_is_high_frequency(self):
+        """Chopping at CF=2 must erase the within-pair class signal —
+        the construction that makes classify accuracy CR-sensitive."""
+        from repro.core import DCTChopCompressor
+
+        ds = SyntheticCIFAR10(n=1, seed=0)
+        tex_diff = ds._textures[0] - ds._textures[1]
+        rec = DCTChopCompressor(32, cf=2).roundtrip(tex_diff[None]).numpy()
+        assert np.abs(rec).max() < 1e-3 * np.abs(tex_diff).max()
+
+    def test_texture_survives_large_cf(self):
+        from repro.core import DCTChopCompressor
+
+        ds = SyntheticCIFAR10(n=1, seed=0)
+        tex_diff = ds._textures[0] - ds._textures[1]
+        rec = DCTChopCompressor(32, cf=7).roundtrip(tex_diff[None]).numpy()
+        retained = (rec**2).sum() / (tex_diff**2).sum()
+        assert retained > 0.5
+
+    def test_label_of(self):
+        assert SyntheticCIFAR10.label_of(3, 1) == 7
+
+
+class TestEMGraphene:
+    def test_pair_shapes(self):
+        noisy, clean = EMGrapheneDataset(n=2, resolution=64)[0]
+        assert noisy.shape == clean.shape == (1, 64, 64)
+
+    def test_noise_level(self):
+        ds = EMGrapheneDataset(n=2, resolution=64, noise=0.5)
+        noisy, clean = ds[0]
+        residual = (noisy - clean).std()
+        assert 0.3 < residual < 0.7
+
+    def test_clean_target_is_denoised(self):
+        """The clean target must be smoother than the noisy input."""
+        noisy, clean = EMGrapheneDataset(n=1, resolution=64)[0]
+
+        def roughness(f):
+            return float((np.diff(f[0], axis=0) ** 2).mean())
+
+        assert roughness(clean) < roughness(noisy)
+
+    def test_determinism_and_start(self):
+        a = EMGrapheneDataset(n=2, seed=3, resolution=32)[1]
+        b = EMGrapheneDataset(n=2, seed=3, resolution=32)[1]
+        np.testing.assert_array_equal(a[0], b[0])
+        c = EMGrapheneDataset(n=2, seed=3, resolution=32, start=10)[1]
+        assert not np.array_equal(a[0], c[0])
+
+
+class TestOpticalDamage:
+    def test_target_equals_input(self):
+        x, y = OpticalDamageDataset(n=2, resolution=48)[0]
+        np.testing.assert_array_equal(x, y)
+
+    def test_range(self):
+        x, _ = OpticalDamageDataset(n=2, resolution=48)[1]
+        assert x.min() >= 0.0 and x.max() <= 1.0
+
+    def test_undamaged_by_default(self):
+        ds = OpticalDamageDataset(n=8, resolution=32)
+        assert not any(ds.is_damaged(i) for i in range(8))
+
+    def test_damage_adds_bright_spots(self):
+        clean_ds = OpticalDamageDataset(n=4, resolution=48, damaged=False, seed=0)
+        dam_ds = OpticalDamageDataset(n=4, resolution=48, damaged=True, damage_rate=1.0, seed=0)
+        assert all(dam_ds.is_damaged(i) for i in range(4))
+        diff = np.abs(dam_ds[0][0] - clean_ds[0][0])
+        assert diff.max() > 0.1
+
+    def test_damage_rate_statistics(self):
+        ds = OpticalDamageDataset(n=200, damaged=True, damage_rate=0.3, seed=0)
+        frac = np.mean([ds.is_damaged(i) for i in range(200)])
+        assert 0.15 < frac < 0.45
+
+
+class TestSLSTRCloud:
+    def test_shapes(self):
+        x, mask = SLSTRCloudDataset(n=2, resolution=64)[0]
+        assert x.shape == (9, 64, 64)
+        assert mask.shape == (1, 64, 64)
+
+    def test_mask_binary(self):
+        _, mask = SLSTRCloudDataset(n=2, resolution=64)[0]
+        assert set(np.unique(mask)).issubset({0.0, 1.0})
+
+    def test_cloud_fraction(self):
+        _, mask = SLSTRCloudDataset(n=1, resolution=128, cloud_fraction=0.4)[0]
+        assert mask.mean() == pytest.approx(0.4, abs=0.05)
+
+    def test_channels_carry_mask_signal(self):
+        """Cloud pixels must be radiometrically distinct (learnable task):
+        even channels respond positively, odd channels negatively."""
+        x, mask = SLSTRCloudDataset(n=1, resolution=128, seed=0)[0]
+        m = mask[0].astype(bool)
+        assert x[0][m].mean() > x[0][~m].mean()
+        assert x[1][m].mean() < x[1][~m].mean()
+
+    def test_sample_shape_property(self):
+        ds = SLSTRCloudDataset(n=1, resolution=32)
+        assert ds.sample_shape == (9, 32, 32)

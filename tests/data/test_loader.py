@@ -1,0 +1,69 @@
+"""DataLoader batching semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, SyntheticCIFAR10
+from repro.data.loader import Dataset
+from repro.tensor.random import Generator
+
+
+class Counting(Dataset):
+    def __init__(self, n):
+        self.n = n
+
+    def __len__(self):
+        return self.n
+
+    def __getitem__(self, i):
+        return np.full((2,), float(i), np.float32), np.int64(i)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        dl = DataLoader(Counting(10), batch_size=4)
+        x, y = next(iter(dl))
+        assert x.shape == (4, 2)
+        assert y.shape == (4,)
+
+    def test_drop_last(self):
+        dl = DataLoader(Counting(10), batch_size=4, drop_last=True)
+        assert len(dl) == 2
+        assert sum(1 for _ in dl) == 2
+
+    def test_keep_last(self):
+        dl = DataLoader(Counting(10), batch_size=4, drop_last=False)
+        assert len(dl) == 3
+        batches = list(dl)
+        assert batches[-1][0].shape[0] == 2
+
+    def test_no_shuffle_order(self):
+        dl = DataLoader(Counting(6), batch_size=3, shuffle=False)
+        x, _ = next(iter(dl))
+        np.testing.assert_array_equal(x[:, 0], [0, 1, 2])
+
+    def test_shuffle_deterministic_with_seed(self):
+        a = [y.tolist() for _, y in DataLoader(Counting(16), 4, shuffle=True, gen=Generator(1))]
+        b = [y.tolist() for _, y in DataLoader(Counting(16), 4, shuffle=True, gen=Generator(1))]
+        assert a == b
+
+    def test_shuffle_changes_order_between_epochs(self):
+        dl = DataLoader(Counting(32), 8, shuffle=True, gen=Generator(0))
+        first = [y.tolist() for _, y in dl]
+        second = [y.tolist() for _, y in dl]
+        assert first != second
+
+    def test_covers_all_samples(self):
+        dl = DataLoader(Counting(12), 4, shuffle=True, gen=Generator(2))
+        seen = sorted(int(v) for _, y in dl for v in y)
+        assert seen == list(range(12))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(Counting(4), 0)
+
+    def test_with_real_dataset(self):
+        dl = DataLoader(SyntheticCIFAR10(n=8, resolution=16), 4)
+        x, y = next(iter(dl))
+        assert x.shape == (4, 3, 16, 16)
+        assert y.dtype == np.int64

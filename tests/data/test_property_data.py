@@ -1,0 +1,75 @@
+"""Hypothesis property tests on the data substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    EMGrapheneDataset,
+    OpticalDamageDataset,
+    SLSTRCloudDataset,
+    SyntheticCIFAR10,
+)
+from repro.data.synthetic import correlated_field, index_rng
+
+
+class TestDatasetProperties:
+    @given(st.integers(0, 10**6), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_cifar_sample_determinism(self, seed, index):
+        ds = SyntheticCIFAR10(n=index + 1, resolution=16, seed=seed)
+        x1, y1 = ds[index]
+        x2, y2 = ds[index]
+        np.testing.assert_array_equal(x1, x2)
+        assert y1 == y2
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_cifar_labels_in_range(self, seed):
+        ds = SyntheticCIFAR10(n=5, resolution=16, seed=seed)
+        for i in range(5):
+            assert 0 <= int(ds[i][1]) < 10
+
+    @given(st.sampled_from([16, 32, 64]), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_em_pairs_finite(self, res, seed):
+        noisy, clean = EMGrapheneDataset(n=1, resolution=res, seed=seed)[0]
+        assert np.isfinite(noisy).all() and np.isfinite(clean).all()
+        assert noisy.dtype == clean.dtype == np.float32
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_optical_range_invariant(self, seed):
+        img, _ = OpticalDamageDataset(n=1, resolution=32, seed=seed, damaged=True, damage_rate=1.0)[0]
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    @given(st.floats(0.1, 0.9), st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_cloud_fraction_tracks_parameter(self, frac, seed):
+        _, mask = SLSTRCloudDataset(n=1, resolution=64, cloud_fraction=frac, seed=seed)[0]
+        assert abs(mask.mean() - frac) < 0.15
+
+    @given(st.integers(0, 10**6), st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_index_rng_collision_free(self, seed, i, j):
+        a = index_rng(seed, i).random(8)
+        b = index_rng(seed, j).random(8)
+        if i != j:
+            assert not np.array_equal(a, b)
+        else:
+            np.testing.assert_array_equal(a, b)
+
+
+class TestFieldProperties:
+    @given(st.integers(0, 100), st.floats(0.0, 4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_field_normalised_for_any_beta(self, seed, beta):
+        f = correlated_field((32, 32), np.random.default_rng(seed), beta=beta)
+        assert np.isfinite(f).all()
+        assert abs(float(f.mean())) < 0.2
+        assert 0.8 < float(f.std()) < 1.2
+
+    @given(st.sampled_from([(8, 8), (16, 32), (64, 16)]))
+    @settings(max_examples=10, deadline=None)
+    def test_field_any_rectangle(self, shape):
+        f = correlated_field(shape, np.random.default_rng(0))
+        assert f.shape == shape

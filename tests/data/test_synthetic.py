@@ -1,0 +1,93 @@
+"""Synthetic field generators: determinism and spectral character."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    correlated_field,
+    gaussian_blobs,
+    index_rng,
+    lattice_pattern,
+    radial_profile,
+)
+
+
+class TestCorrelatedField:
+    def test_shape_dtype(self, rng):
+        f = correlated_field((32, 48), rng)
+        assert f.shape == (32, 48)
+        assert f.dtype == np.float32
+
+    def test_normalised(self, rng):
+        f = correlated_field((64, 64), rng)
+        assert abs(f.mean()) < 0.1
+        assert f.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_beta_controls_smoothness(self, rng):
+        """Higher beta -> more energy in low frequencies -> smoother field.
+        Measured by mean squared gradient, lower = smoother."""
+        smooth = correlated_field((64, 64), np.random.default_rng(0), beta=3.0)
+        rough = correlated_field((64, 64), np.random.default_rng(0), beta=0.5)
+
+        def roughness(f):
+            return float((np.diff(f, axis=0) ** 2).mean() + (np.diff(f, axis=1) ** 2).mean())
+
+        assert roughness(smooth) < roughness(rough) / 3
+
+    def test_dct_energy_compaction(self, rng):
+        """beta=2 fields concentrate DCT energy in the chop corner — the
+        property the compressor relies on."""
+        from repro.core import DCTChopCompressor
+
+        f = correlated_field((64, 64), rng, beta=2.5)[None]
+        rec = DCTChopCompressor(64, cf=4).roundtrip(f).numpy()
+        retained = (rec**2).sum() / (f**2).sum()
+        assert retained > 0.9
+
+    def test_deterministic_given_rng(self):
+        a = correlated_field((16, 16), np.random.default_rng(7))
+        b = correlated_field((16, 16), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestShapes:
+    def test_gaussian_blobs_nonnegative(self, rng):
+        b = gaussian_blobs((32, 32), rng, n_blobs=3)
+        assert b.min() >= 0.0
+        assert b.max() > 0.1
+
+    def test_lattice_pattern_bounded(self, rng):
+        p = lattice_pattern((32, 32), rng)
+        assert np.abs(p).max() <= 1.0 + 1e-5
+
+    def test_lattice_is_periodicish(self, rng):
+        """Dominant spatial frequency matches the requested period."""
+        p = lattice_pattern((64, 64), np.random.default_rng(0), period=8.0, jitter=0.0)
+        spectrum = np.abs(np.fft.rfft2(p))
+        spectrum[0, 0] = 0
+        fy, fx = np.unravel_index(spectrum.argmax(), spectrum.shape)
+        fy = min(fy, 64 - fy)
+        freq = np.hypot(fy / 64, fx / 64)
+        assert freq == pytest.approx(1 / 8.0, rel=0.3)
+
+    def test_radial_profile_in_unit_range(self, rng):
+        r = radial_profile((48, 48), rng)
+        assert r.min() >= 0.0 and r.max() <= 1.0
+
+    def test_radial_profile_peaks_near_center(self, rng):
+        r = radial_profile((64, 64), rng)
+        cy, cx = np.unravel_index(r.argmax(), r.shape)
+        assert abs(cy - 32) < 10 and abs(cx - 32) < 10
+
+
+class TestIndexRNG:
+    def test_deterministic(self):
+        a = index_rng(5, 3).random(4)
+        b = index_rng(5, 3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_per_index(self):
+        assert not np.array_equal(index_rng(5, 0).random(4), index_rng(5, 1).random(4))
+
+    def test_distinct_per_seed(self):
+        assert not np.array_equal(index_rng(0, 3).random(4), index_rng(1, 3).random(4))

@@ -1,0 +1,82 @@
+"""CLI surface tests (argument parsing and command wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "850000" in out and "dataflow" in out
+
+    def test_table3_scaled(self, capsys):
+        assert main(["table", "3", "--scale", "tiny"]) == 0
+        assert "ResNet34" in capsys.readouterr().out
+
+
+class TestPlatformsAndBench:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cs2", "sn30", "groq", "ipu", "a100"):
+            assert name in out
+
+    def test_bench_ok(self, capsys):
+        rc = main(["bench", "--platform", "cs2", "--resolution", "64", "--cf", "4"])
+        assert rc == 0
+        assert "GB/s" in capsys.readouterr().out
+
+    def test_bench_compile_error(self, capsys):
+        rc = main(["bench", "--platform", "sn30", "--resolution", "512", "--cf", "4"])
+        assert rc == 1
+        assert "compile error" in capsys.readouterr().out
+
+
+class TestRoundtripCommands:
+    def test_compress_decompress(self, tmp_path, capsys):
+        src = tmp_path / "x.npy"
+        data = np.random.default_rng(0).standard_normal((2, 32, 32)).astype(np.float32)
+        np.save(src, data)
+        dcz = tmp_path / "x.dcz"
+        rec = tmp_path / "rec.npy"
+        assert main(["compress", str(src), str(dcz), "--cf", "4"]) == 0
+        assert main(["decompress", str(dcz), str(rec)]) == 0
+        restored = np.load(rec)
+        assert restored.shape == data.shape
+
+    def test_compress_rejects_1d(self, tmp_path):
+        src = tmp_path / "v.npy"
+        np.save(src, np.zeros(16, np.float32))
+        assert main(["compress", str(src), str(tmp_path / "v.dcz")]) == 2
+
+    def test_autotune(self, tmp_path, capsys):
+        src = tmp_path / "cal.npy"
+        g = np.linspace(0, 1, 32, dtype=np.float32)
+        np.save(src, np.outer(g, g)[None])
+        assert main(["autotune", str(src), "--min-psnr", "30"]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_autotune_unreachable(self, tmp_path):
+        src = tmp_path / "noise.npy"
+        np.save(src, np.random.default_rng(0).standard_normal((1, 16, 16)).astype(np.float32))
+        assert main(["autotune", str(src), "--min-psnr", "500"]) == 1
+
+
+class TestFigures:
+    def test_list(self, capsys):
+        assert main(["figure", "--list"]) == 0
+        assert "fig10" in capsys.readouterr().out
+
+    def test_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_fig17(self, capsys):
+        assert main(["figure", "fig17"]) == 0
+        assert "dct" in capsys.readouterr().out
+
+    def test_fig15(self, capsys):
+        assert main(["figure", "fig15"]) == 0
+        assert "slowdown" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Benchmark specs (Table 3) at all scales."""
+
+import numpy as np
+import pytest
+
+from repro.harness import BENCHMARKS, SCALES, get_benchmark
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+class TestSpecConstruction:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_constructs(self, name, scale):
+        spec = get_benchmark(name, scale)
+        assert spec.name == name
+        assert spec.resolution % 8 == 0
+
+    def test_paper_scale_matches_table3(self):
+        classify = get_benchmark("classify", "paper")
+        assert classify.batch_size == 100 and classify.lr == 0.001
+        assert classify.resolution == 32 and classify.epochs == 30
+        em = get_benchmark("em_denoise", "paper")
+        assert em.batch_size == 32 and em.lr == 0.0005 and em.resolution == 256
+        od = get_benchmark("optical_damage", "paper")
+        assert od.batch_size == 2 and od.resolution == 200
+        sl = get_benchmark("slstr_cloud", "paper")
+        assert sl.batch_size == 4 and sl.channels == 9
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_benchmark("mnist")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_benchmark("classify", "huge")
+
+    def test_table3_row(self):
+        row = get_benchmark("classify", "paper").table3_row()
+        assert row["Network"] == "ResNet34"
+        assert row["Sample Size"] == "3x32x32"
+        assert "BS=100" in row["Training Params."]
+
+
+class TestSpecFunctionality:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_model_consumes_dataset(self, name):
+        spec = get_benchmark(name, "tiny")
+        model = spec.make_model(Generator(0))
+        ds = spec.make_train_dataset(0)
+        x, y = ds[0]
+        assert x.shape == spec.sample_shape
+        out = model(Tensor(x[None]))
+        loss = spec.make_loss()(out, y[None] if np.ndim(y) else np.array([y]))
+        assert np.isfinite(loss.item())
+
+    def test_loaders_shapes(self):
+        spec = get_benchmark("em_denoise", "tiny")
+        train, test = spec.loaders(0)
+        x, y = next(iter(train))
+        assert x.shape == (spec.batch_size, *spec.sample_shape)
+        assert y.shape == x.shape  # denoising target
+
+    def test_loaders_disjoint(self):
+        """Train and test draw from the same distribution but differ."""
+        spec = get_benchmark("classify", "tiny")
+        train, test = spec.loaders(0)
+        xtr, _ = next(iter(train))
+        xte, _ = next(iter(test))
+        assert not np.array_equal(xtr[0], xte[0])
+
+    def test_train_config(self):
+        spec = get_benchmark("classify", "tiny")
+        assert spec.train_config().epochs == spec.epochs
+        assert spec.train_config(7).epochs == 7
+        assert spec.train_config().lr == spec.lr
+
+    def test_tiny_resolution_compressible(self):
+        """Every tiny-scale resolution must be a multiple of the block size
+        so compressors apply directly."""
+        for name in BENCHMARKS:
+            assert get_benchmark(name, "tiny").resolution % 8 == 0

@@ -1,0 +1,49 @@
+"""Figure-regeneration helpers (the CLI backends), timing figures only."""
+
+import pytest
+
+from repro.harness import figures
+
+
+class TestTimingFigures:
+    def test_fig10_contains_all_platforms(self):
+        text = figures.fig10(platforms=("cs2", "ipu"))
+        assert "cs2" in text and "ipu" in text
+        assert "Fig. 10" in text
+
+    def test_fig11_marks_compile_errors(self):
+        text = figures.fig11(platforms=("sn30",))
+        assert "COMPILE-ERR" in text  # 512x512 rows
+
+    def test_fig12_batch_axis(self):
+        text = figures.fig12(platforms=("groq",))
+        assert "5000" in text and "COMPILE-ERR" in text
+
+    def test_fig14_gpu_only(self):
+        text = figures.fig14()
+        assert "a100" in text and "sn30" not in text
+
+    def test_fig15_slowdowns(self):
+        text = figures.fig15()
+        assert "slowdown" in text and "sn30" in text and "ipu" in text
+
+    def test_fig17_both_methods(self):
+        text = figures.fig17()
+        assert "dct" in text and "opt" in text
+
+    def test_fig03_renders(self):
+        text = figures.fig03(n_images=10, resolution=16)
+        assert "quality 95" in text
+
+    def test_registry_complete(self):
+        expected = {
+            "fig03", "fig07", "fig08", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "fig17",
+        }
+        assert set(figures.FIGURES) == expected
+
+    @pytest.mark.parametrize("name", ["fig10", "fig11", "fig12", "fig13"])
+    def test_sweep_figures_have_full_cf_grid(self, name):
+        text = getattr(figures, name)(platforms=("cs2",))
+        for cf in range(2, 8):
+            assert f"  {cf} " in text or f" {cf} " in text

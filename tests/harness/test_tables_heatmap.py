@@ -1,0 +1,84 @@
+"""Tables 1-3 and the Fig. 3 heatmap."""
+
+import numpy as np
+
+from repro.harness import fig3_heatmap, format_series, format_table, table1, table2, table3
+
+
+class TestTables:
+    def test_table1_columns(self):
+        rows = table1()
+        assert [r["name"] for r in rows] == ["cs2", "sn30", "groq", "ipu"]
+        cs2 = rows[0]
+        assert cs2["CUs"] == 850000
+        assert cs2["OCM"] == "40.00 GB"
+
+    def test_table2_datasets(self):
+        rows = table2()
+        names = [r["Dataset"] for r in rows]
+        assert names == [
+            "ILSVRC 2012-17",
+            "em_graphene_sim",
+            "optical_damage_ds1",
+            "cloud_slstr_ds1",
+        ]
+
+    def test_table3_networks(self):
+        rows = table3("paper")
+        assert [r["Network"] for r in rows] == [
+            "ResNet34",
+            "Deep Encoder-Decoder",
+            "Autoencoder",
+            "UNet",
+        ]
+
+    def test_format_table(self):
+        text = format_table(table1(), "Table 1")
+        assert "Table 1" in text
+        assert "850000" in text
+        lines = text.splitlines()
+        assert len(lines) == 3 + 4  # title, header, rule, four rows
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], "x")
+
+    def test_format_series(self):
+        text = format_series({"base": [1.0, 2.0], "16.00": [1.5, 2.5]}, "Fig")
+        assert "base" in text and "16.00" in text
+
+
+class TestFig3Heatmap:
+    def test_shape(self):
+        hm = fig3_heatmap(qualities=(10, 75), n_images=20, resolution=16)
+        assert hm.shape == (3, 2, 8, 8)
+
+    def test_fractions_in_unit_range(self):
+        hm = fig3_heatmap(qualities=(50,), n_images=10, resolution=16)
+        assert hm.min() >= 0.0 and hm.max() <= 1.0
+
+    def test_low_frequency_corner_most_populated(self):
+        """The most frequently nonzero coefficient sits in the upper-left
+        2x2 at every quality and channel, and the upper-left 4x4 quadrant
+        holds (essentially) all nonzero mass — Fig. 3's visual structure."""
+        hm = fig3_heatmap(qualities=(5, 95), n_images=30, resolution=16)
+        for ch in range(hm.shape[0]):
+            for qi in range(hm.shape[1]):
+                i, j = np.unravel_index(hm[ch, qi].argmax(), (8, 8))
+                assert i < 2 and j < 2
+            # At strong quantization (q=5) virtually all nonzero mass sits
+            # in the upper-left quadrant; at q=95 most positions survive.
+            low_q = hm[ch, 0]
+            assert low_q[:4, :4].sum() / low_q.sum() > 0.9
+
+    def test_quality_monotone(self):
+        """Higher quality keeps more nonzero coefficients (darker -> lighter
+        left to right in the paper's figure)."""
+        hm = fig3_heatmap(qualities=(5, 50, 95), n_images=30, resolution=16)
+        means = hm.mean(axis=(0, 2, 3))
+        assert means[0] < means[1] < means[2]
+
+    def test_corner_dominates_tail(self):
+        """Low-frequency positions are nonzero far more often than the
+        high-frequency tail — the observation motivating Chop."""
+        hm = fig3_heatmap(qualities=(25,), n_images=30, resolution=16)
+        assert hm[:, 0, 0, 0].mean() > hm[:, 0, 7, 7].mean()

@@ -1,0 +1,66 @@
+"""Timing-sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.harness import CF_SWEEP, measure, timing_sweep
+
+
+class TestMeasure:
+    def test_ok_point(self):
+        p = measure("ipu", resolution=64, cf=4, direction="compress")
+        assert p.status == "ok"
+        assert p.seconds > 0
+        assert p.ratio == 4.0
+        assert p.uncompressed_bytes == 100 * 3 * 64 * 64 * 4
+        assert p.throughput_gbps > 0
+
+    def test_compile_error_point(self):
+        p = measure("sn30", resolution=512, cf=4, direction="compress")
+        assert p.status == "compile_error"
+        assert np.isnan(p.seconds)
+        assert np.isnan(p.throughput_gbps)
+        assert p.reason
+
+    def test_decompress_direction(self):
+        p = measure("cs2", resolution=64, cf=2, direction="decompress")
+        assert p.status == "ok"
+        c = measure("cs2", resolution=64, cf=2, direction="compress")
+        assert p.seconds < c.seconds
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            measure("cs2", resolution=64, cf=4, direction="roundtrip")
+
+    def test_execute_mode_runs_numerics(self):
+        p = measure("cpu", resolution=32, cf=4, direction="compress", batch=4, execute=True)
+        assert p.status == "ok"
+
+    def test_ps_method(self):
+        p = measure("sn30", resolution=512, cf=4, direction="compress", method="ps", s=2)
+        assert p.status == "ok"
+
+    def test_sg_method_platform_gate(self):
+        ok = measure("ipu", resolution=32, cf=4, direction="decompress", method="sg")
+        assert ok.status == "ok"
+        bad = measure("cs2", resolution=32, cf=4, direction="decompress", method="sg")
+        assert bad.status == "compile_error"
+
+
+class TestSweep:
+    def test_grid_size(self):
+        pts = timing_sweep(
+            ["ipu", "cs2"], resolutions=(32, 64), batches=(10,), cfs=(2, 4), direction="compress"
+        )
+        assert len(pts) == 2 * 2 * 1 * 2
+
+    def test_sweep_includes_failures(self):
+        pts = timing_sweep(
+            ["groq"], resolutions=(64,), batches=(1000, 2000), cfs=(7,), direction="compress"
+        )
+        statuses = {p.batch: p.status for p in pts}
+        assert statuses[1000] == "ok"
+        assert statuses[2000] == "compile_error"
+
+    def test_cf_sweep_constant(self):
+        assert CF_SWEEP == (2, 3, 4, 5, 6, 7)

@@ -1,0 +1,94 @@
+"""Cross-module integration: compressor + accelerator + trainer together."""
+
+import numpy as np
+import pytest
+
+from repro.accel import compile_program
+from repro.core import DCTChopCompressor, ScatterGatherCompressor, make_compressor, psnr
+from repro.data import DataLoader, SyntheticCIFAR10
+from repro.harness import get_benchmark, measure
+from repro.harness.accuracy import run_benchmark
+from repro.tensor.random import Generator
+
+
+class TestCompressorOnAccelerator:
+    """Run the compressor *through* a compiled accelerator program and
+    check the numerics equal the direct path."""
+
+    def test_compiled_output_matches_direct(self, rng):
+        comp = DCTChopCompressor(32, cf=4)
+        x = rng.standard_normal((8, 3, 32, 32)).astype(np.float32)
+        prog = compile_program(comp.compress, np.zeros_like(x), "cs2")
+        result = prog.run(x)
+        np.testing.assert_allclose(result.output.numpy(), comp.compress(x).numpy())
+
+    def test_compress_on_one_platform_decompress_on_another(self, rng):
+        """Portability: compressed data is platform-independent."""
+        comp = DCTChopCompressor(32, cf=4)
+        x = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+        c_prog = compile_program(comp.compress, np.zeros_like(x), "sn30")
+        y = c_prog.run(x).output
+        d_prog = compile_program(comp.decompress, np.zeros_like(y.numpy()), "ipu")
+        rec = d_prog.run(y).output
+        np.testing.assert_allclose(
+            rec.numpy(), comp.roundtrip(x).numpy(), atol=1e-5
+        )
+
+    def test_sg_pipeline_on_ipu(self, rng):
+        sg = ScatterGatherCompressor(32, cf=3)
+        x = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+        c_prog = compile_program(sg.compress, np.zeros_like(x), "ipu")
+        z = c_prog.run(x).output
+        d_prog = compile_program(sg.decompress, np.zeros_like(z.numpy()), "ipu")
+        rec = d_prog.run(z).output
+        np.testing.assert_allclose(rec.numpy(), sg.roundtrip(x).numpy(), atol=1e-5)
+
+
+class TestTrainingPipeline:
+    def test_classify_accuracy_orders_by_ratio(self):
+        """The end-to-end Fig. 8a property at miniature scale: base beats
+        CR 16 after a few epochs."""
+        spec = get_benchmark("classify", "tiny")
+        base = run_benchmark(spec, None, seed=0, epochs=4)
+        heavy = run_benchmark(spec, make_compressor(32, cf=2), seed=0, epochs=4)
+        assert base.final_test_accuracy > heavy.final_test_accuracy
+
+    def test_dataset_quality_after_compression(self):
+        """Compressed-then-restored CIFAR batches keep enough fidelity for
+        a linear probe to separate classes above chance."""
+        ds = SyntheticCIFAR10(n=128, resolution=32, seed=0)
+        x = np.stack([ds[i][0] for i in range(128)])
+        y = np.array([ds[i][1] for i in range(128)])
+        comp = make_compressor(32, cf=4)
+        rec = comp.roundtrip(x).numpy().reshape(128, -1)
+        centroids = np.stack([rec[y == c].mean(0) for c in np.unique(y)])
+        pred = ((rec[:, None, :] - centroids[None]) ** 2).sum(-1).argmin(1)
+        assert (np.unique(y)[pred] == y).mean() > 0.5
+
+    def test_loader_through_compressor_shapes(self):
+        spec = get_benchmark("slstr_cloud", "tiny")
+        train, _ = spec.loaders(0)
+        comp = make_compressor(spec.resolution, cf=4)
+        x, y = next(iter(train))
+        rec = comp.roundtrip(x)
+        assert rec.shape == x.shape
+        assert psnr(x, rec) > 5.0
+
+
+class TestHarnessConsistency:
+    def test_measure_agrees_with_compile_program(self):
+        point = measure("ipu", resolution=64, cf=4, direction="compress")
+        comp = DCTChopCompressor(64, cf=4)
+        prog = compile_program(
+            comp.compress, np.zeros((100, 3, 64, 64), np.float32), "ipu"
+        )
+        assert point.seconds == pytest.approx(prog.estimated_time())
+
+    def test_generator_isolation_across_runs(self):
+        """Two identical run_benchmark calls produce identical histories
+        (full determinism of the training pipeline)."""
+        spec = get_benchmark("optical_damage", "tiny")
+        a = run_benchmark(spec, None, seed=3, epochs=2)
+        b = run_benchmark(spec, None, seed=3, epochs=2)
+        assert a.train_loss == b.train_loss
+        assert a.test_loss == b.test_loss

@@ -1,0 +1,156 @@
+"""Layer forward shapes, semantics, and gradient flow."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+def t(shape, rng, scale=1.0):
+    return Tensor((rng.standard_normal(shape) * scale).astype(np.float32))
+
+
+class TestLinear:
+    def test_shape(self, rng):
+        layer = nn.Linear(5, 3)
+        assert layer(t((7, 5), rng)).shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_grad_flow(self, rng):
+        layer = nn.Linear(3, 2)
+        layer(t((4, 3), rng)).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+
+class TestConv2d:
+    def test_shapes(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert conv(t((2, 3, 16, 16), rng)).shape == (2, 8, 8, 8)
+
+    def test_seeded_init_reproducible(self):
+        a = nn.Conv2d(2, 2, 3, gen=Generator(5))
+        b = nn.Conv2d(2, 2, 3, gen=Generator(5))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConvTranspose2d:
+    def test_upsamples(self, rng):
+        deconv = nn.ConvTranspose2d(4, 2, 4, stride=2, padding=1)
+        assert deconv(t((1, 4, 8, 8), rng)).shape == (1, 2, 16, 16)
+
+    def test_grad_flow(self, rng):
+        deconv = nn.ConvTranspose2d(2, 1, 2, stride=2)
+        deconv(t((1, 2, 4, 4), rng)).sum().backward()
+        assert deconv.weight.grad is not None
+
+
+class TestBatchNorm2d:
+    def test_normalizes_in_train_mode(self, rng):
+        bn = nn.BatchNorm2d(3)
+        out = bn(t((8, 3, 4, 4), rng, scale=5.0)).numpy()
+        assert abs(out.mean()) < 0.1
+        assert abs(out.std() - 1.0) < 0.1
+
+    def test_running_stats_update(self, rng):
+        bn = nn.BatchNorm2d(2)
+        before = bn._buffers["running_mean"].copy()
+        bn(t((4, 2, 3, 3), rng) + 10.0)
+        assert not np.array_equal(bn._buffers["running_mean"], before)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = t((16, 2, 4, 4), rng) * 2.0 + 3.0
+        for _ in range(30):
+            bn(x)
+        bn.eval()
+        out = bn(x).numpy()
+        assert abs(out.mean()) < 0.5
+
+    def test_affine_params_learned(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn(t((4, 2, 2, 2), rng)).sum().backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+
+class TestPoolingAndShape:
+    def test_maxpool(self, rng):
+        assert nn.MaxPool2d(2)(t((1, 2, 8, 8), rng)).shape == (1, 2, 4, 4)
+
+    def test_avgpool(self, rng):
+        assert nn.AvgPool2d(2)(t((1, 2, 8, 8), rng)).shape == (1, 2, 4, 4)
+
+    def test_adaptive(self, rng):
+        assert nn.AdaptiveAvgPool2d()(t((2, 5, 7, 7), rng)).shape == (2, 5, 1, 1)
+
+    def test_upsample(self, rng):
+        assert nn.Upsample(2)(t((1, 1, 4, 4), rng)).shape == (1, 1, 8, 8)
+
+    def test_flatten(self, rng):
+        assert nn.Flatten()(t((2, 3, 4, 4), rng)).shape == (2, 48)
+
+    def test_activations(self, rng):
+        x = t((3, 3), rng)
+        assert (nn.ReLU()(x).numpy() >= 0).all()
+        out = nn.Sigmoid()(x).numpy()
+        assert ((out > 0) & (out < 1)).all()
+        assert (np.abs(nn.Tanh()(x).numpy()) <= 1).all()
+        np.testing.assert_array_equal(nn.Identity()(x).numpy(), x.numpy())
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        d = nn.Dropout(0.5)
+        d.eval()
+        x = t((10, 10), rng)
+        np.testing.assert_array_equal(d(x).numpy(), x.numpy())
+
+    def test_train_zeroes_and_scales(self):
+        d = nn.Dropout(0.5, gen=Generator(0))
+        x = Tensor(np.ones((100, 100), np.float32))
+        out = d(x).numpy()
+        zero_frac = (out == 0).mean()
+        assert 0.4 < zero_frac < 0.6
+        # Survivors scaled by 1/(1-p).
+        assert out.max() == pytest.approx(2.0)
+
+    def test_p_zero_identity(self, rng):
+        d = nn.Dropout(0.0)
+        x = t((5, 5), rng)
+        np.testing.assert_array_equal(d(x).numpy(), x.numpy())
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestInit:
+    def test_kaiming_scale(self):
+        from repro.nn import init
+
+        w = init.kaiming_normal((256, 128), Generator(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 128), rel=0.15)
+
+    def test_xavier_bounds(self):
+        from repro.nn import init
+
+        w = init.xavier_uniform((64, 64), Generator(0))
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(w).max() <= bound
+
+    def test_conv_fan(self):
+        from repro.nn import init
+
+        w = init.kaiming_normal((32, 16, 3, 3), Generator(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / (16 * 9)), rel=0.15)
+
+    def test_unsupported_shape(self):
+        from repro.nn import init
+
+        with pytest.raises(ValueError):
+            init.kaiming_normal((4,))

@@ -1,0 +1,78 @@
+"""Loss functions against manual references."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.tensor import Tensor
+
+from tests.conftest import check_gradient
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.standard_normal((4, 5)).astype(np.float32)
+        labels = np.array([0, 3, 2, 4])
+        loss = nn.CrossEntropyLoss()(Tensor(logits), labels).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        ref = -logp[np.arange(4), labels].mean()
+        assert loss == pytest.approx(ref, rel=1e-4)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0, np.float32)
+        logits[0, 1] = 20.0
+        logits[1, 0] = 20.0
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.array([1, 0])).item()
+        assert loss < 1e-3
+
+    def test_uniform_logits_log_k(self):
+        loss = nn.CrossEntropyLoss()(Tensor(np.zeros((3, 10), np.float32)), np.zeros(3, np.int64))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-4)
+
+    def test_gradient(self, rng):
+        labels = np.array([1, 0, 2])
+        check_gradient(
+            lambda t: nn.CrossEntropyLoss()(t, labels), rng.standard_normal((3, 4))
+        )
+
+    def test_accepts_tensor_labels(self, rng):
+        logits = Tensor(rng.standard_normal((2, 3)).astype(np.float32))
+        labels = Tensor(np.array([0, 1]))
+        assert np.isfinite(nn.CrossEntropyLoss()(logits, labels).item())
+
+
+class TestMSE:
+    def test_value(self):
+        loss = nn.MSELoss()(Tensor(np.zeros(4, np.float32)), np.full(4, 3.0, np.float32))
+        assert loss.item() == pytest.approx(9.0)
+
+    def test_gradient(self, rng):
+        target = rng.standard_normal((3, 3)).astype(np.float32)
+        check_gradient(lambda t: nn.MSELoss()(t, target), rng.standard_normal((3, 3)))
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self, rng):
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        y = (rng.random((4, 4)) > 0.5).astype(np.float32)
+        loss = nn.BCEWithLogitsLoss()(Tensor(x), y).item()
+        p = 1.0 / (1.0 + np.exp(-x.astype(np.float64)))
+        ref = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(ref, rel=1e-3)
+
+    def test_stable_for_extreme_logits(self):
+        x = Tensor(np.array([[1000.0, -1000.0]], dtype=np.float32))
+        y = np.array([[1.0, 0.0]], dtype=np.float32)
+        loss = nn.BCEWithLogitsLoss()(x, y).item()
+        assert np.isfinite(loss) and loss < 1e-3
+
+    def test_gradient(self, rng):
+        y = (rng.random((3, 3)) > 0.5).astype(np.float32)
+        check_gradient(lambda t: nn.BCEWithLogitsLoss()(t, y), rng.standard_normal((3, 3)))
+
+    def test_chance_level_is_log2(self):
+        loss = nn.BCEWithLogitsLoss()(
+            Tensor(np.zeros((8, 8), np.float32)), np.ones((8, 8), np.float32) * 0.5
+        )
+        assert loss.item() == pytest.approx(np.log(2), rel=1e-4)

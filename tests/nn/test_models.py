@@ -1,0 +1,119 @@
+"""The four Table 3 architectures: shapes, gradient flow, determinism."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+def data(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape).astype(np.float32))
+
+
+class TestResNet:
+    def test_resnet34_block_count(self):
+        m = nn.resnet34(width_mult=0.125, gen=Generator(0))
+        blocks = sum(len(stage) for stage in m.stages)
+        assert blocks == 3 + 4 + 6 + 3
+
+    def test_forward_shape(self):
+        m = nn.resnet34(width_mult=0.125, gen=Generator(0))
+        assert m(data((2, 3, 32, 32))).shape == (2, 10)
+
+    def test_resnet18(self):
+        m = nn.resnet18(width_mult=0.125, gen=Generator(0))
+        assert sum(len(s) for s in m.stages) == 8
+        assert m(data((1, 3, 32, 32))).shape == (1, 10)
+
+    def test_custom_classes(self):
+        m = nn.resnet18(num_classes=4, width_mult=0.125, gen=Generator(0))
+        assert m(data((1, 3, 32, 32))).shape == (1, 4)
+
+    def test_downsampling_stages(self):
+        """Spatial resolution halves at stages 2-4: 32 -> 32,16,8,4."""
+        m = nn.resnet18(width_mult=0.125, gen=Generator(0))
+        x = data((1, 3, 32, 32))
+        out = nn.ReLU()(m.bn1(m.conv1(x)))
+        sizes = []
+        for stage in m.stages:
+            for block in stage:
+                out = block(out)
+            sizes.append(out.shape[-1])
+        assert sizes == [32, 16, 8, 4]
+
+    def test_all_params_receive_grad(self):
+        m = nn.resnet18(width_mult=0.125, gen=Generator(0))
+        loss = nn.CrossEntropyLoss()(m(data((2, 3, 32, 32))), np.array([1, 2]))
+        loss.backward()
+        missing = [n for n, p in m.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_seeded_determinism(self):
+        a = nn.resnet18(width_mult=0.125, gen=Generator(3))
+        b = nn.resnet18(width_mult=0.125, gen=Generator(3))
+        x = data((1, 3, 32, 32))
+        np.testing.assert_array_equal(a(x).numpy(), b(x).numpy())
+
+
+class TestEncoderDecoder:
+    def test_shape_preserved(self):
+        m = nn.DeepEncoderDecoder(base_channels=4, depth=3, gen=Generator(0))
+        assert m(data((2, 1, 32, 32))).shape == (2, 1, 32, 32)
+
+    def test_bottleneck_downsamples(self):
+        m = nn.DeepEncoderDecoder(base_channels=4, depth=2, gen=Generator(0))
+        latent = m.encoder(data((1, 1, 32, 32)))
+        assert latent.shape[-1] == 8
+
+    def test_grad_flow(self):
+        m = nn.DeepEncoderDecoder(base_channels=4, depth=2, gen=Generator(0))
+        x = data((1, 1, 16, 16))
+        nn.MSELoss()(m(x), x).backward()
+        assert all(p.grad is not None for p in m.parameters())
+
+
+class TestAutoencoder:
+    def test_shape_and_range(self):
+        m = nn.Autoencoder(base_channels=4, depth=2, gen=Generator(0))
+        out = m(data((2, 1, 24, 24))).numpy()
+        assert out.shape == (2, 1, 24, 24)
+        assert (out > 0).all() and (out < 1).all()  # sigmoid output
+
+    def test_reconstruction_error_per_sample(self):
+        m = nn.Autoencoder(base_channels=4, depth=2, gen=Generator(0))
+        err = m.reconstruction_error(data((3, 1, 24, 24)))
+        assert err.shape == (3,)
+        assert (err.numpy() >= 0).all()
+
+    def test_odd_depth_resolution(self):
+        """200x200 at depth 3 (the paper-scale config) round-trips shape."""
+        m = nn.Autoencoder(base_channels=2, depth=3, gen=Generator(0))
+        assert m(data((1, 1, 40, 40))).shape == (1, 1, 40, 40)
+
+
+class TestUNet:
+    def test_shape(self):
+        m = nn.UNet(in_channels=9, base_channels=4, depth=2, gen=Generator(0))
+        assert m(data((1, 9, 32, 32))).shape == (1, 1, 32, 32)
+
+    def test_depth3(self):
+        m = nn.UNet(in_channels=9, base_channels=4, depth=3, gen=Generator(0))
+        assert m(data((1, 9, 64, 64))).shape == (1, 1, 64, 64)
+
+    def test_custom_out_channels(self):
+        m = nn.UNet(in_channels=3, out_channels=2, base_channels=4, depth=2, gen=Generator(0))
+        assert m(data((1, 3, 16, 16))).shape == (1, 2, 16, 16)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            nn.UNet(depth=0)
+
+    def test_grad_flow(self):
+        m = nn.UNet(in_channels=2, base_channels=4, depth=2, gen=Generator(0))
+        x = data((1, 2, 16, 16))
+        target = np.zeros((1, 1, 16, 16), np.float32)
+        nn.BCEWithLogitsLoss()(m(x), target).backward()
+        missing = [n for n, p in m.named_parameters() if p.grad is None]
+        assert missing == []

@@ -1,0 +1,108 @@
+"""Module/Parameter machinery."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 2), np.float32))
+        self.inner = nn.Linear(2, 2)
+        self.blocks = [nn.Linear(2, 3), nn.Linear(3, 2)]
+
+    def forward(self, x):
+        return x @ self.w
+
+
+class TestParameters:
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(2, np.float32)).requires_grad
+
+    def test_named_parameters_recursive(self):
+        names = dict(Toy().named_parameters())
+        assert "w" in names
+        assert "inner.weight" in names and "inner.bias" in names
+        assert "blocks.0.weight" in names and "blocks.1.bias" in names
+
+    def test_num_parameters(self):
+        toy = Toy()
+        expected = 4 + (4 + 2) + (6 + 3) + (6 + 2)
+        assert toy.num_parameters() == expected
+
+    def test_zero_grad(self):
+        toy = Toy()
+        x = Tensor(np.ones((1, 2), np.float32))
+        toy(x).sum().backward()
+        assert toy.w.grad is not None
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.inner.training
+        assert not toy.blocks[0].training
+        toy.train()
+        assert toy.blocks[1].training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.inner.weight.data[:] = 0.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b.inner.weight.data, a.inner.weight.data)
+
+    def test_includes_buffers(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_buffer_roundtrip(self):
+        a = nn.BatchNorm2d(2)
+        a._buffers["running_mean"][:] = 5.0
+        b = nn.BatchNorm2d(2)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b._buffers["running_mean"], [5.0, 5.0])
+
+    def test_shape_mismatch_rejected(self):
+        a = Toy()
+        state = a.state_dict()
+        state["w"] = np.zeros((3, 3), np.float32)
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_unknown_key_rejected(self):
+        a = Toy()
+        with pytest.raises(KeyError):
+            a.load_state_dict({"nope": np.zeros(1)})
+
+    def test_state_dict_is_copy(self):
+        a = Toy()
+        state = a.state_dict()
+        state["w"][:] = 99.0
+        assert a.w.data[0, 0] == 1.0
+
+
+class TestContainers:
+    def test_sequential(self):
+        seq = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        out = seq(Tensor(np.zeros((3, 4), np.float32)))
+        assert out.shape == (3, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2)])
+        ml.append(nn.Linear(2, 2))
+        assert len(ml) == 2
+        assert ml[0] is not ml[1]
+        params = list(ml.parameters())
+        assert len(params) == 4

@@ -1,0 +1,106 @@
+"""Optimiser correctness and convergence."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.module import Parameter
+
+
+def quadratic_steps(opt_factory, steps=200):
+    """Minimise ||w - w*||^2; return final distance."""
+    target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+    w = Parameter(np.zeros(3, np.float32))
+    opt = opt_factory([w])
+    for _ in range(steps):
+        opt.zero_grad()
+        w.grad = 2.0 * (w.data - target)
+        opt.step()
+    return np.abs(w.data - target).max()
+
+
+class TestSGD:
+    def test_converges(self):
+        assert quadratic_steps(lambda p: nn.SGD(p, lr=0.1)) < 1e-3
+
+    def test_momentum_converges(self):
+        assert quadratic_steps(lambda p: nn.SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_single_step_value(self):
+        w = Parameter(np.array([1.0], np.float32))
+        opt = nn.SGD([w], lr=0.5)
+        w.grad = np.array([2.0], np.float32)
+        opt.step()
+        assert w.data[0] == pytest.approx(0.0)
+
+    def test_weight_decay(self):
+        w = Parameter(np.array([10.0], np.float32))
+        opt = nn.SGD([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(1, np.float32)
+        opt.step()
+        assert w.data[0] == pytest.approx(10.0 - 0.1 * 0.5 * 10.0)
+
+    def test_skips_none_grads(self):
+        w = Parameter(np.ones(1, np.float32))
+        nn.SGD([w], lr=0.1).step()
+        assert w.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges(self):
+        assert quadratic_steps(lambda p: nn.Adam(p, lr=0.1), steps=400) < 1e-2
+
+    def test_first_step_size_is_lr(self):
+        """Adam's bias correction makes the first update ~lr * sign(grad)."""
+        w = Parameter(np.array([0.0], np.float32))
+        opt = nn.Adam([w], lr=0.01)
+        w.grad = np.array([5.0], np.float32)
+        opt.step()
+        assert w.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_weight_decay(self):
+        w = Parameter(np.array([1.0], np.float32))
+        opt = nn.Adam([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.zeros(1, np.float32)
+        opt.step()
+        assert w.data[0] < 1.0
+
+
+class TestValidation:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        w = Parameter(np.zeros(1, np.float32))
+        with pytest.raises(ValueError):
+            nn.Adam([w], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        w = Parameter(np.zeros(1, np.float32))
+        w.grad = np.ones(1, np.float32)
+        opt = nn.SGD([w], lr=0.1)
+        opt.zero_grad()
+        assert w.grad is None
+
+
+class TestEndToEnd:
+    def test_linear_regression(self, rng):
+        """A Linear layer fits a random linear map with Adam."""
+        true_w = rng.standard_normal((3, 2)).astype(np.float32)
+        x = rng.standard_normal((64, 3)).astype(np.float32)
+        y = x @ true_w
+        from repro.tensor import Tensor
+
+        model = nn.Linear(3, 2)
+        opt = nn.Adam(model.parameters(), lr=0.05)
+        loss_fn = nn.MSELoss()
+        first = None
+        for _ in range(150):
+            opt.zero_grad()
+            loss = loss_fn(model(Tensor(x)), Tensor(y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.01

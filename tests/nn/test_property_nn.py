@@ -1,0 +1,69 @@
+"""Hypothesis property tests on NN-layer numerics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro.nn as nn
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+def data(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape).astype(np.float32))
+
+
+class TestLayerProperties:
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_shape_contract(self, n_in, n_out, batch):
+        layer = nn.Linear(n_in, n_out, gen=Generator(0))
+        assert layer(data((batch, n_in))).shape == (batch, n_out)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.sampled_from([1, 2]), st.sampled_from([0, 1]))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_output_size_formula(self, c_in, c_out, stride, padding):
+        k, size = 3, 9
+        layer = nn.Conv2d(c_in, c_out, k, stride=stride, padding=padding, gen=Generator(0))
+        out = layer(data((1, c_in, size, size)))
+        expected = (size + 2 * padding - k) // stride + 1
+        assert out.shape == (1, c_out, expected, expected)
+
+    @given(st.integers(2, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_batchnorm_normalises_any_width(self, c):
+        bn = nn.BatchNorm2d(c)
+        out = bn(data((8, c, 4, 4), seed=c)).numpy()
+        assert abs(out.mean()) < 0.15
+        assert abs(out.std() - 1.0) < 0.15
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_cross_entropy_nonnegative(self, batch):
+        logits = data((batch, 7), seed=batch)
+        labels = np.random.default_rng(batch).integers(0, 7, batch)
+        loss = nn.CrossEntropyLoss()(logits, labels).item()
+        assert loss >= 0.0
+
+    @given(st.floats(0.001, 0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_sgd_step_direction(self, lr):
+        """A gradient-descent step never increases a convex quadratic."""
+        from repro.nn.module import Parameter
+
+        w = Parameter(np.array([3.0, -2.0], np.float32))
+        target = np.array([1.0, 1.0], np.float32)
+        before = float(((w.data - target) ** 2).sum())
+        w.grad = 2.0 * (w.data - target)
+        nn.SGD([w], lr=min(lr, 0.49)).step()
+        after = float(((w.data - target) ** 2).sum())
+        assert after <= before + 1e-6
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=6, deadline=None)
+    def test_model_eval_is_deterministic(self, seed):
+        model = nn.Autoencoder(base_channels=2, depth=2, gen=Generator(seed))
+        model.eval()
+        x = data((1, 1, 16, 16), seed=seed)
+        a = model(x).numpy()
+        b = model(x).numpy()
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,86 @@
+"""Activation compression wrapper."""
+
+import numpy as np
+
+import repro.nn as nn
+from repro.targets import ActivationCompression, compress_activations
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+def data(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape).astype(np.float32))
+
+
+class TestActivationCompression:
+    def test_wraps_and_preserves_shape(self):
+        conv = nn.Conv2d(3, 8, 3, padding=1, gen=Generator(0))
+        wrapped = ActivationCompression(conv, cf=4)
+        out = wrapped(data((2, 3, 16, 16)))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_eval_mode_is_exact(self):
+        conv = nn.Conv2d(3, 4, 3, padding=1, gen=Generator(0))
+        wrapped = ActivationCompression(conv, cf=2)
+        x = data((1, 3, 16, 16))
+        wrapped.eval()
+        np.testing.assert_allclose(wrapped(x).numpy(), conv(x).numpy())
+
+    def test_training_mode_is_lossy(self):
+        conv = nn.Conv2d(3, 4, 3, padding=1, gen=Generator(0))
+        wrapped = ActivationCompression(conv, cf=2)
+        wrapped.train()
+        x = data((1, 3, 16, 16))
+        assert not np.allclose(wrapped(x).numpy(), conv(x).numpy(), atol=1e-4)
+
+    def test_byte_accounting(self):
+        conv = nn.Conv2d(1, 2, 3, padding=1, gen=Generator(0))
+        wrapped = ActivationCompression(conv, cf=4)
+        wrapped(data((1, 1, 16, 16)))
+        assert wrapped.bytes_raw == 2 * 16 * 16 * 4
+        assert wrapped.observed_ratio > 3.0
+
+    def test_gradients_flow_through(self):
+        conv = nn.Conv2d(1, 2, 3, padding=1, gen=Generator(0))
+        wrapped = ActivationCompression(conv, cf=4)
+        wrapped(data((1, 1, 16, 16))).sum().backward()
+        assert conv.weight.grad is not None
+        assert np.abs(conv.weight.grad).sum() > 0
+
+
+class TestCompressActivations:
+    def test_wraps_all_convs(self):
+        model = nn.DeepEncoderDecoder(base_channels=4, depth=2, gen=Generator(0))
+        wrappers = compress_activations(model, cf=4)
+        assert len(wrappers) == 4  # 2 conv + 2 deconv
+        out = model(data((1, 1, 16, 16)))
+        assert out.shape == (1, 1, 16, 16)
+        assert all(w.bytes_raw > 0 for w in wrappers)
+
+    def test_training_still_converges(self):
+        """The miniature future-work experiment: training with compressed
+        activations still reduces the loss."""
+        model = nn.DeepEncoderDecoder(base_channels=4, depth=2, gen=Generator(0))
+        wrappers = compress_activations(model, cf=6)
+        opt = nn.Adam(model.parameters(), lr=2e-3)
+        loss_fn = nn.MSELoss()
+        rng = np.random.default_rng(0)
+        # A learnable smooth target (white noise cannot pass a bottleneck).
+        base = rng.standard_normal((8, 1, 4, 4)).astype(np.float32)
+        x = base.repeat(4, axis=2).repeat(4, axis=3)
+        losses = []
+        for _ in range(30):
+            opt.zero_grad()
+            loss = loss_fn(model(Tensor(x)), x)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.8
+        assert wrappers[0].observed_ratio > 1.5
+
+    def test_resnet_wrapping(self):
+        model = nn.resnet18(width_mult=0.125, gen=Generator(0))
+        wrappers = compress_activations(model, cf=6)
+        assert len(wrappers) > 10
+        logits = model(data((1, 3, 32, 32)))
+        assert logits.shape == (1, 10)

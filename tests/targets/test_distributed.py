@@ -1,0 +1,99 @@
+"""Simulated data-parallel training with compressed gradient exchange."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.data.loader import DataLoader, Dataset
+from repro.targets import DataParallelSimulator
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+class LinearTask(Dataset):
+    def __init__(self, n=64, seed=0):
+        rng = np.random.default_rng(seed)
+        self.x = rng.standard_normal((n, 16)).astype(np.float32)
+        self.w = rng.standard_normal((16, 4)).astype(np.float32)
+        self.y = self.x @ self.w
+
+    def __len__(self):
+        return len(self.x)
+
+    def __getitem__(self, i):
+        return self.x[i], self.y[i]
+
+
+def make_sim(world_size=4, gradient_cf=None, seed=0, lr=0.1):
+    model = nn.Linear(16, 4, gen=Generator(seed))
+    opt = nn.Adam(model.parameters(), lr=lr)
+    return DataParallelSimulator(
+        model, nn.MSELoss(), opt, world_size=world_size, gradient_cf=gradient_cf
+    )
+
+
+class TestDataParallel:
+    def test_sharding_validation(self):
+        sim = make_sim(world_size=3)
+        with pytest.raises(ValueError):
+            sim.step(np.zeros((8, 16), np.float32), np.zeros((8, 4), np.float32))
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            make_sim(world_size=0)
+
+    def test_equivalent_to_single_worker_sgd(self):
+        """Averaging shard gradients equals the full-batch gradient for a
+        mean-reduction loss, so N workers match 1 worker exactly."""
+        ds = LinearTask()
+        x = np.stack([ds[i][0] for i in range(16)])
+        y = np.stack([ds[i][1] for i in range(16)])
+        single = make_sim(world_size=1)
+        multi = make_sim(world_size=4)
+        for _ in range(3):
+            single.step(x, y)
+            multi.step(x, y)
+        np.testing.assert_allclose(
+            single.model.weight.data, multi.model.weight.data, atol=1e-5
+        )
+
+    def test_loss_decreases(self):
+        sim = make_sim(world_size=4)
+        loader = DataLoader(LinearTask(), 16, shuffle=True, gen=Generator(0))
+        first = sim.train_epoch(loader)
+        for _ in range(5):
+            last = sim.train_epoch(loader)
+        assert last < first * 0.5
+
+    def test_compressed_exchange_converges(self):
+        sim = make_sim(world_size=4, gradient_cf=6)
+        loader = DataLoader(LinearTask(), 16, shuffle=True, gen=Generator(0))
+        first = sim.train_epoch(loader)
+        for _ in range(6):
+            last = sim.train_epoch(loader)
+        assert last < first * 0.7
+
+    def test_communication_accounting(self):
+        sim = make_sim(world_size=4, gradient_cf=4)
+        ds = LinearTask()
+        x = np.stack([ds[i][0] for i in range(16)])
+        y = np.stack([ds[i][1] for i in range(16)])
+        sim.step(x, y)
+        log = sim.log
+        assert log.steps == 1
+        assert log.raw_bytes > 0
+        assert log.exchanged_bytes < log.raw_bytes
+        assert log.savings_ratio > 1.5
+        assert len(log.per_step) == 1
+        assert log.per_step[0] == log.exchanged_bytes
+
+    def test_uncompressed_exchange_full_bytes(self):
+        sim = make_sim(world_size=2)
+        ds = LinearTask()
+        x = np.stack([ds[i][0] for i in range(8)])
+        y = np.stack([ds[i][1] for i in range(8)])
+        sim.step(x, y)
+        assert sim.log.savings_ratio == 1.0
+        # 2 workers x (16x4 weight + 4 bias) floats.
+        expected = 2 * (16 * 4 + 4) * 4
+        assert sim.log.raw_bytes == expected

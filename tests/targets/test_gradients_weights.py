@@ -1,0 +1,129 @@
+"""Gradient and weight compression targets."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.module import Parameter
+from repro.targets import (
+    CompressedOptimizer,
+    GradientCompressor,
+    compress_state_dict,
+    decompress_state_dict,
+    state_dict_ratio,
+)
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+class TestGradientCompressor:
+    def test_roundtrips_grads_in_place(self, rng):
+        p = Parameter(rng.standard_normal((16, 16)).astype(np.float32))
+        p.grad = rng.standard_normal((16, 16)).astype(np.float32)
+        original = p.grad.copy()
+        gc = GradientCompressor(cf=4)
+        gc.compress_([p])
+        assert p.grad.shape == original.shape
+        assert not np.allclose(p.grad, original, atol=1e-5)  # lossy
+        # Low-frequency structure preserved: means close.
+        assert p.grad.mean() == pytest.approx(original.mean(), abs=0.05)
+
+    def test_skips_missing_grads(self):
+        p = Parameter(np.zeros((4, 4), np.float32))
+        GradientCompressor(cf=4).compress_([p])
+        assert p.grad is None
+
+    def test_handles_all_ranks(self, rng):
+        shapes = [(), (7,), (8, 8), (4, 3, 3, 3)]
+        params = []
+        for s in shapes:
+            p = Parameter(np.zeros(s, np.float32))
+            p.grad = rng.standard_normal(s).astype(np.float32)
+            params.append(p)
+        gc = GradientCompressor(cf=4)
+        gc.compress_(params)
+        for p, s in zip(params, shapes):
+            assert p.grad.shape == s
+
+    def test_byte_accounting(self, rng):
+        p = Parameter(np.zeros((32, 32), np.float32))
+        p.grad = rng.standard_normal((32, 32)).astype(np.float32)
+        gc = GradientCompressor(cf=4)
+        gc.compress_([p])
+        assert gc.observed_ratio == pytest.approx(4.0)
+
+
+class TestCompressedOptimizer:
+    def test_training_converges(self, rng):
+        """Future-work experiment: SGD on chop-compressed gradients still
+        fits a linear map."""
+        true_w = rng.standard_normal((16, 8)).astype(np.float32)
+        x = rng.standard_normal((64, 16)).astype(np.float32)
+        y = x @ true_w
+        model = nn.Linear(16, 8, gen=Generator(0))
+        opt = CompressedOptimizer(nn.Adam(model.parameters(), lr=0.02), cf=6)
+        loss_fn = nn.MSELoss()
+        first = None
+        for _ in range(300):
+            opt.zero_grad()
+            loss = loss_fn(model(Tensor(x)), Tensor(y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.05
+        assert opt.observed_ratio > 1.2
+
+
+class TestWeightCompression:
+    def _model_state(self):
+        model = nn.DeepEncoderDecoder(base_channels=8, depth=2, gen=Generator(0))
+        return model, model.state_dict()
+
+    def test_roundtrip_loadable(self):
+        model, state = self._model_state()
+        packed = compress_state_dict(state, cf=7)
+        restored = decompress_state_dict(packed)
+        assert set(restored) == set(state)
+        model.load_state_dict(restored)  # shapes must all match
+
+    def test_small_tensors_stored_raw(self):
+        _, state = self._model_state()
+        packed = compress_state_dict(state, cf=4, min_elements=512)
+        # Biases and BN stats are small -> raw and exact.
+        raw_names = [n for n, e in packed.items() if "__raw__" in e]
+        assert any("bias" in n for n in raw_names)
+        restored = decompress_state_dict(packed)
+        for name in raw_names:
+            np.testing.assert_array_equal(restored[name], state[name])
+
+    def test_ratio_above_one(self):
+        _, state = self._model_state()
+        packed = compress_state_dict(state, cf=6)
+        assert state_dict_ratio(state, packed) > 1.1
+
+    def test_compressed_model_still_functions(self, rng):
+        """Reloaded lossy weights produce outputs close to the original."""
+        model, state = self._model_state()
+        x = Tensor(rng.standard_normal((1, 1, 16, 16)).astype(np.float32))
+        model.eval()
+        ref = model(x).numpy()
+        packed = compress_state_dict(state, cf=7)
+        model.load_state_dict(decompress_state_dict(packed))
+        out = model(x).numpy()
+        rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-8)
+        assert np.isfinite(rel) and rel < 1.0
+
+    def test_higher_cf_more_faithful(self, rng):
+        model, state = self._model_state()
+        x = Tensor(rng.standard_normal((1, 1, 16, 16)).astype(np.float32))
+        model.eval()
+        ref = model(x).numpy()
+
+        def err(cf):
+            model.load_state_dict(decompress_state_dict(compress_state_dict(state, cf=cf)))
+            out = model(x).numpy()
+            model.load_state_dict(state)
+            return np.abs(out - ref).mean()
+
+        assert err(7) <= err(3) + 1e-6

@@ -1,0 +1,128 @@
+"""Edge cases and less-travelled paths of the tensor layer."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.errors import ShapeError
+from repro.tensor import Tensor
+from repro.tensor.tensor import _unbroadcast
+
+
+class TestUnbroadcast:
+    def test_noop_when_shapes_match(self, rng):
+        g = rng.standard_normal((3, 4))
+        assert _unbroadcast(g, (3, 4)) is g
+
+    def test_leading_axis_sum(self, rng):
+        g = rng.standard_normal((5, 3))
+        out = _unbroadcast(g, (3,))
+        np.testing.assert_allclose(out, g.sum(axis=0))
+
+    def test_keepdim_axis_sum(self, rng):
+        g = rng.standard_normal((4, 3))
+        out = _unbroadcast(g, (1, 3))
+        assert out.shape == (1, 3)
+        np.testing.assert_allclose(out[0], g.sum(axis=0))
+
+    def test_combined(self, rng):
+        g = rng.standard_normal((2, 4, 3))
+        out = _unbroadcast(g, (4, 1))
+        assert out.shape == (4, 1)
+
+
+class TestShapeEdges:
+    def test_squeeze_invalid_axis(self):
+        with pytest.raises(ShapeError):
+            rt.zeros(2, 3).squeeze(0)
+
+    def test_squeeze_all(self):
+        t = rt.zeros(1, 3, 1).squeeze()
+        assert t.shape == (3,)
+
+    def test_unsqueeze_negative(self):
+        t = rt.zeros(3).unsqueeze(-1)
+        assert t.shape == (3, 1)
+
+    def test_flatten_start_dim(self):
+        assert rt.zeros(2, 3, 4).flatten(1).shape == (2, 12)
+
+    def test_swapaxes(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out = Tensor(x).swapaxes(0, 2)
+        np.testing.assert_array_equal(out.numpy(), x.swapaxes(0, 2))
+
+    def test_view_alias(self):
+        assert rt.zeros(6).view(2, 3).shape == (2, 3)
+
+    def test_reshape_from_tuple(self):
+        assert rt.zeros(6).reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_default_reverses(self):
+        assert rt.zeros(2, 3, 4).transpose().shape == (4, 3, 2)
+
+
+class TestReductionEdges:
+    def test_max_keepdims(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        assert x.max(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_max_scalar(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        assert x.max().shape == ()
+
+    def test_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]], np.float32))
+        np.testing.assert_array_equal(x.argmax(axis=1), [1, 0])
+
+    def test_var_matches_numpy(self, rng):
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            Tensor(x).var(axis=0).numpy(), x.var(axis=0), rtol=1e-4
+        )
+
+    def test_sum_negative_axis_grad(self, rng):
+        t = Tensor(rng.standard_normal((2, 3)).astype(np.float32), requires_grad=True)
+        t.sum(axis=-1).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3)))
+
+    def test_mean_tuple_axis_grad(self, rng):
+        t = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32), requires_grad=True)
+        t.mean(axis=(0, 2)).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3, 4), 1.0 / 8.0))
+
+
+class TestTieBreaking:
+    def test_max_splits_gradient_on_ties(self):
+        t = Tensor(np.array([[2.0, 2.0]], np.float32), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5]])
+
+
+class TestFunctionalEdges:
+    def test_log_softmax_axis0(self, rng):
+        from repro.tensor import functional as F
+
+        x = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+        out = F.log_softmax(x, axis=0)
+        np.testing.assert_allclose(
+            np.exp(out.numpy()).sum(axis=0), np.ones(3), rtol=1e-5
+        )
+
+    def test_one_hot_2d_labels(self):
+        from repro.tensor import functional as F
+
+        labels = np.array([[0, 1], [2, 0]])
+        out = F.one_hot(labels, 3)
+        assert out.shape == (2, 2, 3)
+        assert out.numpy()[1, 0, 2] == 1.0
+
+    def test_dilate_values(self):
+        from repro.tensor.functional import Dilate2d
+
+        x = Tensor(np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2))
+        out = Dilate2d.apply(x, stride=2, extra=0)
+        assert out.shape == (1, 1, 3, 3)
+        np.testing.assert_allclose(
+            out.numpy()[0, 0], [[0, 0, 1], [0, 0, 0], [2, 0, 3]]
+        )

@@ -1,0 +1,125 @@
+"""conv2d / conv_transpose2d against SciPy references and gradient checks."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+import repro.tensor as rt
+from repro.errors import ShapeError
+from repro.tensor import Tensor, functional as F
+
+from tests.conftest import check_gradient
+
+
+def ref_conv2d(x, w, stride=1, padding=0):
+    """Direct cross-correlation reference via scipy.signal.correlate2d."""
+    n, c, h, wd = x.shape
+    f = w.shape[0]
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - w.shape[2]) // stride + 1
+    out_w = (x.shape[3] - w.shape[3]) // stride + 1
+    out = np.zeros((n, f, out_h, out_w), dtype=np.float64)
+    for ni in range(n):
+        for fi in range(f):
+            acc = np.zeros((x.shape[2] - w.shape[2] + 1, x.shape[3] - w.shape[3] + 1))
+            for ci in range(c):
+                acc += signal.correlate2d(x[ni, ci], w[fi, ci], mode="valid")
+            out[ni, fi] = acc[::stride, ::stride]
+    return out
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_scipy(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 9, 9)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        ref = ref_conv2d(x, w, stride, padding)
+        np.testing.assert_allclose(out.numpy(), ref, rtol=1e-4, atol=1e-5)
+
+    def test_bias(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        b = np.array([1.0, -1.0, 0.5], dtype=np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), padding=1)
+        ref = ref_conv2d(x, w, 1, 1) + b.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(out.numpy(), ref, rtol=1e-4, atol=1e-5)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(
+                Tensor(np.zeros((1, 2, 5, 5), np.float32)),
+                Tensor(np.zeros((3, 4, 3, 3), np.float32)),
+            )
+
+    def test_too_small_input(self):
+        with pytest.raises(ShapeError):
+            F.conv2d(
+                Tensor(np.zeros((1, 1, 2, 2), np.float32)),
+                Tensor(np.zeros((1, 1, 5, 5), np.float32)),
+            )
+
+
+class TestConv2dBackward:
+    def test_grad_input(self, rng):
+        w = Tensor(rng.standard_normal((2, 3, 3, 3)).astype(np.float32) * 0.3)
+        check_gradient(
+            lambda t: F.conv2d(t, w, stride=1, padding=1),
+            rng.standard_normal((1, 3, 6, 6)),
+        )
+
+    def test_grad_weight(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32))
+        check_gradient(
+            lambda t: F.conv2d(x, t, stride=2, padding=1),
+            rng.standard_normal((2, 2, 3, 3)) * 0.3,
+        )
+
+    def test_grad_bias(self, rng):
+        x = Tensor(rng.standard_normal((2, 1, 4, 4)).astype(np.float32))
+        w = Tensor(rng.standard_normal((2, 1, 3, 3)).astype(np.float32))
+        check_gradient(lambda t: F.conv2d(x, w, t, padding=1), rng.standard_normal(2))
+
+
+class TestConvTranspose2d:
+    def test_inverts_downsample_shape(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 5, 5)).astype(np.float32))
+        w = Tensor(rng.standard_normal((3, 4, 4, 4)).astype(np.float32))
+        out = F.conv_transpose2d(x, w, stride=2, padding=1)
+        assert out.shape == (2, 4, 10, 10)
+
+    def test_stride1_equals_full_correlation(self, rng):
+        """stride=1, padding=0 conv-transpose is full convolution."""
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((1, 1, 3, 3)).astype(np.float32)
+        out = F.conv_transpose2d(Tensor(x), Tensor(w))
+        ref = signal.convolve2d(x[0, 0], w[0, 0], mode="full")
+        np.testing.assert_allclose(out.numpy()[0, 0], ref, rtol=1e-4, atol=1e-5)
+
+    def test_output_padding(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 3, 3)).astype(np.float32))
+        w = Tensor(rng.standard_normal((2, 1, 3, 3)).astype(np.float32))
+        out = F.conv_transpose2d(x, w, stride=2, padding=1, output_padding=1)
+        assert out.shape == (1, 1, 6, 6)
+
+    def test_grad(self, rng):
+        w = Tensor(rng.standard_normal((2, 1, 2, 2)).astype(np.float32))
+        check_gradient(
+            lambda t: F.conv_transpose2d(t, w, stride=2),
+            rng.standard_normal((1, 2, 3, 3)),
+        )
+
+    def test_grad_weight(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 3, 3)).astype(np.float32))
+        check_gradient(
+            lambda t: F.conv_transpose2d(x, t, stride=2),
+            rng.standard_normal((2, 1, 2, 2)),
+        )
+
+    def test_rectangular_kernel_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv_transpose2d(
+                Tensor(np.zeros((1, 1, 4, 4), np.float32)),
+                Tensor(np.zeros((1, 1, 2, 3), np.float32)),
+            )

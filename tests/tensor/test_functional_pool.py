@@ -1,0 +1,117 @@
+"""Pooling, padding, upsampling, and softmax-family tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, functional as F
+
+from tests.conftest import check_gradient
+
+
+class TestMaxPool:
+    def test_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.numpy()[0, 0], [[5, 7], [13, 15]])
+
+    def test_stride_overlap(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        out = F.max_pool2d(Tensor(x), 3, stride=1)
+        assert out.shape == (1, 2, 4, 4)
+        windows = np.lib.stride_tricks.sliding_window_view(x, (3, 3), axis=(2, 3))
+        np.testing.assert_allclose(out.numpy(), windows.max(axis=(-1, -2)))
+
+    def test_grad(self, rng):
+        # Unique values avoid argmax ties.
+        x = rng.permutation(64).astype(np.float64).reshape(1, 1, 8, 8)
+        check_gradient(lambda t: F.max_pool2d(t, 2), x)
+
+    def test_grad_overlapping(self, rng):
+        x = rng.permutation(36).astype(np.float64).reshape(1, 1, 6, 6)
+        check_gradient(lambda t: F.max_pool2d(t, 3, stride=1), x)
+
+
+class TestAvgPool:
+    def test_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.numpy()[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_grad_nonoverlapping(self, rng):
+        check_gradient(lambda t: F.avg_pool2d(t, 2), rng.standard_normal((1, 2, 4, 4)))
+
+    def test_grad_overlapping(self, rng):
+        check_gradient(
+            lambda t: F.avg_pool2d(t, 2, stride=1), rng.standard_normal((1, 1, 4, 4))
+        )
+
+    def test_adaptive_global(self, rng):
+        x = rng.standard_normal((2, 3, 5, 5)).astype(np.float32)
+        out = F.adaptive_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(
+            out.numpy()[..., 0, 0], x.mean(axis=(2, 3)), rtol=1e-5
+        )
+
+    def test_adaptive_rejects_other_sizes(self):
+        with pytest.raises(ShapeError):
+            F.adaptive_avg_pool2d(Tensor(np.zeros((1, 1, 4, 4), np.float32)), 2)
+
+
+class TestPadUpsample:
+    def test_pad2d(self, rng):
+        x = rng.standard_normal((1, 1, 2, 3)).astype(np.float32)
+        out = F.pad2d(Tensor(x), (1, 2, 3, 4))
+        assert out.shape == (1, 1, 2 + 3 + 4, 3 + 1 + 2)
+        np.testing.assert_allclose(out.numpy()[0, 0, 3:5, 1:4], x[0, 0])
+
+    def test_pad2d_grad(self, rng):
+        check_gradient(lambda t: F.pad2d(t, (1, 1, 2, 0)), rng.standard_normal((1, 2, 3, 3)))
+
+    def test_upsample_values(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32).reshape(1, 1, 2, 2)
+        out = F.upsample_nearest(Tensor(x), 2)
+        np.testing.assert_allclose(
+            out.numpy()[0, 0],
+            [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]],
+        )
+
+    def test_upsample_grad(self, rng):
+        check_gradient(lambda t: F.upsample_nearest(t, 3), rng.standard_normal((1, 2, 2, 2)))
+
+    def test_upsample_downsample_grad_inverse(self, rng):
+        """Backward of upsample sums over each block (adjoint property)."""
+        x = Tensor(rng.standard_normal((1, 1, 2, 2)).astype(np.float32), requires_grad=True)
+        F.upsample_nearest(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 4.0))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)).astype(np.float32) * 10)
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.numpy().sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 0.0], [0.0, -1000.0]], dtype=np.float32))
+        out = F.log_softmax(x).numpy()
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_log_softmax_grad(self, rng):
+        check_gradient(
+            lambda t: F.log_softmax(t) * Tensor(np.eye(3, dtype=np.float32)),
+            rng.standard_normal((3, 3)),
+        )
+
+    def test_one_hot(self):
+        oh = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(oh.numpy(), [[1, 0, 0], [0, 0, 1]])
+
+    def test_linear(self, rng):
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        w = rng.standard_normal((2, 3)).astype(np.float32)
+        b = rng.standard_normal(2).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.numpy(), x @ w.T + b, rtol=1e-5)

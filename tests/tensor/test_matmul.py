@@ -1,0 +1,85 @@
+"""matmul forward/backward across the broadcasting cases the compressor uses."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.errors import ShapeError
+from repro.tensor import Tensor
+
+from tests.conftest import check_gradient
+
+
+class TestForward:
+    def test_2d(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        out = rt.matmul(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.numpy(), a @ b, rtol=1e-5)
+
+    def test_batched_rhs_broadcast(self, rng):
+        # The compressor's pattern: (m, n) @ (B, C, n, n) @ (n, m).
+        lhs = rng.standard_normal((6, 8)).astype(np.float32)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        rhs = rng.standard_normal((8, 6)).astype(np.float32)
+        out = rt.matmul(Tensor(lhs), rt.matmul(Tensor(x), Tensor(rhs)))
+        ref = np.matmul(lhs, np.matmul(x, rhs))
+        assert out.shape == (2, 3, 6, 6)
+        np.testing.assert_allclose(out.numpy(), ref, rtol=1e-4)
+
+    def test_vector_cases(self, rng):
+        a = rng.standard_normal(4).astype(np.float32)
+        m = rng.standard_normal((4, 3)).astype(np.float32)
+        np.testing.assert_allclose(rt.matmul(Tensor(a), Tensor(m)).numpy(), a @ m, rtol=1e-5)
+        np.testing.assert_allclose(rt.matmul(Tensor(m.T), Tensor(a)).numpy(), m.T @ a, rtol=1e-5)
+        np.testing.assert_allclose(
+            rt.matmul(Tensor(a), Tensor(a)).numpy(), a @ a, rtol=1e-5
+        )
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ShapeError):
+            rt.matmul(Tensor(np.float32(2.0)), Tensor(np.ones((2, 2), np.float32)))
+
+    def test_operator_form(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)).astype(np.float32))
+        b = Tensor(rng.standard_normal((3, 2)).astype(np.float32))
+        np.testing.assert_allclose((a @ b).numpy(), a.numpy() @ b.numpy(), rtol=1e-5)
+
+
+class TestBackward:
+    def test_2d_grad(self, rng):
+        b = Tensor(rng.standard_normal((4, 5)).astype(np.float32))
+        check_gradient(lambda t: rt.matmul(t, b), rng.standard_normal((3, 4)))
+
+    def test_2d_grad_rhs(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        check_gradient(lambda t: rt.matmul(a, t), rng.standard_normal((4, 5)))
+
+    def test_broadcast_grad_lhs_constant(self, rng):
+        lhs = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        check_gradient(lambda t: rt.matmul(lhs, t), rng.standard_normal((2, 4, 2)))
+
+    def test_broadcast_grad_batched_input(self, rng):
+        rhs = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+        check_gradient(lambda t: rt.matmul(t, rhs), rng.standard_normal((2, 2, 4)))
+
+    def test_batched_both(self, rng):
+        b = Tensor(rng.standard_normal((2, 4, 3)).astype(np.float32))
+        check_gradient(lambda t: rt.matmul(t, b), rng.standard_normal((2, 3, 4)))
+
+    def test_vector_matrix_grad(self, rng):
+        m = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+        check_gradient(lambda t: rt.matmul(t, m), rng.standard_normal(4))
+
+    def test_matrix_vector_grad(self, rng):
+        v = Tensor(rng.standard_normal(4).astype(np.float32))
+        check_gradient(lambda t: rt.matmul(t, v), rng.standard_normal((3, 4)))
+
+    def test_compressor_chain_grad(self, rng):
+        """Gradient flows through the full two-matmul compress expression."""
+        lhs = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+        rhs = Tensor(rng.standard_normal((8, 4)).astype(np.float32))
+        check_gradient(
+            lambda t: rt.matmul(lhs, rt.matmul(t, rhs)),
+            rng.standard_normal((2, 8, 8)),
+        )

@@ -1,0 +1,121 @@
+"""Hypothesis property tests on tensor-layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+import repro.tensor as rt
+from repro.tensor import Tensor
+
+
+def small_floats(shape):
+    return hnp.arrays(
+        np.float32,
+        shape,
+        elements=st.floats(-10, 10, width=32, allow_nan=False, allow_infinity=False),
+    )
+
+
+shapes_2d = st.tuples(st.integers(1, 6), st.integers(1, 6))
+
+
+class TestAlgebraicProperties:
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_add_commutes(self, x):
+        a, b = Tensor(x), Tensor(x[::-1].copy() if x.shape[0] > 1 else x)
+        if a.shape == b.shape:
+            np.testing.assert_allclose((a + b).numpy(), (b + a).numpy())
+
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_double_negation(self, x):
+        t = Tensor(x)
+        np.testing.assert_array_equal((-(-t)).numpy(), x)
+
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_involution(self, x):
+        t = Tensor(x)
+        np.testing.assert_array_equal(t.T.T.numpy(), x)
+
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_reshape_preserves_sum(self, x):
+        t = Tensor(x)
+        assert t.reshape(-1).sum().item() == t.sum().item()
+
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent(self, x):
+        t = Tensor(x)
+        once = rt.relu(t).numpy()
+        twice = rt.relu(rt.relu(t)).numpy()
+        np.testing.assert_array_equal(once, twice)
+
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_clip_bounds(self, x):
+        out = rt.clip(Tensor(x), -1.0, 1.0).numpy()
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_sigmoid_range(self, x):
+        out = rt.sigmoid(Tensor(x)).numpy()
+        assert (out > 0).all() and (out < 1).all()
+
+
+class TestGradientProperties:
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+    @given(shapes_2d.flatmap(small_floats))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_map_gradient_is_coefficient(self, x):
+        t = Tensor(x, requires_grad=True)
+        (t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(x, 3.0), rtol=1e-5)
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_shape(self, m, k, n):
+        a = Tensor(np.ones((m, k), np.float32))
+        b = Tensor(np.ones((k, n), np.float32))
+        out = rt.matmul(a, b)
+        assert out.shape == (m, n)
+        np.testing.assert_allclose(out.numpy(), np.full((m, n), k, np.float32))
+
+
+class TestGatherScatterProperties:
+    @given(
+        st.integers(2, 8).flatmap(
+            lambda n: st.tuples(
+                small_floats((3, n)),
+                hnp.arrays(
+                    np.int64, (3, n), elements=st.integers(0, n - 1)
+                ),
+                st.just(n),
+            )
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gather_matches_take_along_axis(self, args):
+        x, idx, n = args
+        out = rt.gather(Tensor(x), 1, idx)
+        np.testing.assert_array_equal(out.numpy(), np.take_along_axis(x, idx, 1))
+
+    @given(st.integers(2, 8), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_scatter_gather_roundtrip_unique(self, n, rows):
+        rng = np.random.default_rng(n * 17 + rows)
+        k = max(1, n // 2)
+        idx = np.stack([rng.choice(n, size=k, replace=False) for _ in range(rows)])
+        src = rng.standard_normal((rows, k)).astype(np.float32)
+        scattered = rt.scatter(Tensor(src), 1, idx, n)
+        regathered = rt.gather(scattered, 1, idx)
+        np.testing.assert_array_equal(regathered.numpy(), src)

@@ -1,0 +1,48 @@
+"""Seeded Generator behaviour."""
+
+import numpy as np
+
+from repro.tensor.random import Generator, default_generator, manual_seed, randn
+
+
+class TestGenerator:
+    def test_determinism(self):
+        a = Generator(7).randn(4, 4).numpy()
+        b = Generator(7).randn(4, 4).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = Generator(1).randn(16).numpy()
+        b = Generator(2).randn(16).numpy()
+        assert not np.array_equal(a, b)
+
+    def test_dtype_is_float32(self):
+        assert Generator(0).randn(3).dtype == np.float32
+        assert Generator(0).rand(3).dtype == np.float32
+
+    def test_randint_bounds(self):
+        vals = Generator(0).randint(2, 5, 1000)
+        assert vals.min() >= 2 and vals.max() < 5
+
+    def test_permutation(self):
+        p = Generator(0).permutation(10)
+        assert sorted(p.tolist()) == list(range(10))
+
+    def test_spawn_independent(self):
+        g = Generator(0)
+        child = g.spawn()
+        assert not np.array_equal(child.randn(8).numpy(), g.randn(8).numpy())
+
+    def test_manual_seed_resets_global(self):
+        manual_seed(42)
+        a = randn(4).numpy()
+        manual_seed(42)
+        b = randn(4).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_requires_grad_passthrough(self):
+        t = Generator(0).randn(2, requires_grad=True)
+        assert t.requires_grad
+
+    def test_default_generator_exists(self):
+        assert isinstance(default_generator, Generator)

@@ -1,0 +1,118 @@
+"""Tensor construction, dtype policy, and basic introspection."""
+
+import numpy as np
+import pytest
+
+import repro.tensor as rt
+from repro.tensor import Tensor
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = rt.tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float32
+
+    def test_float64_coerced_to_float32(self):
+        t = Tensor(np.zeros((3,), dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_int_dtype_preserved(self):
+        t = Tensor(np.arange(4))
+        assert np.issubdtype(t.dtype, np.integer)
+
+    def test_explicit_dtype(self):
+        t = Tensor([1, 2, 3], dtype=np.float32)
+        assert t.dtype == np.float32
+
+    def test_from_tensor_shares_nothing_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor(a)
+        assert not b.requires_grad
+
+    def test_zeros_ones_full(self):
+        assert rt.zeros(2, 3).shape == (2, 3)
+        assert rt.ones((4,)).numpy().sum() == 4.0
+        assert rt.full((2, 2), 7.0).numpy()[0, 0] == 7.0
+
+    def test_eye_arange(self):
+        assert np.allclose(rt.eye(3).numpy(), np.eye(3))
+        assert np.allclose(rt.arange(5).numpy(), np.arange(5))
+
+    def test_zeros_like_ones_like(self):
+        t = rt.ones(2, 2)
+        assert rt.zeros_like(t).numpy().sum() == 0.0
+        assert rt.ones_like(t).numpy().sum() == 4.0
+
+
+class TestIntrospection:
+    def test_shape_ndim_size(self):
+        t = rt.zeros(2, 3, 4)
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+        assert t.numel() == 24
+        assert t.nbytes == 24 * 4
+
+    def test_repr_mentions_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+        assert "requires_grad" not in repr(t.detach())
+
+    def test_item_scalar_only(self):
+        assert rt.tensor([3.5])[0].item() == pytest.approx(3.5)
+
+    def test_len(self):
+        assert len(rt.zeros(5, 2)) == 5
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert b._ctx is None
+
+    def test_clone_preserves_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = a.clone()
+        b.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_astype(self):
+        t = rt.ones(2).astype(np.float64)
+        assert t.dtype == np.float64
+
+
+class TestComparisons:
+    def test_comparison_returns_bool_tensor(self):
+        a = rt.tensor([1.0, 2.0, 3.0])
+        mask = a > 1.5
+        assert mask.dtype == np.bool_
+        assert mask.numpy().tolist() == [False, True, True]
+
+    def test_all_comparison_ops(self):
+        a = rt.tensor([1.0, 2.0])
+        assert (a < 2.5).numpy().all()
+        assert (a >= 1.0).numpy().all()
+        assert (a <= 2.0).numpy().all()
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_recording(self):
+        a = Tensor([1.0], requires_grad=True)
+        with rt.no_grad():
+            b = a * 2
+        assert b._ctx is None
+        assert not b.requires_grad
+
+    def test_no_grad_restores(self):
+        assert rt.is_grad_enabled()
+        with rt.no_grad():
+            assert not rt.is_grad_enabled()
+        assert rt.is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with rt.no_grad():
+            with rt.no_grad():
+                pass
+            assert not rt.is_grad_enabled()
+        assert rt.is_grad_enabled()

@@ -1,0 +1,76 @@
+"""Learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.module import Parameter
+from repro.train.schedules import CosineAnnealingLR, StepLR, WarmupLR
+
+
+def make_opt(lr=0.1):
+    return nn.SGD([Parameter(np.zeros(4, np.float32))], lr=lr)
+
+
+class TestStepLR:
+    def test_decay_points(self):
+        opt = make_opt(0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs == pytest.approx([0.1, 0.01, 0.01, 0.001, 0.001])
+        assert opt.lr == pytest.approx(0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealingLR(make_opt(1.0), t_max=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_eta_min_floor(self):
+        sched = CosineAnnealingLR(make_opt(1.0), t_max=4, eta_min=0.05)
+        for _ in range(6):
+            lr = sched.step()
+        assert lr == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), t_max=0)
+
+
+class TestWarmup:
+    def test_ramp(self):
+        opt = make_opt(1.0)
+        sched = WarmupLR(opt, warmup=4, warmup_factor=0.0)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(0.25)
+        assert lrs[3] == pytest.approx(1.0)
+        assert lrs[4] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLR(make_opt(), warmup=0)
+
+
+class TestCompressedOptimizerIntegration:
+    def test_scheduler_reaches_wrapped_inner(self):
+        """Schedules must update both the wrapper and the inner optimiser."""
+        from repro.targets import CompressedOptimizer
+
+        inner = make_opt(0.1)
+        wrapped = CompressedOptimizer(inner, cf=4)
+        sched = StepLR(wrapped, step_size=1, gamma=0.5)
+        sched.step()
+        assert wrapped.lr == pytest.approx(0.05)
+        assert inner.lr == pytest.approx(0.05)

@@ -1,0 +1,185 @@
+"""Trainer loop: learning, compression hook, and evaluation semantics."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.data.loader import DataLoader, Dataset
+from repro.train import History, TrainConfig, Trainer
+from repro.tensor import Tensor
+from repro.tensor.random import Generator
+
+
+class TinyRegression(Dataset):
+    """y = sum of pixels; learnable by one conv quickly."""
+
+    def __init__(self, n=32, seed=0):
+        self.n = n
+        self.rng = np.random.default_rng(seed)
+        self.xs = self.rng.standard_normal((n, 1, 8, 8)).astype(np.float32)
+        self.ys = self.xs.sum(axis=(1, 2, 3), keepdims=True).reshape(n, 1).astype(np.float32)
+
+    def __len__(self):
+        return self.n
+
+    def __getitem__(self, i):
+        return self.xs[i], self.ys[i]
+
+
+class SumModel(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = nn.Linear(64, 1, gen=Generator(0))
+
+    def forward(self, x):
+        return self.fc(x.reshape(x.shape[0], 64))
+
+
+class RecordingCompressor:
+    """Stub compressor that records calls and perturbs data slightly."""
+
+    ratio = 2.0
+    cf = 4
+    method = "stub"
+
+    def __init__(self):
+        self.calls = 0
+
+    def roundtrip(self, x):
+        self.calls += 1
+        return Tensor(np.asarray(x) * 0.99)
+
+
+class TestTrainingLoop:
+    def _loaders(self):
+        return (
+            DataLoader(TinyRegression(32), 8, shuffle=True, gen=Generator(0)),
+            DataLoader(TinyRegression(16, seed=99), 8),
+        )
+
+    def test_loss_decreases(self):
+        train, test = self._loaders()
+        trainer = Trainer(SumModel(), nn.MSELoss(), TrainConfig(epochs=20, lr=0.05))
+        hist = trainer.fit(train, test)
+        assert hist.train_loss[-1] < hist.train_loss[0] * 0.5
+
+    def test_history_lengths(self):
+        train, test = self._loaders()
+        trainer = Trainer(SumModel(), nn.MSELoss(), TrainConfig(epochs=3, lr=0.01))
+        hist = trainer.fit(train, test)
+        assert len(hist.train_loss) == len(hist.test_loss) == 3
+
+    def test_epochs_override(self):
+        train, test = self._loaders()
+        trainer = Trainer(SumModel(), nn.MSELoss(), TrainConfig(epochs=30, lr=0.01))
+        hist = trainer.fit(train, test, epochs=2)
+        assert len(hist.train_loss) == 2
+
+    def test_compressor_hook_called_per_batch(self):
+        """Every device-bound batch — training AND evaluation inputs —
+        passes through the compressor (it sits on the host-device path)."""
+        train, test = self._loaders()
+        comp = RecordingCompressor()
+        trainer = Trainer(SumModel(), nn.MSELoss(), TrainConfig(epochs=2, lr=0.01), compressor=comp)
+        trainer.fit(train, test)
+        # Per epoch: 32/8 = 4 train batches + 16/8 = 2 test batches.
+        assert comp.calls == 2 * (4 + 2)
+
+    def test_targets_never_compressed(self):
+        """Only inputs are compressed; labels/targets reach the loss as-is."""
+        train, test = self._loaders()
+        seen_targets = []
+        loss_fn = nn.MSELoss()
+
+        def spy_loss(pred, target):
+            seen_targets.append(np.asarray(target))
+            return loss_fn(pred, target)
+
+        comp = RecordingCompressor()
+        trainer = Trainer(SumModel(), spy_loss, TrainConfig(epochs=1, lr=0.0001), compressor=comp)
+        trainer.fit(train, test)
+        originals = np.concatenate([y for _, y in train] + [y for _, y in test])
+        collected = np.concatenate(seen_targets)
+        assert collected.shape == originals.shape
+
+    def test_nan_free(self):
+        train, test = self._loaders()
+        trainer = Trainer(SumModel(), nn.MSELoss(), TrainConfig(epochs=2, lr=0.01))
+        hist = trainer.fit(train, test)
+        assert np.isfinite(hist.train_loss).all()
+        assert np.isfinite(hist.test_loss).all()
+
+    def test_classification_metrics(self):
+        class TwoClass(Dataset):
+            def __init__(self):
+                self.rng = np.random.default_rng(0)
+                self.xs = self.rng.standard_normal((16, 4)).astype(np.float32)
+                self.ys = (self.xs[:, 0] > 0).astype(np.int64)
+
+            def __len__(self):
+                return 16
+
+            def __getitem__(self, i):
+                return self.xs[i], self.ys[i]
+
+        class Probe(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = nn.Linear(4, 2, gen=Generator(0))
+
+            def forward(self, x):
+                return self.fc(x)
+
+        loader = DataLoader(TwoClass(), 8)
+        trainer = Trainer(
+            Probe(), nn.CrossEntropyLoss(), TrainConfig(epochs=20, lr=0.05), classification=True
+        )
+        hist = trainer.fit(loader, loader)
+        assert hist.final_test_accuracy > 0.8
+
+    def test_non_classification_accuracy_is_nan(self):
+        train, test = self._loaders()
+        trainer = Trainer(SumModel(), nn.MSELoss(), TrainConfig(epochs=1, lr=0.01))
+        hist = trainer.fit(train, test)
+        assert np.isnan(hist.test_accuracy[0])
+
+
+class TestTrainConfig:
+    def test_adam_default(self):
+        cfg = TrainConfig(lr=0.01)
+        assert isinstance(cfg.build_optimizer(SumModel()), nn.Adam)
+
+    def test_sgd(self):
+        cfg = TrainConfig(lr=0.01, optimizer="sgd")
+        assert isinstance(cfg.build_optimizer(SumModel()), nn.SGD)
+
+    def test_unknown_optimizer(self):
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="lion").build_optimizer(SumModel())
+
+
+class TestHistory:
+    def test_final_properties(self):
+        hist = History(train_loss=[2.0, 1.0], test_loss=[3.0, 2.5], test_accuracy=[0.1, 0.6])
+        assert hist.final_train_loss == 1.0
+        assert hist.final_test_loss == 2.5
+        assert hist.final_test_accuracy == 0.6
+
+
+class TestMetrics:
+    def test_accuracy_from_logits(self):
+        from repro.train import accuracy_from_logits
+
+        logits = np.array([[2.0, 1.0], [0.0, 5.0]], np.float32)
+        assert accuracy_from_logits(logits, np.array([0, 1])) == 1.0
+        assert accuracy_from_logits(logits, np.array([1, 1])) == 0.5
+
+    def test_percent_difference(self):
+        from repro.train import percent_difference
+
+        assert percent_difference(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_difference(90.0, 100.0) == pytest.approx(-10.0)
+        assert percent_difference(0.0, 0.0) == 0.0
+        assert percent_difference(1.0, 0.0) == float("inf")
+        # Negative baseline uses |baseline|.
+        assert percent_difference(-90.0, -100.0) == pytest.approx(10.0)
