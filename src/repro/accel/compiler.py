@@ -33,6 +33,7 @@ from repro.accel.perf import TimingBreakdown, estimate_time
 from repro.accel.registry import get_platform
 from repro.accel.spec import AcceleratorSpec, MB
 from repro.errors import OutOfMemoryError, ShapeError, UnsupportedOperatorError
+from repro.faults import fire_fault
 from repro.tensor import Tensor, no_grad
 
 
@@ -121,6 +122,7 @@ class CompiledProgram:
                 f"{self.spec.name}: program compiled for input shapes "
                 f"{self.graph.input_shapes}, got {tuple(a.shape for a in arrays)}"
             )
+        fire_fault("run", platform=self.spec.name)
         start = time.perf_counter()
         with no_grad():
             out = self.fn(*arrays)
@@ -150,6 +152,7 @@ def compile_program(
     when the platform's toolchain would reject the program.
     """
     spec = platform if isinstance(platform, AcceleratorSpec) else get_platform(platform)
+    fire_fault("compile", platform=spec.name)
     if not isinstance(example_inputs, (list, tuple)):
         example_inputs = (example_inputs,)
     graph = trace(fn, *example_inputs)

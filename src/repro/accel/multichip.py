@@ -34,6 +34,20 @@ NODE_SIZES = {"groq": 8, "ipu": 64, "sn30": 8, "cs2": 1, "a100": 8}
 SYNC_COEFF_S = 0.2e-3
 
 
+def node_size(platform: str) -> int:
+    """Devices in one standard deployment node of ``platform``."""
+    return NODE_SIZES.get(platform, 1)
+
+
+def shard_counts(platform: str, batch: int) -> list[int]:
+    """Device counts that shard ``batch`` evenly on one node, largest first.
+
+    The degradation ladder walks these when a single chip cannot compile a
+    batch: the largest even shard gives the smallest per-device program.
+    """
+    return [n for n in range(node_size(platform), 1, -1) if batch % n == 0]
+
+
 @dataclass(frozen=True)
 class MultiChipEstimate:
     """Timing of one sharded run across ``n_devices``."""

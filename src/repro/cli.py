@@ -17,14 +17,37 @@ Commands
 ``inspect``
     Compile a compressor for a platform and print the profiler-style
     report (traced ops, cost, timing-term breakdown, energy).
+``resilience-demo``
+    Script a fault plan (transient link fault, mid-training device loss,
+    SN30 512x512 OOM) and show the resilience layer recovering each one.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 
 import numpy as np
+
+from repro.errors import CompileError, ConfigError, DeviceError, IntegrityError
+
+
+def _guarded(fn):
+    """Catch expected I/O and validation failures at the command boundary.
+
+    Users get a one-line message and exit code 2 instead of a traceback.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(args) -> int:
+        try:
+            return fn(args)
+        except (OSError, IntegrityError, ConfigError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapper
 
 
 def _cmd_table(args) -> int:
@@ -79,6 +102,8 @@ def _cmd_platforms(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.harness import measure
 
+    if args.faults or args.max_retries is not None:
+        return _bench_resilient(args)
     point = measure(
         args.platform,
         resolution=args.resolution,
@@ -102,8 +127,57 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+@_guarded
+def _bench_resilient(args) -> int:
+    """Bench through the resilience layer: ladder compile + retried run."""
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.resilience import RecoveryLog, ResilientCompressor, RetryPolicy
+
+    plan = FaultPlan.load(args.faults) if args.faults else FaultPlan()
+    log = RecoveryLog()
+    rc = ResilientCompressor(
+        args.resolution,
+        platform=args.platform,
+        method=args.method,
+        cf=args.cf,
+        s=args.s,
+        batch=args.batch,
+        channels=args.channels,
+        retry=RetryPolicy(max_retries=args.max_retries if args.max_retries is not None else 3),
+        log=log,
+    )
+    with FaultInjector(plan):
+        try:
+            result = rc.compile(args.direction)
+        except CompileError as exc:
+            print(f"unrecoverable compile error: {exc}", file=sys.stderr)
+            print(log.summary(), file=sys.stderr)
+            return 1
+        if args.direction == "compress" and any(f.site == "run" for f in plan.faults):
+            shape = (args.batch, args.channels, args.resolution, args.resolution)
+            try:
+                rc.compress(np.zeros(shape, np.float32))
+            except DeviceError as exc:
+                print(f"unrecoverable device fault: {exc}", file=sys.stderr)
+                print(log.summary(), file=sys.stderr)
+                return 1
+    attempt = result.attempt
+    per_run = result.program.estimated_time() * attempt.n_devices
+    print(
+        f"{args.platform} {args.direction} resolved to [{attempt.describe()}] "
+        f"(CR {result.comp.ratio:.2f})"
+    )
+    print(f"  modelled time:  {per_run * 1e3:10.3f} ms")
+    if log.events:
+        print("recovery log:")
+        print(log.summary())
+    return 0
+
+
+@_guarded
 def _cmd_compress(args) -> int:
     from repro.core import container, make_compressor
+    from repro.faults import FaultInjector, FaultPlan
 
     data = np.load(args.input).astype(np.float32)
     if data.ndim < 2:
@@ -112,15 +186,19 @@ def _cmd_compress(args) -> int:
     comp = make_compressor(
         data.shape[-2], data.shape[-1], method=args.method, cf=args.cf, s=args.s
     )
-    path = container.save(args.output, data, comp)
+    plan = FaultPlan.load(args.faults) if args.faults else FaultPlan()
+    with FaultInjector(plan) as inj:
+        path = container.save(args.output, data, comp)
     blob = path.read_bytes()
+    note = " [payload fault injected]" if inj.records else ""
     print(
         f"{args.input} ({data.nbytes} B) -> {path} ({len(blob)} B), "
-        f"ratio {container.packed_ratio(blob):.2f}x"
+        f"ratio {container.packed_ratio(blob):.2f}x{note}"
     )
     return 0
 
 
+@_guarded
 def _cmd_decompress(args) -> int:
     from repro.core import container
 
@@ -131,6 +209,122 @@ def _cmd_decompress(args) -> int:
         f"method {header['method']}, cf {header['cf']}"
     )
     return 0
+
+
+def _cmd_resilience_demo(args) -> int:
+    """End-to-end tour of the resilience layer under a scripted fault plan."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.data.loader import DataLoader, Dataset
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.nn.layers import Conv2d, ReLU
+    from repro.nn.losses import MSELoss
+    from repro.nn.module import Sequential
+    from repro.resilience import (
+        RecoveryLog,
+        ResilientCompressor,
+        RetryPolicy,
+        compile_with_ladder,
+    )
+    from repro.tensor.random import manual_seed
+    from repro.train import TrainConfig, Trainer
+
+    class _Identity(Dataset):
+        """Tiny denoise-style set: reconstruct the input field."""
+
+        def __init__(self, n=8, size=8):
+            g = np.random.default_rng(42)
+            self.xs = g.standard_normal((n, 1, size, size)).astype(np.float32)
+
+        def __len__(self):
+            return len(self.xs)
+
+        def __getitem__(self, i):
+            return self.xs[i], self.xs[i]
+
+    def build_trainer():
+        manual_seed(0)
+        model = Sequential(Conv2d(1, 2, 3, padding=1), ReLU(), Conv2d(2, 1, 3, padding=1))
+        return Trainer(model, MSELoss(), TrainConfig(epochs=3, lr=1e-2))
+
+    def loaders():
+        from repro.tensor.random import Generator
+
+        data = _Identity()
+        return (
+            DataLoader(data, batch_size=4, shuffle=True, gen=Generator(1)),
+            DataLoader(data, batch_size=4),
+        )
+
+    epochs, steps_per_epoch = 3, 2
+    plan = (
+        FaultPlan(seed=7)
+        .add("run", "host_link_timeout", after=0)
+        .add("compile", "oom", platform="sn30", after=0)
+        # Fires on the second batch of the second epoch — mid-training.
+        .add("train_step", "device_lost", after=steps_per_epoch + 1)
+    )
+    print("fault plan:")
+    for f in plan.faults:
+        print(f"  - {f.kind} at site {f.site!r}" + (f" on {f.platform}" if f.platform else ""))
+
+    # Reference run, no faults, for the bit-identical-resume check.
+    ref_trainer = build_trainer()
+    ref_train, ref_test = loaders()
+    ref_history = ref_trainer.fit(ref_train, ref_test, epochs)
+
+    with FaultInjector(plan):
+        # 1. Transient host-link fault: retried with backoff.
+        print("\n[1] transient host-link fault during an IPU run")
+        log1 = RecoveryLog()
+        rc = ResilientCompressor(
+            64,
+            platform="ipu",
+            batch=4,
+            channels=1,
+            retry=RetryPolicy(max_retries=3, sleep=lambda _s: None),
+            log=log1,
+        )
+        rc.compress(np.zeros((4, 1, 64, 64), np.float32))
+        print(log1.summary())
+        retried = any(e.action == "recovered" for e in log1)
+
+        # 2. SN30 512x512 OOM: recovered by the partial-serialization rung.
+        print("\n[2] SN30 compile OOM at 512x512")
+        log2 = RecoveryLog()
+        result = compile_with_ladder(
+            512, platform="sn30", batch=4, channels=1, log=log2
+        )
+        print(log2.summary())
+        print(f"  -> resolved to [{result.attempt.describe()}]")
+        ps_rung = result.attempt.rung == "ps"
+
+        # 3. Mid-training device loss: resume from checkpoint.
+        print("\n[3] device loss mid-epoch during training")
+        log3 = RecoveryLog()
+        trainer = build_trainer()
+        train_loader, test_loader = loaders()
+        with tempfile.TemporaryDirectory() as tmp:
+            history = trainer.fit(
+                train_loader,
+                test_loader,
+                epochs,
+                checkpoint_path=Path(tmp) / "demo.ckpt",
+                recovery_log=log3,
+            )
+        print(log3.summary())
+
+    resumed = any(e.action == "restore" for e in log3)
+    identical = history.final_train_loss == ref_history.final_train_loss
+    print(
+        f"\nfinal train loss: interrupted {history.final_train_loss:.6f} "
+        f"vs uninterrupted {ref_history.final_train_loss:.6f} "
+        f"({'identical' if identical else 'MISMATCH'})"
+    )
+    ok = retried and ps_rung and resumed and identical
+    print("resilience demo:", "all recoveries verified" if ok else "FAILED")
+    return 0 if ok else 1
 
 
 def _cmd_autotune(args) -> int:
@@ -197,6 +391,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--channels", type=int, default=3)
     p.add_argument("--cf", type=int, default=4)
     p.add_argument("--s", type=int, default=2)
+    p.add_argument("--faults", help="fault plan JSON; runs through the resilience layer")
+    p.add_argument("--max-retries", type=int, help="retry budget for transient device faults")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("compress", help="compress a .npy file to .dcz")
@@ -205,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="dc", choices=("dc", "ps", "sg"))
     p.add_argument("--cf", type=int, default=4)
     p.add_argument("--s", type=int, default=2)
+    p.add_argument("--faults", help="fault plan JSON (payload faults corrupt the output)")
     p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a .dcz file to .npy")
@@ -228,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-psnr", type=float, required=True)
     p.add_argument("--method", default="dc", choices=("dc", "ps", "sg"))
     p.set_defaults(fn=_cmd_autotune)
+
+    p = sub.add_parser(
+        "resilience-demo",
+        help="scripted fault plan: retry, degradation ladder, checkpoint resume",
+    )
+    p.set_defaults(fn=_cmd_resilience_demo)
 
     return parser
 

@@ -7,11 +7,22 @@ form so datasets can actually be stored and reloaded:
 ``HEADER | payload``
 
 * header: magic, version, method, cf, block, s, original shape, payload
-  dtype — everything needed to rebuild the matching compressor and
-  decompress without out-of-band metadata.
+  dtype, payload CRC32 — everything needed to rebuild the matching
+  compressor, *verify* the payload, and decompress without out-of-band
+  metadata.
 * payload: the compressed coefficient tensor, raw little-endian.
 
 ``pack``/``unpack`` operate on bytes; ``save``/``load`` on files.
+
+Format versions
+---------------
+``DCZ2`` (current) headers carry ``crc32`` over the payload bytes;
+``unpack`` verifies both the payload *length* (against the stored
+compressed shape/dtype) and the checksum, raising
+:class:`~repro.errors.IntegrityError` on any mismatch — a corrupted file
+never silently decodes into garbage training data.  ``DCZ1`` files (no
+checksum) still load; length is validated and a ``UserWarning`` notes
+the missing checksum.
 """
 
 from __future__ import annotations
@@ -19,15 +30,19 @@ from __future__ import annotations
 import io
 import json
 import struct
+import warnings
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.api import Compressor, make_compressor
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IntegrityError
+from repro.faults import corrupt_payload
 from repro.tensor import Tensor
 
-MAGIC = b"DCZ1"
+MAGIC = b"DCZ2"
+MAGIC_V1 = b"DCZ1"
 _LEN = struct.Struct("<I")
 
 
@@ -92,28 +107,79 @@ def pack(x, comp: Compressor, *, payload_dtype: str = "float32") -> bytes:
         raise ConfigError(f"unsupported payload dtype {payload_dtype!r}")
     arr = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float32)
     compressed = comp.compress(arr).numpy().astype(payload_dtype)
+    payload = np.ascontiguousarray(compressed).tobytes()
     header = _header_for(comp, arr.shape, payload_dtype)
     header["compressed_shape"] = list(compressed.shape)
+    header["version"] = 2
+    header["crc32"] = zlib.crc32(payload)
     header_bytes = json.dumps(header).encode()
     buf = io.BytesIO()
     buf.write(MAGIC)
     buf.write(_LEN.pack(len(header_bytes)))
     buf.write(header_bytes)
-    buf.write(np.ascontiguousarray(compressed).tobytes())
-    return buf.getvalue()
+    buf.write(payload)
+    return corrupt_payload(buf.getvalue())
+
+
+def _parse(blob: bytes) -> tuple[dict, bytes, int]:
+    """Validate framing; return (header, payload bytes, format version)."""
+    if len(blob) < 8:
+        raise IntegrityError(f"container truncated: {len(blob)} bytes is shorter than the frame")
+    magic = blob[:4]
+    if magic == MAGIC:
+        version = 2
+    elif magic == MAGIC_V1:
+        version = 1
+    else:
+        raise ConfigError("not a DCZ container (bad magic)")
+    (hlen,) = _LEN.unpack(blob[4:8])
+    if 8 + hlen > len(blob):
+        raise IntegrityError(
+            f"container truncated inside the header: need {8 + hlen} bytes, have {len(blob)}"
+        )
+    try:
+        header = json.loads(blob[8 : 8 + hlen].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IntegrityError(f"container header is corrupt: {exc}") from exc
+    if not isinstance(header, dict) or "compressed_shape" not in header or "dtype" not in header:
+        raise IntegrityError("container header is corrupt: missing required fields")
+    return header, blob[8 + hlen :], version
 
 
 def unpack(blob: bytes) -> tuple[np.ndarray, dict]:
-    """Decompress a blob; returns (reconstructed array, header)."""
-    if blob[:4] != MAGIC:
-        raise ConfigError("not a DCZ container (bad magic)")
-    (hlen,) = _LEN.unpack(blob[4:8])
-    header = json.loads(blob[8 : 8 + hlen].decode())
-    payload = np.frombuffer(blob[8 + hlen :], dtype=header["dtype"]).reshape(
-        header["compressed_shape"]
-    )
+    """Decompress a blob; returns (reconstructed array, header).
+
+    Raises :class:`~repro.errors.IntegrityError` when the payload is
+    truncated, padded, or fails its checksum.
+    """
+    header, payload, version = _parse(blob)
+    expected = int(np.prod(header["compressed_shape"])) * np.dtype(header["dtype"]).itemsize
+    if len(payload) != expected:
+        raise IntegrityError(
+            f"payload length mismatch: header promises {expected} bytes, found {len(payload)} "
+            "(file truncated or padded)"
+        )
+    stored_crc = header.get("crc32")
+    if stored_crc is not None:
+        actual = zlib.crc32(payload)
+        if actual != stored_crc:
+            raise IntegrityError(
+                f"payload checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x} "
+                "(file corrupted)"
+            )
+    elif version >= 2:
+        raise IntegrityError("DCZ2 container is missing its checksum field")
+    else:
+        warnings.warn(
+            "loading a legacy DCZ1 container without a checksum; corruption "
+            "cannot be detected — re-save to upgrade to DCZ2",
+            UserWarning,
+            stacklevel=2,
+        )
+    header.setdefault("version", version)
+    arr = np.frombuffer(payload, dtype=header["dtype"]).reshape(header["compressed_shape"])
     comp = compressor_for_header(header)
-    rec = comp.decompress(payload.astype(np.float32)).numpy()
+    rec = comp.decompress(arr.astype(np.float32)).numpy()
     return rec.reshape(header["shape"]), header
 
 

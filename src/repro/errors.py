@@ -32,3 +32,43 @@ class OutOfMemoryError(CompileError):
 
 class ConfigError(ReproError):
     """Invalid user-facing configuration (chop factor, block size, ...)."""
+
+
+class IntegrityError(ReproError):
+    """A stored container failed validation (truncation, checksum mismatch).
+
+    Raised instead of decoding garbage: a corrupted ``.dcz`` payload must
+    never be silently reconstructed into wrong training data.
+    """
+
+
+class DeviceError(ReproError):
+    """A device failed at run time (after successful compilation).
+
+    ``transient`` distinguishes faults worth retrying (link timeouts,
+    launch hiccups) from persistent ones (the device is gone).
+    """
+
+    transient = False
+
+    def __init__(self, message: str, *, platform: str | None = None):
+        super().__init__(message)
+        self.platform = platform
+
+
+class TransientDeviceError(DeviceError):
+    """A retryable device fault; the next attempt may well succeed."""
+
+    transient = True
+
+
+class HostLinkTimeoutError(TransientDeviceError):
+    """The host-device link (PCIe / exchange fabric) timed out mid-transfer."""
+
+
+class LaunchFailureError(TransientDeviceError):
+    """The device rejected a program launch (queue full, driver hiccup)."""
+
+
+class DeviceLostError(DeviceError):
+    """The device dropped off the bus; it will not come back this run."""

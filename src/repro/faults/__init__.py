@@ -1,0 +1,42 @@
+"""Deterministic, seedable fault injection for the simulated platforms.
+
+The paper's portability story is only credible if the compressor survives
+the failure modes real deployments hit: host-link timeouts, launch
+failures, devices dropping off the bus, compile-time OOM, and corrupted
+containers on disk.  This package lets tests and the CLI script those
+events exactly:
+
+>>> from repro.faults import FaultPlan, FaultInjector
+>>> plan = FaultPlan().add("run", "host_link_timeout", after=0)
+>>> with FaultInjector(plan) as inj:
+...     program.run(x)            # raises HostLinkTimeoutError once
+Traceback (most recent call last):
+HostLinkTimeoutError: injected host_link_timeout ...
+
+Instrumented sites: ``compile`` (:func:`repro.accel.compile_program`),
+``run`` (:meth:`CompiledProgram.run`), ``train_step`` (each trainer
+batch), ``payload`` (:func:`repro.core.container.pack` output bytes).
+The recovery machinery that turns these faults into retries, degradation
+rungs, and checkpoint resumes lives in :mod:`repro.resilience`.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    InjectionRecord,
+    active_injector,
+    corrupt_payload,
+    fire_fault,
+)
+from repro.faults.plan import KINDS, SITES, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectionRecord",
+    "active_injector",
+    "fire_fault",
+    "corrupt_payload",
+    "KINDS",
+    "SITES",
+]

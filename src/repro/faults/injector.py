@@ -1,0 +1,158 @@
+"""The active fault injector and the hooks instrumented code calls.
+
+Instrumented sites (``compile_program``, ``CompiledProgram.run``, the
+trainer's per-batch step, ``container.pack``) call :func:`fire_fault` /
+:func:`corrupt_payload`.  With no injector active these are near-free
+no-ops, so production paths pay one list check.  Inside a
+:class:`FaultInjector` context the plan's specs are matched against each
+event deterministically (or at a seeded rate), the chosen exception is
+raised — or the payload mangled — and every injection is recorded.
+
+Injectors nest: the innermost active injector receives the events, which
+keeps test fixtures from interfering with each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.plan import CORRUPTING_KINDS, FaultPlan, FaultSpec
+
+_ACTIVE: list["FaultInjector"] = []
+
+
+@dataclass
+class InjectionRecord:
+    """One fault that actually fired."""
+
+    site: str
+    kind: str
+    platform: str | None
+    event_index: int
+    detail: str = ""
+
+
+@dataclass
+class _SpecState:
+    spec: FaultSpec
+    matches: int = 0   # matching events seen so far
+    fired: int = 0     # times this spec has fired
+
+
+@dataclass
+class FaultInjector:
+    """Context manager that arms a :class:`FaultPlan`.
+
+    ``with FaultInjector(plan) as inj:`` — inside the block, instrumented
+    code consults ``inj``; afterwards ``inj.records`` lists every fault
+    that fired, in order.
+    """
+
+    plan: FaultPlan
+    records: list[InjectionRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._states = [_SpecState(spec) for spec in self.plan.faults]
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE.remove(self)
+
+    # ------------------------------------------------------------------
+    def _should_fire(self, state: _SpecState, site: str, platform: str | None) -> bool:
+        spec = state.spec
+        if spec.site != site:
+            return False
+        if spec.platform is not None and platform is not None and spec.platform != platform:
+            return False
+        index = state.matches
+        state.matches += 1
+        if spec.rate is not None:
+            return bool(self._rng.random() < spec.rate)
+        if state.fired >= spec.times:
+            return False
+        return spec.after <= index < spec.after + spec.times
+
+    def event(self, site: str, *, platform: str | None = None) -> FaultSpec | None:
+        """Register one event at ``site``; return the spec to apply, if any."""
+        self._counts[site] = self._counts.get(site, 0) + 1
+        for state in self._states:
+            if self._should_fire(state, site, platform):
+                state.fired += 1
+                return state.spec
+        return None
+
+    def record(self, spec: FaultSpec, site: str, platform: str | None, detail: str = "") -> None:
+        self.records.append(
+            InjectionRecord(
+                site=site,
+                kind=spec.kind,
+                platform=platform,
+                event_index=self._counts.get(site, 1) - 1,
+                detail=detail,
+            )
+        )
+
+    def events_seen(self, site: str) -> int:
+        return self._counts.get(site, 0)
+
+    # ------------------------------------------------------------------
+    def corrupt(self, blob: bytes, spec: FaultSpec) -> bytes:
+        """Apply a corrupting spec to ``blob`` (seeded, deterministic)."""
+        data = bytearray(blob)
+        if spec.kind == "truncate":
+            # Drop the tail: between one byte and a quarter of the blob.
+            cut = 1 + int(self._rng.integers(0, max(1, len(data) // 4)))
+            return bytes(data[: len(data) - cut])
+        if spec.kind == "bit_flip":
+            # Flip one bit somewhere in the payload region (skip the first
+            # 8 bytes so the magic/length stay parseable — the point is to
+            # exercise checksum detection, not magic rejection).
+            lo = min(8, len(data) - 1)
+            pos = int(self._rng.integers(lo, len(data)))
+            data[pos] ^= 1 << int(self._rng.integers(0, 8))
+            return bytes(data)
+        raise AssertionError(f"not a corrupting kind: {spec.kind}")
+
+
+# ----------------------------------------------------------------------
+# Hooks called by instrumented code.
+
+
+def active_injector() -> FaultInjector | None:
+    """The innermost armed injector, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def fire_fault(site: str, *, platform: str | None = None) -> None:
+    """Raise the scripted exception if a fault is due at ``site``."""
+    inj = active_injector()
+    if inj is None:
+        return
+    spec = inj.event(site, platform=platform)
+    if spec is None or spec.kind in CORRUPTING_KINDS:
+        return
+    exc = spec.exception(platform=platform)
+    inj.record(spec, site, platform, detail=str(exc))
+    raise exc
+
+
+def corrupt_payload(blob: bytes) -> bytes:
+    """Return ``blob``, mangled if a payload fault is due."""
+    inj = active_injector()
+    if inj is None:
+        return blob
+    spec = inj.event("payload")
+    if spec is None:
+        return blob
+    mangled = inj.corrupt(blob, spec)
+    inj.record(spec, "payload", None, detail=f"{len(blob)} -> {len(mangled)} bytes")
+    return mangled

@@ -1,0 +1,144 @@
+"""Fault specifications and scriptable fault plans.
+
+A :class:`FaultSpec` describes one fault: *where* it strikes (a site such
+as ``"run"`` or ``"compile"``), *what* happens (a kind such as
+``"host_link_timeout"``), and *when* it fires — either deterministically
+(the ``after``-th matching event, ``times`` times) or probabilistically
+(``rate`` per matching event, drawn from the plan's seeded RNG).
+
+A :class:`FaultPlan` is an ordered collection of specs plus the seed; it
+serializes to/from JSON so the CLI (``--faults plan.json``) and tests can
+script exact failure sequences and replay them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import (
+    ConfigError,
+    DeviceLostError,
+    HostLinkTimeoutError,
+    LaunchFailureError,
+    OutOfMemoryError,
+    UnsupportedOperatorError,
+)
+
+# Sites at which instrumented code consults the active injector.
+SITES = ("compile", "run", "payload", "train_step")
+
+# Fault kinds and the site family they belong to.
+RAISING_KINDS = {
+    "host_link_timeout": HostLinkTimeoutError,
+    "launch_failure": LaunchFailureError,
+    "device_lost": DeviceLostError,
+    "oom": OutOfMemoryError,
+    "unsupported_operator": UnsupportedOperatorError,
+}
+CORRUPTING_KINDS = ("bit_flip", "truncate")
+KINDS = tuple(RAISING_KINDS) + CORRUPTING_KINDS
+
+
+@dataclass
+class FaultSpec:
+    """One scripted fault.
+
+    Parameters
+    ----------
+    site:
+        Instrumentation point: ``"compile"``, ``"run"``, ``"train_step"``
+        or ``"payload"``.
+    kind:
+        One of :data:`KINDS`.  Raising kinds throw the mapped exception;
+        corrupting kinds mangle the payload bytes instead.
+    after:
+        Fire on the ``after``-th *matching* event (0 = the first).
+        Ignored when ``rate`` is set.
+    times:
+        How many consecutive matching events to hit once triggered.
+    platform:
+        Only match events on this platform (``None`` = any).
+    rate:
+        When set, fire independently per matching event with this
+        probability instead of the deterministic ``after`` counter.
+    """
+
+    site: str
+    kind: str
+    after: int = 0
+    times: int = 1
+    platform: str | None = None
+    rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ConfigError(f"unknown fault site {self.site!r}; expected one of {SITES}")
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.kind in CORRUPTING_KINDS and self.site != "payload":
+            raise ConfigError(f"kind {self.kind!r} only applies to the 'payload' site")
+        if self.kind in RAISING_KINDS and self.site == "payload":
+            raise ConfigError(f"kind {self.kind!r} cannot target the 'payload' site")
+        if self.rate is not None and not (0.0 <= self.rate <= 1.0):
+            raise ConfigError(f"rate must be in [0, 1], got {self.rate}")
+        if self.times < 1:
+            raise ConfigError(f"times must be >= 1, got {self.times}")
+        if self.after < 0:
+            raise ConfigError(f"after must be >= 0, got {self.after}")
+
+    def exception(self, *, platform: str | None = None):
+        """Build the exception instance this spec raises."""
+        exc_type = RAISING_KINDS[self.kind]
+        msg = f"injected {self.kind}" + (f" on {platform}" if platform else "")
+        if issubclass(exc_type, (OutOfMemoryError, UnsupportedOperatorError)):
+            return exc_type(msg, platform=platform, reason=f"injected: {self.kind}")
+        return exc_type(msg, platform=platform)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, seedable script of faults."""
+
+    faults: list[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def add(self, site: str, kind: str, **kwargs) -> "FaultPlan":
+        self.faults.append(FaultSpec(site=site, kind=kind, **kwargs))
+        return self
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "faults": [asdict(f) for f in self.faults]}, indent=2
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid fault plan JSON: {exc}") from exc
+        if not isinstance(raw, dict) or "faults" not in raw:
+            raise ConfigError("fault plan must be an object with a 'faults' list")
+        faults = []
+        for entry in raw["faults"]:
+            try:
+                faults.append(FaultSpec(**entry))
+            except TypeError as exc:
+                raise ConfigError(f"bad fault entry {entry!r}: {exc}") from exc
+        return cls(faults=faults, seed=int(raw.get("seed", 0)))
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigError(f"cannot read fault plan {path}: {exc}") from exc
+        return cls.from_json(text)

@@ -27,6 +27,15 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpoint support: slot buffers only — parameters are saved via the
+    # module's own ``state_dict`` and positions must match across runs.
+    def state_dict(self) -> dict:
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+
 
 class SGD(Optimizer):
     def __init__(self, params, lr: float, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
@@ -48,6 +57,17 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        if self._velocity is not None:
+            state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if "velocity" in state:
+            self._velocity = [v.copy() for v in state["velocity"]]
 
 
 class Adam(Optimizer):
@@ -84,3 +104,16 @@ class Adam(Optimizer):
             v *= b2
             v += (1 - b2) * (g * g)
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        state["t"] = self._t
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]
+        self._t = state["t"]

@@ -1,0 +1,43 @@
+"""Resilient execution: retry, degradation ladder, failover.
+
+The paper reports compile failures (SN30/GroqChip at 512x512, GroqChip
+beyond batch 1000) and real deployments add run-time faults on top; this
+package turns both from terminal errors into recoverable events:
+
+* :func:`run_with_recovery` — exponential backoff + jitter for transient
+  device faults.
+* :func:`compile_with_ladder` — PS escalation → node-level batch
+  sharding → platform fallback (ultimately ``cpu``) for compile errors.
+* :class:`ResilientCompressor` — both of the above behind the standard
+  ``compress``/``decompress``/``roundtrip`` surface, plus device-lost
+  failover.
+* :class:`RecoveryLog` — every decision, structured and auditable.
+
+Checkpoint/resume for training lives with the trainer
+(:mod:`repro.train.checkpoint`); scripted fault injection lives in
+:mod:`repro.faults`.  See ``docs/RESILIENCE.md``.
+"""
+
+from repro.resilience.compressor import ResilientCompressor
+from repro.resilience.ladder import (
+    Attempt,
+    LadderPolicy,
+    LadderResult,
+    RUNGS,
+    compile_with_ladder,
+)
+from repro.resilience.log import RecoveryEvent, RecoveryLog
+from repro.resilience.retry import RetryPolicy, run_with_recovery
+
+__all__ = [
+    "ResilientCompressor",
+    "compile_with_ladder",
+    "LadderPolicy",
+    "LadderResult",
+    "Attempt",
+    "RUNGS",
+    "RecoveryLog",
+    "RecoveryEvent",
+    "RetryPolicy",
+    "run_with_recovery",
+]

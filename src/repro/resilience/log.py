@@ -1,0 +1,66 @@
+"""Structured record of every recovery decision.
+
+Every retry, degradation rung, checkpoint restore and give-up is recorded
+as a :class:`RecoveryEvent` so tests can assert the exact recovery path
+and operators can audit what the resilience layer did to their job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One decision made by the resilience layer."""
+
+    action: str          # "fault" | "retry" | "rung" | "recovered" | "gave_up"
+                         # | "checkpoint" | "restore"
+    detail: str          # human-readable description
+    context: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = f" {self.context}" if self.context else ""
+        return f"[{self.action}] {self.detail}{extra}"
+
+
+class RecoveryLog:
+    """Append-only event log shared across the resilience layer."""
+
+    def __init__(self) -> None:
+        self.events: list[RecoveryEvent] = []
+
+    def record(self, action: str, detail: str, **context) -> RecoveryEvent:
+        event = RecoveryEvent(action=action, detail=detail, context=context)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def actions(self) -> list[str]:
+        return [e.action for e in self.events]
+
+    def by_action(self, action: str) -> list[RecoveryEvent]:
+        return [e for e in self.events if e.action == action]
+
+    def rungs(self) -> list[str]:
+        """The degradation rungs taken, in order (e.g. ``["ps", "shard"]``)."""
+        return [e.context.get("rung", "") for e in self.by_action("rung")]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        if not self.events:
+            return "(no recovery events)"
+        return "\n".join(f"  {i:2d}. {e}" for i, e in enumerate(self.events))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [{"action": e.action, "detail": e.detail, "context": e.context} for e in self.events],
+            indent=2,
+        )

@@ -1,0 +1,85 @@
+"""Retry with exponential backoff + jitter for transient device faults.
+
+Transient faults (host-link timeouts, launch failures) are retried up to
+``max_retries`` times with capped exponential backoff and seeded jitter;
+persistent faults (:class:`~repro.errors.DeviceLostError`) propagate
+immediately so the caller can fail over instead of burning retries on a
+dead device.  ``sleep`` is injectable so tests run instantly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TransientDeviceError
+from repro.resilience.log import RecoveryLog
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff schedule for transient faults."""
+
+    max_retries: int = 3
+    base_delay: float = 0.05     # seconds before the first retry
+    max_delay: float = 2.0       # backoff cap
+    jitter: float = 0.5          # +- fraction of the delay, seeded
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        base = min(self.max_delay, self.base_delay * (2.0**attempt))
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, base)
+
+
+def run_with_recovery(
+    fn: Callable,
+    *args,
+    policy: RetryPolicy | None = None,
+    log: RecoveryLog | None = None,
+    **kwargs,
+):
+    """Call ``fn(*args, **kwargs)``, retrying transient device faults.
+
+    Returns ``fn``'s result.  Re-raises the last
+    :class:`TransientDeviceError` once retries are exhausted, and any
+    non-transient exception immediately (device-lost and compile errors
+    are the degradation ladder's job, not retry's).
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    # Explicit None check: an empty RecoveryLog is falsy (it has __len__).
+    log = log if log is not None else RecoveryLog()
+    attempt = 0
+    while True:
+        try:
+            result = fn(*args, **kwargs)
+        except TransientDeviceError as exc:
+            log.record(
+                "fault",
+                f"transient fault: {exc}",
+                kind=type(exc).__name__,
+                platform=exc.platform,
+                attempt=attempt,
+            )
+            if attempt >= policy.max_retries:
+                log.record("gave_up", f"retries exhausted after {attempt + 1} attempts")
+                raise
+            pause = policy.delay(attempt)
+            log.record("retry", f"retrying after {pause * 1e3:.0f} ms backoff", attempt=attempt + 1)
+            policy.sleep(pause)
+            attempt += 1
+            continue
+        if attempt:
+            log.record("recovered", f"succeeded on attempt {attempt + 1}")
+        return result

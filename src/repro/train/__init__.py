@@ -6,6 +6,7 @@ trains on reconstructed data at a known compression ratio.
 """
 
 from repro.train.trainer import Trainer, TrainConfig, History
+from repro.train.checkpoint import save_checkpoint, load_checkpoint, restore_checkpoint
 from repro.train.metrics import accuracy_from_logits, percent_difference
 from repro.train.schedules import LRScheduler, StepLR, CosineAnnealingLR, WarmupLR
 
@@ -13,6 +14,9 @@ __all__ = [
     "Trainer",
     "TrainConfig",
     "History",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_checkpoint",
     "accuracy_from_logits",
     "percent_difference",
     "LRScheduler",

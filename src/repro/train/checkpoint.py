@@ -1,0 +1,83 @@
+"""Training checkpoints: model + optimizer + epoch + RNG state.
+
+A checkpoint captures everything needed to make a resumed run *bit-identical*
+to an uninterrupted one with the same seed:
+
+* model parameters and buffers (``Module.state_dict``),
+* optimizer slot state (Adam moments / SGD velocity and step count),
+* completed-epoch counter and the metric history so far,
+* the data loader's shuffle RNG and the global default generator.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-save never
+leaves a half-written checkpoint — the previous one survives.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.tensor.random import Generator, default_generator
+
+CHECKPOINT_VERSION = 1
+
+
+def _capture_rng(gen: Generator | None) -> dict:
+    states = {"default": default_generator.rng.bit_generator.state}
+    if gen is not None:
+        states["loader"] = gen.rng.bit_generator.state
+    return states
+
+
+def _restore_rng(states: dict, gen: Generator | None) -> None:
+    default_generator.rng.bit_generator.state = states["default"]
+    if gen is not None and "loader" in states:
+        gen.rng.bit_generator.state = states["loader"]
+
+
+def save_checkpoint(
+    path,
+    *,
+    epoch: int,
+    model,
+    optimizer,
+    history,
+    loader_gen: Generator | None = None,
+) -> Path:
+    """Atomically write a checkpoint for ``epoch`` completed epochs."""
+    path = Path(path)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "epoch": epoch,
+        "model": model.state_dict(),
+        "optimizer": optimizer.state_dict(),
+        "history": {
+            "train_loss": list(history.train_loss),
+            "test_loss": list(history.test_loss),
+            "test_accuracy": list(history.test_accuracy),
+        },
+        "rng": _capture_rng(loader_gen),
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path) -> dict:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    with open(Path(path), "rb") as fh:
+        payload = pickle.load(fh)
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {payload.get('version')!r}")
+    return payload
+
+
+def restore_checkpoint(payload: dict, *, model, optimizer, loader_gen: Generator | None = None):
+    """Apply a loaded checkpoint; returns (completed epochs, history lists)."""
+    model.load_state_dict(payload["model"])
+    optimizer.load_state_dict(payload["optimizer"])
+    _restore_rng(payload["rng"], loader_gen)
+    return payload["epoch"], payload["history"]

@@ -3,13 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from repro.errors import DeviceError
+from repro.faults import fire_fault
 from repro.nn.module import Module
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.tensor import Tensor, no_grad
+from repro.train.checkpoint import load_checkpoint, restore_checkpoint, save_checkpoint
 from repro.train.metrics import accuracy_from_logits
 
 
@@ -93,6 +97,7 @@ class Trainer:
         self.model.train()
         losses = []
         for x, y in loader:
+            fire_fault("train_step")
             batch = self._prepare_batch(x)
             self.optimizer.zero_grad()
             out = self.model(batch)
@@ -124,11 +129,93 @@ class Trainer:
                     accs.append(accuracy_from_logits(out, y))
         return float(np.mean(losses)), float(np.mean(accs)) if accs else float("nan")
 
-    def fit(self, train_loader, test_loader, epochs: int | None = None) -> History:
+    def fit(
+        self,
+        train_loader,
+        test_loader,
+        epochs: int | None = None,
+        *,
+        checkpoint_path=None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        max_restarts: int = 2,
+        recovery_log=None,
+    ) -> History:
+        """Train for ``epochs``, optionally fault-tolerantly.
+
+        With ``checkpoint_path`` set, a checkpoint (model + optimizer +
+        epoch + shuffle RNG state) is written after every
+        ``checkpoint_every`` completed epochs, and a
+        :class:`~repro.errors.DeviceError` raised mid-epoch restores the
+        last checkpoint and replays that epoch instead of crashing — the
+        partial epoch's updates are discarded, so a recovered run is
+        bit-identical to an uninterrupted one with the same seed.
+        ``resume=True`` continues from an existing checkpoint file.
+        Without ``checkpoint_path`` the behaviour is unchanged.
+        """
+        total = epochs if epochs is not None else self.config.epochs
+        path = Path(checkpoint_path) if checkpoint_path is not None else None
+        loader_gen = getattr(train_loader, "gen", None)
         history = History()
-        for _ in range(epochs if epochs is not None else self.config.epochs):
-            history.train_loss.append(self.train_epoch(train_loader))
+        epoch = 0
+
+        if path is not None:
+            if resume and path.exists():
+                epoch, history = self._restore(path, loader_gen, recovery_log)
+            else:
+                # Epoch-0 baseline so a fault in the very first epoch can
+                # roll back to the initial state.
+                self._checkpoint(path, 0, history, loader_gen, recovery_log)
+
+        restarts = 0
+        while epoch < total:
+            try:
+                train_loss = self.train_epoch(train_loader)
+            except DeviceError as exc:
+                if path is None or restarts >= max_restarts:
+                    raise
+                restarts += 1
+                if recovery_log is not None:
+                    recovery_log.record(
+                        "fault",
+                        f"device fault in epoch {epoch}: {exc}",
+                        kind=type(exc).__name__,
+                        epoch=epoch,
+                    )
+                epoch, history = self._restore(path, loader_gen, recovery_log)
+                continue
+            history.train_loss.append(train_loss)
             test_loss, test_acc = self.evaluate(test_loader)
             history.test_loss.append(test_loss)
             history.test_accuracy.append(test_acc)
+            epoch += 1
+            if path is not None and (epoch % checkpoint_every == 0 or epoch == total):
+                self._checkpoint(path, epoch, history, loader_gen, recovery_log)
         return history
+
+    # ------------------------------------------------------------------
+    def _checkpoint(self, path: Path, epoch: int, history: History, loader_gen, log) -> None:
+        save_checkpoint(
+            path,
+            epoch=epoch,
+            model=self.model,
+            optimizer=self.optimizer,
+            history=history,
+            loader_gen=loader_gen,
+        )
+        if log is not None:
+            log.record("checkpoint", f"saved after {epoch} epoch(s)", epoch=epoch)
+
+    def _restore(self, path: Path, loader_gen, log) -> tuple[int, History]:
+        payload = load_checkpoint(path)
+        epoch, hist = restore_checkpoint(
+            payload, model=self.model, optimizer=self.optimizer, loader_gen=loader_gen
+        )
+        history = History(
+            train_loss=list(hist["train_loss"]),
+            test_loss=list(hist["test_loss"]),
+            test_accuracy=list(hist["test_accuracy"]),
+        )
+        if log is not None:
+            log.record("restore", f"resumed from epoch {epoch}", epoch=epoch)
+        return epoch, history

@@ -1,0 +1,179 @@
+"""Trainer checkpoint/resume and mid-training fault recovery."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import DataLoader, Dataset
+from repro.errors import DeviceLostError
+from repro.faults import FaultInjector, FaultPlan
+from repro.nn.layers import Conv2d, ReLU
+from repro.nn.losses import MSELoss
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD
+from repro.resilience import RecoveryLog
+from repro.tensor.random import Generator, manual_seed
+from repro.train import TrainConfig, Trainer, load_checkpoint
+from repro.train.checkpoint import restore_checkpoint, save_checkpoint
+
+
+class _Identity(Dataset):
+    def __init__(self, n=8, size=8):
+        g = np.random.default_rng(7)
+        self.xs = g.standard_normal((n, 1, size, size)).astype(np.float32)
+
+    def __len__(self):
+        return len(self.xs)
+
+    def __getitem__(self, i):
+        return self.xs[i], self.xs[i]
+
+
+def _trainer(optimizer="adam"):
+    manual_seed(0)
+    model = Sequential(Conv2d(1, 2, 3, padding=1), ReLU(), Conv2d(2, 1, 3, padding=1))
+    return Trainer(model, MSELoss(), TrainConfig(epochs=3, lr=1e-2, optimizer=optimizer))
+
+
+def _loaders():
+    data = _Identity()
+    return (
+        DataLoader(data, batch_size=4, shuffle=True, gen=Generator(1)),
+        DataLoader(data, batch_size=4),
+    )
+
+
+class TestCheckpointRoundtrip:
+    @pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+    def test_optimizer_state_roundtrip(self, optimizer):
+        trainer = _trainer(optimizer)
+        train_loader, test_loader = _loaders()
+        trainer.fit(train_loader, test_loader, 1)
+        state = trainer.optimizer.state_dict()
+        fresh = _trainer(optimizer)
+        fresh.optimizer.load_state_dict(state)
+        assert fresh.optimizer.state_dict().keys() == state.keys()
+
+    def test_save_restore_preserves_everything(self, tmp_path):
+        trainer = _trainer()
+        train_loader, test_loader = _loaders()
+        history = trainer.fit(train_loader, test_loader, 2)
+        path = save_checkpoint(
+            tmp_path / "t.ckpt",
+            epoch=2,
+            model=trainer.model,
+            optimizer=trainer.optimizer,
+            history=history,
+            loader_gen=train_loader.gen,
+        )
+        payload = load_checkpoint(path)
+        fresh = _trainer()
+        epoch, hist = restore_checkpoint(
+            payload, model=fresh.model, optimizer=fresh.optimizer, loader_gen=train_loader.gen
+        )
+        assert epoch == 2
+        assert hist["train_loss"] == history.train_loss
+        for (name, a), (_, b) in zip(
+            trainer.model.named_parameters(), fresh.model.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        trainer = _trainer()
+        save_checkpoint(
+            tmp_path / "t.ckpt",
+            epoch=0,
+            model=trainer.model,
+            optimizer=trainer.optimizer,
+            history=trainer.fit(*_loaders(), 0),
+        )
+        assert (tmp_path / "t.ckpt").exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_version_check(self, tmp_path):
+        import pickle
+
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(pickle.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_checkpoint(bad)
+
+
+class TestResumedTrainingIsBitIdentical:
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        # Reference: 3 epochs straight through.
+        ref = _trainer().fit(*_loaders(), 3)
+
+        # Interrupted: run 2 epochs with checkpoints, then a fresh trainer
+        # resumes for the final epoch.
+        first = _trainer()
+        train_loader, test_loader = _loaders()
+        first.fit(
+            train_loader, test_loader, 2, checkpoint_path=tmp_path / "c.ckpt"
+        )
+        second = _trainer()
+        resumed = second.fit(
+            train_loader,
+            test_loader,
+            3,
+            checkpoint_path=tmp_path / "c.ckpt",
+            resume=True,
+        )
+        assert resumed.train_loss == ref.train_loss
+        assert resumed.test_loss == ref.test_loss
+
+    def test_device_loss_mid_epoch_recovers_identically(self, tmp_path):
+        ref = _trainer().fit(*_loaders(), 3)
+
+        log = RecoveryLog()
+        trainer = _trainer()
+        train_loader, test_loader = _loaders()
+        # 2 steps/epoch; fire on the second batch of epoch 1.
+        plan = FaultPlan().add("train_step", "device_lost", after=3)
+        with FaultInjector(plan) as inj:
+            history = trainer.fit(
+                train_loader,
+                test_loader,
+                3,
+                checkpoint_path=tmp_path / "c.ckpt",
+                recovery_log=log,
+            )
+        assert len(inj.records) == 1
+        assert "restore" in log.actions()
+        assert history.train_loss == ref.train_loss
+        assert history.final_train_loss == ref.final_train_loss
+
+    def test_transient_fault_also_recovers(self, tmp_path):
+        ref = _trainer().fit(*_loaders(), 2)
+        trainer = _trainer()
+        train_loader, test_loader = _loaders()
+        plan = FaultPlan().add("train_step", "host_link_timeout", after=1)
+        with FaultInjector(plan):
+            history = trainer.fit(
+                train_loader, test_loader, 2, checkpoint_path=tmp_path / "c.ckpt"
+            )
+        assert history.train_loss == ref.train_loss
+
+
+class TestFaultsWithoutCheckpointing:
+    def test_device_loss_without_checkpoint_raises(self):
+        trainer = _trainer()
+        plan = FaultPlan().add("train_step", "device_lost")
+        with FaultInjector(plan):
+            with pytest.raises(DeviceLostError):
+                trainer.fit(*_loaders(), 2)
+
+    def test_restart_budget_exhausted_raises(self, tmp_path):
+        trainer = _trainer()
+        plan = FaultPlan().add("train_step", "device_lost", times=50)
+        with FaultInjector(plan):
+            with pytest.raises(DeviceLostError):
+                trainer.fit(
+                    *_loaders(),
+                    2,
+                    checkpoint_path=tmp_path / "c.ckpt",
+                    max_restarts=2,
+                )
+
+    def test_plain_fit_unchanged(self):
+        history = _trainer().fit(*_loaders(), 2)
+        assert len(history.train_loss) == 2

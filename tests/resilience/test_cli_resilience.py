@@ -1,0 +1,141 @@
+"""CLI: error boundaries, fault-plan flags, resilience-demo."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultPlan
+
+
+class TestCommandBoundary:
+    def test_compress_missing_input_exits_2(self, tmp_path, capsys):
+        rc = main(["compress", str(tmp_path / "nope.npy"), str(tmp_path / "o.dcz")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "\n" == err[err.index("\n") :]  # a single line
+
+    def test_decompress_missing_input_exits_2(self, tmp_path, capsys):
+        rc = main(["decompress", str(tmp_path / "nope.dcz"), str(tmp_path / "o.npy")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_decompress_corrupt_container_exits_2(self, tmp_path, capsys):
+        src = tmp_path / "x.npy"
+        np.save(src, np.zeros((2, 16, 16), np.float32))
+        dcz = tmp_path / "x.dcz"
+        assert main(["compress", str(src), str(dcz)]) == 0
+        capsys.readouterr()
+        dcz.write_bytes(dcz.read_bytes()[:-9])  # truncate on "disk"
+        rc = main(["decompress", str(dcz), str(tmp_path / "r.npy")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compress_bad_fault_plan_exits_2(self, tmp_path, capsys):
+        src = tmp_path / "x.npy"
+        np.save(src, np.zeros((2, 16, 16), np.float32))
+        plan = tmp_path / "plan.json"
+        plan.write_text("{broken")
+        rc = main(
+            ["compress", str(src), str(tmp_path / "o.dcz"), "--faults", str(plan)]
+        )
+        assert rc == 2
+
+
+class TestFaultFlags:
+    def test_compress_with_payload_fault_roundtrip_fails(self, tmp_path, capsys):
+        src = tmp_path / "x.npy"
+        np.save(src, np.zeros((2, 16, 16), np.float32))
+        dcz = tmp_path / "x.dcz"
+        plan = FaultPlan(seed=3).add("payload", "bit_flip").save(tmp_path / "plan.json")
+        assert main(["compress", str(src), str(dcz), "--faults", str(plan)]) == 0
+        assert "payload fault injected" in capsys.readouterr().out
+        rc = main(["decompress", str(dcz), str(tmp_path / "r.npy")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_with_retries_recovers_transient_fault(self, tmp_path, capsys):
+        plan = (
+            FaultPlan().add("run", "host_link_timeout").save(tmp_path / "plan.json")
+        )
+        rc = main(
+            [
+                "bench",
+                "--platform",
+                "ipu",
+                "--resolution",
+                "32",
+                "--batch",
+                "4",
+                "--cf",
+                "4",
+                "--faults",
+                str(plan),
+                "--max-retries",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovery log" in out
+        assert "recovered" in out
+
+    def test_bench_exhausted_retries_exits_cleanly(self, tmp_path, capsys):
+        # Retry budget of 0 cannot absorb even one transient fault: the
+        # bench must report it and exit 1, not traceback.
+        plan = (
+            FaultPlan().add("run", "host_link_timeout").save(tmp_path / "plan.json")
+        )
+        rc = main(
+            [
+                "bench",
+                "--platform",
+                "ipu",
+                "--resolution",
+                "32",
+                "--batch",
+                "4",
+                "--faults",
+                str(plan),
+                "--max-retries",
+                "0",
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "unrecoverable device fault" in err
+        assert "gave_up" in err
+
+    def test_bench_ladder_reports_degraded_rung(self, capsys):
+        rc = main(
+            [
+                "bench",
+                "--platform",
+                "sn30",
+                "--resolution",
+                "512",
+                "--batch",
+                "4",
+                "--channels",
+                "1",
+                "--max-retries",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ps: sn30 ps s=2" in out
+
+    def test_bench_without_flags_unchanged(self, capsys):
+        rc = main(["bench", "--platform", "sn30", "--resolution", "512", "--cf", "4"])
+        assert rc == 1
+        assert "compile error" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestDemo:
+    def test_resilience_demo_exits_0(self, capsys):
+        assert main(["resilience-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "all recoveries verified" in out
+        assert "identical" in out

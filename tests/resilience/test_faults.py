@@ -1,0 +1,153 @@
+"""Fault-injection framework: plans, determinism, scoping."""
+
+import numpy as np
+import pytest
+
+from repro.accel import compile_program
+from repro.core import make_compressor
+from repro.errors import (
+    ConfigError,
+    DeviceLostError,
+    HostLinkTimeoutError,
+    OutOfMemoryError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, active_injector, fire_fault
+
+
+def _compile(platform="ipu", resolution=32, batch=2):
+    comp = make_compressor(resolution, cf=4)
+    return compile_program(
+        comp.compress, np.zeros((batch, 1, resolution, resolution), np.float32), platform
+    )
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="nowhere", kind="oom")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="run", kind="gremlins")
+
+    def test_corrupting_kind_needs_payload_site(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="run", kind="bit_flip")
+
+    def test_raising_kind_rejects_payload_site(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="payload", kind="oom")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="run", kind="device_lost", rate=1.5)
+
+
+class TestPlanJSON:
+    def test_roundtrip(self):
+        plan = FaultPlan(seed=3).add("run", "host_link_timeout", after=2).add(
+            "payload", "bit_flip"
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.seed == 3
+        assert [f.kind for f in restored.faults] == ["host_link_timeout", "bit_flip"]
+        assert restored.faults[0].after == 2
+
+    def test_file_roundtrip(self, tmp_path):
+        path = FaultPlan().add("compile", "oom", platform="sn30").save(tmp_path / "plan.json")
+        assert FaultPlan.load(path).faults[0].platform == "sn30"
+
+    def test_bad_json(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_json("{not json")
+
+    def test_bad_entry(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_json('{"faults": [{"site": "run", "kind": "oom", "bogus": 1}]}')
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            FaultPlan.load(tmp_path / "nope.json")
+
+
+class TestInjection:
+    def test_no_injector_is_noop(self):
+        assert active_injector() is None
+        fire_fault("run", platform="ipu")  # must not raise
+
+    def test_deterministic_after(self):
+        program = _compile()
+        x = np.zeros((2, 1, 32, 32), np.float32)
+        plan = FaultPlan().add("run", "host_link_timeout", after=1)
+        with FaultInjector(plan) as inj:
+            program.run(x)  # event 0: clean
+            with pytest.raises(HostLinkTimeoutError):
+                program.run(x)  # event 1: fault
+            program.run(x)  # event 2: exhausted
+        assert len(inj.records) == 1
+        assert inj.records[0].event_index == 1
+
+    def test_times_hits_consecutive_events(self):
+        program = _compile()
+        x = np.zeros((2, 1, 32, 32), np.float32)
+        plan = FaultPlan().add("run", "launch_failure", after=0, times=2)
+        with FaultInjector(plan):
+            for _ in range(2):
+                with pytest.raises(Exception):
+                    program.run(x)
+            program.run(x)  # third is clean
+
+    def test_platform_filter(self):
+        plan = FaultPlan().add("compile", "oom", platform="groq")
+        with FaultInjector(plan) as inj:
+            _compile("ipu")  # doesn't match the filter
+            with pytest.raises(OutOfMemoryError):
+                _compile("groq")
+        assert inj.records[0].platform == "groq"
+
+    def test_compile_site(self):
+        plan = FaultPlan().add("compile", "oom")
+        with FaultInjector(plan):
+            with pytest.raises(OutOfMemoryError) as exc_info:
+                _compile("cs2")
+        assert exc_info.value.platform == "cs2"
+        assert "injected" in (exc_info.value.reason or "")
+
+    def test_device_lost_is_not_transient(self):
+        plan = FaultPlan().add("run", "device_lost")
+        program = _compile()
+        with FaultInjector(plan):
+            with pytest.raises(DeviceLostError) as exc_info:
+                program.run(np.zeros((2, 1, 32, 32), np.float32))
+        assert not exc_info.value.transient
+
+    def test_seeded_rate_is_reproducible(self):
+        def run_once():
+            plan = FaultPlan(seed=11).add("run", "host_link_timeout", rate=0.5)
+            program = _compile()
+            x = np.zeros((2, 1, 32, 32), np.float32)
+            hits = []
+            with FaultInjector(plan):
+                for _ in range(20):
+                    try:
+                        program.run(x)
+                        hits.append(0)
+                    except HostLinkTimeoutError:
+                        hits.append(1)
+            return hits
+
+        first, second = run_once(), run_once()
+        assert first == second
+        assert 0 < sum(first) < 20
+
+    def test_injectors_nest_innermost_wins(self):
+        outer = FaultPlan().add("run", "device_lost", after=0)
+        inner = FaultPlan()  # no faults
+        program = _compile()
+        x = np.zeros((2, 1, 32, 32), np.float32)
+        with FaultInjector(outer):
+            with FaultInjector(inner) as inj:
+                program.run(x)  # inner injector absorbs the event
+                assert inj.events_seen("run") == 1
+            with pytest.raises(DeviceLostError):
+                program.run(x)  # outer takes over again

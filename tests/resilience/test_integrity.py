@@ -1,0 +1,151 @@
+"""Container integrity: CRC32, truncation detection, DCZ1 back-compat."""
+
+import json
+import struct
+import warnings
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import DCTChopCompressor, container
+from repro.errors import ConfigError, IntegrityError
+from repro.faults import FaultInjector, FaultPlan
+
+
+def _blob(rng, shape=(2, 1, 32, 32), **kw):
+    x = rng.standard_normal(shape).astype(np.float32)
+    return x, container.pack(x, DCTChopCompressor(shape[-1], cf=4), **kw)
+
+
+def _as_dcz1(blob: bytes) -> bytes:
+    """Rewrite a DCZ2 blob as a legacy DCZ1 container (no checksum)."""
+    (hlen,) = struct.unpack("<I", blob[4:8])
+    header = json.loads(blob[8 : 8 + hlen].decode())
+    payload = blob[8 + hlen :]
+    header.pop("crc32", None)
+    header.pop("version", None)
+    hb = json.dumps(header).encode()
+    return container.MAGIC_V1 + struct.pack("<I", len(hb)) + hb + payload
+
+
+class TestV2Format:
+    def test_writes_dcz2_magic_and_crc(self, rng):
+        _, blob = _blob(rng)
+        assert blob[:4] == b"DCZ2"
+        rec, header = container.unpack(blob)
+        assert header["version"] == 2
+        assert header["crc32"] == zlib.crc32(blob[8 + struct.unpack("<I", blob[4:8])[0] :])
+
+    def test_roundtrip_intact(self, rng):
+        x, blob = _blob(rng)
+        rec, _ = container.unpack(blob)
+        assert rec.shape == x.shape
+
+    def test_bad_magic_still_config_error(self):
+        with pytest.raises(ConfigError):
+            container.unpack(b"NOPE" + b"\x00" * 16)
+
+
+class TestCorruptionDetection:
+    def test_bit_flip_in_payload_raises(self, rng):
+        _, blob = _blob(rng)
+        mangled = bytearray(blob)
+        mangled[-10] ^= 0x40
+        with pytest.raises(IntegrityError, match="checksum"):
+            container.unpack(bytes(mangled))
+
+    def test_truncated_payload_raises(self, rng):
+        _, blob = _blob(rng)
+        with pytest.raises(IntegrityError, match="length mismatch"):
+            container.unpack(blob[:-17])
+
+    def test_truncated_inside_header_raises(self, rng):
+        _, blob = _blob(rng)
+        with pytest.raises(IntegrityError, match="header"):
+            container.unpack(blob[:20])
+
+    def test_tiny_blob_raises(self):
+        with pytest.raises(IntegrityError):
+            container.unpack(b"DCZ2\x01")
+
+    def test_appended_garbage_raises(self, rng):
+        _, blob = _blob(rng)
+        with pytest.raises(IntegrityError, match="length mismatch"):
+            container.unpack(blob + b"\x00" * 8)
+
+    def test_corrupt_header_json_raises(self, rng):
+        _, blob = _blob(rng)
+        mangled = bytearray(blob)
+        mangled[10] = 0xFF  # inside the JSON header
+        with pytest.raises(IntegrityError):
+            container.unpack(bytes(mangled))
+
+    def test_fp16_payload_also_protected(self, rng):
+        _, blob = _blob(rng, payload_dtype="float16")
+        mangled = bytearray(blob)
+        mangled[-3] ^= 0x01
+        with pytest.raises(IntegrityError):
+            container.unpack(bytes(mangled))
+
+    def test_load_of_corrupt_file_raises(self, rng, tmp_path):
+        _, blob = _blob(rng)
+        path = tmp_path / "c.dcz"
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IntegrityError):
+            container.load(path)
+
+
+class TestInjectedPayloadFaults:
+    def test_injected_bit_flip_detected(self, rng):
+        x = rng.standard_normal((2, 1, 32, 32)).astype(np.float32)
+        comp = DCTChopCompressor(32, cf=4)
+        plan = FaultPlan(seed=1).add("payload", "bit_flip")
+        with FaultInjector(plan) as inj:
+            blob = container.pack(x, comp)
+        assert inj.records and inj.records[0].kind == "bit_flip"
+        with pytest.raises(IntegrityError):
+            container.unpack(blob)
+
+    def test_injected_truncation_detected(self, rng):
+        x = rng.standard_normal((2, 1, 32, 32)).astype(np.float32)
+        comp = DCTChopCompressor(32, cf=4)
+        plan = FaultPlan(seed=1).add("payload", "truncate")
+        with FaultInjector(plan):
+            blob = container.pack(x, comp)
+        with pytest.raises(IntegrityError):
+            container.unpack(blob)
+
+
+class TestDCZ1BackCompat:
+    def test_legacy_file_loads_with_warning(self, rng):
+        x, blob = _blob(rng)
+        legacy = _as_dcz1(blob)
+        with pytest.warns(UserWarning, match="DCZ1"):
+            rec, header = container.unpack(legacy)
+        assert rec.shape == x.shape
+        assert header["version"] == 1
+
+    def test_legacy_roundtrip_matches_v2(self, rng):
+        x, blob = _blob(rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            legacy_rec, _ = container.unpack(_as_dcz1(blob))
+        v2_rec, _ = container.unpack(blob)
+        np.testing.assert_array_equal(legacy_rec, v2_rec)
+
+    def test_legacy_truncation_still_caught_by_length(self, rng):
+        _, blob = _blob(rng)
+        legacy = _as_dcz1(blob)
+        with pytest.raises(IntegrityError, match="length mismatch"):
+            container.unpack(legacy[:-5])
+
+    def test_v2_missing_checksum_rejected(self, rng):
+        _, blob = _blob(rng)
+        (hlen,) = struct.unpack("<I", blob[4:8])
+        header = json.loads(blob[8 : 8 + hlen].decode())
+        del header["crc32"]
+        hb = json.dumps(header).encode()
+        doctored = container.MAGIC + struct.pack("<I", len(hb)) + hb + blob[8 + hlen :]
+        with pytest.raises(IntegrityError, match="checksum"):
+            container.unpack(doctored)

@@ -1,0 +1,162 @@
+"""Degradation ladder vs the paper's compile-failure matrix.
+
+The parametrized matrix pins the failures the paper reports — SN30 and
+GroqChip OOM at 512x512 without partial serialization, GroqChip refusing
+large batches — and asserts the ladder recovers each with the expected
+rung recorded in the RecoveryLog.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError, OutOfMemoryError
+from repro.harness.timing import measure
+from repro.resilience import (
+    LadderPolicy,
+    RecoveryLog,
+    ResilientCompressor,
+    compile_with_ladder,
+)
+
+
+class TestPaperFailureMatrix:
+    @pytest.mark.parametrize("platform", ["sn30", "groq"])
+    def test_512_fails_without_ps(self, platform):
+        point = measure(platform, resolution=512, cf=4, batch=100)
+        assert point.status == "compile_error"
+
+    def test_512_ok_with_ps_on_sn30(self):
+        point = measure("sn30", resolution=512, cf=4, batch=100, method="ps", s=2)
+        assert point.status == "ok"
+
+    def test_groq_batch_ceiling(self):
+        assert measure("groq", resolution=64, cf=4, batch=1000).status == "ok"
+        assert measure("groq", resolution=64, cf=4, batch=2000).status == "compile_error"
+
+
+class TestLadderRecovery:
+    def test_sn30_512_recovers_via_ps_rung(self):
+        log = RecoveryLog()
+        result = compile_with_ladder(512, platform="sn30", batch=4, channels=1, log=log)
+        assert result.degraded
+        assert result.attempt.rung == "ps"
+        assert result.attempt.method == "ps" and result.attempt.s == 2
+        assert log.rungs() == ["ps"]
+        assert "recovered" in log.actions()
+
+    def test_groq_batch_2000_recovers_via_shard_rung(self):
+        log = RecoveryLog()
+        result = compile_with_ladder(64, platform="groq", batch=2000, log=log)
+        assert result.attempt.rung == "shard"
+        # One GroqNode = 8 cards -> 250 samples per device.
+        assert result.attempt.n_devices == 8
+        assert log.rungs() == ["shard"]
+
+    def test_groq_512_needs_shard_plus_ps(self):
+        # 512 > the 320x320 MXM limit and the full batch blows SRAM:
+        # only the combination of sharding and PS fits.
+        log = RecoveryLog()
+        result = compile_with_ladder(512, platform="groq", batch=100, log=log)
+        assert result.attempt.rung == "shard"
+        assert result.attempt.method == "ps"
+        assert result.attempt.n_devices > 1
+
+    def test_fallback_rung_when_degradation_disabled(self):
+        log = RecoveryLog()
+        policy = LadderPolicy(allow_ps=False, allow_shard=False)
+        result = compile_with_ladder(
+            512, platform="sn30", batch=4, channels=1, policy=policy, log=log
+        )
+        assert result.attempt.rung == "fallback"
+        assert result.attempt.platform != "sn30"
+
+    def test_sg_falls_back_to_ipu(self):
+        # gather/scatter compiles only on the IPU; with PS conversion
+        # disallowed the ladder must move the program there.
+        policy = LadderPolicy(allow_ps=False, allow_shard=False)
+        result = compile_with_ladder(
+            64, platform="groq", method="sg", batch=4, policy=policy
+        )
+        assert result.attempt.rung == "fallback"
+        assert result.attempt.platform == "ipu"
+
+    def test_cpu_is_the_last_resort(self):
+        policy = LadderPolicy(
+            allow_ps=False, allow_shard=False, fallback_platforms=("cpu",)
+        )
+        result = compile_with_ladder(
+            512, platform="sn30", batch=4, channels=1, policy=policy
+        )
+        assert result.attempt.platform == "cpu"
+
+    def test_no_recovery_possible_raises_last_error(self):
+        log = RecoveryLog()
+        policy = LadderPolicy(allow_ps=False, allow_shard=False, allow_fallback=False)
+        with pytest.raises(OutOfMemoryError):
+            compile_with_ladder(
+                512, platform="sn30", batch=4, channels=1, policy=policy, log=log
+            )
+        assert "gave_up" in log.actions()
+
+    def test_clean_compile_takes_original_rung(self):
+        log = RecoveryLog()
+        result = compile_with_ladder(64, platform="ipu", batch=4, log=log)
+        assert not result.degraded
+        assert len(log) == 0
+
+
+class TestResilientCompressorLadder:
+    def test_roundtrip_through_degraded_config(self, rng):
+        x = rng.standard_normal((4, 1, 512, 512)).astype(np.float32)
+        log = RecoveryLog()
+        rc = ResilientCompressor(512, platform="sn30", batch=4, channels=1, log=log)
+        rec = rc.roundtrip(x)
+        assert rec.shape == x.shape
+        assert rc.resolved.rung == "ps"
+        # The decompress side is pinned to the resolved representation.
+        from repro.core import make_compressor, psnr
+
+        ref = make_compressor(512, method="ps", cf=4, s=2).roundtrip(x)
+        np.testing.assert_allclose(rec.numpy(), ref.numpy(), atol=1e-4)
+        assert psnr(x, rec.numpy()) > 10
+
+    def test_device_lost_fails_over_to_next_platform(self, rng):
+        from repro.faults import FaultInjector, FaultPlan
+
+        x = rng.standard_normal((2, 1, 32, 32)).astype(np.float32)
+        log = RecoveryLog()
+        rc = ResilientCompressor(32, platform="ipu", batch=2, channels=1, log=log)
+        plan = FaultPlan().add("run", "device_lost", platform="ipu")
+        with FaultInjector(plan):
+            y = rc.compress(x)
+        assert y.shape[0] == 2
+        assert rc.resolved.platform != "ipu"
+        assert any(
+            e.action == "fault" and e.context.get("kind") == "DeviceLostError" for e in log
+        )
+
+    def test_all_platforms_dead_raises(self):
+        from repro.errors import DeviceLostError
+        from repro.faults import FaultInjector, FaultPlan
+
+        rc = ResilientCompressor(
+            32,
+            platform="cpu",
+            batch=2,
+            channels=1,
+            ladder=LadderPolicy(fallback_platforms=("cpu",)),
+        )
+        plan = FaultPlan().add("run", "device_lost", times=10)
+        with FaultInjector(plan):
+            with pytest.raises(DeviceLostError):
+                rc.compress(np.zeros((2, 1, 32, 32), np.float32))
+
+    def test_sharded_execution_matches_unsharded(self, rng):
+        x = rng.standard_normal((2000, 3, 64, 64)).astype(np.float32)
+        rc = ResilientCompressor(64, platform="groq", batch=2000, channels=3)
+        y = rc.compress(x)
+        assert rc.resolved.n_devices == 8
+        from repro.core import make_compressor
+
+        ref = make_compressor(64, cf=4).compress(x)
+        np.testing.assert_allclose(y.numpy(), ref.numpy(), atol=1e-4)

@@ -1,0 +1,100 @@
+"""Retry with exponential backoff + jitter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceLostError, HostLinkTimeoutError, LaunchFailureError
+from repro.resilience import RecoveryLog, RetryPolicy, run_with_recovery
+
+
+def _flaky(failures, exc=HostLinkTimeoutError):
+    """A callable that fails ``failures`` times, then returns 42."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise exc(f"boom #{state['calls']}", platform="ipu")
+        return 42
+
+    fn.state = state
+    return fn
+
+
+def _policy(**kw):
+    kw.setdefault("sleep", lambda _s: None)
+    return RetryPolicy(**kw)
+
+
+class TestRetry:
+    def test_clean_call_passes_through(self):
+        log = RecoveryLog()
+        assert run_with_recovery(_flaky(0), policy=_policy(), log=log) == 42
+        assert len(log) == 0
+
+    def test_transient_fault_retried(self):
+        log = RecoveryLog()
+        fn = _flaky(2)
+        assert run_with_recovery(fn, policy=_policy(max_retries=3), log=log) == 42
+        assert fn.state["calls"] == 3
+        assert log.actions().count("retry") == 2
+        assert log.actions()[-1] == "recovered"
+
+    def test_retries_exhausted_reraises(self):
+        log = RecoveryLog()
+        with pytest.raises(HostLinkTimeoutError):
+            run_with_recovery(_flaky(5), policy=_policy(max_retries=2), log=log)
+        assert "gave_up" in log.actions()
+
+    def test_launch_failure_is_retryable(self):
+        fn = _flaky(1, exc=LaunchFailureError)
+        assert run_with_recovery(fn, policy=_policy()) == 42
+
+    def test_persistent_fault_not_retried(self):
+        fn = _flaky(1, exc=DeviceLostError)
+        with pytest.raises(DeviceLostError):
+            run_with_recovery(fn, policy=_policy())
+        assert fn.state["calls"] == 1
+
+    def test_other_exceptions_propagate_immediately(self):
+        def fn():
+            raise ValueError("not a device fault")
+
+        with pytest.raises(ValueError):
+            run_with_recovery(fn, policy=_policy())
+
+    def test_kwargs_forwarded(self):
+        assert run_with_recovery(lambda a, b=0: a + b, 40, policy=_policy(), b=2) == 42
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        delays = [policy.delay(a) for a in range(5)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert max(delays) == pytest.approx(0.5)
+        assert delays == sorted(delays)
+
+    def test_jitter_is_seeded(self):
+        a = [RetryPolicy(seed=5).delay(i) for i in range(4)]
+        b = [RetryPolicy(seed=5).delay(i) for i in range(4)]
+        assert a == b
+        c = [RetryPolicy(seed=6).delay(i) for i in range(4)]
+        assert a != c
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=0)
+        for attempt in range(10):
+            base = min(policy.max_delay, 0.1 * 2**attempt)
+            assert 0.5 * base <= policy.delay(attempt) <= 1.5 * base
+
+    def test_sleep_receives_delay(self):
+        slept = []
+        policy = RetryPolicy(max_retries=1, jitter=0.0, base_delay=0.25, sleep=slept.append)
+        run_with_recovery(_flaky(1), policy=policy)
+        assert slept == [pytest.approx(0.25)]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
