@@ -1,0 +1,67 @@
+"""Extension: serving-path performance (plan cache + dynamic batching).
+
+Records the serving-perf trajectory future PRs regress against:
+
+* plan-cache cold vs. warm — how many compiles a trace replay needs the
+  first time, and that a warm fleet needs none;
+* batch=1 sequential vs. dynamic batching — total modelled device time
+  for the same traffic.
+"""
+
+import time
+
+from repro.serve import CompiledPlanCache, CompressionService, synthetic_trace
+
+from benchmarks.conftest import write_result
+
+N_REQUESTS = 1000
+PLATFORMS = ("ipu", "a100")
+
+
+def _trace():
+    return synthetic_trace(N_REQUESTS, seed=0)
+
+
+def _replay(cache, *, max_batch=8, max_wait=0.02, platforms=PLATFORMS):
+    service = CompressionService(
+        platforms, max_batch=max_batch, max_wait=max_wait, cache=cache
+    )
+    t0 = time.perf_counter()
+    _, stats = service.process(_trace())
+    return stats, time.perf_counter() - t0
+
+
+def test_ext_serving_cache_and_batching(benchmark):
+    cache = CompiledPlanCache(capacity=64)
+    cold, cold_wall = _replay(cache)
+    cold_misses = cache.misses
+    warm, warm_wall = _replay(cache)
+    warm_misses = cache.misses - cold_misses
+
+    seq_stats, _ = _replay(CompiledPlanCache(capacity=64), max_batch=1, max_wait=0.0,
+                           platforms=(PLATFORMS[0],))
+
+    benchmark(lambda: _replay(cache))  # steady-state (warm) replay
+
+    speedup = seq_stats.busy_s / warm.busy_s if warm.busy_s else 0.0
+    lines = [
+        f"Extension: serving path, {N_REQUESTS}-request trace on {','.join(PLATFORMS)}",
+        f"  cold replay: {cold_misses} compiles, {cold.cache.hit_rate:.1%} hit rate, "
+        f"wall {cold_wall * 1e3:.0f} ms",
+        f"  warm replay: {warm_misses} compiles, "
+        f"wall {warm_wall * 1e3:.0f} ms",
+        f"  batch=1 sequential: {seq_stats.busy_s * 1e3:8.3f} ms modelled device time "
+        f"({seq_stats.n_ok / seq_stats.busy_s:,.0f} req/s)",
+        f"  dynamic batching:   {warm.busy_s * 1e3:8.3f} ms modelled device time "
+        f"({warm.n_ok / warm.busy_s:,.0f} req/s, mean batch {warm.mean_batch_size:.2f})",
+        f"  -> batching reduces modelled device time {speedup:.2f}x",
+    ]
+    write_result("ext_serving", "\n".join(lines))
+
+    # Cold pays the compiles once; a warm fleet re-traces nothing.
+    assert cold_misses > 0
+    assert warm_misses == 0
+    assert cold.cache_hit_rate >= 0.9
+    # No dropped requests either way, and batching must win on modelled time.
+    assert cold.n_failed == warm.n_failed == seq_stats.n_failed == 0
+    assert warm.busy_s < seq_stats.busy_s

@@ -30,6 +30,12 @@ contribution:
 ``repro.harness``
     Per-figure experiment drivers that regenerate every table and figure
     in the paper's evaluation section.
+``repro.faults`` / ``repro.resilience``
+    Seeded fault injection and the recovery machinery around the
+    simulators: retry, degradation ladder, device-loss failover.
+``repro.serve``
+    Serving layer over the static-shape compiled programs: compiled-plan
+    cache, dynamic batching, multi-platform scheduling.
 """
 
 from repro.version import __version__

@@ -24,7 +24,7 @@ from repro.accel.opsupport import supported_ops, is_supported
 from repro.accel.graph import Graph, Node, trace
 from repro.accel.cost import ProgramCost, cost_of_graph
 from repro.accel.perf import TimingBreakdown, estimate_time
-from repro.accel.compiler import compile_program, CompiledProgram
+from repro.accel.compiler import compile_program, CompiledProgram, PlanKey
 from repro.accel.registry import get_platform, platform_names, register_platform
 from repro.accel.energy import EnergyEstimate, estimate_energy, board_power
 from repro.accel.multichip import MultiChipEstimate, estimate_multichip, devices_to_match
@@ -44,6 +44,7 @@ __all__ = [
     "estimate_time",
     "compile_program",
     "CompiledProgram",
+    "PlanKey",
     "get_platform",
     "platform_names",
     "register_platform",

@@ -37,6 +37,71 @@ from repro.faults import fire_fault
 from repro.tensor import Tensor, no_grad
 
 
+@dataclass(frozen=True)
+class PlanKey:
+    """Stable identity of one compiled plan.
+
+    Two :func:`compile_program` calls with identical (platform, input
+    shapes, compressor configuration) produce equal, hashable keys, so
+    callers — the serving plan cache, the degradation ladder — can
+    memoize compiled programs instead of re-tracing.  The compressor
+    fields (``method``/``cf``/``s``/``block``/``direction``) are supplied
+    by callers that know them; ``name`` disambiguates auto-generated keys
+    for arbitrary traced functions that share input shapes.
+    """
+
+    platform: str
+    input_shapes: tuple[tuple[int, ...], ...]
+    method: str = ""
+    cf: int = 0
+    s: int = 1
+    block: int = 0
+    direction: str = ""
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        # Normalize so list-of-lists callers hash/compare identically.
+        object.__setattr__(
+            self,
+            "input_shapes",
+            tuple(tuple(int(d) for d in shape) for shape in self.input_shapes),
+        )
+
+    @classmethod
+    def for_compressor(
+        cls,
+        platform: str,
+        input_shape: tuple[int, ...],
+        *,
+        method: str,
+        cf: int,
+        s: int,
+        block: int,
+        direction: str,
+    ) -> "PlanKey":
+        """Key for one compressor program at one example input shape."""
+        return cls(
+            platform=platform,
+            input_shapes=(tuple(input_shape),),
+            method=method,
+            cf=cf,
+            s=s,
+            block=block,
+            direction=direction,
+        )
+
+    def describe(self) -> str:
+        shapes = "/".join("x".join(str(d) for d in s) for s in self.input_shapes)
+        bits = [self.platform, shapes]
+        if self.method:
+            bits.append(f"{self.method} cf={self.cf}" + (f" s={self.s}" if self.method == "ps" else ""))
+        if self.direction:
+            bits.append(self.direction)
+        if self.name:
+            bits.append(self.name)
+        return " ".join(bits)
+
+
 def _check_operators(graph: Graph, spec: AcceleratorSpec) -> None:
     allowed = supported_ops(spec.name)
     for op in graph.op_names:
@@ -108,6 +173,7 @@ class CompiledProgram:
     cost: ProgramCost
     spec: AcceleratorSpec
     name: str = "program"
+    key: PlanKey | None = None
     _runs: int = field(default=0, repr=False)
 
     def run(self, *inputs) -> RunResult:
@@ -145,11 +211,15 @@ def compile_program(
     platform: str | AcceleratorSpec,
     *,
     name: str = "program",
+    key: PlanKey | None = None,
 ) -> CompiledProgram:
     """Trace ``fn`` and compile it for ``platform``.
 
     Raises :class:`UnsupportedOperatorError` or :class:`OutOfMemoryError`
-    when the platform's toolchain would reject the program.
+    when the platform's toolchain would reject the program.  The returned
+    program carries a :class:`PlanKey` (the caller's ``key`` if given,
+    otherwise one derived from platform + traced input shapes + ``name``)
+    that memoizing callers can index on.
     """
     spec = platform if isinstance(platform, AcceleratorSpec) else get_platform(platform)
     fire_fault("compile", platform=spec.name)
@@ -160,4 +230,6 @@ def compile_program(
     _check_operators(graph, spec)
     _check_matmul_unit(cost, spec)
     _check_memory(cost, spec)
-    return CompiledProgram(fn=fn, graph=graph, cost=cost, spec=spec, name=name)
+    if key is None:
+        key = PlanKey(platform=spec.name, input_shapes=graph.input_shapes, name=name)
+    return CompiledProgram(fn=fn, graph=graph, cost=cost, spec=spec, name=name, key=key)

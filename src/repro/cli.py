@@ -20,6 +20,11 @@ Commands
 ``resilience-demo``
     Script a fault plan (transient link fault, mid-training device loss,
     SN30 512x512 OOM) and show the resilience layer recovering each one.
+``serve-demo``
+    Replay a seeded synthetic request trace through the serving layer
+    (plan cache + dynamic batcher + scheduler), print the stats table,
+    and verify cache hit rate, batching speedup, and bit-identity
+    against the unbatched path.
 """
 
 from __future__ import annotations
@@ -327,6 +332,79 @@ def _cmd_resilience_demo(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve_demo(args) -> int:
+    """Replay a synthetic trace through the serving layer and verify it."""
+    from repro.core import make_compressor
+    from repro.serve import CompressionService, synthetic_trace
+
+    platforms = tuple(p.strip() for p in args.platforms.split(",") if p.strip())
+    if not platforms:
+        print("error: --platforms must name at least one platform", file=sys.stderr)
+        return 2
+    trace = synthetic_trace(args.requests, seed=args.seed)
+    service = CompressionService(
+        platforms,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        policy=args.policy,
+        cache_capacity=args.cache_capacity,
+    )
+    print(
+        f"replaying {args.requests} requests (seed {args.seed}) on "
+        f"{','.join(platforms)} [policy {args.policy}, max_batch {args.max_batch}, "
+        f"max_wait {args.max_wait * 1e3:g} ms]\n"
+    )
+    responses, stats = service.process(trace)
+    print(stats.format_table())
+
+    # Baseline: the pre-serving world — one instance, one request per run.
+    sequential = CompressionService(
+        (platforms[0],),
+        max_batch=1,
+        max_wait=0.0,
+        policy=args.policy,
+        cache_capacity=args.cache_capacity,
+    )
+    _, seq_stats = sequential.process(synthetic_trace(args.requests, seed=args.seed))
+    speedup = seq_stats.busy_s / stats.busy_s if stats.busy_s else 0.0
+    print(
+        f"\nmodelled device time: batch=1 sequential {seq_stats.busy_s * 1e3:9.3f} ms"
+        f"\n                      dynamic batching   {stats.busy_s * 1e3:9.3f} ms"
+        f"  ({speedup:.2f}x reduction)"
+    )
+
+    # Bit-identity: every served image must equal the unbatched host path.
+    compressors = {}
+    mismatches = 0
+    for r in responses:
+        req = r.request
+        key = req.key
+        comp = compressors.get(key)
+        if comp is None:
+            comp = compressors[key] = make_compressor(
+                key.height, key.width, method=key.method, cf=key.cf, s=key.s, block=key.block
+            )
+        ref = comp.compress(req.image[None]).numpy()[0]
+        if not np.array_equal(ref, r.output):
+            mismatches += 1
+
+    checks = [
+        ("zero failed requests", stats.n_failed == 0),
+        (
+            f"plan-cache hit rate {stats.cache_hit_rate:.1%} >= {args.min_hit_rate:.0%}",
+            stats.cache_hit_rate >= args.min_hit_rate,
+        ),
+        ("dynamic batching reduces modelled device time", stats.busy_s < seq_stats.busy_s),
+        (f"per-image outputs bit-identical ({mismatches} mismatches)", mismatches == 0),
+    ]
+    print()
+    for label, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    passed = all(ok for _, ok in checks)
+    print("serve demo:", "all checks passed" if passed else "FAILED")
+    return 0 if passed else 1
+
+
 def _cmd_autotune(args) -> int:
     from repro.core import select_cf
 
@@ -431,6 +509,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="scripted fault plan: retry, degradation ladder, checkpoint resume",
     )
     p.set_defaults(fn=_cmd_resilience_demo)
+
+    p = sub.add_parser(
+        "serve-demo",
+        help="replay a synthetic trace through the serving layer and verify it",
+    )
+    p.add_argument("--requests", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--platforms", default="ipu,a100", help="comma-separated worker instances")
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--max-wait", type=float, default=0.02, help="batcher flush deadline (modelled s)")
+    p.add_argument("--policy", default="least-loaded", choices=("least-loaded", "fastest-finish"))
+    p.add_argument("--cache-capacity", type=int, default=64)
+    p.add_argument("--min-hit-rate", type=float, default=0.9)
+    p.set_defaults(fn=_cmd_serve_demo)
 
     return parser
 

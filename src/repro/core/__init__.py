@@ -28,7 +28,14 @@ from repro.core.flops import (
     operand_sizes,
 )
 from repro.core.metrics import mse, psnr, nrmse, max_abs_error, achieved_ratio
-from repro.core.api import Compressor, make_compressor, compress, decompress
+from repro.core.api import (
+    Compressor,
+    make_compressor,
+    compress,
+    decompress,
+    set_service,
+    get_service,
+)
 from repro.core.padded import PaddedCompressor, AdaptiveCompressor
 from repro.core.autotune import select_cf, build_for_target, TuneResult
 from repro.core import container, colorspace
@@ -57,6 +64,8 @@ __all__ = [
     "make_compressor",
     "compress",
     "decompress",
+    "set_service",
+    "get_service",
     "PaddedCompressor",
     "AdaptiveCompressor",
     "select_cf",

@@ -5,6 +5,10 @@ from Python training or inference code".  :func:`make_compressor` builds a
 compiled (fixed-shape) compressor for one of the three methods; the
 convenience :func:`compress`/:func:`decompress` pair builds and caches
 compressors keyed on (shape, method, cf, s).
+
+When a serving layer is installed via :func:`set_service`, the
+convenience pair routes through it instead, so one-shot calls share the
+service's compiled-plan cache (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -68,6 +72,28 @@ def make_compressor(
     raise ConfigError(f"unknown method {method!r}; expected one of {METHODS}")
 
 
+# Installed serving layer (duck-typed to avoid a core -> serve import;
+# repro.serve imports this module).  None means "run on the host".
+_service = None
+
+
+def set_service(service):
+    """Install (or with ``None`` remove) a serving layer; returns the old one.
+
+    ``service`` must expose ``compress_one(x, *, method, cf, s, block)``
+    and ``decompress_one(y, original_shape, *, method, cf, s, block)`` —
+    :class:`repro.serve.CompressionService` does.
+    """
+    global _service
+    previous, _service = _service, service
+    return previous
+
+
+def get_service():
+    """The installed serving layer, or ``None``."""
+    return _service
+
+
 _cache: dict[tuple, Compressor] = {}
 
 
@@ -82,6 +108,8 @@ def _cached(height: int, width: int, method: str, cf: int, s: int, block: int) -
 
 def compress(x, *, method: str = "dc", cf: int = 4, s: int = 2, block: int = DEFAULT_BLOCK) -> Tensor:
     """One-shot compression of a ``(..., H, W)`` array/tensor."""
+    if _service is not None:
+        return _service.compress_one(x, method=method, cf=cf, s=s, block=block)
     shape = x.shape
     comp = _cached(shape[-2], shape[-1], method, cf, s, block)
     return comp.compress(x)
@@ -97,5 +125,7 @@ def decompress(
     block: int = DEFAULT_BLOCK,
 ) -> Tensor:
     """One-shot decompression back to ``original_shape``'s plane size."""
+    if _service is not None:
+        return _service.decompress_one(y, original_shape, method=method, cf=cf, s=s, block=block)
     comp = _cached(original_shape[-2], original_shape[-1], method, cf, s, block)
     return comp.decompress(y)

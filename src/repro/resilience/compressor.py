@@ -46,7 +46,20 @@ class ResilientCompressor:
         ladder: LadderPolicy | None = None,
         log: RecoveryLog | None = None,
         max_failovers: int = 3,
+        plan_cache=None,
+        preresolved: LadderResult | None = None,
     ) -> None:
+        """``plan_cache`` and ``preresolved`` avoid redundant compiles.
+
+        ``plan_cache`` (a :class:`~repro.serve.plan_cache.CompiledPlanCache`
+        or anything with its ``get``/``put`` interface) is threaded through
+        every ladder walk, so a freshly constructed compressor whose
+        configuration already resolved elsewhere replays the walk from
+        cached plans instead of re-tracing.  ``preresolved`` goes further:
+        it seeds the compress side with an already-resolved
+        :class:`LadderResult` (the caller must have produced it for the
+        same shape/configuration), so even the ladder walk is skipped.
+        """
         self.height = height
         self.width = width if width is not None else height
         self.platform = platform
@@ -61,8 +74,11 @@ class ResilientCompressor:
         # Explicit None check: an empty RecoveryLog is falsy (it has __len__).
         self.log = log if log is not None else RecoveryLog()
         self.max_failovers = max_failovers
+        self.plan_cache = plan_cache
         self._dead: set[str] = set()
         self._compiled: dict[str, LadderResult] = {}
+        if preresolved is not None:
+            self._compiled["compress"] = preresolved
 
     # ------------------------------------------------------------------
     @property
@@ -118,6 +134,7 @@ class ResilientCompressor:
             direction=direction,
             policy=self._policy(pinned=pinned),
             log=self.log,
+            cache=self.plan_cache,
         )
         self._compiled[direction] = result
         return result
@@ -125,6 +142,11 @@ class ResilientCompressor:
     def compile(self, direction: str = "compress") -> LadderResult:
         """Compile (via the ladder) without running; idempotent."""
         return self._ensure(direction)
+
+    @property
+    def dead_platforms(self) -> frozenset[str]:
+        """Platforms blacklisted by device-lost failover so far."""
+        return frozenset(self._dead)
 
     # ------------------------------------------------------------------
     def _run(self, direction: str, x: np.ndarray) -> Tensor:

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.accel.compiler import CompiledProgram, compile_program
+from repro.accel.compiler import CompiledProgram, PlanKey, compile_program
 from repro.accel.multichip import shard_counts
 from repro.core.api import Compressor, make_compressor
 from repro.core.dct import DEFAULT_BLOCK
@@ -117,12 +117,21 @@ def compile_with_ladder(
     direction: str = "compress",
     policy: LadderPolicy | None = None,
     log: RecoveryLog | None = None,
+    cache=None,
 ) -> LadderResult:
     """Compile a compressor program, degrading until something fits.
 
     Returns a :class:`LadderResult` whose ``attempt`` records the rung
     that succeeded; raises the last :class:`CompileError` if every rung
     is exhausted.
+
+    ``cache`` is an optional
+    :class:`~repro.serve.plan_cache.CompiledPlanCache` (or anything with
+    its ``get``/``put`` interface).  Each attempt consults it by
+    :class:`~repro.accel.compiler.PlanKey` before tracing: cached plans
+    skip compilation entirely, and cached *failures* skip the doomed
+    re-trace — so a ladder walk that already resolved once replays in
+    O(attempts) dictionary lookups.
     """
     if direction not in ("compress", "decompress"):
         raise ConfigError(f"direction must be compress|decompress, got {direction!r}")
@@ -144,24 +153,52 @@ def compile_with_ladder(
             fn, example_shape = comp.compress, in_shape
         else:
             fn, example_shape = comp.decompress, comp.compressed_shape(in_shape)
-        try:
-            program = compile_program(
-                fn,
-                np.zeros(example_shape, np.float32),
-                attempt.platform,
-                name=f"{attempt.method}-{direction}-{attempt.platform}",
-            )
-        except CompileError as exc:
-            failures.append((attempt, exc))
-            last_exc = exc
+        key = PlanKey.for_compressor(
+            attempt.platform,
+            example_shape,
+            method=attempt.method,
+            cf=cf,
+            s=attempt.s,
+            block=block,
+            direction=direction,
+        )
+        program = cache.get(key) if cache is not None else None
+        if isinstance(program, CompileError):
+            # Deterministic toolchain: a remembered rejection needs no re-trace.
+            failures.append((attempt, program))
+            last_exc = program
             log.record(
                 "fault",
-                f"compile failed ({attempt.describe()}): {exc}",
+                f"compile failed, cached ({attempt.describe()}): {program}",
                 rung=attempt.rung,
                 platform=attempt.platform,
-                reason=exc.reason or "",
+                reason=program.reason or "",
             )
             continue
+        if program is None:
+            try:
+                program = compile_program(
+                    fn,
+                    np.zeros(example_shape, np.float32),
+                    attempt.platform,
+                    name=f"{attempt.method}-{direction}-{attempt.platform}",
+                    key=key,
+                )
+            except CompileError as exc:
+                if cache is not None:
+                    cache.put(key, exc)
+                failures.append((attempt, exc))
+                last_exc = exc
+                log.record(
+                    "fault",
+                    f"compile failed ({attempt.describe()}): {exc}",
+                    rung=attempt.rung,
+                    platform=attempt.platform,
+                    reason=exc.reason or "",
+                )
+                continue
+            if cache is not None:
+                cache.put(key, program)
         if attempt.rung != "original":
             log.record(
                 "rung",

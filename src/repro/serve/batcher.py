@@ -1,0 +1,146 @@
+"""Dynamic request batching.
+
+Single-image requests that share a service key — same plane size,
+channel count, and compressor configuration — are coalesced into one
+batched run of the same compiled plan.  A group flushes when it reaches
+``max_batch`` images or when its oldest request has waited ``max_wait``
+modelled seconds, whichever comes first; the tail batch is zero-padded up
+to ``max_batch`` so every flush reuses the *same* static-shape plan
+(padding is sliced off after the run, and per-image outputs are
+bit-identical to the unbatched path because the compressor treats batch
+entries independently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dct import DEFAULT_BLOCK
+from repro.errors import ConfigError, ShapeError
+
+
+@dataclass(frozen=True)
+class ServiceKey:
+    """What must match for two requests to share one compiled plan."""
+
+    height: int
+    width: int
+    channels: int
+    method: str = "dc"
+    cf: int = 4
+    s: int = 2
+    block: int = DEFAULT_BLOCK
+
+    def describe(self) -> str:
+        cfg = f"{self.method} cf={self.cf}" + (f" s={self.s}" if self.method == "ps" else "")
+        return f"{self.channels}x{self.height}x{self.width} {cfg}"
+
+
+@dataclass
+class Request:
+    """One single-image compression request in a trace."""
+
+    rid: int
+    image: np.ndarray                  # (C, H, W) float32
+    arrival: float = 0.0               # modelled arrival time (seconds)
+    method: str = "dc"
+    cf: int = 4
+    s: int = 2
+    block: int = DEFAULT_BLOCK
+
+    def __post_init__(self) -> None:
+        if self.image.ndim != 3:
+            raise ShapeError(
+                f"request {self.rid}: expected a (C, H, W) image, got shape {self.image.shape}"
+            )
+
+    @property
+    def key(self) -> ServiceKey:
+        c, h, w = self.image.shape
+        return ServiceKey(
+            height=h, width=w, channels=c,
+            method=self.method, cf=self.cf, s=self.s, block=self.block,
+        )
+
+
+@dataclass
+class Batch:
+    """A flushed group of same-key requests, ready to dispatch."""
+
+    key: ServiceKey
+    requests: list[Request]
+    formed_at: float                   # modelled time the batch flushed
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def padded(self, batch_size: int) -> np.ndarray:
+        """Stack to ``(batch_size, C, H, W)``, zero-padding the tail."""
+        if len(self.requests) > batch_size:
+            raise ShapeError(
+                f"batch of {len(self.requests)} exceeds plan batch size {batch_size}"
+            )
+        k = self.key
+        out = np.zeros((batch_size, k.channels, k.height, k.width), np.float32)
+        for i, req in enumerate(self.requests):
+            out[i] = req.image
+        return out
+
+
+@dataclass
+class DynamicBatcher:
+    """Coalesce same-key requests under a max-batch / max-wait policy."""
+
+    max_batch: int = 8
+    max_wait: float = 0.002            # modelled seconds the oldest request may wait
+    _pending: dict[ServiceKey, list[Request]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait < 0:
+            raise ConfigError(f"max_wait must be >= 0, got {self.max_wait}")
+
+    # ------------------------------------------------------------------
+    def add(self, request: Request) -> Batch | None:
+        """Enqueue; returns a full batch the moment one forms."""
+        group = self._pending.setdefault(request.key, [])
+        group.append(request)
+        if len(group) >= self.max_batch:
+            del self._pending[request.key]
+            return Batch(key=request.key, requests=group, formed_at=request.arrival)
+        return None
+
+    def due(self, now: float) -> list[Batch]:
+        """Flush every group whose oldest request has waited ``max_wait``.
+
+        Each batch's ``formed_at`` is its deadline (oldest arrival +
+        ``max_wait``) — the moment the flush timer fired — so dispatch
+        times stay deterministic regardless of when the caller polls.
+        """
+        out = []
+        for key in list(self._pending):
+            group = self._pending[key]
+            deadline = group[0].arrival + self.max_wait
+            if deadline <= now:
+                del self._pending[key]
+                out.append(Batch(key=key, requests=group, formed_at=deadline))
+        out.sort(key=lambda b: (b.formed_at, b.key.describe()))
+        return out
+
+    def flush(self) -> list[Batch]:
+        """Drain everything (end of trace); deadlines still apply."""
+        out = [
+            Batch(key=key, requests=group, formed_at=group[0].arrival + self.max_wait)
+            for key, group in self._pending.items()
+        ]
+        self._pending.clear()
+        out.sort(key=lambda b: (b.formed_at, b.key.describe()))
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued across all groups."""
+        return sum(len(g) for g in self._pending.values())

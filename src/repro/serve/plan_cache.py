@@ -1,0 +1,143 @@
+"""LRU cache of compiled plans keyed on :class:`~repro.accel.PlanKey`.
+
+Every accelerator toolchain in the paper freezes shapes at compile time,
+which makes a compiled program a pure function of its
+(platform, shape, method, CF, s) key — the one property that lets a
+serving layer amortize tracing and compilation across unbounded traffic.
+The cache also remembers *failed* compiles (negative entries): the SN30's
+512x512 OOM is just as deterministic as a success, and re-tracing it on
+every request would burn the very cost the cache exists to avoid.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.accel.compiler import CompiledProgram, PlanKey
+from repro.errors import CompileError, ConfigError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of one :class:`CompiledPlanCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without re-compiling (0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CompiledPlanCache:
+    """Bounded LRU of :class:`CompiledProgram` (or :class:`CompileError`) entries.
+
+    ``get``/``put`` are the raw interface; :meth:`get_or_compile` wraps a
+    compile callback so callers get one-line memoization.  Cached
+    :class:`CompileError` entries re-raise on lookup — a deterministic
+    toolchain rejects the same program every time.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[PlanKey, CompiledProgram | CompileError] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: PlanKey) -> CompiledProgram | CompileError | None:
+        """Counted lookup; refreshes LRU order on hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: PlanKey, value: CompiledProgram | CompileError) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compile(
+        self, key: PlanKey, factory: Callable[[], CompiledProgram]
+    ) -> CompiledProgram:
+        """Return the cached plan for ``key``, compiling via ``factory`` on miss.
+
+        A cached (or fresh) :class:`CompileError` is raised, and remembered
+        so the failing configuration is never re-traced.
+        """
+        entry = self.get(key)
+        if entry is None:
+            try:
+                entry = factory()
+            except CompileError as exc:
+                self.put(key, exc)
+                raise
+            self.put(key, entry)
+        if isinstance(entry, CompileError):
+            raise entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        """Uncounted membership probe (does not disturb LRU order)."""
+        return key in self._entries
+
+    def keys(self) -> list[PlanKey]:
+        """Current keys, LRU first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries; counters keep accumulating."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        return self.snapshot().hit_rate
+
+    def snapshot(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

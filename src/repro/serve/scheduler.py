@@ -1,0 +1,110 @@
+"""Batch dispatch across simulated platform instances.
+
+The worker pool models a deployment like the paper's GroqNode / Bow-Pod:
+several accelerator instances (possibly of different platforms) behind
+one queue.  The analytical timing model is the cost signal — the same
+per-run estimate the bench reports is what the ``fastest-finish`` policy
+minimizes, while ``least-loaded`` balances modelled busy time without
+needing a per-platform estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError, DeviceLostError
+
+POLICIES = ("least-loaded", "fastest-finish")
+
+
+@dataclass
+class PlatformWorker:
+    """One simulated accelerator instance with a modelled busy horizon."""
+
+    platform: str
+    index: int = 0
+    busy_until: float = 0.0
+    batches: int = 0
+    busy_seconds: float = 0.0
+    dead: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"{self.platform}:{self.index}"
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` this worker spent running batches."""
+        return self.busy_seconds / horizon if horizon > 0 else 0.0
+
+
+class Scheduler:
+    """Pick a worker for each batch under one of :data:`POLICIES`."""
+
+    def __init__(self, platforms: tuple[str, ...], policy: str = "least-loaded") -> None:
+        if policy not in POLICIES:
+            raise ConfigError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+        if not platforms:
+            raise ConfigError("scheduler needs at least one platform instance")
+        self.policy = policy
+        self.workers: list[PlatformWorker] = []
+        counts: dict[str, int] = {}
+        for platform in platforms:
+            idx = counts.get(platform, 0)
+            counts[platform] = idx + 1
+            self.workers.append(PlatformWorker(platform=platform, index=idx))
+
+    # ------------------------------------------------------------------
+    def alive(self) -> list[PlatformWorker]:
+        return [w for w in self.workers if not w.dead]
+
+    def mark_dead(self, platform: str) -> None:
+        """Blacklist every instance of a lost platform."""
+        for w in self.workers:
+            if w.platform == platform:
+                w.dead = True
+
+    def pick(
+        self,
+        now: float,
+        estimate: Callable[[PlatformWorker], float] | None = None,
+    ) -> PlatformWorker:
+        """Choose a live worker for a batch flushed at ``now``.
+
+        ``estimate`` maps a worker to the modelled seconds the batch would
+        take on its platform (``inf`` when it cannot compile there); it is
+        required by — and only consulted for — ``fastest-finish``.
+        """
+        workers = self.alive()
+        if not workers:
+            raise DeviceLostError("no live platform instances remain")
+        if self.policy == "least-loaded":
+            return min(workers, key=lambda w: (max(w.busy_until, now), w.name))
+        if estimate is None:
+            raise ConfigError("fastest-finish policy needs a batch-time estimate")
+        scored = [(max(w.busy_until, now) + estimate(w), w.name, w) for w in workers]
+        finite = [t for t in scored if math.isfinite(t[0])]
+        if not finite:
+            # Nothing compiles anywhere at this estimate; let the ladder
+            # sort it out on the least-loaded worker.
+            return min(workers, key=lambda w: (max(w.busy_until, now), w.name))
+        return min(finite)[2]
+
+    def assign(self, worker: PlatformWorker, start: float, duration: float) -> float:
+        """Book ``duration`` modelled seconds on ``worker``; returns finish time."""
+        finish = start + duration
+        worker.busy_until = finish
+        worker.batches += 1
+        worker.busy_seconds += duration
+        return finish
+
+    # ------------------------------------------------------------------
+    @property
+    def total_busy_seconds(self) -> float:
+        return sum(w.busy_seconds for w in self.workers)
+
+    @property
+    def horizon(self) -> float:
+        """Latest modelled finish time across the pool."""
+        return max((w.busy_until for w in self.workers), default=0.0)

@@ -1,0 +1,317 @@
+"""The compression service: plan cache + dynamic batcher + scheduler.
+
+:class:`CompressionService` replays a request trace through the full
+serving path the ROADMAP's "millions of users" north star needs:
+
+1. requests coalesce per service key in the :class:`DynamicBatcher`;
+2. each flushed batch picks a platform instance via the
+   :class:`Scheduler` (modelled-time cost signal);
+3. execution goes through a per-batch :class:`ResilientCompressor`
+   bound to the shared :class:`CompiledPlanCache`, so compiles amortize
+   across the whole fleet while PR 1's retry / ladder / device-loss
+   failover still guard every run;
+4. modelled clocks advance by the analytical timing model, producing a
+   deterministic :class:`ServerStats` snapshot.
+
+Numerics are real: every batch runs the actual NumPy compressor, and the
+zero-padded tail is sliced off, so per-image outputs are bit-identical to
+the unbatched path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.compiler import PlanKey, compile_program
+from repro.core.api import make_compressor
+from repro.core.dct import DEFAULT_BLOCK
+from repro.errors import CompileError, ConfigError, DeviceError, DeviceLostError
+from repro.resilience import LadderPolicy, ResilientCompressor, RetryPolicy
+from repro.resilience.log import RecoveryLog
+from repro.serve.batcher import Batch, DynamicBatcher, Request
+from repro.serve.plan_cache import CompiledPlanCache
+from repro.serve.scheduler import PlatformWorker, Scheduler
+from repro.serve.stats import ServerStats
+from repro.tensor import Tensor
+
+
+@dataclass
+class Response:
+    """One served request: the compressed plane plus modelled timing."""
+
+    request: Request
+    output: np.ndarray
+    platform: str
+    start: float
+    finish: float
+    degraded: bool = False
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish - self.request.arrival
+
+
+@dataclass
+class FailedRequest:
+    """A request no live platform could serve."""
+
+    request: Request
+    error: Exception
+
+
+class CompressionService:
+    """Serve single-image compression requests at scale (modelled time)."""
+
+    def __init__(
+        self,
+        platforms: tuple[str, ...] = ("ipu", "a100"),
+        *,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        policy: str = "least-loaded",
+        cache: CompiledPlanCache | None = None,
+        cache_capacity: int = 64,
+        retry: RetryPolicy | None = None,
+        ladder: LadderPolicy | None = None,
+        log: RecoveryLog | None = None,
+        max_failovers: int = 3,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+        self.cache = cache if cache is not None else CompiledPlanCache(cache_capacity)
+        self.batcher = DynamicBatcher(max_batch=max_batch, max_wait=max_wait)
+        self.scheduler = Scheduler(tuple(platforms), policy=policy)
+        self.retry = retry if retry is not None else RetryPolicy(sleep=lambda _s: None)
+        self.ladder = ladder if ladder is not None else LadderPolicy()
+        # Explicit None check: an empty RecoveryLog is falsy (it has __len__).
+        self.log = log if log is not None else RecoveryLog()
+        self.max_failovers = max_failovers
+        self._dead: set[str] = set()
+        self._n_batches = 0
+        self._n_failovers = 0
+
+    # ------------------------------------------------------------------
+    def process(self, requests) -> tuple[list[Response], ServerStats]:
+        """Replay a trace; returns per-request responses plus statistics."""
+        reqs = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        responses: list[Response] = []
+        failures: list[FailedRequest] = []
+        max_depth = 0
+        for req in reqs:
+            for batch in self.batcher.due(req.arrival):
+                self._dispatch(batch, responses, failures)
+            full = self.batcher.add(req)
+            max_depth = max(max_depth, self.batcher.depth)
+            if full is not None:
+                self._dispatch(full, responses, failures)
+        for batch in self.batcher.flush():
+            self._dispatch(batch, responses, failures)
+        return responses, self._snapshot(reqs, responses, failures, max_depth)
+
+    # ------------------------------------------------------------------
+    def _ladder_policy(self) -> LadderPolicy:
+        base = self.ladder
+        return LadderPolicy(
+            allow_ps=base.allow_ps,
+            ps_factors=base.ps_factors,
+            allow_shard=base.allow_shard,
+            allow_fallback=base.allow_fallback,
+            fallback_platforms=base.fallback_platforms,
+            exclude_platforms=tuple(set(base.exclude_platforms) | self._dead),
+        )
+
+    def _estimate_batch_seconds(self, platform: str, key) -> float:
+        """Modelled seconds for one ``max_batch`` run on ``platform``.
+
+        The fastest-finish cost signal; shares :class:`PlanKey` identity
+        with the ladder's "original" attempt, so estimation warms the
+        same cache execution reads from.  ``inf`` when the platform's
+        toolchain rejects the plan.
+        """
+        shape = (self.max_batch, key.channels, key.height, key.width)
+        plan_key = PlanKey.for_compressor(
+            platform, shape,
+            method=key.method, cf=key.cf, s=key.s, block=key.block, direction="compress",
+        )
+        comp = make_compressor(
+            key.height, key.width, method=key.method, cf=key.cf, s=key.s, block=key.block
+        )
+        try:
+            program = self.cache.get_or_compile(
+                plan_key,
+                lambda: compile_program(
+                    comp.compress,
+                    np.zeros(shape, np.float32),
+                    platform,
+                    name=f"{key.method}-compress-{platform}",
+                    key=plan_key,
+                ),
+            )
+        except CompileError:
+            return math.inf
+        return program.estimated_time()
+
+    def _worker_for(self, platform: str, now: float) -> PlatformWorker | None:
+        candidates = [w for w in self.scheduler.alive() if w.platform == platform]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: (max(w.busy_until, now), w.name))
+
+    def _dispatch(
+        self,
+        batch: Batch,
+        responses: list[Response],
+        failures: list[FailedRequest],
+    ) -> None:
+        now = batch.formed_at
+        key = batch.key
+        try:
+            worker = self.scheduler.pick(
+                now, estimate=lambda w: self._estimate_batch_seconds(w.platform, key)
+            )
+        except DeviceLostError as exc:
+            failures.extend(FailedRequest(r, exc) for r in batch.requests)
+            return
+        rc = ResilientCompressor(
+            key.height,
+            key.width,
+            platform=worker.platform,
+            method=key.method,
+            cf=key.cf,
+            s=key.s,
+            block=key.block,
+            batch=self.max_batch,
+            channels=key.channels,
+            retry=self.retry,
+            ladder=self._ladder_policy(),
+            log=self.log,
+            max_failovers=self.max_failovers,
+            plan_cache=self.cache,
+        )
+        try:
+            out = rc.compress(batch.padded(self.max_batch))
+            resolved = rc.compile("compress")
+        except (CompileError, DeviceError) as exc:
+            self._note_dead(rc)
+            failures.extend(FailedRequest(r, exc) for r in batch.requests)
+            return
+        self._note_dead(rc)
+        self._n_batches += 1
+        # Book modelled time on an instance of the platform that actually
+        # ran (failover / fallback may have moved off the picked worker).
+        exec_worker = self._worker_for(resolved.attempt.platform, now) or worker
+        duration = resolved.program.estimated_time() * resolved.attempt.n_devices
+        start = max(now, exec_worker.busy_until)
+        finish = self.scheduler.assign(exec_worker, start, duration)
+        arr = out.numpy()
+        for i, req in enumerate(batch.requests):
+            responses.append(
+                Response(
+                    request=req,
+                    output=arr[i],
+                    platform=resolved.attempt.platform,
+                    start=start,
+                    finish=finish,
+                    degraded=resolved.degraded,
+                )
+            )
+
+    def _note_dead(self, rc: ResilientCompressor) -> None:
+        fresh = rc.dead_platforms - self._dead
+        for platform in fresh:
+            self._dead.add(platform)
+            self.scheduler.mark_dead(platform)
+            self._n_failovers += 1
+
+    def _snapshot(self, reqs, responses, failures, max_depth) -> ServerStats:
+        first_arrival = min((r.arrival for r in reqs), default=0.0)
+        last_finish = max((r.finish for r in responses), default=first_arrival)
+        return ServerStats(
+            n_requests=len(reqs),
+            n_failed=len(failures),
+            n_batches=self._n_batches,
+            n_failovers=self._n_failovers,
+            makespan_s=last_finish - first_arrival,
+            busy_s=self.scheduler.total_busy_seconds,
+            latencies_s=[r.latency_s for r in responses],
+            max_queue_depth=max_depth,
+            cache=self.cache.snapshot(),
+            workers=[
+                (w.name, w.batches, w.utilization(last_finish - first_arrival))
+                for w in self.scheduler.workers
+            ],
+            batches_by_platform=self._batches_by_platform(),
+        )
+
+    def _batches_by_platform(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for w in self.scheduler.workers:
+            out[w.platform] = out.get(w.platform, 0) + w.batches
+        return out
+
+    # ------------------------------------------------------------------
+    # Immediate (unbatched) path: what `repro.core.api` routes through
+    # when a service is installed.  Uses the shared plan cache but skips
+    # the queue — the caller wants an answer now, at its own shape.
+    def compress_one(
+        self,
+        x,
+        *,
+        method: str = "dc",
+        cf: int = 4,
+        s: int = 2,
+        block: int = DEFAULT_BLOCK,
+        platform: str | None = None,
+    ) -> Tensor:
+        arr = x.numpy() if isinstance(x, Tensor) else np.asarray(x, dtype=np.float32)
+        comp = make_compressor(
+            arr.shape[-2], arr.shape[-1], method=method, cf=cf, s=s, block=block
+        )
+        return self._run_one(comp.compress, arr, method, cf, s, block, "compress", platform)
+
+    def decompress_one(
+        self,
+        y,
+        original_shape: tuple[int, ...],
+        *,
+        method: str = "dc",
+        cf: int = 4,
+        s: int = 2,
+        block: int = DEFAULT_BLOCK,
+        platform: str | None = None,
+    ) -> Tensor:
+        arr = y.numpy() if isinstance(y, Tensor) else np.asarray(y, dtype=np.float32)
+        comp = make_compressor(
+            original_shape[-2], original_shape[-1], method=method, cf=cf, s=s, block=block
+        )
+        return self._run_one(comp.decompress, arr, method, cf, s, block, "decompress", platform)
+
+    def _run_one(self, fn, arr, method, cf, s, block, direction, platform) -> Tensor:
+        if platform is None:
+            alive = self.scheduler.alive()
+            if not alive:
+                raise DeviceLostError("no live platform instances remain")
+            platform = alive[0].platform
+        plan_key = PlanKey.for_compressor(
+            platform, arr.shape, method=method, cf=cf, s=s, block=block, direction=direction
+        )
+        try:
+            program = self.cache.get_or_compile(
+                plan_key,
+                lambda: compile_program(
+                    fn,
+                    np.zeros(arr.shape, np.float32),
+                    platform,
+                    name=f"{method}-{direction}-{platform}",
+                    key=plan_key,
+                ),
+            )
+        except CompileError:
+            # The host always runs the program eagerly; serving must not
+            # make a previously-working call path start failing.
+            return fn(Tensor(arr))
+        return program.run(arr).output

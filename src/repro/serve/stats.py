@@ -1,0 +1,96 @@
+"""Serving statistics snapshot.
+
+Everything a load test wants to read off one trace replay: request and
+batch counts, modelled throughput and latency percentiles, queue
+pressure, plan-cache effectiveness, and per-worker utilization.  All
+times come from the analytical timing model, so two runs of the same
+trace produce the same table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.plan_cache import CacheStats
+
+
+def percentile(values, q: float) -> float:
+    """Deterministic nearest-rank percentile (0 for an empty series)."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q, method="lower"))
+
+
+@dataclass
+class ServerStats:
+    """One trace replay, summarized."""
+
+    n_requests: int = 0
+    n_failed: int = 0
+    n_batches: int = 0
+    n_failovers: int = 0
+    makespan_s: float = 0.0            # first arrival -> last modelled finish
+    busy_s: float = 0.0                # summed modelled batch time across workers
+    latencies_s: list[float] = field(default_factory=list, repr=False)
+    max_queue_depth: int = 0
+    cache: CacheStats | None = None
+    workers: list[tuple[str, int, float]] = field(default_factory=list)  # (name, batches, util)
+    batches_by_platform: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ok(self) -> int:
+        return self.n_requests - self.n_failed
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per modelled second of wall time."""
+        return self.n_ok / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.n_ok / self.n_batches if self.n_batches else 0.0
+
+    @property
+    def p50_latency_s(self) -> float:
+        return percentile(self.latencies_s, 50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return percentile(self.latencies_s, 95)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate if self.cache is not None else 0.0
+
+    # ------------------------------------------------------------------
+    def format_table(self) -> str:
+        rows = [
+            ("requests", f"{self.n_requests} ({self.n_failed} failed)"),
+            ("batches", f"{self.n_batches} (mean size {self.mean_batch_size:.2f})"),
+            ("failovers", str(self.n_failovers)),
+            ("makespan", f"{self.makespan_s * 1e3:.3f} ms modelled"),
+            ("device busy time", f"{self.busy_s * 1e3:.3f} ms modelled"),
+            ("throughput", f"{self.throughput_rps:,.0f} req/s modelled"),
+            (
+                "latency p50 / p95",
+                f"{self.p50_latency_s * 1e3:.3f} / {self.p95_latency_s * 1e3:.3f} ms modelled",
+            ),
+            ("max queue depth", str(self.max_queue_depth)),
+        ]
+        if self.cache is not None:
+            c = self.cache
+            rows.append(
+                (
+                    "plan cache",
+                    f"{c.hits} hits / {c.misses} misses / {c.evictions} evictions "
+                    f"({c.hit_rate:.1%} hit rate, {c.size}/{c.capacity} plans)",
+                )
+            )
+        for name, batches, util in self.workers:
+            rows.append((f"worker {name}", f"{batches} batches, {util:.1%} busy"))
+        width = max(len(label) for label, _ in rows)
+        lines = ["serving stats"] + [f"  {label:<{width}}  {value}" for label, value in rows]
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Synthetic request traces for load-testing the serving layer.
+
+A trace is a list of single-image :class:`~repro.serve.batcher.Request`
+objects with Poisson arrivals and configurations drawn from a small
+menu, mimicking a production mix where a handful of (resolution, CF)
+combinations dominate — which is what makes plan caching pay off.
+Everything is seeded, so the serve demo and CI replay identical traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dct import DEFAULT_BLOCK
+from repro.errors import ConfigError
+from repro.serve.batcher import Request
+
+
+def synthetic_trace(
+    n: int = 1000,
+    *,
+    seed: int = 0,
+    resolutions: tuple[int, ...] = (32, 64),
+    channels: int = 3,
+    cfs: tuple[int, ...] = (2, 4),
+    methods: tuple[str, ...] = ("dc",),
+    s_factors: tuple[int, ...] = (2,),
+    rate: float = 2000.0,
+    block: int = DEFAULT_BLOCK,
+) -> list[Request]:
+    """Generate ``n`` seeded requests with exponential inter-arrival gaps.
+
+    ``rate`` is the mean arrival rate in requests per modelled second.
+    Each request draws (resolution, cf, method) independently; ``s`` only
+    matters for ``ps`` requests.
+    """
+    if n < 1:
+        raise ConfigError(f"trace length must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+    requests = []
+    for i in range(n):
+        res = int(rng.choice(resolutions))
+        method = str(rng.choice(methods))
+        requests.append(
+            Request(
+                rid=i,
+                image=rng.standard_normal((channels, res, res)).astype(np.float32),
+                arrival=float(arrivals[i]),
+                method=method,
+                cf=int(rng.choice(cfs)),
+                s=int(rng.choice(s_factors)) if method == "ps" else 2,
+                block=block,
+            )
+        )
+    return requests

@@ -1,0 +1,92 @@
+"""Plan reuse across the resilience layer (the serving-path fix).
+
+Before this existed, every `ResilientCompressor` construction re-ran the
+full degradation ladder — re-tracing programs that an identical
+configuration had already compiled.  With a shared `CompiledPlanCache`
+(or a `preresolved` LadderResult) the walk replays from cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.resilience import RecoveryLog, ResilientCompressor, compile_with_ladder
+from repro.serve import CompiledPlanCache
+
+
+class TestLadderCache:
+    def test_second_walk_is_all_hits(self):
+        cache = CompiledPlanCache()
+        compile_with_ladder(32, platform="ipu", batch=4, channels=1, cache=cache)
+        misses = cache.misses
+        result = compile_with_ladder(32, platform="ipu", batch=4, channels=1, cache=cache)
+        assert cache.misses == misses      # nothing re-traced
+        assert cache.hits >= 1
+        assert result.attempt.rung == "original"
+
+    def test_failed_rungs_are_remembered(self):
+        # SN30 at 512x512 OOMs on the original rung, then degrades to PS.
+        cache = CompiledPlanCache()
+        r1 = compile_with_ladder(512, platform="sn30", batch=4, channels=1, cache=cache)
+        assert r1.attempt.rung == "ps"
+        misses = cache.misses
+        log = RecoveryLog()
+        r2 = compile_with_ladder(
+            512, platform="sn30", batch=4, channels=1, cache=cache, log=log
+        )
+        assert r2.attempt.rung == "ps"
+        assert cache.misses == misses
+        # The cached rejection still shows up in the audit trail.
+        assert any("cached" in e.detail for e in log.by_action("fault"))
+
+    def test_cached_and_fresh_walks_agree(self):
+        cache = CompiledPlanCache()
+        fresh = compile_with_ladder(512, platform="sn30", batch=4, channels=1)
+        cached_setup = compile_with_ladder(
+            512, platform="sn30", batch=4, channels=1, cache=cache
+        )
+        replay = compile_with_ladder(512, platform="sn30", batch=4, channels=1, cache=cache)
+        assert fresh.attempt == cached_setup.attempt == replay.attempt
+        x = np.random.default_rng(0).standard_normal((4, 1, 512, 512)).astype(np.float32)
+        assert np.array_equal(
+            fresh.program.run(x).output.numpy(), replay.program.run(x).output.numpy()
+        )
+
+
+class TestResilientCompressorReuse:
+    def test_plan_cache_spans_constructions(self):
+        cache = CompiledPlanCache()
+        shape = (4, 1, 32, 32)
+        x = np.zeros(shape, np.float32)
+        rc1 = ResilientCompressor(32, platform="ipu", batch=4, channels=1, plan_cache=cache)
+        rc1.compress(x)
+        misses = cache.misses
+        rc2 = ResilientCompressor(32, platform="ipu", batch=4, channels=1, plan_cache=cache)
+        rc2.compress(x)
+        assert cache.misses == misses
+        # Same compiled plan object, not a recompile.
+        assert rc1.compile("compress").program is rc2.compile("compress").program
+
+    def test_preresolved_skips_the_ladder_entirely(self):
+        cache = CompiledPlanCache()
+        rc1 = ResilientCompressor(32, platform="ipu", batch=4, channels=1, plan_cache=cache)
+        resolved = rc1.compile("compress")
+        rc2 = ResilientCompressor(
+            32, platform="ipu", batch=4, channels=1, preresolved=resolved
+        )
+        assert rc2.resolved is resolved.attempt
+        assert rc2.compile("compress") is resolved
+        out = rc2.compress(np.zeros((4, 1, 32, 32), np.float32))
+        assert out.shape[0] == 4
+
+    def test_decompress_pins_to_preresolved_compress(self):
+        rc1 = ResilientCompressor(512, platform="sn30", batch=2, channels=1)
+        resolved = rc1.compile("compress")
+        assert resolved.attempt.rung == "ps"
+        rc2 = ResilientCompressor(
+            512, platform="sn30", batch=2, channels=1, preresolved=resolved
+        )
+        dec = rc2.compile("decompress")
+        # The decompress side adopts the representation compress chose.
+        assert dec.attempt.method == resolved.attempt.method
+        assert dec.attempt.s == resolved.attempt.s

@@ -1,0 +1,97 @@
+"""DynamicBatcher: coalescing, flush policies, tail padding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.serve import DynamicBatcher, Request
+
+
+def req(rid: int, *, arrival: float = 0.0, res: int = 16, cf: int = 4, channels: int = 1):
+    rng = np.random.default_rng(rid)
+    return Request(
+        rid=rid,
+        image=rng.standard_normal((channels, res, res)).astype(np.float32),
+        arrival=arrival,
+        cf=cf,
+    )
+
+
+class TestCoalescing:
+    def test_same_key_requests_share_a_group(self):
+        b = DynamicBatcher(max_batch=4)
+        assert b.add(req(0)) is None
+        assert b.add(req(1)) is None
+        assert b.depth == 2
+
+    def test_different_keys_do_not_coalesce(self):
+        b = DynamicBatcher(max_batch=2)
+        b.add(req(0, cf=2))
+        assert b.add(req(1, cf=4)) is None   # different cf -> different plan
+        assert b.add(req(2, res=32)) is None  # different resolution
+        assert b.depth == 3
+
+    def test_full_group_flushes_immediately(self):
+        b = DynamicBatcher(max_batch=2)
+        b.add(req(0, arrival=1.0))
+        batch = b.add(req(1, arrival=1.5))
+        assert batch is not None
+        assert [r.rid for r in batch.requests] == [0, 1]
+        assert batch.formed_at == 1.5  # the arrival that completed it
+        assert b.depth == 0
+
+
+class TestDeadlines:
+    def test_due_respects_max_wait(self):
+        b = DynamicBatcher(max_batch=8, max_wait=0.01)
+        b.add(req(0, arrival=0.0))
+        assert b.due(0.005) == []
+        (batch,) = b.due(0.011)
+        assert batch.formed_at == pytest.approx(0.01)  # deadline, not poll time
+
+    def test_due_only_flushes_expired_groups(self):
+        b = DynamicBatcher(max_batch=8, max_wait=0.01)
+        b.add(req(0, arrival=0.0, cf=2))
+        b.add(req(1, arrival=0.008, cf=4))
+        batches = b.due(0.012)
+        assert len(batches) == 1 and batches[0].requests[0].rid == 0
+        assert b.depth == 1
+
+    def test_flush_drains_everything(self):
+        b = DynamicBatcher(max_batch=8, max_wait=0.01)
+        b.add(req(0, cf=2))
+        b.add(req(1, cf=4))
+        assert len(b.flush()) == 2
+        assert b.depth == 0 and b.flush() == []
+
+
+class TestPadding:
+    def test_tail_batch_zero_pads(self):
+        b = DynamicBatcher(max_batch=4)
+        b.add(req(0))
+        b.add(req(1))
+        (batch,) = b.flush()
+        padded = batch.padded(4)
+        assert padded.shape == (4, 1, 16, 16)
+        assert np.array_equal(padded[0], batch.requests[0].image)
+        assert np.array_equal(padded[1], batch.requests[1].image)
+        assert not padded[2:].any()
+
+    def test_padding_rejects_overflow(self):
+        b = DynamicBatcher(max_batch=4)
+        b.add(req(0))
+        (batch,) = b.flush()
+        with pytest.raises(ShapeError):
+            batch.padded(0)
+
+
+class TestValidation:
+    def test_bad_policy_knobs(self):
+        with pytest.raises(ConfigError):
+            DynamicBatcher(max_batch=0)
+        with pytest.raises(ConfigError):
+            DynamicBatcher(max_wait=-1.0)
+
+    def test_request_must_be_chw(self):
+        with pytest.raises(ShapeError):
+            Request(rid=0, image=np.zeros((16, 16), np.float32))

@@ -1,0 +1,49 @@
+"""The serve-demo CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestServeDemo:
+    def test_small_replay_passes_all_checks(self, capsys):
+        # Few requests means few batches, so relax the hit-rate floor the
+        # acceptance run (1000 requests) holds at 90%.
+        code = main(
+            [
+                "serve-demo",
+                "--requests", "160",
+                "--seed", "3",
+                "--max-batch", "8",
+                "--min-hit-rate", "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving stats" in out
+        assert "plan cache" in out
+        assert "all checks passed" in out
+        assert "0 failed" in out
+
+    def test_fastest_finish_policy(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--requests", "120",
+                "--policy", "fastest-finish",
+                "--platforms", "ipu,a100",
+                "--min-hit-rate", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_empty_platform_list_is_rejected(self, capsys):
+        assert main(["serve-demo", "--platforms", ",", "--requests", "10"]) == 2
+
+    @pytest.mark.slow
+    def test_acceptance_trace(self, capsys):
+        # The ISSUE acceptance run: 1000 requests, >= 90% hit rate,
+        # batching wins, bit-identical outputs.
+        assert main(["serve-demo", "--requests", "1000"]) == 0
+        assert "all checks passed" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""CompiledPlanCache: LRU behaviour, counters, negative caching."""
+
+import numpy as np
+import pytest
+
+from repro.accel import PlanKey, compile_program
+from repro.core import make_compressor
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.serve import CompiledPlanCache
+
+
+def key(i: int, platform: str = "ipu") -> PlanKey:
+    return PlanKey.for_compressor(
+        platform, (2, 3, 32, 32), method="dc", cf=i, s=2, block=8, direction="compress"
+    )
+
+
+def compile_dc(cf: int = 4, batch: int = 2, platform: str = "ipu"):
+    comp = make_compressor(32, cf=cf)
+    return compile_program(
+        comp.compress, np.zeros((batch, 3, 32, 32), np.float32), platform
+    )
+
+
+class TestCounters:
+    def test_miss_then_hit(self):
+        cache = CompiledPlanCache(capacity=4)
+        assert cache.get(key(2)) is None
+        cache.put(key(2), compile_dc(cf=2))
+        assert cache.get(key(2)) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_idle_cache_reports_zero_rate(self):
+        assert CompiledPlanCache().snapshot().hit_rate == 0.0
+
+    def test_contains_does_not_count(self):
+        cache = CompiledPlanCache()
+        cache.put(key(2), compile_dc(cf=2))
+        assert key(2) in cache and key(3) not in cache
+        assert cache.hits == cache.misses == 0
+
+
+class TestLRU:
+    def test_capacity_bound_and_eviction_order(self):
+        cache = CompiledPlanCache(capacity=2)
+        program = compile_dc()
+        cache.put(key(1), program)
+        cache.put(key(2), program)
+        cache.get(key(1))            # refresh key(1); key(2) is now LRU
+        cache.put(key(3), program)   # evicts key(2)
+        assert len(cache) == 2
+        assert key(2) not in cache
+        assert key(1) in cache and key(3) in cache
+        assert cache.evictions == 1
+
+    def test_clear_keeps_counters(self):
+        cache = CompiledPlanCache()
+        cache.put(key(1), compile_dc())
+        cache.get(key(1))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            CompiledPlanCache(capacity=0)
+
+
+class TestGetOrCompile:
+    def test_factory_runs_once(self):
+        cache = CompiledPlanCache()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return compile_dc()
+
+        p1 = cache.get_or_compile(key(4), factory)
+        p2 = cache.get_or_compile(key(4), factory)
+        assert p1 is p2
+        assert len(calls) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_compile_failure_is_cached(self):
+        cache = CompiledPlanCache()
+        calls = []
+
+        def failing():
+            calls.append(1)
+            # GroqChip rejects batches past 1000 (paper Section 4.2.2).
+            comp = make_compressor(64, cf=4)
+            return compile_program(
+                comp.compress, np.zeros((2000, 3, 64, 64), np.float32), "groq"
+            )
+
+        k = PlanKey.for_compressor(
+            "groq", (2000, 3, 64, 64), method="dc", cf=4, s=2, block=8, direction="compress"
+        )
+        with pytest.raises(OutOfMemoryError):
+            cache.get_or_compile(k, failing)
+        with pytest.raises(OutOfMemoryError):
+            cache.get_or_compile(k, failing)
+        # Second rejection came from the cache, not a re-trace.
+        assert len(calls) == 1
+        assert cache.hits == 1

@@ -1,0 +1,92 @@
+"""Scheduler: dispatch policies, booking, device loss."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError, DeviceLostError
+from repro.serve import Scheduler
+
+
+class TestLeastLoaded:
+    def test_picks_idle_worker(self):
+        sched = Scheduler(("ipu", "a100"))
+        w = sched.pick(0.0)
+        sched.assign(w, 0.0, 1.0)
+        assert sched.pick(0.0) is not w
+
+    def test_balances_across_duplicate_instances(self):
+        sched = Scheduler(("ipu", "ipu", "ipu"))
+        assert [w.name for w in sched.workers] == ["ipu:0", "ipu:1", "ipu:2"]
+        picked = []
+        for _ in range(3):
+            w = sched.pick(0.0)
+            sched.assign(w, 0.0, 1.0)
+            picked.append(w.name)
+        assert sorted(picked) == ["ipu:0", "ipu:1", "ipu:2"]
+
+
+class TestFastestFinish:
+    def test_prefers_lower_estimate(self):
+        sched = Scheduler(("ipu", "a100"), policy="fastest-finish")
+        est = {"ipu": 0.5, "a100": 0.1}
+        w = sched.pick(0.0, estimate=lambda w: est[w.platform])
+        assert w.platform == "a100"
+
+    def test_busy_horizon_can_beat_raw_speed(self):
+        sched = Scheduler(("ipu", "a100"), policy="fastest-finish")
+        est = {"ipu": 0.5, "a100": 0.1}
+        fast = sched.pick(0.0, estimate=lambda w: est[w.platform])
+        sched.assign(fast, 0.0, 10.0)  # a100 deeply backlogged
+        assert sched.pick(0.0, estimate=lambda w: est[w.platform]).platform == "ipu"
+
+    def test_infinite_estimates_fall_back_to_least_loaded(self):
+        sched = Scheduler(("ipu", "a100"), policy="fastest-finish")
+        w = sched.pick(0.0, estimate=lambda _w: math.inf)
+        assert w is not None  # the degradation ladder gets to try
+
+    def test_estimate_is_required(self):
+        sched = Scheduler(("ipu",), policy="fastest-finish")
+        with pytest.raises(ConfigError):
+            sched.pick(0.0)
+
+
+class TestBooking:
+    def test_assign_advances_busy_horizon(self):
+        sched = Scheduler(("ipu",))
+        w = sched.workers[0]
+        assert sched.assign(w, 1.0, 0.5) == 1.5
+        assert w.busy_until == 1.5 and w.batches == 1 and w.busy_seconds == 0.5
+        assert sched.total_busy_seconds == 0.5
+        assert sched.horizon == 1.5
+
+    def test_utilization(self):
+        sched = Scheduler(("ipu",))
+        sched.assign(sched.workers[0], 0.0, 0.25)
+        assert sched.workers[0].utilization(1.0) == pytest.approx(0.25)
+
+
+class TestDeviceLoss:
+    def test_dead_platform_is_skipped(self):
+        sched = Scheduler(("ipu", "a100"))
+        sched.mark_dead("ipu")
+        for _ in range(3):
+            w = sched.pick(0.0)
+            sched.assign(w, 0.0, 1.0)
+            assert w.platform == "a100"
+
+    def test_all_dead_raises(self):
+        sched = Scheduler(("ipu",))
+        sched.mark_dead("ipu")
+        with pytest.raises(DeviceLostError):
+            sched.pick(0.0)
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            Scheduler(("ipu",), policy="round-robin")
+
+    def test_empty_pool(self):
+        with pytest.raises(ConfigError):
+            Scheduler(())
