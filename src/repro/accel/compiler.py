@@ -32,8 +32,9 @@ from repro.accel.opsupport import supported_ops
 from repro.accel.perf import TimingBreakdown, estimate_time
 from repro.accel.registry import get_platform
 from repro.accel.spec import AcceleratorSpec, MB
-from repro.errors import OutOfMemoryError, ShapeError, UnsupportedOperatorError
+from repro.errors import CompileError, OutOfMemoryError, ShapeError, UnsupportedOperatorError
 from repro.faults import fire_fault
+from repro.obs.metrics import get_registry
 from repro.tensor import Tensor, no_grad
 
 
@@ -194,7 +195,17 @@ class CompiledProgram:
             out = self.fn(*arrays)
         wall = time.perf_counter() - start
         self._runs += 1
-        return RunResult(output=out, timing=estimate_time(self.cost, self.spec), wall_seconds=wall)
+        timing = estimate_time(self.cost, self.spec)
+        reg = get_registry()
+        reg.counter(
+            "repro_program_runs_total", help="compiled-program executions, by platform"
+        ).inc(platform=self.spec.name)
+        reg.counter(
+            "repro_device_modelled_seconds_total",
+            help="modelled device seconds booked by program runs",
+            unit="s",
+        ).inc(timing.total, platform=self.spec.name)
+        return RunResult(output=out, timing=timing, wall_seconds=wall)
 
     @property
     def runs(self) -> int:
@@ -222,14 +233,22 @@ def compile_program(
     that memoizing callers can index on.
     """
     spec = platform if isinstance(platform, AcceleratorSpec) else get_platform(platform)
-    fire_fault("compile", platform=spec.name)
-    if not isinstance(example_inputs, (list, tuple)):
-        example_inputs = (example_inputs,)
-    graph = trace(fn, *example_inputs)
-    cost = cost_of_graph(graph)
-    _check_operators(graph, spec)
-    _check_matmul_unit(cost, spec)
-    _check_memory(cost, spec)
+    compiles = get_registry().counter(
+        "repro_compiles_total", help="toolchain compile attempts, by platform and status"
+    )
+    try:
+        fire_fault("compile", platform=spec.name)
+        if not isinstance(example_inputs, (list, tuple)):
+            example_inputs = (example_inputs,)
+        graph = trace(fn, *example_inputs)
+        cost = cost_of_graph(graph)
+        _check_operators(graph, spec)
+        _check_matmul_unit(cost, spec)
+        _check_memory(cost, spec)
+    except CompileError:
+        compiles.inc(platform=spec.name, status="rejected")
+        raise
+    compiles.inc(platform=spec.name, status="ok")
     if key is None:
         key = PlanKey(platform=spec.name, input_shapes=graph.input_shapes, name=name)
     return CompiledProgram(fn=fn, graph=graph, cost=cost, spec=spec, name=name, key=key)

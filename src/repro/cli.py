@@ -24,7 +24,17 @@ Commands
     Replay a seeded synthetic request trace through the serving layer
     (plan cache + dynamic batcher + scheduler), print the stats table,
     and verify cache hit rate, batching speedup, and bit-identity
-    against the unbatched path.
+    against the unbatched path.  ``--trace-out PATH`` additionally
+    attaches a :class:`~repro.obs.trace.Tracer` and writes every
+    request's span tree as JSONL; ``--metrics-out PATH`` dumps the
+    metrics registry in Prometheus text format.
+``obs-report``
+    Render a per-stage latency / byte breakdown from a trace JSONL file
+    written by ``serve-demo --trace-out``.
+
+Global flags: ``--quiet`` suppresses informational diagnostics,
+``--verbose`` enables debug-level ones (both route through
+:mod:`repro.obs.log`).
 """
 
 from __future__ import annotations
@@ -341,6 +351,11 @@ def _cmd_serve_demo(args) -> int:
     if not platforms:
         print("error: --platforms must name at least one platform", file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer(seed=args.seed)
     trace = synthetic_trace(args.requests, seed=args.seed)
     service = CompressionService(
         platforms,
@@ -348,6 +363,7 @@ def _cmd_serve_demo(args) -> int:
         max_wait=args.max_wait,
         policy=args.policy,
         cache_capacity=args.cache_capacity,
+        tracer=tracer,
     )
     print(
         f"replaying {args.requests} requests (seed {args.seed}) on "
@@ -397,12 +413,86 @@ def _cmd_serve_demo(args) -> int:
         ("dynamic batching reduces modelled device time", stats.busy_s < seq_stats.busy_s),
         (f"per-image outputs bit-identical ({mismatches} mismatches)", mismatches == 0),
     ]
+
+    if tracer is not None:
+        from pathlib import Path
+
+        from repro.obs import validate_trace
+
+        by_tid = {r.trace_id: r for r in responses}
+        bad_trees = bad_sums = 0
+        for tid in tracer.trace_ids():
+            try:
+                validate_trace(tracer, tid)
+            except ConfigError:
+                bad_trees += 1
+                continue
+            resp = by_tid.get(tid)
+            if resp is None:
+                continue
+            leaf_sum = sum(s.duration for s in tracer.leaves(tid))
+            if abs(leaf_sum - resp.latency_s) > 1e-9:
+                bad_sums += 1
+        checks.append(
+            (f"span trees valid ({bad_trees} invalid)", bad_trees == 0)
+        )
+        checks.append(
+            (
+                f"leaf span durations sum to reported latency ({bad_sums} mismatches)",
+                bad_sums == 0,
+            )
+        )
+
+        # Zero-overhead guard: an untraced replay of the same trace must be
+        # bit-identical — tracing may observe the modelled clock, never move it.
+        untraced = CompressionService(
+            platforms,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            policy=args.policy,
+            cache_capacity=args.cache_capacity,
+        )
+        plain_responses, plain_stats = untraced.process(
+            synthetic_trace(args.requests, seed=args.seed)
+        )
+        identical = len(plain_responses) == len(responses) and all(
+            np.array_equal(a.output, b.output)
+            and a.start == b.start
+            and a.finish == b.finish
+            and a.platform == b.platform
+            for a, b in zip(responses, plain_responses)
+        ) and plain_stats.latencies_s == stats.latencies_s
+        checks.append(("tracing is zero-overhead (untraced replay identical)", identical))
+
+        out = Path(args.trace_out)
+        tracer.to_jsonl(out)
+        print(
+            f"\nwrote {len(tracer.trace_ids())} traces to {out} "
+            f"(render with: repro obs-report {out})"
+        )
+
+    if args.metrics_out:
+        from pathlib import Path
+
+        from repro.obs import get_registry
+
+        Path(args.metrics_out).write_text(get_registry().render_prometheus())
+        print(f"wrote metrics registry to {args.metrics_out}")
     print()
     for label, ok in checks:
         print(f"  [{'ok' if ok else 'FAIL'}] {label}")
     passed = all(ok for _, ok in checks)
     print("serve demo:", "all checks passed" if passed else "FAILED")
     return 0 if passed else 1
+
+
+@_guarded
+def _cmd_obs_report(args) -> int:
+    from repro.obs import format_report, load_trace, render_report
+
+    spans, events = load_trace(args.trace)
+    print(format_report(render_report(spans, events)))
+    return 0
 
 
 def _cmd_autotune(args) -> int:
@@ -443,6 +533,13 @@ def _cmd_inspect(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--quiet", action="store_true", help="suppress informational diagnostics"
+    )
+    verbosity.add_argument(
+        "--verbose", action="store_true", help="enable debug-level diagnostics"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table", help="print a paper table")
@@ -522,13 +619,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="least-loaded", choices=("least-loaded", "fastest-finish"))
     p.add_argument("--cache-capacity", type=int, default=64)
     p.add_argument("--min-hit-rate", type=float, default=0.9)
+    p.add_argument(
+        "--trace-out",
+        help="attach a tracer and write every request's span tree as JSONL",
+    )
+    p.add_argument(
+        "--metrics-out",
+        help="dump the metrics registry in Prometheus text format",
+    )
     p.set_defaults(fn=_cmd_serve_demo)
+
+    p = sub.add_parser(
+        "obs-report",
+        help="per-stage latency/byte breakdown from a serve-demo trace file",
+    )
+    p.add_argument("trace", help="JSONL trace written by serve-demo --trace-out")
+    p.set_defaults(fn=_cmd_obs_report)
 
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.quiet or args.verbose:
+        from repro.obs.log import set_verbosity
+
+        set_verbosity("quiet" if args.quiet else "verbose")
     return args.fn(args)
 
 

@@ -25,6 +25,7 @@ from repro.core import flops as flops_mod
 from repro.core.dct import DEFAULT_BLOCK, block_diagonal_dct
 from repro.core.mask import chop_mask
 from repro.errors import ConfigError, ShapeError
+from repro.obs.profile import profiled
 from repro.tensor import Tensor
 
 
@@ -163,12 +164,14 @@ class DCTChopCompressor:
                 "compile time on all target accelerators)"
             )
 
+    @profiled("core.dc.compress", matmuls=2)
     def compress(self, x) -> Tensor:
         """``Y = LHS @ A @ RHS`` over every leading batch/channel dim."""
         x = x if isinstance(x, Tensor) else Tensor(x)
         self._check_plane(x.shape)
         return rt.matmul(self._lhs, rt.matmul(x, self._rhs))
 
+    @profiled("core.dc.decompress", matmuls=2)
     def decompress(self, y) -> Tensor:
         """``A' = RHS_d @ Y @ LHS_d`` (Eq. 6)."""
         y = y if isinstance(y, Tensor) else Tensor(y)

@@ -30,7 +30,6 @@ from __future__ import annotations
 import io
 import json
 import struct
-import warnings
 import zlib
 from pathlib import Path
 
@@ -39,6 +38,8 @@ import numpy as np
 from repro.core.api import Compressor, make_compressor
 from repro.errors import ConfigError, IntegrityError
 from repro.faults import corrupt_payload
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
 from repro.tensor import Tensor
 
 MAGIC = b"DCZ2"
@@ -118,7 +119,15 @@ def pack(x, comp: Compressor, *, payload_dtype: str = "float32") -> bytes:
     buf.write(_LEN.pack(len(header_bytes)))
     buf.write(header_bytes)
     buf.write(payload)
-    return corrupt_payload(buf.getvalue())
+    blob = corrupt_payload(buf.getvalue())
+    reg = get_registry()
+    reg.counter(
+        "repro_container_bytes_in_total", help="uncompressed bytes packed into containers"
+    ).inc(arr.nbytes)
+    reg.counter(
+        "repro_container_bytes_out_total", help="container bytes produced"
+    ).inc(len(blob))
+    return blob
 
 
 def _parse(blob: bytes) -> tuple[dict, bytes, int]:
@@ -163,6 +172,10 @@ def unpack(blob: bytes) -> tuple[np.ndarray, dict]:
     if stored_crc is not None:
         actual = zlib.crc32(payload)
         if actual != stored_crc:
+            get_registry().counter(
+                "repro_container_crc_failures_total",
+                help="containers rejected by checksum validation",
+            ).inc()
             raise IntegrityError(
                 f"payload checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x} "
                 "(file corrupted)"
@@ -170,11 +183,11 @@ def unpack(blob: bytes) -> tuple[np.ndarray, dict]:
     elif version >= 2:
         raise IntegrityError("DCZ2 container is missing its checksum field")
     else:
-        warnings.warn(
+        get_logger().warning(
+            "container.legacy_dcz1",
             "loading a legacy DCZ1 container without a checksum; corruption "
             "cannot be detected — re-save to upgrade to DCZ2",
-            UserWarning,
-            stacklevel=2,
+            version=version,
         )
     header.setdefault("version", version)
     arr = np.frombuffer(payload, dtype=header["dtype"]).reshape(header["compressed_shape"])

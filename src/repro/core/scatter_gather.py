@@ -20,6 +20,7 @@ from repro.core.chop import DCTChopCompressor
 from repro.core.dct import DEFAULT_BLOCK
 from repro.core.mask import triangle_count, triangle_indices
 from repro.errors import ShapeError
+from repro.obs.profile import profiled
 from repro.tensor import Tensor
 
 
@@ -112,6 +113,7 @@ class ScatterGatherCompressor:
     # ------------------------------------------------------------------
     # Compress / decompress
     # ------------------------------------------------------------------
+    @profiled("core.sg.compress")
     def compress(self, x) -> Tensor:
         """DC compress, reshape to blocks, then gather the triangle."""
         x = x if isinstance(x, Tensor) else Tensor(x)
@@ -119,6 +121,7 @@ class ScatterGatherCompressor:
         blocks = self._to_blocks(y)
         return rt.gather(blocks, -1, self._indices_for(x.shape[:-2]))
 
+    @profiled("core.sg.decompress")
     def decompress(self, z) -> Tensor:
         """Scatter the triangle back into CFxCF blocks, then DC decompress."""
         z = z if isinstance(z, Tensor) else Tensor(z)

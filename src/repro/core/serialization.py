@@ -15,6 +15,7 @@ import repro.tensor as rt
 from repro.core.chop import DCTChopCompressor
 from repro.core.dct import DEFAULT_BLOCK
 from repro.errors import ConfigError, ShapeError
+from repro.obs.profile import profiled
 from repro.tensor import Tensor
 
 
@@ -88,6 +89,7 @@ class PartialSerializedCompressor:
             for c in range(self.s):
                 yield r, c, t[..., r * ch : (r + 1) * ch, c * cw : (c + 1) * cw]
 
+    @profiled("core.ps.compress")
     def compress(self, x) -> Tensor:
         """Serially compress each chunk; chunks are reassembled in a grid so
         the compressed tensor keeps the input's spatial arrangement."""
@@ -103,6 +105,7 @@ class PartialSerializedCompressor:
             rows.append(rt.concatenate(row_parts, axis=-1))
         return rt.concatenate(rows, axis=-2)
 
+    @profiled("core.ps.decompress")
     def decompress(self, y) -> Tensor:
         y = y if isinstance(y, Tensor) else Tensor(y)
         self._check(y.shape, self.compressed_height, self.compressed_width)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults.plan import CORRUPTING_KINDS, FaultPlan, FaultSpec
+from repro.obs.metrics import get_registry
 
 _ACTIVE: list["FaultInjector"] = []
 
@@ -100,6 +101,9 @@ class FaultInjector:
                 detail=detail,
             )
         )
+        get_registry().counter(
+            "repro_faults_injected_total", help="faults fired, by site and kind"
+        ).inc(site=site, kind=spec.kind)
 
     def events_seen(self, site: str) -> int:
         return self._counts.get(site, 0)

@@ -1,0 +1,71 @@
+"""Observability layer: tracing, metrics, structured logging, profiling.
+
+The serving layer (PR 2) and resilience layer (PR 1) each grew their own
+ad-hoc counters; ``repro.obs`` replaces them with one deterministic
+stack:
+
+* :class:`Tracer` — structured spans with trace/span IDs from a seeded
+  :class:`IdSource`.  The serving path emits one span tree per request
+  whose leaf durations (from the analytical timing model) sum exactly to
+  the request's reported modelled latency, so "where did the time go —
+  compile, queue, batch wait, device, retry?" has a first-class answer.
+* :class:`MetricsRegistry` — process-wide named counters / gauges /
+  fixed-exponential-bucket histograms that the plan cache, batcher,
+  scheduler, fault injector, ladder, trainer and ``.dcz`` container all
+  report into (one registry instead of three disjoint stats mechanisms).
+* Exporters — a JSONL event sink (:meth:`Tracer.to_jsonl`), a
+  Prometheus-style text dump (:meth:`MetricsRegistry.render_prometheus`),
+  and the ``repro obs-report`` CLI that renders a per-stage latency/byte
+  breakdown from a trace file.
+* :func:`profiled` — opt-in hooks on the DCT/chop/PS hot paths recording
+  matmul-op counts against the registry.
+
+Everything is deterministic: with the same seed, two runs emit
+byte-identical trace files.  With tracing disabled (the default) the
+instrumented paths change nothing — modelled timings and outputs are
+bit-identical to the uninstrumented code.
+
+See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.ids import IdSource
+from repro.obs.log import ObsLogger, get_logger, set_verbosity
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Reservoir,
+    exponential_buckets,
+    get_registry,
+    set_registry,
+)
+from repro.obs.profile import profiled, profiling, profiling_enabled, set_profiling
+from repro.obs.report import format_report, load_trace, render_report
+from repro.obs.trace import Span, TraceEvent, Tracer, validate_trace
+
+__all__ = [
+    "IdSource",
+    "ObsLogger",
+    "get_logger",
+    "set_verbosity",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Reservoir",
+    "exponential_buckets",
+    "get_registry",
+    "set_registry",
+    "profiled",
+    "profiling",
+    "profiling_enabled",
+    "set_profiling",
+    "format_report",
+    "load_trace",
+    "render_report",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "validate_trace",
+]

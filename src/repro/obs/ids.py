@@ -1,0 +1,27 @@
+"""Seeded trace/span ID source.
+
+Real tracing systems mint random 128/64-bit IDs; this repo's north star
+is determinism (CI replays the same trace byte-for-byte), so IDs come
+from a seeded generator instead of ``os.urandom``.  Two :class:`IdSource`
+instances with the same seed issue the same sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class IdSource:
+    """Deterministic hex ID generator for traces and spans."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def trace_id(self) -> str:
+        """A 16-hex-digit trace identifier."""
+        return f"{int(self._rng.integers(0, 2**64, dtype=np.uint64)):016x}"
+
+    def span_id(self) -> str:
+        """A 16-hex-digit span identifier."""
+        return f"{int(self._rng.integers(0, 2**64, dtype=np.uint64)):016x}"

@@ -1,0 +1,123 @@
+"""Structured logger for diagnostics that used to be ad-hoc.
+
+The repo's scattered ``warnings.warn`` / ``print(..., file=sys.stderr)``
+diagnostics route through one :class:`ObsLogger`:
+
+* every record has an event name (dotted, e.g. ``container.legacy_dcz1``)
+  plus structured fields, and is appended to ``logger.records`` so tests
+  can assert on exactly what was reported;
+* ``warning``-level records also go through :mod:`warnings` (keeping
+  ``pytest.warns`` and ``-W error`` workflows intact) unless verbosity is
+  ``quiet``;
+* ``info`` prints to stderr at normal verbosity and above; ``debug`` only
+  under ``verbose``.  The CLI's global ``--quiet`` / ``--verbose`` flags
+  set this via :func:`set_verbosity`.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+VERBOSITIES = ("quiet", "normal", "verbose")
+_LEVELS = {"debug": 10, "info": 20, "warning": 30}
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured diagnostic."""
+
+    level: str           # "debug" | "info" | "warning"
+    event: str           # dotted event name, e.g. "container.legacy_dcz1"
+    message: str
+    fields: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        extra = "".join(f" {k}={v}" for k, v in self.fields.items())
+        return f"[repro] {self.level.upper()} {self.event}: {self.message}{extra}"
+
+
+class ObsLogger:
+    """Structured sink with verbosity gating and a warnings bridge."""
+
+    def __init__(self, verbosity: str = "normal", *, stream=None, keep: int = 1000) -> None:
+        self.set_verbosity(verbosity)
+        self.stream = stream
+        self.keep = keep
+        self.records: list[LogRecord] = []
+
+    # ------------------------------------------------------------------
+    def set_verbosity(self, verbosity: str) -> None:
+        if verbosity not in VERBOSITIES:
+            raise ConfigError(
+                f"unknown verbosity {verbosity!r}; expected one of {VERBOSITIES}"
+            )
+        self.verbosity = verbosity
+
+    def _emits(self, level: str) -> bool:
+        if self.verbosity == "quiet":
+            return False
+        if self.verbosity == "normal":
+            return _LEVELS[level] >= _LEVELS["info"]
+        return True
+
+    def log(self, level: str, event: str, message: str, **fields) -> LogRecord:
+        if level not in _LEVELS:
+            raise ConfigError(f"unknown log level {level!r}")
+        record = LogRecord(level=level, event=event, message=message, fields=fields)
+        self.records.append(record)
+        if len(self.records) > self.keep:
+            del self.records[: len(self.records) - self.keep]
+        if level == "warning":
+            # Bridge into the stdlib warnings machinery so existing
+            # ``pytest.warns`` / filter configurations keep working; the
+            # warning printer is the output channel, so no stderr double
+            # print.  ``stacklevel=3`` points at the instrumented caller.
+            if self.verbosity != "quiet":
+                warnings.warn(record.format(), UserWarning, stacklevel=3)
+        elif self._emits(level):
+            print(record.format(), file=self.stream if self.stream is not None else sys.stderr)
+        return record
+
+    def debug(self, event: str, message: str, **fields) -> LogRecord:
+        return self.log("debug", event, message, **fields)
+
+    def info(self, event: str, message: str, **fields) -> LogRecord:
+        return self.log("info", event, message, **fields)
+
+    def warning(self, event: str, message: str, **fields) -> LogRecord:
+        return self.log("warning", event, message, **fields)
+
+    # ------------------------------------------------------------------
+    def events(self) -> list[str]:
+        return [r.event for r in self.records]
+
+    def by_event(self, event: str) -> list[LogRecord]:
+        return [r for r in self.records if r.event == event]
+
+
+# ----------------------------------------------------------------------
+# Process-default logger.
+
+_LOGGER = ObsLogger()
+
+
+def get_logger() -> ObsLogger:
+    return _LOGGER
+
+
+def set_logger(logger: ObsLogger) -> ObsLogger:
+    """Install a logger (tests); returns the previous one."""
+    global _LOGGER
+    previous, _LOGGER = _LOGGER, logger
+    return previous
+
+
+def set_verbosity(verbosity: str) -> str:
+    """Set the process logger's verbosity; returns the previous setting."""
+    previous = _LOGGER.verbosity
+    _LOGGER.set_verbosity(verbosity)
+    return previous

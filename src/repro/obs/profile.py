@@ -1,0 +1,83 @@
+"""Opt-in profiling hooks for the compressor hot paths.
+
+``@profiled("core.dc.compress", matmuls=2)`` wraps a compressor method;
+while profiling is enabled each call records, against the process
+metrics registry:
+
+* ``repro_profiled_calls_total{site=...}`` — invocation count;
+* ``repro_profiled_matmuls_total{site=...}`` — matmul-op count (the
+  paper's hot paths are 2 matmuls per plane for DCT+Chop, 2 per chunk
+  for partial serialization);
+* ``repro_profiled_elements_total{site=...}`` — elements processed.
+
+Disabled (the default), the wrapper is a single module-flag check —
+nothing is recorded, no registry is touched, and the wrapped function is
+returned unchanged to the tracer, so compiled graphs, modelled timings
+and numerics are bit-identical to the undecorated code.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+
+from repro.obs.metrics import get_registry
+
+_ENABLED = False
+
+
+def profiling_enabled() -> bool:
+    return _ENABLED
+
+
+def set_profiling(enabled: bool) -> bool:
+    """Turn the hooks on or off; returns the previous setting."""
+    global _ENABLED
+    previous, _ENABLED = _ENABLED, bool(enabled)
+    return previous
+
+
+@contextmanager
+def profiling():
+    """``with profiling(): ...`` — hooks on inside the block only."""
+    previous = set_profiling(True)
+    try:
+        yield
+    finally:
+        set_profiling(previous)
+
+
+def _elements(args, kwargs) -> int:
+    for value in [*args, *kwargs.values()]:
+        size = getattr(value, "size", None)
+        if size is not None:
+            return int(size)
+    return 0
+
+
+def profiled(site: str, *, matmuls=0):
+    """Decorate a method; ``matmuls`` is an int or a ``callable(self)``."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if _ENABLED:
+                reg = get_registry()
+                reg.counter(
+                    "repro_profiled_calls_total", help="profiled hot-path invocations"
+                ).inc(site=site)
+                n = matmuls(self) if callable(matmuls) else matmuls
+                if n:
+                    reg.counter(
+                        "repro_profiled_matmuls_total", help="profiled matmul ops"
+                    ).inc(n, site=site)
+                elements = _elements(args, kwargs)
+                if elements:
+                    reg.counter(
+                        "repro_profiled_elements_total", help="profiled elements processed"
+                    ).inc(elements, site=site)
+            return fn(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorate

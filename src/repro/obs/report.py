@@ -1,0 +1,145 @@
+"""Render a per-stage latency/byte breakdown from a JSONL trace file.
+
+``repro obs-report trace.jsonl`` answers "where did the modelled latency
+go" for a serving trace: total and mean modelled milliseconds per stage
+(``batch_wait`` / ``queue`` / ``compile`` / ``device``), each stage's
+share of summed request latency, retry/degradation event counts from the
+resilience layer, and bytes in/out with the achieved compression ratio.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.obs.trace import Span, TraceEvent
+
+# The serving span taxonomy (docs/OBSERVABILITY.md); report rows keep
+# this order so two runs render identically.
+STAGES = ("batch_wait", "queue", "compile", "device")
+
+
+def load_trace(path) -> tuple[list[Span], list[TraceEvent]]:
+    """Parse a :meth:`~repro.obs.trace.Tracer.to_jsonl` file back into records."""
+    spans: list[Span] = []
+    events: list[TraceEvent] = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        kind = rec.get("type")
+        if kind == "span":
+            spans.append(
+                Span(
+                    trace_id=rec["trace_id"],
+                    span_id=rec["span_id"],
+                    parent_id=rec.get("parent_id"),
+                    name=rec["name"],
+                    start=rec["start"],
+                    end=rec["end"],
+                    attrs=rec.get("attrs", {}),
+                )
+            )
+        elif kind == "event":
+            events.append(
+                TraceEvent(
+                    trace_id=rec["trace_id"],
+                    span_id=rec.get("span_id"),
+                    name=rec["name"],
+                    time=rec["time"],
+                    attrs=rec.get("attrs", {}),
+                )
+            )
+        else:
+            raise ConfigError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return spans, events
+
+
+@dataclass
+class TraceReport:
+    """Aggregated view of one trace file."""
+
+    n_traces: int = 0
+    n_failed: int = 0
+    stage_total_s: dict[str, float] = field(default_factory=dict)
+    stage_count: dict[str, int] = field(default_factory=dict)
+    total_latency_s: float = 0.0
+    event_counts: dict[str, int] = field(default_factory=dict)
+    bytes_in: int = 0
+    bytes_out: int = 0
+    platforms: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.n_traces if self.n_traces else 0.0
+
+    @property
+    def retries(self) -> int:
+        return self.event_counts.get("resilience.retry", 0)
+
+    @property
+    def degradations(self) -> int:
+        return self.event_counts.get("resilience.rung", 0)
+
+
+def render_report(spans: list[Span], events: list[TraceEvent]) -> TraceReport:
+    """Aggregate spans/events into a :class:`TraceReport`."""
+    report = TraceReport()
+    roots = [s for s in spans if s.parent_id is None]
+    report.n_traces = len(roots)
+    for root in roots:
+        report.total_latency_s += root.duration
+        platform = root.attrs.get("platform")
+        if platform:
+            report.platforms[platform] = report.platforms.get(platform, 0) + 1
+        report.bytes_in += int(root.attrs.get("bytes_in", 0))
+        report.bytes_out += int(root.attrs.get("bytes_out", 0))
+    for span in spans:
+        if span.parent_id is None or span.name not in STAGES:
+            continue
+        report.stage_total_s[span.name] = report.stage_total_s.get(span.name, 0.0) + span.duration
+        report.stage_count[span.name] = report.stage_count.get(span.name, 0) + 1
+    for event in events:
+        report.event_counts[event.name] = report.event_counts.get(event.name, 0) + 1
+    report.n_failed = report.event_counts.get("request.failed", 0)
+    return report
+
+
+def format_report(report: TraceReport) -> str:
+    """Human-readable per-stage breakdown table."""
+    lines = [
+        f"trace report: {report.n_traces} requests"
+        + (f" ({report.n_failed} failed)" if report.n_failed else ""),
+        f"  total modelled latency {report.total_latency_s * 1e3:.3f} ms "
+        f"(mean {report.mean_latency_s * 1e3:.3f} ms/request)",
+        "",
+        f"  {'stage':<12} {'total ms':>12} {'mean ms':>10} {'share':>7}",
+    ]
+    for stage in STAGES:
+        total = report.stage_total_s.get(stage, 0.0)
+        count = report.stage_count.get(stage, 0)
+        mean = total / count if count else 0.0
+        share = total / report.total_latency_s if report.total_latency_s else 0.0
+        lines.append(
+            f"  {stage:<12} {total * 1e3:>12.3f} {mean * 1e3:>10.4f} {share:>6.1%}"
+        )
+    lines.append("")
+    lines.append(
+        f"  resilience: {report.retries} retries, {report.degradations} "
+        f"ladder degradations"
+    )
+    if report.bytes_in:
+        ratio = report.bytes_in / report.bytes_out if report.bytes_out else 0.0
+        lines.append(
+            f"  bytes: {report.bytes_in:,} in -> {report.bytes_out:,} out "
+            f"({ratio:.2f}x compression)"
+        )
+    for platform in sorted(report.platforms):
+        lines.append(f"  platform {platform}: {report.platforms[platform]} requests")
+    return "\n".join(lines)

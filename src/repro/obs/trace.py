@@ -1,0 +1,214 @@
+"""Structured tracing over the modelled clock.
+
+A :class:`Tracer` records completed :class:`Span` intervals and
+zero-duration :class:`TraceEvent` annotations, grouped by trace ID.  All
+times are *modelled* seconds from the analytical timing model — spans are
+recorded after the fact with explicit start/end, not measured with a
+wall clock — which is what makes trace files reproducible byte-for-byte.
+
+The serving layer's contract (enforced by :func:`validate_trace` and the
+``tests/obs`` suite) is:
+
+* child span intervals nest inside their parent's interval;
+* leaf span durations sum exactly to the root span's duration, so every
+  modelled nanosecond of a request's latency is attributed to exactly
+  one stage (``batch_wait`` / ``queue`` / ``compile`` / ``device``).
+
+Zero-duration spans (e.g. a cache-hit ``compile``) are legal leaves:
+they attribute *events* without perturbing the sum.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.obs.ids import IdSource
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed interval on a trace's modelled timeline."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_record(self) -> dict:
+        return {
+            "type": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A point-in-time annotation attached to a trace (and optionally a span)."""
+
+    trace_id: str
+    span_id: str | None
+    name: str
+    time: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        return {
+            "type": "event",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "name": self.name,
+            "time": self.time,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Deterministic span/event recorder with a seeded ID source."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.ids = IdSource(seed)
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def new_trace(self) -> str:
+        """Mint a fresh trace ID (one per request on the serving path)."""
+        return self.ids.trace_id()
+
+    def record_span(
+        self,
+        trace_id: str,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        parent: Span | None = None,
+        **attrs,
+    ) -> Span:
+        """Record a completed span; returns it so callers can parent children."""
+        if end < start:
+            raise ConfigError(f"span {name!r} ends before it starts ({end} < {start})")
+        span = Span(
+            trace_id=trace_id,
+            span_id=self.ids.span_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start=start,
+            end=end,
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        return span
+
+    def record_event(
+        self,
+        trace_id: str,
+        name: str,
+        time: float,
+        *,
+        span: Span | None = None,
+        **attrs,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            trace_id=trace_id,
+            span_id=span.span_id if span is not None else None,
+            name=name,
+            time=time,
+            attrs=dict(attrs),
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def trace_ids(self) -> list[str]:
+        """Distinct trace IDs, in first-seen order."""
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.trace_id, None)
+        for e in self.events:
+            seen.setdefault(e.trace_id, None)
+        return list(seen)
+
+    def spans_for(self, trace_id: str) -> list[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def events_for(self, trace_id: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.trace_id == trace_id]
+
+    def root(self, trace_id: str) -> Span:
+        roots = [s for s in self.spans_for(trace_id) if s.parent_id is None]
+        if len(roots) != 1:
+            raise ConfigError(
+                f"trace {trace_id} has {len(roots)} root spans; expected exactly 1"
+            )
+        return roots[0]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def leaves(self, trace_id: str) -> list[Span]:
+        spans = self.spans_for(trace_id)
+        parent_ids = {s.parent_id for s in spans if s.parent_id is not None}
+        return [s for s in spans if s.span_id not in parent_ids]
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path) -> Path:
+        """Write every span and event as one JSON object per line.
+
+        Records are ordered spans-then-events in recording order, and keys
+        are sorted, so two runs with the same seed produce byte-identical
+        files (all values come from the modelled clock — never wall time).
+        """
+        path = Path(path)
+        lines = [
+            json.dumps(r.to_record(), sort_keys=True, separators=(",", ":"))
+            for r in [*self.spans, *self.events]
+        ]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+
+def validate_trace(tracer: Tracer, trace_id: str, *, tol: float = 1e-9) -> None:
+    """Check the span-tree invariants for one trace; raises on violation.
+
+    1. Exactly one root span.
+    2. Every child's interval nests inside its parent's interval.
+    3. Leaf durations sum to the root duration (every modelled second of
+       the root is attributed to exactly one leaf stage).
+    """
+    root = tracer.root(trace_id)
+    spans = tracer.spans_for(trace_id)
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        if s.parent_id is None:
+            continue
+        parent = by_id.get(s.parent_id)
+        if parent is None:
+            raise ConfigError(f"span {s.name!r} has unknown parent {s.parent_id}")
+        if s.start < parent.start - tol or s.end > parent.end + tol:
+            raise ConfigError(
+                f"span {s.name!r} [{s.start}, {s.end}] escapes parent "
+                f"{parent.name!r} [{parent.start}, {parent.end}]"
+            )
+    leaf_sum = sum(s.duration for s in tracer.leaves(trace_id))
+    if abs(leaf_sum - root.duration) > tol:
+        raise ConfigError(
+            f"trace {trace_id}: leaf durations sum to {leaf_sum}, root "
+            f"span {root.name!r} lasts {root.duration}"
+        )

@@ -3,12 +3,22 @@
 Every retry, degradation rung, checkpoint restore and give-up is recorded
 as a :class:`RecoveryEvent` so tests can assert the exact recovery path
 and operators can audit what the resilience layer did to their job.
+
+Recovery events also flow into :mod:`repro.obs`: each recorded action
+increments ``repro_recovery_events_total{action=...}`` in the process
+metrics registry, and while a :class:`~repro.obs.trace.Tracer` is bound
+(:meth:`RecoveryLog.bind` — the serving layer binds around each batch
+dispatch) every event is mirrored as a ``resilience.<action>`` trace
+event carrying the originating requests' trace IDs, instead of
+free-floating in a per-module list.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import get_registry
 
 
 @dataclass(frozen=True)
@@ -30,11 +40,38 @@ class RecoveryLog:
 
     def __init__(self) -> None:
         self.events: list[RecoveryEvent] = []
+        self._tracer = None
+        self._trace_ids: tuple[str, ...] = ()
+        self._trace_time = 0.0
 
     def record(self, action: str, detail: str, **context) -> RecoveryEvent:
         event = RecoveryEvent(action=action, detail=detail, context=context)
         self.events.append(event)
+        get_registry().counter(
+            "repro_recovery_events_total", help="resilience-layer decisions, by action"
+        ).inc(action=action)
+        if self._tracer is not None:
+            for tid in self._trace_ids:
+                self._tracer.record_event(
+                    tid, f"resilience.{action}", self._trace_time, detail=detail, **context
+                )
         return event
+
+    # ------------------------------------------------------------------
+    def bind(self, tracer, trace_ids, time: float) -> None:
+        """Mirror subsequent events onto ``trace_ids`` at modelled ``time``.
+
+        The serving layer binds the member requests of a batch before
+        handing this log to the ladder/retry machinery, so a retry or
+        degradation is attributable to the exact requests it delayed.
+        """
+        self._tracer = tracer
+        self._trace_ids = tuple(trace_ids)
+        self._trace_time = time
+
+    def unbind(self) -> None:
+        self._tracer = None
+        self._trace_ids = ()
 
     # ------------------------------------------------------------------
     def actions(self) -> list[str]:

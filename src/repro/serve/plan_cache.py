@@ -7,10 +7,17 @@ serving layer amortize tracing and compilation across unbounded traffic.
 The cache also remembers *failed* compiles (negative entries): the SN30's
 512x512 OOM is just as deterministic as a success, and re-tracing it on
 every request would burn the very cost the cache exists to avoid.
+
+Hit/miss/eviction tallies live in the :mod:`repro.obs.metrics` registry
+(``repro_plan_cache_*_total``, one labelled child per cache instance)
+rather than in private ints, so the serving fleet's cache behaviour shows
+up in the same Prometheus dump as everything else; the per-instance
+``hits``/``misses``/``evictions`` properties read the same counters back.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -18,6 +25,10 @@ from typing import Callable
 
 from repro.accel.compiler import CompiledProgram, PlanKey
 from repro.errors import CompileError, ConfigError
+from repro.obs.metrics import get_registry
+
+# Deterministic per-process instance labels for the registry children.
+_INSTANCE_SEQ = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -49,15 +60,24 @@ class CompiledPlanCache:
     toolchain rejects the same program every time.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, *, registry=None) -> None:
         if capacity < 1:
             raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[PlanKey, CompiledProgram | CompileError] = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        reg = registry if registry is not None else get_registry()
+        self._label = f"c{next(_INSTANCE_SEQ)}"
+        self._c_hits = reg.counter(
+            "repro_plan_cache_hits_total", help="plan-cache lookups served from cache"
+        )
+        self._c_misses = reg.counter(
+            "repro_plan_cache_misses_total", help="plan-cache lookups that missed"
+        )
+        self._c_evictions = reg.counter(
+            "repro_plan_cache_evictions_total", help="plans evicted by LRU pressure"
+        )
+        self._g_size = reg.gauge("repro_plan_cache_size", help="plans currently cached")
 
     # ------------------------------------------------------------------
     def get(self, key: PlanKey) -> CompiledProgram | CompileError | None:
@@ -65,10 +85,10 @@ class CompiledPlanCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self._misses += 1
+                self._c_misses.inc(cache=self._label)
                 return None
             self._entries.move_to_end(key)
-            self._hits += 1
+            self._c_hits.inc(cache=self._label)
             return entry
 
     def put(self, key: PlanKey, value: CompiledProgram | CompileError) -> None:
@@ -77,7 +97,8 @@ class CompiledPlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                self._c_evictions.inc(cache=self._label)
+            self._g_size.set(len(self._entries), cache=self._label)
 
     def get_or_compile(
         self, key: PlanKey, factory: Callable[[], CompiledProgram]
@@ -115,18 +136,19 @@ class CompiledPlanCache:
         """Drop all entries; counters keep accumulating."""
         with self._lock:
             self._entries.clear()
+            self._g_size.set(0, cache=self._label)
 
     @property
     def hits(self) -> int:
-        return self._hits
+        return int(self._c_hits.value(cache=self._label))
 
     @property
     def misses(self) -> int:
-        return self._misses
+        return int(self._c_misses.value(cache=self._label))
 
     @property
     def evictions(self) -> int:
-        return self._evictions
+        return int(self._c_evictions.value(cache=self._label))
 
     @property
     def hit_rate(self) -> float:
@@ -135,9 +157,9 @@ class CompiledPlanCache:
     def snapshot(self) -> CacheStats:
         with self._lock:
             return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
             )

@@ -16,6 +16,23 @@ serving path the ROADMAP's "millions of users" north star needs:
 Numerics are real: every batch runs the actual NumPy compressor, and the
 zero-padded tail is sliced off, so per-image outputs are bit-identical to
 the unbatched path.
+
+With a :class:`~repro.obs.trace.Tracer` attached, every request yields a
+span tree on the modelled clock::
+
+    request [arrival, finish]
+      batch_wait [arrival, formed_at]
+      queue      [formed_at, start]
+      execute    [start, finish]
+        compile  [start, start]     (zero modelled duration; attrs carry
+                                     cache misses, ladder rung, platform)
+        device   [start, finish]
+
+Leaf durations sum exactly to the request's reported latency, and
+resilience events (retries, ladder rungs, failovers) are attached to the
+originating requests' trace IDs.  Tracing never touches the modelled
+timing math — with the tracer detached (the default), outputs are
+bit-identical to the untraced path.
 """
 
 from __future__ import annotations
@@ -29,13 +46,16 @@ from repro.accel.compiler import PlanKey, compile_program
 from repro.core.api import make_compressor
 from repro.core.dct import DEFAULT_BLOCK
 from repro.errors import CompileError, ConfigError, DeviceError, DeviceLostError
+from repro.obs.metrics import exponential_buckets, get_registry
 from repro.resilience import LadderPolicy, ResilientCompressor, RetryPolicy
 from repro.resilience.log import RecoveryLog
 from repro.serve.batcher import Batch, DynamicBatcher, Request
 from repro.serve.plan_cache import CompiledPlanCache
 from repro.serve.scheduler import PlatformWorker, Scheduler
-from repro.serve.stats import ServerStats
+from repro.serve.stats import ServerStats, latency_reservoir
 from repro.tensor import Tensor
+
+_BATCH_SIZE_BUCKETS = exponential_buckets(1.0, 2.0, 8)  # 1 .. 128 images
 
 
 @dataclass
@@ -48,6 +68,7 @@ class Response:
     start: float
     finish: float
     degraded: bool = False
+    trace_id: str | None = None
 
     @property
     def latency_s(self) -> float:
@@ -78,6 +99,8 @@ class CompressionService:
         ladder: LadderPolicy | None = None,
         log: RecoveryLog | None = None,
         max_failovers: int = 3,
+        tracer=None,
+        registry=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -90,26 +113,55 @@ class CompressionService:
         # Explicit None check: an empty RecoveryLog is falsy (it has __len__).
         self.log = log if log is not None else RecoveryLog()
         self.max_failovers = max_failovers
+        self.tracer = tracer
         self._dead: set[str] = set()
         self._n_batches = 0
         self._n_failovers = 0
+        self._latency = latency_reservoir()
+        self._trace_ids: dict[int, str] = {}
+        reg = registry if registry is not None else get_registry()
+        self._m_requests = reg.counter(
+            "repro_requests_total", help="requests served, by platform"
+        )
+        self._m_failed = reg.counter(
+            "repro_requests_failed_total", help="requests no live platform could serve"
+        )
+        self._m_latency = reg.histogram(
+            "repro_request_latency_seconds", help="modelled request latency", unit="s"
+        )
+        self._m_batch_size = reg.histogram(
+            "repro_batch_size_images",
+            help="images per dispatched batch",
+            buckets=_BATCH_SIZE_BUCKETS,
+        )
+        self._m_pad = reg.counter(
+            "repro_batch_pad_images_total", help="zero-padded tail images dispatched"
+        )
+        self._m_depth = reg.gauge(
+            "repro_queue_depth_requests", help="requests queued in the batcher"
+        )
 
     # ------------------------------------------------------------------
     def process(self, requests) -> tuple[list[Response], ServerStats]:
         """Replay a trace; returns per-request responses plus statistics."""
         reqs = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        self._latency = latency_reservoir()
         responses: list[Response] = []
         failures: list[FailedRequest] = []
         max_depth = 0
         for req in reqs:
+            if self.tracer is not None:
+                self._trace_ids[req.rid] = self.tracer.new_trace()
             for batch in self.batcher.due(req.arrival):
                 self._dispatch(batch, responses, failures)
             full = self.batcher.add(req)
             max_depth = max(max_depth, self.batcher.depth)
+            self._m_depth.set(self.batcher.depth)
             if full is not None:
                 self._dispatch(full, responses, failures)
         for batch in self.batcher.flush():
             self._dispatch(batch, responses, failures)
+        self._m_depth.set(self.batcher.depth)
         return responses, self._snapshot(reqs, responses, failures, max_depth)
 
     # ------------------------------------------------------------------
@@ -169,12 +221,14 @@ class CompressionService:
     ) -> None:
         now = batch.formed_at
         key = batch.key
+        self._m_batch_size.observe(len(batch))
+        self._m_pad.inc(self.max_batch - len(batch))
         try:
             worker = self.scheduler.pick(
                 now, estimate=lambda w: self._estimate_batch_seconds(w.platform, key)
             )
         except DeviceLostError as exc:
-            failures.extend(FailedRequest(r, exc) for r in batch.requests)
+            self._fail_batch(batch, exc, failures)
             return
         rc = ResilientCompressor(
             key.height,
@@ -192,13 +246,24 @@ class CompressionService:
             max_failovers=self.max_failovers,
             plan_cache=self.cache,
         )
+        misses_before = self.cache.misses
+        if self.tracer is not None:
+            member_tids = [
+                tid
+                for r in batch.requests
+                if (tid := self._trace_ids.get(r.rid)) is not None
+            ]
+            self.log.bind(self.tracer, member_tids, time=now)
         try:
             out = rc.compress(batch.padded(self.max_batch))
             resolved = rc.compile("compress")
         except (CompileError, DeviceError) as exc:
             self._note_dead(rc)
-            failures.extend(FailedRequest(r, exc) for r in batch.requests)
+            self._fail_batch(batch, exc, failures)
             return
+        finally:
+            if self.tracer is not None:
+                self.log.unbind()
         self._note_dead(rc)
         self._n_batches += 1
         # Book modelled time on an instance of the platform that actually
@@ -208,17 +273,87 @@ class CompressionService:
         start = max(now, exec_worker.busy_until)
         finish = self.scheduler.assign(exec_worker, start, duration)
         arr = out.numpy()
+        compiles = self.cache.misses - misses_before
         for i, req in enumerate(batch.requests):
-            responses.append(
-                Response(
-                    request=req,
-                    output=arr[i],
-                    platform=resolved.attempt.platform,
-                    start=start,
-                    finish=finish,
-                    degraded=resolved.degraded,
-                )
+            response = Response(
+                request=req,
+                output=arr[i],
+                platform=resolved.attempt.platform,
+                start=start,
+                finish=finish,
+                degraded=resolved.degraded,
+                trace_id=self._trace_ids.get(req.rid),
             )
+            responses.append(response)
+            self._latency.add(response.latency_s)
+            self._m_requests.inc(platform=response.platform)
+            self._m_latency.observe(response.latency_s)
+            if self.tracer is not None and response.trace_id is not None:
+                self._trace_request(response, batch, resolved, compiles)
+
+    def _trace_request(self, response: Response, batch: Batch, resolved, compiles: int) -> None:
+        """Emit the request's span tree (see the module docstring taxonomy)."""
+        tracer = self.tracer
+        tid = response.trace_id
+        req = response.request
+        attempt = resolved.attempt
+        root = tracer.record_span(
+            tid,
+            "request",
+            req.arrival,
+            response.finish,
+            rid=req.rid,
+            platform=response.platform,
+            degraded=response.degraded,
+            batch_size=len(batch),
+            bytes_in=int(req.image.nbytes),
+            bytes_out=int(response.output.nbytes),
+        )
+        tracer.record_span(tid, "batch_wait", req.arrival, batch.formed_at, parent=root)
+        tracer.record_span(tid, "queue", batch.formed_at, response.start, parent=root)
+        execute = tracer.record_span(
+            tid, "execute", response.start, response.finish, parent=root
+        )
+        # Compile attribution: zero modelled duration (plans amortize via
+        # the cache; the timing model charges no latency for compilation),
+        # but the attrs say what the ladder did and what it cost.
+        tracer.record_span(
+            tid,
+            "compile",
+            response.start,
+            response.start,
+            parent=execute,
+            rung=attempt.rung,
+            method=attempt.method,
+            s=attempt.s,
+            n_devices=attempt.n_devices,
+            compiles=compiles,
+            failed_attempts=len(resolved.failures),
+        )
+        tracer.record_span(
+            tid,
+            "device",
+            response.start,
+            response.finish,
+            parent=execute,
+            platform=response.platform,
+            n_devices=attempt.n_devices,
+        )
+
+    def _fail_batch(self, batch: Batch, exc: Exception, failures: list[FailedRequest]) -> None:
+        for r in batch.requests:
+            failures.append(FailedRequest(r, exc))
+            self._m_failed.inc(error=type(exc).__name__)
+            if self.tracer is not None:
+                tid = self._trace_ids.get(r.rid)
+                if tid is not None:
+                    self.tracer.record_event(
+                        tid,
+                        "request.failed",
+                        batch.formed_at,
+                        rid=r.rid,
+                        error=type(exc).__name__,
+                    )
 
     def _note_dead(self, rc: ResilientCompressor) -> None:
         fresh = rc.dead_platforms - self._dead
@@ -237,7 +372,7 @@ class CompressionService:
             n_failovers=self._n_failovers,
             makespan_s=last_finish - first_arrival,
             busy_s=self.scheduler.total_busy_seconds,
-            latencies_s=[r.latency_s for r in responses],
+            latency=self._latency,
             max_queue_depth=max_depth,
             cache=self.cache.snapshot(),
             workers=[

@@ -5,6 +5,11 @@ batch counts, modelled throughput and latency percentiles, queue
 pressure, plan-cache effectiveness, and per-worker utilization.  All
 times come from the analytical timing model, so two runs of the same
 trace produce the same table.
+
+Latency percentiles are computed from a bounded, seeded
+:class:`~repro.obs.metrics.Reservoir` rather than an ever-growing list:
+exact for traces that fit the reservoir (every CI trace does), constant
+memory for the million-request traces the ROADMAP aims at.
 """
 
 from __future__ import annotations
@@ -13,7 +18,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import Reservoir
 from repro.serve.plan_cache import CacheStats
+
+#: Retained latency samples per trace replay; percentiles are exact up to
+#: this many requests and seeded estimates beyond it.
+LATENCY_RESERVOIR_CAPACITY = 4096
 
 
 def percentile(values, q: float) -> float:
@@ -21,6 +31,11 @@ def percentile(values, q: float) -> float:
     if len(values) == 0:
         return 0.0
     return float(np.percentile(np.asarray(values, dtype=np.float64), q, method="lower"))
+
+
+def latency_reservoir() -> Reservoir:
+    """The bounded latency sink one trace replay feeds."""
+    return Reservoir(capacity=LATENCY_RESERVOIR_CAPACITY, seed=0)
 
 
 @dataclass
@@ -33,7 +48,7 @@ class ServerStats:
     n_failovers: int = 0
     makespan_s: float = 0.0            # first arrival -> last modelled finish
     busy_s: float = 0.0                # summed modelled batch time across workers
-    latencies_s: list[float] = field(default_factory=list, repr=False)
+    latency: Reservoir = field(default_factory=latency_reservoir, repr=False)
     max_queue_depth: int = 0
     cache: CacheStats | None = None
     workers: list[tuple[str, int, float]] = field(default_factory=list)  # (name, batches, util)
@@ -54,12 +69,17 @@ class ServerStats:
         return self.n_ok / self.n_batches if self.n_batches else 0.0
 
     @property
+    def latencies_s(self) -> list[float]:
+        """Retained latency samples (all of them while under capacity)."""
+        return self.latency.samples
+
+    @property
     def p50_latency_s(self) -> float:
-        return percentile(self.latencies_s, 50)
+        return self.latency.percentile(50)
 
     @property
     def p95_latency_s(self) -> float:
-        return percentile(self.latencies_s, 95)
+        return self.latency.percentile(95)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -76,7 +96,8 @@ class ServerStats:
             ("throughput", f"{self.throughput_rps:,.0f} req/s modelled"),
             (
                 "latency p50 / p95",
-                f"{self.p50_latency_s * 1e3:.3f} / {self.p95_latency_s * 1e3:.3f} ms modelled",
+                f"{self.p50_latency_s * 1e3:.3f} / {self.p95_latency_s * 1e3:.3f} ms modelled"
+                + (" (sampled)" if self.latency.saturated else ""),
             ),
             ("max queue depth", str(self.max_queue_depth)),
         ]

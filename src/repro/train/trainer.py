@@ -11,6 +11,7 @@ import numpy as np
 from repro.errors import DeviceError
 from repro.faults import fire_fault
 from repro.nn.module import Module
+from repro.obs.metrics import get_registry
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.tensor import Tensor, no_grad
 from repro.train.checkpoint import load_checkpoint, restore_checkpoint, save_checkpoint
@@ -95,6 +96,9 @@ class Trainer:
     def train_epoch(self, loader) -> float:
         """One pass over ``loader``; returns mean batch loss."""
         self.model.train()
+        steps = get_registry().counter(
+            "repro_train_steps_total", help="optimizer steps taken"
+        )
         losses = []
         for x, y in loader:
             fire_fault("train_step")
@@ -105,6 +109,7 @@ class Trainer:
             loss.backward()
             self.optimizer.step()
             losses.append(loss.item())
+            steps.inc()
         return float(np.mean(losses))
 
     def evaluate(self, loader) -> tuple[float, float]:
@@ -189,6 +194,9 @@ class Trainer:
             history.test_loss.append(test_loss)
             history.test_accuracy.append(test_acc)
             epoch += 1
+            get_registry().counter(
+                "repro_train_epochs_total", help="completed training epochs"
+            ).inc()
             if path is not None and (epoch % checkpoint_every == 0 or epoch == total):
                 self._checkpoint(path, epoch, history, loader_gen, recovery_log)
         return history

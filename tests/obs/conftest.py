@@ -1,0 +1,22 @@
+"""Isolation for observability tests.
+
+Every test in this package gets a fresh process registry and logger so
+assertions see only their own increments; the previous instances are
+restored afterwards so the rest of the suite is unaffected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_registry
+from repro.obs.log import ObsLogger, set_logger
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    prev_registry = set_registry(MetricsRegistry())
+    prev_logger = set_logger(ObsLogger())
+    yield
+    set_registry(prev_registry)
+    set_logger(prev_logger)

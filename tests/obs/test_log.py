@@ -1,0 +1,119 @@
+"""Structured logger: verbosity gating and the warnings bridge."""
+
+from __future__ import annotations
+
+import io
+import warnings
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.log import ObsLogger, get_logger, set_verbosity
+
+
+class TestObsLogger:
+    def test_records_are_structured(self):
+        log = ObsLogger(stream=io.StringIO())
+        log.info("serve.start", "replaying trace", requests=100)
+        (rec,) = log.records
+        assert rec.level == "info"
+        assert rec.event == "serve.start"
+        assert rec.fields == {"requests": 100}
+        assert "serve.start" in rec.format()
+        assert "requests=100" in rec.format()
+
+    def test_warning_goes_through_warnings_module(self):
+        log = ObsLogger()
+        with pytest.warns(UserWarning, match="corruption"):
+            log.warning("container.legacy", "corruption cannot be detected")
+        assert log.by_event("container.legacy")
+
+    def test_quiet_suppresses_warnings_and_info(self):
+        stream = io.StringIO()
+        log = ObsLogger("quiet", stream=stream)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail the test
+            log.warning("w", "should be suppressed")
+        log.info("i", "also suppressed")
+        assert stream.getvalue() == ""
+        # Records are still kept for programmatic consumers.
+        assert log.events() == ["w", "i"]
+
+    def test_debug_only_under_verbose(self):
+        stream = io.StringIO()
+        log = ObsLogger("normal", stream=stream)
+        log.debug("d", "hidden")
+        assert stream.getvalue() == ""
+        log.set_verbosity("verbose")
+        log.debug("d", "shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_bounded_record_buffer(self):
+        log = ObsLogger("quiet", keep=10)
+        for i in range(25):
+            log.info("e", str(i))
+        assert len(log.records) == 10
+        assert log.records[-1].message == "24"
+
+    def test_unknown_verbosity_rejected(self):
+        with pytest.raises(ConfigError, match="verbosity"):
+            ObsLogger("loud")
+
+    def test_set_verbosity_on_process_logger(self):
+        prev = set_verbosity("quiet")
+        try:
+            assert get_logger().verbosity == "quiet"
+        finally:
+            set_verbosity(prev)
+
+
+class TestLegacyContainerWarning:
+    def test_dcz1_warning_routes_through_logger(self, tmp_path, rng):
+        import numpy as np
+
+        from repro.core import container, make_compressor
+
+        comp = make_compressor(32, 32)
+        data = rng.standard_normal((1, 32, 32)).astype(np.float32)
+        blob = container.pack(data, comp)
+        # Rewrite as a DCZ1 container: v1 magic, no crc32 field.
+        import json as json_mod
+        import struct
+
+        (hlen,) = struct.unpack("<I", blob[4:8])
+        header = json_mod.loads(blob[8 : 8 + hlen].decode())
+        header.pop("crc32")
+        header["version"] = 1
+        hb = json_mod.dumps(header).encode()
+        legacy = b"DCZ1" + struct.pack("<I", len(hb)) + hb + blob[8 + hlen :]
+
+        with pytest.warns(UserWarning, match="DCZ1"):
+            container.unpack(legacy)
+        assert get_logger().by_event("container.legacy_dcz1")
+
+    def test_quiet_mode_loads_legacy_without_warning(self, tmp_path, rng):
+        import numpy as np
+
+        from repro.core import container, make_compressor
+
+        comp = make_compressor(32, 32)
+        data = rng.standard_normal((1, 32, 32)).astype(np.float32)
+        blob = container.pack(data, comp)
+        import json as json_mod
+        import struct
+
+        (hlen,) = struct.unpack("<I", blob[4:8])
+        header = json_mod.loads(blob[8 : 8 + hlen].decode())
+        header.pop("crc32")
+        hb = json_mod.dumps(header).encode()
+        legacy = b"DCZ1" + struct.pack("<I", len(hb)) + hb + blob[8 + hlen :]
+
+        prev = set_verbosity("quiet")
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                rec, _ = container.unpack(legacy)
+        finally:
+            set_verbosity(prev)
+        assert rec.shape == data.shape

@@ -1,0 +1,99 @@
+"""Trace-file reporting: load, aggregate, render, and the CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.obs import Tracer, format_report, load_trace, render_report
+from repro.serve import CompressionService, synthetic_trace
+
+
+def _write_trace(tmp_path, n=40, seed=1):
+    tracer = Tracer(seed=0)
+    service = CompressionService(platforms=("ipu", "a100"), tracer=tracer)
+    responses, stats = service.process(synthetic_trace(n, seed=seed))
+    path = tracer.to_jsonl(tmp_path / "trace.jsonl")
+    return path, responses, stats
+
+
+class TestRenderReport:
+    def test_stage_totals_cover_all_latency(self, tmp_path):
+        path, responses, _ = _write_trace(tmp_path)
+        spans, events = load_trace(path)
+        report = render_report(spans, events)
+        assert report.n_traces == len(responses)
+        total = sum(r.latency_s for r in responses)
+        assert report.total_latency_s == pytest.approx(total)
+        # The stage decomposition re-partitions the same modelled time.
+        assert sum(report.stage_total_s.values()) == pytest.approx(total, abs=1e-6)
+
+    def test_bytes_and_platforms_aggregate(self, tmp_path):
+        path, responses, _ = _write_trace(tmp_path)
+        spans, events = load_trace(path)
+        report = render_report(spans, events)
+        assert report.bytes_in == sum(r.request.image.nbytes for r in responses)
+        assert report.bytes_out == sum(r.output.nbytes for r in responses)
+        by_platform: dict[str, int] = {}
+        for r in responses:
+            by_platform[r.platform] = by_platform.get(r.platform, 0) + 1
+        assert report.platforms == by_platform
+
+    def test_format_mentions_every_stage(self, tmp_path):
+        path, _, _ = _write_trace(tmp_path)
+        spans, events = load_trace(path)
+        text = format_report(render_report(spans, events))
+        for stage in ("batch_wait", "queue", "compile", "device"):
+            assert stage in text
+        assert "retries" in text
+        assert "compression" in text
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_trace(bad)
+
+    def test_load_rejects_unknown_record_type(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ConfigError, match="unknown record type"):
+            load_trace(bad)
+
+
+class TestObsReportCli:
+    def test_renders_a_trace_file(self, tmp_path, capsys):
+        path, _, _ = _write_trace(tmp_path)
+        assert main(["obs-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace report: 40 requests" in out
+        assert "device" in out
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["obs-report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeDemoTracing:
+    def test_trace_out_writes_jsonl_and_passes_checks(self, tmp_path, capsys):
+        trace_path = tmp_path / "demo.jsonl"
+        metrics_path = tmp_path / "metrics.txt"
+        code = main(
+            [
+                "serve-demo",
+                "--requests", "120",
+                "--min-hit-rate", "0.5",
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all checks passed" in out
+        assert "span trees valid (0 invalid)" in out
+        assert "leaf span durations sum to reported latency (0 mismatches)" in out
+        assert "tracing is zero-overhead" in out
+        spans, events = load_trace(trace_path)
+        assert len([s for s in spans if s.parent_id is None]) == 120
+        assert "repro_requests_total" in metrics_path.read_text()

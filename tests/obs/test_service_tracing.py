@@ -1,0 +1,157 @@
+"""End-to-end tracing through the serving stack.
+
+The acceptance contract: every served request yields a validated span
+tree on the modelled clock whose leaf durations sum to the reported
+latency; trace files are byte-identical across same-seed runs; and with
+the tracer detached the serving path is bit-identical to pre-tracing
+behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import Tracer, get_registry, validate_trace
+from repro.serve import CompressionService, synthetic_trace
+
+
+def _traced_service(tracer, **kw):
+    kw.setdefault("platforms", ("ipu", "a100"))
+    return CompressionService(tracer=tracer, **kw)
+
+
+class TestSpanTrees:
+    def test_every_request_yields_a_valid_span_tree(self):
+        tracer = Tracer(seed=0)
+        service = _traced_service(tracer)
+        responses, _ = service.process(synthetic_trace(60, seed=1))
+        tids = tracer.trace_ids()
+        assert len(tids) == 60
+        for tid in tids:
+            validate_trace(tracer, tid)
+
+    def test_leaf_durations_sum_to_reported_latency(self):
+        tracer = Tracer(seed=0)
+        service = _traced_service(tracer)
+        responses, _ = service.process(synthetic_trace(60, seed=1))
+        assert all(r.trace_id is not None for r in responses)
+        for r in responses:
+            root = tracer.root(r.trace_id)
+            leaf_sum = sum(s.duration for s in tracer.leaves(r.trace_id))
+            assert root.duration == pytest.approx(r.latency_s, abs=1e-12)
+            assert leaf_sum == pytest.approx(r.latency_s, abs=1e-9)
+
+    def test_taxonomy_and_attrs(self):
+        tracer = Tracer(seed=0)
+        service = _traced_service(tracer)
+        responses, _ = service.process(synthetic_trace(20, seed=1))
+        r = responses[0]
+        spans = {s.name: s for s in tracer.spans_for(r.trace_id)}
+        assert set(spans) == {"request", "batch_wait", "queue", "execute", "compile", "device"}
+        root = spans["request"]
+        assert root.attrs["rid"] == r.request.rid
+        assert root.attrs["platform"] == r.platform
+        assert root.attrs["bytes_in"] == r.request.image.nbytes
+        assert root.attrs["bytes_out"] == r.output.nbytes
+        assert spans["compile"].duration == 0.0
+        assert spans["compile"].attrs["rung"] == "original"
+        assert spans["device"].start == r.start
+        assert spans["device"].end == r.finish
+        # batch_wait covers arrival -> batch formation; queue hands over to
+        # execute exactly at the modelled start.
+        assert spans["batch_wait"].start == r.request.arrival
+        assert spans["batch_wait"].end == spans["queue"].start
+        assert spans["queue"].end == spans["execute"].start
+
+    def test_trace_files_byte_identical_across_same_seed_runs(self, tmp_path):
+        def run(path):
+            tracer = Tracer(seed=9)
+            service = _traced_service(tracer)
+            service.process(synthetic_trace(40, seed=2))
+            return tracer.to_jsonl(path).read_bytes()
+
+        assert run(tmp_path / "a.jsonl") == run(tmp_path / "b.jsonl")
+
+
+class TestZeroOverhead:
+    def test_untraced_replay_is_bit_identical(self):
+        traced_tracer = Tracer(seed=0)
+        traced = _traced_service(traced_tracer)
+        plain = CompressionService(platforms=("ipu", "a100"))
+
+        r1, s1 = traced.process(synthetic_trace(50, seed=3))
+        r2, s2 = plain.process(synthetic_trace(50, seed=3))
+
+        assert len(r1) == len(r2)
+        for a, b in zip(r1, r2):
+            assert np.array_equal(a.output, b.output)
+            assert a.start == b.start
+            assert a.finish == b.finish
+            assert a.platform == b.platform
+        assert s1.latencies_s == s2.latencies_s
+        assert s1.makespan_s == s2.makespan_s
+        assert s1.busy_s == s2.busy_s
+        # Only the traced run minted trace IDs.
+        assert all(r.trace_id is not None for r in r1)
+        assert all(r.trace_id is None for r in r2)
+
+
+class TestRecoveryEventsOnTraces:
+    def test_retry_events_carry_member_trace_ids(self):
+        plan = FaultPlan(seed=0).add("run", "host_link_timeout", after=0)
+        tracer = Tracer(seed=0)
+        service = _traced_service(tracer, platforms=("ipu",))
+        with FaultInjector(plan):
+            responses, stats = service.process(synthetic_trace(16, seed=4))
+        assert stats.n_failed == 0
+        # The fault hit the first dispatched batch; its member requests'
+        # traces must carry the retry + recovery events.
+        retried_tids = {
+            e.trace_id for e in tracer.events if e.name == "resilience.retry"
+        }
+        recovered_tids = {
+            e.trace_id for e in tracer.events if e.name == "resilience.recovered"
+        }
+        assert retried_tids
+        assert retried_tids == recovered_tids
+        assert retried_tids <= set(tracer.trace_ids())
+        # Events never invent trace IDs outside the served responses.
+        response_tids = {r.trace_id for r in responses}
+        assert retried_tids <= response_tids
+
+    def test_failed_requests_emit_failure_events(self):
+        # Lose the only platform's device permanently: every in-flight
+        # request fails and is marked on its trace.
+        plan = FaultPlan(seed=0).add("run", "device_lost", after=0, times=100)
+        tracer = Tracer(seed=0)
+        service = _traced_service(
+            tracer, platforms=("ipu",), max_failovers=0
+        )
+        with FaultInjector(plan):
+            responses, stats = service.process(synthetic_trace(12, seed=5))
+        assert stats.n_failed > 0
+        failed_events = [e for e in tracer.events if e.name == "request.failed"]
+        assert len(failed_events) == stats.n_failed
+        for e in failed_events:
+            assert e.attrs["error"]
+
+
+class TestServiceMetrics:
+    def test_request_and_batch_instruments_populated(self):
+        tracer = Tracer(seed=0)
+        service = _traced_service(tracer)
+        responses, stats = service.process(synthetic_trace(60, seed=1))
+        reg = get_registry()
+        assert reg.get("repro_requests_total").total == len(responses)
+        assert reg.get("repro_request_latency_seconds").count() == len(responses)
+        batch_hist = reg.get("repro_batch_size_images")
+        assert batch_hist.count() == stats.n_batches
+        assert reg.get("repro_plan_cache_hits_total").total == stats.cache.hits
+        assert reg.get("repro_plan_cache_misses_total").total == stats.cache.misses
+
+    def test_metrics_populate_without_a_tracer_too(self):
+        service = CompressionService(platforms=("ipu",))
+        service.process(synthetic_trace(20, seed=6))
+        assert get_registry().get("repro_requests_total").total == 20

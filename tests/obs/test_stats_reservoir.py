@@ -1,0 +1,43 @@
+"""ServerStats latency percentiles use a bounded reservoir."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.stats import LATENCY_RESERVOIR_CAPACITY, ServerStats, latency_reservoir
+
+
+def _stats_with(latencies) -> ServerStats:
+    stats = ServerStats(n_requests=len(latencies))
+    stats.latency.extend(latencies)
+    return stats
+
+
+class TestLatencyReservoir:
+    def test_exact_percentiles_below_capacity(self):
+        stats = _stats_with([i / 1000.0 for i in range(1, 101)])
+        assert stats.p50_latency_s == pytest.approx(0.050)
+        assert stats.p95_latency_s == pytest.approx(0.095)
+        assert stats.latencies_s == [i / 1000.0 for i in range(1, 101)]
+
+    def test_memory_bounded_beyond_capacity(self):
+        n = LATENCY_RESERVOIR_CAPACITY * 3
+        stats = _stats_with([i / 1e6 for i in range(n)])
+        assert len(stats.latency) == LATENCY_RESERVOIR_CAPACITY
+        assert stats.latency.count == n
+        assert stats.latency.saturated
+
+    def test_sampled_marker_in_table(self):
+        stats = _stats_with([0.001] * (LATENCY_RESERVOIR_CAPACITY + 1))
+        assert "(sampled)" in stats.format_table()
+        small = _stats_with([0.001] * 10)
+        assert "(sampled)" not in small.format_table()
+
+    def test_deterministic_across_runs(self):
+        a = latency_reservoir()
+        b = latency_reservoir()
+        for i in range(LATENCY_RESERVOIR_CAPACITY * 2):
+            a.add(i * 1e-6)
+            b.add(i * 1e-6)
+        assert a == b
+        assert a.percentile(95) == b.percentile(95)

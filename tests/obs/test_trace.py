@@ -1,0 +1,139 @@
+"""Tracer, span-tree invariants, and JSONL export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import IdSource, Tracer, validate_trace
+
+
+class TestIdSource:
+    def test_ids_are_hex_and_fixed_width(self):
+        ids = IdSource(seed=0)
+        tid = ids.trace_id()
+        sid = ids.span_id()
+        assert len(tid) == 16 and int(tid, 16) >= 0
+        assert len(sid) == 16 and int(sid, 16) >= 0
+
+    def test_same_seed_same_sequence(self):
+        a, b = IdSource(seed=7), IdSource(seed=7)
+        assert [a.trace_id() for _ in range(10)] == [b.trace_id() for _ in range(10)]
+
+    def test_different_seeds_diverge(self):
+        assert IdSource(seed=1).trace_id() != IdSource(seed=2).trace_id()
+
+    def test_no_collisions_in_a_large_draw(self):
+        ids = IdSource(seed=0)
+        drawn = [ids.span_id() for _ in range(20_000)]
+        assert len(set(drawn)) == len(drawn)
+
+
+class TestTracer:
+    def _one_trace(self, tracer: Tracer) -> str:
+        tid = tracer.new_trace()
+        root = tracer.record_span(tid, "request", 0.0, 10.0, rid=1)
+        tracer.record_span(tid, "batch_wait", 0.0, 4.0, parent=root)
+        execute = tracer.record_span(tid, "execute", 4.0, 10.0, parent=root)
+        tracer.record_span(tid, "compile", 4.0, 4.0, parent=execute)
+        tracer.record_span(tid, "device", 4.0, 10.0, parent=execute)
+        return tid
+
+    def test_span_tree_navigation(self):
+        tracer = Tracer(seed=0)
+        tid = self._one_trace(tracer)
+        root = tracer.root(tid)
+        assert root.name == "request"
+        names = sorted(s.name for s in tracer.children(root))
+        assert names == ["batch_wait", "execute"]
+        leaves = sorted(s.name for s in tracer.leaves(tid))
+        assert leaves == ["batch_wait", "compile", "device"]
+
+    def test_validate_accepts_exact_decomposition(self):
+        tracer = Tracer(seed=0)
+        tid = self._one_trace(tracer)
+        validate_trace(tracer, tid)  # must not raise
+
+    def test_zero_duration_leaf_does_not_perturb_the_sum(self):
+        tracer = Tracer(seed=0)
+        tid = self._one_trace(tracer)
+        compile_span = next(s for s in tracer.spans_for(tid) if s.name == "compile")
+        assert compile_span.duration == 0.0
+        validate_trace(tracer, tid)
+
+    def test_validate_rejects_leaf_sum_mismatch(self):
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        root = tracer.record_span(tid, "request", 0.0, 10.0)
+        tracer.record_span(tid, "device", 0.0, 6.0, parent=root)  # 4 s unattributed
+        with pytest.raises(ConfigError, match="leaf durations"):
+            validate_trace(tracer, tid)
+
+    def test_validate_rejects_child_escaping_parent(self):
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        root = tracer.record_span(tid, "request", 0.0, 10.0)
+        tracer.record_span(tid, "device", 0.0, 11.0, parent=root)
+        with pytest.raises(ConfigError, match="escapes parent"):
+            validate_trace(tracer, tid)
+
+    def test_validate_rejects_multiple_roots(self):
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        tracer.record_span(tid, "request", 0.0, 1.0)
+        tracer.record_span(tid, "request", 1.0, 2.0)
+        with pytest.raises(ConfigError, match="root spans"):
+            validate_trace(tracer, tid)
+
+    def test_backwards_span_rejected_at_record_time(self):
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        with pytest.raises(ConfigError, match="ends before it starts"):
+            tracer.record_span(tid, "request", 5.0, 4.0)
+
+    def test_events_attach_to_traces(self):
+        tracer = Tracer(seed=0)
+        tid = self._one_trace(tracer)
+        tracer.record_event(tid, "resilience.retry", 4.0, attempt=1)
+        events = tracer.events_for(tid)
+        assert [e.name for e in events] == ["resilience.retry"]
+        assert events[0].attrs == {"attempt": 1}
+
+
+class TestJsonlExport:
+    def test_roundtrips_through_load_trace(self, tmp_path):
+        from repro.obs import load_trace
+
+        tracer = Tracer(seed=3)
+        tid = tracer.new_trace()
+        root = tracer.record_span(tid, "request", 0.0, 2.0, rid=9)
+        tracer.record_span(tid, "device", 0.0, 2.0, parent=root)
+        tracer.record_event(tid, "resilience.retry", 1.0, attempt=1)
+        path = tracer.to_jsonl(tmp_path / "t.jsonl")
+
+        spans, events = load_trace(path)
+        assert [s.name for s in spans] == ["request", "device"]
+        assert spans[0].attrs == {"rid": 9}
+        assert [e.name for e in events] == ["resilience.retry"]
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        tracer.record_span(tid, "request", 0.0, 1.0, z=1, a=2)
+        path = tracer.to_jsonl(tmp_path / "t.jsonl")
+        line = path.read_text().splitlines()[0]
+        rec = json.loads(line)
+        assert list(rec) == sorted(rec)
+        assert line == json.dumps(rec, sort_keys=True, separators=(",", ":"))
+
+    def test_same_seed_runs_are_byte_identical(self, tmp_path):
+        def run(path):
+            tracer = Tracer(seed=11)
+            tid = tracer.new_trace()
+            root = tracer.record_span(tid, "request", 0.0, 1.5, rid=0)
+            tracer.record_span(tid, "device", 0.0, 1.5, parent=root)
+            return tracer.to_jsonl(path).read_bytes()
+
+        assert run(tmp_path / "a.jsonl") == run(tmp_path / "b.jsonl")
