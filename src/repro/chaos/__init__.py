@@ -1,0 +1,31 @@
+"""Chaos engineering for the serving stack.
+
+`repro.faults` can script *one* failure; production outages arrive as
+*storms* — bursts of correlated faults concentrated on a platform, with
+background flakiness everywhere.  This package generates seeded storms
+(:func:`fault_storm`) and soaks the full
+:class:`~repro.serve.service.CompressionService` under them
+(:func:`run_soak`), asserting the overload contract end to end:
+
+* every accepted request's output is bit-identical to the unfaulted
+  compressor (chaos may slow or shed work — never corrupt it);
+* every request is accounted for exactly once (served, shed, or failed —
+  no silent drops);
+* modelled p95 latency of accepted requests stays within budget;
+* circuit breakers complete a full open -> half-open -> closed cycle.
+
+Everything is seeded and priced on the modelled clock, so a soak is a
+deterministic test that replays bit-for-bit — in CI and on a laptop.
+See ``python -m repro chaos-soak`` and ``docs/RESILIENCE.md``.
+"""
+
+from repro.chaos.soak import SoakConfig, SoakReport, run_soak
+from repro.chaos.storm import STORM_RUN_KINDS, fault_storm
+
+__all__ = [
+    "STORM_RUN_KINDS",
+    "SoakConfig",
+    "SoakReport",
+    "fault_storm",
+    "run_soak",
+]

@@ -1,0 +1,239 @@
+"""Chaos soak: replay a fault storm through the full serving stack.
+
+:func:`run_soak` builds a seeded synthetic trace and a seeded
+:func:`~repro.chaos.storm.fault_storm`, replays the trace through a
+:class:`~repro.serve.service.CompressionService` configured with an
+:class:`~repro.serve.overload.OverloadPolicy` while the storm is armed,
+and checks the overload contract:
+
+``bit_identity``
+    Every accepted response is bit-identical to the unfaulted host
+    compressor evaluated at the configuration that was actually served
+    (the resolved ladder attempt + the possibly-degraded chop factor).
+    Chaos may slow, degrade, or shed work — never corrupt it.
+``accounting``
+    served + shed + failed covers every request exactly once; every shed
+    carries an explicit :class:`~repro.errors.ShedError`.
+``p95_latency``
+    Modelled p95 latency of accepted requests stays within
+    ``p95_budget_s``.
+``breaker_cycle``
+    At least one breaker completed a full open -> half-open -> closed
+    recovery cycle (proof the service both isolated a sick platform and
+    let it back in).
+
+The whole soak runs on the modelled clock with seeded inputs: a failure
+replays bit-for-bit from ``SoakConfig`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.storm import fault_storm
+from repro.core.api import make_compressor
+from repro.errors import ConfigError, ShedError
+from repro.faults.injector import FaultInjector
+from repro.serve.overload import BreakerPolicy, OverloadPolicy
+from repro.serve.service import CompressionService
+from repro.serve.stats import ServerStats
+from repro.serve.trace import synthetic_trace
+from repro.tensor import Tensor
+
+
+@dataclass
+class SoakConfig:
+    """Everything a soak run depends on — seeded and replayable."""
+
+    seed: int = 0
+    n_requests: int = 160
+    platforms: tuple[str, ...] = ("ipu", "a100")
+    max_batch: int = 8
+    max_wait: float = 0.002
+    rate: float = 2000.0               # trace arrivals per modelled second
+    # Overload policy under test.
+    deadline: float | None = 0.05      # generous: sheds the tail, not the bulk
+    shed_policy: str = "shed"
+    max_queue_depth: int | None = 64
+    failure_threshold: int = 3
+    open_seconds: float = 0.005
+    hedge_queue_seconds: float | None = None
+    negative_ttl: int | None = 8
+    # Storm shape (see :func:`fault_storm`).
+    bursts: int = 2
+    burst_len: int = 4
+    burst_spacing: int = 12
+    compile_flakes: int = 1
+    background_rate: float = 0.0
+    # SLO under chaos.
+    p95_budget_s: float = 0.05
+    require_breaker_cycle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ConfigError(f"n_requests must be >= 1, got {self.n_requests}")
+        if self.p95_budget_s <= 0:
+            raise ConfigError(f"p95_budget_s must be > 0, got {self.p95_budget_s}")
+
+    def overload_policy(self) -> OverloadPolicy:
+        return OverloadPolicy(
+            default_deadline=self.deadline,
+            shed_policy=self.shed_policy,
+            max_queue_depth=self.max_queue_depth,
+            breaker=BreakerPolicy(
+                failure_threshold=self.failure_threshold,
+                open_seconds=self.open_seconds,
+            ),
+            hedge_queue_seconds=self.hedge_queue_seconds,
+        )
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one soak run: tallies plus named pass/fail checks."""
+
+    config: SoakConfig
+    stats: ServerStats
+    n_served: int = 0
+    n_shed: int = 0
+    n_failed: int = 0
+    n_degraded: int = 0
+    n_faults_fired: int = 0
+    breaker_cycles: int = 0
+    p95_latency_s: float = 0.0
+    checks: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _, ok, _ in self.checks)
+
+    def format_report(self) -> str:
+        lines = [
+            "chaos soak "
+            + ("PASSED" if self.passed else "FAILED")
+            + f" (seed {self.config.seed}, {self.config.n_requests} requests, "
+            f"{self.n_faults_fired} faults fired)",
+            f"  served {self.n_served} / shed {self.n_shed} / failed {self.n_failed}"
+            f" / degraded {self.n_degraded}",
+            f"  p95 latency {self.p95_latency_s * 1e3:.3f} ms modelled"
+            f" (budget {self.config.p95_budget_s * 1e3:.3f} ms)",
+            f"  breaker cycles {self.breaker_cycles}"
+            f" ({len(self.stats.breaker_transitions)} transitions)",
+        ]
+        for name, ok, detail in self.checks:
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+        return "\n".join(lines)
+
+
+def _reference_output(response) -> np.ndarray:
+    """Unfaulted host compute at the configuration actually served."""
+    req = response.request
+    attempt = response.attempt
+    c, h, w = req.image.shape
+    comp = make_compressor(
+        h, w,
+        method=attempt.method if attempt is not None else req.method,
+        cf=req.cf,
+        s=attempt.s if attempt is not None else req.s,
+        block=req.block,
+    )
+    return comp.compress(Tensor(req.image[None])).numpy()[0]
+
+
+def run_soak(config: SoakConfig | None = None) -> SoakReport:
+    """Run one seeded chaos soak; never raises on contract violations —
+    they come back as failed checks in the report."""
+    config = config if config is not None else SoakConfig()
+    trace = synthetic_trace(
+        n=config.n_requests, seed=config.seed, rate=config.rate
+    )
+    storm = fault_storm(
+        config.seed + 1,
+        platforms=config.platforms,
+        bursts=config.bursts,
+        burst_len=config.burst_len,
+        burst_spacing=config.burst_spacing,
+        compile_flakes=config.compile_flakes,
+        background_rate=config.background_rate,
+    )
+    service = CompressionService(
+        config.platforms,
+        max_batch=config.max_batch,
+        max_wait=config.max_wait,
+        negative_ttl=config.negative_ttl,
+        overload=config.overload_policy(),
+    )
+    with FaultInjector(storm) as injector:
+        responses, stats = service.process(trace)
+
+    report = SoakReport(
+        config=config,
+        stats=stats,
+        n_served=len(responses),
+        n_shed=len(service.shed),
+        n_failed=len(service.failures),
+        n_degraded=len(service.degraded_rids),
+        n_faults_fired=len(injector.records),
+        breaker_cycles=sum(b.cycles() for b in service.breakers.values()),
+        p95_latency_s=stats.p95_latency_s,
+    )
+
+    # -- bit identity ---------------------------------------------------
+    corrupt = [
+        r.request.rid
+        for r in responses
+        if not np.array_equal(r.output, _reference_output(r))
+    ]
+    report.checks.append(
+        (
+            "bit_identity",
+            not corrupt,
+            f"{len(responses) - len(corrupt)}/{len(responses)} responses match"
+            + (f"; corrupt rids {corrupt[:5]}" if corrupt else ""),
+        )
+    )
+
+    # -- accounting -----------------------------------------------------
+    all_rids = {r.rid for r in trace}
+    served = {r.request.rid for r in responses}
+    shed = {s.request.rid for s in service.shed}
+    failed = {f.request.rid for f in service.failures}
+    overlap = (served & shed) | (served & failed) | (shed & failed)
+    missing = all_rids - served - shed - failed
+    typed = all(isinstance(s.error, ShedError) for s in service.shed)
+    ok = not overlap and not missing and typed
+    report.checks.append(
+        (
+            "accounting",
+            ok,
+            f"served {len(served)} + shed {len(shed)} + failed {len(failed)}"
+            f" = {len(served) + len(shed) + len(failed)}/{len(all_rids)}"
+            + (f"; missing {sorted(missing)[:5]}" if missing else "")
+            + (f"; double-counted {sorted(overlap)[:5]}" if overlap else "")
+            + ("" if typed else "; shed without ShedError"),
+        )
+    )
+
+    # -- latency SLO ----------------------------------------------------
+    report.checks.append(
+        (
+            "p95_latency",
+            report.p95_latency_s <= config.p95_budget_s,
+            f"{report.p95_latency_s * 1e3:.3f} ms <= "
+            f"{config.p95_budget_s * 1e3:.3f} ms budget",
+        )
+    )
+
+    # -- breaker recovery -----------------------------------------------
+    if config.require_breaker_cycle:
+        report.checks.append(
+            (
+                "breaker_cycle",
+                report.breaker_cycles >= 1,
+                f"{report.breaker_cycles} full open->half_open->closed cycle(s),"
+                f" transitions {[t[1:3] for t in stats.breaker_transitions]}",
+            )
+        )
+    return report

@@ -1,0 +1,99 @@
+"""Seeded fault-storm generator.
+
+A *storm* is a :class:`~repro.faults.FaultPlan` shaped like a real
+outage rather than a single scripted failure:
+
+* **bursts** — runs of consecutive transient faults (host-link timeouts,
+  launch failures) concentrated on one platform, sized to trip that
+  platform's circuit breaker;
+* **compile flakes** — transient toolchain failures (injected OOMs whose
+  ``deterministic`` flag is false), exercising the plan cache's bounded
+  negative-TTL re-probe path;
+* **background flakiness** — an optional per-event fault rate across all
+  platforms, drawn from the plan's seeded RNG.
+
+The generator is a pure function of ``(seed, knobs)``: the same call
+returns the same plan, and the plan itself serializes to JSON, so a soak
+failure in CI replays bit-for-bit from its seed alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+
+#: Transient run-site fault kinds a storm draws bursts from.  Deliberately
+#: excludes ``device_lost`` — storms model platforms that *recover*, which
+#: is what circuit breakers exist for; a lost device is permanent failover
+#: territory and already covered by the resilience tests.
+STORM_RUN_KINDS = ("host_link_timeout", "launch_failure")
+
+
+def fault_storm(
+    seed: int = 0,
+    *,
+    platforms: tuple[str, ...] = ("ipu", "a100"),
+    bursts: int = 2,
+    burst_len: int = 4,
+    burst_spacing: int = 12,
+    compile_flakes: int = 1,
+    background_rate: float = 0.0,
+) -> FaultPlan:
+    """Generate a seeded storm plan.
+
+    Parameters
+    ----------
+    seed:
+        Drives both burst placement here and the plan's own RNG (used by
+        rate-based specs at injection time).
+    platforms:
+        Pool the bursts strike; each burst picks one platform.
+    bursts:
+        Number of fault bursts.
+    burst_len:
+        Consecutive run-site events each burst hits on its platform.
+        Size it at or above the breaker's ``failure_threshold`` to
+        guarantee a trip.
+    burst_spacing:
+        Mean gap (in matching run-site events) between burst onsets;
+        actual offsets jitter around multiples of it.
+    compile_flakes:
+        Transient compile failures to sprinkle in (bounded-TTL negative
+        cache entries).
+    background_rate:
+        Per-event probability of a background host-link timeout on any
+        platform (0 disables).
+    """
+    if bursts < 0:
+        raise ConfigError(f"bursts must be >= 0, got {bursts}")
+    if burst_len < 1:
+        raise ConfigError(f"burst_len must be >= 1, got {burst_len}")
+    if burst_spacing < 1:
+        raise ConfigError(f"burst_spacing must be >= 1, got {burst_spacing}")
+    if compile_flakes < 0:
+        raise ConfigError(f"compile_flakes must be >= 0, got {compile_flakes}")
+    if not 0.0 <= background_rate <= 1.0:
+        raise ConfigError(f"background_rate must be in [0, 1], got {background_rate}")
+    if bursts and not platforms:
+        raise ConfigError("a storm with bursts needs at least one platform")
+
+    rng = np.random.default_rng(seed)
+    plan = FaultPlan(seed=seed)
+    for b in range(bursts):
+        platform = str(platforms[int(rng.integers(len(platforms)))])
+        kind = str(STORM_RUN_KINDS[int(rng.integers(len(STORM_RUN_KINDS)))])
+        # Onset jitters around b * burst_spacing; `after` counts *matching*
+        # events (same site, same platform), so bursts on different
+        # platforms advance independently.
+        onset = b * burst_spacing + int(rng.integers(0, burst_spacing))
+        plan.add("run", kind, after=onset, times=burst_len, platform=platform)
+    for f in range(compile_flakes):
+        # Injected OOMs carry deterministic=False: the plan cache may
+        # re-probe them after its negative TTL instead of blacklisting
+        # the configuration forever.
+        plan.add("compile", "oom", after=int(rng.integers(1, 6)) + 6 * f, times=1)
+    if background_rate > 0:
+        plan.add("run", "host_link_timeout", rate=background_rate)
+    return plan

@@ -27,7 +27,16 @@ Commands
     against the unbatched path.  ``--trace-out PATH`` additionally
     attaches a :class:`~repro.obs.trace.Tracer` and writes every
     request's span tree as JSONL; ``--metrics-out PATH`` dumps the
-    metrics registry in Prometheus text format.
+    metrics registry in Prometheus text format.  ``--deadline S``
+    attaches an :class:`~repro.serve.overload.OverloadPolicy` giving
+    every request a relative deadline; ``--shed-policy degrade``
+    re-admits predicted misses at a cheaper chop factor instead of
+    shedding them.  Exits 2 when any SLO check fails.
+``chaos-soak``
+    Replay a seeded fault storm through the overload-hardened service
+    and check the chaos contract: accepted outputs bit-identical to the
+    unfaulted compressor, every request accounted for, p95 within
+    budget, and a full breaker recovery cycle.  Exits 2 on failure.
 ``obs-report``
     Render a per-stage latency / byte breakdown from a trace JSONL file
     written by ``serve-demo --trace-out``.
@@ -356,6 +365,16 @@ def _cmd_serve_demo(args) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer(seed=args.seed)
+
+    def overload_policy():
+        if args.deadline is None and args.shed_policy == "shed":
+            return None
+        from repro.serve import OverloadPolicy
+
+        return OverloadPolicy(
+            default_deadline=args.deadline, shed_policy=args.shed_policy
+        )
+
     trace = synthetic_trace(args.requests, seed=args.seed)
     service = CompressionService(
         platforms,
@@ -363,12 +382,19 @@ def _cmd_serve_demo(args) -> int:
         max_wait=args.max_wait,
         policy=args.policy,
         cache_capacity=args.cache_capacity,
+        overload=overload_policy(),
         tracer=tracer,
     )
     print(
         f"replaying {args.requests} requests (seed {args.seed}) on "
         f"{','.join(platforms)} [policy {args.policy}, max_batch {args.max_batch}, "
-        f"max_wait {args.max_wait * 1e3:g} ms]\n"
+        f"max_wait {args.max_wait * 1e3:g} ms"
+        + (
+            f", deadline {args.deadline * 1e3:g} ms, shed-policy {args.shed_policy}"
+            if args.deadline is not None
+            else ""
+        )
+        + "]\n"
     )
     responses, stats = service.process(trace)
     print(stats.format_table())
@@ -410,9 +436,21 @@ def _cmd_serve_demo(args) -> int:
             f"plan-cache hit rate {stats.cache_hit_rate:.1%} >= {args.min_hit_rate:.0%}",
             stats.cache_hit_rate >= args.min_hit_rate,
         ),
-        ("dynamic batching reduces modelled device time", stats.busy_s < seq_stats.busy_s),
+        (
+            "dynamic batching reduces modelled device time",
+            stats.n_batches > 0 and stats.busy_s < seq_stats.busy_s,
+        ),
         (f"per-image outputs bit-identical ({mismatches} mismatches)", mismatches == 0),
     ]
+    if stats.overload_active:
+        accounted = len(responses) + stats.n_shed + stats.n_failed
+        checks.append(
+            (
+                f"every request accounted for (served {len(responses)}, "
+                f"shed {stats.n_shed}, degraded {stats.n_degraded})",
+                accounted == stats.n_requests,
+            )
+        )
 
     if tracer is not None:
         from pathlib import Path
@@ -451,6 +489,7 @@ def _cmd_serve_demo(args) -> int:
             max_wait=args.max_wait,
             policy=args.policy,
             cache_capacity=args.cache_capacity,
+            overload=overload_policy(),
         )
         plain_responses, plain_stats = untraced.process(
             synthetic_trace(args.requests, seed=args.seed)
@@ -483,7 +522,37 @@ def _cmd_serve_demo(args) -> int:
         print(f"  [{'ok' if ok else 'FAIL'}] {label}")
     passed = all(ok for _, ok in checks)
     print("serve demo:", "all checks passed" if passed else "FAILED")
-    return 0 if passed else 1
+    # Exit 2 on SLO failure: the expected-failure convention every other
+    # command boundary here uses (see _guarded), so scripts can tell a
+    # failed check from a crashed demo.
+    return 0 if passed else 2
+
+
+@_guarded
+def _cmd_chaos_soak(args) -> int:
+    """Replay a seeded fault storm through the overload-hardened service."""
+    from repro.chaos import SoakConfig, run_soak
+
+    platforms = tuple(p.strip() for p in args.platforms.split(",") if p.strip())
+    if not platforms:
+        print("error: --platforms must name at least one platform", file=sys.stderr)
+        return 2
+    config = SoakConfig(
+        seed=args.seed,
+        n_requests=args.requests,
+        platforms=platforms,
+        deadline=args.deadline,
+        shed_policy=args.shed_policy,
+        bursts=args.bursts,
+        burst_len=args.burst_len,
+        background_rate=args.background_rate,
+        p95_budget_s=args.p95_budget,
+        hedge_queue_seconds=args.hedge_queue,
+        require_breaker_cycle=not args.no_breaker_check,
+    )
+    report = run_soak(config)
+    print(report.format_report())
+    return 0 if report.passed else 2
 
 
 @_guarded
@@ -627,7 +696,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         help="dump the metrics registry in Prometheus text format",
     )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request relative deadline (modelled s); enables overload control",
+    )
+    p.add_argument(
+        "--shed-policy",
+        default="shed",
+        choices=("shed", "degrade"),
+        help="on a predicted deadline miss: shed, or degrade to a cheaper chop factor",
+    )
     p.set_defaults(fn=_cmd_serve_demo)
+
+    p = sub.add_parser(
+        "chaos-soak",
+        help="seeded fault storm through the overload-hardened serving stack",
+    )
+    p.add_argument("--requests", type=int, default=160)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--platforms", default="ipu,a100", help="comma-separated worker instances")
+    p.add_argument("--deadline", type=float, default=0.05, help="per-request deadline (modelled s)")
+    p.add_argument("--shed-policy", default="shed", choices=("shed", "degrade"))
+    p.add_argument("--bursts", type=int, default=2, help="fault bursts in the storm")
+    p.add_argument("--burst-len", type=int, default=4, help="consecutive faults per burst")
+    p.add_argument(
+        "--background-rate", type=float, default=0.0, help="per-event background fault rate"
+    )
+    p.add_argument(
+        "--p95-budget", type=float, default=0.05, help="modelled p95 latency budget (s)"
+    )
+    p.add_argument(
+        "--hedge-queue", type=float, default=None, help="hedge batches queued beyond this (modelled s)"
+    )
+    p.add_argument(
+        "--no-breaker-check",
+        action="store_true",
+        help="skip the breaker open->half_open->closed cycle assertion",
+    )
+    p.set_defaults(fn=_cmd_chaos_soak)
 
     p = sub.add_parser(
         "obs-report",

@@ -14,7 +14,14 @@ class CompileError(ReproError):
 
     Mirrors the paper's observed compile failures (e.g. SN30 and GroqChip
     out-of-memory at 512x512 resolution, GroqChip beyond batch size 1000).
+
+    ``deterministic`` distinguishes rejections that are a pure function of
+    the plan key (the platform capability model always says no) from
+    transient toolchain failures (an injected flaky compiler): only the
+    former may be negatively cached forever.
     """
+
+    deterministic = True
 
     def __init__(self, message: str, *, platform: str | None = None, reason: str | None = None):
         super().__init__(message)
@@ -72,3 +79,27 @@ class LaunchFailureError(TransientDeviceError):
 
 class DeviceLostError(DeviceError):
     """The device dropped off the bus; it will not come back this run."""
+
+
+class ShedError(ReproError):
+    """The serving layer refused a request instead of serving it late.
+
+    Raised (or attached to a :class:`~repro.serve.overload.ShedRequest`)
+    by deadline-aware admission control, bounded-queue backpressure, and
+    graceful drain.  Shedding is always explicit — a request is never
+    silently dropped — and ``reason`` says which policy fired
+    (``"deadline"``, ``"queue_full"``, ``"expired"``, ``"draining"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "deadline",
+        deadline: float | None = None,
+        predicted_finish: float | None = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.deadline = deadline
+        self.predicted_finish = predicted_finish

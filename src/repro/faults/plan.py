@@ -93,7 +93,12 @@ class FaultSpec:
         exc_type = RAISING_KINDS[self.kind]
         msg = f"injected {self.kind}" + (f" on {platform}" if platform else "")
         if issubclass(exc_type, (OutOfMemoryError, UnsupportedOperatorError)):
-            return exc_type(msg, platform=platform, reason=f"injected: {self.kind}")
+            exc = exc_type(msg, platform=platform, reason=f"injected: {self.kind}")
+            # An injected toolchain failure models a *flaky* compiler, not
+            # the capability model's deterministic rejection — negative
+            # plan-cache entries for it may be re-probed (bounded TTL).
+            exc.deterministic = False
+            return exc
         return exc_type(msg, platform=platform)
 
 

@@ -48,6 +48,7 @@ class ResilientCompressor:
         max_failovers: int = 3,
         plan_cache=None,
         preresolved: LadderResult | None = None,
+        retry_key: int = 0,
     ) -> None:
         """``plan_cache`` and ``preresolved`` avoid redundant compiles.
 
@@ -59,6 +60,10 @@ class ResilientCompressor:
         it seeds the compress side with an already-resolved
         :class:`LadderResult` (the caller must have produced it for the
         same shape/configuration), so even the ladder walk is skipped.
+
+        ``retry_key`` selects the jitter stream for retry backoff (the
+        serving layer passes a per-request id so concurrent traces
+        replay bit-identically).
         """
         self.height = height
         self.width = width if width is not None else height
@@ -75,6 +80,7 @@ class ResilientCompressor:
         self.log = log if log is not None else RecoveryLog()
         self.max_failovers = max_failovers
         self.plan_cache = plan_cache
+        self.retry_key = retry_key
         self._dead: set[str] = set()
         self._compiled: dict[str, LadderResult] = {}
         if preresolved is not None:
@@ -174,11 +180,17 @@ class ResilientCompressor:
         n = result.attempt.n_devices
         arr = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float32)
         if n == 1:
-            run = run_with_recovery(result.program.run, arr, policy=self.retry, log=self.log)
+            run = run_with_recovery(
+                result.program.run, arr,
+                policy=self.retry, log=self.log, retry_key=self.retry_key,
+            )
             return run.output
         shards = np.split(arr, n, axis=0)
         outputs = [
-            run_with_recovery(result.program.run, shard, policy=self.retry, log=self.log).output
+            run_with_recovery(
+                result.program.run, shard,
+                policy=self.retry, log=self.log, retry_key=self.retry_key,
+            ).output
             for shard in shards
         ]
         return Tensor(np.concatenate([o.numpy() for o in outputs], axis=0))

@@ -21,7 +21,13 @@ from repro.resilience.log import RecoveryLog
 
 @dataclass
 class RetryPolicy:
-    """Backoff schedule for transient faults."""
+    """Backoff schedule for transient faults.
+
+    Jitter is a pure function of ``(seed, attempt, key)`` — there is no
+    shared mutable RNG — so concurrent traces replay bit-identically no
+    matter how retries from different requests interleave.  ``key`` is a
+    caller-chosen stream id (the serving layer passes the request id).
+    """
 
     max_retries: int = 3
     base_delay: float = 0.05     # seconds before the first retry
@@ -33,13 +39,13 @@ class RetryPolicy:
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
-        self._rng = np.random.default_rng(self.seed)
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (0-based), jittered."""
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered statelessly."""
         base = min(self.max_delay, self.base_delay * (2.0**attempt))
         if self.jitter:
-            base *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+            u = np.random.default_rng((self.seed, int(key), attempt)).random()
+            base *= 1.0 + self.jitter * (2.0 * u - 1.0)
         return max(0.0, base)
 
 
@@ -48,6 +54,7 @@ def run_with_recovery(
     *args,
     policy: RetryPolicy | None = None,
     log: RecoveryLog | None = None,
+    retry_key: int = 0,
     **kwargs,
 ):
     """Call ``fn(*args, **kwargs)``, retrying transient device faults.
@@ -55,7 +62,8 @@ def run_with_recovery(
     Returns ``fn``'s result.  Re-raises the last
     :class:`TransientDeviceError` once retries are exhausted, and any
     non-transient exception immediately (device-lost and compile errors
-    are the degradation ladder's job, not retry's).
+    are the degradation ladder's job, not retry's).  ``retry_key``
+    selects the jitter stream (see :meth:`RetryPolicy.delay`).
     """
     policy = policy if policy is not None else RetryPolicy()
     # Explicit None check: an empty RecoveryLog is falsy (it has __len__).
@@ -75,7 +83,7 @@ def run_with_recovery(
             if attempt >= policy.max_retries:
                 log.record("gave_up", f"retries exhausted after {attempt + 1} attempts")
                 raise
-            pause = policy.delay(attempt)
+            pause = policy.delay(attempt, key=retry_key)
             log.record("retry", f"retrying after {pause * 1e3:.0f} ms backoff", attempt=attempt + 1)
             policy.sleep(pause)
             attempt += 1

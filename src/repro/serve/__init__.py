@@ -14,11 +14,24 @@ key.  This package exploits that for the serving path:
 * :class:`CompressionService` — the event loop tying the three together
   on top of the PR 1 resilience layer, emitting a :class:`ServerStats`
   snapshot per trace.
+* :class:`OverloadPolicy` — opt-in overload resilience: deadlines with
+  shed-or-degrade admission control, bounded queues, per-platform
+  :class:`CircuitBreaker`\\ s, hedged dispatch, graceful drain.
 
 See ``docs/SERVING.md`` and ``python -m repro serve-demo``.
 """
 
+from repro.errors import ShedError
 from repro.serve.batcher import Batch, DynamicBatcher, Request, ServiceKey
+from repro.serve.overload import (
+    BREAKER_STATES,
+    SHED_POLICIES,
+    SHED_REASONS,
+    BreakerPolicy,
+    CircuitBreaker,
+    OverloadPolicy,
+    ShedRequest,
+)
 from repro.serve.plan_cache import CacheStats, CompiledPlanCache
 from repro.serve.scheduler import POLICIES, PlatformWorker, Scheduler
 from repro.serve.service import CompressionService, FailedRequest, Response
@@ -41,4 +54,12 @@ __all__ = [
     "ServerStats",
     "percentile",
     "synthetic_trace",
+    "BREAKER_STATES",
+    "SHED_POLICIES",
+    "SHED_REASONS",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "OverloadPolicy",
+    "ShedRequest",
+    "ShedError",
 ]

@@ -40,7 +40,14 @@ class ServiceKey:
 
 @dataclass
 class Request:
-    """One single-image compression request in a trace."""
+    """One single-image compression request in a trace.
+
+    ``deadline`` is an *absolute* modelled time by which the caller needs
+    the result (``None`` = no deadline).  The overload layer sheds — or
+    degrades — requests the timing model predicts cannot finish by it;
+    with no :class:`~repro.serve.overload.OverloadPolicy` attached the
+    field is carried but never consulted.
+    """
 
     rid: int
     image: np.ndarray                  # (C, H, W) float32
@@ -49,6 +56,7 @@ class Request:
     cf: int = 4
     s: int = 2
     block: int = DEFAULT_BLOCK
+    deadline: float | None = None      # absolute modelled time, None = no deadline
 
     def __post_init__(self) -> None:
         if self.image.ndim != 3:
@@ -88,13 +96,32 @@ class Batch:
             out[i] = req.image
         return out
 
+    def split_expired(self, now: float) -> tuple[list[Request], list[Request]]:
+        """Partition members into (live, expired-by-``now``) lists.
+
+        A member is expired when its deadline has already passed at batch
+        formation — serving it would only deliver a result the caller has
+        stopped waiting for.  The overload layer sheds the expired tail
+        explicitly and dispatches (and zero-pads) the live head only.
+        """
+        live = [r for r in self.requests if r.deadline is None or r.deadline >= now]
+        expired = [r for r in self.requests if not (r.deadline is None or r.deadline >= now)]
+        return live, expired
+
 
 @dataclass
 class DynamicBatcher:
-    """Coalesce same-key requests under a max-batch / max-wait policy."""
+    """Coalesce same-key requests under a max-batch / max-wait policy.
+
+    ``max_depth`` optionally bounds the total queued requests across all
+    groups; :attr:`at_capacity` is the backpressure signal the overload
+    layer consults before admitting more work (``None`` = unbounded, the
+    pre-overload behaviour).
+    """
 
     max_batch: int = 8
     max_wait: float = 0.002            # modelled seconds the oldest request may wait
+    max_depth: int | None = None       # bound on queued requests (backpressure)
     _pending: dict[ServiceKey, list[Request]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -102,6 +129,8 @@ class DynamicBatcher:
             raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait < 0:
             raise ConfigError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ConfigError(f"max_depth must be >= 1, got {self.max_depth}")
 
     # ------------------------------------------------------------------
     def add(self, request: Request) -> Batch | None:
@@ -144,3 +173,8 @@ class DynamicBatcher:
     def depth(self) -> int:
         """Requests currently queued across all groups."""
         return sum(len(g) for g in self._pending.values())
+
+    @property
+    def at_capacity(self) -> bool:
+        """Backpressure signal: the bounded queue is full."""
+        return self.max_depth is not None and self.depth >= self.max_depth

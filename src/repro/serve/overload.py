@@ -1,0 +1,264 @@
+"""Overload-resilience policies for the serving layer.
+
+`repro.serve` was built for a well-behaved trace: no request ever
+expires, the queue grows without bound, and a platform that keeps
+faulting is retried forever at full price.  This module gives
+:class:`~repro.serve.service.CompressionService` the mechanisms a
+production service needs when traffic turns hostile:
+
+* **Deadlines + admission control** — every
+  :class:`~repro.serve.batcher.Request` may carry an absolute modelled
+  ``deadline``; admission control predicts the finish time from the
+  analytical timing model (worst-case batch wait + queue horizon +
+  estimated batch seconds) and *sheds* requests that cannot make it.  A
+  shed is always an explicit :class:`~repro.errors.ShedError` result —
+  never a silent drop.
+* **Degrade-instead-of-shed** — with ``shed_policy="degrade"``, a
+  request that would miss its deadline is re-admitted at the next rung
+  of ``degrade_cfs``: a *lower* chop factor, i.e. a *higher* compression
+  ratio (``block^2 / cf^2``), which moves less data and finishes sooner.
+  This echoes Progressive Compressed Records' deadline-aware fidelity
+  selection.  Only if no rung fits is the request shed.
+* **Bounded queues** — ``max_queue_depth`` caps the batcher; the
+  backpressure signal sheds with reason ``"queue_full"`` instead of
+  letting the queue grow without bound.
+* **Circuit breakers** — one :class:`CircuitBreaker` per platform, fed
+  by the retry/fault outcomes the resilience layer logs.  A platform
+  whose dispatches keep faulting is opened (routed around), re-probed
+  after ``open_seconds`` of modelled time (half-open), and closed again
+  after clean probes.
+* **Hedged dispatch** — when the chosen worker's queue delay exceeds
+  ``hedge_queue_seconds``, the batch is also dispatched on the best
+  worker of a *different* platform; the first finisher wins and the
+  loser is cancelled at the winner's finish time (its booked modelled
+  time is truncated accordingly).
+
+Everything here is deterministic and priced on the modelled clock; with
+no :class:`OverloadPolicy` attached the service takes the exact pre-
+overload code path, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, ShedError
+from repro.serve.batcher import Request
+
+#: Circuit-breaker states, in escalation order.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+#: Admission-control responses to a predicted deadline miss.
+SHED_POLICIES = ("shed", "degrade")
+
+#: Reasons a request may be shed (the ``reason`` label on
+#: ``repro_overload_shed_total`` and on :class:`~repro.errors.ShedError`).
+SHED_REASONS = ("deadline", "queue_full", "expired", "draining")
+
+# Gauge encoding for repro_breaker_state{platform}.
+_STATE_VALUE = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+
+@dataclass
+class BreakerPolicy:
+    """Knobs for one per-platform circuit breaker.
+
+    ``failure_threshold`` consecutive fault signals open the breaker
+    (a clean, fault-free dispatch resets the count; a dispatch that
+    succeeded only after retries does *not* — sustained flakiness
+    accumulates).  An open breaker rejects traffic for ``open_seconds``
+    of modelled time, then admits probes (half-open); ``probe_successes``
+    clean probes close it, any fault re-opens it.
+    """
+
+    failure_threshold: int = 3
+    open_seconds: float = 0.05
+    probe_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.open_seconds <= 0:
+            raise ConfigError(f"open_seconds must be > 0, got {self.open_seconds}")
+        if self.probe_successes < 1:
+            raise ConfigError(
+                f"probe_successes must be >= 1, got {self.probe_successes}"
+            )
+
+
+class CircuitBreaker:
+    """Closed / open / half-open state machine for one platform.
+
+    Fed by the serving layer after every dispatch: ``record_faults`` with
+    the number of fault events the resilience layer logged against this
+    platform, then ``record_success`` if the dispatch ultimately
+    produced a result there.  Every transition is appended to
+    ``transitions`` as ``(from, to, modelled_time)`` and mirrored to the
+    ``repro_breaker_*`` instruments.
+    """
+
+    def __init__(self, platform: str, policy: BreakerPolicy, *, registry=None) -> None:
+        self.platform = platform
+        self.policy = policy
+        self.state = "closed"
+        self.transitions: list[tuple[str, str, float]] = []
+        self._faults = 0
+        self._probe_ok = 0
+        self._opened_at = 0.0
+        self._m_state = self._m_transitions = None
+        if registry is not None:
+            self._m_state = registry.gauge(
+                "repro_breaker_state",
+                help="breaker state by platform (0 closed, 1 half-open, 2 open)",
+            )
+            self._m_state.set(0.0, platform=platform)
+            self._m_transitions = registry.counter(
+                "repro_breaker_transitions_total",
+                help="breaker state transitions, by platform and target state",
+            )
+
+    # ------------------------------------------------------------------
+    def _transition(self, to: str, now: float) -> None:
+        frm, self.state = self.state, to
+        self.transitions.append((frm, to, now))
+        if self._m_state is not None:
+            self._m_state.set(_STATE_VALUE[to], platform=self.platform)
+            self._m_transitions.inc(platform=self.platform, to=to)
+
+    # ------------------------------------------------------------------
+    def would_allow(self, now: float) -> bool:
+        """Read-only routing check (no state change) — used by prediction."""
+        if self.state != "open":
+            return True
+        return now >= self._opened_at + self.policy.open_seconds
+
+    def allows(self, now: float) -> bool:
+        """Routing check at dispatch time; an expired open window moves to half-open."""
+        if self.state == "open":
+            if now >= self._opened_at + self.policy.open_seconds:
+                self._probe_ok = 0
+                self._transition("half_open", now)
+                return True
+            return False
+        return True
+
+    def record_faults(self, n: int, now: float) -> None:
+        """Feed ``n`` fault signals observed against this platform."""
+        if n <= 0 or self.state == "open":
+            return
+        if self.state == "half_open":
+            # The probe faulted: isolate again for a full open window.
+            self._faults = 0
+            self._opened_at = now
+            self._transition("open", now)
+            return
+        self._faults += n
+        if self._faults >= self.policy.failure_threshold:
+            self._faults = 0
+            self._opened_at = now
+            self._transition("open", now)
+
+    def record_success(self, now: float, *, clean: bool = True) -> None:
+        """Feed one successful dispatch; ``clean`` means it needed no retries."""
+        if self.state == "half_open":
+            if not clean:
+                return
+            self._probe_ok += 1
+            if self._probe_ok >= self.policy.probe_successes:
+                self._faults = 0
+                self._transition("closed", now)
+        elif self.state == "closed" and clean:
+            self._faults = 0
+
+    # ------------------------------------------------------------------
+    def cycles(self) -> int:
+        """Completed open -> half-open -> closed recovery cycles."""
+        path = [t[1] for t in self.transitions]
+        count = 0
+        for i in range(len(path) - 2):
+            if path[i : i + 3] == ["open", "half_open", "closed"]:
+                count += 1
+        return count
+
+
+@dataclass
+class OverloadPolicy:
+    """Everything the service does differently when traffic turns hostile.
+
+    Attach one to :class:`~repro.serve.service.CompressionService` via
+    ``overload=``; leave it ``None`` for the exact pre-overload
+    behaviour (zero overhead when off).
+
+    Parameters
+    ----------
+    default_deadline:
+        Relative deadline (modelled seconds after arrival) applied to
+        requests that carry none.  ``None`` leaves deadline-free
+        requests unconstrained.
+    shed_policy:
+        ``"shed"`` rejects predicted deadline misses outright;
+        ``"degrade"`` first tries re-admitting at the chop factors in
+        ``degrade_cfs`` (descending; only factors *below* the request's
+        own — i.e. higher compression ratios — are considered) and sheds
+        only if none fits.
+    degrade_cfs:
+        Candidate lower chop factors for degrade-instead-of-shed,
+        gentlest (largest) first.  Lower chop factor = higher compression
+        ratio = cheaper, lower-fidelity program.
+    max_queue_depth:
+        Bound on batcher depth; admissions beyond it shed with reason
+        ``"queue_full"``.  ``None`` = unbounded.
+    breaker:
+        Per-platform :class:`BreakerPolicy`, or ``None`` to disable
+        circuit breaking.
+    hedge_queue_seconds:
+        Queue delay (modelled seconds between batch formation and
+        execution start) beyond which a duplicate dispatch is hedged on
+        another platform.  ``None`` disables hedging.
+    """
+
+    default_deadline: float | None = None
+    shed_policy: str = "shed"
+    degrade_cfs: tuple[int, ...] = (2, 1)
+    max_queue_depth: int | None = None
+    breaker: BreakerPolicy | None = field(default_factory=BreakerPolicy)
+    hedge_queue_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigError(
+                f"unknown shed policy {self.shed_policy!r}; expected one of {SHED_POLICIES}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ConfigError(
+                f"default_deadline must be > 0, got {self.default_deadline}"
+            )
+        if any(cf < 1 for cf in self.degrade_cfs):
+            raise ConfigError(f"degrade_cfs must all be >= 1, got {self.degrade_cfs}")
+        if self.degrade_cfs != tuple(sorted(self.degrade_cfs, reverse=True)):
+            raise ConfigError(
+                f"degrade_cfs must be descending (gentlest rung first), got {self.degrade_cfs}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.hedge_queue_seconds is not None and self.hedge_queue_seconds < 0:
+            raise ConfigError(
+                f"hedge_queue_seconds must be >= 0, got {self.hedge_queue_seconds}"
+            )
+
+
+@dataclass
+class ShedRequest:
+    """One explicitly refused request: the request plus why and when."""
+
+    request: Request
+    error: ShedError
+    time: float                        # modelled time the shed decision fired
+
+    @property
+    def reason(self) -> str:
+        return self.error.reason

@@ -57,17 +57,39 @@ class CompiledPlanCache:
     ``get``/``put`` are the raw interface; :meth:`get_or_compile` wraps a
     compile callback so callers get one-line memoization.  Cached
     :class:`CompileError` entries re-raise on lookup — a deterministic
-    toolchain rejects the same program every time.
+    toolchain rejects the same program every time.  Negative entries
+    whose error is *not* deterministic (``exc.deterministic`` false, e.g.
+    an injected flaky-toolchain fault) get a bounded re-probe budget of
+    ``negative_ttl`` lookups, so a transiently failing compiler is not
+    blacklisted forever.
     """
 
-    def __init__(self, capacity: int = 64, *, registry=None) -> None:
+    def __init__(
+        self, capacity: int = 64, *, negative_ttl: int | None = None, registry=None
+    ) -> None:
         if capacity < 1:
             raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        if negative_ttl is not None and negative_ttl < 1:
+            raise ConfigError(f"negative_ttl must be >= 1, got {negative_ttl}")
         self.capacity = capacity
+        self.negative_ttl = negative_ttl
         self._entries: OrderedDict[PlanKey, CompiledProgram | CompileError] = OrderedDict()
+        # Remaining lookups before a *transient* negative entry is dropped
+        # and the toolchain re-probed.  Deterministic rejections (the
+        # capability model's SN30 512x512 OOM) never appear here — they
+        # stay cached forever, exactly as without a TTL.
+        self._neg_budget: dict[PlanKey, int] = {}
         self._lock = threading.Lock()
         reg = registry if registry is not None else get_registry()
         self._label = f"c{next(_INSTANCE_SEQ)}"
+        self._c_reprobes = (
+            reg.counter(
+                "repro_plan_cache_negative_reprobes_total",
+                help="transient negative entries dropped after their lookup TTL",
+            )
+            if negative_ttl is not None
+            else None
+        )
         self._c_hits = reg.counter(
             "repro_plan_cache_hits_total", help="plan-cache lookups served from cache"
         )
@@ -81,12 +103,28 @@ class CompiledPlanCache:
 
     # ------------------------------------------------------------------
     def get(self, key: PlanKey) -> CompiledProgram | CompileError | None:
-        """Counted lookup; refreshes LRU order on hit."""
+        """Counted lookup; refreshes LRU order on hit.
+
+        A *transient* negative entry (a :class:`CompileError` whose
+        ``deterministic`` flag is false) is served at most ``negative_ttl``
+        times; the next lookup drops it and misses, so the caller
+        re-probes the toolchain instead of trusting a stale blacklist.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._c_misses.inc(cache=self._label)
                 return None
+            if isinstance(entry, CompileError) and key in self._neg_budget:
+                budget = self._neg_budget[key]
+                if budget <= 0:
+                    del self._entries[key]
+                    del self._neg_budget[key]
+                    self._c_misses.inc(cache=self._label)
+                    self._c_reprobes.inc(cache=self._label)
+                    self._g_size.set(len(self._entries), cache=self._label)
+                    return None
+                self._neg_budget[key] = budget - 1
             self._entries.move_to_end(key)
             self._c_hits.inc(cache=self._label)
             return entry
@@ -95,8 +133,16 @@ class CompiledPlanCache:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
+            self._neg_budget.pop(key, None)
+            if (
+                self.negative_ttl is not None
+                and isinstance(value, CompileError)
+                and not getattr(value, "deterministic", True)
+            ):
+                self._neg_budget[key] = self.negative_ttl
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._neg_budget.pop(evicted, None)
                 self._c_evictions.inc(cache=self._label)
             self._g_size.set(len(self._entries), cache=self._label)
 
@@ -136,6 +182,7 @@ class CompiledPlanCache:
         """Drop all entries; counters keep accumulating."""
         with self._lock:
             self._entries.clear()
+            self._neg_budget.clear()
             self._g_size.set(0, cache=self._label)
 
     @property

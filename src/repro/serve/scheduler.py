@@ -69,16 +69,26 @@ class Scheduler:
         self,
         now: float,
         estimate: Callable[[PlatformWorker], float] | None = None,
+        permit: Callable[[PlatformWorker], bool] | None = None,
     ) -> PlatformWorker:
         """Choose a live worker for a batch flushed at ``now``.
 
         ``estimate`` maps a worker to the modelled seconds the batch would
         take on its platform (``inf`` when it cannot compile there); it is
         required by — and only consulted for — ``fastest-finish``.
+
+        ``permit`` optionally filters candidates (the overload layer
+        passes the circuit-breaker check).  If it rejects every live
+        worker, the full live set is used anyway — breakers route around
+        sick platforms, they must never brick the whole service.
         """
         workers = self.alive()
         if not workers:
             raise DeviceLostError("no live platform instances remain")
+        if permit is not None:
+            permitted = [w for w in workers if permit(w)]
+            if permitted:
+                workers = permitted
         if self.policy == "least-loaded":
             return min(workers, key=lambda w: (max(w.busy_until, now), w.name))
         if estimate is None:
@@ -98,6 +108,18 @@ class Scheduler:
         worker.batches += 1
         worker.busy_seconds += duration
         return finish
+
+    def book_cancelled(self, worker: PlatformWorker, start: float, seconds: float) -> None:
+        """Book a partial, *cancelled* run (the losing leg of a hedge).
+
+        The worker's modelled time is consumed up to the cancellation
+        point but no batch is credited — ``sum(batches_by_platform)``
+        must keep equalling the number of batches actually served.
+        """
+        if seconds <= 0:
+            return
+        worker.busy_until = max(worker.busy_until, start + seconds)
+        worker.busy_seconds += seconds
 
     # ------------------------------------------------------------------
     @property

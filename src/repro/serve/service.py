@@ -33,23 +33,42 @@ resilience events (retries, ladder rungs, failovers) are attached to the
 originating requests' trace IDs.  Tracing never touches the modelled
 timing math — with the tracer detached (the default), outputs are
 bit-identical to the untraced path.
+
+With an :class:`~repro.serve.overload.OverloadPolicy` attached
+(``overload=``), the service additionally enforces deadlines (admission
+control sheds — or degrades to a higher CF — requests the timing model
+predicts cannot finish in time), bounds the queue, routes around sick
+platforms via per-platform circuit breakers, hedges straggler batches on
+a second platform, and supports graceful drain.  Every refusal is an
+explicit :class:`~repro.serve.overload.ShedRequest` carrying a
+:class:`~repro.errors.ShedError` — never a silent drop.  With
+``overload=None`` (the default) none of this machinery is consulted and
+replays are bit-identical to the pre-overload serving path.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.accel.compiler import PlanKey, compile_program
 from repro.core.api import make_compressor
 from repro.core.dct import DEFAULT_BLOCK
-from repro.errors import CompileError, ConfigError, DeviceError, DeviceLostError
+from repro.errors import (
+    CompileError,
+    ConfigError,
+    DeviceError,
+    DeviceLostError,
+    ShapeError,
+    ShedError,
+)
 from repro.obs.metrics import exponential_buckets, get_registry
 from repro.resilience import LadderPolicy, ResilientCompressor, RetryPolicy
 from repro.resilience.log import RecoveryLog
 from repro.serve.batcher import Batch, DynamicBatcher, Request
+from repro.serve.overload import CircuitBreaker, OverloadPolicy, ShedRequest
 from repro.serve.plan_cache import CompiledPlanCache
 from repro.serve.scheduler import PlatformWorker, Scheduler
 from repro.serve.stats import ServerStats, latency_reservoir
@@ -69,6 +88,7 @@ class Response:
     finish: float
     degraded: bool = False
     trace_id: str | None = None
+    attempt: object = None             # resolved ladder Attempt (method/s actually served)
 
     @property
     def latency_s(self) -> float:
@@ -95,18 +115,29 @@ class CompressionService:
         policy: str = "least-loaded",
         cache: CompiledPlanCache | None = None,
         cache_capacity: int = 64,
+        negative_ttl: int | None = None,
         retry: RetryPolicy | None = None,
         ladder: LadderPolicy | None = None,
         log: RecoveryLog | None = None,
         max_failovers: int = 3,
+        overload: OverloadPolicy | None = None,
         tracer=None,
         registry=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
         self.max_batch = max_batch
-        self.cache = cache if cache is not None else CompiledPlanCache(cache_capacity)
-        self.batcher = DynamicBatcher(max_batch=max_batch, max_wait=max_wait)
+        self.cache = (
+            cache
+            if cache is not None
+            else CompiledPlanCache(cache_capacity, negative_ttl=negative_ttl)
+        )
+        self.overload = overload
+        self.batcher = DynamicBatcher(
+            max_batch=max_batch,
+            max_wait=max_wait,
+            max_depth=overload.max_queue_depth if overload is not None else None,
+        )
         self.scheduler = Scheduler(tuple(platforms), policy=policy)
         self.retry = retry if retry is not None else RetryPolicy(sleep=lambda _s: None)
         self.ladder = ladder if ladder is not None else LadderPolicy()
@@ -117,9 +148,19 @@ class CompressionService:
         self._dead: set[str] = set()
         self._n_batches = 0
         self._n_failovers = 0
+        self._n_hedges = 0
+        self._n_hedge_wins = 0
+        self._draining = False
         self._latency = latency_reservoir()
         self._trace_ids: dict[int, str] = {}
+        self.shed: list[ShedRequest] = []
+        self.failures: list[FailedRequest] = []
+        self.degraded_rids: set[int] = set()
+        self.breaker_log: list[tuple[str, str, str, float]] = []
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_cursor: dict[str, int] = {}
         reg = registry if registry is not None else get_registry()
+        self._registry = reg
         self._m_requests = reg.counter(
             "repro_requests_total", help="requests served, by platform"
         )
@@ -140,40 +181,223 @@ class CompressionService:
         self._m_depth = reg.gauge(
             "repro_queue_depth_requests", help="requests queued in the batcher"
         )
+        # Overload instruments are only registered when the machinery is
+        # on, so a plain service leaves the registry dump untouched.
+        self._m_shed = self._m_degraded = self._m_hedges = None
+        if overload is not None:
+            self._m_shed = reg.counter(
+                "repro_overload_shed_total",
+                help="requests shed instead of served, by reason",
+            )
+            self._m_degraded = reg.counter(
+                "repro_overload_degraded_total",
+                help="requests re-admitted at a higher CF to meet their deadline",
+            )
+            self._m_hedges = reg.counter(
+                "repro_overload_hedges_total",
+                help="hedged duplicate dispatches, by outcome",
+            )
+            if overload.breaker is not None:
+                for platform in dict.fromkeys(platforms):
+                    self.breakers[platform] = CircuitBreaker(
+                        platform, overload.breaker, registry=reg
+                    )
+                    self._breaker_cursor[platform] = 0
 
     # ------------------------------------------------------------------
     def process(self, requests) -> tuple[list[Response], ServerStats]:
         """Replay a trace; returns per-request responses plus statistics."""
         reqs = sorted(requests, key=lambda r: (r.arrival, r.rid))
         self._latency = latency_reservoir()
+        self.shed = []
+        self.failures = []
+        self.degraded_rids = set()
         responses: list[Response] = []
-        failures: list[FailedRequest] = []
         max_depth = 0
         for req in reqs:
-            if self.tracer is not None:
-                self._trace_ids[req.rid] = self.tracer.new_trace()
-            for batch in self.batcher.due(req.arrival):
-                self._dispatch(batch, responses, failures)
-            full = self.batcher.add(req)
-            max_depth = max(max_depth, self.batcher.depth)
-            self._m_depth.set(self.batcher.depth)
-            if full is not None:
-                self._dispatch(full, responses, failures)
+            max_depth = max(max_depth, self._ingest(req, responses))
         for batch in self.batcher.flush():
-            self._dispatch(batch, responses, failures)
+            self._dispatch(batch, responses)
         self._m_depth.set(self.batcher.depth)
-        return responses, self._snapshot(reqs, responses, failures, max_depth)
+        return responses, self._snapshot(reqs, responses, max_depth)
+
+    def submit(self, request: Request) -> list[Response]:
+        """Streaming path: enqueue one request; returns responses whose
+        batches completed as a side effect (flush timers or a full group).
+        """
+        responses: list[Response] = []
+        self._ingest(request, responses)
+        return responses
+
+    def drain(self) -> list[Response]:
+        """Graceful drain: flush partial batches, then refuse new work.
+
+        Everything still queued is dispatched (deadline expiry applies),
+        after which the service sheds all new requests with reason
+        ``"draining"``.  Stats and traces stay consistent: drained
+        batches feed the same reservoir, metrics and span trees as
+        normal dispatches.
+        """
+        self._draining = True          # before the flush: deadline expiry applies
+        responses: list[Response] = []
+        for batch in self.batcher.flush():
+            self._dispatch(batch, responses)
+        self._m_depth.set(self.batcher.depth)
+        return responses
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _ingest(self, req: Request, responses: list[Response]) -> int:
+        """Admit one request into the batcher; returns the queue depth."""
+        if self.tracer is not None:
+            self._trace_ids[req.rid] = self.tracer.new_trace()
+        for batch in self.batcher.due(req.arrival):
+            self._dispatch(batch, responses)
+        if self.overload is not None or self._draining:
+            admitted = self._admit(req)
+            if admitted is None:
+                depth = self.batcher.depth
+                self._m_depth.set(depth)
+                return depth
+            req = admitted
+        full = self.batcher.add(req)
+        depth = self.batcher.depth
+        self._m_depth.set(depth)
+        if full is not None:
+            self._dispatch(full, responses)
+        return depth
 
     # ------------------------------------------------------------------
-    def _ladder_policy(self) -> LadderPolicy:
+    # Admission control (only reached with an OverloadPolicy or while
+    # draining; the plain path never calls into this section).
+    def _admit(self, req: Request) -> Request | None:
+        now = req.arrival
+        if self._draining:
+            return self._shed(req, "draining", now)
+        ov = self.overload
+        if self.batcher.at_capacity:
+            return self._shed(req, "queue_full", now)
+        deadline = req.deadline
+        if deadline is None and ov.default_deadline is not None:
+            deadline = req.arrival + ov.default_deadline
+        if deadline is None:
+            return req
+        if deadline != req.deadline:
+            req = replace(req, deadline=deadline)
+        predicted = self._predict_finish(req, now)
+        if predicted <= deadline:
+            return req
+        if ov.shed_policy == "degrade":
+            # Lower chop factor = higher compression ratio = cheaper run.
+            for cf in ov.degrade_cfs:
+                if cf >= req.cf:
+                    continue
+                candidate = replace(req, cf=cf)
+                try:
+                    fits = self._predict_finish(candidate, now) <= deadline
+                except (ConfigError, ShapeError):
+                    continue  # CF not representable at this plane size
+                if fits:
+                    self.degraded_rids.add(req.rid)
+                    self._m_degraded.inc()
+                    if self.tracer is not None:
+                        tid = self._trace_ids.get(req.rid)
+                        if tid is not None:
+                            self.tracer.record_event(
+                                tid,
+                                "overload.degrade",
+                                now,
+                                rid=req.rid,
+                                cf_from=req.cf,
+                                cf_to=cf,
+                            )
+                    return candidate
+        return self._shed(req, "deadline", now, predicted=predicted, deadline=deadline)
+
+    def _shed(
+        self,
+        req: Request,
+        reason: str,
+        now: float,
+        *,
+        predicted: float | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        """Refuse ``req`` explicitly; records the ShedError result."""
+        if predicted is not None and deadline is not None:
+            msg = (
+                f"request {req.rid}: predicted finish {predicted:.6f}s "
+                f"misses deadline {deadline:.6f}s"
+            )
+        else:
+            msg = f"request {req.rid} shed: {reason}"
+        error = ShedError(msg, reason=reason, deadline=deadline, predicted_finish=predicted)
+        self.shed.append(ShedRequest(request=req, error=error, time=now))
+        if self._m_shed is None:
+            # Draining without an OverloadPolicy still sheds explicitly.
+            self._m_shed = self._registry.counter(
+                "repro_overload_shed_total",
+                help="requests shed instead of served, by reason",
+            )
+        self._m_shed.inc(reason=reason)
+        if self.tracer is not None:
+            tid = self._trace_ids.get(req.rid)
+            if tid is not None:
+                self.tracer.record_event(
+                    tid, "overload.shed", now, rid=req.rid, reason=reason
+                )
+        return None
+
+    def _predict_finish(self, req: Request, now: float) -> float:
+        """Earliest modelled finish the timing model can promise ``req``.
+
+        Worst-case batch wait (the flush deadline) + the platform's queue
+        horizon + the estimated batched-run seconds, minimized over
+        breaker-permitted platforms.  ``inf`` when nothing can take it.
+        """
+        key = req.key
+        flush_at = req.arrival + self.batcher.max_wait
+        platforms = list(dict.fromkeys(w.platform for w in self.scheduler.alive()))
+        permitted = [
+            p
+            for p in platforms
+            if (b := self.breakers.get(p)) is None or b.would_allow(now)
+        ]
+        best = math.inf
+        for platform in permitted or platforms:
+            est = self._estimate_batch_seconds(platform, key)
+            if not math.isfinite(est):
+                continue
+            earliest = min(
+                max(w.busy_until, now)
+                for w in self.scheduler.alive()
+                if w.platform == platform
+            )
+            best = min(best, max(flush_at, earliest) + est)
+        return best
+
+    # ------------------------------------------------------------------
+    def _ladder_policy(self, now: float | None = None, keep: str | None = None) -> LadderPolicy:
         base = self.ladder
+        excluded = set(base.exclude_platforms) | self._dead
+        if now is not None and self.breakers:
+            # Route the fallback rung around platforms whose breaker is
+            # open — except the one actually dispatched to (if every
+            # breaker is open, the forced probe must stay compilable).
+            excluded |= {
+                p
+                for p, b in self.breakers.items()
+                if p != keep and not b.would_allow(now)
+            }
         return LadderPolicy(
             allow_ps=base.allow_ps,
             ps_factors=base.ps_factors,
             allow_shard=base.allow_shard,
             allow_fallback=base.allow_fallback,
             fallback_platforms=base.fallback_platforms,
-            exclude_platforms=tuple(set(base.exclude_platforms) | self._dead),
+            exclude_platforms=tuple(excluded),
         )
 
     def _estimate_batch_seconds(self, platform: str, key) -> float:
@@ -213,22 +437,51 @@ class CompressionService:
             return None
         return min(candidates, key=lambda w: (max(w.busy_until, now), w.name))
 
-    def _dispatch(
-        self,
-        batch: Batch,
-        responses: list[Response],
-        failures: list[FailedRequest],
-    ) -> None:
+    def _pick_hedge(
+        self, primary: PlatformWorker, now: float, key
+    ) -> tuple[PlatformWorker, float] | None:
+        """Best breaker-permitted worker on a *different* platform, or None."""
+        best: tuple[float, str, PlatformWorker, float] | None = None
+        for w in self.scheduler.alive():
+            if w.platform == primary.platform:
+                continue
+            breaker = self.breakers.get(w.platform)
+            if breaker is not None and not breaker.allows(now):
+                continue
+            est = self._estimate_batch_seconds(w.platform, key)
+            if not math.isfinite(est):
+                continue
+            finish = max(now, w.busy_until) + est
+            if best is None or (finish, w.name) < (best[0], best[1]):
+                best = (finish, w.name, w, est)
+        if best is None:
+            return None
+        return best[2], best[3]
+
+    def _dispatch(self, batch: Batch, responses: list[Response]) -> None:
         now = batch.formed_at
+        if self.overload is not None or self._draining:
+            live, expired = batch.split_expired(now)
+            if expired:
+                for r in expired:
+                    self._shed(r, "expired", now, deadline=r.deadline)
+                if not live:
+                    return  # nothing left to dispatch — no padded run at all
+                batch = Batch(key=batch.key, requests=live, formed_at=now)
         key = batch.key
         self._m_batch_size.observe(len(batch))
         self._m_pad.inc(self.max_batch - len(batch))
+        permit = None
+        if self.breakers:
+            permit = lambda w: self.breakers[w.platform].allows(now)  # noqa: E731
         try:
             worker = self.scheduler.pick(
-                now, estimate=lambda w: self._estimate_batch_seconds(w.platform, key)
+                now,
+                estimate=lambda w: self._estimate_batch_seconds(w.platform, key),
+                permit=permit,
             )
         except DeviceLostError as exc:
-            self._fail_batch(batch, exc, failures)
+            self._fail_batch(batch, exc)
             return
         rc = ResilientCompressor(
             key.height,
@@ -241,12 +494,14 @@ class CompressionService:
             batch=self.max_batch,
             channels=key.channels,
             retry=self.retry,
-            ladder=self._ladder_policy(),
+            ladder=self._ladder_policy(now=now, keep=worker.platform),
             log=self.log,
             max_failovers=self.max_failovers,
             plan_cache=self.cache,
+            retry_key=batch.requests[0].rid,
         )
         misses_before = self.cache.misses
+        log_mark = len(self.log.events)
         if self.tracer is not None:
             member_tids = [
                 tid
@@ -259,7 +514,9 @@ class CompressionService:
             resolved = rc.compile("compress")
         except (CompileError, DeviceError) as exc:
             self._note_dead(rc)
-            self._fail_batch(batch, exc, failures)
+            self._feed_breakers(log_mark, now, attempted=worker.platform)
+            self._publish_breaker_transitions(batch, now)
+            self._fail_batch(batch, exc)
             return
         finally:
             if self.tracer is not None:
@@ -271,18 +528,69 @@ class CompressionService:
         exec_worker = self._worker_for(resolved.attempt.platform, now) or worker
         duration = resolved.program.estimated_time() * resolved.attempt.n_devices
         start = max(now, exec_worker.busy_until)
-        finish = self.scheduler.assign(exec_worker, start, duration)
+        platform = resolved.attempt.platform
+        self._feed_breakers(log_mark, now, success_platform=platform)
+        self._publish_breaker_transitions(batch, now)
+        # Hedged dispatch: a straggler batch (long queue on the chosen
+        # worker) is duplicated on the best other platform; the first
+        # modelled finisher wins, the loser is cancelled at that moment.
+        ov = self.overload
+        hedge = None
+        if (
+            ov is not None
+            and ov.hedge_queue_seconds is not None
+            and resolved.attempt.rung == "original"
+            and start - now > ov.hedge_queue_seconds
+        ):
+            hedge = self._pick_hedge(exec_worker, now, key)
+        if hedge is not None:
+            alt_worker, alt_est = hedge
+            alt_start = max(now, alt_worker.busy_until)
+            alt_finish = alt_start + alt_est
+            primary_finish = start + duration
+            self._n_hedges += 1
+            win = alt_finish < primary_finish
+            if win:
+                self._n_hedge_wins += 1
+                finish = self.scheduler.assign(alt_worker, alt_start, alt_est)
+                self.scheduler.book_cancelled(
+                    exec_worker, start, alt_finish - start
+                )
+                winner = alt_worker
+                platform, start = alt_worker.platform, alt_start
+            else:
+                finish = self.scheduler.assign(exec_worker, start, duration)
+                self.scheduler.book_cancelled(
+                    alt_worker, alt_start, finish - alt_start
+                )
+                winner = exec_worker
+            self._m_hedges.inc(outcome="win" if win else "loss")
+            if self.tracer is not None:
+                for r in batch.requests:
+                    tid = self._trace_ids.get(r.rid)
+                    if tid is not None:
+                        self.tracer.record_event(
+                            tid,
+                            "overload.hedge",
+                            now,
+                            primary=exec_worker.platform,
+                            hedge=alt_worker.platform,
+                            winner=winner.platform,
+                        )
+        else:
+            finish = self.scheduler.assign(exec_worker, start, duration)
         arr = out.numpy()
         compiles = self.cache.misses - misses_before
         for i, req in enumerate(batch.requests):
             response = Response(
                 request=req,
                 output=arr[i],
-                platform=resolved.attempt.platform,
+                platform=platform,
                 start=start,
                 finish=finish,
                 degraded=resolved.degraded,
                 trace_id=self._trace_ids.get(req.rid),
+                attempt=resolved.attempt,
             )
             responses.append(response)
             self._latency.add(response.latency_s)
@@ -290,6 +598,65 @@ class CompressionService:
             self._m_latency.observe(response.latency_s)
             if self.tracer is not None and response.trace_id is not None:
                 self._trace_request(response, batch, resolved, compiles)
+
+    # ------------------------------------------------------------------
+    # Circuit-breaker feedback: retry/fault outcomes logged by the
+    # resilience layer during a dispatch drive the per-platform breakers.
+    def _feed_breakers(
+        self,
+        log_mark: int,
+        now: float,
+        *,
+        success_platform: str | None = None,
+        attempted: str | None = None,
+    ) -> None:
+        if not self.breakers:
+            return
+        faults: dict[str, int] = {}
+        for event in self.log.events[log_mark:]:
+            if event.action != "fault":
+                continue
+            platform = event.context.get("platform") or attempted or success_platform
+            if platform:
+                faults[platform] = faults.get(platform, 0) + 1
+        for platform, n in faults.items():
+            breaker = self.breakers.get(platform)
+            if breaker is not None:
+                breaker.record_faults(n, now)
+        if success_platform is not None:
+            breaker = self.breakers.get(success_platform)
+            if breaker is not None:
+                breaker.record_success(now, clean=success_platform not in faults)
+        elif attempted is not None and not faults:
+            # The dispatch failed without logging a fault (e.g. a cached
+            # negative plan) — still a failure signal for the platform.
+            breaker = self.breakers.get(attempted)
+            if breaker is not None:
+                breaker.record_faults(1, now)
+
+    def _publish_breaker_transitions(self, batch: Batch, now: float) -> None:
+        """Mirror fresh breaker transitions to stats, metrics and traces."""
+        if not self.breakers:
+            return
+        for platform, breaker in self.breakers.items():
+            cursor = self._breaker_cursor.get(platform, 0)
+            fresh = breaker.transitions[cursor:]
+            if not fresh:
+                continue
+            self._breaker_cursor[platform] = len(breaker.transitions)
+            for frm, to, at in fresh:
+                self.breaker_log.append((platform, frm, to, at))
+                if self.tracer is not None:
+                    for r in batch.requests:
+                        tid = self._trace_ids.get(r.rid)
+                        if tid is not None:
+                            self.tracer.record_event(
+                                tid,
+                                f"breaker.{to}",
+                                at,
+                                platform=platform,
+                                previous=frm,
+                            )
 
     def _trace_request(self, response: Response, batch: Batch, resolved, compiles: int) -> None:
         """Emit the request's span tree (see the module docstring taxonomy)."""
@@ -340,9 +707,9 @@ class CompressionService:
             n_devices=attempt.n_devices,
         )
 
-    def _fail_batch(self, batch: Batch, exc: Exception, failures: list[FailedRequest]) -> None:
+    def _fail_batch(self, batch: Batch, exc: Exception) -> None:
         for r in batch.requests:
-            failures.append(FailedRequest(r, exc))
+            self.failures.append(FailedRequest(r, exc))
             self._m_failed.inc(error=type(exc).__name__)
             if self.tracer is not None:
                 tid = self._trace_ids.get(r.rid)
@@ -362,12 +729,15 @@ class CompressionService:
             self.scheduler.mark_dead(platform)
             self._n_failovers += 1
 
-    def _snapshot(self, reqs, responses, failures, max_depth) -> ServerStats:
+    def _snapshot(self, reqs, responses, max_depth) -> ServerStats:
         first_arrival = min((r.arrival for r in reqs), default=0.0)
         last_finish = max((r.finish for r in responses), default=first_arrival)
+        shed_by_reason: dict[str, int] = {}
+        for s in self.shed:
+            shed_by_reason[s.reason] = shed_by_reason.get(s.reason, 0) + 1
         return ServerStats(
             n_requests=len(reqs),
-            n_failed=len(failures),
+            n_failed=len(self.failures),
             n_batches=self._n_batches,
             n_failovers=self._n_failovers,
             makespan_s=last_finish - first_arrival,
@@ -380,6 +750,14 @@ class CompressionService:
                 for w in self.scheduler.workers
             ],
             batches_by_platform=self._batches_by_platform(),
+            overload_active=self.overload is not None,
+            n_shed=len(self.shed),
+            n_degraded=len(self.degraded_rids),
+            n_hedges=self._n_hedges,
+            n_hedge_wins=self._n_hedge_wins,
+            shed_by_reason=shed_by_reason,
+            breaker_states={p: b.state for p, b in self.breakers.items()},
+            breaker_transitions=list(self.breaker_log),
         )
 
     def _batches_by_platform(self) -> dict[str, int]:

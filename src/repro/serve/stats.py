@@ -53,11 +53,21 @@ class ServerStats:
     cache: CacheStats | None = None
     workers: list[tuple[str, int, float]] = field(default_factory=list)  # (name, batches, util)
     batches_by_platform: dict[str, int] = field(default_factory=dict)
+    # Overload-layer tallies: all zero / empty (and absent from the
+    # table) when the service runs without an OverloadPolicy.
+    overload_active: bool = False
+    n_shed: int = 0
+    n_degraded: int = 0
+    n_hedges: int = 0
+    n_hedge_wins: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    breaker_states: dict[str, str] = field(default_factory=dict)
+    breaker_transitions: list[tuple[str, str, str, float]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
     def n_ok(self) -> int:
-        return self.n_requests - self.n_failed
+        return self.n_requests - self.n_failed - self.n_shed
 
     @property
     def throughput_rps(self) -> float:
@@ -110,6 +120,20 @@ class ServerStats:
                     f"({c.hit_rate:.1%} hit rate, {c.size}/{c.capacity} plans)",
                 )
             )
+        if self.overload_active:
+            reasons = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(self.shed_by_reason.items())
+            )
+            rows.append(("shed", f"{self.n_shed}" + (f" ({reasons})" if reasons else "")))
+            rows.append(("degraded", str(self.n_degraded)))
+            rows.append(("hedges", f"{self.n_hedges} ({self.n_hedge_wins} won)"))
+            if self.breaker_states:
+                states = ", ".join(
+                    f"{p}={s}" for p, s in sorted(self.breaker_states.items())
+                )
+                rows.append(
+                    ("breakers", f"{states} ({len(self.breaker_transitions)} transitions)")
+                )
         for name, batches, util in self.workers:
             rows.append((f"worker {name}", f"{batches} batches, {util:.1%} busy"))
         width = max(len(label) for label, _ in rows)

@@ -1,0 +1,89 @@
+"""Chaos soak harness: the overload contract holds under fault storms."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import SoakConfig, SoakReport, run_soak
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def test_default_soak_passes():
+    report = run_soak()
+    assert isinstance(report, SoakReport)
+    assert report.passed, report.format_report()
+    assert report.n_faults_fired > 0           # the storm actually struck
+    assert report.breaker_cycles >= 1
+    assert report.n_served + report.n_shed + report.n_failed == 160
+
+
+def test_soak_is_deterministic():
+    a = run_soak(SoakConfig(seed=3, n_requests=80))
+    set_registry(MetricsRegistry())
+    b = run_soak(SoakConfig(seed=3, n_requests=80))
+    assert a.format_report() == b.format_report()
+    assert a.stats.latencies_s == b.stats.latencies_s
+
+
+def test_soak_with_degrade_policy_passes():
+    report = run_soak(SoakConfig(seed=1, shed_policy="degrade"))
+    assert report.passed, report.format_report()
+
+
+def test_soak_with_hedging_passes():
+    report = run_soak(SoakConfig(seed=2, hedge_queue_seconds=0.0005))
+    assert report.passed, report.format_report()
+
+
+def test_soak_with_background_flakiness_passes():
+    report = run_soak(SoakConfig(seed=4, background_rate=0.02))
+    assert report.passed, report.format_report()
+
+
+def test_soak_detects_blown_latency_budget():
+    report = run_soak(SoakConfig(seed=0, p95_budget_s=1e-9))
+    assert not report.passed
+    failed = {name for name, ok, _ in report.checks if not ok}
+    assert failed == {"p95_latency"}
+    assert "FAILED" in report.format_report()
+
+
+def test_soak_without_storm_has_no_breaker_cycle():
+    config = SoakConfig(seed=0, bursts=0, compile_flakes=0, require_breaker_cycle=False)
+    report = run_soak(config)
+    assert report.passed, report.format_report()
+    assert report.breaker_cycles == 0 and report.n_faults_fired == 0
+    assert report.n_failed == 0
+
+
+def test_soak_config_validation():
+    with pytest.raises(ConfigError):
+        SoakConfig(n_requests=0)
+    with pytest.raises(ConfigError):
+        SoakConfig(p95_budget_s=0.0)
+
+
+def test_overload_free_replay_matches_plain_service():
+    """Zero overhead when off: deadlines disabled, no storm — the
+    overload-capable service replays byte-identical to the plain one."""
+    from repro.serve import CompressionService, OverloadPolicy, synthetic_trace
+
+    trace = synthetic_trace(n=80, seed=9)
+    plain, plain_stats = CompressionService(("ipu", "a100")).process(trace)
+    set_registry(MetricsRegistry())
+    inert = OverloadPolicy(default_deadline=None, max_queue_depth=None, breaker=None)
+    loaded, loaded_stats = CompressionService(("ipu", "a100"), overload=inert).process(trace)
+    assert len(plain) == len(loaded) == 80
+    for a, b in zip(plain, loaded):
+        assert np.array_equal(a.output, b.output)
+        assert (a.start, a.finish, a.platform) == (b.start, b.finish, b.platform)
+    assert plain_stats.latencies_s == loaded_stats.latencies_s
+    assert plain_stats.busy_s == loaded_stats.busy_s

@@ -1,0 +1,59 @@
+"""Fault-storm generator: seeded, valid, serializable."""
+
+import pytest
+
+from repro.chaos import STORM_RUN_KINDS, fault_storm
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+
+
+def test_storm_is_deterministic_per_seed():
+    a = fault_storm(7, bursts=3, compile_flakes=2, background_rate=0.05)
+    b = fault_storm(7, bursts=3, compile_flakes=2, background_rate=0.05)
+    assert a.to_json() == b.to_json()
+
+
+def test_storms_differ_across_seeds():
+    assert fault_storm(1, bursts=3).to_json() != fault_storm(2, bursts=3).to_json()
+
+
+def test_storm_round_trips_through_json():
+    plan = fault_storm(3, bursts=2, compile_flakes=1, background_rate=0.1)
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.to_json() == plan.to_json()
+    assert clone.seed == 3
+
+
+def test_storm_shape():
+    plan = fault_storm(0, platforms=("ipu",), bursts=2, burst_len=5, compile_flakes=1)
+    bursts = [f for f in plan.faults if f.site == "run" and f.rate is None]
+    flakes = [f for f in plan.faults if f.site == "compile"]
+    assert len(bursts) == 2 and len(flakes) == 1
+    for f in bursts:
+        assert f.platform == "ipu"
+        assert f.times == 5
+        assert f.kind in STORM_RUN_KINDS
+    # Compile flakes are *transient*: their exceptions must be re-probable.
+    exc = flakes[0].exception(platform="ipu")
+    assert exc.deterministic is False
+
+
+def test_storm_never_uses_device_lost():
+    plan = fault_storm(11, bursts=8, background_rate=0.2)
+    assert all(f.kind != "device_lost" for f in plan.faults)
+
+
+def test_storm_validation():
+    with pytest.raises(ConfigError):
+        fault_storm(0, bursts=-1)
+    with pytest.raises(ConfigError):
+        fault_storm(0, burst_len=0)
+    with pytest.raises(ConfigError):
+        fault_storm(0, background_rate=1.5)
+    with pytest.raises(ConfigError):
+        fault_storm(0, platforms=(), bursts=1)
+
+
+def test_no_bursts_no_background_is_empty_but_valid():
+    plan = fault_storm(0, bursts=0, compile_flakes=0)
+    assert plan.faults == []

@@ -89,6 +89,30 @@ class TestBackoff:
             base = min(policy.max_delay, 0.1 * 2**attempt)
             assert 0.5 * base <= policy.delay(attempt) <= 1.5 * base
 
+    def test_jitter_is_stateless(self):
+        # Same (seed, key, attempt) -> same delay, no matter how many
+        # times or in what order it is asked — no hidden RNG stream.
+        policy = RetryPolicy(seed=5)
+        first = [policy.delay(a, key=3) for a in (2, 0, 1)]
+        second = [policy.delay(a, key=3) for a in (2, 0, 1)]
+        assert first == second
+
+    def test_jitter_varies_per_key(self):
+        policy = RetryPolicy(seed=5, jitter=0.3)
+        assert policy.delay(0, key=1) != policy.delay(0, key=2)
+        # ... but each key's stream is individually reproducible.
+        assert policy.delay(0, key=1) == policy.delay(0, key=1)
+
+    def test_run_with_recovery_threads_retry_key(self):
+        slept_a, slept_b = [], []
+        policy_a = RetryPolicy(max_retries=2, jitter=0.4, seed=9, sleep=slept_a.append)
+        policy_b = RetryPolicy(max_retries=2, jitter=0.4, seed=9, sleep=slept_b.append)
+        run_with_recovery(_flaky(2), policy=policy_a, retry_key=7)
+        run_with_recovery(_flaky(2), policy=policy_b, retry_key=8)
+        assert len(slept_a) == len(slept_b) == 2
+        assert slept_a != slept_b               # distinct jitter streams
+        assert slept_a == [policy_a.delay(0, key=7), policy_a.delay(1, key=7)]
+
     def test_sleep_receives_delay(self):
         slept = []
         policy = RetryPolicy(max_retries=1, jitter=0.0, base_delay=0.25, sleep=slept.append)

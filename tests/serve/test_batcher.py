@@ -7,13 +7,22 @@ from repro.errors import ConfigError, ShapeError
 from repro.serve import DynamicBatcher, Request
 
 
-def req(rid: int, *, arrival: float = 0.0, res: int = 16, cf: int = 4, channels: int = 1):
+def req(
+    rid: int,
+    *,
+    arrival: float = 0.0,
+    res: int = 16,
+    cf: int = 4,
+    channels: int = 1,
+    deadline: float | None = None,
+):
     rng = np.random.default_rng(rid)
     return Request(
         rid=rid,
         image=rng.standard_normal((channels, res, res)).astype(np.float32),
         arrival=arrival,
         cf=cf,
+        deadline=deadline,
     )
 
 
@@ -91,7 +100,69 @@ class TestValidation:
             DynamicBatcher(max_batch=0)
         with pytest.raises(ConfigError):
             DynamicBatcher(max_wait=-1.0)
+        with pytest.raises(ConfigError):
+            DynamicBatcher(max_depth=0)
 
     def test_request_must_be_chw(self):
         with pytest.raises(ShapeError):
             Request(rid=0, image=np.zeros((16, 16), np.float32))
+
+
+class TestEdgeCases:
+    def test_due_exactly_at_max_wait_deadline_flushes(self):
+        # Boundary: the flush timer fires *at* the deadline, not after it.
+        b = DynamicBatcher(max_batch=8, max_wait=0.01)
+        b.add(req(0, arrival=0.0))
+        (batch,) = b.due(0.01)
+        assert batch.formed_at == 0.01
+        assert b.depth == 0
+
+    def test_tail_padding_after_expired_members_shed(self):
+        # The overload layer rebuilds a batch from its live members only;
+        # padding must cover exactly the survivors, zeros elsewhere.
+        from repro.serve import Batch
+
+        b = DynamicBatcher(max_batch=4, max_wait=0.01)
+        b.add(req(0, arrival=0.0, deadline=0.5))     # survives
+        b.add(req(1, arrival=0.001, deadline=0.005))  # expires at formation
+        b.add(req(2, arrival=0.002, deadline=0.5))   # survives
+        (batch,) = b.due(0.02)
+        live, expired = batch.split_expired(batch.formed_at)
+        assert [r.rid for r in live] == [0, 2]
+        assert [r.rid for r in expired] == [1]
+        rebuilt = Batch(key=batch.key, requests=live, formed_at=batch.formed_at)
+        padded = rebuilt.padded(4)
+        assert np.array_equal(padded[0], live[0].image)
+        assert np.array_equal(padded[1], live[1].image)
+        assert not padded[2:].any()                  # expired member never dispatched
+
+    def test_group_whose_every_member_expires(self):
+        b = DynamicBatcher(max_batch=8, max_wait=0.01)
+        b.add(req(0, arrival=0.0, deadline=0.002))
+        b.add(req(1, arrival=0.001, deadline=0.003))
+        (batch,) = b.due(0.5)
+        live, expired = batch.split_expired(batch.formed_at)
+        assert live == []
+        assert [r.rid for r in expired] == [0, 1]
+
+    def test_deadline_none_never_expires(self):
+        b = DynamicBatcher(max_batch=8, max_wait=0.01)
+        b.add(req(0, arrival=0.0))
+        (batch,) = b.due(1e9)
+        live, expired = batch.split_expired(1e9)
+        assert [r.rid for r in live] == [0] and expired == []
+
+    def test_at_capacity_backpressure_signal(self):
+        b = DynamicBatcher(max_batch=8, max_depth=2)
+        assert not b.at_capacity
+        b.add(req(0, cf=2))
+        b.add(req(1, cf=4))                          # different groups still count
+        assert b.at_capacity
+        b.flush()
+        assert not b.at_capacity
+
+    def test_unbounded_batcher_never_at_capacity(self):
+        b = DynamicBatcher(max_batch=2)
+        for i in range(50):
+            b.add(req(i, cf=2 if i % 2 else 4))
+        assert not b.at_capacity

@@ -41,6 +41,84 @@ class TestServeDemo:
     def test_empty_platform_list_is_rejected(self, capsys):
         assert main(["serve-demo", "--platforms", ",", "--requests", "10"]) == 2
 
+    def test_deadline_flag_enables_overload_accounting(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--requests", "120",
+                "--min-hit-rate", "0.5",
+                "--deadline", "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deadline 500 ms" in out
+        assert "every request accounted for" in out
+
+    def test_impossible_deadline_fails_with_exit_2(self, capsys):
+        # Every request sheds -> the batching-speedup check fails; failed
+        # SLO checks exit 2 (the expected-failure convention), never 1.
+        code = main(
+            [
+                "serve-demo",
+                "--requests", "40",
+                "--min-hit-rate", "0.0",
+                "--deadline", "1e-9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "FAILED" in out
+        assert "shed 40" in out
+
+    def test_shed_policy_degrade_flag_accepted(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--requests", "80",
+                "--min-hit-rate", "0.5",
+                "--deadline", "0.5",
+                "--shed-policy", "degrade",
+            ]
+        )
+        assert code == 0
+        assert "shed-policy degrade" in capsys.readouterr().out
+
+
+class TestChaosSoak:
+    def test_default_soak_passes(self, capsys):
+        code = main(["chaos-soak"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos soak PASSED" in out
+        assert "[PASS] bit_identity" in out
+        assert "[PASS] accounting" in out
+        assert "[PASS] breaker_cycle" in out
+
+    def test_blown_budget_exits_2(self, capsys):
+        code = main(["chaos-soak", "--p95-budget", "1e-9"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "chaos soak FAILED" in out
+        assert "[FAIL] p95_latency" in out
+
+    def test_soak_knobs_accepted(self, capsys):
+        code = main(
+            [
+                "chaos-soak",
+                "--requests", "80",
+                "--seed", "2",
+                "--shed-policy", "degrade",
+                "--hedge-queue", "0.0005",
+                "--bursts", "1",
+                "--no-breaker-check",
+            ]
+        )
+        assert code == 0, capsys.readouterr().out
+
+    def test_empty_platform_list_is_rejected(self, capsys):
+        assert main(["chaos-soak", "--platforms", ","]) == 2
+
     @pytest.mark.slow
     def test_acceptance_trace(self, capsys):
         # The ISSUE acceptance run: 1000 requests, >= 90% hit rate,

@@ -103,3 +103,84 @@ class TestGetOrCompile:
         # Second rejection came from the cache, not a re-trace.
         assert len(calls) == 1
         assert cache.hits == 1
+
+
+class TestNegativeTTL:
+    """Transient compile failures get a bounded re-probe budget."""
+
+    def _transient_error(self):
+        exc = OutOfMemoryError("injected oom", platform="ipu", reason="flaky toolchain")
+        exc.deterministic = False
+        return exc
+
+    def test_transient_negative_entry_reprobed_after_ttl(self):
+        cache = CompiledPlanCache(negative_ttl=2)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise self._transient_error()
+
+        for _ in range(3):                        # miss+compile, then 2 cached hits
+            with pytest.raises(OutOfMemoryError):
+                cache.get_or_compile(key(2), flaky)
+        assert len(calls) == 1
+        # Budget exhausted: the next lookup drops the entry and re-probes.
+        with pytest.raises(OutOfMemoryError):
+            cache.get_or_compile(key(2), flaky)
+        assert len(calls) == 2
+
+    def test_reprobe_success_replaces_negative_entry(self):
+        cache = CompiledPlanCache(negative_ttl=1)
+        outcomes = [self._transient_error(), None]  # fail once, then recover
+
+        def sometimes():
+            exc = outcomes.pop(0)
+            if exc is not None:
+                raise exc
+            return compile_dc(cf=2)
+
+        with pytest.raises(OutOfMemoryError):
+            cache.get_or_compile(key(2), sometimes)
+        with pytest.raises(OutOfMemoryError):       # served from cache (budget 1)
+            cache.get_or_compile(key(2), sometimes)
+        program = cache.get_or_compile(key(2), sometimes)  # re-probe succeeds
+        assert program is cache.get_or_compile(key(2), sometimes)
+        assert outcomes == []
+
+    def test_deterministic_rejection_cached_forever_despite_ttl(self):
+        cache = CompiledPlanCache(negative_ttl=1)
+        calls = []
+
+        def failing():
+            calls.append(1)
+            comp = make_compressor(64, cf=4)
+            return compile_program(
+                comp.compress, np.zeros((2000, 3, 64, 64), np.float32), "groq"
+            )
+
+        k = PlanKey.for_compressor(
+            "groq", (2000, 3, 64, 64), method="dc", cf=4, s=2, block=8, direction="compress"
+        )
+        for _ in range(5):
+            with pytest.raises(OutOfMemoryError):
+                cache.get_or_compile(k, failing)
+        # The capability model's rejection is deterministic: one trace, ever.
+        assert len(calls) == 1
+
+    def test_no_ttl_keeps_transient_entries_forever(self):
+        cache = CompiledPlanCache()                 # negative_ttl=None (default)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise self._transient_error()
+
+        for _ in range(5):
+            with pytest.raises(OutOfMemoryError):
+                cache.get_or_compile(key(2), flaky)
+        assert len(calls) == 1
+
+    def test_ttl_validation(self):
+        with pytest.raises(ConfigError):
+            CompiledPlanCache(negative_ttl=0)
