@@ -92,7 +92,16 @@ def trace(fn: Callable[..., Tensor], *example_inputs) -> Graph:
         x if isinstance(x, Tensor) else Tensor(np.asarray(x)) for x in example_inputs
     ]
     traced_inputs = [Tensor(x.data, requires_grad=True) for x in inputs]
-    out = fn(*traced_inputs)
+    # Imported here to keep repro.accel importable without pulling in the
+    # whole repro.core package at module-import time.
+    from repro.core.fused import force_dense
+
+    # Capture the *device* program: the paper's dense two-matmul form.
+    # The tiled fast path (repro.core.fused) is a host-side execution
+    # strategy — letting it into the trace would change op counts, memory
+    # footprints, and every modelled compile/timing decision downstream.
+    with force_dense():
+        out = fn(*traced_inputs)
     if not isinstance(out, Tensor):
         raise TypeError(f"traced function must return a Tensor, got {type(out)}")
 

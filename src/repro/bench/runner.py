@@ -1,0 +1,405 @@
+"""Seeded micro-benchmark harness for the compressor hot path.
+
+This is the repo's perf baseline: :func:`run_suite` times compress and
+decompress for every method ∈ {dc, ps, sg}, n ∈ {64, 256, 512} and
+CF ∈ {2, 4, 7} on seeded inputs, and emits a JSON report
+(``BENCH_compressor.json`` at the repo root is the committed baseline).
+
+Design notes, because perf CI is where good intentions go to flake:
+
+* **Seeded and deterministic.**  Inputs come from
+  ``np.random.default_rng`` seeded per case, so every run times the same
+  bytes, and each case's output checksum is recorded.  Within one run
+  each case is executed twice and must checksum identically — catching
+  nondeterminism at the source rather than in a downstream diff.
+* **Calibration-normalised timing.**  Absolute wall times are machine
+  properties; storing them raw would make the committed baseline fail on
+  any differently-sized runner.  The report therefore includes the
+  median time of a fixed reference matmul measured in the same process,
+  and regression checks compare ``case_median / calibration`` ratios.
+* **Checksums are advisory across machines.**  Bit-exact outputs depend
+  on the BLAS build's kernel selection, which varies by CPU; checksum
+  mismatches against the baseline are reported as warnings unless the
+  environment matches.  The *hard* bit-identity guarantee (tiled fast
+  path ≡ dense oracle) is enforced in-process by the speedup section and
+  the equivalence test suite, which is portable.
+* **Speedup gate.**  The report measures dense-vs-fast medians at
+  n = 512 for each CF and records the median speedup across CFs;
+  :func:`compare` fails if it drops below the baseline's
+  ``min_speedup`` floor or if dense/fast outputs ever differ bitwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.api import make_compressor
+from repro.errors import ConfigError
+from repro.tensor import Tensor, no_grad
+
+SCHEMA = "repro-bench/v1"
+DEFAULT_TOLERANCE = 0.25
+MIN_SPEEDUP = 3.0
+# Ignore regressions on cases too fast to time reliably: below this many
+# seconds of absolute drift, scheduler noise dominates real signal.
+MIN_DELTA_S = 5e-4
+
+METHODS = ("dc", "ps", "sg")
+SIZES = (64, 256, 512)
+CFS = (2, 4, 7)
+SPEEDUP_N = 512
+BATCH = 4
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed configuration."""
+
+    method: str
+    n: int
+    cf: int
+    direction: str  # "compress" | "decompress"
+    s: int = 2
+    batch: int = BATCH
+
+    @property
+    def key(self) -> str:
+        return f"{self.method}-n{self.n}-cf{self.cf}-{self.direction}"
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "n": self.n,
+            "cf": self.cf,
+            "direction": self.direction,
+            "s": self.s,
+            "batch": self.batch,
+        }
+
+
+@dataclass
+class CaseResult:
+    case: BenchCase
+    median_s: float
+    p95_s: float
+    checksum: str
+
+    def to_dict(self) -> dict:
+        d = self.case.to_dict()
+        d.update(
+            median_s=self.median_s,
+            p95_s=self.p95_s,
+            checksum=self.checksum,
+        )
+        return d
+
+
+def default_suite() -> list[BenchCase]:
+    """The full grid: 3 methods x 3 sizes x 3 CFs x 2 directions."""
+    cases = []
+    for method in METHODS:
+        for n in SIZES:
+            for cf in CFS:
+                for direction in ("compress", "decompress"):
+                    cases.append(BenchCase(method, n, cf, direction))
+    return cases
+
+
+def _checksum(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()[:16]
+
+
+def _case_input(case: BenchCase, seed: int) -> np.ndarray:
+    rng = np.random.default_rng([seed, hash_tag(case)])
+    return rng.standard_normal((case.batch, case.n, case.n)).astype(np.float32)
+
+
+def hash_tag(case: BenchCase) -> int:
+    """Stable small integer distinguishing cases in the seed sequence."""
+    tag = 0
+    for part in (case.method, str(case.n), str(case.cf), case.direction):
+        for ch in part:
+            tag = (tag * 131 + ord(ch)) % (2**31)
+    return tag
+
+
+def _percentile(times: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(times, dtype=np.float64), q))
+
+
+def _time_fn(fn, arg, repeats: int, warmup: int = 1) -> list[float]:
+    with no_grad():
+        for _ in range(warmup):
+            fn(arg)
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn(arg)
+            times.append(time.perf_counter() - t0)
+    return times
+
+
+def run_case(case: BenchCase, *, seed: int = 0, repeats: int = 5) -> CaseResult:
+    """Time one case; runs it twice to assert in-process determinism."""
+    comp = make_compressor(case.n, method=case.method, cf=case.cf, s=case.s)
+    x = Tensor(_case_input(case, seed))
+    if case.direction == "compress":
+        fn, arg = comp.compress, x
+    elif case.direction == "decompress":
+        with no_grad():
+            arg = Tensor(comp.compress(x).data)
+        fn = comp.decompress
+    else:
+        raise ConfigError(f"unknown direction {case.direction!r}")
+    with no_grad():
+        first = fn(arg).data
+        second = fn(arg).data
+    if not np.array_equal(first, second):
+        raise AssertionError(f"{case.key}: nondeterministic output within one process")
+    times = _time_fn(fn, arg, repeats)
+    return CaseResult(
+        case=case,
+        median_s=_percentile(times, 50),
+        p95_s=_percentile(times, 95),
+        checksum=_checksum(first),
+    )
+
+
+def calibrate(repeats: int = 25, warmup: int = 5) -> float:
+    """Reference-matmul time: the unit all stored medians are divided by.
+
+    Uses the *minimum* over many repetitions — the most stable location
+    estimator for wall time, since noise (scheduling, thread ramp-up,
+    frequency scaling) is strictly additive.  A jittery calibration would
+    shift every normalised median and fake regressions either way.
+    """
+    rng = np.random.default_rng(1234)
+    a = rng.standard_normal((1024, 512)).astype(np.float32)
+    b = rng.standard_normal((512, 512)).astype(np.float32)
+    for _ in range(warmup):
+        a @ b
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        a @ b
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+@dataclass
+class SpeedupResult:
+    n: int
+    cf: int
+    direction: str
+    dense_median_s: float
+    fast_median_s: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.dense_median_s / self.fast_median_s if self.fast_median_s else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "cf": self.cf,
+            "direction": self.direction,
+            "dense_median_s": self.dense_median_s,
+            "fast_median_s": self.fast_median_s,
+            "speedup": self.speedup,
+            "identical": self.identical,
+        }
+
+
+def measure_speedups(
+    *, n: int = SPEEDUP_N, cfs=CFS, seed: int = 0, repeats: int = 5
+) -> list[SpeedupResult]:
+    """Dense-oracle vs tiled fast path at the marquee resolution.
+
+    Also re-checks bit-identity on the timed inputs — the speedup is only
+    worth reporting if the outputs are the same bytes.
+    """
+    results = []
+    for cf in cfs:
+        fast = make_compressor(n, method="dc", cf=cf, fast=True)
+        dense = make_compressor(n, method="dc", cf=cf, fast=False)
+        case = BenchCase("dc", n, cf, "compress")
+        x = Tensor(_case_input(case, seed))
+        with no_grad():
+            identical = np.array_equal(fast.compress(x).data, dense.compress(x).data)
+        fast_times = _time_fn(fast.compress, x, repeats)
+        dense_times = _time_fn(dense.compress, x, repeats)
+        results.append(
+            SpeedupResult(
+                n=n,
+                cf=cf,
+                direction="compress",
+                dense_median_s=_percentile(dense_times, 50),
+                fast_median_s=_percentile(fast_times, 50),
+                identical=identical,
+            )
+        )
+    return results
+
+
+@dataclass
+class BenchReport:
+    seed: int
+    repeats: int
+    calibration_s: float
+    cases: list[CaseResult]
+    speedups: list[SpeedupResult]
+    min_speedup: float = MIN_SPEEDUP
+    env: dict = field(default_factory=dict)
+
+    @property
+    def median_speedup(self) -> float:
+        values = sorted(s.speedup for s in self.speedups)
+        if not values:
+            return 0.0
+        return float(np.median(values))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "calibration_s": self.calibration_s,
+            "min_speedup": self.min_speedup,
+            "median_speedup": self.median_speedup,
+            "env": self.env,
+            "cases": [c.to_dict() for c in self.cases],
+            "speedups": [s.to_dict() for s in self.speedups],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+
+def current_env() -> dict:
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def run_suite(
+    cases: list[BenchCase] | None = None,
+    *,
+    seed: int = 0,
+    repeats: int = 5,
+    speedup_cfs=CFS,
+) -> BenchReport:
+    """Run the micro-benchmark suite and the n=512 speedup section."""
+    if cases is None:
+        cases = default_suite()
+    results = [run_case(c, seed=seed, repeats=repeats) for c in cases]
+    speedups = measure_speedups(cfs=speedup_cfs, seed=seed, repeats=repeats)
+    return BenchReport(
+        seed=seed,
+        repeats=repeats,
+        calibration_s=calibrate(),
+        cases=results,
+        speedups=speedups,
+        env=current_env(),
+    )
+
+
+@dataclass
+class Comparison:
+    """Outcome of diffing a fresh report against the committed baseline."""
+
+    regressions: list[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.failures
+
+
+def compare(
+    report: BenchReport,
+    baseline: dict,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_delta_s: float = MIN_DELTA_S,
+) -> Comparison:
+    """Diff ``report`` against a baseline JSON dict (see module docstring).
+
+    A case regresses when its calibration-normalised median exceeds the
+    baseline's by more than ``tolerance`` *and* the absolute drift
+    exceeds ``min_delta_s``.  Non-identical dense/fast outputs or a
+    median speedup below the baseline floor are hard failures.  Checksum
+    drift is a warning unless numpy versions match.
+    """
+    out = Comparison()
+    if baseline.get("schema") != SCHEMA:
+        out.failures.append(
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"
+        )
+        return out
+
+    cal_now = report.calibration_s
+    cal_base = float(baseline.get("calibration_s", 0.0))
+    if cal_now <= 0 or cal_base <= 0:
+        out.failures.append("calibration missing or non-positive; cannot normalise")
+        return out
+
+    base_cases = {
+        f"{c['method']}-n{c['n']}-cf{c['cf']}-{c['direction']}": c
+        for c in baseline.get("cases", [])
+    }
+    strict_checksums = baseline.get("env", {}).get("numpy") == np.__version__
+    for result in report.cases:
+        key = result.case.key
+        base = base_cases.get(key)
+        if base is None:
+            out.warnings.append(f"{key}: no baseline entry (new case)")
+            continue
+        norm_now = result.median_s / cal_now
+        norm_base = float(base["median_s"]) / cal_base
+        drift_s = (norm_now - norm_base) * cal_base
+        if norm_now > norm_base * (1.0 + tolerance) and drift_s > min_delta_s:
+            out.regressions.append(
+                f"{key}: normalised median {norm_now:.2f} vs baseline "
+                f"{norm_base:.2f} (> {tolerance:.0%} slower)"
+            )
+        if base.get("checksum") != result.checksum:
+            msg = (
+                f"{key}: checksum {result.checksum} != baseline {base['checksum']}"
+            )
+            if strict_checksums:
+                out.failures.append(msg)
+            else:
+                out.warnings.append(msg + " (numpy differs; advisory only)")
+
+    for s in report.speedups:
+        if not s.identical:
+            out.failures.append(
+                f"speedup n={s.n} cf={s.cf}: fast path output differs from dense"
+            )
+    floor = float(baseline.get("min_speedup", MIN_SPEEDUP))
+    if report.speedups and report.median_speedup < floor:
+        out.regressions.append(
+            f"median fast-path speedup {report.median_speedup:.2f}x at n={SPEEDUP_N} "
+            f"below the {floor:.1f}x floor"
+        )
+    return out
+
+
+def load_baseline(path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

@@ -126,6 +126,8 @@ def _cmd_platforms(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.harness import measure
 
+    if args.suite:
+        return _bench_suite(args)
     if args.faults or args.max_retries is not None:
         return _bench_resilient(args)
     point = measure(
@@ -148,6 +150,52 @@ def _cmd_bench(args) -> int:
     )
     print(f"  modelled time:  {point.seconds * 1e3:10.3f} ms")
     print(f"  throughput:     {point.throughput_gbps:10.2f} GB/s (vs uncompressed)")
+    return 0
+
+
+def _bench_suite(args) -> int:
+    """Run the seeded wall-clock micro-benchmark suite (repro.bench).
+
+    Exit codes: 0 = ok, 1 = usage/IO problem, 2 = perf regression or
+    bit-identity failure against the baseline.
+    """
+    from repro import bench
+
+    report = bench.run_suite(seed=args.seed, repeats=args.repeats)
+    print(
+        f"bench suite: {len(report.cases)} cases, seed={report.seed}, "
+        f"repeats={report.repeats}, calibration {report.calibration_s * 1e3:.3f} ms"
+    )
+    for s in report.speedups:
+        marker = "" if s.identical else "  [OUTPUT MISMATCH]"
+        print(
+            f"  n={s.n} cf={s.cf} {s.direction}: dense {s.dense_median_s * 1e3:.2f} ms"
+            f" -> fast {s.fast_median_s * 1e3:.2f} ms ({s.speedup:.1f}x){marker}"
+        )
+    print(f"  median fast-path speedup at n=512: {report.median_speedup:.2f}x")
+    if args.out:
+        report.write(args.out)
+        print(f"wrote {args.out}")
+    if not args.baseline:
+        return 0
+    try:
+        baseline = bench.load_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 1
+    result = bench.compare(report, baseline, tolerance=args.tolerance)
+    for warning in result.warnings:
+        print(f"warning: {warning}")
+    for line in result.regressions + result.failures:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    if not result.ok:
+        print(
+            f"bench: {len(result.regressions) + len(result.failures)} "
+            f"regression(s) vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"bench: no regressions vs {args.baseline}")
     return 0
 
 
@@ -637,6 +685,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--s", type=int, default=2)
     p.add_argument("--faults", help="fault plan JSON; runs through the resilience layer")
     p.add_argument("--max-retries", type=int, help="retry budget for transient device faults")
+    p.add_argument(
+        "--suite",
+        action="store_true",
+        help="run the seeded wall-clock micro-benchmark suite instead of the model",
+    )
+    p.add_argument("--out", help="write the suite report JSON here")
+    p.add_argument("--baseline", help="diff the suite against this baseline JSON; exit 2 on regression")
+    p.add_argument("--repeats", type=int, default=5, help="timed repetitions per case (suite mode)")
+    p.add_argument("--seed", type=int, default=0, help="input seed (suite mode)")
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed normalised-median slowdown vs baseline (suite mode)",
+    )
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("compress", help="compress a .npy file to .dcz")

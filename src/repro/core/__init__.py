@@ -35,6 +35,15 @@ from repro.core.api import (
     decompress,
     set_service,
     get_service,
+    clear_cache,
+)
+from repro.core.fused import (
+    set_fast_path,
+    fast_path_enabled,
+    force_dense,
+    fused_operators,
+    clear_fused_cache,
+    fast_path_stats,
 )
 from repro.core.padded import PaddedCompressor, AdaptiveCompressor
 from repro.core.autotune import select_cf, build_for_target, TuneResult
@@ -66,6 +75,13 @@ __all__ = [
     "decompress",
     "set_service",
     "get_service",
+    "clear_cache",
+    "set_fast_path",
+    "fast_path_enabled",
+    "force_dense",
+    "fused_operators",
+    "clear_fused_cache",
+    "fast_path_stats",
     "PaddedCompressor",
     "AdaptiveCompressor",
     "select_cf",

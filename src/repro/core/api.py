@@ -13,6 +13,8 @@ service's compiled-plan cache (see :mod:`repro.serve`).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Protocol, runtime_checkable
 
 from repro.core.chop import DCTChopCompressor
@@ -52,6 +54,7 @@ def make_compressor(
     cf: int = 4,
     s: int = 2,
     block: int = DEFAULT_BLOCK,
+    fast: bool | None = None,
 ) -> Compressor:
     """Build a compiled compressor.
 
@@ -62,13 +65,21 @@ def make_compressor(
         subdivision factor ``s``), or ``"sg"`` (scatter/gather triangle).
     cf:
         Chop factor; the paper sweeps 2..7.
+    fast:
+        Tiled fast-path override (``None`` follows the global switch;
+        see :func:`repro.core.fused.set_fast_path`).
+
+    Degenerate configurations — non-integral or non-positive sizes,
+    ``cf > block``, ``s`` not dividing the resolution, resolutions that
+    are not block multiples — raise :class:`ConfigError` naming the
+    offending values; nothing is silently truncated.
     """
     if method == "dc":
-        return DCTChopCompressor(height, width, cf=cf, block=block)
+        return DCTChopCompressor(height, width, cf=cf, block=block, fast=fast)
     if method == "ps":
-        return PartialSerializedCompressor(height, width, cf=cf, s=s, block=block)
+        return PartialSerializedCompressor(height, width, cf=cf, s=s, block=block, fast=fast)
     if method == "sg":
-        return ScatterGatherCompressor(height, width, cf=cf, block=block)
+        return ScatterGatherCompressor(height, width, cf=cf, block=block, fast=fast)
     raise ConfigError(f"unknown method {method!r}; expected one of {METHODS}")
 
 
@@ -94,16 +105,71 @@ def get_service():
     return _service
 
 
-_cache: dict[tuple, Compressor] = {}
+class _CompressorCache:
+    """Bounded, lock-guarded LRU of compiled compressors.
+
+    The previous module-level ``dict`` grew by one entry per novel
+    ``(H, W, method, cf, s, block)`` forever and raced on concurrent
+    first-calls.  Builds happen outside the lock (construction compiles
+    operators, which can be slow); when two threads race to build the same
+    key, the first insert wins and the loser's instance is discarded, so
+    callers always converge on one shared compressor per key.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[tuple, Compressor] = OrderedDict()
+
+    def get_or_build(self, key: tuple, builder) -> Compressor:
+        with self._lock:
+            comp = self._entries.get(key)
+            if comp is not None:
+                self._entries.move_to_end(key)
+                return comp
+        built = builder()
+        with self._lock:
+            comp = self._entries.get(key)
+            if comp is not None:
+                self._entries.move_to_end(key)
+                return comp
+            self._entries[key] = built
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return built
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+_cache = _CompressorCache()
+
+
+def clear_cache() -> None:
+    """Drop every cached compressor and fused operator pair (test hook)."""
+    from repro.core import fused
+
+    _cache.clear()
+    fused.clear_fused_cache()
 
 
 def _cached(height: int, width: int, method: str, cf: int, s: int, block: int) -> Compressor:
     key = (height, width, method, cf, s, block)
-    comp = _cache.get(key)
-    if comp is None:
-        comp = make_compressor(height, width, method=method, cf=cf, s=s, block=block)
-        _cache[key] = comp
-    return comp
+    return _cache.get_or_build(
+        key,
+        lambda: make_compressor(height, width, method=method, cf=cf, s=s, block=block),
+    )
 
 
 def compress(x, *, method: str = "dc", cf: int = 4, s: int = 2, block: int = DEFAULT_BLOCK) -> Tensor:

@@ -18,15 +18,22 @@ exactly the paper's PyTorch listing::
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 import repro.tensor as rt
 from repro.core import flops as flops_mod
+from repro.core import fused
 from repro.core.dct import DEFAULT_BLOCK, block_diagonal_dct
 from repro.core.mask import chop_mask
-from repro.errors import ConfigError, ShapeError
+from repro.errors import ConfigError, ShapeError, require_int
 from repro.obs.profile import profiled
-from repro.tensor import Tensor
+from repro.tensor import Tensor, no_grad
+
+# Probe verdicts cached per compressor; bounded so a pathological caller
+# cycling through batch shapes cannot grow it without limit.
+_VERDICT_CAP = 256
 
 
 def _block_diagonal(mat: np.ndarray, n: int) -> np.ndarray:
@@ -59,6 +66,13 @@ class DCTChopCompressor:
         DCT-II (the paper's future-work suggestion of the ZFP block
         transform).  Must be invertible; decompression uses its inverse, so
         a non-orthonormal transform still round-trips exactly at CF=block.
+    fast:
+        Tiled fast-path override: ``True``/``False`` force it on/off for
+        this instance, ``None`` (default) follows the global switch
+        (:func:`repro.core.fused.set_fast_path`).  Even when enabled, a
+        shape only uses the fast path after a seeded equivalence probe
+        proves it bit-identical to the dense oracle — see
+        :mod:`repro.core.fused`.
     """
 
     method = "dc"
@@ -71,18 +85,23 @@ class DCTChopCompressor:
         cf: int = 4,
         block: int = DEFAULT_BLOCK,
         transform: np.ndarray | None = None,
+        fast: bool | None = None,
     ) -> None:
-        width = height if width is None else width
+        height = require_int("height", height)
+        width = height if width is None else require_int("width", width)
+        block = require_int("block", block)
+        cf = require_int("cf", cf)
         if not 1 <= cf <= block:
             raise ConfigError(f"chop factor must be in [1, {block}], got {cf}")
         if height % block or width % block:
             raise ConfigError(
                 f"resolution {height}x{width} must be a multiple of block {block}"
             )
-        self.height = int(height)
-        self.width = int(width)
-        self.cf = int(cf)
-        self.block = int(block)
+        self.height = height
+        self.width = width
+        self.cf = cf
+        self.block = block
+        self._fast = fast
 
         # "Computed offline ... during compilation" (Section 3.3).
         # Forward (per block): D = T A T^T; inverse: A = S D S^T with
@@ -111,6 +130,25 @@ class DCTChopCompressor:
         # are exactly the transposes of the compression operands (Eq. 6).
         self._rhs_d = Tensor(np.ascontiguousarray(s_h @ m_h.T))
         self._lhs_d = Tensor(np.ascontiguousarray(m_w @ s_w.T))
+
+        # Tiled fast path: one fused (cf x block) operator pair per side
+        # instead of the dense block-diagonal operands.  For the DCT the
+        # pair comes from the shared (block, cf, dtype) cache; a custom
+        # transform slices its own dense operands (bitwise the same block).
+        if transform is None:
+            ops = fused.fused_operators(self.block, self.cf, np.float32)
+        else:
+            ops = fused.from_dense_operands(
+                self._lhs.data, self._rhs.data, self._rhs_d.data, self._lhs_d.data,
+                self.block, self.cf,
+            )
+        self._fops = ops
+        self._enc_r = Tensor(ops.enc_r)
+        self._enc_lT = Tensor(ops.enc_lT)
+        self._dec_r = Tensor(ops.dec_r)
+        self._dec_lT = Tensor(ops.dec_lT)
+        # (direction, lead shape, dtype) -> probe verdict (True = fast ok).
+        self._verdicts: OrderedDict[tuple, bool] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -164,12 +202,87 @@ class DCTChopCompressor:
                 "compile time on all target accelerators)"
             )
 
+    # ------------------------------------------------------------------
+    # Fast-path dispatch (see repro.core.fused for the full story)
+    # ------------------------------------------------------------------
+    def _use_fast(self, shape: tuple[int, ...], dtype, direction: str) -> bool:
+        """Whether this exact call shape runs the tiled kernels.
+
+        True only when the fast path is enabled *and* the seeded
+        equivalence probe has proven this ``(direction, batch, dtype)``
+        bit-identical to the dense oracle.  Verdicts are cached (bounded).
+        """
+        if not fused.fast_path_active(self._fast):
+            return False
+        key = (direction, shape[:-2], np.dtype(dtype).str)
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            verdict = self._probe(direction, shape, dtype)
+            fused.record_probe(verdict)
+            while len(self._verdicts) >= _VERDICT_CAP:
+                self._verdicts.popitem(last=False)
+            self._verdicts[key] = verdict
+        return verdict
+
+    def _probe(self, direction: str, shape: tuple[int, ...], dtype) -> bool:
+        """Run dense and tiled on seeded data of this shape; compare bytes."""
+        data = fused.probe_input(
+            shape, dtype, cf=self.cf, block=self.block, direction=direction
+        )
+        with no_grad():
+            t = Tensor(data, dtype=data.dtype)
+            if direction == "compress":
+                dense = self._compress_dense(t)
+                tiled = self._compress_tiled(t)
+            else:
+                dense = self._decompress_dense(t)
+                tiled = self._decompress_tiled(t)
+        return np.array_equal(dense.data, tiled.data)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def _compress_dense(self, x: Tensor) -> Tensor:
+        return rt.matmul(self._lhs, rt.matmul(x, self._rhs))
+
+    def _compress_tiled(self, x: Tensor, *, blocks: bool = False) -> Tensor:
+        return fused.tiled_compress(
+            x, self._enc_r, self._enc_lT, self.block, self.cf, blocks=blocks
+        )
+
+    def _decompress_dense(self, y: Tensor) -> Tensor:
+        return rt.matmul(self._rhs_d, rt.matmul(y, self._lhs_d))
+
+    def _decompress_tiled(self, y: Tensor, *, from_blocks: bool = False) -> Tensor:
+        return fused.tiled_decompress(
+            y, self._dec_r, self._dec_lT, self.block, self.cf,
+            self.height // self.block, self.width // self.block,
+            from_blocks=from_blocks,
+        )
+
+    @profiled("core.dc.compress", matmuls=2)
+    def _compress_tiled_blocks(self, x: Tensor) -> Tensor:
+        """Blocks-layout tiled compress, profiled as the DC work it is."""
+        return self._compress_tiled(x, blocks=True)
+
+    @profiled("core.dc.decompress", matmuls=2)
+    def _decompress_tiled_blocks(self, y: Tensor) -> Tensor:
+        """Blocks-layout tiled decompress, profiled as the DC work it is."""
+        return self._decompress_tiled(y, from_blocks=True)
+
     @profiled("core.dc.compress", matmuls=2)
     def compress(self, x) -> Tensor:
-        """``Y = LHS @ A @ RHS`` over every leading batch/channel dim."""
+        """``Y = LHS @ A @ RHS`` over every leading batch/channel dim.
+
+        Executed via the tiled fast path when enabled and probe-verified
+        for this shape (bit-identical output either way); the dense
+        two-matmul form remains the oracle and the traced device program.
+        """
         x = x if isinstance(x, Tensor) else Tensor(x)
         self._check_plane(x.shape)
-        return rt.matmul(self._lhs, rt.matmul(x, self._rhs))
+        if self._use_fast(x.shape, x.dtype, "compress"):
+            return self._compress_tiled(x)
+        return self._compress_dense(x)
 
     @profiled("core.dc.decompress", matmuls=2)
     def decompress(self, y) -> Tensor:
@@ -180,7 +293,9 @@ class DCTChopCompressor:
                 f"expected compressed planes of "
                 f"{self.compressed_height}x{self.compressed_width}, got {y.shape}"
             )
-        return rt.matmul(self._rhs_d, rt.matmul(y, self._lhs_d))
+        if self._use_fast(y.shape, y.dtype, "decompress"):
+            return self._decompress_tiled(y)
+        return self._decompress_dense(y)
 
     def roundtrip(self, x) -> Tensor:
         """Compress then decompress — the per-batch op used during training."""

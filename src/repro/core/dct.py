@@ -14,9 +14,14 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, require_int
 
 DEFAULT_BLOCK = 8
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
 
 
 @lru_cache(maxsize=64)
@@ -25,7 +30,7 @@ def _dct_matrix_cached(n: int) -> np.ndarray:
     i = np.arange(n).reshape(-1, 1)
     t = np.sqrt(2.0 / n) * np.cos(np.pi * (2 * j + 1) * i / (2 * n))
     t[0, :] = 1.0 / np.sqrt(n)
-    return t.astype(np.float32)
+    return _freeze(t.astype(np.float32))
 
 
 def dct_matrix(n: int = DEFAULT_BLOCK) -> np.ndarray:
@@ -33,15 +38,27 @@ def dct_matrix(n: int = DEFAULT_BLOCK) -> np.ndarray:
 
     ``T[i, j] = 1/sqrt(n)`` for ``i == 0`` and
     ``sqrt(2/n) * cos(pi * (2j+1) * i / (2n))`` otherwise.
+
+    The returned array is a cached **read-only** view shared between
+    callers — this sits on the compress hot path, so allocating a fresh
+    ``n x n`` copy per call is not acceptable.  Call ``.copy()`` if you
+    need a writable matrix.
     """
-    if n < 1:
-        raise ConfigError(f"DCT size must be >= 1, got {n}")
-    return _dct_matrix_cached(int(n)).copy()
+    return _dct_matrix_cached(require_int("DCT size", n))
+
+
+@lru_cache(maxsize=64)
+def _idct_matrix_cached(n: int) -> np.ndarray:
+    return _freeze(np.ascontiguousarray(_dct_matrix_cached(n).T))
 
 
 def idct_matrix(n: int = DEFAULT_BLOCK) -> np.ndarray:
-    """Inverse transform matrix — simply ``T.T`` because T is orthonormal."""
-    return dct_matrix(n).T.copy()
+    """Inverse transform matrix — simply ``T.T`` because T is orthonormal.
+
+    Cached read-only view, like :func:`dct_matrix`.
+    """
+    dct_matrix(n)  # validate n
+    return _idct_matrix_cached(int(n))
 
 
 @lru_cache(maxsize=64)
@@ -52,7 +69,7 @@ def _block_diagonal_cached(n: int, block: int) -> np.ndarray:
     for b in range(nblocks):
         lo = b * block
         t_l[lo : lo + block, lo : lo + block] = t
-    return t_l
+    return _freeze(t_l)
 
 
 def block_diagonal_dct(n: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
@@ -64,7 +81,11 @@ def block_diagonal_dct(n: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
     Raises :class:`ConfigError` when ``n`` is not a multiple of ``block`` —
     the accelerators need static tensor sizes, so ragged edge blocks are
     not supported (callers pad instead).
+
+    Cached read-only view, like :func:`dct_matrix`.
     """
+    block = require_int("block size", block)
+    n = require_int("input size", n)
     if n % block != 0:
         raise ConfigError(f"input size {n} must be a multiple of the block size {block}")
-    return _block_diagonal_cached(int(n), int(block)).copy()
+    return _block_diagonal_cached(n, block)

@@ -1,0 +1,327 @@
+"""Tiled fast path: batched block kernels for the compressor hot loop.
+
+The paper's pitch is that DCT+Chop is "exactly two matrix multiplications"
+— but the host-side reference realises ``Y = (M T_L) A (T_L^T M^T)`` with
+dense ``n x n`` operands, an O(n^3)-per-plane computation even though the
+block-diagonal structure only ever mixes values inside one ``8 x 8`` tile.
+This module provides the O(n^2 * block) equivalent: reshape the plane into
+``block x block`` tiles and apply one precomputed *fused* operator pair per
+side, exactly like zfp's fixed-rate block codec and JPEG's tiled DCT
+pipeline.
+
+Per tile the computation is ``Y_t = (M_b T) A_t (T^T M_b^T)`` with
+``(cf, block)`` / ``(block, cf)`` operands.  It is executed as two large
+skinny GEMMs over all tiles at once (inner dimension ``block``), not as
+thousands of tiny per-tile matmuls:
+
+1. reshape ``(..., H, W) -> (..., nbh, B, nbw, B)`` and contract the last
+   axis with ``enc_r`` in a single ``(M, B) @ (B, cf)`` GEMM;
+2. transpose the row-in-block axis to the end and contract it with
+   ``enc_l^T`` in a second ``(M', B) @ (B, cf)`` GEMM;
+3. transpose/reshape back to the compressed plane layout.
+
+Bit-identity with the dense path
+--------------------------------
+Both paths accumulate exactly the same nonzero products in the same
+ascending-k order (the dense operand rows are zero outside one block, and
+adding an exact zero never changes an IEEE-754 partial sum), so on most
+shapes the tiled result is bit-identical to the dense one.  BLAS kernel
+*selection*, however, depends on the GEMM dimensions, and edge-case
+kernels can round differently — so bit-identity is shape-dependent, not
+guaranteed a priori.  The compressors therefore run a seeded equivalence
+probe the first time a new ``(direction, batch-shape, dtype)`` appears:
+dense and tiled results are compared bit-for-bit on deterministic probe
+data, and on any mismatch that shape is pinned to the dense path.  The
+outcome is cached, so the guarantee "compressor output == dense-path
+output, bitwise" holds for every shape by construction.
+
+The dense path remains available as the oracle: per-compressor via
+``fast=False``, globally via :func:`set_fast_path`, and temporarily via
+the :func:`force_dense` context manager (the accelerator tracer uses it so
+compiled graphs and modelled timings keep the paper's two-matmul shape).
+
+Fused operators are cached per ``(block, cf, dtype)`` as read-only arrays
+behind a lock; :func:`clear_fused_cache` resets the cache for tests.
+
+Note: the fast path assumes finite inputs.  The dense path multiplies
+other blocks' values by exact zeros, so a non-finite value poisons its
+whole plane row (``0 * inf = nan``) — an artifact of the dense realisation
+that the tiled kernels do not reproduce.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.tensor as rt
+from repro.errors import ConfigError
+from repro.tensor import Tensor
+
+# ----------------------------------------------------------------------
+# Fast-path switches
+# ----------------------------------------------------------------------
+_FAST_ENABLED = True
+_dense_state = threading.local()
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Globally enable/disable the tiled fast path; returns the old value."""
+    global _FAST_ENABLED
+    previous, _FAST_ENABLED = _FAST_ENABLED, bool(enabled)
+    return previous
+
+
+def fast_path_enabled() -> bool:
+    """The global default (per-compressor ``fast=`` overrides it)."""
+    return _FAST_ENABLED
+
+
+def dense_forced() -> bool:
+    """True inside a :func:`force_dense` block (thread-local)."""
+    return getattr(_dense_state, "depth", 0) > 0
+
+
+@contextlib.contextmanager
+def force_dense():
+    """Run with the dense oracle path, regardless of flags.
+
+    The accelerator tracer wraps program capture in this context so the
+    compiled graph is the paper's two-matmul kernel — the tiled fast path
+    is a host-side execution strategy, never a different device program.
+    """
+    _dense_state.depth = getattr(_dense_state, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _dense_state.depth -= 1
+
+
+def fast_path_active(override: bool | None = None) -> bool:
+    """Resolve the effective switch for one compressor instance."""
+    if dense_forced():
+        return False
+    return _FAST_ENABLED if override is None else bool(override)
+
+
+# ----------------------------------------------------------------------
+# Probe bookkeeping (module-level counters; cheap, no registry coupling)
+# ----------------------------------------------------------------------
+_probe_stats = {"pass": 0, "fail": 0}
+
+
+def record_probe(ok: bool) -> None:
+    _probe_stats["pass" if ok else "fail"] += 1
+
+
+def fast_path_stats() -> dict[str, int]:
+    """``{"pass": ..., "fail": ...}`` equivalence-probe outcomes so far."""
+    return dict(_probe_stats)
+
+
+# ----------------------------------------------------------------------
+# Fused operator cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusedOps:
+    """Per-block operator pair for one ``(block, cf)`` configuration.
+
+    All arrays are contiguous and read-only, oriented the way the tiled
+    kernels consume them (the row-side operators pre-transposed so both
+    GEMMs contract the *last* axis):
+
+    * ``enc_r``  — ``T^T M_b^T``      ``(block, cf)``  column transform
+    * ``enc_lT`` — ``(M_b T)^T``      ``(block, cf)``  row transform
+    * ``dec_r``  — ``M_b S^T``        ``(cf, block)``  column inverse
+    * ``dec_lT`` — ``(S M_b^T)^T``    ``(cf, block)``  row inverse
+
+    For the orthonormal DCT ``S = T^T`` and the four collapse to slices
+    of ``T``; custom transforms keep all four distinct.
+    """
+
+    block: int
+    cf: int
+    enc_r: np.ndarray
+    enc_lT: np.ndarray
+    dec_r: np.ndarray
+    dec_lT: np.ndarray
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr = np.ascontiguousarray(arr)
+    arr.flags.writeable = False
+    return arr
+
+
+def from_dense_operands(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    rhs_d: np.ndarray,
+    lhs_d: np.ndarray,
+    block: int,
+    cf: int,
+) -> FusedOps:
+    """Slice the per-block operators out of the dense block-diagonal ones.
+
+    The dense operands repeat one ``(cf, block)`` / ``(block, cf)`` block
+    along the diagonal, so the top-left block *is* the fused operator —
+    bitwise, by construction.  This also covers custom transforms, whose
+    inverse is not the transpose.
+    """
+    return FusedOps(
+        block=block,
+        cf=cf,
+        enc_r=_freeze(rhs[:block, :cf]),
+        enc_lT=_freeze(lhs[:cf, :block].T),
+        dec_r=_freeze(lhs_d[:cf, :block]),
+        dec_lT=_freeze(rhs_d[:block, :cf].T),
+    )
+
+
+_FUSED_CACHE_CAPACITY = 64
+_fused_cache: OrderedDict[tuple, FusedOps] = OrderedDict()
+_fused_lock = threading.RLock()
+
+
+def fused_operators(block: int = 8, cf: int = 4, dtype=np.float32) -> FusedOps:
+    """The fused DCT operator pair for ``(block, cf, dtype)``, cached.
+
+    Returned arrays are shared, read-only views — callers must not write
+    to them (mutating would corrupt every compressor built afterwards).
+    The cache is bounded and lock-guarded; see :func:`clear_fused_cache`.
+    """
+    if not 1 <= cf <= block:
+        raise ConfigError(f"chop factor must be in [1, {block}], got {cf}")
+    key = (int(block), int(cf), np.dtype(dtype).str)
+    with _fused_lock:
+        ops = _fused_cache.get(key)
+        if ops is not None:
+            _fused_cache.move_to_end(key)
+            return ops
+    # Build outside the lock (cheap, but keeps the critical section tiny);
+    # a concurrent first call may build twice — the first insert wins.
+    from repro.core.dct import dct_matrix
+
+    t = dct_matrix(block).astype(dtype, copy=True)
+    ops = FusedOps(
+        block=int(block),
+        cf=int(cf),
+        enc_r=_freeze(t[:cf].T),
+        enc_lT=_freeze(t[:cf].T),
+        dec_r=_freeze(t[:cf]),
+        dec_lT=_freeze(t[:cf]),
+    )
+    with _fused_lock:
+        existing = _fused_cache.get(key)
+        if existing is not None:
+            _fused_cache.move_to_end(key)
+            return existing
+        _fused_cache[key] = ops
+        while len(_fused_cache) > _FUSED_CACHE_CAPACITY:
+            _fused_cache.popitem(last=False)
+    return ops
+
+
+def clear_fused_cache() -> None:
+    """Drop every cached fused operator pair (test hook)."""
+    with _fused_lock:
+        _fused_cache.clear()
+
+
+def fused_cache_size() -> int:
+    with _fused_lock:
+        return len(_fused_cache)
+
+
+# ----------------------------------------------------------------------
+# Tiled kernels
+# ----------------------------------------------------------------------
+def tiled_compress(
+    x: Tensor,
+    enc_r: Tensor,
+    enc_lT: Tensor,
+    block: int,
+    cf: int,
+    *,
+    blocks: bool = False,
+) -> Tensor:
+    """``(..., H, W) -> (..., cf*nbh, cf*nbw)`` via two skinny GEMMs.
+
+    With ``blocks=True`` the output is the SG block layout
+    ``(..., nbh*nbw, cf*cf)`` instead — the same GEMMs, one fewer layout
+    shuffle than compress-then-reshuffle.
+
+    All steps are autograd :class:`~repro.tensor.Tensor` ops, so gradients
+    flow for activation compression exactly as on the dense path.
+    """
+    lead = x.shape[:-2]
+    nl = len(lead)
+    nbh = x.shape[-2] // block
+    nbw = x.shape[-1] // block
+    # (..., nbh, B, nbw, B): axes (a, b, c, d) after the lead dims.
+    z = x.reshape(*lead, nbh, block, nbw, block)
+    # Column transform: contract the in-block column axis (one GEMM, K=B).
+    z = z.reshape(-1, block).matmul(enc_r)
+    z = z.reshape(*lead, nbh, block, nbw, cf)
+    # Bring the in-block row axis last: (a, c, q, b).
+    z = z.transpose(*range(nl), nl, nl + 2, nl + 3, nl + 1)
+    # Row transform (second GEMM, K=B): -> (a, c, q, p).
+    z = z.reshape(-1, block).matmul(enc_lT)
+    z = z.reshape(*lead, nbh, nbw, cf, cf)
+    if blocks:
+        # (a, c, p, q) -> (..., nblocks, cf*cf), row-major within a block.
+        z = z.transpose(*range(nl), nl, nl + 1, nl + 3, nl + 2)
+        return z.reshape(*lead, nbh * nbw, cf * cf)
+    # (a, p, c, q) -> (..., cf*nbh, cf*nbw), the dense compressed layout.
+    z = z.transpose(*range(nl), nl, nl + 3, nl + 1, nl + 2)
+    return z.reshape(*lead, cf * nbh, cf * nbw)
+
+
+def tiled_decompress(
+    y: Tensor,
+    dec_r: Tensor,
+    dec_lT: Tensor,
+    block: int,
+    cf: int,
+    nbh: int,
+    nbw: int,
+    *,
+    from_blocks: bool = False,
+) -> Tensor:
+    """Inverse of :func:`tiled_compress` (``from_blocks`` takes SG layout)."""
+    lead = y.shape[:-2]
+    nl = len(lead)
+    if from_blocks:
+        # (..., nblocks, cf*cf) -> (a, c, p, q)
+        z = y.reshape(*lead, nbh, nbw, cf, cf)
+    else:
+        # (..., cf*nbh, cf*nbw) -> (a, p, c, q) -> (a, c, p, q)
+        z = y.reshape(*lead, nbh, cf, nbw, cf)
+        z = z.transpose(*range(nl), nl, nl + 2, nl + 1, nl + 3)
+    # Column inverse first — the dense path computes ``Y @ LHS_d`` first.
+    z = z.reshape(-1, cf).matmul(dec_r)
+    z = z.reshape(*lead, nbh, nbw, cf, block)
+    # (a, c, p, bc) -> (a, c, bc, p), then the row inverse.
+    z = z.transpose(*range(nl), nl, nl + 1, nl + 3, nl + 2)
+    z = z.reshape(-1, cf).matmul(dec_lT)
+    z = z.reshape(*lead, nbh, nbw, block, block)
+    # (a, c, bc, br) -> (a, br, c, bc) -> (..., H, W)
+    z = z.transpose(*range(nl), nl, nl + 3, nl + 1, nl + 2)
+    return z.reshape(*lead, nbh * block, nbw * block)
+
+
+def probe_input(shape: tuple[int, ...], dtype, *, cf: int, block: int, direction: str) -> np.ndarray:
+    """Deterministic probe data for one equivalence check.
+
+    Seeded from the full call shape and the compressor configuration so
+    every process, thread, and run probes with identical bytes.
+    """
+    tag = 0 if direction == "compress" else 1
+    seed = [tag, int(cf), int(block), *(int(d) for d in shape)]
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape) * 8.0
+    return data.astype(dtype, copy=False)

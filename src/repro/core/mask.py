@@ -30,6 +30,7 @@ def _chop_mask_cached(n: int, cf: int, block: int) -> np.ndarray:
     block_idx = rows // cf
     within = rows % cf
     m[rows, block_idx * block + within] = 1.0
+    m.flags.writeable = False
     return m
 
 
@@ -38,11 +39,15 @@ def chop_mask(n: int, cf: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
 
     ``M[b*cf + r, b*block + r] = 1`` for every block ``b`` and retained
     row ``r`` in ``[0, cf)``.
+
+    The returned array is a cached **read-only** view shared between
+    callers (hot-path construction must not allocate); ``.copy()`` it if
+    you need to write.
     """
     _validate_cf(cf, block)
     if n % block != 0:
         raise ConfigError(f"input size {n} must be a multiple of the block size {block}")
-    return _chop_mask_cached(int(n), int(cf), int(block)).copy()
+    return _chop_mask_cached(int(n), int(cf), int(block))
 
 
 def retained_coefficients(cf: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
@@ -57,7 +62,9 @@ def retained_coefficients(cf: int, block: int = DEFAULT_BLOCK) -> np.ndarray:
 def _triangle_cached(cf: int) -> np.ndarray:
     i, j = np.meshgrid(np.arange(cf), np.arange(cf), indexing="ij")
     flat = np.flatnonzero((i + j < cf).reshape(-1))
-    return flat.astype(np.int64)
+    flat = flat.astype(np.int64)
+    flat.flags.writeable = False
+    return flat
 
 
 def triangle_indices(cf: int) -> np.ndarray:
@@ -67,11 +74,11 @@ def triangle_indices(cf: int) -> np.ndarray:
     diagonals closest to the DC coefficient (Fig. 6).  The index array has
     ``cf * (cf + 1) / 2`` entries and indexes a row-major flattened
     ``cf x cf`` block.  Computable at compile time, so it is never stored
-    with the data.
+    with the data.  Cached read-only view, like :func:`chop_mask`.
     """
     if cf < 1:
         raise ConfigError(f"chop factor must be >= 1, got {cf}")
-    return _triangle_cached(int(cf)).copy()
+    return _triangle_cached(int(cf))
 
 
 def triangle_count(cf: int) -> int:

@@ -16,7 +16,7 @@ import numpy as np
 import repro.tensor as rt
 from repro.core.api import make_compressor
 from repro.core.dct import DEFAULT_BLOCK
-from repro.errors import ShapeError
+from repro.errors import ShapeError, require_int
 from repro.tensor import Tensor
 
 
@@ -55,14 +55,18 @@ class PaddedCompressor:
         cf: int = 4,
         s: int = 2,
         block: int = DEFAULT_BLOCK,
+        fast: bool | None = None,
     ) -> None:
-        width = height if width is None else width
-        self.height = int(height)
-        self.width = int(width)
+        height = require_int("height", height)
+        width = height if width is None else require_int("width", width)
+        block = require_int("block", block)
+        self.height = height
+        self.width = width
         self.padded_height = _round_up(self.height, block)
         self.padded_width = _round_up(self.width, block)
         self.inner = make_compressor(
-            self.padded_height, self.padded_width, method=method, cf=cf, s=s, block=block
+            self.padded_height, self.padded_width, method=method, cf=cf, s=s,
+            block=block, fast=fast,
         )
         self.method = self.inner.method
         self.cf = self.inner.cf

@@ -14,7 +14,7 @@ import numpy as np
 import repro.tensor as rt
 from repro.core.chop import DCTChopCompressor
 from repro.core.dct import DEFAULT_BLOCK
-from repro.errors import ConfigError, ShapeError
+from repro.errors import ConfigError, ShapeError, require_int
 from repro.obs.profile import profiled
 from repro.tensor import Tensor
 
@@ -32,10 +32,12 @@ class PartialSerializedCompressor:
         cf: int = 4,
         s: int = 2,
         block: int = DEFAULT_BLOCK,
+        fast: bool | None = None,
     ) -> None:
-        width = height if width is None else width
-        if s < 1:
-            raise ConfigError(f"subdivision factor must be >= 1, got {s}")
+        height = require_int("height", height)
+        width = height if width is None else require_int("width", width)
+        s = require_int("subdivision factor s", s)
+        block = require_int("block", block)
         if height % s or width % s:
             raise ConfigError(f"resolution {height}x{width} not divisible by s={s}")
         if (height // s) % block or (width // s) % block:
@@ -43,11 +45,13 @@ class PartialSerializedCompressor:
                 f"chunk resolution {height // s}x{width // s} must be a "
                 f"multiple of block {block}"
             )
-        self.height = int(height)
-        self.width = int(width)
-        self.s = int(s)
-        # The device only ever sees the chunk-resolution compressor.
-        self.inner = DCTChopCompressor(height // s, width // s, cf=cf, block=block)
+        self.height = height
+        self.width = width
+        self.s = s
+        # The device only ever sees the chunk-resolution compressor; the
+        # tiled fast path applies per chunk, inside the serial loop (the
+        # loop *is* PS — it bounds the working set to one chunk).
+        self.inner = DCTChopCompressor(height // s, width // s, cf=cf, block=block, fast=fast)
 
     @property
     def cf(self) -> int:

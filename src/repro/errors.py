@@ -1,5 +1,7 @@
 """Exception hierarchy shared across the repro package."""
 
+import numbers
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -39,6 +41,27 @@ class OutOfMemoryError(CompileError):
 
 class ConfigError(ReproError):
     """Invalid user-facing configuration (chop factor, block size, ...)."""
+
+
+def require_int(name: str, value, *, minimum: int = 1) -> int:
+    """Validate an integral config value, returning it as a plain ``int``.
+
+    Degenerate configurations must fail loudly with the offending value —
+    historically ``cf=2.5`` passed the range check and was then silently
+    truncated to 2 by ``int()``, producing a different compression ratio
+    than requested.  Accepts Python and NumPy integers; rejects bools,
+    floats (even integral-valued ones, to keep behaviour predictable), and
+    anything non-numeric.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ConfigError(
+            f"{name} must be an integer, got {value!r} "
+            f"(type {type(value).__name__})"
+        )
+    value = int(value)
+    if value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
 
 
 class IntegrityError(ReproError):

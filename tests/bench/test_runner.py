@@ -1,0 +1,172 @@
+"""repro.bench: suite construction, determinism, JSON schema, regression gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import bench
+from repro.bench import BenchCase, compare, default_suite, run_case, run_suite
+
+
+def tiny_suite():
+    """A sub-second grid for tests (the real suite uses n up to 512)."""
+    return [
+        BenchCase(method, 16, 2, direction, batch=2)
+        for method in ("dc", "ps", "sg")
+        for direction in ("compress", "decompress")
+    ]
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # cf=7 for the speedup section: it has the widest margin over the 3x
+    # floor, keeping this fixture robust under a loaded test runner.
+    return run_suite(tiny_suite(), repeats=3, speedup_cfs=(7,))
+
+
+class TestSuite:
+    def test_default_suite_covers_grid(self):
+        cases = default_suite()
+        assert len(cases) == 3 * 3 * 3 * 2  # methods x sizes x cfs x directions
+        keys = {c.key for c in cases}
+        assert len(keys) == len(cases)
+        assert "sg-n512-cf7-decompress" in keys
+
+    def test_run_case_deterministic_checksum(self):
+        case = BenchCase("dc", 16, 4, "compress", batch=2)
+        a = run_case(case, repeats=1)
+        b = run_case(case, repeats=1)
+        assert a.checksum == b.checksum
+        assert a.median_s > 0 and a.p95_s >= a.median_s
+
+    def test_seed_changes_checksum(self):
+        case = BenchCase("dc", 16, 4, "compress", batch=2)
+        a = run_case(case, seed=0, repeats=1)
+        b = run_case(case, seed=1, repeats=1)
+        assert a.checksum != b.checksum
+
+    def test_calibration_positive(self):
+        assert bench.calibrate(repeats=3, warmup=1) > 0
+
+
+class TestReport:
+    def test_json_roundtrip(self, tiny_report, tmp_path):
+        path = tmp_path / "bench.json"
+        tiny_report.write(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == bench.SCHEMA
+        assert len(loaded["cases"]) == len(tiny_report.cases)
+        assert loaded["calibration_s"] > 0
+        assert {"python", "numpy", "machine"} <= set(loaded["env"])
+        for entry in loaded["cases"]:
+            assert {"method", "n", "cf", "direction", "median_s", "p95_s", "checksum"} <= set(entry)
+        assert loaded["speedups"][0]["identical"] is True
+
+    def test_speedup_section(self, tiny_report):
+        assert len(tiny_report.speedups) == 1
+        s = tiny_report.speedups[0]
+        assert s.n == 512
+        assert s.identical
+        assert tiny_report.median_speedup == pytest.approx(s.speedup)
+
+
+class TestCompare:
+    def test_self_comparison_clean(self, tiny_report):
+        result = compare(tiny_report, json.loads(tiny_report.to_json()))
+        assert result.ok
+        assert not result.regressions and not result.failures
+
+    def test_flags_timing_regression(self, tiny_report):
+        baseline = json.loads(tiny_report.to_json())
+        for entry in baseline["cases"]:
+            entry["median_s"] /= 1000.0
+        result = compare(tiny_report, baseline, min_delta_s=0.0)
+        assert not result.ok
+        assert result.regressions
+
+    def test_tolerance_respected(self, tiny_report):
+        baseline = json.loads(tiny_report.to_json())
+        for entry in baseline["cases"]:
+            entry["median_s"] /= 1.1  # 10% worse than baseline
+        assert compare(tiny_report, baseline, tolerance=0.25, min_delta_s=0.0).ok
+
+    def test_min_delta_guard_suppresses_noise(self, tiny_report):
+        # Micro-cases drift far above tolerance in relative terms, but the
+        # absolute drift is sub-noise; the guard must keep them quiet.
+        baseline = json.loads(tiny_report.to_json())
+        for entry in baseline["cases"]:
+            entry["median_s"] /= 1000.0
+        assert compare(tiny_report, baseline, min_delta_s=10.0).ok
+
+    def test_flags_speedup_floor_miss(self, tiny_report):
+        baseline = json.loads(tiny_report.to_json())
+        baseline["min_speedup"] = 1e9
+        result = compare(tiny_report, baseline)
+        assert not result.ok
+        assert any("speedup" in r for r in result.regressions)
+
+    def test_checksum_mismatch_advisory_without_env_match(self, tiny_report):
+        baseline = json.loads(tiny_report.to_json())
+        baseline["cases"][0]["checksum"] = "deadbeefdeadbeef"
+        baseline["env"]["numpy"] = "0.0.0"
+        result = compare(tiny_report, baseline)
+        assert result.ok
+        assert any("checksum" in w for w in result.warnings)
+
+    def test_checksum_mismatch_fails_with_env_match(self, tiny_report):
+        baseline = json.loads(tiny_report.to_json())
+        baseline["cases"][0]["checksum"] = "deadbeefdeadbeef"
+        baseline["env"]["numpy"] = np.__version__
+        result = compare(tiny_report, baseline)
+        assert not result.ok
+
+    def test_schema_mismatch_fails(self, tiny_report):
+        result = compare(tiny_report, {"schema": "other/v9"})
+        assert not result.ok
+
+    def test_new_case_is_warning(self, tiny_report):
+        baseline = json.loads(tiny_report.to_json())
+        baseline["cases"] = baseline["cases"][1:]
+        result = compare(tiny_report, baseline)
+        assert result.ok
+        assert any("no baseline entry" in w for w in result.warnings)
+
+
+class TestCLI:
+    def test_suite_flag_with_baseline_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        # Full CLI path is exercised with the real (fast) suite in CI; here
+        # only the wiring: --suite --out writes a valid report.
+        code = main(
+            ["bench", "--suite", "--repeats", "1", "--out", str(out)]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == bench.SCHEMA
+        captured = capsys.readouterr()
+        assert "median fast-path speedup" in captured.out
+
+    def test_exit_2_on_regression(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        assert main(["bench", "--suite", "--repeats", "1", "--out", str(out)]) == 0
+        baseline = json.loads(out.read_text())
+        baseline["min_speedup"] = 1e9
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(baseline))
+        code = main(
+            ["bench", "--suite", "--repeats", "1", "--baseline", str(bad)]
+        )
+        assert code == 2
+
+    def test_exit_1_on_missing_baseline(self, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            ["bench", "--suite", "--repeats", "1", "--baseline", str(tmp_path / "nope.json")]
+        )
+        assert code == 1

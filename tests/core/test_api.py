@@ -62,3 +62,86 @@ class TestOneShot:
         assert y.shape == (1, 4, 6)
         rec = decompress(y, x.shape, method="sg", cf=3)
         assert rec.shape == x.shape
+
+
+class TestCompressorCache:
+    """The bounded, lock-guarded LRU replacing the unbounded module dict."""
+
+    def test_clear_cache(self, rng):
+        from repro.core import api, clear_cache
+
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        compress(x, cf=2)
+        assert len(api._cache) >= 1
+        clear_cache()
+        assert len(api._cache) == 0
+
+    def test_lru_bound_and_eviction_order(self):
+        from repro.core.api import _CompressorCache
+
+        cache = _CompressorCache(capacity=2)
+        cache.get_or_build(("a",), lambda: object())
+        b = cache.get_or_build(("b",), lambda: object())
+        # Touch "a" so "b" becomes the least recently used entry.
+        cache.get_or_build(("a",), lambda: object())
+        cache.get_or_build(("c",), lambda: object())
+        assert len(cache) == 2
+        assert ("b",) not in cache
+        assert ("a",) in cache and ("c",) in cache
+        # "b" rebuilds on demand (a fresh instance, not the evicted one).
+        assert cache.get_or_build(("b",), lambda: object()) is not b
+
+    def test_invalid_capacity(self):
+        from repro.core.api import _CompressorCache
+
+        with pytest.raises(ConfigError):
+            _CompressorCache(capacity=0)
+
+    def test_concurrent_first_calls_converge(self):
+        import threading
+
+        from repro.core.api import _CompressorCache
+
+        cache = _CompressorCache(capacity=8)
+        barrier = threading.Barrier(8)
+        winners = []
+
+        def worker():
+            barrier.wait()
+            winners.append(cache.get_or_build(("k",), object))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every thread got the same instance and only one entry exists.
+        assert len(cache) == 1
+        assert all(w is winners[0] for w in winners)
+
+    def test_one_shot_calls_share_one_instance_under_threads(self, rng):
+        import threading
+
+        from repro.core import api, clear_cache
+
+        clear_cache()
+        x = rng.standard_normal((1, 24, 24)).astype(np.float32)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    compress(x, cf=3)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(api._cache) == 1
+        clear_cache()

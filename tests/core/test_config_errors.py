@@ -1,0 +1,103 @@
+"""Degenerate configurations must raise ConfigError naming the bad value.
+
+Regression suite for the silent-truncation audit: non-integral parameters
+used to pass range checks and then be truncated by ``int()`` (``cf=2.5``
+quietly became ``cf=2`` — a different compression ratio than requested),
+and several invalid combinations surfaced as shape errors deep inside the
+kernels instead of a clear configuration error at build time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCTChopCompressor,
+    PaddedCompressor,
+    PartialSerializedCompressor,
+    make_compressor,
+)
+from repro.errors import ConfigError
+
+
+class TestNonIntegralValues:
+    @pytest.mark.parametrize("cf", [2.5, "4", 4.0, None, True])
+    def test_cf_must_be_integral(self, cf):
+        with pytest.raises(ConfigError):
+            make_compressor(32, cf=cf)
+
+    def test_truncation_message_names_value(self):
+        with pytest.raises(ConfigError, match="2.5"):
+            make_compressor(32, cf=2.5)
+
+    @pytest.mark.parametrize("s", [1.5, 2.0, "2", False])
+    def test_s_must_be_integral(self, s):
+        with pytest.raises(ConfigError):
+            make_compressor(64, method="ps", s=s)
+
+    @pytest.mark.parametrize("height", [32.0, 31.9, "64"])
+    def test_height_must_be_integral(self, height):
+        with pytest.raises(ConfigError):
+            make_compressor(height)
+
+    def test_block_must_be_integral(self):
+        with pytest.raises(ConfigError):
+            make_compressor(32, block=8.5)
+
+    def test_numpy_integers_accepted(self):
+        comp = make_compressor(np.int64(32), cf=np.int32(4))
+        assert comp.height == 32 and comp.cf == 4
+        assert isinstance(comp.height, int)
+
+
+class TestRangeAndDivisibility:
+    def test_cf_above_block(self):
+        with pytest.raises(ConfigError, match="9"):
+            make_compressor(32, cf=9)
+
+    def test_cf_below_one(self):
+        with pytest.raises(ConfigError):
+            make_compressor(32, cf=0)
+
+    def test_nonpositive_height(self):
+        with pytest.raises(ConfigError):
+            make_compressor(0)
+        with pytest.raises(ConfigError):
+            make_compressor(-32)
+
+    def test_height_not_block_multiple(self):
+        with pytest.raises(ConfigError, match="20"):
+            DCTChopCompressor(20)
+
+    def test_s_not_dividing_resolution(self):
+        with pytest.raises(ConfigError, match="s=3"):
+            make_compressor(64, method="ps", s=3)
+
+    def test_chunk_not_block_multiple(self):
+        # 96/4 = 24 is divisible, but 24 % 8 == 0 is fine; 48/4 = 12 is not.
+        with pytest.raises(ConfigError, match="12"):
+            make_compressor(48, method="ps", s=4)
+
+    def test_s_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            PartialSerializedCompressor(64, s=0)
+
+    def test_rectangular_validated_per_side(self):
+        with pytest.raises(ConfigError, match="40x20"):
+            make_compressor(40, 20)
+
+    def test_unknown_method_lists_choices(self):
+        with pytest.raises(ConfigError, match="huffman"):
+            make_compressor(32, method="huffman")
+
+    def test_padded_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            PaddedCompressor(0)
+        with pytest.raises(ConfigError):
+            PaddedCompressor(12.5)
+
+    def test_valid_configs_still_build(self):
+        # The audit must not over-reject: these are all legitimate.
+        make_compressor(32, 64, cf=1)
+        make_compressor(64, method="ps", s=1)
+        make_compressor(16, cf=8)
+        PaddedCompressor(12, 20, cf=2)

@@ -47,8 +47,19 @@ class TestDCTMatrix:
         with pytest.raises(ConfigError):
             dct_matrix(0)
 
-    def test_returns_copy(self):
+    def test_returns_shared_readonly_view(self):
+        # Hot-path regression guard: repeated calls must not allocate —
+        # the same read-only cached array comes back every time, and
+        # attempting to mutate it raises instead of corrupting the cache.
         a = dct_matrix(8)
+        assert a is dct_matrix(8)
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0, 0] = 99.0
+        assert dct_matrix(8)[0, 0] != 99.0
+
+    def test_copy_is_writable(self):
+        a = dct_matrix(8).copy()
         a[0, 0] = 99.0
         assert dct_matrix(8)[0, 0] != 99.0
 
