@@ -39,6 +39,63 @@ def node_size(platform: str) -> int:
     return NODE_SIZES.get(platform, 1)
 
 
+@dataclass(frozen=True)
+class InstanceLease:
+    """One simulated device instance checked out of an :class:`InstancePool`."""
+
+    platform: str
+    index: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.platform}/{self.index}"
+
+
+class InstancePool:
+    """Bounded pool of simulated platform instances for a serving fleet.
+
+    Capacity follows the paper's deployment units: ``nodes[platform]``
+    nodes, each carrying :func:`node_size` devices (a GroqNode's 8 cards,
+    a Bow-Pod64's 64 IPUs).  The fleet router acquires instances when it
+    provisions or autoscales workers and releases them when a worker is
+    retired, so "grow the fleet" is bounded by the same hardware model
+    the timing estimates come from.  Leases are handed out and reused
+    deterministically (lowest free index first).
+    """
+
+    def __init__(self, nodes: dict[str, int] | None = None) -> None:
+        nodes = nodes if nodes is not None else {"ipu": 1, "a100": 1}
+        for platform, n in nodes.items():
+            if n < 1:
+                raise ConfigError(f"nodes[{platform!r}] must be >= 1, got {n}")
+        self._capacity = {p: n * node_size(p) for p, n in nodes.items()}
+        self._in_use: dict[str, set[int]] = {p: set() for p in nodes}
+
+    def capacity(self, platform: str) -> int:
+        """Total instances of ``platform`` this pool can ever hand out."""
+        return self._capacity.get(platform, 0)
+
+    def available(self, platform: str) -> int:
+        """Instances of ``platform`` currently free to acquire."""
+        return self.capacity(platform) - len(self._in_use.get(platform, ()))
+
+    def in_use(self, platform: str) -> int:
+        return len(self._in_use.get(platform, ()))
+
+    def acquire(self, platform: str) -> InstanceLease | None:
+        """Check out the lowest-numbered free instance, or ``None`` if exhausted."""
+        if self.available(platform) <= 0:
+            return None
+        used = self._in_use[platform]
+        index = next(i for i in range(self._capacity[platform]) if i not in used)
+        used.add(index)
+        return InstanceLease(platform=platform, index=index)
+
+    def release(self, lease: InstanceLease) -> None:
+        """Return a lease to the pool (idempotent)."""
+        self._in_use.get(lease.platform, set()).discard(lease.index)
+
+
 def shard_counts(platform: str, batch: int) -> list[int]:
     """Device counts that shard ``batch`` evenly on one node, largest first.
 

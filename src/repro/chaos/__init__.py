@@ -19,13 +19,18 @@ deterministic test that replays bit-for-bit — in CI and on a laptop.
 See ``python -m repro chaos-soak`` and ``docs/RESILIENCE.md``.
 """
 
-from repro.chaos.soak import SoakConfig, SoakReport, run_soak
+from repro.chaos.fleet import FleetSoakConfig, FleetSoakReport, run_fleet_soak
+from repro.chaos.soak import SoakConfig, SoakReport, reference_output, run_soak
 from repro.chaos.storm import STORM_RUN_KINDS, fault_storm
 
 __all__ = [
     "STORM_RUN_KINDS",
+    "FleetSoakConfig",
+    "FleetSoakReport",
     "SoakConfig",
     "SoakReport",
     "fault_storm",
+    "reference_output",
+    "run_fleet_soak",
     "run_soak",
 ]

@@ -1,0 +1,403 @@
+"""Fleet chaos soak: a seeded worker-crash storm against fleet SLOs.
+
+:func:`run_fleet_soak` replays a multi-tenant trace through a
+:class:`~repro.fleet.FleetRouter` while a seeded
+:func:`~repro.fleet.worker_storm` kills workers mid-trace, then checks
+the fleet contract:
+
+``bit_identity``
+    Every response — including replays of requests pulled from crashed
+    workers' queues — is bit-identical to unfaulted host compute at the
+    configuration actually served.
+``accounting``
+    served + shed + failed covers every request of every tenant exactly
+    once; every shed carries an explicit
+    :class:`~repro.errors.ShedError`.
+``tenant_p95``
+    Each tenant's modelled p95 latency stays within budget.
+``fairness``
+    Quota shedding lands on the over-share tenant(s).  Two bounds: no
+    tenant's window occupancy at a contended admission ever exceeded its
+    weighted-share slots (the quota itself), and no within-share tenant
+    both loses more than the starvation tolerance to quota clipping *and*
+    ends up served a smaller fraction of its demand than an over-share
+    tenant — under sustained saturation everyone is clipped toward their
+    weighted share, but a within-share tenant faring worse than the hog
+    would be starvation, not fairness.
+``quota_enforced``
+    The abusive tenant actually hit the quota (the fairness check is
+    vacuous on an idle fleet — this proves contention happened).
+``crash_storm``
+    The scripted storm actually struck at least the configured number of
+    distinct workers (the acceptance bar is a property of the run, not
+    the plan).
+``recovery``
+    Every faulted worker rejoined and served traffic after rejoining.
+``warm_handoff``
+    Every crash victim's post-handoff cache hit rate is within
+    ``handoff_tolerance`` of its pre-crash rate — the snapshot restore
+    made the replacement warm, not cold.
+
+Like :func:`~repro.chaos.soak.run_soak`, everything is seeded and priced
+on the modelled clock: a failing run replays bit-for-bit from
+:class:`FleetSoakConfig` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.chaos.soak import reference_output
+from repro.errors import ConfigError, ShedError
+from repro.fleet import (
+    FleetRouter,
+    FleetStats,
+    TenantPolicy,
+    WorkerFaultPlan,
+    multi_tenant_trace,
+    worker_storm,
+)
+from repro.serve.overload import OverloadPolicy
+
+
+@dataclass
+class FleetSoakConfig:
+    """Everything a fleet soak depends on — seeded and replayable."""
+
+    seed: int = 0
+    n_requests: int = 1200
+    n_workers: int = 8
+    worker_platforms: tuple[str, ...] = ("ipu", "a100")
+    rate: float = 12000.0              # aggregate arrivals per modelled second
+    tenants: dict[str, float] | None = None   # traffic mix (None = default)
+    # Tenant quota policy: equal weights by default, so the abusive
+    # default-mix tenant ("burst", 55% of traffic vs a 25% fair share)
+    # is the one the quota bites.
+    tenant_weights: dict[str, float] = field(default_factory=dict)
+    quota_window: int = 128
+    quota_burst: float = 1.25
+    contention_depth: int = 24
+    # A within-share tenant may still lose the odd request to windowed
+    # quota clipping when its own arrivals burst; starvation is a quota-
+    # shed *fraction* above this while another tenant is being shed.
+    starvation_tolerance: float = 0.02
+    # Routing and handoff.
+    spill_depth: int = 12
+    vnodes: int = 32
+    snapshot_interval: int = 32
+    # Worker storm shape.
+    crashes: int = 2
+    hangs: int = 1
+    slow_restarts: int = 0
+    restart_after: int = 120
+    # Per-worker overload policy (breakers off: this soak is about
+    # worker-level faults, not platform-level ones).
+    deadline: float | None = 0.05
+    max_queue_depth: int | None = 64
+    max_batch: int = 8
+    max_wait: float = 0.002
+    # SLOs.
+    p95_budget_s: float = 0.06
+    handoff_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ConfigError(f"n_requests must be >= 1, got {self.n_requests}")
+        if self.n_workers < 2:
+            raise ConfigError(f"a fleet soak needs >= 2 workers, got {self.n_workers}")
+        if self.crashes + self.hangs + self.slow_restarts > self.n_workers:
+            raise ConfigError("more worker faults than workers")
+        if self.p95_budget_s <= 0:
+            raise ConfigError(f"p95_budget_s must be > 0, got {self.p95_budget_s}")
+        if not 0 <= self.handoff_tolerance <= 1:
+            raise ConfigError(
+                f"handoff_tolerance must be in [0, 1], got {self.handoff_tolerance}"
+            )
+
+    # ------------------------------------------------------------------
+    def overload_policy(self) -> OverloadPolicy:
+        return OverloadPolicy(
+            default_deadline=self.deadline,
+            shed_policy="shed",
+            max_queue_depth=self.max_queue_depth,
+            breaker=None,
+        )
+
+    def tenant_policy(self) -> TenantPolicy:
+        return TenantPolicy(
+            weights=dict(self.tenant_weights),
+            window=self.quota_window,
+            burst=self.quota_burst,
+            contention_depth=self.contention_depth,
+        )
+
+    def storm(self) -> WorkerFaultPlan:
+        """The worker storm, with onsets held past the first snapshot
+        round so every crash victim has a warm snapshot to restore."""
+        plan = worker_storm(
+            self.seed + 1,
+            workers=tuple(f"w{i}" for i in range(self.n_workers)),
+            crashes=self.crashes,
+            hangs=self.hangs,
+            slow_restarts=self.slow_restarts,
+            span=self.n_requests,
+            restart_after=self.restart_after,
+        )
+        min_onset = 2 * self.snapshot_interval
+        adjusted = WorkerFaultPlan(seed=plan.seed)
+        for fault in plan:
+            adjusted.faults.append(
+                replace(fault, at_request=max(fault.at_request, min_onset))
+            )
+        return adjusted
+
+
+@dataclass
+class FleetSoakReport:
+    """Outcome of one fleet soak: tallies plus named pass/fail checks."""
+
+    config: FleetSoakConfig
+    stats: FleetStats
+    n_served: int = 0
+    n_shed: int = 0
+    n_failed: int = 0
+    n_quota_shed: int = 0
+    n_crashes: int = 0
+    n_hangs: int = 0
+    n_replays: int = 0
+    n_handoffs: int = 0
+    checks: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _, ok, _ in self.checks)
+
+    def format_report(self) -> str:
+        lines = [
+            "fleet soak "
+            + ("PASSED" if self.passed else "FAILED")
+            + f" (seed {self.config.seed}, {self.config.n_requests} requests, "
+            f"{self.config.n_workers} workers)",
+            f"  served {self.n_served} / shed {self.n_shed} "
+            f"(quota {self.n_quota_shed}) / failed {self.n_failed}",
+            f"  {self.n_crashes} crashes, {self.n_hangs} hangs, "
+            f"{self.n_replays} replays, {self.n_handoffs} warm handoffs",
+        ]
+        for name in sorted(self.stats.tenants):
+            t = self.stats.tenants[name]
+            lines.append(
+                f"  tenant {name}: {t.n_served}/{t.n_requests} served, "
+                f"p95 {t.p95_latency_s * 1e3:.3f} ms, quota shed {t.n_quota_shed}"
+            )
+        for name, ok, detail in self.checks:
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}: {detail}")
+        return "\n".join(lines)
+
+
+def run_fleet_soak(config: FleetSoakConfig | None = None) -> FleetSoakReport:
+    """Run one seeded fleet soak; contract violations come back as failed
+    checks in the report, never as exceptions."""
+    config = config if config is not None else FleetSoakConfig()
+    trace = multi_tenant_trace(
+        config.n_requests,
+        seed=config.seed,
+        tenants=config.tenants,
+        rate=config.rate,
+    )
+    storm = config.storm()
+    router = FleetRouter(
+        config.n_workers,
+        worker_platforms=config.worker_platforms,
+        vnodes=config.vnodes,
+        spill_depth=config.spill_depth,
+        tenant_policy=config.tenant_policy(),
+        overload=config.overload_policy(),
+        fault_plan=storm,
+        snapshot_interval=config.snapshot_interval,
+        max_batch=config.max_batch,
+        max_wait=config.max_wait,
+    )
+    responses, stats = router.process(trace)
+
+    report = FleetSoakReport(
+        config=config,
+        stats=stats,
+        n_served=stats.n_served,
+        n_shed=stats.n_shed,
+        n_failed=stats.n_failed,
+        n_quota_shed=stats.n_quota_shed,
+        n_crashes=stats.n_crashes,
+        n_hangs=stats.n_hangs,
+        n_replays=stats.n_replays,
+        n_handoffs=stats.n_handoffs,
+    )
+    checks = report.checks
+
+    # -- bit identity ---------------------------------------------------
+    corrupt = [
+        r.request.rid
+        for r in responses
+        if not np.array_equal(r.output, reference_output(r))
+    ]
+    checks.append(
+        (
+            "bit_identity",
+            not corrupt,
+            f"{len(responses) - len(corrupt)}/{len(responses)} responses match"
+            + (f"; corrupt rids {corrupt[:5]}" if corrupt else ""),
+        )
+    )
+
+    # -- accounting (fleet-wide and per tenant) -------------------------
+    all_rids = {r.rid for r in trace}
+    served = {r.request.rid for r in responses}
+    all_shed = router.all_shed()
+    all_failed = router.all_failures()
+    shed = {s.request.rid for s in all_shed}
+    failed = {f.request.rid for f in all_failed}
+    overlap = (served & shed) | (served & failed) | (shed & failed)
+    missing = all_rids - served - shed - failed
+    typed = all(isinstance(s.error, ShedError) for s in all_shed)
+    tenants_balanced = all(
+        t.accounted == t.n_requests for t in stats.tenants.values()
+    )
+    ok = not overlap and not missing and typed and tenants_balanced
+    checks.append(
+        (
+            "accounting",
+            ok,
+            f"served {len(served)} + shed {len(shed)} + failed {len(failed)}"
+            f" = {len(served) + len(shed) + len(failed)}/{len(all_rids)}"
+            f" across {len(stats.tenants)} tenants"
+            + (f"; missing {sorted(missing)[:5]}" if missing else "")
+            + (f"; double-counted {sorted(overlap)[:5]}" if overlap else "")
+            + ("" if typed else "; shed without ShedError")
+            + ("" if tenants_balanced else "; per-tenant tallies do not balance"),
+        )
+    )
+
+    # -- per-tenant p95 -------------------------------------------------
+    over = {
+        name: t.p95_latency_s
+        for name, t in stats.tenants.items()
+        if t.n_served and t.p95_latency_s > config.p95_budget_s
+    }
+    worst = max((t.p95_latency_s for t in stats.tenants.values()), default=0.0)
+    checks.append(
+        (
+            "tenant_p95",
+            not over,
+            f"worst tenant p95 {worst * 1e3:.3f} ms"
+            f" (budget {config.p95_budget_s * 1e3:.3f} ms)"
+            + (f"; over budget: {sorted(over)}" if over else ""),
+        )
+    )
+
+    # -- fairness / no starvation ---------------------------------------
+    admission = router.admission
+    policy = admission.policy
+    population = admission.seen_tenants()
+    shedding = {name for name, t in stats.tenants.items() if t.n_quota_shed}
+    # The best-served over-share tenant sets the bar: under sustained
+    # saturation everyone gets clipped toward their weighted share, but a
+    # within-share tenant must never fare *worse* than a tenant that was
+    # over its share — that would be starvation, not fairness.
+    hog_served = max(
+        (
+            t.n_served / max(1, t.n_requests)
+            for name, t in stats.tenants.items()
+            if t.n_quota_shed
+            and t.n_requests / max(1, stats.n_requests)
+            > policy.share(name, population)
+        ),
+        default=0.0,
+    )
+    starved: list[str] = []
+    hogs: list[str] = []
+    for name, t in stats.tenants.items():
+        share = policy.share(name, population)
+        demand_fraction = t.n_requests / max(1, stats.n_requests)
+        quota_shed_fraction = t.n_quota_shed / max(1, t.n_requests)
+        served_fraction = t.n_served / max(1, t.n_requests)
+        if (
+            shedding - {name}
+            and demand_fraction <= share
+            and quota_shed_fraction > config.starvation_tolerance
+            and served_fraction < hog_served
+        ):
+            starved.append(name)
+        # The quota bound itself: no tenant's window occupancy at a
+        # contended admission ever exceeded its weighted-share slots.
+        if admission.max_contended_occupancy.get(name, 0) > admission.quota_slots(name):
+            hogs.append(name)
+    checks.append(
+        (
+            "fairness",
+            not starved and not hogs,
+            f"quota shed by tenant "
+            f"{ {n: stats.tenants[n].n_quota_shed for n in sorted(stats.tenants)} }"
+            + (f"; starved within-share tenants {starved}" if starved else "")
+            + (f"; over-share contended admits by {hogs}" if hogs else ""),
+        )
+    )
+    checks.append(
+        (
+            "quota_enforced",
+            stats.n_quota_shed > 0,
+            f"{stats.n_quota_shed} quota sheds"
+            + ("" if stats.n_quota_shed else " — fleet never contended"),
+        )
+    )
+
+    # -- the storm actually struck --------------------------------------
+    struck = {w.name for w in stats.workers if w.n_crashes or w.n_hangs}
+    expected = config.crashes + config.slow_restarts
+    checks.append(
+        (
+            "crash_storm",
+            stats.n_crashes >= expected and len(struck) >= expected,
+            f"{stats.n_crashes} crashes across {len(struck)} distinct workers"
+            f" (expected >= {expected})",
+        )
+    )
+
+    # -- recovery: every faulted worker rejoined and served -------------
+    faulted = [w for w in router.workers.values() if w.n_crashes or w.n_hangs]
+    not_up = [w.name for w in faulted if not w.up]
+    cold = [
+        w.name
+        for w in faulted
+        if w.n_crashes and w.post_rejoin_hit_rate() is None
+    ]
+    checks.append(
+        (
+            "recovery",
+            not not_up and not cold,
+            f"{len(faulted)} faulted workers rejoined"
+            + (f"; still down: {not_up}" if not_up else "")
+            + (f"; no post-rejoin traffic: {cold}" if cold else ""),
+        )
+    )
+
+    # -- warm handoff ----------------------------------------------------
+    gaps: list[str] = []
+    details: list[str] = []
+    for w in stats.workers:
+        if not w.n_crashes or w.pre_crash_hit_rate is None:
+            continue
+        post = w.post_rejoin_hit_rate
+        if post is None:
+            continue  # already failed the recovery check above
+        details.append(f"{w.name} {w.pre_crash_hit_rate:.1%}->{post:.1%}")
+        if post < w.pre_crash_hit_rate - config.handoff_tolerance:
+            gaps.append(w.name)
+    checks.append(
+        (
+            "warm_handoff",
+            not gaps,
+            ", ".join(details) if details else "no crash victims to judge",
+        )
+    )
+    return report

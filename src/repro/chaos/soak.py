@@ -127,8 +127,13 @@ class SoakReport:
         return "\n".join(lines)
 
 
-def _reference_output(response) -> np.ndarray:
-    """Unfaulted host compute at the configuration actually served."""
+def reference_output(response) -> np.ndarray:
+    """Unfaulted host compute at the configuration actually served.
+
+    The oracle both soaks (single-service and fleet) judge bit-identity
+    against: recompress the request's image on the host at the resolved
+    ladder attempt's method/s and the possibly-degraded chop factor.
+    """
     req = response.request
     attempt = response.attempt
     c, h, w = req.image.shape
@@ -184,7 +189,7 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
     corrupt = [
         r.request.rid
         for r in responses
-        if not np.array_equal(r.output, _reference_output(r))
+        if not np.array_equal(r.output, reference_output(r))
     ]
     report.checks.append(
         (

@@ -36,7 +36,19 @@ Commands
     Replay a seeded fault storm through the overload-hardened service
     and check the chaos contract: accepted outputs bit-identical to the
     unfaulted compressor, every request accounted for, p95 within
-    budget, and a full breaker recovery cycle.  Exits 2 on failure.
+    budget, and a full breaker recovery cycle.  With ``--fleet``, soak a
+    multi-worker fleet instead: a seeded storm crashes/hangs workers
+    mid-trace while the fleet contract is checked (bit-identity, full
+    per-tenant accounting, per-tenant p95, weighted-fair quotas with no
+    starvation, every crashed worker rejoining warm).  Exits 2 on
+    failure.
+``fleet-demo``
+    Replay a multi-tenant trace through the sharded fleet
+    (:mod:`repro.fleet`): consistent-hash routing with bounded-load
+    spill, a worker crash storm with warm plan-cache handoff, and
+    queue/p95-driven autoscaling over the simulated instance pool.
+    Prints the fleet stats table; exits 2 when accounting, bit-identity,
+    or recovery checks fail.
 ``obs-report``
     Render a per-stage latency / byte breakdown from a trace JSONL file
     written by ``serve-demo --trace-out``.
@@ -585,9 +597,28 @@ def _cmd_chaos_soak(args) -> int:
     if not platforms:
         print("error: --platforms must name at least one platform", file=sys.stderr)
         return 2
+    if args.fleet:
+        from repro.chaos import FleetSoakConfig, run_fleet_soak
+
+        fleet_config = FleetSoakConfig(
+            seed=args.seed,
+            n_requests=args.requests if args.requests is not None else 1200,
+            n_workers=args.workers,
+            worker_platforms=platforms,
+            rate=args.rate,
+            crashes=args.crashes,
+            hangs=args.hangs,
+            slow_restarts=args.slow_restarts,
+            restart_after=args.restart_after,
+            deadline=args.deadline,
+            p95_budget_s=args.p95_budget,
+        )
+        fleet_report = run_fleet_soak(fleet_config)
+        print(fleet_report.format_report())
+        return 0 if fleet_report.passed else 2
     config = SoakConfig(
         seed=args.seed,
-        n_requests=args.requests,
+        n_requests=args.requests if args.requests is not None else 160,
         platforms=platforms,
         deadline=args.deadline,
         shed_policy=args.shed_policy,
@@ -601,6 +632,83 @@ def _cmd_chaos_soak(args) -> int:
     report = run_soak(config)
     print(report.format_report())
     return 0 if report.passed else 2
+
+
+@_guarded
+def _cmd_fleet_demo(args) -> int:
+    """Replay a multi-tenant trace through the sharded fleet and verify it."""
+    from repro.chaos import reference_output
+    from repro.fleet import (
+        AutoscalePolicy,
+        FleetRouter,
+        TenantPolicy,
+        multi_tenant_trace,
+        worker_storm,
+    )
+    from repro.serve.overload import OverloadPolicy
+
+    platforms = tuple(p.strip() for p in args.platforms.split(",") if p.strip())
+    if not platforms:
+        print("error: --platforms must name at least one platform", file=sys.stderr)
+        return 2
+    trace = multi_tenant_trace(args.requests, seed=args.seed, rate=args.rate)
+    storm = worker_storm(
+        args.seed + 1,
+        workers=tuple(f"w{i}" for i in range(args.workers)),
+        crashes=args.crashes,
+        hangs=args.hangs,
+        span=args.requests,
+        restart_after=args.restart_after,
+    )
+    autoscale = None
+    if not args.no_autoscale:
+        autoscale = AutoscalePolicy(
+            min_workers=max(2, args.workers // 2),
+            max_workers=args.workers * 2,
+        )
+    router = FleetRouter(
+        args.workers,
+        worker_platforms=platforms,
+        tenant_policy=TenantPolicy(contention_depth=24),
+        overload=OverloadPolicy(
+            default_deadline=args.deadline, max_queue_depth=64, breaker=None
+        ),
+        fault_plan=storm,
+        autoscale=autoscale,
+        snapshot_interval=32,
+    )
+    if len(storm):
+        print("worker storm:")
+        print(storm.describe())
+        print()
+    responses, stats = router.process(trace)
+    print(stats.format_table())
+    print()
+    corrupt = sum(
+        0 if np.array_equal(r.output, reference_output(r)) else 1 for r in responses
+    )
+    faulted = [w for w in router.workers.values() if w.n_crashes or w.n_hangs]
+    checks = [
+        (
+            f"accounting: {stats.accounted}/{stats.n_requests} requests "
+            "served, shed, or failed — no silent drops",
+            stats.accounted == stats.n_requests,
+        ),
+        (
+            f"bit-identity: {len(responses) - corrupt}/{len(responses)} responses "
+            "match unfaulted host compute",
+            corrupt == 0,
+        ),
+        (
+            f"recovery: {len(faulted)} faulted workers all rejoined",
+            all(w.up for w in faulted),
+        ),
+    ]
+    for label, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    passed = all(ok for _, ok in checks)
+    print("fleet demo:", "all checks passed" if passed else "FAILED")
+    return 0 if passed else 2
 
 
 @_guarded
@@ -777,9 +885,29 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos-soak",
         help="seeded fault storm through the overload-hardened serving stack",
     )
-    p.add_argument("--requests", type=int, default=160)
+    p.add_argument(
+        "--requests", type=int, default=None,
+        help="trace length (default 160, or 1200 with --fleet)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--platforms", default="ipu,a100", help="comma-separated worker instances")
+    p.add_argument(
+        "--fleet", action="store_true",
+        help="soak a multi-worker fleet (worker crash storm + tenant quotas) "
+        "instead of a single service",
+    )
+    p.add_argument("--workers", type=int, default=8, help="fleet workers (with --fleet)")
+    p.add_argument("--crashes", type=int, default=2, help="workers crashed by the storm")
+    p.add_argument("--hangs", type=int, default=1, help="workers hung by the storm")
+    p.add_argument("--slow-restarts", type=int, default=0, help="slow-restart faults")
+    p.add_argument(
+        "--restart-after", type=int, default=120,
+        help="ordinals before a faulted worker rejoins",
+    )
+    p.add_argument(
+        "--rate", type=float, default=12000.0,
+        help="aggregate arrival rate for the fleet trace (req/s modelled)",
+    )
     p.add_argument("--deadline", type=float, default=0.05, help="per-request deadline (modelled s)")
     p.add_argument("--shed-policy", default="shed", choices=("shed", "degrade"))
     p.add_argument("--bursts", type=int, default=2, help="fault bursts in the storm")
@@ -799,6 +927,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the breaker open->half_open->closed cycle assertion",
     )
     p.set_defaults(fn=_cmd_chaos_soak)
+
+    p = sub.add_parser(
+        "fleet-demo",
+        help="multi-tenant trace through the sharded fleet: crash storm, "
+        "warm handoff, autoscaling",
+    )
+    p.add_argument("--requests", type=int, default=800)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--platforms", default="ipu,a100", help="platforms each worker leases")
+    p.add_argument("--workers", type=int, default=8, help="initial fleet size")
+    p.add_argument("--crashes", type=int, default=2, help="workers crashed by the storm")
+    p.add_argument("--hangs", type=int, default=1, help="workers hung by the storm")
+    p.add_argument(
+        "--restart-after", type=int, default=100,
+        help="ordinals before a faulted worker rejoins",
+    )
+    p.add_argument(
+        "--rate", type=float, default=4000.0, help="aggregate arrival rate (req/s modelled)"
+    )
+    p.add_argument("--deadline", type=float, default=0.05, help="per-request deadline (modelled s)")
+    p.add_argument(
+        "--no-autoscale", action="store_true", help="fix the fleet at --workers"
+    )
+    p.set_defaults(fn=_cmd_fleet_demo)
 
     p = sub.add_parser(
         "obs-report",

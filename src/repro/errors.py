@@ -111,7 +111,8 @@ class ShedError(ReproError):
     by deadline-aware admission control, bounded-queue backpressure, and
     graceful drain.  Shedding is always explicit — a request is never
     silently dropped — and ``reason`` says which policy fired
-    (``"deadline"``, ``"queue_full"``, ``"expired"``, ``"draining"``).
+    (``"deadline"``, ``"queue_full"``, ``"expired"``, ``"draining"``, or
+    ``"tenant_quota"`` from the fleet router's weighted-fair admission).
     """
 
     def __init__(

@@ -1,0 +1,50 @@
+"""Fleet-scale sharded serving: many workers, one deterministic replay.
+
+``repro.fleet`` scales the single :class:`~repro.serve.service.CompressionService`
+event loop out to a fleet of independent worker failure domains behind a
+consistent-hash router with bounded-load spill, weighted-fair tenant
+quotas, scripted worker faults with warm plan-cache handoff, and
+queue/p95-driven autoscaling over the simulated instance pool.  See
+``docs/FLEET.md`` for the design tour and
+:func:`repro.chaos.run_fleet_soak` for the SLO harness that exercises
+all of it under a seeded crash storm.
+"""
+
+from repro.fleet.autoscale import AUTOSCALE_ACTIONS, AutoscaleEvent, AutoscalePolicy
+from repro.fleet.faults import (
+    SLOW_RESTART_FACTOR,
+    WORKER_FAULT_KINDS,
+    WorkerFault,
+    WorkerFaultPlan,
+    worker_storm,
+)
+from repro.fleet.ring import HashRing, stable_hash
+from repro.fleet.router import FleetRouter, route_key
+from repro.fleet.stats import FleetStats, TenantStats, WorkerStats
+from repro.fleet.tenants import TenantAdmission, TenantPolicy
+from repro.fleet.trace import DEFAULT_TENANT_MIX, multi_tenant_trace
+from repro.fleet.worker import WORKER_STATES, FleetWorker
+
+__all__ = [
+    "AUTOSCALE_ACTIONS",
+    "AutoscaleEvent",
+    "AutoscalePolicy",
+    "DEFAULT_TENANT_MIX",
+    "FleetRouter",
+    "FleetStats",
+    "FleetWorker",
+    "HashRing",
+    "SLOW_RESTART_FACTOR",
+    "TenantAdmission",
+    "TenantPolicy",
+    "TenantStats",
+    "WORKER_FAULT_KINDS",
+    "WORKER_STATES",
+    "WorkerFault",
+    "WorkerFaultPlan",
+    "WorkerStats",
+    "multi_tenant_trace",
+    "route_key",
+    "stable_hash",
+    "worker_storm",
+]

@@ -1,0 +1,105 @@
+"""Queue-depth / p95-driven autoscaling of the live worker set.
+
+The router evaluates the policy every ``interval`` requests on two
+signals it already has: mean queue depth across live workers (the
+batcher depths) and the modelled p95 latency over a recent window.  High
+pressure grows the fleet by provisioning a worker from the
+:class:`~repro.accel.multichip.InstancePool` (the same simulated
+GroqNode / Bow-Pod hardware model the timing estimates price); sustained
+idleness drains and retires the emptiest worker and returns its
+instances to the pool.  A cooldown separates consecutive actions so the
+fleet does not flap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Decisions an evaluation can return.
+AUTOSCALE_ACTIONS = ("grow", "shrink", "hold")
+
+
+@dataclass
+class AutoscalePolicy:
+    """When to grow or shrink the live worker set.
+
+    Parameters
+    ----------
+    min_workers / max_workers:
+        Hard bounds on the live set (crashed workers do not count as
+        live, so a crash storm can push the fleet below ``min_workers``
+        until restarts land — autoscaling never blocks recovery).
+    grow_depth / shrink_depth:
+        Mean queued requests per live worker above which to grow and
+        below which to shrink.
+    grow_p95_s:
+        Optional latency trigger: grow when the recent modelled p95
+        exceeds this even if queues look shallow (``None`` disables).
+    interval:
+        Evaluate every this many routed requests.
+    cooldown:
+        Evaluations to skip after any grow/shrink before acting again.
+    """
+
+    min_workers: int = 2
+    max_workers: int = 16
+    grow_depth: float = 6.0
+    shrink_depth: float = 0.5
+    grow_p95_s: float | None = None
+    interval: int = 64
+    cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ConfigError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ConfigError(
+                f"max_workers {self.max_workers} < min_workers {self.min_workers}"
+            )
+        if self.grow_depth <= self.shrink_depth:
+            raise ConfigError(
+                f"grow_depth {self.grow_depth} must exceed "
+                f"shrink_depth {self.shrink_depth}"
+            )
+        if self.grow_p95_s is not None and self.grow_p95_s <= 0:
+            raise ConfigError(f"grow_p95_s must be > 0, got {self.grow_p95_s}")
+        if self.interval < 1:
+            raise ConfigError(f"interval must be >= 1, got {self.interval}")
+        if self.cooldown < 0:
+            raise ConfigError(f"cooldown must be >= 0, got {self.cooldown}")
+
+    # ------------------------------------------------------------------
+    def decide(
+        self, *, live_workers: int, mean_depth: float, p95_s: float
+    ) -> str:
+        """One evaluation; returns an action from :data:`AUTOSCALE_ACTIONS`.
+
+        Cooldown is the caller's job (the router tracks evaluations since
+        the last action) — the policy itself is a pure function.
+        """
+        pressed = mean_depth > self.grow_depth or (
+            self.grow_p95_s is not None and p95_s > self.grow_p95_s
+        )
+        if pressed and live_workers < self.max_workers:
+            return "grow"
+        if (
+            not pressed
+            and mean_depth < self.shrink_depth
+            and live_workers > self.min_workers
+        ):
+            return "shrink"
+        return "hold"
+
+
+@dataclass(frozen=True)
+class AutoscaleEvent:
+    """One grow/shrink that actually happened, for the fleet stats table."""
+
+    ordinal: int                       # fleet request ordinal at evaluation
+    action: str                        # "grow" | "shrink"
+    worker: str                        # the worker added or retired
+    mean_depth: float
+    p95_s: float
+    live_workers: int                  # live set size *after* the action

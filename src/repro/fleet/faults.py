@@ -1,0 +1,177 @@
+"""Worker-level fault plans: whole failure domains going down.
+
+:mod:`repro.faults` injects faults *inside* a worker (a flaky link, a
+compile OOM); this module scripts faults *of* workers — the unit the
+fleet treats as a failure domain.  A :class:`WorkerFault` strikes one
+named worker at a fleet-level request ordinal (the deterministic clock a
+trace replay advances), in one of three shapes:
+
+``crash``
+    The worker process dies.  Its queued requests must be replayed
+    elsewhere and its plan cache is gone — the replacement warm-starts
+    from the router's last handoff snapshot.
+``hang``
+    The worker stops responding but keeps its state; it is routed around
+    and rejoins later with its own cache intact (no handoff needed).
+``slow_restart``
+    A crash whose replacement takes ``restart_after`` scaled by
+    :data:`SLOW_RESTART_FACTOR` to come back — the grey failure between
+    a clean crash and a hang.
+
+A :class:`WorkerFaultPlan` is an ordered, seeded script;
+:func:`worker_storm` generates one the way
+:func:`~repro.chaos.storm.fault_storm` generates platform storms: a pure
+function of ``(seed, knobs)`` that replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Shapes a worker failure can take.
+WORKER_FAULT_KINDS = ("crash", "hang", "slow_restart")
+
+#: ``slow_restart`` multiplies the fault's ``restart_after`` by this.
+SLOW_RESTART_FACTOR = 3
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scripted worker failure.
+
+    ``at_request`` is the fleet-level request ordinal (0-based position
+    in the arrival-sorted trace) at which the fault fires;
+    ``restart_after`` is how many further ordinals pass before the worker
+    rejoins (scaled up for ``slow_restart``).
+    """
+
+    worker: str
+    kind: str = "crash"
+    at_request: int = 0
+    restart_after: int = 100
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown worker fault kind {self.kind!r}; "
+                f"expected one of {WORKER_FAULT_KINDS}"
+            )
+        if self.at_request < 0:
+            raise ConfigError(f"at_request must be >= 0, got {self.at_request}")
+        if self.restart_after < 1:
+            raise ConfigError(f"restart_after must be >= 1, got {self.restart_after}")
+
+    @property
+    def rejoin_delay(self) -> int:
+        """Ordinals until the worker rejoins, after the fault fires."""
+        if self.kind == "slow_restart":
+            return self.restart_after * SLOW_RESTART_FACTOR
+        return self.restart_after
+
+    @property
+    def loses_cache(self) -> bool:
+        """Whether this fault destroys the worker's plan cache."""
+        return self.kind in ("crash", "slow_restart")
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} {self.worker} at request {self.at_request} "
+            f"(rejoins after {self.rejoin_delay})"
+        )
+
+
+@dataclass
+class WorkerFaultPlan:
+    """An ordered script of worker faults, indexed by request ordinal."""
+
+    faults: list[WorkerFault] = field(default_factory=list)
+    seed: int = 0
+
+    def add(self, worker: str, kind: str = "crash", **kwargs) -> "WorkerFaultPlan":
+        self.faults.append(WorkerFault(worker=worker, kind=kind, **kwargs))
+        return self
+
+    def due(self, ordinal: int) -> list[WorkerFault]:
+        """Faults that fire at exactly this fleet request ordinal."""
+        return [f for f in self.faults if f.at_request == ordinal]
+
+    def for_worker(self, worker: str) -> list[WorkerFault]:
+        return [f for f in self.faults if f.worker == worker]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "(no worker faults)"
+        ordered = sorted(self.faults, key=lambda f: (f.at_request, f.worker))
+        return "\n".join(f"  - {f.describe()}" for f in ordered)
+
+
+def worker_storm(
+    seed: int = 0,
+    *,
+    workers: tuple[str, ...],
+    crashes: int = 2,
+    hangs: int = 0,
+    slow_restarts: int = 0,
+    span: int = 1000,
+    restart_after: int = 120,
+) -> WorkerFaultPlan:
+    """Generate a seeded storm of worker failures.
+
+    Parameters
+    ----------
+    seed:
+        Sole source of randomness; the same call returns the same plan.
+    workers:
+        Names eligible to fail.  Crash targets are drawn *without*
+        replacement, so ``crashes`` distinct workers die (the acceptance
+        bar "crashes >= 2 of 8 workers" is a property of the plan, not
+        luck); hangs and slow restarts then draw from the remainder.
+    crashes / hangs / slow_restarts:
+        How many faults of each kind to script.
+    span:
+        Ordinal range the fault onsets are spread over — size it to the
+        trace length so faults land mid-trace, with the last
+        quarter kept clear so every victim has time to rejoin and serve
+        warm traffic before the trace ends.
+    restart_after:
+        Base rejoin delay in ordinals (tripled for ``slow_restart``).
+    """
+    total = crashes + hangs + slow_restarts
+    if crashes < 0 or hangs < 0 or slow_restarts < 0:
+        raise ConfigError("fault counts must be >= 0")
+    if total > len(workers):
+        raise ConfigError(
+            f"{total} worker faults need {total} distinct workers, "
+            f"only {len(workers)} available"
+        )
+    if span < 1:
+        raise ConfigError(f"span must be >= 1, got {span}")
+    rng = np.random.default_rng(seed)
+    plan = WorkerFaultPlan(seed=seed)
+    if total == 0:
+        return plan
+    victims = [str(w) for w in rng.permutation(list(workers))[:total]]
+    kinds = ["crash"] * crashes + ["hang"] * hangs + ["slow_restart"] * slow_restarts
+    # Onsets spread over the first three quarters of the span, jittered,
+    # so every fault fires mid-trace and every victim rejoins in-trace.
+    usable = max(1, (3 * span) // 4)
+    for i, (worker, kind) in enumerate(zip(victims, kinds)):
+        base = (i * usable) // total
+        jitter = int(rng.integers(0, max(1, usable // (2 * total))))
+        plan.add(
+            worker,
+            kind,
+            at_request=min(usable - 1, base + jitter),
+            restart_after=restart_after,
+        )
+    return plan

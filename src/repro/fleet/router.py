@@ -1,0 +1,533 @@
+"""The fleet router: consistent-hash routing over worker failure domains.
+
+:class:`FleetRouter` runs N independent
+:class:`~repro.serve.service.CompressionService` workers — each its own
+failure domain with a private plan cache, batcher queue and scheduler
+instances leased from an :class:`~repro.accel.multichip.InstancePool` —
+and replays a multi-tenant trace through them on the modelled clock:
+
+* **Routing** is consistent-hash by plan key over a
+  :class:`~repro.fleet.ring.HashRing` with bounded-load spill: all
+  traffic for one compiled plan lands on one worker (cache affinity)
+  unless that worker is at ``spill_depth``, in which case it spills to
+  the next ring owner.
+* **Tenant isolation**: with a :class:`~repro.fleet.tenants.TenantPolicy`
+  attached, weighted-fair admission refuses over-quota tenants while the
+  fleet is contended (reason ``"tenant_quota"``) — layered *above* each
+  worker's own :class:`~repro.serve.overload.OverloadPolicy` shedding.
+* **Failure domains**: a seeded
+  :class:`~repro.fleet.faults.WorkerFaultPlan` crashes or hangs workers
+  mid-trace.  The ring reroutes the dead worker's hash range; its queued
+  (in-flight) requests are pulled out *before* they were ever served and
+  replayed elsewhere — each request is served at most once, so replay is
+  dedup-safe and responses stay bit-identical to host compute.
+* **Warm handoff**: the router snapshots every live worker's
+  :class:`~repro.serve.plan_cache.CompiledPlanCache` every
+  ``snapshot_interval`` requests; a crashed worker's replacement
+  restores the last snapshot (LRU order, negative entries and their
+  remaining TTLs included) so it rejoins warm instead of cold.
+* **Autoscaling**: an optional
+  :class:`~repro.fleet.autoscale.AutoscalePolicy` grows the fleet from
+  the instance pool under queue/p95 pressure and drains + retires the
+  emptiest worker when idle.
+
+Everything runs on modelled time and a seeded trace, so a fleet replay —
+crashes, spills, handoffs and all — is deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.accel.multichip import InstancePool, node_size
+from repro.errors import ConfigError, DeviceLostError, ShedError
+from repro.fleet.autoscale import AutoscaleEvent, AutoscalePolicy
+from repro.fleet.faults import WorkerFault, WorkerFaultPlan
+from repro.fleet.ring import HashRing
+from repro.fleet.stats import FleetStats, WorkerStats, tenant_reservoir
+from repro.fleet.tenants import TenantAdmission, TenantPolicy
+from repro.fleet.worker import FleetWorker
+from repro.obs.metrics import get_registry
+from repro.resilience.log import RecoveryLog
+from repro.serve.batcher import Request, ServiceKey
+from repro.serve.overload import OverloadPolicy, ShedRequest
+from repro.serve.plan_cache import PlanCacheSnapshot
+from repro.serve.service import CompressionService, FailedRequest, Response
+
+#: Modelled latencies kept for the autoscaler's p95 signal.
+_RECENT_LATENCY_WINDOW = 256
+
+
+def route_key(key: ServiceKey) -> str:
+    """The string hashed onto the ring: the full plan identity."""
+    return (
+        f"{key.channels}x{key.height}x{key.width}"
+        f"/{key.method}/cf{key.cf}/s{key.s}/b{key.block}"
+    )
+
+
+class FleetRouter:
+    """Route a multi-tenant trace across a fleet of service workers."""
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        *,
+        worker_platforms: tuple[str, ...] = ("ipu", "a100"),
+        pool: InstancePool | None = None,
+        vnodes: int = 32,
+        spill_depth: int = 16,
+        tenant_policy: TenantPolicy | None = None,
+        overload: OverloadPolicy | None = None,
+        fault_plan: WorkerFaultPlan | None = None,
+        autoscale: AutoscalePolicy | None = None,
+        snapshot_interval: int = 64,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        policy: str = "least-loaded",
+        cache_capacity: int = 64,
+        negative_ttl: int | None = None,
+        log_max_events: int | None = 256,
+        tracer=None,
+        registry=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if not worker_platforms:
+            raise ConfigError("worker_platforms must name at least one platform")
+        if spill_depth < 1:
+            raise ConfigError(f"spill_depth must be >= 1, got {spill_depth}")
+        if snapshot_interval < 0:
+            raise ConfigError(
+                f"snapshot_interval must be >= 0, got {snapshot_interval}"
+            )
+        if autoscale is not None and not (
+            autoscale.min_workers <= n_workers <= autoscale.max_workers
+        ):
+            raise ConfigError(
+                f"n_workers {n_workers} outside autoscale bounds "
+                f"[{autoscale.min_workers}, {autoscale.max_workers}]"
+            )
+        self.worker_platforms = tuple(worker_platforms)
+        self.spill_depth = spill_depth
+        self.fault_plan = fault_plan
+        self.autoscale = autoscale
+        self.snapshot_interval = snapshot_interval
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.policy = policy
+        self.cache_capacity = cache_capacity
+        self.negative_ttl = negative_ttl
+        self.log_max_events = log_max_events
+        self.overload = overload
+        self.tracer = tracer
+        self._registry = registry if registry is not None else get_registry()
+        # Pool sized so the fleet can reach its ceiling (autoscale max, or
+        # the fixed size) with one leased instance per platform per worker.
+        ceiling = autoscale.max_workers if autoscale is not None else n_workers
+        self.pool = (
+            pool
+            if pool is not None
+            else InstancePool(
+                {p: max(1, math.ceil(ceiling / node_size(p))) for p in self.worker_platforms}
+            )
+        )
+        self.ring = HashRing(vnodes=vnodes)
+        self.workers: dict[str, FleetWorker] = {}
+        self.admission = (
+            TenantAdmission(tenant_policy) if tenant_policy is not None else None
+        )
+        reg = self._registry
+        self._m_requests = reg.counter(
+            "repro_fleet_requests_total", help="requests routed, by worker"
+        )
+        self._m_spills = reg.counter(
+            "repro_fleet_spills_total",
+            help="bounded-load reroutes off the primary ring owner",
+        )
+        self._m_replays = reg.counter(
+            "repro_fleet_replays_total",
+            help="in-flight requests replayed after a worker fault",
+        )
+        self._m_crashes = reg.counter(
+            "repro_fleet_worker_crashes_total", help="worker faults fired, by kind"
+        )
+        self._m_handoffs = reg.counter(
+            "repro_fleet_handoffs_total",
+            help="plan-cache snapshots restored into replacement workers",
+        )
+        self._m_autoscale = reg.counter(
+            "repro_fleet_autoscale_total", help="autoscale actions taken, by action"
+        )
+        self._m_workers = reg.gauge(
+            "repro_fleet_workers", help="live workers in the fleet"
+        )
+        self._m_tenant_requests = reg.counter(
+            "repro_tenant_requests_total", help="requests arriving, by tenant"
+        )
+        self._m_tenant_served = reg.counter(
+            "repro_tenant_served_total", help="responses delivered, by tenant"
+        )
+        self._m_tenant_shed = reg.counter(
+            "repro_tenant_quota_shed_total",
+            help="requests refused by weighted-fair admission, by tenant",
+        )
+        self._next_index = 0
+        self._ordinal = 0
+        self._cooldown_remaining = 0
+        self._snapshots: dict[str, PlanCacheSnapshot] = {}
+        self._reset_trace_state()
+        for _ in range(n_workers):
+            if self._provision_worker() is None:
+                raise ConfigError(
+                    f"instance pool too small for {n_workers} workers "
+                    f"on platforms {self.worker_platforms}"
+                )
+
+    # ------------------------------------------------------------------
+    # Fleet membership.
+    def _make_service(self) -> CompressionService:
+        return CompressionService(
+            self.worker_platforms,
+            max_batch=self.max_batch,
+            max_wait=self.max_wait,
+            policy=self.policy,
+            cache_capacity=self.cache_capacity,
+            negative_ttl=self.negative_ttl,
+            overload=self.overload,
+            log=RecoveryLog(max_events=self.log_max_events),
+            tracer=self.tracer,
+            registry=self._registry,
+        )
+
+    def _provision_worker(self) -> FleetWorker | None:
+        """Lease instances and start a worker, or ``None`` if the pool is dry."""
+        leases = []
+        for platform in self.worker_platforms:
+            lease = self.pool.acquire(platform)
+            if lease is None:
+                for held in leases:
+                    self.pool.release(held)
+                return None
+            leases.append(lease)
+        name = f"w{self._next_index}"
+        self._next_index += 1
+        worker = FleetWorker(
+            name=name,
+            platforms=self.worker_platforms,
+            leases=leases,
+            service=self._make_service(),
+        )
+        self.workers[name] = worker
+        self.ring.add(name)
+        self._set_workers_gauge()
+        return worker
+
+    def _retire(self, worker: FleetWorker) -> None:
+        """Drain a live worker, return its instances, and retire it."""
+        self.ring.remove(worker.name)
+        self._collect(worker, worker.service.drain())
+        worker.state = "retired"
+        for lease in worker.leases:
+            self.pool.release(lease)
+        self._set_workers_gauge()
+
+    def _set_workers_gauge(self) -> None:
+        self._m_workers.set(sum(1 for w in self.workers.values() if w.up))
+
+    @property
+    def live_workers(self) -> list[FleetWorker]:
+        return [w for w in self.workers.values() if w.up]
+
+    def _total_depth(self) -> int:
+        return sum(w.depth for w in self.workers.values() if w.up)
+
+    def _has_capacity(self, name: str) -> bool:
+        return self.workers[name].depth < self.spill_depth
+
+    # ------------------------------------------------------------------
+    # Trace replay.
+    def process(self, requests) -> tuple[list[Response], FleetStats]:
+        """Replay a trace through the fleet; returns (responses, stats)."""
+        reqs = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        self._reset_trace_state()
+        if not reqs:
+            return [], self._snapshot_stats(reqs)
+        last_now = reqs[0].arrival
+        for ordinal, req in enumerate(reqs):
+            now = req.arrival
+            last_now = now
+            self._ordinal = ordinal
+            # Fire every live worker's flush timers first: a worker whose
+            # traffic moved elsewhere still flushes partial batches on
+            # time, and queue depths read true for spill and autoscale.
+            for worker in self.workers.values():
+                if worker.up:
+                    self._collect(worker, worker.service.poll(now))
+            if self.fault_plan is not None:
+                for fault in self.fault_plan.due(ordinal):
+                    self._fail_worker(fault, now)
+            self._process_rejoins(ordinal, now)
+            if self.snapshot_interval and ordinal % self.snapshot_interval == 0:
+                self._take_snapshots(now)
+            if (
+                self.autoscale is not None
+                and ordinal
+                and ordinal % self.autoscale.interval == 0
+            ):
+                self._evaluate_autoscale(ordinal, now)
+            self._route(req, now)
+        # Trace end: every pending restart lands (nothing stays down),
+        # then live workers drain their partial batches.
+        self._process_rejoins(math.inf, last_now)
+        for worker in self.workers.values():
+            if worker.up:
+                self._collect(worker, worker.service.drain())
+        return list(self.responses), self._snapshot_stats(reqs)
+
+    # ------------------------------------------------------------------
+    def _reset_trace_state(self) -> None:
+        self.responses: list[Response] = []
+        self.shed: list[ShedRequest] = []       # router-level (quota) sheds
+        self.failures: list[FailedRequest] = []  # no-live-worker failures
+        self.worker_of_rid: dict[int, str] = {}
+        self.n_spills = 0
+        self.n_replays = 0
+        self.n_crashes = 0
+        self.n_hangs = 0
+        self.n_handoffs = 0
+        self.autoscale_events: list[AutoscaleEvent] = []
+        self._tenant_latency: dict[str, object] = {}
+        self._recent_latency: deque[float] = deque(maxlen=_RECENT_LATENCY_WINDOW)
+
+    def _route(self, req: Request, now: float, *, replay: bool = False) -> None:
+        self._m_tenant_requests.inc(tenant=req.tenant)
+        if not replay and self.admission is not None:
+            contended = (
+                self._total_depth() >= self.admission.policy.contention_depth
+            )
+            if not self.admission.admit(req.tenant, contended=contended):
+                self._quota_shed(req, now)
+                return
+        name, spilled = self.ring.route(route_key(req.key), self._has_capacity)
+        if name is None:
+            exc = DeviceLostError(f"request {req.rid}: no live fleet workers")
+            self.failures.append(FailedRequest(req, exc))
+            return
+        if spilled:
+            self.n_spills += 1
+            self._m_spills.inc()
+        if replay:
+            self.n_replays += 1
+            self._m_replays.inc()
+        worker = self.workers[name]
+        self.worker_of_rid[req.rid] = name
+        self._m_requests.inc(worker=name)
+        self._collect(worker, worker.service.submit(req))
+
+    def _quota_shed(self, req: Request, now: float) -> None:
+        error = ShedError(
+            f"request {req.rid} shed: tenant {req.tenant!r} over quota",
+            reason="tenant_quota",
+        )
+        self.shed.append(ShedRequest(request=req, error=error, time=now))
+        self._m_tenant_shed.inc(tenant=req.tenant)
+        if self.tracer is not None:
+            tid = self.tracer.new_trace()
+            self.tracer.record_event(
+                tid, "overload.shed", now,
+                rid=req.rid, reason="tenant_quota", tenant=req.tenant,
+            )
+
+    def _collect(self, worker: FleetWorker, responses: list[Response]) -> None:
+        for r in responses:
+            worker.n_served += 1
+            self.responses.append(r)
+            tenant = r.request.tenant
+            if tenant not in self._tenant_latency:
+                self._tenant_latency[tenant] = tenant_reservoir()
+            self._tenant_latency[tenant].add(r.latency_s)
+            self._recent_latency.append(r.latency_s)
+            self._m_tenant_served.inc(tenant=tenant)
+            if self.tracer is not None and r.trace_id is not None:
+                self.tracer.record_event(
+                    r.trace_id, "fleet.worker", r.finish,
+                    worker=worker.name, platform=r.platform,
+                )
+
+    # ------------------------------------------------------------------
+    # Failure domains.
+    def _fail_worker(self, fault: WorkerFault, now: float) -> None:
+        worker = self.workers.get(fault.worker)
+        if worker is None or not worker.up:
+            return  # already down or retired — the fault finds nothing to kill
+        queued = worker.take_queued()
+        worker.state = "down"
+        worker.pending_fault = fault
+        worker.restart_at = self._ordinal + fault.rejoin_delay
+        self.ring.remove(worker.name)
+        self._m_crashes.inc(kind=fault.kind)
+        if fault.kind == "hang":
+            worker.n_hangs += 1
+            self.n_hangs += 1
+        else:
+            worker.n_crashes += 1
+            self.n_crashes += 1
+            # The cache dies with the process: archive the accounting and
+            # remember the hit rate the warm-handoff bar is judged against.
+            worker.pre_crash_hit_rate = worker.cache_hit_rate
+            worker.archive_service()
+        self._set_workers_gauge()
+        # Dedup-safe replay: these requests were pulled from the queue
+        # before ever being served, so rerouting serves each exactly once.
+        for req in queued:
+            self._route(req, now, replay=True)
+
+    def _process_rejoins(self, ordinal: float, now: float) -> None:
+        for worker in self.workers.values():
+            if (
+                worker.state == "down"
+                and worker.restart_at is not None
+                and worker.restart_at <= ordinal
+            ):
+                self._rejoin(worker, now)
+
+    def _rejoin(self, worker: FleetWorker, now: float) -> None:
+        fault = worker.pending_fault
+        worker.pending_fault = None
+        worker.restart_at = None
+        if fault is not None and fault.loses_cache:
+            service = self._make_service()
+            snapshot = self._snapshots.get(worker.name)
+            if snapshot is not None and snapshot.size > 0:
+                service.cache.restore(snapshot)
+                self.n_handoffs += 1
+                self._m_handoffs.inc()
+            worker.service = service
+            # The fresh cache's counters start at zero: its cumulative hit
+            # rate *is* the post-handoff rate the soak asserts on.
+            worker.rejoin_cache = service.cache
+        worker.state = "up"
+        self.ring.add(worker.name)
+        self._set_workers_gauge()
+
+    def _take_snapshots(self, now: float) -> None:
+        for worker in self.workers.values():
+            if worker.up:
+                self._snapshots[worker.name] = worker.service.cache.export_snapshot(
+                    taken_at=now
+                )
+
+    # ------------------------------------------------------------------
+    # Autoscaling.
+    def _evaluate_autoscale(self, ordinal: int, now: float) -> None:
+        live = self.live_workers
+        if not live:
+            return
+        mean_depth = sum(w.depth for w in live) / len(live)
+        p95 = (
+            float(np.percentile(list(self._recent_latency), 95))
+            if self._recent_latency
+            else 0.0
+        )
+        action = self.autoscale.decide(
+            live_workers=len(live), mean_depth=mean_depth, p95_s=p95
+        )
+        if action == "hold":
+            return
+        if self._cooldown_remaining > 0:
+            self._cooldown_remaining -= 1
+            return
+        if action == "grow":
+            worker = self._provision_worker()
+            if worker is None:
+                return  # pool exhausted — hold instead
+            name = worker.name
+        else:
+            victim = min(live, key=lambda w: (w.depth, w.name))
+            self._retire(victim)
+            name = victim.name
+        self.autoscale_events.append(
+            AutoscaleEvent(
+                ordinal=ordinal,
+                action=action,
+                worker=name,
+                mean_depth=mean_depth,
+                p95_s=p95,
+                live_workers=len(self.live_workers),
+            )
+        )
+        self._m_autoscale.inc(action=action)
+        self._cooldown_remaining = self.autoscale.cooldown
+
+    # ------------------------------------------------------------------
+    # Accounting.
+    def all_shed(self) -> list[ShedRequest]:
+        out = list(self.shed)
+        for worker in self.workers.values():
+            out.extend(worker.all_shed())
+        return out
+
+    def all_failures(self) -> list[FailedRequest]:
+        out = list(self.failures)
+        for worker in self.workers.values():
+            out.extend(worker.all_failures())
+        return out
+
+    def _snapshot_stats(self, reqs) -> FleetStats:
+        stats = FleetStats()
+        stats.n_requests = len(reqs)
+        tenant_of = {r.rid: r.tenant for r in reqs}
+        for r in reqs:
+            stats.tenant(r.tenant).n_requests += 1
+        for resp in self.responses:
+            stats.tenant(resp.request.tenant).n_served += 1
+        all_shed = self.all_shed()
+        for s in all_shed:
+            ts = stats.tenant(s.request.tenant)
+            ts.n_shed += 1
+            if s.reason == "tenant_quota":
+                ts.n_quota_shed += 1
+                stats.n_quota_shed += 1
+            stats.shed_by_reason[s.reason] = stats.shed_by_reason.get(s.reason, 0) + 1
+        all_failures = self.all_failures()
+        for f in all_failures:
+            stats.tenant(f.request.tenant).n_failed += 1
+        for worker in self.workers.values():
+            for rid in worker.all_degraded():
+                tenant = tenant_of.get(rid)
+                if tenant is not None:
+                    stats.tenant(tenant).n_degraded += 1
+        for tenant, reservoir in self._tenant_latency.items():
+            stats.tenant(tenant).latency = reservoir
+        stats.n_served = len(self.responses)
+        stats.n_shed = len(all_shed)
+        stats.n_failed = len(all_failures)
+        first_arrival = min((r.arrival for r in reqs), default=0.0)
+        last_finish = max((r.finish for r in self.responses), default=first_arrival)
+        stats.makespan_s = last_finish - first_arrival
+        stats.n_spills = self.n_spills
+        stats.n_replays = self.n_replays
+        stats.n_crashes = self.n_crashes
+        stats.n_hangs = self.n_hangs
+        stats.n_handoffs = self.n_handoffs
+        stats.autoscale_events = list(self.autoscale_events)
+        stats.final_live_workers = len(self.live_workers)
+        stats.workers = [
+            WorkerStats(
+                name=w.name,
+                state=w.state,
+                platforms=w.platforms,
+                n_served=w.n_served,
+                n_crashes=w.n_crashes,
+                n_hangs=w.n_hangs,
+                cache_hit_rate=w.cache_hit_rate,
+                pre_crash_hit_rate=w.pre_crash_hit_rate,
+                post_rejoin_hit_rate=w.post_rejoin_hit_rate(),
+            )
+            for w in self.workers.values()
+        ]
+        return stats

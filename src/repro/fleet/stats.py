@@ -1,0 +1,163 @@
+"""Fleet-level statistics: per-tenant and per-worker accounting.
+
+The single-service :class:`~repro.serve.stats.ServerStats` summarizes
+one event loop; :class:`FleetStats` summarizes a fleet of them plus the
+router's own decisions — routing spills, crash replays, cache handoffs,
+quota refusals, autoscale actions — with every request attributed to its
+tenant.  Latency percentiles per tenant come from bounded seeded
+reservoirs, so the table costs constant memory at any trace length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Reservoir
+from repro.serve.stats import LATENCY_RESERVOIR_CAPACITY
+
+
+def tenant_reservoir() -> Reservoir:
+    return Reservoir(capacity=LATENCY_RESERVOIR_CAPACITY, seed=0)
+
+
+@dataclass
+class TenantStats:
+    """One tenant's view of the trace: full accounting plus latency."""
+
+    tenant: str
+    n_requests: int = 0                # demand: requests carrying this tenant
+    n_served: int = 0
+    n_shed: int = 0                    # total sheds (workers + router quota)
+    n_quota_shed: int = 0              # the router's tenant_quota subset
+    n_failed: int = 0
+    n_degraded: int = 0
+    latency: Reservoir = field(default_factory=tenant_reservoir, repr=False)
+
+    @property
+    def accounted(self) -> int:
+        return self.n_served + self.n_shed + self.n_failed
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency.percentile(50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency.percentile(95)
+
+    def served_fraction(self, fleet_served: int) -> float:
+        return self.n_served / fleet_served if fleet_served else 0.0
+
+
+@dataclass
+class WorkerStats:
+    """One worker row in the fleet table."""
+
+    name: str
+    state: str                         # "up" | "down" | "retired"
+    platforms: tuple[str, ...] = ()
+    n_served: int = 0                  # responses attributed to this worker
+    n_crashes: int = 0                 # crash + slow_restart faults absorbed
+    n_hangs: int = 0
+    cache_hit_rate: float = 0.0        # current service's cache, cumulative
+    pre_crash_hit_rate: float | None = None    # last crash: rate at death
+    post_rejoin_hit_rate: float | None = None  # last crash: rate since handoff
+
+
+@dataclass
+class FleetStats:
+    """One fleet trace replay, summarized."""
+
+    n_requests: int = 0
+    n_served: int = 0
+    n_shed: int = 0
+    n_failed: int = 0
+    makespan_s: float = 0.0
+    tenants: dict[str, TenantStats] = field(default_factory=dict)
+    workers: list[WorkerStats] = field(default_factory=list)
+    n_spills: int = 0                  # bounded-load reroutes off the primary owner
+    n_replays: int = 0                 # in-flight requests replayed after crashes
+    n_crashes: int = 0
+    n_hangs: int = 0
+    n_handoffs: int = 0                # warm cache snapshots restored
+    n_quota_shed: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    autoscale_events: list = field(default_factory=list)   # [AutoscaleEvent]
+    final_live_workers: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def accounted(self) -> int:
+        return self.n_served + self.n_shed + self.n_failed
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_served / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    def tenant(self, name: str) -> TenantStats:
+        if name not in self.tenants:
+            self.tenants[name] = TenantStats(tenant=name)
+        return self.tenants[name]
+
+    # ------------------------------------------------------------------
+    def format_table(self) -> str:
+        rows: list[tuple[str, str]] = [
+            (
+                "requests",
+                f"{self.n_requests} (served {self.n_served}, shed {self.n_shed}, "
+                f"failed {self.n_failed})",
+            ),
+            ("makespan", f"{self.makespan_s * 1e3:.3f} ms modelled"),
+            ("throughput", f"{self.throughput_rps:,.0f} req/s modelled"),
+            (
+                "routing",
+                f"{self.n_spills} bounded-load spills, {self.n_replays} crash replays",
+            ),
+            (
+                "failure domains",
+                f"{self.n_crashes} crashes, {self.n_hangs} hangs, "
+                f"{self.n_handoffs} warm handoffs",
+            ),
+            ("live workers", str(self.final_live_workers)),
+        ]
+        if self.shed_by_reason:
+            reasons = ", ".join(
+                f"{r}={c}" for r, c in sorted(self.shed_by_reason.items())
+            )
+            rows.append(("shed by reason", reasons))
+        if self.autoscale_events:
+            moves = ", ".join(
+                f"{e.action} {e.worker}@{e.ordinal}" for e in self.autoscale_events
+            )
+            rows.append(("autoscale", moves))
+        for name in sorted(self.tenants):
+            t = self.tenants[name]
+            rows.append(
+                (
+                    f"tenant {name}",
+                    f"{t.n_served}/{t.n_requests} served "
+                    f"(shed {t.n_shed}, quota {t.n_quota_shed}, failed {t.n_failed}), "
+                    f"p95 {t.p95_latency_s * 1e3:.3f} ms",
+                )
+            )
+        for w in self.workers:
+            warm = ""
+            if w.pre_crash_hit_rate is not None and w.post_rejoin_hit_rate is not None:
+                warm = (
+                    f", handoff {w.pre_crash_hit_rate:.1%} -> "
+                    f"{w.post_rejoin_hit_rate:.1%}"
+                )
+            rows.append(
+                (
+                    f"worker {w.name}",
+                    f"[{w.state}] {w.n_served} served, cache {w.cache_hit_rate:.1%}"
+                    + (
+                        f", {w.n_crashes} crash(es)" if w.n_crashes else ""
+                    )
+                    + (f", {w.n_hangs} hang(s)" if w.n_hangs else "")
+                    + warm,
+                )
+            )
+        width = max(len(label) for label, _ in rows)
+        lines = ["fleet stats"] + [f"  {label:<{width}}  {value}" for label, value in rows]
+        return "\n".join(lines)

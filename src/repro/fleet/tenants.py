@@ -1,0 +1,143 @@
+"""Per-tenant quotas: weighted-fair admission for the fleet router.
+
+One abusive tenant must not starve the rest.  The router attributes
+every request to its :attr:`~repro.serve.batcher.Request.tenant` and,
+*when the fleet is contended*, enforces weighted max-min fairness over a
+sliding window of recent admissions: a tenant whose share of the window
+already exceeds its weight fraction (times a small burst allowance) is
+shed with reason ``"tenant_quota"`` — an explicit
+:class:`~repro.errors.ShedError`, like every other refusal in this
+codebase.
+
+While the fleet is *not* contended the admission is work-conserving:
+everything is admitted, so an over-weight tenant may burst into idle
+capacity.  Quotas only bite when someone else would otherwise queue
+behind the burst — which is exactly when fairness matters.  This layers
+*above* the per-worker :class:`~repro.serve.overload.OverloadPolicy`
+shedding: quota refusals happen at the router, before a request ever
+reaches a worker's queue.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class TenantPolicy:
+    """Knobs for weighted-fair admission.
+
+    Parameters
+    ----------
+    weights:
+        Tenant name -> relative weight.  A tenant's fair share of
+        contended admissions is ``weight / sum(weights)``.  Tenants not
+        listed get ``default_weight``.
+    window:
+        Sliding window length (recent admissions) the shares are measured
+        over.  Short windows react fast; long windows smooth bursts.
+    burst:
+        Multiplicative allowance above the exact share before a tenant is
+        refused (1.0 = hard cap at the share; 1.25 = 25% headroom).
+    contention_depth:
+        The fleet counts as *contended* while the total queued requests
+        across live workers is at least this; below it admission is
+        work-conserving and quotas are not consulted.
+    """
+
+    weights: dict[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+    window: int = 256
+    burst: float = 1.25
+    contention_depth: int = 32
+
+    def __post_init__(self) -> None:
+        for tenant, w in self.weights.items():
+            if w <= 0:
+                raise ConfigError(f"tenant {tenant!r} weight must be > 0, got {w}")
+        if self.default_weight <= 0:
+            raise ConfigError(f"default_weight must be > 0, got {self.default_weight}")
+        if self.window < 1:
+            raise ConfigError(f"window must be >= 1, got {self.window}")
+        if self.burst < 1.0:
+            raise ConfigError(f"burst must be >= 1.0, got {self.burst}")
+        if self.contention_depth < 1:
+            raise ConfigError(
+                f"contention_depth must be >= 1, got {self.contention_depth}"
+            )
+
+    def weight(self, tenant: str) -> float:
+        return self.weights.get(tenant, self.default_weight)
+
+    def share(self, tenant: str, tenants) -> float:
+        """``tenant``'s weight fraction over the given tenant population."""
+        total = sum(self.weight(t) for t in set(tenants) | {tenant})
+        return self.weight(tenant) / total if total > 0 else 1.0
+
+
+class TenantAdmission:
+    """Deterministic weighted-fair admission over a sliding window."""
+
+    def __init__(self, policy: TenantPolicy) -> None:
+        self.policy = policy
+        self._window: deque[str] = deque(maxlen=policy.window)
+        self._in_window: dict[str, int] = {}
+        self.admitted: dict[str, int] = {}
+        self.refused: dict[str, int] = {}
+        self.contended_admits: dict[str, int] = {}
+        self.n_contended_admits = 0
+        # Highest window occupancy each tenant reached via a *contended*
+        # admission — the quantity the quota bounds, recorded so a soak
+        # can assert the bound held without re-deriving window history.
+        self.max_contended_occupancy: dict[str, int] = {}
+        self._seen: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def seen_tenants(self) -> list[str]:
+        return sorted(self._seen)
+
+    def window_count(self, tenant: str) -> int:
+        return self._in_window.get(tenant, 0)
+
+    def quota_slots(self, tenant: str) -> int:
+        """Window slots ``tenant`` may occupy while the fleet is contended."""
+        share = self.policy.share(tenant, self._seen)
+        return max(1, math.ceil(share * self.policy.window * self.policy.burst))
+
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str, *, contended: bool) -> bool:
+        """Decide one request; records the outcome either way.
+
+        Uncontended admissions always pass (work-conserving) but still
+        advance the window, so a burst is already "on the books" the
+        moment contention starts.
+        """
+        self._seen.add(tenant)
+        if contended and self.window_count(tenant) >= self.quota_slots(tenant):
+            self.refused[tenant] = self.refused.get(tenant, 0) + 1
+            return False
+        if len(self._window) == self._window.maxlen:
+            oldest = self._window[0]
+            self._in_window[oldest] -= 1
+        self._window.append(tenant)
+        self._in_window[tenant] = self._in_window.get(tenant, 0) + 1
+        self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+        if contended:
+            self.contended_admits[tenant] = self.contended_admits.get(tenant, 0) + 1
+            self.n_contended_admits += 1
+            self.max_contended_occupancy[tenant] = max(
+                self.max_contended_occupancy.get(tenant, 0),
+                self.window_count(tenant),
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    def contended_fraction(self, tenant: str) -> float:
+        """``tenant``'s fraction of admissions made while contended."""
+        if self.n_contended_admits == 0:
+            return 0.0
+        return self.contended_admits.get(tenant, 0) / self.n_contended_admits

@@ -1,0 +1,85 @@
+"""Multi-tenant synthetic traces for fleet load tests.
+
+Extends :func:`repro.serve.trace.synthetic_trace` with two things a
+fleet needs that a single service does not:
+
+* a **tenant mix** — each request is attributed to a tenant drawn from a
+  seeded categorical distribution of *traffic* shares (which need not
+  match the quota *weights*: the whole point of an abusive tenant is
+  that its traffic share exceeds its fair share);
+* a **wider key menu** — more (resolution, CF, method) combinations, so
+  consistent-hash routing has enough distinct plan keys to spread over
+  many workers while each key still repeats often enough for per-worker
+  plan caches to pay off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dct import DEFAULT_BLOCK
+from repro.errors import ConfigError
+from repro.serve.batcher import Request
+
+#: Default tenant traffic mix: one deliberately abusive tenant ("burst")
+#: sending well beyond a 4-way fair share, two steady products, one
+#: trickle.  Values are traffic fractions, normalized at draw time.
+DEFAULT_TENANT_MIX = {"burst": 0.55, "video": 0.2, "imaging": 0.2, "batch": 0.05}
+
+
+def multi_tenant_trace(
+    n: int = 1000,
+    *,
+    seed: int = 0,
+    tenants: dict[str, float] | None = None,
+    resolutions: tuple[int, ...] = (24, 32, 40, 48, 56, 64),
+    channels: int = 3,
+    cfs: tuple[int, ...] = (1, 2, 3, 4),
+    methods: tuple[str, ...] = ("dc",),
+    s_factors: tuple[int, ...] = (2,),
+    rate: float = 2000.0,
+    deadline: float | None = None,
+    block: int = DEFAULT_BLOCK,
+) -> list[Request]:
+    """Generate ``n`` seeded requests attributed across a tenant mix.
+
+    ``rate`` is the aggregate arrival rate (requests per modelled
+    second); inter-arrival gaps are exponential, so the trace is one
+    Poisson stream whose marks carry the tenant label.  ``deadline``, if
+    given, stamps every request with an absolute deadline ``arrival +
+    deadline`` (the fleet's per-worker overload policy can also apply a
+    default instead).
+    """
+    if n < 1:
+        raise ConfigError(f"trace length must be >= 1, got {n}")
+    mix = tenants if tenants is not None else dict(DEFAULT_TENANT_MIX)
+    if not mix:
+        raise ConfigError("tenant mix must name at least one tenant")
+    for tenant, share in mix.items():
+        if share <= 0:
+            raise ConfigError(f"tenant {tenant!r} share must be > 0, got {share}")
+    names = sorted(mix)                            # deterministic draw order
+    shares = np.array([mix[t] for t in names], dtype=np.float64)
+    shares = shares / shares.sum()
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+    tenant_draws = rng.choice(len(names), size=n, p=shares)
+    requests = []
+    for i in range(n):
+        res = int(rng.choice(resolutions))
+        method = str(rng.choice(methods))
+        arrival = float(arrivals[i])
+        requests.append(
+            Request(
+                rid=i,
+                image=rng.standard_normal((channels, res, res)).astype(np.float32),
+                arrival=arrival,
+                method=method,
+                cf=int(rng.choice(cfs)),
+                s=int(rng.choice(s_factors)) if method == "ps" else 2,
+                block=block,
+                deadline=arrival + deadline if deadline is not None else None,
+                tenant=names[int(tenant_draws[i])],
+            )
+        )
+    return requests

@@ -1,0 +1,95 @@
+"""One fleet worker: an independent serving process and failure domain.
+
+A :class:`FleetWorker` owns a whole
+:class:`~repro.serve.service.CompressionService` — its own plan cache,
+batcher queue, scheduler instances (leased from the
+:class:`~repro.accel.multichip.InstancePool`), recovery log and
+breakers.  Nothing is shared between workers, which is the point: when
+one crashes, the blast radius is exactly its queue and its cache, and
+the router's job is to reroute the former and hand off a snapshot of the
+latter.
+
+The worker also keeps the bookkeeping the fleet's recovery contract is
+asserted against: how often it crashed or hung, its cache hit rate at
+the moment it died, and the fresh cache it rejoined with (whose
+counters, starting from zero, *are* the post-handoff hit-rate window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.multichip import InstanceLease
+from repro.fleet.faults import WorkerFault
+from repro.serve.plan_cache import CompiledPlanCache
+from repro.serve.service import CompressionService
+
+#: Lifecycle states a worker moves through.
+WORKER_STATES = ("up", "down", "retired")
+
+
+@dataclass
+class FleetWorker:
+    """One failure domain in the fleet."""
+
+    name: str
+    platforms: tuple[str, ...]
+    leases: list[InstanceLease]
+    service: CompressionService
+    state: str = "up"
+    n_served: int = 0                  # responses this worker produced
+    n_crashes: int = 0                 # crash + slow_restart faults absorbed
+    n_hangs: int = 0
+    pending_fault: WorkerFault | None = None
+    restart_at: int | None = None      # fleet ordinal at which it rejoins
+    pre_crash_hit_rate: float | None = None
+    rejoin_cache: CompiledPlanCache | None = None   # fresh cache after handoff
+    # Shed/failure/degraded records harvested from services this worker
+    # lost to crashes (the live service keeps its own lists).
+    archived_shed: list = field(default_factory=list)
+    archived_failures: list = field(default_factory=list)
+    archived_degraded: set = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self.state == "up"
+
+    @property
+    def depth(self) -> int:
+        """Queued requests (0 while down/retired — nothing can queue)."""
+        return self.service.batcher.depth if self.up else 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.service.cache.snapshot().hit_rate
+
+    def post_rejoin_hit_rate(self) -> float | None:
+        """Hit rate of the post-handoff cache, or ``None`` before any
+        post-rejoin lookup (the fresh cache's counters start at zero)."""
+        if self.rejoin_cache is None:
+            return None
+        snap = self.rejoin_cache.snapshot()
+        if snap.lookups == 0:
+            return None
+        return snap.hit_rate
+
+    # ------------------------------------------------------------------
+    def take_queued(self):
+        """Pull the in-flight (queued) requests out for crash replay."""
+        return self.service.batcher.drain_pending()
+
+    def archive_service(self) -> None:
+        """Stash the dying service's accounting before it is replaced."""
+        self.archived_shed.extend(self.service.shed)
+        self.archived_failures.extend(self.service.failures)
+        self.archived_degraded |= self.service.degraded_rids
+
+    def all_shed(self) -> list:
+        return [*self.archived_shed, *self.service.shed]
+
+    def all_failures(self) -> list:
+        return [*self.archived_failures, *self.service.failures]
+
+    def all_degraded(self) -> set:
+        return self.archived_degraded | self.service.degraded_rids

@@ -11,13 +11,25 @@ metrics registry, and while a :class:`~repro.obs.trace.Tracer` is bound
 dispatch) every event is mirrored as a ``resilience.<action>`` trace
 event carrying the originating requests' trace IDs, instead of
 free-floating in a per-module list.
+
+Retention is bounded when asked: ``RecoveryLog(max_events=N)`` keeps the
+*last* ``N`` events in a ring buffer so a million-request fleet soak does
+not grow memory without bound.  The ``repro_recovery_events_total``
+counters stay exact regardless (they are incremented at record time, not
+derived from the retained window), and every event that falls off the
+ring is tallied both on :attr:`dropped_events` and on
+``repro_recovery_events_dropped_total``.  Consumers that scan "events
+since a point" use :meth:`mark` / :meth:`since`, which are stable across
+drops — positional slicing of :attr:`events` is not.
 """
 
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.obs.metrics import get_registry
 
 
@@ -36,17 +48,34 @@ class RecoveryEvent:
 
 
 class RecoveryLog:
-    """Append-only event log shared across the resilience layer."""
+    """Event log shared across the resilience layer.
 
-    def __init__(self) -> None:
-        self.events: list[RecoveryEvent] = []
+    Unbounded by default (the pre-fleet behaviour); pass ``max_events``
+    to keep only the most recent events in a ring buffer.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ConfigError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self._events: deque[RecoveryEvent] = deque(maxlen=max_events)
+        self._total = 0
         self._tracer = None
         self._trace_ids: tuple[str, ...] = ()
         self._trace_time = 0.0
 
     def record(self, action: str, detail: str, **context) -> RecoveryEvent:
         event = RecoveryEvent(action=action, detail=detail, context=context)
-        self.events.append(event)
+        if (
+            self._events.maxlen is not None
+            and len(self._events) == self._events.maxlen
+        ):
+            get_registry().counter(
+                "repro_recovery_events_dropped_total",
+                help="recovery events evicted from bounded ring buffers",
+            ).inc()
+        self._events.append(event)
+        self._total += 1
         get_registry().counter(
             "repro_recovery_events_total", help="resilience-layer decisions, by action"
         ).inc(action=action)
@@ -56,6 +85,39 @@ class RecoveryLog:
                     tid, f"resilience.{action}", self._trace_time, detail=detail, **context
                 )
         return event
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list[RecoveryEvent]:
+        """The retained events, oldest first (all of them when unbounded)."""
+        return list(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded, including any dropped from the ring."""
+        return self._total
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted by the ring buffer (0 when unbounded)."""
+        return self._total - len(self._events)
+
+    def mark(self) -> int:
+        """Stable cursor for :meth:`since` (a total-recorded watermark)."""
+        return self._total
+
+    def since(self, mark: int) -> list[RecoveryEvent]:
+        """Events recorded after ``mark`` that are still retained.
+
+        Unlike slicing :attr:`events` with a remembered length, this stays
+        correct when the ring buffer has dropped older events in between.
+        """
+        first_retained = self._total - len(self._events)
+        start = max(0, mark - first_retained)
+        if start == 0:
+            return list(self._events)
+        events = list(self._events)
+        return events[start:]
 
     # ------------------------------------------------------------------
     def bind(self, tracer, trace_ids, time: float) -> None:
@@ -75,29 +137,33 @@ class RecoveryLog:
 
     # ------------------------------------------------------------------
     def actions(self) -> list[str]:
-        return [e.action for e in self.events]
+        return [e.action for e in self._events]
 
     def by_action(self, action: str) -> list[RecoveryEvent]:
-        return [e for e in self.events if e.action == action]
+        return [e for e in self._events if e.action == action]
 
     def rungs(self) -> list[str]:
         """The degradation rungs taken, in order (e.g. ``["ps", "shard"]``)."""
         return [e.context.get("rung", "") for e in self.by_action("rung")]
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)
 
     def __iter__(self):
-        return iter(self.events)
+        return iter(self._events)
 
     # ------------------------------------------------------------------
     def summary(self) -> str:
-        if not self.events:
+        if not self._events:
             return "(no recovery events)"
-        return "\n".join(f"  {i:2d}. {e}" for i, e in enumerate(self.events))
+        offset = self.dropped_events
+        lines = [f"  {offset + i:2d}. {e}" for i, e in enumerate(self._events)]
+        if offset:
+            lines.insert(0, f"  ... {offset} earlier event(s) dropped from the ring")
+        return "\n".join(lines)
 
     def to_json(self) -> str:
         return json.dumps(
-            [{"action": e.action, "detail": e.detail, "context": e.context} for e in self.events],
+            [{"action": e.action, "detail": e.detail, "context": e.context} for e in self._events],
             indent=2,
         )

@@ -32,7 +32,7 @@ from repro.serve.overload import (
     OverloadPolicy,
     ShedRequest,
 )
-from repro.serve.plan_cache import CacheStats, CompiledPlanCache
+from repro.serve.plan_cache import CacheStats, CompiledPlanCache, PlanCacheSnapshot
 from repro.serve.scheduler import POLICIES, PlatformWorker, Scheduler
 from repro.serve.service import CompressionService, FailedRequest, Response
 from repro.serve.stats import ServerStats, percentile
@@ -45,6 +45,7 @@ __all__ = [
     "ServiceKey",
     "CacheStats",
     "CompiledPlanCache",
+    "PlanCacheSnapshot",
     "POLICIES",
     "PlatformWorker",
     "Scheduler",

@@ -47,6 +47,10 @@ class Request:
     degrades — requests the timing model predicts cannot finish by it;
     with no :class:`~repro.serve.overload.OverloadPolicy` attached the
     field is carried but never consulted.
+
+    ``tenant`` names the traffic source for fleet-level quota accounting
+    (:mod:`repro.fleet`); it never enters the :class:`ServiceKey`, so
+    tenants share compiled plans and batch slots freely.
     """
 
     rid: int
@@ -57,6 +61,7 @@ class Request:
     s: int = 2
     block: int = DEFAULT_BLOCK
     deadline: float | None = None      # absolute modelled time, None = no deadline
+    tenant: str = "default"            # fleet quota attribution (not part of the key)
 
     def __post_init__(self) -> None:
         if self.image.ndim != 3:
@@ -167,6 +172,19 @@ class DynamicBatcher:
         ]
         self._pending.clear()
         out.sort(key=lambda b: (b.formed_at, b.key.describe()))
+        return out
+
+    def drain_pending(self) -> list[Request]:
+        """Remove and return every queued request *without* forming batches.
+
+        This is the crash path: when a fleet worker dies, its in-flight
+        (queued, not yet dispatched) requests are pulled out raw so the
+        router can replay them on surviving workers.  Order is arrival
+        order (then rid), so replays are deterministic.
+        """
+        out = [r for group in self._pending.values() for r in group]
+        self._pending.clear()
+        out.sort(key=lambda r: (r.arrival, r.rid))
         return out
 
     @property

@@ -53,7 +53,9 @@ SHED_POLICIES = ("shed", "degrade")
 
 #: Reasons a request may be shed (the ``reason`` label on
 #: ``repro_overload_shed_total`` and on :class:`~repro.errors.ShedError`).
-SHED_REASONS = ("deadline", "queue_full", "expired", "draining")
+#: ``tenant_quota`` is fired by the fleet router's weighted-fair admission
+#: (:mod:`repro.fleet`), before a request ever reaches a worker.
+SHED_REASONS = ("deadline", "queue_full", "expired", "draining", "tenant_quota")
 
 # Gauge encoding for repro_breaker_state{platform}.
 _STATE_VALUE = {"closed": 0.0, "half_open": 1.0, "open": 2.0}

@@ -32,6 +32,50 @@ _INSTANCE_SEQ = itertools.count()
 
 
 @dataclass(frozen=True)
+class PlanCacheSnapshot:
+    """Serialised contents of one :class:`CompiledPlanCache`.
+
+    ``entries`` maps each :class:`~repro.accel.PlanKey` to its cached
+    plan — a :class:`CompiledProgram` or a negative
+    :class:`~repro.errors.CompileError` entry — plus the remaining
+    negative-TTL re-probe budget (``None`` for positive entries and for
+    deterministic rejections, which never expire).  Order is LRU-first,
+    exactly as the source cache held them, so a restore reproduces both
+    contents *and* eviction priority.  This is the handoff payload the
+    fleet router ships to a replacement worker so it starts warm.
+    """
+
+    entries: tuple[tuple[PlanKey, "CompiledProgram | CompileError", int | None], ...]
+    negative_ttl: int | None = None
+    taken_at: float = 0.0              # modelled time of the snapshot (0 = unset)
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    def keys(self) -> list[PlanKey]:
+        return [key for key, _, _ in self.entries]
+
+    def describe(self) -> str:
+        negative = sum(1 for _, v, _ in self.entries if isinstance(v, CompileError))
+        return (
+            f"{self.size} plan(s) ({negative} negative)"
+            + (f" taken at {self.taken_at:.6f}s" if self.taken_at else "")
+        )
+
+    def to_manifest(self) -> list[dict]:
+        """JSON-friendly audit listing (keys + entry kind + TTL budget)."""
+        return [
+            {
+                "key": key.describe(),
+                "kind": "negative" if isinstance(value, CompileError) else "plan",
+                "negative_budget": budget,
+            }
+            for key, value, budget in self.entries
+        ]
+
+
+@dataclass(frozen=True)
 class CacheStats:
     """Counter snapshot of one :class:`CompiledPlanCache`."""
 
@@ -184,6 +228,49 @@ class CompiledPlanCache:
             self._entries.clear()
             self._neg_budget.clear()
             self._g_size.set(0, cache=self._label)
+
+    # ------------------------------------------------------------------
+    def export_snapshot(self, *, taken_at: float = 0.0) -> PlanCacheSnapshot:
+        """Freeze the current contents for handoff (LRU order preserved).
+
+        The snapshot is uncounted — exporting disturbs neither the LRU
+        order nor the hit/miss tallies — and shares the (immutable)
+        compiled programs with this cache rather than copying them, the
+        way a real handoff ships serialized plan blobs, not recompiles.
+        """
+        with self._lock:
+            return PlanCacheSnapshot(
+                entries=tuple(
+                    (key, value, self._neg_budget.get(key))
+                    for key, value in self._entries.items()
+                ),
+                negative_ttl=self.negative_ttl,
+                taken_at=taken_at,
+            )
+
+    def restore(self, snapshot: PlanCacheSnapshot) -> int:
+        """Replace this cache's contents from ``snapshot``; returns plans kept.
+
+        Restoring preserves LRU order and the remaining negative-TTL
+        budgets exactly.  If the snapshot holds more entries than this
+        cache's capacity, the LRU-most overflow is dropped (counted as
+        evictions).  Hit/miss counters are *not* reset — a restored cache
+        keeps accounting from zero if it is a fresh instance, or keeps
+        accumulating if it is being re-imaged in place.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._neg_budget.clear()
+            entries = snapshot.entries
+            dropped = max(0, len(entries) - self.capacity)
+            for key, value, budget in entries[dropped:]:
+                self._entries[key] = value
+                if budget is not None:
+                    self._neg_budget[key] = budget
+            for _ in range(dropped):
+                self._c_evictions.inc(cache=self._label)
+            self._g_size.set(len(self._entries), cache=self._label)
+            return len(self._entries)
 
     @property
     def hits(self) -> int:

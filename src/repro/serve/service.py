@@ -229,6 +229,21 @@ class CompressionService:
         self._ingest(request, responses)
         return responses
 
+    def poll(self, now: float) -> list[Response]:
+        """Fire flush timers at modelled time ``now`` without new work.
+
+        In the single-service replay the next arrival drives the clock,
+        so timers fire inside :meth:`submit`; a fleet router polls idle
+        workers instead, so a worker whose traffic moved elsewhere still
+        flushes its partial batches on time instead of holding them until
+        drain.
+        """
+        responses: list[Response] = []
+        for batch in self.batcher.due(now):
+            self._dispatch(batch, responses)
+        self._m_depth.set(self.batcher.depth)
+        return responses
+
     def drain(self) -> list[Response]:
         """Graceful drain: flush partial batches, then refuse new work.
 
@@ -501,7 +516,7 @@ class CompressionService:
             retry_key=batch.requests[0].rid,
         )
         misses_before = self.cache.misses
-        log_mark = len(self.log.events)
+        log_mark = self.log.mark()
         if self.tracer is not None:
             member_tids = [
                 tid
@@ -613,7 +628,7 @@ class CompressionService:
         if not self.breakers:
             return
         faults: dict[str, int] = {}
-        for event in self.log.events[log_mark:]:
+        for event in self.log.since(log_mark):
             if event.action != "fault":
                 continue
             platform = event.context.get("platform") or attempted or success_platform

@@ -1,0 +1,102 @@
+"""Autoscale policy decisions and the router's grow/shrink actions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import AutoscalePolicy, FleetRouter, multi_tenant_trace
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.serve.overload import OverloadPolicy
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(min_workers=0)
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(min_workers=4, max_workers=2)
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(grow_depth=1.0, shrink_depth=2.0)
+    with pytest.raises(ConfigError):
+        AutoscalePolicy(interval=0)
+
+
+def test_decide_grow_shrink_hold():
+    policy = AutoscalePolicy(
+        min_workers=2, max_workers=4, grow_depth=6.0, shrink_depth=0.5
+    )
+    assert policy.decide(live_workers=2, mean_depth=10.0, p95_s=0.0) == "grow"
+    assert policy.decide(live_workers=4, mean_depth=10.0, p95_s=0.0) == "hold"
+    assert policy.decide(live_workers=3, mean_depth=0.1, p95_s=0.0) == "shrink"
+    assert policy.decide(live_workers=2, mean_depth=0.1, p95_s=0.0) == "hold"
+    assert policy.decide(live_workers=2, mean_depth=2.0, p95_s=0.0) == "hold"
+
+
+def test_p95_trigger_grows_even_with_shallow_queues():
+    policy = AutoscalePolicy(grow_p95_s=0.010)
+    assert policy.decide(live_workers=2, mean_depth=0.0, p95_s=0.020) == "grow"
+
+
+def test_router_rejects_n_workers_outside_bounds():
+    with pytest.raises(ConfigError):
+        FleetRouter(8, autoscale=AutoscalePolicy(min_workers=2, max_workers=4))
+
+
+def test_router_grows_under_pressure():
+    # Arrivals far outpace service: queues build, the fleet must grow.
+    trace = multi_tenant_trace(400, seed=2, rate=50000.0)
+    router = FleetRouter(
+        2,
+        autoscale=AutoscalePolicy(
+            min_workers=2, max_workers=6, grow_depth=2.0, interval=32, cooldown=0
+        ),
+        spill_depth=4,
+    )
+    _, stats = router.process(trace)
+    grows = [e for e in stats.autoscale_events if e.action == "grow"]
+    assert grows, "pressured fleet never grew"
+    assert stats.final_live_workers > 2
+    assert stats.accounted == stats.n_requests
+
+
+def test_router_shrinks_when_idle():
+    # A trickle trace leaves queues empty: the fleet drains down to min.
+    trace = multi_tenant_trace(300, seed=3, rate=200.0)
+    router = FleetRouter(
+        6,
+        autoscale=AutoscalePolicy(
+            min_workers=2, max_workers=8, shrink_depth=0.5, interval=32, cooldown=0
+        ),
+    )
+    _, stats = router.process(trace)
+    shrinks = [e for e in stats.autoscale_events if e.action == "shrink"]
+    assert shrinks, "idle fleet never shrank"
+    assert stats.final_live_workers < 6
+    # Retired workers drained gracefully — nothing lost.
+    assert stats.accounted == stats.n_requests
+    retired = [w for w in stats.workers if w.state == "retired"]
+    assert len(retired) == len(shrinks)
+
+
+def test_grow_is_bounded_by_the_instance_pool():
+    from repro.accel.multichip import InstancePool
+
+    # One a100 node = 8 instances; with one lease per worker the fleet
+    # can never grow past 8 even though the policy allows 16.
+    trace = multi_tenant_trace(300, seed=4, rate=50000.0)
+    router = FleetRouter(
+        2,
+        worker_platforms=("a100",),
+        pool=InstancePool({"a100": 1}),
+        autoscale=AutoscalePolicy(
+            min_workers=2, max_workers=16, grow_depth=1.0, interval=16, cooldown=0
+        ),
+    )
+    _, stats = router.process(trace)
+    assert stats.final_live_workers <= 8

@@ -1,0 +1,59 @@
+"""CLI surfaces for the fleet: fleet-demo and chaos-soak --fleet."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def test_fleet_demo_passes(capsys):
+    rc = main(["fleet-demo", "--requests", "300", "--workers", "4", "--crashes", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fleet stats" in out
+    assert "all checks passed" in out
+
+
+def test_fleet_demo_no_autoscale(capsys):
+    rc = main(
+        ["fleet-demo", "--requests", "200", "--workers", "2",
+         "--crashes", "0", "--hangs", "0", "--no-autoscale"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "worker storm" not in out   # empty storm is not printed
+
+
+def test_chaos_soak_fleet_passes(capsys):
+    rc = main(["chaos-soak", "--fleet", "--requests", "800", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fleet soak PASSED" in out
+    assert "warm_handoff" in out
+
+
+def test_chaos_soak_fleet_exits_2_on_slo_violation(capsys):
+    # An impossible p95 budget must fail the soak and exit 2.
+    rc = main(
+        ["chaos-soak", "--fleet", "--requests", "400", "--crashes", "1",
+         "--hangs", "0", "--p95-budget", "1e-9"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "fleet soak FAILED" in out
+    assert "[FAIL] tenant_p95" in out
+
+
+def test_chaos_soak_without_fleet_flag_unchanged(capsys):
+    rc = main(["chaos-soak", "--requests", "80"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "chaos soak PASSED" in out

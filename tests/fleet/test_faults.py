@@ -1,0 +1,81 @@
+"""Worker fault plans and seeded worker storms."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.faults import (
+    SLOW_RESTART_FACTOR,
+    WorkerFault,
+    WorkerFaultPlan,
+    worker_storm,
+)
+
+WORKERS = tuple(f"w{i}" for i in range(8))
+
+
+def test_fault_validation():
+    with pytest.raises(ConfigError):
+        WorkerFault("w0", kind="explode")
+    with pytest.raises(ConfigError):
+        WorkerFault("w0", at_request=-1)
+    with pytest.raises(ConfigError):
+        WorkerFault("w0", restart_after=0)
+
+
+def test_rejoin_delay_and_cache_loss_by_kind():
+    crash = WorkerFault("w0", "crash", restart_after=50)
+    hang = WorkerFault("w1", "hang", restart_after=50)
+    slow = WorkerFault("w2", "slow_restart", restart_after=50)
+    assert crash.rejoin_delay == 50
+    assert slow.rejoin_delay == 50 * SLOW_RESTART_FACTOR
+    assert crash.loses_cache and slow.loses_cache
+    assert not hang.loses_cache
+
+
+def test_plan_due_and_for_worker():
+    plan = WorkerFaultPlan()
+    plan.add("w0", "crash", at_request=10).add("w1", "hang", at_request=10)
+    plan.add("w0", "crash", at_request=90)
+    assert {f.worker for f in plan.due(10)} == {"w0", "w1"}
+    assert plan.due(11) == []
+    assert len(plan.for_worker("w0")) == 2
+    assert len(plan) == 3
+    assert "crash w0 at request 10" in plan.describe()
+
+
+def test_storm_is_deterministic():
+    a = worker_storm(9, workers=WORKERS, crashes=2, hangs=1, span=500)
+    b = worker_storm(9, workers=WORKERS, crashes=2, hangs=1, span=500)
+    assert a.faults == b.faults
+    c = worker_storm(10, workers=WORKERS, crashes=2, hangs=1, span=500)
+    assert a.faults != c.faults
+
+
+def test_storm_strikes_distinct_workers():
+    for seed in range(10):
+        storm = worker_storm(
+            seed, workers=WORKERS, crashes=3, hangs=2, slow_restarts=1, span=1000
+        )
+        victims = [f.worker for f in storm]
+        assert len(victims) == len(set(victims)) == 6
+        kinds = [f.kind for f in storm]
+        assert kinds.count("crash") == 3
+        assert kinds.count("hang") == 2
+        assert kinds.count("slow_restart") == 1
+
+
+def test_storm_onsets_leave_room_to_rejoin():
+    storm = worker_storm(4, workers=WORKERS, crashes=2, hangs=1, span=1000)
+    for fault in storm:
+        assert fault.at_request < 750  # last quarter kept clear
+
+
+def test_storm_rejects_more_faults_than_workers():
+    with pytest.raises(ConfigError):
+        worker_storm(0, workers=("w0", "w1"), crashes=2, hangs=1)
+
+
+def test_empty_storm():
+    storm = worker_storm(0, workers=WORKERS, crashes=0)
+    assert len(storm) == 0
+    assert storm.describe() == "(no worker faults)"

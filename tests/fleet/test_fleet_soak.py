@@ -1,0 +1,85 @@
+"""Fleet chaos soak: the fleet SLO contract under a worker crash storm."""
+
+import pytest
+
+from repro.chaos import FleetSoakConfig, FleetSoakReport, run_fleet_soak
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+# CI-sized soak: the default config at a shorter trace, still enough for
+# the storm to strike, every victim to rejoin, and quotas to bite.
+_FAST = dict(n_requests=800, restart_after=100)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        FleetSoakConfig(n_requests=0)
+    with pytest.raises(ConfigError):
+        FleetSoakConfig(n_workers=1)
+    with pytest.raises(ConfigError):
+        FleetSoakConfig(n_workers=2, crashes=2, hangs=1)
+    with pytest.raises(ConfigError):
+        FleetSoakConfig(p95_budget_s=0.0)
+    with pytest.raises(ConfigError):
+        FleetSoakConfig(handoff_tolerance=2.0)
+
+
+def test_default_fleet_soak_passes():
+    report = run_fleet_soak(FleetSoakConfig(seed=0, **_FAST))
+    assert isinstance(report, FleetSoakReport)
+    assert report.passed, report.format_report()
+    # The acceptance bar: the storm crashed >= 2 distinct workers
+    # mid-trace, everything stayed accounted, and handoffs were warm.
+    assert report.n_crashes >= 2
+    assert report.n_quota_shed > 0
+    assert report.n_served + report.n_shed + report.n_failed == 800
+
+
+def test_fleet_soak_is_deterministic():
+    a = run_fleet_soak(FleetSoakConfig(seed=4, **_FAST))
+    set_registry(MetricsRegistry())
+    b = run_fleet_soak(FleetSoakConfig(seed=4, **_FAST))
+    assert a.passed and b.passed
+    assert a.checks == b.checks
+    assert (a.n_served, a.n_shed, a.n_failed) == (b.n_served, b.n_shed, b.n_failed)
+    assert (a.n_replays, a.n_handoffs) == (b.n_replays, b.n_handoffs)
+
+
+def test_soak_across_seeds():
+    for seed in (1, 2):
+        set_registry(MetricsRegistry())
+        report = run_fleet_soak(FleetSoakConfig(seed=seed, **_FAST))
+        assert report.passed, report.format_report()
+
+
+def test_storm_onsets_wait_for_first_snapshot():
+    config = FleetSoakConfig(seed=0, snapshot_interval=32)
+    for fault in config.storm():
+        assert fault.at_request >= 64
+
+
+def test_slow_restart_takes_longer_but_recovers():
+    report = run_fleet_soak(
+        FleetSoakConfig(
+            seed=2, n_requests=800, crashes=1, hangs=0, slow_restarts=1,
+            restart_after=60,
+        )
+    )
+    assert report.passed, report.format_report()
+    assert report.n_crashes == 2       # slow_restart counts as a crash kind
+
+
+def test_report_formats():
+    report = run_fleet_soak(FleetSoakConfig(seed=0, **_FAST))
+    text = report.format_report()
+    assert "fleet soak" in text
+    assert "warm_handoff" in text
+    assert "tenant burst" in text

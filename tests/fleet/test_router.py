@@ -1,0 +1,221 @@
+"""FleetRouter: routing affinity, failure domains, handoff, quotas."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import reference_output
+from repro.fleet import (
+    FleetRouter,
+    TenantPolicy,
+    WorkerFaultPlan,
+    multi_tenant_trace,
+    route_key,
+)
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.obs.trace import Tracer
+from repro.serve.overload import OverloadPolicy
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def _overload():
+    return OverloadPolicy(default_deadline=0.05, max_queue_depth=64, breaker=None)
+
+
+def test_plain_fleet_serves_everything_bit_identically():
+    trace = multi_tenant_trace(200, seed=0)
+    router = FleetRouter(4)
+    responses, stats = router.process(trace)
+    assert stats.n_served == len(responses) == 200
+    assert stats.n_shed == stats.n_failed == 0
+    for r in responses:
+        assert np.array_equal(r.output, reference_output(r))
+
+
+def test_routing_has_plan_affinity():
+    trace = multi_tenant_trace(300, seed=1)
+    router = FleetRouter(4, spill_depth=10_000)   # spill never triggers
+    router.process(trace)
+    # Every request of one plan key landed on exactly one worker.
+    by_key: dict[str, set[str]] = {}
+    for req in trace:
+        worker = router.worker_of_rid[req.rid]
+        by_key.setdefault(route_key(req.key), set()).add(worker)
+    assert by_key
+    assert all(len(workers) == 1 for workers in by_key.values())
+    # Affinity keeps per-worker caches hot.
+    for w in router.workers.values():
+        if w.n_served:
+            assert w.cache_hit_rate > 0.5
+
+
+def test_bounded_load_spills_under_pressure():
+    trace = multi_tenant_trace(300, seed=2, rate=100000.0)
+    router = FleetRouter(4, spill_depth=2)
+    _, stats = router.process(trace)
+    assert stats.n_spills > 0
+    assert stats.accounted == stats.n_requests
+
+
+def test_crash_replays_queued_requests_exactly_once():
+    trace = multi_tenant_trace(240, seed=3, rate=20000.0)
+    plan = WorkerFaultPlan().add("w1", "crash", at_request=100, restart_after=60)
+    router = FleetRouter(4, fault_plan=plan)
+    responses, stats = router.process(trace)
+    assert stats.n_crashes == 1
+    # Every request was served exactly once despite the replay.
+    rids = [r.request.rid for r in responses]
+    assert len(rids) == len(set(rids))
+    assert stats.accounted == stats.n_requests == 240
+    # Replayed requests stayed bit-identical.
+    for r in responses:
+        assert np.array_equal(r.output, reference_output(r))
+    # Nothing routed to w1 while it was down.
+    assert stats.n_replays >= 0
+    assert router.workers["w1"].up       # rejoined by trace end
+
+
+def test_crash_reroutes_the_dead_workers_hash_range():
+    trace = multi_tenant_trace(400, seed=4)
+    plan = WorkerFaultPlan().add("w0", "crash", at_request=150, restart_after=1000)
+    router = FleetRouter(4, fault_plan=plan)
+    router.process(trace)
+    # After the crash (and with no rejoin until after the trace), w0's
+    # keys flowed to other workers: w0 never appears after ordinal 150.
+    ordered = sorted(trace, key=lambda r: (r.arrival, r.rid))
+    for ordinal, req in enumerate(ordered):
+        worker = router.worker_of_rid.get(req.rid)
+        if ordinal > 150 and worker is not None:
+            assert worker != "w0"
+
+
+def test_hang_keeps_cache_and_rejoins_without_handoff():
+    trace = multi_tenant_trace(300, seed=5)
+    plan = WorkerFaultPlan().add("w2", "hang", at_request=80, restart_after=60)
+    router = FleetRouter(4, fault_plan=plan)
+    _, stats = router.process(trace)
+    assert stats.n_hangs == 1
+    assert stats.n_crashes == 0
+    assert stats.n_handoffs == 0         # cache never died
+    w2 = router.workers["w2"]
+    assert w2.up
+    assert w2.rejoin_cache is None       # same service, same cache
+    assert stats.accounted == stats.n_requests
+
+
+def test_warm_handoff_restores_snapshot_into_replacement():
+    trace = multi_tenant_trace(500, seed=6)
+    plan = WorkerFaultPlan().add("w1", "crash", at_request=200, restart_after=80)
+    router = FleetRouter(4, fault_plan=plan, snapshot_interval=32)
+    _, stats = router.process(trace)
+    assert stats.n_handoffs == 1
+    w1 = next(w for w in stats.workers if w.name == "w1")
+    assert w1.pre_crash_hit_rate is not None
+    assert w1.post_rejoin_hit_rate is not None
+    # The restored cache serves warm: within 5 points of the dead one.
+    assert w1.post_rejoin_hit_rate >= w1.pre_crash_hit_rate - 0.05
+
+
+def test_cold_restart_without_snapshots():
+    trace = multi_tenant_trace(300, seed=7)
+    plan = WorkerFaultPlan().add("w1", "crash", at_request=100, restart_after=60)
+    router = FleetRouter(4, fault_plan=plan, snapshot_interval=0)  # handoff off
+    _, stats = router.process(trace)
+    assert stats.n_handoffs == 0
+    assert stats.accounted == stats.n_requests    # correctness unaffected
+
+
+def test_all_workers_down_fails_requests_explicitly():
+    trace = multi_tenant_trace(60, seed=8)
+    plan = WorkerFaultPlan()
+    for i in range(2):
+        plan.add(f"w{i}", "crash", at_request=10, restart_after=10_000)
+    router = FleetRouter(2, fault_plan=plan)
+    _, stats = router.process(trace)
+    assert stats.n_failed > 0
+    assert stats.accounted == stats.n_requests    # failed, not dropped
+
+
+def test_tenant_quota_sheds_are_explicit_and_attributed():
+    from repro.errors import ShedError
+
+    trace = multi_tenant_trace(600, seed=9, rate=50000.0)
+    router = FleetRouter(
+        2,
+        overload=_overload(),
+        tenant_policy=TenantPolicy(window=64, burst=1.0, contention_depth=8),
+        spill_depth=4,
+    )
+    _, stats = router.process(trace)
+    assert stats.n_quota_shed > 0
+    assert all(isinstance(s.error, ShedError) for s in router.shed)
+    assert all(s.reason == "tenant_quota" for s in router.shed)
+    # The abusive default-mix tenant absorbs the bulk of the quota sheds.
+    worst = max(stats.tenants.values(), key=lambda t: t.n_quota_shed)
+    assert worst.tenant == "burst"
+    assert stats.accounted == stats.n_requests
+
+
+def test_replay_is_deterministic():
+    def run():
+        set_registry(MetricsRegistry())
+        trace = multi_tenant_trace(300, seed=10, rate=20000.0)
+        plan = WorkerFaultPlan().add("w0", "crash", at_request=90, restart_after=60)
+        plan.add("w2", "hang", at_request=150, restart_after=60)
+        router = FleetRouter(
+            4, fault_plan=plan, overload=_overload(),
+            tenant_policy=TenantPolicy(contention_depth=16),
+        )
+        return router.process(trace)
+
+    r1, s1 = run()
+    r2, s2 = run()
+    assert len(r1) == len(r2)
+    assert [r.request.rid for r in r1] == [r.request.rid for r in r2]
+    assert all(np.array_equal(a.output, b.output) for a, b in zip(r1, r2))
+    assert [r.finish for r in r1] == [r.finish for r in r2]
+    assert s1.n_spills == s2.n_spills
+    assert s1.n_replays == s2.n_replays
+    assert s1.shed_by_reason == s2.shed_by_reason
+
+
+def test_fleet_events_land_on_request_traces():
+    tracer = Tracer()
+    trace = multi_tenant_trace(80, seed=11)
+    router = FleetRouter(2, tracer=tracer)
+    responses, _ = router.process(trace)
+    tagged = [
+        e for e in tracer.events if e.name == "fleet.worker"
+    ]
+    assert len(tagged) == len(responses)
+    assert all(e.attrs["worker"].startswith("w") for e in tagged)
+
+
+def test_fleet_metrics_are_registered():
+    reg = MetricsRegistry()
+    set_registry(reg)
+    trace = multi_tenant_trace(120, seed=12)
+    plan = WorkerFaultPlan().add("w0", "crash", at_request=40, restart_after=30)
+    router = FleetRouter(2, fault_plan=plan, registry=reg)
+    router.process(trace)
+    dump = reg.render_prometheus()
+    assert "repro_fleet_requests_total" in dump
+    assert "repro_fleet_worker_crashes_total" in dump
+    assert "repro_fleet_workers" in dump
+    assert "repro_tenant_requests_total" in dump
+
+
+def test_stats_table_renders():
+    trace = multi_tenant_trace(100, seed=13)
+    router = FleetRouter(2)
+    _, stats = router.process(trace)
+    table = stats.format_table()
+    assert "fleet stats" in table
+    assert "tenant burst" in table
+    assert "worker w0" in table

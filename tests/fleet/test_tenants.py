@@ -1,0 +1,97 @@
+"""Weighted-fair tenant admission: quotas, bursts, work conservation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.tenants import TenantAdmission, TenantPolicy
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigError):
+        TenantPolicy(weights={"a": 0.0})
+    with pytest.raises(ConfigError):
+        TenantPolicy(default_weight=-1)
+    with pytest.raises(ConfigError):
+        TenantPolicy(window=0)
+    with pytest.raises(ConfigError):
+        TenantPolicy(burst=0.5)
+    with pytest.raises(ConfigError):
+        TenantPolicy(contention_depth=0)
+
+
+def test_shares_follow_weights():
+    policy = TenantPolicy(weights={"gold": 3.0, "bronze": 1.0})
+    assert policy.share("gold", ["gold", "bronze"]) == pytest.approx(0.75)
+    assert policy.share("bronze", ["gold", "bronze"]) == pytest.approx(0.25)
+    # Unknown tenants get the default weight.
+    assert policy.share("new", ["gold", "bronze"]) == pytest.approx(1 / 5)
+
+
+def test_uncontended_admission_is_work_conserving():
+    adm = TenantAdmission(TenantPolicy(window=16, burst=1.0))
+    # One tenant hogging an idle fleet is fine: quotas only bite contended.
+    assert all(adm.admit("hog", contended=False) for _ in range(100))
+    assert adm.refused == {}
+
+
+def test_contended_admission_enforces_window_share():
+    adm = TenantAdmission(TenantPolicy(window=16, burst=1.0))
+    adm.admit("a", contended=False)    # two tenants on the books
+    adm.admit("b", contended=False)
+    # "a" (share 1/2, window 16) may hold at most 8 slots while contended.
+    admitted = sum(adm.admit("a", contended=True) for _ in range(20))
+    assert admitted == 8 - 1           # one "a" already in the window
+    assert adm.refused["a"] == 20 - admitted
+    assert adm.max_contended_occupancy["a"] <= adm.quota_slots("a")
+
+
+def test_burst_allowance_adds_headroom():
+    tight = TenantAdmission(TenantPolicy(window=32, burst=1.0))
+    loose = TenantAdmission(TenantPolicy(window=32, burst=1.5))
+    for adm in (tight, loose):
+        adm.admit("a", contended=False)
+        adm.admit("b", contended=False)
+    n_tight = sum(tight.admit("a", contended=True) for _ in range(64))
+    n_loose = sum(loose.admit("a", contended=True) for _ in range(64))
+    assert n_loose > n_tight
+
+
+def test_uncontended_burst_is_on_the_books_when_contention_starts():
+    adm = TenantAdmission(TenantPolicy(window=8, burst=1.0))
+    for _ in range(8):
+        assert adm.admit("hog", contended=False)
+    adm.admit("other", contended=False)
+    # The window is full of "hog": the first contended request is refused
+    # immediately — no fresh burst on top of the uncontended one.
+    assert not adm.admit("hog", contended=True)
+
+
+def test_window_slides_so_old_traffic_expires():
+    adm = TenantAdmission(TenantPolicy(window=8, burst=1.0))
+    for _ in range(8):
+        adm.admit("a", contended=False)
+    adm.admit("b", contended=False)
+    assert not adm.admit("a", contended=True)
+    # 8 more "b" admissions push every "a" out of the window...
+    for _ in range(8):
+        adm.admit("b", contended=False)
+    assert adm.window_count("a") == 0
+    # ...after which "a" is admissible again even under contention.
+    assert adm.admit("a", contended=True)
+
+
+def test_weighted_tenants_get_proportional_slots():
+    policy = TenantPolicy(weights={"gold": 3.0, "bronze": 1.0}, window=16, burst=1.0)
+    adm = TenantAdmission(policy)
+    adm.admit("gold", contended=False)
+    adm.admit("bronze", contended=False)
+    assert adm.quota_slots("gold") == 12
+    assert adm.quota_slots("bronze") == 4
+
+
+def test_every_tenant_keeps_at_least_one_slot():
+    policy = TenantPolicy(window=4, burst=1.0)
+    adm = TenantAdmission(policy)
+    for t in ("a", "b", "c", "d", "e", "f", "g", "h"):
+        adm.admit(t, contended=False)
+    assert adm.quota_slots("a") >= 1   # shares < 1 slot still round up to 1

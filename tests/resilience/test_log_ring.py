@@ -1,0 +1,96 @@
+"""Bounded RecoveryLog: ring retention with exact counters.
+
+A fleet soak records recovery events for hours; ``RecoveryLog(max_events=N)``
+keeps only the most recent ``N`` in memory while ``total_recorded``,
+``dropped_events`` and the ``repro_recovery_events_*`` counters stay exact.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.resilience import RecoveryLog
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def _fill(log: RecoveryLog, n: int, action: str = "retry") -> None:
+    for i in range(n):
+        log.record(action, f"event {i}", i=i)
+
+
+def test_unbounded_by_default():
+    log = RecoveryLog()
+    _fill(log, 10)
+    assert len(log.events) == 10
+    assert log.total_recorded == 10
+    assert log.dropped_events == 0
+
+
+def test_max_events_must_be_positive():
+    with pytest.raises(ConfigError):
+        RecoveryLog(max_events=0)
+    with pytest.raises(ConfigError):
+        RecoveryLog(max_events=-3)
+
+
+def test_ring_keeps_only_the_last_n():
+    log = RecoveryLog(max_events=3)
+    _fill(log, 7)
+    assert [e.context["i"] for e in log.events] == [4, 5, 6]
+    assert len(log) == 3
+    assert log.total_recorded == 7
+    assert log.dropped_events == 4
+
+
+def test_counters_stay_exact_across_drops():
+    log = RecoveryLog(max_events=2)
+    _fill(log, 5, action="retry")
+    _fill(log, 3, action="rung")
+    reg = get_registry()
+    totals = reg.counter("repro_recovery_events_total")
+    assert totals.value(action="retry") == 5    # only 0 retained, tally exact
+    assert totals.value(action="rung") == 3
+    dropped = reg.counter("repro_recovery_events_dropped_total")
+    assert dropped.total == log.dropped_events == 6
+
+
+def test_mark_and_since_survive_ring_drops():
+    log = RecoveryLog(max_events=3)
+    _fill(log, 2)
+    mark = log.mark()
+    _fill(log, 5)                   # drops all pre-mark events and more
+    after = log.since(mark)
+    assert after == log.events      # everything retained postdates the mark
+    assert [e.context["i"] for e in after] == [2, 3, 4]
+
+
+def test_since_within_retained_window():
+    log = RecoveryLog(max_events=10)
+    _fill(log, 3)
+    mark = log.mark()
+    _fill(log, 2)
+    assert [e.context["i"] for e in log.since(mark)] == [0, 1]
+    assert log.since(log.mark()) == []
+
+
+def test_summary_reports_dropped_prefix_and_stable_numbering():
+    log = RecoveryLog(max_events=2)
+    _fill(log, 5)
+    text = log.summary()
+    assert "3 earlier event(s) dropped from the ring" in text
+    # Retained events keep their absolute indices, not ring positions.
+    assert " 3. [retry] event 3" in text
+    assert " 4. [retry] event 4" in text
+
+
+def test_unbounded_summary_has_no_dropped_line():
+    log = RecoveryLog()
+    _fill(log, 2)
+    assert "dropped" not in log.summary()

@@ -1,0 +1,86 @@
+"""Regression: graceful drain x hedged dispatch.
+
+A hedged batch runs two legs; the loser is cancelled via
+:meth:`Scheduler.book_cancelled`, which consumes modelled worker time but
+credits no batch.  Draining a hedged service must serve every queued
+request exactly once, keep worker-level batch credit equal to the batches
+actually served, and produce outputs bit-identical to an unhedged run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.serve import CompressionService, OverloadPolicy, synthetic_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def _hedged_service():
+    return CompressionService(
+        ("ipu", "a100"), overload=OverloadPolicy(hedge_queue_seconds=0.0005)
+    )
+
+
+def _stream_and_drain(svc, trace):
+    responses = []
+    for req in trace:
+        responses.extend(svc.submit(req))
+    responses.extend(svc.drain())
+    return responses
+
+
+def test_drain_serves_each_hedged_request_exactly_once():
+    trace = synthetic_trace(n=60, seed=2)
+    svc = _hedged_service()
+    responses = _stream_and_drain(svc, trace)
+    rids = [r.request.rid for r in responses]
+    assert len(rids) == len(set(rids))               # loser leg never double-serves
+    assert sorted(rids) == sorted(r.rid for r in trace)
+    hedges = get_registry().counter("repro_overload_hedges_total")
+    assert hedges.total > 0
+    wins = hedges.value(outcome="win")
+    assert 0 <= wins <= hedges.total
+
+
+def test_loser_books_time_but_no_batch_credit():
+    trace = synthetic_trace(n=60, seed=2)
+    svc = _hedged_service()
+    responses = _stream_and_drain(svc, trace)
+    assert get_registry().counter("repro_overload_hedges_total").total > 0
+    # Responses in one batch share (platform, start); each served batch is
+    # credited exactly once across the scheduler's workers — the cancelled
+    # legs appear nowhere in the batch tally.
+    batches = {(r.platform, r.start) for r in responses}
+    assert sum(w.batches for w in svc.scheduler.workers) == len(batches)
+    # ...but their cancelled runtime is booked: total busy time strictly
+    # exceeds the time the winning legs alone account for.
+    winner_seconds = sum(f - s for _, s, f in {(r.platform, r.start, r.finish) for r in responses})
+    assert svc.scheduler.total_busy_seconds > winner_seconds
+
+
+def test_drained_hedged_outputs_identical_to_unhedged():
+    trace = synthetic_trace(n=60, seed=2)
+    plain = _stream_and_drain(CompressionService(("ipu", "a100")), trace)
+    set_registry(MetricsRegistry())
+    svc = _hedged_service()
+    hedged = _stream_and_drain(svc, trace)
+    assert get_registry().counter("repro_overload_hedges_total").total > 0
+    by_rid = {r.request.rid: r for r in plain}
+    for r in hedged:
+        assert np.array_equal(r.output, by_rid[r.request.rid].output)
+
+
+def test_post_drain_submissions_shed_even_while_hedging():
+    trace = synthetic_trace(n=61, seed=2)
+    svc = _hedged_service()
+    _stream_and_drain(svc, trace[:60])
+    assert svc.submit(trace[60]) == []
+    assert len(svc.shed) == 1
+    assert svc.shed[0].error.reason == "draining"

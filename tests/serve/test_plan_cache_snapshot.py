@@ -1,0 +1,135 @@
+"""CompiledPlanCache snapshot/restore: the fleet warm-handoff payload.
+
+A snapshot must round-trip contents, LRU order, and remaining
+negative-TTL budgets; a service running against a restored cache must
+serve bit-identically with zero compiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import PlanKey, compile_program
+from repro.core import make_compressor
+from repro.errors import OutOfMemoryError
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.serve import CompiledPlanCache, CompressionService, PlanCacheSnapshot, synthetic_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def key(i: int, platform: str = "ipu") -> PlanKey:
+    return PlanKey.for_compressor(
+        platform, (2, 3, 32, 32), method="dc", cf=i, s=2, block=8, direction="compress"
+    )
+
+
+def compile_dc(cf: int = 4, batch: int = 2, platform: str = "ipu"):
+    comp = make_compressor(32, cf=cf)
+    return compile_program(
+        comp.compress, np.zeros((batch, 3, 32, 32), np.float32), platform
+    )
+
+
+def _transient_error():
+    exc = OutOfMemoryError("injected oom", platform="ipu", reason="flaky toolchain")
+    exc.deterministic = False
+    return exc
+
+
+def test_round_trip_preserves_contents_and_lru_order():
+    cache = CompiledPlanCache(capacity=4)
+    program = compile_dc()
+    for i in (1, 2, 3):
+        cache.put(key(i), program)
+    cache.get(key(1))                       # LRU order now 2, 3, 1
+    snap = cache.export_snapshot(taken_at=1.5)
+    assert isinstance(snap, PlanCacheSnapshot)
+    assert snap.size == 3
+    assert snap.keys() == [key(2), key(3), key(1)]
+    assert "taken at" in snap.describe()
+
+    restored = CompiledPlanCache(capacity=4)
+    assert restored.restore(snap) == 3
+    assert restored.keys() == [key(2), key(3), key(1)]
+    # LRU priority survived: the next insert past capacity evicts key(2).
+    restored.put(key(4), program)
+    restored.put(key(5), program)
+    assert key(2) not in restored
+    assert key(3) in restored and key(1) in restored
+
+
+def test_export_is_uncounted_and_restore_keeps_counters():
+    cache = CompiledPlanCache(capacity=4)
+    cache.get(key(1))                       # miss
+    cache.put(key(1), compile_dc())
+    cache.get(key(1))                       # hit
+    snap = cache.export_snapshot()
+    assert (cache.hits, cache.misses) == (1, 1)   # export disturbed nothing
+    cache.restore(snap)                     # re-image in place
+    assert (cache.hits, cache.misses) == (1, 1)   # counters not reset
+    assert cache.get(key(1)) is not None
+    assert cache.hits == 2                  # and keep accumulating
+
+
+def test_negative_entry_restores_with_remaining_ttl():
+    cache = CompiledPlanCache(negative_ttl=2)
+    cache.put(key(7), _transient_error())
+    assert isinstance(cache.get(key(7)), OutOfMemoryError)   # budget 2 -> 1
+    snap = cache.export_snapshot()
+    assert snap.to_manifest()[0]["kind"] == "negative"
+    assert snap.to_manifest()[0]["negative_budget"] == 1
+    assert "(1 negative)" in snap.describe()
+
+    restored = CompiledPlanCache(negative_ttl=2)
+    restored.restore(snap)
+    # One serving left on the inherited budget, then the entry is dropped
+    # and the lookup misses so the toolchain gets re-probed.
+    assert isinstance(restored.get(key(7)), OutOfMemoryError)
+    assert restored.get(key(7)) is None
+    assert key(7) not in restored
+
+
+def test_deterministic_negative_entry_never_expires_after_restore():
+    cache = CompiledPlanCache(negative_ttl=1)
+    cache.put(key(8), OutOfMemoryError("oom", platform="sn30", reason="capability"))
+    restored = CompiledPlanCache(negative_ttl=1)
+    restored.restore(cache.export_snapshot())
+    for _ in range(4):
+        assert isinstance(restored.get(key(8)), OutOfMemoryError)
+
+
+def test_restore_into_smaller_cache_drops_lru_overflow():
+    cache = CompiledPlanCache(capacity=8)
+    program = compile_dc()
+    for i in range(1, 5):
+        cache.put(key(i), program)
+    snap = cache.export_snapshot()
+
+    small = CompiledPlanCache(capacity=2)
+    assert small.restore(snap) == 2
+    assert small.keys() == [key(3), key(4)]        # MRU half survives
+    assert small.evictions == 2
+
+
+def test_restored_cache_serves_bit_identically_with_zero_compiles():
+    trace = synthetic_trace(n=24, seed=6)
+    warm = CompiledPlanCache(capacity=64)
+    baseline, _ = CompressionService(("ipu", "a100"), cache=warm).process(trace)
+    snap = warm.export_snapshot(taken_at=0.25)
+
+    set_registry(MetricsRegistry())
+    handoff = CompiledPlanCache(capacity=64)
+    handoff.restore(snap)
+    assert handoff.misses == 0
+    replayed, _ = CompressionService(("ipu", "a100"), cache=handoff).process(trace)
+    assert handoff.misses == 0              # every plan came from the handoff
+    assert handoff.hits > 0
+    by_rid = {r.request.rid: r for r in baseline}
+    for r in replayed:
+        assert np.array_equal(r.output, by_rid[r.request.rid].output)
