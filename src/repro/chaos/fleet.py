@@ -38,6 +38,33 @@ the fleet contract:
     ``handoff_tolerance`` of its pre-crash rate — the snapshot restore
     made the replacement warm, not cold.
 
+With ``slo=True`` (PR 8) the soak runs under the full observatory — a
+:class:`~repro.obs.Tracer` with fleet trace propagation, an
+:class:`~repro.obs.SLOMonitor` with burn-rate rules sized to the soak's
+modelled rate, and a :class:`~repro.obs.FlightRecorder` — and adds:
+
+``slo_determinism``
+    Two same-seed instrumented runs emit byte-identical trace JSONL and
+    byte-identical SLO alert timelines (same alerts, same modelled
+    fire/clear timestamps).
+``trace_valid``
+    Every trace with spans passes the extended
+    :func:`~repro.obs.validate_trace` (cross-worker parent links, leaf
+    sums exact per hop), and every replayed request's trace resolves to
+    a single ``fleet.request`` span tree.
+``slo_alerts``
+    At least one burn-rate alert fired during the storm and every fire
+    has a matching clear, so the timeline assertion is not vacuous.
+``critical_path``
+    The :class:`~repro.obs.CriticalPathAnalyzer` attributes >= 95% of
+    the p95-tail latency to named stages.
+``zero_overhead``
+    A third, uninstrumented run produces bit-identical responses and
+    modelled timings — observability priced at exactly zero when off.
+
+A failing soak dumps a flight-recorder post-mortem bundle (recent spans
+per worker + metrics snapshot + alert timeline) into the report.
+
 Like :func:`~repro.chaos.soak.run_soak`, everything is seeded and priced
 on the modelled clock: a failing run replays bit-for-bit from
 :class:`FleetSoakConfig` alone.
@@ -58,6 +85,15 @@ from repro.fleet import (
     WorkerFaultPlan,
     multi_tenant_trace,
     worker_storm,
+)
+from repro.obs import (
+    CriticalPathAnalyzer,
+    FlightRecorder,
+    MetricsRegistry,
+    SLOMonitor,
+    SLORule,
+    Tracer,
+    validate_trace,
 )
 from repro.serve.overload import OverloadPolicy
 
@@ -101,6 +137,13 @@ class FleetSoakConfig:
     # SLOs.
     p95_budget_s: float = 0.06
     handoff_tolerance: float = 0.05
+    # Online observatory (slo=True): trace propagation + burn-rate
+    # alerts + flight recorder, plus the determinism / attribution /
+    # zero-overhead checks.  Off by default: the base soak stays the
+    # uninstrumented fast path.
+    slo: bool = False
+    slo_rules: tuple = ()              # () = rules sized to this soak
+    flight_capacity: int = 128
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
@@ -153,6 +196,48 @@ class FleetSoakConfig:
             )
         return adjusted
 
+    def slo_rules_resolved(self) -> tuple:
+        """The burn-rate rules the observatory runs under.
+
+        Defaults are sized to the soak's arrival rate: the long window
+        covers ~256 arrivals and the short ~64, so a trace lasting a
+        tenth of a modelled second still gives the multi-window alert
+        enough observations to fire and to clear.
+        """
+        if self.slo_rules:
+            return tuple(self.slo_rules)
+        long_w = 256.0 / self.rate
+        short_w = 64.0 / self.rate
+        # Slow-burn profile: fire when both windows burn the budget 1.2x
+        # too fast, clear when the short window recovers below 0.6 — the
+        # quota-shed cluster a crash storm provokes breaches this, and
+        # recovery after the storm clears it, at exact modelled times.
+        burn, clear = 1.2, 0.6
+        return (
+            SLORule(
+                name="latency_p95", signal="latency",
+                objective=self.p95_budget_s, budget=0.05,
+                short_window=short_w, long_window=long_w,
+                burn_threshold=burn, clear_burn=clear,
+            ),
+            SLORule(
+                name="shed_ratio", signal="shed", budget=0.05,
+                short_window=short_w, long_window=long_w,
+                burn_threshold=burn, clear_burn=clear,
+            ),
+            SLORule(
+                name="tenant_quota", signal="quota_shed", budget=0.10,
+                per_label=True, short_window=short_w, long_window=long_w,
+                burn_threshold=burn, clear_burn=clear,
+            ),
+            SLORule(
+                name="breaker_open", signal="breaker_open", budget=0.10,
+                per_label=True, min_events=1,
+                short_window=short_w, long_window=long_w,
+                burn_threshold=burn, clear_burn=clear,
+            ),
+        )
+
 
 @dataclass
 class FleetSoakReport:
@@ -169,6 +254,11 @@ class FleetSoakReport:
     n_replays: int = 0
     n_handoffs: int = 0
     checks: list[tuple[str, bool, str]] = field(default_factory=list)
+    # Observatory outputs (slo=True runs only).
+    slo_timeline: list = field(default_factory=list)
+    n_alerts: int = 0
+    p95_tail_coverage: float = 0.0
+    postmortem: dict | None = None
 
     @property
     def passed(self) -> bool:
@@ -185,6 +275,17 @@ class FleetSoakReport:
             f"  {self.n_crashes} crashes, {self.n_hangs} hangs, "
             f"{self.n_replays} replays, {self.n_handoffs} warm handoffs",
         ]
+        if self.config.slo:
+            lines.append(
+                f"  {self.n_alerts} SLO alerts fired; p95-tail attribution "
+                f"{self.p95_tail_coverage:.1%}"
+            )
+            for e in self.slo_timeline:
+                label = f"{{{e['label']}}}" if e["label"] else ""
+                lines.append(
+                    f"    {e['time'] * 1e3:10.3f} ms  {e['kind']:<5} "
+                    f"{e['rule']}{label}"
+                )
         for name in sorted(self.stats.tenants):
             t = self.stats.tenants[name]
             lines.append(
@@ -196,17 +297,42 @@ class FleetSoakReport:
         return "\n".join(lines)
 
 
-def run_fleet_soak(config: FleetSoakConfig | None = None) -> FleetSoakReport:
-    """Run one seeded fleet soak; contract violations come back as failed
-    checks in the report, never as exceptions."""
-    config = config if config is not None else FleetSoakConfig()
+@dataclass
+class _ObservedRun:
+    """One instrumented soak run: the fleet outcome plus the observatory."""
+
+    responses: list
+    stats: FleetStats
+    router: FleetRouter
+    tracer: Tracer
+    slo: SLOMonitor
+    flight: FlightRecorder
+
+
+def _run_fleet(config: FleetSoakConfig, *, instrumented: bool):
+    """One soak replay from scratch; everything derives from ``config``."""
     trace = multi_tenant_trace(
         config.n_requests,
         seed=config.seed,
         tenants=config.tenants,
         rate=config.rate,
     )
-    storm = config.storm()
+    tracer = slo = flight = None
+    registry = None
+    if instrumented:
+        # Private registry: instrumented runs must not leak instruments
+        # into the process default (the zero-overhead run reads it).
+        registry = MetricsRegistry()
+        tracer = Tracer(seed=config.seed)
+        flight = FlightRecorder(
+            capacity=config.flight_capacity, registry=registry
+        ).attach(tracer)
+        slo = SLOMonitor(
+            rules=config.slo_rules_resolved(),
+            tracer=tracer,
+            recorder=flight,
+            registry=registry,
+        )
     router = FleetRouter(
         config.n_workers,
         worker_platforms=config.worker_platforms,
@@ -214,12 +340,53 @@ def run_fleet_soak(config: FleetSoakConfig | None = None) -> FleetSoakReport:
         spill_depth=config.spill_depth,
         tenant_policy=config.tenant_policy(),
         overload=config.overload_policy(),
-        fault_plan=storm,
+        fault_plan=config.storm(),
         snapshot_interval=config.snapshot_interval,
         max_batch=config.max_batch,
         max_wait=config.max_wait,
+        tracer=tracer,
+        registry=registry,
+        slo=slo,
     )
     responses, stats = router.process(trace)
+    return _ObservedRun(
+        responses=responses, stats=stats, router=router,
+        tracer=tracer, slo=slo, flight=flight,
+    )
+
+
+def _response_signature(run: _ObservedRun) -> list[tuple]:
+    """Everything the zero-overhead bar compares: outcomes, modelled
+    timings, and output bytes, in deterministic order."""
+    sig = [
+        (r.request.rid, r.platform, r.start, r.finish, r.output.tobytes())
+        for r in run.responses
+    ]
+    sig.append(("shed", tuple(sorted(s.request.rid for s in run.router.all_shed()))))
+    sig.append(("failed", tuple(sorted(f.request.rid for f in run.router.all_failures()))))
+    return sig
+
+
+def run_fleet_soak(
+    config: FleetSoakConfig | None = None, *, trace_out=None
+) -> FleetSoakReport:
+    """Run one seeded fleet soak; contract violations come back as failed
+    checks in the report, never as exceptions.
+
+    With ``config.slo`` the soak replays three times — twice instrumented
+    (byte-level determinism of traces and alert timelines) and once bare
+    (zero overhead) — and ``trace_out`` optionally receives the first
+    instrumented run's trace JSONL.
+    """
+    config = config if config is not None else FleetSoakConfig()
+    trace = multi_tenant_trace(
+        config.n_requests,
+        seed=config.seed,
+        tenants=config.tenants,
+        rate=config.rate,
+    )
+    run = _run_fleet(config, instrumented=config.slo)
+    responses, stats, router = run.responses, run.stats, run.router
 
     report = FleetSoakReport(
         config=config,
@@ -400,4 +567,129 @@ def run_fleet_soak(config: FleetSoakConfig | None = None) -> FleetSoakReport:
             ", ".join(details) if details else "no crash victims to judge",
         )
     )
+
+    if config.slo:
+        _slo_checks(config, report, run, trace_out=trace_out)
+        if not report.passed and run.flight is not None:
+            report.postmortem = run.flight.dump(
+                reason="soak_failure", monitor=run.slo
+            )
     return report
+
+
+def _slo_checks(
+    config: FleetSoakConfig,
+    report: FleetSoakReport,
+    run: _ObservedRun,
+    *,
+    trace_out=None,
+) -> None:
+    """The observatory acceptance bars (see the module docstring)."""
+    checks = report.checks
+    tracer, slo = run.tracer, run.slo
+    report.slo_timeline = slo.timeline()
+    report.n_alerts = slo.fired
+    if trace_out is not None:
+        tracer.to_jsonl(trace_out)
+
+    # -- determinism: trace bytes and alert timeline ---------------------
+    rerun = _run_fleet(config, instrumented=True)
+    same_trace = tracer.to_jsonl_str() == rerun.tracer.to_jsonl_str()
+    same_timeline = slo.timeline_jsonl() == rerun.slo.timeline_jsonl()
+    checks.append(
+        (
+            "slo_determinism",
+            same_trace and same_timeline,
+            f"{len(tracer.spans)} spans, {len(tracer.events)} events, "
+            f"{len(slo.events)} alert transitions"
+            + ("" if same_trace else "; trace JSONL differs between runs")
+            + ("" if same_timeline else "; alert timeline differs between runs"),
+        )
+    )
+
+    # -- every span tree validates; replays form single cross-worker trees
+    invalid: list[str] = []
+    multi_hop = 0
+    traced_roots: set[str] = set()
+    for tid in tracer.trace_ids():
+        if not tracer.spans_for(tid):
+            continue
+        try:
+            validate_trace(tracer, tid)
+        except ConfigError as exc:
+            invalid.append(f"{tid}: {exc}")
+            continue
+        root = tracer.root(tid)
+        traced_roots.add(tid)
+        if root.name == "fleet.request" and root.attrs.get("hops", 1) > 1:
+            multi_hop += 1
+    # A replay either ends in a served single tree or an explicit
+    # shed/fail event on the same trace — never a dangling hop.
+    terminal = {"overload.shed", "request.failed"}
+    dangling = sorted(
+        {
+            e.trace_id
+            for e in tracer.events
+            if e.name == "fleet.replay"
+            and e.trace_id not in traced_roots
+            and not any(
+                t.trace_id == e.trace_id and t.name in terminal
+                for t in tracer.events
+            )
+        }
+    )
+    replay_ok = not dangling
+    checks.append(
+        (
+            "trace_valid",
+            not invalid and replay_ok,
+            f"{len(traced_roots)} span trees validated, "
+            f"{multi_hop} cross-worker (multi-hop), "
+            f"{report.n_replays} replays"
+            + (f"; invalid: {invalid[:3]}" if invalid else "")
+            + (f"; dangling replay traces: {dangling[:5]}" if dangling else ""),
+        )
+    )
+
+    # -- alerts actually fired, and the timeline is well-formed ----------
+    fires = [e for e in slo.events if e.kind == "fire"]
+    clears = [e for e in slo.events if e.kind == "clear"]
+    balanced = len(fires) == len(clears) and not slo.active_alerts()
+    checks.append(
+        (
+            "slo_alerts",
+            bool(fires) and balanced,
+            f"{len(fires)} fired / {len(clears)} cleared: "
+            + (
+                ", ".join(
+                    sorted({f"{e.rule}" + (f"{{{e.label}}}" if e.label else "") for e in fires})
+                )
+                or "none — storm never breached a burn threshold"
+            ),
+        )
+    )
+
+    # -- critical-path attribution over the p95 tail ---------------------
+    cp = CriticalPathAnalyzer(tracer.spans, tracer.events).report()
+    report.p95_tail_coverage = cp.p95_tail_coverage
+    checks.append(
+        (
+            "critical_path",
+            cp.p95_tail_coverage >= 0.95,
+            f"p95 tail {cp.p95_s * 1e3:.3f} ms, "
+            f"{cp.p95_tail_coverage:.1%} attributed to named stages "
+            f"(>= 95% required)",
+        )
+    )
+
+    # -- observability off == bit-identical run --------------------------
+    bare = _run_fleet(config, instrumented=False)
+    identical = _response_signature(run) == _response_signature(bare)
+    checks.append(
+        (
+            "zero_overhead",
+            identical,
+            "instrumented and uninstrumented runs "
+            + ("bit-identical" if identical else "DIVERGED"),
+        )
+    )

@@ -40,18 +40,34 @@ Commands
     multi-worker fleet instead: a seeded storm crashes/hangs workers
     mid-trace while the fleet contract is checked (bit-identity, full
     per-tenant accounting, per-tenant p95, weighted-fair quotas with no
-    starvation, every crashed worker rejoining warm).  Exits 2 on
-    failure.
+    starvation, every crashed worker rejoining warm).  ``--slo`` (fleet
+    mode) turns on the observatory: cross-worker trace propagation,
+    burn-rate alerting, critical-path attribution, and the flight
+    recorder, plus the determinism / attribution / zero-overhead
+    checks; ``--trace-out PATH`` writes the instrumented run's trace
+    JSONL.  Exits 2 on failure.
 ``fleet-demo``
     Replay a multi-tenant trace through the sharded fleet
     (:mod:`repro.fleet`): consistent-hash routing with bounded-load
     spill, a worker crash storm with warm plan-cache handoff, and
     queue/p95-driven autoscaling over the simulated instance pool.
     Prints the fleet stats table; exits 2 when accounting, bit-identity,
-    or recovery checks fail.
+    or recovery checks fail.  ``--slo`` attaches the SLO observatory
+    (tracer + burn-rate monitor + flight recorder): the alert timeline
+    is printed, every span tree is validated, and ``--trace-out`` /
+    ``--metrics-out`` dump the trace JSONL and Prometheus metrics.
 ``obs-report``
     Render a per-stage latency / byte breakdown from a trace JSONL file
-    written by ``serve-demo --trace-out``.
+    written by ``serve-demo --trace-out`` or ``fleet-demo --trace-out``.
+    ``--by-worker`` / ``--by-tenant`` add grouped fleet views (the
+    per-worker grouping renders automatically when a trace names more
+    than one worker).
+``slo-report``
+    Critical-path attribution from a trace JSONL file: per-stage totals
+    (queue / batch wait / compile / device / retry / replay / handoff),
+    p95-tail attribution coverage, the hottest workers / tenants / chop
+    factors, and the SLO alert timeline embedded in the trace.
+    ``--min-coverage`` turns the attribution bar into an exit code.
 
 Global flags: ``--quiet`` suppresses informational diagnostics,
 ``--verbose`` enables debug-level ones (both route through
@@ -612,10 +628,14 @@ def _cmd_chaos_soak(args) -> int:
             restart_after=args.restart_after,
             deadline=args.deadline,
             p95_budget_s=args.p95_budget,
+            slo=args.slo,
         )
-        fleet_report = run_fleet_soak(fleet_config)
+        fleet_report = run_fleet_soak(fleet_config, trace_out=args.trace_out)
         print(fleet_report.format_report())
         return 0 if fleet_report.passed else 2
+    if args.slo or args.trace_out:
+        print("error: --slo/--trace-out require --fleet", file=sys.stderr)
+        return 2
     config = SoakConfig(
         seed=args.seed,
         n_requests=args.requests if args.requests is not None else 160,
@@ -651,6 +671,39 @@ def _cmd_fleet_demo(args) -> int:
     if not platforms:
         print("error: --platforms must name at least one platform", file=sys.stderr)
         return 2
+    tracer = slo = flight = registry = None
+    if args.slo or args.trace_out or args.metrics_out:
+        from dataclasses import replace as _replace
+
+        from repro.obs import (
+            FlightRecorder,
+            MetricsRegistry,
+            SLOMonitor,
+            Tracer,
+            default_fleet_rules,
+        )
+
+        # Private registry so repeated CLI runs start from zero counters.
+        registry = MetricsRegistry()
+        tracer = Tracer(seed=args.seed)
+        flight = FlightRecorder(capacity=256, registry=registry).attach(tracer)
+        if args.slo:
+            # Size the burn-rate windows to the demo's arrival rate (the
+            # long window covers ~256 arrivals, the short ~64), matching
+            # the fleet soak's slow-burn alert profile.
+            rules = tuple(
+                _replace(
+                    r,
+                    short_window=64.0 / args.rate,
+                    long_window=256.0 / args.rate,
+                    burn_threshold=1.2,
+                    clear_burn=0.6,
+                )
+                for r in default_fleet_rules(p95_budget_s=args.deadline or 0.05)
+            )
+            slo = SLOMonitor(
+                rules=rules, tracer=tracer, recorder=flight, registry=registry
+            )
     trace = multi_tenant_trace(args.requests, seed=args.seed, rate=args.rate)
     storm = worker_storm(
         args.seed + 1,
@@ -676,6 +729,9 @@ def _cmd_fleet_demo(args) -> int:
         fault_plan=storm,
         autoscale=autoscale,
         snapshot_interval=32,
+        tracer=tracer,
+        registry=registry,
+        slo=slo,
     )
     if len(storm):
         print("worker storm:")
@@ -704,10 +760,41 @@ def _cmd_fleet_demo(args) -> int:
             all(w.up for w in faulted),
         ),
     ]
+    if tracer is not None:
+        from repro.errors import ConfigError
+        from repro.obs import validate_trace
+
+        traced = [t for t in tracer.trace_ids() if tracer.spans_for(t)]
+        invalid = 0
+        for tid in traced:
+            try:
+                validate_trace(tracer, tid)
+            except ConfigError:
+                invalid += 1
+        checks.append(
+            (
+                f"traces: {len(traced) - invalid}/{len(traced)} span trees "
+                "validated (nesting + exact leaf sums per hop)",
+                invalid == 0,
+            )
+        )
+    if slo is not None:
+        print(f"SLO alert timeline ({slo.fired} fired):")
+        print(slo.format_timeline())
+        print()
     for label, ok in checks:
         print(f"  [{'ok' if ok else 'FAIL'}] {label}")
     passed = all(ok for _, ok in checks)
     print("fleet demo:", "all checks passed" if passed else "FAILED")
+    if tracer is not None and args.trace_out:
+        path = tracer.to_jsonl(args.trace_out)
+        print(f"trace written to {path} ({len(tracer.spans)} spans, "
+              f"{len(tracer.events)} events)")
+    if registry is not None and args.metrics_out:
+        from pathlib import Path
+
+        Path(args.metrics_out).write_text(registry.render_prometheus())
+        print(f"metrics written to {args.metrics_out}")
     return 0 if passed else 2
 
 
@@ -716,7 +803,50 @@ def _cmd_obs_report(args) -> int:
     from repro.obs import format_report, load_trace, render_report
 
     spans, events = load_trace(args.trace)
-    print(format_report(render_report(spans, events)))
+    print(
+        format_report(
+            render_report(spans, events),
+            by_worker=True if args.by_worker else None,
+            by_tenant=args.by_tenant,
+        )
+    )
+    return 0
+
+
+@_guarded
+def _cmd_slo_report(args) -> int:
+    """Critical-path attribution + alert timeline from a trace file."""
+    from repro.obs import analyze, format_critical_path, load_trace
+
+    spans, events = load_trace(args.trace)
+    report = analyze(spans, events)
+    print(format_critical_path(report))
+    alerts = [e for e in events if e.name in ("slo.fire", "slo.clear")]
+    print()
+    if alerts:
+        print(f"SLO alert timeline ({len(alerts)} transitions):")
+        for e in alerts:
+            label = f"{{{e.attrs['label']}}}" if e.attrs.get("label") else ""
+            kind = e.name.removeprefix("slo.")
+            detail = (
+                " [forced at trace end]"
+                if kind == "clear" and e.attrs.get("forced")
+                else ""
+            )
+            print(
+                f"  {e.time * 1e3:10.3f} ms  {kind:<5} "
+                f"{e.attrs.get('rule', '?')}{label}{detail}"
+            )
+    else:
+        print("SLO alert timeline: (no alerts in trace)")
+    if args.min_coverage is not None and report.p95_tail_coverage < args.min_coverage:
+        print(
+            f"slo-report: FAILED — p95-tail attribution coverage "
+            f"{report.p95_tail_coverage:.1%} below --min-coverage "
+            f"{args.min_coverage:.1%}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -926,6 +1056,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the breaker open->half_open->closed cycle assertion",
     )
+    p.add_argument(
+        "--slo",
+        action="store_true",
+        help="(with --fleet) run the SLO observatory: trace propagation, "
+        "burn-rate alerts, flight recorder, determinism + zero-overhead checks",
+    )
+    p.add_argument(
+        "--trace-out",
+        help="(with --fleet --slo) write the instrumented run's trace JSONL",
+    )
     p.set_defaults(fn=_cmd_chaos_soak)
 
     p = sub.add_parser(
@@ -950,14 +1090,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-autoscale", action="store_true", help="fix the fleet at --workers"
     )
+    p.add_argument(
+        "--slo",
+        action="store_true",
+        help="attach the SLO observatory: tracer, burn-rate monitor, flight "
+        "recorder; prints the alert timeline and validates every span tree",
+    )
+    p.add_argument(
+        "--trace-out",
+        help="attach a tracer and write the fleet trace (spans + events) as JSONL",
+    )
+    p.add_argument(
+        "--metrics-out",
+        help="dump the run's metrics registry in Prometheus text format",
+    )
     p.set_defaults(fn=_cmd_fleet_demo)
 
     p = sub.add_parser(
         "obs-report",
-        help="per-stage latency/byte breakdown from a serve-demo trace file",
+        help="per-stage latency/byte breakdown from a serve-demo or "
+        "fleet-demo trace file",
     )
-    p.add_argument("trace", help="JSONL trace written by serve-demo --trace-out")
+    p.add_argument("trace", help="JSONL trace written by --trace-out")
+    p.add_argument(
+        "--by-worker",
+        action="store_true",
+        help="force the per-worker grouped view (auto when >1 worker appears)",
+    )
+    p.add_argument(
+        "--by-tenant",
+        action="store_true",
+        help="add a per-tenant grouped view (requests, latency, stage ms)",
+    )
     p.set_defaults(fn=_cmd_obs_report)
+
+    p = sub.add_parser(
+        "slo-report",
+        help="critical-path attribution + SLO alert timeline from a trace file",
+    )
+    p.add_argument("trace", help="JSONL trace written by --trace-out")
+    p.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        help="exit 2 unless p95-tail attribution coverage meets this fraction",
+    )
+    p.set_defaults(fn=_cmd_slo_report)
 
     return parser
 

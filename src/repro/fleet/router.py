@@ -30,6 +30,14 @@ and replays a multi-tenant trace through them on the modelled clock:
   :class:`~repro.fleet.autoscale.AutoscalePolicy` grows the fleet from
   the instance pool under queue/p95 pressure and drains + retires the
   emptiest worker when idle.
+* **Observability** (PR 8): with a tracer attached the router mints one
+  :class:`~repro.obs.context.TraceContext` per request and stamps it on
+  every hop (initial routing, bounded-load spill, post-crash replay), so
+  a request is one cross-worker span tree rooted at a ``fleet.request``
+  span whose pre-allocated ID the serving worker parents onto; with an
+  :class:`~repro.obs.slo.SLOMonitor` attached (``slo=``) the router
+  feeds it quota sheds and no-worker failures while each worker feeds
+  served/shed/failed outcomes and breaker transitions.
 
 Everything runs on modelled time and a seeded trace, so a fleet replay —
 crashes, spills, handoffs and all — is deterministic end to end.
@@ -50,6 +58,7 @@ from repro.fleet.ring import HashRing
 from repro.fleet.stats import FleetStats, WorkerStats, tenant_reservoir
 from repro.fleet.tenants import TenantAdmission, TenantPolicy
 from repro.fleet.worker import FleetWorker
+from repro.obs.context import TraceContext
 from repro.obs.metrics import get_registry
 from repro.resilience.log import RecoveryLog
 from repro.serve.batcher import Request, ServiceKey
@@ -93,6 +102,7 @@ class FleetRouter:
         log_max_events: int | None = 256,
         tracer=None,
         registry=None,
+        slo=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -124,6 +134,7 @@ class FleetRouter:
         self.log_max_events = log_max_events
         self.overload = overload
         self.tracer = tracer
+        self.slo = slo
         self._registry = registry if registry is not None else get_registry()
         # Pool sized so the fleet can reach its ceiling (autoscale max, or
         # the fixed size) with one leased instance per platform per worker.
@@ -201,6 +212,7 @@ class FleetRouter:
             log=RecoveryLog(max_events=self.log_max_events),
             tracer=self.tracer,
             registry=self._registry,
+            slo=self.slo,
         )
 
     def _provision_worker(self) -> FleetWorker | None:
@@ -221,6 +233,7 @@ class FleetRouter:
             leases=leases,
             service=self._make_service(),
         )
+        worker.service.slo_worker = name
         self.workers[name] = worker
         self.ring.add(name)
         self._set_workers_gauge()
@@ -286,6 +299,9 @@ class FleetRouter:
         for worker in self.workers.values():
             if worker.up:
                 self._collect(worker, worker.service.drain())
+        if self.slo is not None:
+            end = max((r.finish for r in self.responses), default=last_now)
+            self.slo.finalize(end)
         return list(self.responses), self._snapshot_stats(reqs)
 
     # ------------------------------------------------------------------
@@ -302,20 +318,43 @@ class FleetRouter:
         self.autoscale_events: list[AutoscaleEvent] = []
         self._tenant_latency: dict[str, object] = {}
         self._recent_latency: deque[float] = deque(maxlen=_RECENT_LATENCY_WINDOW)
+        self._trace_ctx: dict[int, TraceContext] = {}  # rid -> current hop ctx
 
     def _route(self, req: Request, now: float, *, replay: bool = False) -> None:
         self._m_tenant_requests.inc(tenant=req.tenant)
+        ctx = None
+        if self.tracer is not None:
+            # One trace per request for its whole fleet lifetime: the root
+            # span ID is pre-allocated so every hop can parent onto it
+            # before the ``fleet.request`` root is completed at response
+            # time (spans are recorded after the fact).
+            ctx = self._trace_ctx.get(req.rid)
+            if ctx is None:
+                ctx = TraceContext(
+                    trace_id=self.tracer.new_trace(),
+                    parent_span_id=self.tracer.new_span_id(),
+                )
+                self._trace_ctx[req.rid] = ctx
         if not replay and self.admission is not None:
             contended = (
                 self._total_depth() >= self.admission.policy.contention_depth
             )
             if not self.admission.admit(req.tenant, contended=contended):
-                self._quota_shed(req, now)
+                self._quota_shed(req, now, ctx)
                 return
         name, spilled = self.ring.route(route_key(req.key), self._has_capacity)
         if name is None:
             exc = DeviceLostError(f"request {req.rid}: no live fleet workers")
             self.failures.append(FailedRequest(req, exc))
+            if self.slo is not None:
+                self.slo.observe_outcome(
+                    now, outcome="failed", tenant=req.tenant, reason="no_worker"
+                )
+            if ctx is not None:
+                self.tracer.record_event(
+                    ctx.trace_id, "request.failed", now,
+                    rid=req.rid, error=type(exc).__name__, hop=ctx.hop,
+                )
             return
         if spilled:
             self.n_spills += 1
@@ -326,17 +365,37 @@ class FleetRouter:
         worker = self.workers[name]
         self.worker_of_rid[req.rid] = name
         self._m_requests.inc(worker=name)
-        self._collect(worker, worker.service.submit(req))
+        if ctx is not None:
+            labels = dict(
+                worker=name, tenant=req.tenant, route_key=route_key(req.key)
+            )
+            ctx = ctx.next_hop(**labels) if replay else ctx.with_attrs(**labels)
+            self._trace_ctx[req.rid] = ctx
+            if spilled:
+                self.tracer.record_event(
+                    ctx.trace_id, "fleet.spill", now,
+                    rid=req.rid, worker=name, hop=ctx.hop,
+                )
+            if replay:
+                self.tracer.record_event(
+                    ctx.trace_id, "fleet.replay", now,
+                    rid=req.rid, worker=name, hop=ctx.hop,
+                )
+        self._collect(worker, worker.service.submit(req, ctx=ctx))
 
-    def _quota_shed(self, req: Request, now: float) -> None:
+    def _quota_shed(self, req: Request, now: float, ctx=None) -> None:
         error = ShedError(
             f"request {req.rid} shed: tenant {req.tenant!r} over quota",
             reason="tenant_quota",
         )
         self.shed.append(ShedRequest(request=req, error=error, time=now))
         self._m_tenant_shed.inc(tenant=req.tenant)
+        if self.slo is not None:
+            self.slo.observe_outcome(
+                now, outcome="shed", tenant=req.tenant, reason="tenant_quota"
+            )
         if self.tracer is not None:
-            tid = self.tracer.new_trace()
+            tid = ctx.trace_id if ctx is not None else self.tracer.new_trace()
             self.tracer.record_event(
                 tid, "overload.shed", now,
                 rid=req.rid, reason="tenant_quota", tenant=req.tenant,
@@ -357,6 +416,21 @@ class FleetRouter:
                     r.trace_id, "fleet.worker", r.finish,
                     worker=worker.name, platform=r.platform,
                 )
+                ctx = self._trace_ctx.pop(r.request.rid, None)
+                if ctx is not None:
+                    # Complete the pre-allocated fleet root: arrival to
+                    # finish, same interval the serving hop's leaves
+                    # partition, so leaf sums stay exact per hop.
+                    self.tracer.record_span(
+                        r.trace_id, "fleet.request",
+                        r.request.arrival, r.finish,
+                        span_id=ctx.parent_span_id,
+                        rid=r.request.rid,
+                        tenant=r.request.tenant,
+                        route_key=ctx.attrs.get("route_key"),
+                        served_by=ctx.attrs.get("worker"),
+                        hops=ctx.hop + 1,
+                    )
 
     # ------------------------------------------------------------------
     # Failure domains.
@@ -406,7 +480,16 @@ class FleetRouter:
                 service.cache.restore(snapshot)
                 self.n_handoffs += 1
                 self._m_handoffs.inc()
+                if self.tracer is not None:
+                    # Fleet-lifecycle annotation (own event-only trace):
+                    # lets trace consumers count warm handoffs without
+                    # joining against router stats.
+                    self.tracer.record_event(
+                        self.tracer.new_trace(), "fleet.handoff", now,
+                        worker=worker.name, entries=snapshot.size,
+                    )
             worker.service = service
+            worker.service.slo_worker = worker.name
             # The fresh cache's counters start at zero: its cumulative hit
             # rate *is* the post-handoff rate the soak asserts on.
             worker.rejoin_cache = service.cache

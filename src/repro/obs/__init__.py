@@ -28,6 +28,16 @@ bit-identical to the uninstrumented code.
 See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.context import TraceContext
+from repro.obs.critical_path import (
+    CRITICAL_STAGES,
+    CriticalPathAnalyzer,
+    CriticalPathReport,
+    RequestPath,
+    analyze,
+    format_critical_path,
+)
+from repro.obs.flight import FLEET_RING, FlightRecorder, bundle_to_json
 from repro.obs.ids import IdSource
 from repro.obs.log import ObsLogger, get_logger, set_verbosity
 from repro.obs.metrics import (
@@ -42,9 +52,29 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import profiled, profiling, profiling_enabled, set_profiling
 from repro.obs.report import format_report, load_trace, render_report
+from repro.obs.slo import (
+    AlertEvent,
+    SLOMonitor,
+    SLORule,
+    default_fleet_rules,
+)
 from repro.obs.trace import Span, TraceEvent, Tracer, validate_trace
 
 __all__ = [
+    "TraceContext",
+    "CRITICAL_STAGES",
+    "CriticalPathAnalyzer",
+    "CriticalPathReport",
+    "RequestPath",
+    "analyze",
+    "format_critical_path",
+    "FLEET_RING",
+    "FlightRecorder",
+    "bundle_to_json",
+    "AlertEvent",
+    "SLOMonitor",
+    "SLORule",
+    "default_fleet_rules",
     "IdSource",
     "ObsLogger",
     "get_logger",

@@ -1,0 +1,49 @@
+"""Cross-worker trace propagation: the fleet's causal context.
+
+A single fleet request can touch several workers before it is served:
+its primary ring owner may be at spill depth, the worker it queued on
+may crash (its queue is replayed elsewhere), and the worker that finally
+serves it may have warm-started from another worker's cache snapshot.
+Each of those is a *hop*.  A :class:`TraceContext` is the immutable
+envelope the router stamps onto every hop so that one request is one
+causal span tree no matter how many workers it crossed:
+
+* ``trace_id`` — the request's single trace, minted once by the router;
+* ``parent_span_id`` — the *pre-allocated* span ID of the fleet-level
+  root span.  Spans are recorded after the fact on the modelled clock,
+  so the root (``fleet.request``) is only completed when the response
+  lands — pre-allocating its ID lets every worker-side hop span parent
+  onto it immediately;
+* ``hop`` — 0 for the first routing decision, incremented on every
+  reroute (bounded-load spill or post-crash replay);
+* ``attrs`` — labels the router resolves at routing time (``worker``,
+  ``tenant``, ``route_key``) and the worker copies verbatim onto its
+  hop span, so trace consumers can group stages by worker/tenant
+  without joining against router state.
+
+The context is propagation-only: it never touches modelled timing, and
+with no tracer attached it is never constructed — the disabled path
+stays bit-identical to an uninstrumented run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The causal envelope one fleet request carries across workers."""
+
+    trace_id: str
+    parent_span_id: str
+    hop: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    def next_hop(self, **attrs) -> "TraceContext":
+        """The context for a reroute: same trace, hop count + 1."""
+        return replace(self, hop=self.hop + 1, attrs=dict(attrs))
+
+    def with_attrs(self, **attrs) -> "TraceContext":
+        """Same hop, with the routing labels resolved."""
+        return replace(self, attrs=dict(attrs))

@@ -1,0 +1,266 @@
+"""Critical-path attribution: where does the (p95) latency budget go?
+
+The span-tree invariant (leaf durations sum exactly to root duration)
+means a trace file already contains a *complete* accounting of every
+modelled second — this module just pivots it.  For each request trace,
+:class:`CriticalPathAnalyzer` attributes the root latency to stages:
+
+``batch_wait`` / ``queue`` / ``compile`` / ``device``
+    directly from the leaf spans of the serving hop;
+``replay``
+    carved out of the serving hop's ``batch_wait``: a replayed request
+    keeps its original arrival, so the wait between arrival and the last
+    ``fleet.replay`` event is time spent queued on a worker that crashed,
+    not genuine batch formation wait on the worker that served it;
+``retry`` / ``handoff``
+    counted categories (``resilience.retry`` events ride inside the
+    ``device`` leaf; warm handoffs are fleet-level, not per-request), so
+    they rank hot spots by occurrence without double-charging seconds.
+
+Because the stage seconds per request are a re-partition of the leaves,
+aggregate coverage — attributed seconds over summed root latency — is
+exact: the analyzer proves it attributes 100% (and the fleet soak
+asserts >= 95% over the p95 tail, where it matters).  Hot-spot rankings
+(worker, tenant, CF) come from the same per-request records, which is
+the signal the autoscaler and ``shed_policy="degrade"`` decisions have
+been missing: *which* worker/tenant/plan eats the tail, and in *which*
+stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Stage rows, in render order.  The first five carry attributed modelled
+#: seconds; ``retry`` and ``handoff`` are counted categories (0 seconds).
+CRITICAL_STAGES = (
+    "batch_wait", "queue", "compile", "device", "replay", "retry", "handoff"
+)
+
+#: Leaf-span names that carry attributed seconds directly.
+_LEAF_STAGES = ("batch_wait", "queue", "compile", "device")
+
+#: Root span names that denote one request (fleet or single-service).
+_REQUEST_ROOTS = ("fleet.request", "request")
+
+
+@dataclass
+class RequestPath:
+    """One request's latency, partitioned into stages."""
+
+    trace_id: str
+    rid: object = None
+    latency_s: float = 0.0
+    worker: str = ""
+    tenant: str = ""
+    cf: object = None
+    hops: int = 1
+    stage_s: dict = field(default_factory=dict)
+    retries: int = 0
+    replays: int = 0
+
+    @property
+    def dominant_stage(self) -> str:
+        """The stage eating the most of this request's latency."""
+        if not self.stage_s:
+            return ""
+        return max(self.stage_s, key=lambda k: (self.stage_s[k], k))
+
+    @property
+    def attributed_s(self) -> float:
+        return sum(self.stage_s.values())
+
+
+@dataclass
+class CriticalPathReport:
+    """Aggregate attribution across every request in a trace file."""
+
+    requests: list = field(default_factory=list)
+    stage_total_s: dict = field(default_factory=dict)
+    total_latency_s: float = 0.0
+    p95_s: float = 0.0
+    p95_tail_coverage: float = 1.0
+    p95_tail_stage_s: dict = field(default_factory=dict)
+    by_worker: list = field(default_factory=list)   # (worker, seconds, n)
+    by_tenant: list = field(default_factory=list)
+    by_cf: list = field(default_factory=list)
+    handoffs: int = 0
+    retries: int = 0
+    replays: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Attributed seconds over total latency (exact: 1.0 by invariant)."""
+        if not self.total_latency_s:
+            return 1.0
+        return (
+            sum(r.attributed_s for r in self.requests) / self.total_latency_s
+        )
+
+
+class CriticalPathAnalyzer:
+    """Pivot a span/event list into per-stage latency attribution."""
+
+    def __init__(self, spans, events) -> None:
+        self.spans = list(spans)
+        self.events = list(events)
+        self._spans_by_trace: dict[str, list] = {}
+        for s in self.spans:
+            self._spans_by_trace.setdefault(s.trace_id, []).append(s)
+        self._events_by_trace: dict[str, list] = {}
+        for e in self.events:
+            self._events_by_trace.setdefault(e.trace_id, []).append(e)
+
+    # ------------------------------------------------------------------
+    def request_paths(self) -> list[RequestPath]:
+        """One :class:`RequestPath` per request trace, in file order."""
+        out = []
+        for trace_id, spans in self._spans_by_trace.items():
+            roots = [
+                s
+                for s in spans
+                if s.parent_id is None and s.name in _REQUEST_ROOTS
+            ]
+            if len(roots) != 1:
+                continue  # SLO episodes, event-only traces, malformed
+            out.append(self._path(trace_id, roots[0], spans))
+        return out
+
+    def _path(self, trace_id: str, root, spans) -> RequestPath:
+        events = self._events_by_trace.get(trace_id, ())
+        replay_times = [e.time for e in events if e.name == "fleet.replay"]
+        # The serving hop (or the single-service root itself) carries the
+        # request attrs; under a fleet root it is the span with a hop attr.
+        hops = [s for s in spans if "hop" in s.attrs]
+        detail = max(hops, key=lambda s: s.attrs["hop"]) if hops else root
+        path = RequestPath(
+            trace_id=trace_id,
+            rid=root.attrs.get("rid", detail.attrs.get("rid")),
+            latency_s=root.duration,
+            worker=str(detail.attrs.get("worker", "")),
+            tenant=str(
+                root.attrs.get("tenant", detail.attrs.get("tenant", ""))
+            ),
+            cf=detail.attrs.get("cf"),
+            hops=len(hops) if hops else 1,
+            retries=sum(1 for e in events if e.name == "resilience.retry"),
+            replays=len(replay_times),
+        )
+        stage_s: dict[str, float] = {}
+        parent_ids = {s.parent_id for s in spans if s.parent_id is not None}
+        for s in spans:
+            if s.span_id in parent_ids or s.parent_id is None:
+                continue  # only true leaves carry attributed seconds
+            name = s.name if s.name in _LEAF_STAGES else "other"
+            seconds = s.duration
+            if name == "batch_wait" and replay_times:
+                # Wait accrued before the last reroute was spent on a
+                # worker that never served the request: charge it to
+                # ``replay``, keep the remainder as genuine batch wait.
+                cut = min(max(max(replay_times), s.start), s.end)
+                stage_s["replay"] = stage_s.get("replay", 0.0) + (cut - s.start)
+                seconds = s.end - cut
+            stage_s[name] = stage_s.get(name, 0.0) + seconds
+        if not parent_ids and root.parent_id is None:
+            # A childless root (e.g. a shed recorded as a bare span) is
+            # its own leaf; nothing to partition.
+            stage_s.setdefault("other", root.duration)
+        path.stage_s = stage_s
+        return path
+
+    # ------------------------------------------------------------------
+    def report(self) -> CriticalPathReport:
+        report = CriticalPathReport(requests=self.request_paths())
+        for path in report.requests:
+            report.total_latency_s += path.latency_s
+            for stage, seconds in path.stage_s.items():
+                report.stage_total_s[stage] = (
+                    report.stage_total_s.get(stage, 0.0) + seconds
+                )
+        report.retries = sum(p.retries for p in report.requests)
+        report.replays = sum(p.replays for p in report.requests)
+        report.handoffs = sum(
+            1 for e in self.events if e.name == "fleet.handoff"
+        )
+        latencies = [p.latency_s for p in report.requests]
+        if latencies:
+            report.p95_s = float(np.percentile(latencies, 95))
+            tail = [p for p in report.requests if p.latency_s >= report.p95_s]
+            tail_total = sum(p.latency_s for p in tail)
+            named = 0.0
+            for p in tail:
+                for stage, seconds in p.stage_s.items():
+                    if stage in CRITICAL_STAGES:
+                        named += seconds
+                    report.p95_tail_stage_s[stage] = (
+                        report.p95_tail_stage_s.get(stage, 0.0) + seconds
+                    )
+            report.p95_tail_coverage = named / tail_total if tail_total else 1.0
+        report.by_worker = _rank(report.requests, lambda p: p.worker)
+        report.by_tenant = _rank(report.requests, lambda p: p.tenant)
+        report.by_cf = _rank(report.requests, lambda p: p.cf)
+        return report
+
+
+def _rank(paths, keyfn) -> list[tuple]:
+    """(key, attributed seconds, request count), hottest first."""
+    seconds: dict = {}
+    counts: dict = {}
+    for p in paths:
+        key = keyfn(p)
+        if key in ("", None):
+            continue
+        seconds[key] = seconds.get(key, 0.0) + p.latency_s
+        counts[key] = counts.get(key, 0) + 1
+    return sorted(
+        ((k, seconds[k], counts[k]) for k in seconds),
+        key=lambda row: (-row[1], str(row[0])),
+    )
+
+
+def analyze(spans, events) -> CriticalPathReport:
+    """Convenience: one-shot report from loaded trace records."""
+    return CriticalPathAnalyzer(spans, events).report()
+
+
+def format_critical_path(report: CriticalPathReport) -> str:
+    """Human-readable attribution tables (deterministic ordering)."""
+    n = len(report.requests)
+    lines = [
+        f"critical path: {n} requests, "
+        f"{report.total_latency_s * 1e3:.3f} ms total modelled latency",
+        f"  p95 latency {report.p95_s * 1e3:.3f} ms; p95-tail attribution "
+        f"coverage {report.p95_tail_coverage:.1%}",
+        "",
+        f"  {'stage':<12} {'total ms':>12} {'share':>7} {'p95-tail ms':>12}",
+    ]
+    for stage in CRITICAL_STAGES:
+        total = report.stage_total_s.get(stage, 0.0)
+        share = total / report.total_latency_s if report.total_latency_s else 0.0
+        tail = report.p95_tail_stage_s.get(stage, 0.0)
+        lines.append(
+            f"  {stage:<12} {total * 1e3:>12.3f} {share:>6.1%} {tail * 1e3:>12.3f}"
+        )
+    other = report.stage_total_s.get("other", 0.0)
+    if other:
+        lines.append(f"  {'(other)':<12} {other * 1e3:>12.3f}")
+    lines.append("")
+    lines.append(
+        f"  events: {report.retries} retries, {report.replays} replays, "
+        f"{report.handoffs} handoffs"
+    )
+    for title, rows in (
+        ("worker", report.by_worker),
+        ("tenant", report.by_tenant),
+        ("cf", report.by_cf),
+    ):
+        if not rows:
+            continue
+        lines.append(f"  hottest by {title}:")
+        for key, seconds, count in rows[:5]:
+            lines.append(
+                f"    {str(key):<10} {seconds * 1e3:>10.3f} ms over {count} requests"
+            )
+    return "\n".join(lines)

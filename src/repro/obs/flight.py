@@ -1,0 +1,142 @@
+"""Bounded flight recorder: recent spans per worker, dumped on alerts.
+
+A :class:`FlightRecorder` is a :class:`~repro.obs.trace.Tracer` listener
+that shadows every recorded span and event into bounded per-worker rings
+(spans carrying a ``worker`` attr land in that worker's ring; everything
+else — fleet roots, SLO episodes — lands in the fleet ring ``""``).  The
+rings cost O(capacity) memory regardless of trace length, so the
+recorder can ride along under a soak that records hundreds of thousands
+of spans.
+
+When something goes wrong — an :class:`~repro.obs.slo.SLOMonitor` alert
+fires (the monitor calls :meth:`on_alert`), or a soak check fails and
+calls :meth:`dump` directly — the recorder snapshots a *post-mortem
+bundle*: the ring contents, a Prometheus dump of the metrics registry,
+and the alert timeline so far.  Bundles are plain dicts serialised with
+sorted keys and sequence-numbered filenames, so two same-seed runs dump
+byte-identical bundles at the same modelled instants.
+
+Like the rest of the observability stack, a recorder is opt-in: nothing
+constructs one by default, and an unattached tracer pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.obs.metrics import get_registry
+
+#: Ring key for spans/events not pinned to a worker.
+FLEET_RING = ""
+
+
+class FlightRecorder:
+    """Per-worker rings of recent spans, dumped as post-mortem bundles."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        registry=None,
+        out_dir=None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"flight ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self._registry = registry if registry is not None else get_registry()
+        self._m_dumps = self._registry.counter(
+            "repro_flight_dumps_total", help="post-mortem bundles dumped, by reason"
+        )
+        self._m_spans = self._registry.gauge(
+            "repro_flight_ring_spans", help="spans currently held, by worker ring"
+        )
+        self._m_dropped = self._registry.counter(
+            "repro_flight_dropped_total", help="ring evictions (spans aged out)"
+        )
+        self._spans: dict[str, deque] = {}
+        self._events: dict[str, deque] = {}
+        self.dumps: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Tracer listener interface.
+    def attach(self, tracer) -> "FlightRecorder":
+        tracer.add_listener(self)
+        return self
+
+    def _ring(self, rings: dict[str, deque], worker: str) -> deque:
+        ring = rings.get(worker)
+        if ring is None:
+            ring = rings[worker] = deque(maxlen=self.capacity)
+        return ring
+
+    def on_span(self, span) -> None:
+        worker = str(span.attrs.get("worker", FLEET_RING))
+        ring = self._ring(self._spans, worker)
+        if len(ring) == ring.maxlen:
+            self._m_dropped.inc(worker=worker)
+        ring.append(span)
+        self._m_spans.set(len(ring), worker=worker)
+
+    def on_event(self, event) -> None:
+        worker = str(event.attrs.get("worker", FLEET_RING))
+        self._ring(self._events, worker).append(event)
+
+    # ------------------------------------------------------------------
+    # SLOMonitor hook.
+    def on_alert(self, alert, monitor=None) -> dict:
+        """Dump a bundle because an SLO alert fired."""
+        return self.dump(
+            reason=f"slo:{alert.rule}" + (f":{alert.label}" if alert.label else ""),
+            time=alert.time,
+            monitor=monitor,
+        )
+
+    # ------------------------------------------------------------------
+    def workers(self) -> list[str]:
+        """Ring keys seen so far, sorted (fleet ring first as ``""``)."""
+        return sorted(set(self._spans) | set(self._events))
+
+    def ring_spans(self, worker: str = FLEET_RING) -> list:
+        return list(self._spans.get(worker, ()))
+
+    def dump(self, reason: str, *, time: float | None = None, monitor=None) -> dict:
+        """Snapshot a post-mortem bundle; returns (and retains) it.
+
+        The bundle is deterministic: ring contents are span/event records
+        in recording order, the metrics snapshot is the registry's sorted
+        Prometheus dump, and the alert timeline comes from the monitor's
+        modelled-clock events.
+        """
+        bundle = {
+            "seq": len(self.dumps),
+            "reason": reason,
+            "time": time,
+            "workers": {
+                worker: {
+                    "spans": [s.to_record() for s in self._spans.get(worker, ())],
+                    "events": [e.to_record() for e in self._events.get(worker, ())],
+                }
+                for worker in self.workers()
+            },
+            "metrics": self._registry.render_prometheus(),
+            "alerts": monitor.timeline() if monitor is not None else [],
+        }
+        self.dumps.append(bundle)
+        self._m_dumps.inc(reason=reason.split(":", 1)[0])
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            path = self.out_dir / f"flight-{bundle['seq']:04d}.json"
+            path.write_text(bundle_to_json(bundle))
+        return bundle
+
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self._spans.values())
+
+
+def bundle_to_json(bundle: dict) -> str:
+    """Byte-stable serialisation of one post-mortem bundle."""
+    return json.dumps(bundle, sort_keys=True, indent=1) + "\n"

@@ -34,10 +34,26 @@ def _label_key(labels: dict) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (quotes are legal there)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
+        + "}"
+    )
 
 
 def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
@@ -311,12 +327,18 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def render_prometheus(self) -> str:
-        """Sorted Prometheus text-exposition dump of every instrument."""
+        """Sorted Prometheus text-exposition dump of every instrument.
+
+        Byte-stable: instrument names and label sets are sorted (label
+        keys alphabetically inside each set, sets lexicographically),
+        and label values / HELP text are escaped per the exposition
+        spec, so two registries with equal contents render identically.
+        """
         lines: list[str] = []
         for name in self.names():
             inst = self._instruments[name]
             if inst.help:
-                lines.append(f"# HELP {name} {inst.help}")
+                lines.append(f"# HELP {name} {_escape_help(inst.help)}")
             lines.append(f"# TYPE {name} {inst.kind}")
             if isinstance(inst, (Counter, Gauge)):
                 for key in sorted(inst.series()):

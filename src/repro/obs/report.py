@@ -5,6 +5,14 @@ go" for a serving trace: total and mean modelled milliseconds per stage
 (``batch_wait`` / ``queue`` / ``compile`` / ``device``), each stage's
 share of summed request latency, retry/degradation event counts from the
 resilience layer, and bytes in/out with the achieved compression ratio.
+
+Fleet traces (PR 8) are first-class: a ``fleet.request`` root counts as
+one request, its byte/platform attrs are read from the worker-side hop
+spans (the root carries routing attrs instead), and stage spans carrying
+``worker``/``tenant`` labels feed grouped views — ``--by-worker`` is
+rendered whenever more than one worker appears, ``--by-tenant`` on
+request.  Non-request traces in the same file (SLO alert episodes,
+fleet lifecycle annotations) are ignored rather than miscounted.
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ from repro.obs.trace import Span, TraceEvent
 # The serving span taxonomy (docs/OBSERVABILITY.md); report rows keep
 # this order so two runs render identically.
 STAGES = ("batch_wait", "queue", "compile", "device")
+
+# Root span names that denote one request (single-service or fleet).
+REQUEST_ROOTS = ("request", "fleet.request")
 
 
 def load_trace(path) -> tuple[list[Span], list[TraceEvent]]:
@@ -74,6 +85,12 @@ class TraceReport:
     bytes_in: int = 0
     bytes_out: int = 0
     platforms: dict[str, int] = field(default_factory=dict)
+    # Fleet groupings: worker/tenant -> stage -> seconds (and counts).
+    worker_stage_s: dict[str, dict[str, float]] = field(default_factory=dict)
+    worker_requests: dict[str, int] = field(default_factory=dict)
+    tenant_stage_s: dict[str, dict[str, float]] = field(default_factory=dict)
+    tenant_requests: dict[str, int] = field(default_factory=dict)
+    tenant_latency_s: dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_latency_s(self) -> float:
@@ -91,28 +108,79 @@ class TraceReport:
 def render_report(spans: list[Span], events: list[TraceEvent]) -> TraceReport:
     """Aggregate spans/events into a :class:`TraceReport`."""
     report = TraceReport()
-    roots = [s for s in spans if s.parent_id is None]
+    roots = [
+        s for s in spans if s.parent_id is None and s.name in REQUEST_ROOTS
+    ]
     report.n_traces = len(roots)
+    # Hop spans carry the request attrs a fleet root delegates (platform,
+    # bytes, tenant); index the final hop per trace for attr resolution.
+    final_hop: dict[str, Span] = {}
+    for s in spans:
+        if "hop" not in s.attrs:
+            continue
+        seen = final_hop.get(s.trace_id)
+        if seen is None or s.attrs["hop"] > seen.attrs["hop"]:
+            final_hop[s.trace_id] = s
+    tenant_of: dict[str, str] = {}
     for root in roots:
+        detail = (
+            final_hop.get(root.trace_id, root)
+            if root.name == "fleet.request"
+            else root
+        )
         report.total_latency_s += root.duration
-        platform = root.attrs.get("platform")
+        platform = detail.attrs.get("platform")
         if platform:
             report.platforms[platform] = report.platforms.get(platform, 0) + 1
-        report.bytes_in += int(root.attrs.get("bytes_in", 0))
-        report.bytes_out += int(root.attrs.get("bytes_out", 0))
+        report.bytes_in += int(detail.attrs.get("bytes_in", 0))
+        report.bytes_out += int(detail.attrs.get("bytes_out", 0))
+        worker = str(detail.attrs.get("worker", ""))
+        if worker:
+            report.worker_requests[worker] = (
+                report.worker_requests.get(worker, 0) + 1
+            )
+        tenant = str(
+            root.attrs.get("tenant", detail.attrs.get("tenant", ""))
+        )
+        if tenant:
+            tenant_of[root.trace_id] = tenant
+            report.tenant_requests[tenant] = (
+                report.tenant_requests.get(tenant, 0) + 1
+            )
+            report.tenant_latency_s[tenant] = (
+                report.tenant_latency_s.get(tenant, 0.0) + root.duration
+            )
     for span in spans:
         if span.parent_id is None or span.name not in STAGES:
             continue
         report.stage_total_s[span.name] = report.stage_total_s.get(span.name, 0.0) + span.duration
         report.stage_count[span.name] = report.stage_count.get(span.name, 0) + 1
+        worker = str(span.attrs.get("worker", ""))
+        if worker:
+            per = report.worker_stage_s.setdefault(worker, {})
+            per[span.name] = per.get(span.name, 0.0) + span.duration
+        tenant = tenant_of.get(span.trace_id)
+        if tenant:
+            per = report.tenant_stage_s.setdefault(tenant, {})
+            per[span.name] = per.get(span.name, 0.0) + span.duration
     for event in events:
         report.event_counts[event.name] = report.event_counts.get(event.name, 0) + 1
     report.n_failed = report.event_counts.get("request.failed", 0)
     return report
 
 
-def format_report(report: TraceReport) -> str:
-    """Human-readable per-stage breakdown table."""
+def format_report(
+    report: TraceReport,
+    *,
+    by_worker: bool | None = None,
+    by_tenant: bool = False,
+) -> str:
+    """Human-readable per-stage breakdown table.
+
+    ``by_worker=None`` (the default) renders the per-worker grouping
+    automatically when the trace names more than one worker — a fleet
+    trace reads grouped, a single-service trace stays unchanged.
+    """
     lines = [
         f"trace report: {report.n_traces} requests"
         + (f" ({report.n_failed} failed)" if report.n_failed else ""),
@@ -142,4 +210,29 @@ def format_report(report: TraceReport) -> str:
         )
     for platform in sorted(report.platforms):
         lines.append(f"  platform {platform}: {report.platforms[platform]} requests")
+    if by_worker is None:
+        by_worker = len(report.worker_stage_s) > 1
+    if by_worker and report.worker_stage_s:
+        lines.append("")
+        lines.append(f"  {'worker':<8} {'requests':>9} " + " ".join(
+            f"{s + ' ms':>14}" for s in STAGES
+        ))
+        for worker in sorted(report.worker_stage_s):
+            per = report.worker_stage_s[worker]
+            lines.append(
+                f"  {worker:<8} {report.worker_requests.get(worker, 0):>9} "
+                + " ".join(f"{per.get(s, 0.0) * 1e3:>14.3f}" for s in STAGES)
+            )
+    if by_tenant and report.tenant_stage_s:
+        lines.append("")
+        lines.append(f"  {'tenant':<10} {'requests':>9} {'latency ms':>11} " + " ".join(
+            f"{s + ' ms':>14}" for s in STAGES
+        ))
+        for tenant in sorted(report.tenant_stage_s):
+            per = report.tenant_stage_s[tenant]
+            lines.append(
+                f"  {tenant:<10} {report.tenant_requests.get(tenant, 0):>9} "
+                f"{report.tenant_latency_s.get(tenant, 0.0) * 1e3:>11.3f} "
+                + " ".join(f"{per.get(s, 0.0) * 1e3:>14.3f}" for s in STAGES)
+            )
     return "\n".join(lines)

@@ -1,0 +1,388 @@
+"""Online SLO monitoring: multi-window burn-rate alerts on the modelled clock.
+
+The fleet's SLO contract used to be checked only *offline*, after a
+whole soak, by :func:`repro.chaos.run_fleet_soak`.  :class:`SLOMonitor`
+evaluates it *online*, as the replay advances: every served / shed /
+failed outcome and breaker transition is an observation on the modelled
+clock, and each :class:`SLORule` tracks the fraction of its error budget
+being burned over two sliding windows (the classic multi-window
+burn-rate alert: a short window for responsiveness, a long window
+against flapping).  An alert **fires** when both windows burn above the
+rule's threshold, and **clears** when the short window recovers.
+
+Because observations arrive in deterministic replay order carrying
+modelled timestamps, two same-seed runs produce *identical* alert
+timelines — fire/clear times are exact modelled seconds, not wall-clock
+approximations, so the fleet soak can assert the timeline byte-for-byte.
+
+Signals (:data:`SLO_SIGNALS`):
+
+``latency``
+    SLI = fraction of served requests over ``objective`` seconds.  With
+    ``budget=0.05`` this is exactly the "p95 latency <= objective" SLO.
+``shed``
+    SLI = fraction of outcomes shed or failed (availability).
+``quota_shed``
+    SLI = per-tenant fraction of outcomes refused as ``tenant_quota``
+    (fairness).  With ``per_label=True`` each tenant gets its own
+    window, and alerts are labelled with the tenant.
+``breaker_open``
+    SLI = fraction of the window a platform's circuit breaker spent
+    open (fed from breaker transitions, per-platform labels).
+
+Alert episodes are first-class trace material: with a tracer attached,
+each fire mints a trace and the completed episode is recorded as one
+``slo.alert`` span from fire to clear (plus ``slo.fire`` / ``slo.clear``
+events), so alert history rides in the same JSONL as request spans.  A
+:class:`~repro.obs.flight.FlightRecorder` attached via ``recorder=``
+dumps a post-mortem bundle at every fire.
+
+With no monitor attached (the default everywhere) none of this code
+runs: modelled timings and outputs are bit-identical to an
+uninstrumented replay.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.obs.metrics import get_registry
+
+#: The SLIs a rule can watch.
+SLO_SIGNALS = ("latency", "shed", "quota_shed", "breaker_open")
+
+#: Aggregate (unlabelled) series key.
+_AGGREGATE = ""
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One burn-rate alert rule over a signal's error budget.
+
+    ``budget`` is the allowed bad fraction (the error budget); the burn
+    rate over a window is ``bad_fraction / budget``, so a burn of 1.0
+    consumes the budget exactly as fast as the SLO allows and
+    ``burn_threshold=2.0`` fires when it is being burned twice too fast.
+    """
+
+    name: str
+    signal: str = "latency"
+    objective: float = 0.05       # latency bound (s); unused by other signals
+    budget: float = 0.05          # allowed bad fraction (error budget)
+    short_window: float = 0.005   # modelled seconds
+    long_window: float = 0.02
+    burn_threshold: float = 2.0   # fire when BOTH windows burn at >= this
+    clear_burn: float = 1.0       # clear when the short window burns < this
+    min_events: int = 20          # long-window observations needed to fire
+    per_label: bool = False       # evaluate per tenant/platform label
+
+    def __post_init__(self) -> None:
+        if self.signal not in SLO_SIGNALS:
+            raise ConfigError(
+                f"unknown SLO signal {self.signal!r}; expected one of {SLO_SIGNALS}"
+            )
+        if not 0 < self.budget <= 1:
+            raise ConfigError(f"budget must be in (0, 1], got {self.budget}")
+        if self.short_window <= 0 or self.long_window < self.short_window:
+            raise ConfigError(
+                f"need 0 < short_window <= long_window, got "
+                f"{self.short_window}, {self.long_window}"
+            )
+        if self.burn_threshold <= 0 or self.clear_burn <= 0:
+            raise ConfigError("burn_threshold and clear_burn must be > 0")
+        if self.min_events < 1:
+            raise ConfigError(f"min_events must be >= 1, got {self.min_events}")
+
+
+def default_fleet_rules(p95_budget_s: float = 0.05) -> tuple[SLORule, ...]:
+    """The fleet's standing alert rules, sized to modelled-clock traces.
+
+    Window sizes assume the fleet soak's scale (thousands of requests
+    per modelled second); pass custom rules for slower traces.
+    """
+    return (
+        SLORule(name="latency_p95", signal="latency", objective=p95_budget_s),
+        SLORule(name="shed_ratio", signal="shed", budget=0.05),
+        SLORule(
+            name="tenant_quota", signal="quota_shed", budget=0.10, per_label=True
+        ),
+        SLORule(
+            name="breaker_open", signal="breaker_open", budget=0.10,
+            per_label=True, min_events=1,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One fire or clear transition, at an exact modelled time."""
+
+    kind: str            # "fire" | "clear"
+    rule: str
+    label: str           # tenant/platform for per-label rules, "" aggregate
+    time: float
+    burn_short: float
+    burn_long: float
+    forced: bool = False  # a finalize-time clear of a still-burning alert
+
+    def to_record(self) -> dict:
+        return {
+            "kind": self.kind,
+            "rule": self.rule,
+            "label": self.label,
+            "time": self.time,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "forced": self.forced,
+        }
+
+
+class SLOMonitor:
+    """Evaluate burn-rate rules online over a deterministic replay."""
+
+    def __init__(
+        self,
+        rules: tuple[SLORule, ...] | None = None,
+        *,
+        tracer=None,
+        recorder=None,
+        registry=None,
+    ) -> None:
+        self.rules = tuple(rules) if rules is not None else default_fleet_rules()
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate SLO rule names: {sorted(names)}")
+        self.tracer = tracer
+        self.recorder = recorder
+        reg = registry if registry is not None else get_registry()
+        self._m_alerts = reg.counter(
+            "repro_slo_alerts_total", help="SLO alert transitions, by rule and kind"
+        )
+        self._m_active = reg.gauge(
+            "repro_slo_active_alerts", help="alerts currently firing"
+        )
+        self._m_burn = reg.gauge(
+            "repro_slo_burn_rate", help="last evaluated long-window burn, by rule"
+        )
+        self.events: list[AlertEvent] = []
+        # (rule, label) -> deque[(time, bad)] covering the long window.
+        self._windows: dict[tuple[str, str], deque] = {}
+        # (rule, label) -> (fire event, episode trace id | None)
+        self._active: dict[tuple[str, str], tuple[AlertEvent, str | None]] = {}
+        # Breaker open-time bookkeeping, per platform label.
+        self._open_since: dict[str, float] = {}
+        self._open_intervals: dict[str, deque] = {}
+        self._now = -math.inf
+
+    # ------------------------------------------------------------------
+    # Observations (all on the modelled clock, in replay order).
+    def observe_outcome(
+        self,
+        time: float,
+        *,
+        outcome: str,
+        latency: float | None = None,
+        tenant: str | None = None,
+        worker: str | None = None,
+        reason: str | None = None,
+    ) -> None:
+        """Feed one request's terminal outcome into every matching rule."""
+        del worker  # carried for symmetry with trace attrs; rules key on tenant
+        for rule in self.rules:
+            if rule.signal == "latency":
+                if outcome != "served" or latency is None:
+                    continue
+                bad = latency > rule.objective
+            elif rule.signal == "shed":
+                bad = outcome in ("shed", "failed")
+            elif rule.signal == "quota_shed":
+                bad = outcome == "shed" and reason == "tenant_quota"
+            else:  # breaker_open consumes no outcomes
+                continue
+            label = (tenant or _AGGREGATE) if rule.per_label else _AGGREGATE
+            self._add(rule, label, time, bad)
+        self._evaluate(time)
+
+    def observe_breaker(self, time: float, platform: str, state: str) -> None:
+        """Feed one circuit-breaker transition (state is the *new* state)."""
+        if state == "open":
+            self._open_since.setdefault(platform, time)
+        else:
+            since = self._open_since.pop(platform, None)
+            if since is not None:
+                self._open_intervals.setdefault(platform, deque()).append(
+                    (since, time)
+                )
+        self._evaluate(time)
+
+    # ------------------------------------------------------------------
+    def _add(self, rule: SLORule, label: str, time: float, bad: bool) -> None:
+        window = self._windows.setdefault((rule.name, label), deque())
+        window.append((time, bad))
+        horizon = time - rule.long_window
+        while window and window[0][0] < horizon:
+            window.popleft()
+
+    def _burn(
+        self, rule: SLORule, label: str, now: float, span: float
+    ) -> tuple[float, int]:
+        """(burn rate, observation count) for one window ending at ``now``."""
+        if rule.signal == "breaker_open":
+            open_s = self._open_seconds(label, now, span)
+            return (open_s / span) / rule.budget, 1
+        window = self._windows.get((rule.name, label), ())
+        lo = now - span
+        n = bad = 0
+        for t, is_bad in window:
+            if lo < t <= now:
+                n += 1
+                bad += is_bad
+        if n == 0:
+            return 0.0, 0
+        return (bad / n) / rule.budget, n
+
+    def _open_seconds(self, platform: str, now: float, span: float) -> float:
+        lo = now - span
+        total = 0.0
+        intervals = self._open_intervals.get(platform, ())
+        for start, end in intervals:
+            total += max(0.0, min(end, now) - max(start, lo))
+        since = self._open_since.get(platform)
+        if since is not None:
+            total += max(0.0, now - max(since, lo))
+        return total
+
+    def _labels(self, rule: SLORule) -> list[str]:
+        if not rule.per_label:
+            return [_AGGREGATE]
+        if rule.signal == "breaker_open":
+            seen = set(self._open_since) | set(self._open_intervals)
+        else:
+            seen = {
+                label for (name, label) in self._windows if name == rule.name
+            }
+        return sorted(seen)
+
+    def _evaluate(self, now: float) -> None:
+        self._now = max(self._now, now)
+        for rule in self.rules:
+            for label in self._labels(rule):
+                burn_s, _ = self._burn(rule, label, now, rule.short_window)
+                burn_l, n_l = self._burn(rule, label, now, rule.long_window)
+                self._m_burn.set(burn_l, rule=rule.name, label=label)
+                key = (rule.name, label)
+                if key not in self._active:
+                    if (
+                        n_l >= rule.min_events
+                        and burn_l >= rule.burn_threshold
+                        and burn_s >= rule.burn_threshold
+                    ):
+                        self._fire(rule, label, now, burn_s, burn_l)
+                elif burn_s < rule.clear_burn:
+                    self._clear(rule, label, now, burn_s, burn_l)
+
+    # ------------------------------------------------------------------
+    def _fire(
+        self, rule: SLORule, label: str, now: float, burn_s: float, burn_l: float
+    ) -> None:
+        event = AlertEvent(
+            kind="fire", rule=rule.name, label=label, time=now,
+            burn_short=burn_s, burn_long=burn_l,
+        )
+        self.events.append(event)
+        self._m_alerts.inc(rule=rule.name, kind="fire")
+        episode_tid = None
+        if self.tracer is not None:
+            episode_tid = self.tracer.new_trace()
+            self.tracer.record_event(
+                episode_tid, "slo.fire", now,
+                rule=rule.name, label=label, burn_short=burn_s, burn_long=burn_l,
+            )
+        self._active[(rule.name, label)] = (event, episode_tid)
+        self._m_active.set(len(self._active))
+        if self.recorder is not None:
+            self.recorder.on_alert(event, monitor=self)
+
+    def _clear(
+        self,
+        rule: SLORule,
+        label: str,
+        now: float,
+        burn_s: float,
+        burn_l: float,
+        *,
+        forced: bool = False,
+    ) -> None:
+        fired, episode_tid = self._active.pop((rule.name, label))
+        event = AlertEvent(
+            kind="clear", rule=rule.name, label=label, time=now,
+            burn_short=burn_s, burn_long=burn_l, forced=forced,
+        )
+        self.events.append(event)
+        self._m_alerts.inc(rule=rule.name, kind="clear")
+        self._m_active.set(len(self._active))
+        if self.tracer is not None and episode_tid is not None:
+            self.tracer.record_event(
+                episode_tid, "slo.clear", now, rule=rule.name, label=label,
+                forced=forced,
+            )
+            self.tracer.record_span(
+                episode_tid, "slo.alert", fired.time, now,
+                rule=rule.name, label=label,
+                burn_short_at_fire=fired.burn_short,
+                burn_long_at_fire=fired.burn_long,
+                forced_clear=forced,
+            )
+
+    def finalize(self, now: float) -> None:
+        """Close the replay: force-clear still-active alerts at ``now``.
+
+        The forced clears are part of the deterministic timeline (marked
+        ``forced=True``), so an alert that never recovered still yields a
+        complete, validatable ``slo.alert`` span.
+        """
+        for rule in self.rules:
+            for label in self._labels(rule):
+                if (rule.name, label) in self._active:
+                    burn_s, _ = self._burn(rule, label, now, rule.short_window)
+                    burn_l, _ = self._burn(rule, label, now, rule.long_window)
+                    self._clear(rule, label, now, burn_s, burn_l, forced=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def fired(self) -> int:
+        """Total fire transitions so far."""
+        return sum(1 for e in self.events if e.kind == "fire")
+
+    def active_alerts(self) -> list[tuple[str, str]]:
+        """(rule, label) pairs currently firing, sorted."""
+        return sorted(self._active)
+
+    def timeline(self) -> list[dict]:
+        """The fire/clear transitions, in modelled-time order of record."""
+        return [e.to_record() for e in self.events]
+
+    def timeline_jsonl(self) -> str:
+        """Byte-stable JSONL of the timeline (same-seed runs compare equal)."""
+        lines = [
+            json.dumps(r, sort_keys=True, separators=(",", ":"))
+            for r in self.timeline()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def format_timeline(self) -> str:
+        if not self.events:
+            return "(no SLO alerts)"
+        lines = []
+        for e in self.events:
+            label = f"{{{e.label}}}" if e.label else ""
+            note = " [forced at trace end]" if e.forced else ""
+            lines.append(
+                f"  {e.time * 1e3:10.3f} ms  {e.kind:<5} {e.rule}{label} "
+                f"(burn short {e.burn_short:.2f} / long {e.burn_long:.2f}){note}"
+            )
+        return "\n".join(lines)

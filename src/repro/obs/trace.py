@@ -16,6 +16,15 @@ The serving layer's contract (enforced by :func:`validate_trace` and the
 
 Zero-duration spans (e.g. a cache-hit ``compile``) are legal leaves:
 they attribute *events* without perturbing the sum.
+
+Fleet traces (PR 8) extend the shape without changing the invariants: a
+``fleet.request`` root spans arrival to finish, and each worker-side
+``request`` span — one per *hop*, carrying ``worker``/``tenant``/``hop``
+attrs from the :class:`~repro.obs.context.TraceContext` the router
+stamped — parents onto it via a pre-allocated span ID.
+:func:`validate_trace` additionally checks every hop subtree's leaves
+sum to that hop's duration, so latency attribution stays exact per
+worker even when a request was spilled or replayed across the fleet.
 """
 
 from __future__ import annotations
@@ -85,11 +94,25 @@ class Tracer:
         self.ids = IdSource(seed)
         self.spans: list[Span] = []
         self.events: list[TraceEvent] = []
+        self._listeners: list = []
 
     # ------------------------------------------------------------------
     def new_trace(self) -> str:
         """Mint a fresh trace ID (one per request on the serving path)."""
         return self.ids.trace_id()
+
+    def new_span_id(self) -> str:
+        """Pre-allocate a span ID (the fleet root is completed after its
+        children, so its ID must exist before any hop span parents on it)."""
+        return self.ids.span_id()
+
+    def add_listener(self, listener) -> None:
+        """Register an observer (``on_span(span)`` / ``on_event(event)``).
+
+        The flight recorder uses this to shadow recent spans into its
+        ring; with no listeners the recording path is unchanged.
+        """
+        self._listeners.append(listener)
 
     def record_span(
         self,
@@ -99,21 +122,32 @@ class Tracer:
         end: float,
         *,
         parent: Span | None = None,
+        parent_id: str | None = None,
+        span_id: str | None = None,
         **attrs,
     ) -> Span:
-        """Record a completed span; returns it so callers can parent children."""
+        """Record a completed span; returns it so callers can parent children.
+
+        ``parent`` takes a completed :class:`Span`; ``parent_id`` takes a
+        pre-allocated ID for parents recorded later (the fleet root).
+        ``span_id`` records the span under a pre-allocated ID.
+        """
         if end < start:
             raise ConfigError(f"span {name!r} ends before it starts ({end} < {start})")
+        if parent is not None:
+            parent_id = parent.span_id
         span = Span(
             trace_id=trace_id,
-            span_id=self.ids.span_id(),
-            parent_id=parent.span_id if parent is not None else None,
+            span_id=span_id if span_id is not None else self.ids.span_id(),
+            parent_id=parent_id,
             name=name,
             start=start,
             end=end,
             attrs=dict(attrs),
         )
         self.spans.append(span)
+        for listener in self._listeners:
+            listener.on_span(span)
         return span
 
     def record_event(
@@ -133,6 +167,8 @@ class Tracer:
             attrs=dict(attrs),
         )
         self.events.append(event)
+        for listener in self._listeners:
+            listener.on_event(event)
         return event
 
     # ------------------------------------------------------------------
@@ -168,6 +204,16 @@ class Tracer:
         return [s for s in spans if s.span_id not in parent_ids]
 
     # ------------------------------------------------------------------
+    def to_jsonl_str(self) -> str:
+        """The trace file contents as a string (byte-stable; see
+        :meth:`to_jsonl`) — what determinism checks compare without
+        touching the filesystem."""
+        lines = [
+            json.dumps(r.to_record(), sort_keys=True, separators=(",", ":"))
+            for r in [*self.spans, *self.events]
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def to_jsonl(self, path) -> Path:
         """Write every span and event as one JSON object per line.
 
@@ -176,11 +222,7 @@ class Tracer:
         files (all values come from the modelled clock — never wall time).
         """
         path = Path(path)
-        lines = [
-            json.dumps(r.to_record(), sort_keys=True, separators=(",", ":"))
-            for r in [*self.spans, *self.events]
-        ]
-        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        path.write_text(self.to_jsonl_str())
         return path
 
 
@@ -188,19 +230,29 @@ def validate_trace(tracer: Tracer, trace_id: str, *, tol: float = 1e-9) -> None:
     """Check the span-tree invariants for one trace; raises on violation.
 
     1. Exactly one root span.
-    2. Every child's interval nests inside its parent's interval.
+    2. Every child's interval nests inside its parent's interval.  For a
+       fleet trace this is also the cross-worker link check: a hop span
+       whose ``fleet.request`` root was never completed (or whose
+       pre-allocated parent ID does not resolve) fails here.
     3. Leaf durations sum to the root duration (every modelled second of
        the root is attributed to exactly one leaf stage).
+    4. Per hop: every span carrying a ``hop`` attr (a worker-side
+       ``request`` span stamped from a
+       :class:`~repro.obs.context.TraceContext`) must have its own
+       subtree's leaves sum to its duration — attribution stays exact
+       per worker, not just per request.
     """
     root = tracer.root(trace_id)
     spans = tracer.spans_for(trace_id)
     by_id = {s.span_id: s for s in spans}
+    children: dict[str, list[Span]] = {}
     for s in spans:
         if s.parent_id is None:
             continue
         parent = by_id.get(s.parent_id)
         if parent is None:
             raise ConfigError(f"span {s.name!r} has unknown parent {s.parent_id}")
+        children.setdefault(s.parent_id, []).append(s)
         if s.start < parent.start - tol or s.end > parent.end + tol:
             raise ConfigError(
                 f"span {s.name!r} [{s.start}, {s.end}] escapes parent "
@@ -212,3 +264,23 @@ def validate_trace(tracer: Tracer, trace_id: str, *, tol: float = 1e-9) -> None:
             f"trace {trace_id}: leaf durations sum to {leaf_sum}, root "
             f"span {root.name!r} lasts {root.duration}"
         )
+    for hop in spans:
+        if "hop" not in hop.attrs:
+            continue
+        subtree_leaf_sum = sum(
+            s.duration for s in _subtree(hop, children) if s.span_id not in children
+        )
+        if abs(subtree_leaf_sum - hop.duration) > tol:
+            raise ConfigError(
+                f"trace {trace_id} hop {hop.attrs['hop']} "
+                f"(worker {hop.attrs.get('worker')!r}): subtree leaves sum to "
+                f"{subtree_leaf_sum}, hop span lasts {hop.duration}"
+            )
+
+
+def _subtree(span: Span, children: dict[str, list[Span]]) -> list[Span]:
+    """``span`` plus every descendant, depth-first."""
+    out = [span]
+    for child in children.get(span.span_id, ()):
+        out.extend(_subtree(child, children))
+    return out

@@ -139,12 +139,20 @@ class DynamicBatcher:
 
     # ------------------------------------------------------------------
     def add(self, request: Request) -> Batch | None:
-        """Enqueue; returns a full batch the moment one forms."""
+        """Enqueue; returns a full batch the moment one forms.
+
+        A full batch forms at its *latest* member arrival.  For in-order
+        traffic that is the triggering request's arrival (the historical
+        behaviour, bit-for-bit); under fleet replay a crashed worker's
+        old requests re-enter out of arrival order, and a batch must not
+        form before a member arrived.
+        """
         group = self._pending.setdefault(request.key, [])
         group.append(request)
         if len(group) >= self.max_batch:
             del self._pending[request.key]
-            return Batch(key=request.key, requests=group, formed_at=request.arrival)
+            formed_at = max(r.arrival for r in group)
+            return Batch(key=request.key, requests=group, formed_at=formed_at)
         return None
 
     def due(self, now: float) -> list[Batch]:
@@ -153,23 +161,27 @@ class DynamicBatcher:
         Each batch's ``formed_at`` is its deadline (oldest arrival +
         ``max_wait``) — the moment the flush timer fired — so dispatch
         times stay deterministic regardless of when the caller polls.
+        Replayed members may carry arrivals past the deadline of a group
+        they joined late; formation is clamped after every arrival.
         """
         out = []
         for key in list(self._pending):
             group = self._pending[key]
-            deadline = group[0].arrival + self.max_wait
+            deadline = min(r.arrival for r in group) + self.max_wait
             if deadline <= now:
                 del self._pending[key]
-                out.append(Batch(key=key, requests=group, formed_at=deadline))
+                formed_at = max(deadline, max(r.arrival for r in group))
+                out.append(Batch(key=key, requests=group, formed_at=formed_at))
         out.sort(key=lambda b: (b.formed_at, b.key.describe()))
         return out
 
     def flush(self) -> list[Batch]:
         """Drain everything (end of trace); deadlines still apply."""
-        out = [
-            Batch(key=key, requests=group, formed_at=group[0].arrival + self.max_wait)
-            for key, group in self._pending.items()
-        ]
+        out = []
+        for key, group in self._pending.items():
+            deadline = min(r.arrival for r in group) + self.max_wait
+            formed_at = max(deadline, max(r.arrival for r in group))
+            out.append(Batch(key=key, requests=group, formed_at=formed_at))
         self._pending.clear()
         out.sort(key=lambda b: (b.formed_at, b.key.describe()))
         return out

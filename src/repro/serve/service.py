@@ -123,6 +123,7 @@ class CompressionService:
         overload: OverloadPolicy | None = None,
         tracer=None,
         registry=None,
+        slo=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -145,6 +146,8 @@ class CompressionService:
         self.log = log if log is not None else RecoveryLog()
         self.max_failovers = max_failovers
         self.tracer = tracer
+        self.slo = slo
+        self.slo_worker: str | None = None   # fleet worker label for SLO feeds
         self._dead: set[str] = set()
         self._n_batches = 0
         self._n_failovers = 0
@@ -153,6 +156,7 @@ class CompressionService:
         self._draining = False
         self._latency = latency_reservoir()
         self._trace_ids: dict[int, str] = {}
+        self._trace_ctx: dict[int, object] = {}   # rid -> fleet TraceContext
         self.shed: list[ShedRequest] = []
         self.failures: list[FailedRequest] = []
         self.degraded_rids: set[int] = set()
@@ -221,12 +225,16 @@ class CompressionService:
         self._m_depth.set(self.batcher.depth)
         return responses, self._snapshot(reqs, responses, max_depth)
 
-    def submit(self, request: Request) -> list[Response]:
+    def submit(self, request: Request, ctx=None) -> list[Response]:
         """Streaming path: enqueue one request; returns responses whose
         batches completed as a side effect (flush timers or a full group).
+
+        ``ctx`` is an optional :class:`~repro.obs.context.TraceContext`
+        from a fleet router: the request joins that trace (as one hop of
+        a cross-worker span tree) instead of minting its own.
         """
         responses: list[Response] = []
-        self._ingest(request, responses)
+        self._ingest(request, responses, ctx=ctx)
         return responses
 
     def poll(self, now: float) -> list[Response]:
@@ -264,10 +272,14 @@ class CompressionService:
     def draining(self) -> bool:
         return self._draining
 
-    def _ingest(self, req: Request, responses: list[Response]) -> int:
+    def _ingest(self, req: Request, responses: list[Response], ctx=None) -> int:
         """Admit one request into the batcher; returns the queue depth."""
         if self.tracer is not None:
-            self._trace_ids[req.rid] = self.tracer.new_trace()
+            if ctx is not None:
+                self._trace_ids[req.rid] = ctx.trace_id
+                self._trace_ctx[req.rid] = ctx
+            else:
+                self._trace_ids[req.rid] = self.tracer.new_trace()
         for batch in self.batcher.due(req.arrival):
             self._dispatch(batch, responses)
         if self.overload is not None or self._draining:
@@ -357,6 +369,11 @@ class CompressionService:
                 help="requests shed instead of served, by reason",
             )
         self._m_shed.inc(reason=reason)
+        if self.slo is not None:
+            self.slo.observe_outcome(
+                now, outcome="shed", tenant=req.tenant, worker=self.slo_worker,
+                reason=reason,
+            )
         if self.tracer is not None:
             tid = self._trace_ids.get(req.rid)
             if tid is not None:
@@ -611,6 +628,11 @@ class CompressionService:
             self._latency.add(response.latency_s)
             self._m_requests.inc(platform=response.platform)
             self._m_latency.observe(response.latency_s)
+            if self.slo is not None:
+                self.slo.observe_outcome(
+                    response.finish, latency=response.latency_s, outcome="served",
+                    tenant=req.tenant, worker=self.slo_worker,
+                )
             if self.tracer is not None and response.trace_id is not None:
                 self._trace_request(response, batch, resolved, compiles)
 
@@ -661,6 +683,8 @@ class CompressionService:
             self._breaker_cursor[platform] = len(breaker.transitions)
             for frm, to, at in fresh:
                 self.breaker_log.append((platform, frm, to, at))
+                if self.slo is not None:
+                    self.slo.observe_breaker(at, platform, to)
                 if self.tracer is not None:
                     for r in batch.requests:
                         tid = self._trace_ids.get(r.rid)
@@ -674,27 +698,50 @@ class CompressionService:
                             )
 
     def _trace_request(self, response: Response, batch: Batch, resolved, compiles: int) -> None:
-        """Emit the request's span tree (see the module docstring taxonomy)."""
+        """Emit the request's span tree (see the module docstring taxonomy).
+
+        Under a fleet router the request span is one *hop* of a
+        cross-worker trace: it parents onto the router's pre-allocated
+        ``fleet.request`` root and carries the routing labels
+        (``worker`` / ``tenant`` / ``route_key`` / ``hop``) from the
+        :class:`~repro.obs.context.TraceContext`.
+        """
         tracer = self.tracer
         tid = response.trace_id
         req = response.request
         attempt = resolved.attempt
+        ctx = self._trace_ctx.get(req.rid)
+        hop_attrs = dict(ctx.attrs) if ctx is not None else {}
+        if ctx is not None:
+            hop_attrs["hop"] = ctx.hop
         root = tracer.record_span(
             tid,
             "request",
             req.arrival,
             response.finish,
+            parent_id=ctx.parent_span_id if ctx is not None else None,
             rid=req.rid,
             platform=response.platform,
             degraded=response.degraded,
             batch_size=len(batch),
+            cf=req.cf,
             bytes_in=int(req.image.nbytes),
             bytes_out=int(response.output.nbytes),
+            **hop_attrs,
         )
-        tracer.record_span(tid, "batch_wait", req.arrival, batch.formed_at, parent=root)
-        tracer.record_span(tid, "queue", batch.formed_at, response.start, parent=root)
+        # Stage spans inherit the worker label so per-worker consumers
+        # (flight-recorder rings, by-worker reports) need no tree walk.
+        stage = (
+            {"worker": hop_attrs["worker"]} if "worker" in hop_attrs else {}
+        )
+        tracer.record_span(
+            tid, "batch_wait", req.arrival, batch.formed_at, parent=root, **stage
+        )
+        tracer.record_span(
+            tid, "queue", batch.formed_at, response.start, parent=root, **stage
+        )
         execute = tracer.record_span(
-            tid, "execute", response.start, response.finish, parent=root
+            tid, "execute", response.start, response.finish, parent=root, **stage
         )
         # Compile attribution: zero modelled duration (plans amortize via
         # the cache; the timing model charges no latency for compilation),
@@ -711,6 +758,7 @@ class CompressionService:
             n_devices=attempt.n_devices,
             compiles=compiles,
             failed_attempts=len(resolved.failures),
+            **stage,
         )
         tracer.record_span(
             tid,
@@ -720,12 +768,18 @@ class CompressionService:
             parent=execute,
             platform=response.platform,
             n_devices=attempt.n_devices,
+            **stage,
         )
 
     def _fail_batch(self, batch: Batch, exc: Exception) -> None:
         for r in batch.requests:
             self.failures.append(FailedRequest(r, exc))
             self._m_failed.inc(error=type(exc).__name__)
+            if self.slo is not None:
+                self.slo.observe_outcome(
+                    batch.formed_at, outcome="failed", tenant=r.tenant,
+                    worker=self.slo_worker,
+                )
             if self.tracer is not None:
                 tid = self._trace_ids.get(r.rid)
                 if tid is not None:

@@ -57,3 +57,59 @@ def test_chaos_soak_without_fleet_flag_unchanged(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "chaos soak PASSED" in out
+
+
+# --- SLO observatory surfaces (PR 8) ---------------------------------
+
+def test_fleet_demo_slo_prints_timeline_and_validates(capsys, tmp_path):
+    trace_path = tmp_path / "fleet.jsonl"
+    metrics_path = tmp_path / "fleet.prom"
+    rc = main(
+        ["fleet-demo", "--requests", "300", "--workers", "4", "--slo",
+         "--trace-out", str(trace_path), "--metrics-out", str(metrics_path)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "SLO alert timeline" in out
+    assert "span trees validated" in out
+    assert "trace written to" in out
+    assert trace_path.exists()
+    assert "repro_flight_ring_spans" in metrics_path.read_text()
+
+
+def test_slo_report_renders_critical_path(capsys, tmp_path):
+    trace_path = tmp_path / "fleet.jsonl"
+    assert main(
+        ["fleet-demo", "--requests", "300", "--workers", "4",
+         "--trace-out", str(trace_path)]
+    ) == 0
+    capsys.readouterr()
+    rc = main(["slo-report", str(trace_path), "--min-coverage", "0.95"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "critical path" in out
+    assert "p95-tail attribution" in out
+    assert "hottest by worker" in out
+    assert "SLO alert timeline" in out
+
+
+def test_slo_report_min_coverage_gate(capsys, tmp_path):
+    # A hand-written trace whose leaf has an unknown stage name: nothing
+    # attributes to a named stage, so any positive bar fails.
+    from repro.obs import Tracer
+
+    tracer = Tracer(seed=0)
+    tid = tracer.new_trace()
+    root = tracer.record_span(tid, "request", 0.0, 0.01, hop=0, worker="w0")
+    tracer.record_span(tid, "mystery", 0.0, 0.01, parent=root)
+    path = tracer.to_jsonl(tmp_path / "bad.jsonl")
+    rc = main(["slo-report", str(path), "--min-coverage", "0.5"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "below --min-coverage" in captured.err
+
+
+def test_chaos_soak_slo_requires_fleet(capsys):
+    rc = main(["chaos-soak", "--slo"])
+    assert rc == 2
+    assert "--fleet" in capsys.readouterr().err

@@ -83,3 +83,101 @@ def test_report_formats():
     assert "fleet soak" in text
     assert "warm_handoff" in text
     assert "tenant burst" in text
+
+
+# --- SLO observatory (config.slo) ------------------------------------
+
+def _slo_config(seed=0, n_requests=600, **overrides) -> FleetSoakConfig:
+    """An SLO soak small enough for CI that still breaches a threshold.
+
+    The default slow-burn profile (1.2x) needs the full 1200-request
+    storm to fire; at 600 requests a more sensitive 0.8x profile sees
+    the same quota-shed cluster.
+    """
+    from repro.obs import SLORule
+
+    base = FleetSoakConfig(seed=seed, n_requests=n_requests)
+    long_w, short_w = 256.0 / base.rate, 64.0 / base.rate
+    rules = tuple(
+        SLORule(
+            name=name, signal=signal, budget=budget, per_label=per_label,
+            objective=base.p95_budget_s if signal == "latency" else 0.05,
+            short_window=short_w, long_window=long_w,
+            burn_threshold=0.8, clear_burn=0.4,
+            min_events=1 if signal == "breaker_open" else 20,
+        )
+        for name, signal, budget, per_label in (
+            ("latency_p95", "latency", 0.05, False),
+            ("shed_ratio", "shed", 0.05, False),
+            ("tenant_quota", "quota_shed", 0.10, True),
+            ("breaker_open", "breaker_open", 0.10, True),
+        )
+    )
+    return FleetSoakConfig(
+        seed=seed, n_requests=n_requests, slo=True, slo_rules=rules, **overrides
+    )
+
+
+def test_slo_soak_fires_and_passes_observatory_checks():
+    report = run_fleet_soak(_slo_config())
+    assert report.passed, report.format_report()
+    names = [name for name, _, _ in report.checks]
+    for check in (
+        "slo_determinism",
+        "trace_valid",
+        "slo_alerts",
+        "critical_path",
+        "zero_overhead",
+    ):
+        assert check in names
+    assert report.n_alerts >= 1
+    assert report.p95_tail_coverage >= 0.95
+    # Every fire has a matching clear in the timeline.
+    fires = [e for e in report.slo_timeline if e["kind"] == "fire"]
+    clears = [e for e in report.slo_timeline if e["kind"] == "clear"]
+    assert len(fires) == len(clears) == report.n_alerts
+    assert "SLO alerts fired" in report.format_report()
+
+
+def test_slo_alert_timeline_is_deterministic():
+    a = run_fleet_soak(_slo_config(seed=0))
+    set_registry(MetricsRegistry())
+    b = run_fleet_soak(_slo_config(seed=0))
+    assert a.passed and b.passed
+    assert a.slo_timeline == b.slo_timeline
+    assert a.slo_timeline                      # alerts actually happened
+    # Transitions land at exact modelled timestamps, not approximations.
+    for ea, eb in zip(a.slo_timeline, b.slo_timeline):
+        assert ea["time"] == eb["time"]
+        assert (ea["rule"], ea["label"], ea["kind"]) == (
+            eb["rule"], eb["label"], eb["kind"],
+        )
+
+
+def test_slo_soak_writes_trace_jsonl(tmp_path):
+    out = tmp_path / "soak.jsonl"
+    report = run_fleet_soak(_slo_config(), trace_out=out)
+    assert report.passed, report.format_report()
+    from repro.obs import load_trace
+
+    spans, events = load_trace(out)
+    assert any(s.name == "fleet.request" for s in spans)
+    assert any(e.name in ("slo.fire", "slo.clear") for e in events)
+
+
+def test_failed_slo_soak_attaches_postmortem():
+    # An unreachable p95 budget fails the tenant_p95 check; a failing
+    # SLO soak must dump a flight-recorder post-mortem bundle carrying
+    # the alert timeline and per-worker rings.
+    report = run_fleet_soak(_slo_config(p95_budget_s=1e-6))
+    assert not report.passed
+    assert report.postmortem is not None
+    assert report.postmortem["reason"] == "soak_failure"
+    assert report.postmortem["workers"]
+    assert "repro_slo_alerts_total" in report.postmortem["metrics"]
+
+
+def test_healthy_slo_soak_dumps_only_on_alerts():
+    report = run_fleet_soak(_slo_config())
+    assert report.passed
+    assert report.postmortem is None

@@ -1,0 +1,171 @@
+"""Cross-worker trace propagation: one request, one causal span tree.
+
+The router mints a :class:`~repro.obs.context.TraceContext` per request
+and threads it through routing, spill, crash replay, and admission, so a
+request that bounced across workers still renders as a single
+``fleet.request`` tree whose hop subtrees each sum exactly.  These tests
+pin the tree shape, the cross-run byte identity of the JSONL, and the
+zero-overhead bar for untraced runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import FleetRouter, WorkerFaultPlan, multi_tenant_trace, route_key
+from repro.obs import Tracer, validate_trace
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.serve.overload import OverloadPolicy
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def run_fleet(n=120, seed=5, *, tracer=None, plan=None, workers=3, rate=4000.0):
+    trace = multi_tenant_trace(n, seed=seed, rate=rate)
+    router = FleetRouter(
+        workers,
+        fault_plan=plan if plan is not None else WorkerFaultPlan(),
+        overload=OverloadPolicy(
+            default_deadline=0.05, max_queue_depth=64, breaker=None
+        ),
+        tracer=tracer,
+        snapshot_interval=16,
+    )
+    responses, stats = router.process(trace)
+    return router, responses, stats
+
+
+def crash_plan():
+    return WorkerFaultPlan().add("w0", "crash", at_request=60, restart_after=40)
+
+
+class TestSpanTrees:
+    def test_every_served_request_is_one_valid_tree(self):
+        tracer = Tracer(seed=0)
+        _, responses, _ = run_fleet(tracer=tracer)
+        roots = [s for s in tracer.spans if s.name == "fleet.request"]
+        assert len(roots) == len(responses)
+        for root in roots:
+            validate_trace(tracer, root.trace_id)
+            assert root.parent_id is None
+            assert {"rid", "tenant", "route_key", "served_by", "hops"} <= set(
+                root.attrs
+            )
+
+    def test_hop_spans_carry_routing_attrs(self):
+        tracer = Tracer(seed=0)
+        router, _, _ = run_fleet(tracer=tracer)
+        hops = [s for s in tracer.spans if "hop" in s.attrs]
+        assert hops
+        for hop in hops:
+            assert hop.name == "request"
+            assert hop.attrs["worker"] in router.workers
+            assert hop.attrs["tenant"]
+            assert hop.attrs["route_key"]
+
+    def test_crash_replay_joins_hops_into_one_tree(self):
+        tracer = Tracer(seed=0)
+        router, _, _ = run_fleet(tracer=tracer, plan=crash_plan(), rate=20000.0)
+        replay_events = [e for e in tracer.events if e.name == "fleet.replay"]
+        assert replay_events, "the crash must strand queued requests to replay"
+        replayed = {e.attrs["rid"] for e in replay_events}
+        served_replayed = 0
+        for root in tracer.spans:
+            if root.name != "fleet.request" or root.attrs["rid"] not in replayed:
+                continue
+            served_replayed += 1
+            validate_trace(tracer, root.trace_id)
+            # A request stranded in a crashed worker's queue never served
+            # a hop there; the replay bumps the hop count, so the serving
+            # hop span records hop >= 1 and the root counts both hops.
+            hops = [s for s in tracer.spans_for(root.trace_id) if "hop" in s.attrs]
+            assert len(hops) == 1
+            hop = hops[0]
+            assert hop.attrs["hop"] >= 1
+            assert hop.parent_id == root.span_id
+            assert root.attrs["hops"] == hop.attrs["hop"] + 1
+            assert root.attrs["hops"] > 1
+            # The replay event is on the same trace as the root: one
+            # causal story per request even across the crash.
+            trace_replays = [
+                e for e in replay_events if e.trace_id == root.trace_id
+            ]
+            assert len(trace_replays) == hop.attrs["hop"]
+            assert trace_replays[-1].attrs["worker"] == hop.attrs["worker"]
+        assert served_replayed > 0
+
+    def test_route_key_matches_request_key(self):
+        tracer = Tracer(seed=0)
+        router, _, _ = run_fleet(tracer=tracer, n=60)
+        trace = multi_tenant_trace(60, seed=5)
+        by_rid = {r.rid: r for r in trace}
+        for hop in tracer.spans:
+            if "hop" not in hop.attrs:
+                continue
+            req = by_rid[hop.attrs["rid"]]
+            assert hop.attrs["route_key"] == route_key(req.key)
+
+
+class TestDeterminismAndOverhead:
+    def test_trace_jsonl_is_byte_identical_across_runs(self):
+        def jsonl():
+            tracer = Tracer(seed=0)
+            run_fleet(tracer=tracer, plan=crash_plan())
+            return tracer.to_jsonl_str()
+
+        assert jsonl() == jsonl()
+
+    def test_tracing_does_not_perturb_outcomes(self):
+        tracer = Tracer(seed=0)
+        _, traced, traced_stats = run_fleet(tracer=tracer, plan=crash_plan())
+        _, bare, bare_stats = run_fleet(tracer=None, plan=crash_plan())
+        assert [(r.request.rid, r.start, r.finish) for r in traced] == [
+            (r.request.rid, r.start, r.finish) for r in bare
+        ]
+        for a, b in zip(traced, bare):
+            assert np.array_equal(a.output, b.output)
+        assert traced_stats.n_shed == bare_stats.n_shed
+        assert traced_stats.n_failed == bare_stats.n_failed
+
+
+class TestHopInvariantEnforcement:
+    def build_hop_tree(self, *, short_leaf: bool) -> tuple[Tracer, str]:
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        root_id = tracer.new_span_id()
+        hop = tracer.record_span(
+            tid, "request", 0.0, 0.010, parent_id=root_id, hop=0, worker="w0"
+        )
+        tracer.record_span(tid, "batch_wait", 0.0, 0.004, parent=hop)
+        end = 0.009 if short_leaf else 0.010
+        tracer.record_span(tid, "device", 0.004, end, parent=hop)
+        if short_leaf:
+            # Keep the *global* invariant satisfied with a sibling leaf
+            # outside the hop subtree, so only the per-hop check trips.
+            tracer.record_span(tid, "queue", 0.009, 0.010, parent_id=root_id)
+        tracer.record_span(tid, "fleet.request", 0.0, 0.010, span_id=root_id)
+        return tracer, tid
+
+    def test_exact_hop_subtree_passes(self):
+        tracer, tid = self.build_hop_tree(short_leaf=False)
+        validate_trace(tracer, tid)
+
+    def test_hop_subtree_leaf_deficit_is_rejected(self):
+        tracer, tid = self.build_hop_tree(short_leaf=True)
+        with pytest.raises(ConfigError, match="hop 0"):
+            validate_trace(tracer, tid)
+
+    def test_unresolved_parent_link_is_rejected(self):
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        dangling = tracer.new_span_id()   # never completed
+        tracer.record_span(tid, "request", 0.0, 0.01, parent_id=dangling, hop=0)
+        tracer.record_span(tid, "fleet.request", 0.0, 0.01)
+        with pytest.raises(ConfigError, match="unknown parent"):
+            validate_trace(tracer, tid)

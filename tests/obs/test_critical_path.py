@@ -1,0 +1,132 @@
+"""CriticalPathAnalyzer: per-stage latency attribution over trace records.
+
+Trees are built by hand with a Tracer so every expected number is exact
+arithmetic on the modelled clock, including the replay split of
+``batch_wait`` and the p95-tail coverage bar the soak enforces.
+"""
+
+import pytest
+
+from repro.obs import CriticalPathAnalyzer, Tracer, analyze, format_critical_path
+
+
+def single_request(tracer, *, arrival, finish, worker="w0", tenant="t0", cf=4):
+    """A one-hop fleet tree: fleet.request -> request(hop) -> leaf stages."""
+    tid = tracer.new_trace()
+    root_id = tracer.new_span_id()
+    hop = tracer.record_span(
+        tid, "request", arrival, finish, parent_id=root_id,
+        worker=worker, tenant=tenant, cf=cf, hop=0, rid=1,
+    )
+    mid = arrival + (finish - arrival) / 2
+    tracer.record_span(tid, "batch_wait", arrival, mid, parent=hop, worker=worker)
+    execute = tracer.record_span(tid, "execute", mid, finish, parent=hop, worker=worker)
+    tracer.record_span(tid, "queue", mid, mid, parent=execute, worker=worker)
+    tracer.record_span(tid, "compile", mid, mid, parent=execute, worker=worker)
+    tracer.record_span(tid, "device", mid, finish, parent=execute, worker=worker)
+    tracer.record_span(
+        tid, "fleet.request", arrival, finish, span_id=root_id,
+        rid=1, tenant=tenant, served_by=worker, hops=1,
+    )
+    return tid
+
+
+class TestAttribution:
+    def test_stages_partition_latency_exactly(self):
+        tracer = Tracer(seed=0)
+        single_request(tracer, arrival=0.0, finish=0.01)
+        report = analyze(tracer.spans, tracer.events)
+        assert len(report.requests) == 1
+        path = report.requests[0]
+        assert path.latency_s == pytest.approx(0.01)
+        assert path.attributed_s == pytest.approx(0.01)
+        assert path.stage_s["batch_wait"] == pytest.approx(0.005)
+        assert path.stage_s["device"] == pytest.approx(0.005)
+        assert path.dominant_stage in ("batch_wait", "device")
+        assert report.coverage == pytest.approx(1.0)
+        assert report.p95_tail_coverage == pytest.approx(1.0)
+
+    def test_non_request_traces_are_ignored(self):
+        tracer = Tracer(seed=0)
+        single_request(tracer, arrival=0.0, finish=0.01)
+        # An SLO episode: slo.alert span + events, no request root.
+        episode = tracer.new_trace()
+        tracer.record_event(episode, "slo.fire", 0.002, rule="shed_ratio")
+        tracer.record_span(episode, "slo.alert", 0.002, 0.008, rule="shed_ratio")
+        report = analyze(tracer.spans, tracer.events)
+        assert len(report.requests) == 1
+
+    def test_replay_split_charges_pre_reroute_wait_to_replay(self):
+        tracer = Tracer(seed=0)
+        tid = single_request(tracer, arrival=0.0, finish=0.01)
+        # The router replayed this request at t=2ms: the batch_wait leaf
+        # [0, 5ms] splits into replay [0, 2ms] + batch_wait [2ms, 5ms].
+        tracer.record_event(tid, "fleet.replay", 0.002, rid=1, worker="w1", hop=1)
+        report = analyze(tracer.spans, tracer.events)
+        path = report.requests[0]
+        assert path.replays == 1
+        assert path.stage_s["replay"] == pytest.approx(0.002)
+        assert path.stage_s["batch_wait"] == pytest.approx(0.003)
+        assert path.attributed_s == pytest.approx(path.latency_s)
+        assert report.p95_tail_coverage == pytest.approx(1.0)
+
+    def test_replay_after_batch_wait_end_is_clamped(self):
+        tracer = Tracer(seed=0)
+        tid = single_request(tracer, arrival=0.0, finish=0.01)
+        tracer.record_event(tid, "fleet.replay", 0.009, rid=1, worker="w1", hop=1)
+        report = analyze(tracer.spans, tracer.events)
+        path = report.requests[0]
+        # The cut clamps to the batch_wait leaf's end (5 ms): all wait is
+        # replay, none remains as genuine batch_wait.
+        assert path.stage_s["replay"] == pytest.approx(0.005)
+        assert path.stage_s.get("batch_wait", 0.0) == pytest.approx(0.0)
+        assert path.attributed_s == pytest.approx(path.latency_s)
+
+    def test_unknown_leaf_names_fall_into_other(self):
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        root = tracer.record_span(tid, "request", 0.0, 0.01, hop=0, worker="w0")
+        tracer.record_span(tid, "mystery", 0.0, 0.01, parent=root)
+        report = analyze(tracer.spans, tracer.events)
+        assert report.requests[0].stage_s == {"other": pytest.approx(0.01)}
+        # Unnamed time counts against p95-tail coverage.
+        assert report.p95_tail_coverage == pytest.approx(0.0)
+
+
+class TestRankings:
+    def test_hot_spots_rank_by_attributed_seconds(self):
+        tracer = Tracer(seed=0)
+        single_request(tracer, arrival=0.0, finish=0.010, worker="w0", tenant="a", cf=2)
+        single_request(tracer, arrival=0.0, finish=0.030, worker="w1", tenant="b", cf=4)
+        single_request(tracer, arrival=0.0, finish=0.005, worker="w1", tenant="a", cf=4)
+        report = analyze(tracer.spans, tracer.events)
+        assert report.by_worker[0][0] == "w1"
+        assert report.by_worker[0][1] == pytest.approx(0.035)
+        assert report.by_worker[0][2] == 2
+        assert [t for t, _, _ in report.by_tenant] == ["b", "a"]
+        assert [c for c, _, _ in report.by_cf] == [4, 2]
+
+    def test_p95_tail_is_the_slow_requests(self):
+        tracer = Tracer(seed=0)
+        for i in range(19):
+            single_request(tracer, arrival=i * 1.0, finish=i * 1.0 + 0.001)
+        single_request(tracer, arrival=100.0, finish=100.1)   # the outlier
+        report = analyze(tracer.spans, tracer.events)
+        assert report.p95_s <= 0.1
+        # Tail stage seconds come from the slow request(s) only.
+        assert sum(report.p95_tail_stage_s.values()) < report.total_latency_s
+
+    def test_format_is_deterministic_and_mentions_stages(self):
+        def build():
+            tracer = Tracer(seed=0)
+            tid = single_request(tracer, arrival=0.0, finish=0.01)
+            tracer.record_event(tid, "fleet.replay", 0.002, rid=1)
+            tracer.record_event(tid, "fleet.handoff", 0.003, worker="w9")
+            return format_critical_path(
+                CriticalPathAnalyzer(tracer.spans, tracer.events).report()
+            )
+
+        text = build()
+        assert build() == text
+        for needle in ("batch_wait", "device", "replay", "1 replays", "1 handoffs"):
+            assert needle in text

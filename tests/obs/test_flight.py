@@ -1,0 +1,128 @@
+"""FlightRecorder: bounded per-worker rings and post-mortem bundles."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    FLEET_RING,
+    FlightRecorder,
+    MetricsRegistry,
+    SLOMonitor,
+    SLORule,
+    Tracer,
+    bundle_to_json,
+)
+
+
+def recorder(capacity=4, **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    return FlightRecorder(capacity=capacity, **kwargs)
+
+
+def record_n(tracer, n, *, worker=None, start=0.0):
+    tid = tracer.new_trace()
+    attrs = {"worker": worker} if worker is not None else {}
+    for i in range(n):
+        tracer.record_span(tid, f"s{i}", start + i, start + i + 0.5, **attrs)
+    return tid
+
+
+class TestRings:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            recorder(capacity=0)
+
+    def test_spans_route_to_worker_rings(self):
+        tracer = Tracer(seed=0)
+        rec = recorder(capacity=8).attach(tracer)
+        record_n(tracer, 2, worker="w0")
+        record_n(tracer, 3, worker="w1")
+        record_n(tracer, 1)                     # unlabelled -> fleet ring
+        assert rec.workers() == [FLEET_RING, "w0", "w1"]
+        assert len(rec.ring_spans("w0")) == 2
+        assert len(rec.ring_spans("w1")) == 3
+        assert len(rec.ring_spans(FLEET_RING)) == 1
+        assert len(rec) == 6
+
+    def test_ring_is_bounded_and_keeps_newest(self):
+        tracer = Tracer(seed=0)
+        rec = recorder(capacity=3).attach(tracer)
+        record_n(tracer, 10, worker="w0")
+        kept = rec.ring_spans("w0")
+        assert [s.name for s in kept] == ["s7", "s8", "s9"]
+
+    def test_eviction_and_occupancy_metrics(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(seed=0)
+        rec = FlightRecorder(capacity=3, registry=reg).attach(tracer)
+        record_n(tracer, 10, worker="w0")
+        assert len(rec.ring_spans("w0")) == 3
+        assert reg.get("repro_flight_dropped_total").value(worker="w0") == 7
+        assert reg.get("repro_flight_ring_spans").value(worker="w0") == 3
+
+    def test_unattached_tracer_records_nothing(self):
+        tracer = Tracer(seed=0)
+        rec = recorder()
+        record_n(tracer, 5, worker="w0")
+        assert len(rec) == 0
+
+
+class TestDumps:
+    def test_dump_bundle_contents(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(seed=0)
+        rec = FlightRecorder(capacity=4, registry=reg).attach(tracer)
+        record_n(tracer, 2, worker="w0")
+        bundle = rec.dump(reason="soak:check_failed", time=1.25)
+        assert bundle["seq"] == 0
+        assert bundle["reason"] == "soak:check_failed"
+        assert bundle["time"] == 1.25
+        assert [s["name"] for s in bundle["workers"]["w0"]["spans"]] == ["s0", "s1"]
+        assert "repro_flight_dumps_total" in bundle["metrics"]
+        assert bundle["alerts"] == []
+        assert reg.get("repro_flight_dumps_total").value(reason="soak") == 1
+
+    def test_bundles_serialise_byte_stably(self):
+        def build():
+            tracer = Tracer(seed=0)
+            rec = recorder().attach(tracer)
+            record_n(tracer, 3, worker="w0")
+            return bundle_to_json(rec.dump(reason="x", time=0.5))
+
+        a, b = build(), build()
+        assert a == b
+        json.loads(a)                           # well-formed JSON
+
+    def test_dump_writes_sequenced_files(self, tmp_path):
+        tracer = Tracer(seed=0)
+        rec = recorder(out_dir=tmp_path).attach(tracer)
+        record_n(tracer, 1, worker="w0")
+        rec.dump(reason="a")
+        rec.dump(reason="b")
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["flight-0000.json", "flight-0001.json"]
+        loaded = json.loads((tmp_path / "flight-0001.json").read_text())
+        assert loaded["seq"] == 1 and loaded["reason"] == "b"
+
+    def test_slo_alert_triggers_dump_with_timeline(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(seed=0)
+        rec = FlightRecorder(capacity=16, registry=reg).attach(tracer)
+        rule = SLORule(
+            name="shed_ratio", signal="shed", budget=0.10,
+            short_window=1.0, long_window=4.0, min_events=4,
+        )
+        slo = SLOMonitor(rules=(rule,), tracer=tracer, recorder=rec, registry=reg)
+        for i in range(8):
+            slo.observe_outcome(0.1 * i, outcome="shed")
+        assert slo.fired == 1
+        assert len(rec.dumps) == 1
+        bundle = rec.dumps[0]
+        assert bundle["reason"] == "slo:shed_ratio"
+        assert bundle["time"] == slo.events[0].time
+        assert [a["kind"] for a in bundle["alerts"]] == ["fire"]
+        # The slo.fire trace event itself landed in the fleet ring.
+        fleet_events = bundle["workers"][FLEET_RING]["events"]
+        assert any(e["name"] == "slo.fire" for e in fleet_events)

@@ -146,3 +146,125 @@ class TestRegistry:
         reg.counter("n").inc()
         reg.reset()
         assert reg.names() == []
+
+
+class TestHistogramBucketEdges:
+    """Exponential-bucket boundary semantics: ``le`` is inclusive.
+
+    A value exactly on a bucket's upper bound counts into *that* bucket
+    (Prometheus ``le`` convention), values below the first bound land in
+    bucket 0, values above the last land only in +Inf overflow.
+    """
+
+    def test_value_exactly_on_boundary_counts_into_that_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)                      # == second bound
+        assert h.bucket_counts() == [0, 1, 0, 0]
+
+    def test_value_on_first_boundary(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)
+        assert h.bucket_counts() == [1, 0, 0, 0]
+
+    def test_value_below_first_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(0.0)
+        h.observe(-3.0)                     # pathological but must not crash
+        assert h.bucket_counts() == [2, 0, 0, 0]
+
+    def test_value_on_last_finite_bound_is_not_overflow(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(4.0)
+        assert h.bucket_counts() == [0, 0, 1, 0]
+
+    def test_value_above_last_bound_lands_only_in_inf(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(4.000001)
+        assert h.bucket_counts() == [0, 0, 0, 1]
+
+    def test_inf_bucket_cumulative_equals_count_in_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_edge_seconds", buckets=(1.0, 2.0))
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        text = reg.render_prometheus()
+        # le="1" sees the on-boundary 1.0; le="2" adds the on-boundary 2.0;
+        # +Inf pins to the total observation count.
+        assert 'repro_edge_seconds_bucket{le="1"} 1' in text
+        assert 'repro_edge_seconds_bucket{le="2"} 2' in text
+        assert 'repro_edge_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_edge_seconds_count 4" in text
+
+    def test_exponential_boundary_membership(self):
+        bounds = exponential_buckets(1e-6, 2.0, 10)
+        h = Histogram("lat", buckets=bounds)
+        for b in bounds:
+            h.observe(b)                    # each exactly on a bound
+        counts = h.bucket_counts()
+        assert counts == [1] * len(bounds) + [0]
+
+
+class TestPrometheusEscaping:
+    """Exposition-spec escaping of label values and HELP text."""
+
+    def test_label_value_escapes(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_esc_total").inc(path='C:\\tmp\n"x"')
+        text = reg.render_prometheus()
+        assert 'repro_esc_total{path="C:\\\\tmp\\n\\"x\\""} 1' in text
+        assert "\n\"x" not in text          # raw newline never splits a line
+
+    def test_help_escapes_backslash_and_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_h_total", help='line1\nline2 \\ "quoted"').inc()
+        text = reg.render_prometheus()
+        assert '# HELP repro_h_total line1\\nline2 \\\\ "quoted"' in text
+
+    def test_every_rendered_line_is_single_line(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_g", help="a\nb").set(1, tenant="t\n0")
+        for line in reg.render_prometheus().splitlines():
+            assert line == line.strip("\r")
+            assert line.startswith(("#", "repro_g"))
+
+    def test_round_trip_parse(self):
+        """The rendered text parses back to the exact series values."""
+        reg = MetricsRegistry()
+        reg.counter("repro_rt_total", help="with \\ and \n inside").inc(
+            2, worker='w"0"', note="a\\b\nc"
+        )
+        reg.gauge("repro_rt_depth").set(5, worker="w1")
+        text = reg.render_prometheus()
+
+        import re
+
+        parsed = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            m = re.fullmatch(r"(\w+)(?:\{(.*)\})? (\S+)", line)
+            assert m, f"unparseable exposition line: {line!r}"
+            name, labelstr, value = m.groups()
+            labels = {}
+            if labelstr:
+                for lm in re.finditer(r'(\w+)="((?:\\.|[^"\\])*)"', labelstr):
+                    raw = lm.group(2)
+                    labels[lm.group(1)] = (
+                        raw.replace("\\n", "\n")
+                        .replace('\\"', '"')
+                        .replace("\\\\", "\\")
+                    )
+            parsed[(name, tuple(sorted(labels.items())))] = float(value)
+        assert parsed[
+            ("repro_rt_total", (("note", "a\\b\nc"), ("worker", 'w"0"')))
+        ] == 2.0
+        assert parsed[("repro_rt_depth", (("worker", "w1"),))] == 5.0
+
+    def test_byte_stability_with_escaped_labels(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("repro_s_total").inc(k='b"\n')
+            reg.counter("repro_s_total").inc(k="a\\")
+            return reg.render_prometheus()
+
+        assert build() == build()

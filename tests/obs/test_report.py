@@ -97,3 +97,69 @@ class TestServeDemoTracing:
         spans, events = load_trace(trace_path)
         assert len([s for s in spans if s.parent_id is None]) == 120
         assert "repro_requests_total" in metrics_path.read_text()
+
+
+def _write_fleet_trace(tmp_path, n=120, seed=5):
+    """A fleet trace with several workers and tenants, via the router."""
+    from repro.fleet import FleetRouter, multi_tenant_trace
+
+    tracer = Tracer(seed=seed)
+    router = FleetRouter(3, tracer=tracer)
+    responses, _ = router.process(multi_tenant_trace(n, seed=seed))
+    path = tmp_path / "fleet.jsonl"
+    tracer.to_jsonl(path)
+    return path, responses
+
+
+class TestFleetReport:
+    def test_fleet_roots_count_as_requests(self, tmp_path):
+        path, responses = _write_fleet_trace(tmp_path)
+        report = render_report(*load_trace(path))
+        assert report.n_traces == len(responses)
+        # Platform/byte attrs resolve through the serving hop spans.
+        assert report.bytes_in > 0 and report.bytes_out > 0
+        assert sum(report.platforms.values()) == len(responses)
+
+    def test_worker_grouping_partitions_stage_time(self, tmp_path):
+        path, _ = _write_fleet_trace(tmp_path)
+        report = render_report(*load_trace(path))
+        assert len(report.worker_stage_s) > 1
+        for stage in ("batch_wait", "device"):
+            grouped = sum(
+                per.get(stage, 0.0) for per in report.worker_stage_s.values()
+            )
+            assert grouped == pytest.approx(report.stage_total_s[stage])
+        assert sum(report.worker_requests.values()) == report.n_traces
+
+    def test_tenant_grouping_partitions_requests_and_latency(self, tmp_path):
+        path, _ = _write_fleet_trace(tmp_path)
+        report = render_report(*load_trace(path))
+        assert len(report.tenant_requests) > 1
+        assert sum(report.tenant_requests.values()) == report.n_traces
+        assert sum(report.tenant_latency_s.values()) == pytest.approx(
+            report.total_latency_s
+        )
+
+    def test_format_auto_renders_worker_table_for_fleet(self, tmp_path):
+        path, _ = _write_fleet_trace(tmp_path)
+        report = render_report(*load_trace(path))
+        text = format_report(report)
+        assert "worker" in text and "w0" in text
+        assert "tenant" not in text.replace("multi-tenant", "")
+        with_tenants = format_report(report, by_tenant=True)
+        assert "burst" in with_tenants and "latency ms" in with_tenants
+
+    def test_single_service_trace_stays_ungrouped(self, tmp_path):
+        path, _, _ = _write_trace(tmp_path)
+        report = render_report(*load_trace(path))
+        text = format_report(report)
+        assert "requests" in text
+        assert "w0" not in text
+
+    def test_cli_by_tenant_and_by_worker_flags(self, tmp_path, capsys):
+        path, _ = _write_fleet_trace(tmp_path)
+        assert main(["obs-report", str(path), "--by-tenant"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant" in out and "burst" in out
+        assert main(["obs-report", str(path), "--by-worker"]) == 0
+        assert "w0" in capsys.readouterr().out

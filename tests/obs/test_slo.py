@@ -1,0 +1,220 @@
+"""SLOMonitor: multi-window burn-rate alerting over the modelled clock.
+
+Everything here is synthetic and exact — observations arrive at chosen
+modelled times, so fire/clear transitions land at *provable* timestamps
+and two identical feeds must produce byte-identical timelines.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    MetricsRegistry,
+    SLOMonitor,
+    SLORule,
+    Tracer,
+    default_fleet_rules,
+    validate_trace,
+)
+
+
+def shed_rule(**overrides) -> SLORule:
+    """A tight shed-ratio rule that a handful of observations can trip."""
+    kwargs = dict(
+        name="shed_ratio",
+        signal="shed",
+        budget=0.10,
+        short_window=1.0,
+        long_window=4.0,
+        burn_threshold=2.0,
+        clear_burn=1.0,
+        min_events=4,
+    )
+    kwargs.update(overrides)
+    return SLORule(**kwargs)
+
+
+def monitor(*rules, **kwargs) -> SLOMonitor:
+    kwargs.setdefault("registry", MetricsRegistry())
+    return SLOMonitor(rules=tuple(rules), **kwargs)
+
+
+class TestRuleValidation:
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ConfigError):
+            SLORule(name="x", signal="throughput")
+
+    def test_budget_bounds(self):
+        with pytest.raises(ConfigError):
+            SLORule(name="x", budget=0.0)
+        with pytest.raises(ConfigError):
+            SLORule(name="x", budget=1.5)
+
+    def test_windows_must_order(self):
+        with pytest.raises(ConfigError):
+            SLORule(name="x", short_window=0.0)
+        with pytest.raises(ConfigError):
+            SLORule(name="x", short_window=2.0, long_window=1.0)
+
+    def test_thresholds_positive(self):
+        with pytest.raises(ConfigError):
+            SLORule(name="x", burn_threshold=0.0)
+        with pytest.raises(ConfigError):
+            SLORule(name="x", clear_burn=-1.0)
+
+    def test_min_events_positive(self):
+        with pytest.raises(ConfigError):
+            SLORule(name="x", min_events=0)
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ConfigError):
+            monitor(shed_rule(), shed_rule())
+
+    def test_default_rules_cover_all_signals(self):
+        assert sorted(r.signal for r in default_fleet_rules()) == [
+            "breaker_open",
+            "latency",
+            "quota_shed",
+            "shed",
+        ]
+
+
+class TestFireAndClear:
+    def test_fires_only_when_both_windows_burn(self):
+        m = monitor(shed_rule())
+        # Old good traffic keeps the long window healthy.
+        for i in range(8):
+            m.observe_outcome(0.1 * i, outcome="served", latency=0.001)
+        # A short burst of sheds: short-window burn is huge, but the long
+        # window still averages below threshold -> no fire.
+        m.observe_outcome(0.9, outcome="shed")
+        assert m.fired == 0
+        # Sustained sheds push the long window over too -> fire.
+        t = None
+        for i in range(8):
+            t = 1.0 + 0.1 * i
+            m.observe_outcome(t, outcome="shed")
+            if m.fired:
+                break
+        assert m.fired == 1
+        fire = m.events[0]
+        assert fire.kind == "fire" and fire.rule == "shed_ratio"
+        assert fire.time == t
+        assert fire.burn_short >= 2.0 and fire.burn_long >= 2.0
+
+    def test_needs_min_events_in_long_window(self):
+        m = monitor(shed_rule(min_events=10))
+        for i in range(9):                    # all bad, but too few
+            m.observe_outcome(0.1 * i, outcome="shed")
+        assert m.fired == 0
+        m.observe_outcome(1.0, outcome="shed")
+        assert m.fired == 1
+
+    def test_clears_when_short_window_recovers(self):
+        m = monitor(shed_rule())
+        for i in range(6):
+            m.observe_outcome(0.1 * i, outcome="shed")
+        assert m.fired == 1 and m.active_alerts() == [("shed_ratio", "")]
+        # Healthy traffic washes the short window below clear_burn.
+        clear_t = None
+        for i in range(12):
+            clear_t = 1.0 + 0.2 * i
+            m.observe_outcome(clear_t, outcome="served", latency=0.001)
+            if not m.active_alerts():
+                break
+        assert m.active_alerts() == []
+        clear = m.events[-1]
+        assert clear.kind == "clear" and clear.time == clear_t
+        assert not clear.forced
+
+    def test_latency_rule_ignores_sheds_and_missing_latency(self):
+        rule = shed_rule(name="p95", signal="latency", objective=0.01)
+        m = monitor(rule)
+        for i in range(10):
+            m.observe_outcome(0.1 * i, outcome="shed")       # not a latency obs
+        assert m.fired == 0
+        for i in range(10):
+            m.observe_outcome(1.0 + 0.1 * i, outcome="served", latency=0.5)
+        assert m.fired == 1
+
+    def test_per_label_rule_fires_per_tenant(self):
+        rule = shed_rule(
+            name="tenant_quota", signal="quota_shed", per_label=True
+        )
+        m = monitor(rule)
+        for i in range(6):
+            m.observe_outcome(
+                0.1 * i, outcome="shed", tenant="burst", reason="tenant_quota"
+            )
+            m.observe_outcome(
+                0.1 * i + 0.05, outcome="served", latency=0.001, tenant="batch"
+            )
+        assert m.active_alerts() == [("tenant_quota", "burst")]
+
+    def test_breaker_open_time_fraction(self):
+        rule = shed_rule(
+            name="breaker_open",
+            signal="breaker_open",
+            per_label=True,
+            min_events=1,
+            budget=0.10,
+        )
+        m = monitor(rule)
+        m.observe_breaker(0.0, "ipu", "open")
+        # At t=1.0 the breaker has been open the whole 1 s short window:
+        # open fraction 1.0 / budget 0.1 = burn 10 >= 2 -> fire.
+        m.observe_breaker(1.0, "ipu", "half_open")
+        assert m.fired == 1
+        assert m.active_alerts() == [("breaker_open", "ipu")]
+        # Long after the interval leaves both windows, it clears.
+        m.observe_breaker(10.0, "ipu", "closed")
+        assert m.active_alerts() == []
+
+
+class TestDeterminismAndFinalize:
+    def feed(self, m: SLOMonitor) -> None:
+        for i in range(6):
+            m.observe_outcome(0.1 * i, outcome="shed")
+        for i in range(12):
+            m.observe_outcome(1.0 + 0.2 * i, outcome="served", latency=0.001)
+
+    def test_same_feed_same_timeline_bytes(self):
+        a, b = monitor(shed_rule()), monitor(shed_rule())
+        self.feed(a)
+        self.feed(b)
+        assert a.timeline_jsonl() == b.timeline_jsonl()
+        assert a.timeline_jsonl()            # non-empty: at least one fire
+
+    def test_finalize_force_clears_with_marker(self):
+        m = monitor(shed_rule())
+        for i in range(6):
+            m.observe_outcome(0.1 * i, outcome="shed")
+        assert m.active_alerts()
+        m.finalize(0.6)
+        assert m.active_alerts() == []
+        clear = m.events[-1]
+        assert clear.kind == "clear" and clear.forced and clear.time == 0.6
+
+    def test_alert_episode_becomes_validatable_span(self):
+        tracer = Tracer(seed=0)
+        m = monitor(shed_rule(), tracer=tracer)
+        for i in range(6):
+            m.observe_outcome(0.1 * i, outcome="shed")
+        m.finalize(2.0)
+        spans = [s for s in tracer.spans if s.name == "slo.alert"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.attrs["rule"] == "shed_ratio"
+        assert span.attrs["forced_clear"] is True
+        validate_trace(tracer, span.trace_id)
+        names = [e.name for e in tracer.events_for(span.trace_id)]
+        assert names == ["slo.fire", "slo.clear"]
+
+    def test_metrics_track_transitions(self):
+        reg = MetricsRegistry()
+        m = monitor(shed_rule(), registry=reg)
+        self.feed(m)
+        alerts = reg.get("repro_slo_alerts_total")
+        assert alerts.value(rule="shed_ratio", kind="fire") == 1
+        assert alerts.value(rule="shed_ratio", kind="clear") == 1
+        assert reg.get("repro_slo_active_alerts").value() == 0

@@ -94,3 +94,76 @@ def test_unbounded_summary_has_no_dropped_line():
     log = RecoveryLog()
     _fill(log, 2)
     assert "dropped" not in log.summary()
+
+
+class TestRingDropsVsTraceBinding:
+    """Ring eviction must not disturb trace mirroring (PR 8 regression).
+
+    A bound log mirrors each recorded event onto the bound trace IDs at
+    record time; eviction later only forgets the in-memory copy.  The
+    hazards guarded here: an evicted event must not be re-mirrored, and
+    a rebind after drops must not leak events onto the *previous*
+    binding (cross-bound spans) or onto no binding at all (orphans).
+    """
+
+    def test_dropped_events_keep_their_original_trace_attribution(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        log = RecoveryLog(max_events=2)
+        log.bind(tracer, [tid], time=1.0)
+        _fill(log, 5)                       # drops events 0..2
+        log.unbind()
+        mirrored = tracer.events_for(tid)
+        # Every record was mirrored exactly once, drops included.
+        assert [e.attrs["i"] for e in mirrored] == [0, 1, 2, 3, 4]
+        assert log.dropped_events == 3
+
+    def test_rebind_after_drops_never_cross_binds(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(seed=0)
+        tid_a, tid_b = tracer.new_trace(), tracer.new_trace()
+        log = RecoveryLog(max_events=2)
+        log.bind(tracer, [tid_a], time=1.0)
+        _fill(log, 4)                       # overflows while bound to A
+        log.unbind()
+        log.bind(tracer, [tid_b], time=2.0)
+        _fill(log, 4)                       # overflows again, bound to B
+        log.unbind()
+        a_events = tracer.events_for(tid_a)
+        b_events = tracer.events_for(tid_b)
+        assert [e.attrs["i"] for e in a_events] == [0, 1, 2, 3]
+        assert [e.attrs["i"] for e in b_events] == [0, 1, 2, 3]
+        assert all(e.time == 1.0 for e in a_events)
+        assert all(e.time == 2.0 for e in b_events)
+
+    def test_unbound_records_after_drops_are_not_orphaned_onto_tracer(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(seed=0)
+        tid = tracer.new_trace()
+        log = RecoveryLog(max_events=1)
+        log.bind(tracer, [tid], time=0.5)
+        _fill(log, 3)
+        log.unbind()
+        before = len(tracer.events)
+        _fill(log, 3)                       # unbound: must not touch the tracer
+        assert len(tracer.events) == before
+        assert log.total_recorded == 6
+        assert log.dropped_events == 5
+
+    def test_bound_multi_request_batch_fans_out_despite_drops(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(seed=0)
+        tids = [tracer.new_trace() for _ in range(3)]
+        log = RecoveryLog(max_events=1)
+        log.bind(tracer, tids, time=3.0)
+        log.record("retry", "link flap", attempt=1)
+        log.record("retry", "link flap", attempt=2)   # evicts the first
+        log.unbind()
+        for tid in tids:
+            attempts = [e.attrs["attempt"] for e in tracer.events_for(tid)]
+            assert attempts == [1, 2]
