@@ -32,8 +32,16 @@ from repro.accel.opsupport import supported_ops
 from repro.accel.perf import TimingBreakdown, estimate_time
 from repro.accel.registry import get_platform
 from repro.accel.spec import AcceleratorSpec, MB
-from repro.errors import CompileError, OutOfMemoryError, ShapeError, UnsupportedOperatorError
-from repro.faults import fire_fault
+from repro.errors import (
+    CompileError,
+    IntegrityFault,
+    OutOfMemoryError,
+    ShapeError,
+    UnsupportedOperatorError,
+)
+from repro.faults import corrupt_buffer, fire_fault
+from repro.integrity import policy as _integrity
+from repro.integrity.digest import plane_digest
 from repro.obs.metrics import get_registry
 from repro.tensor import Tensor, no_grad
 
@@ -193,6 +201,7 @@ class CompiledProgram:
         start = time.perf_counter()
         with no_grad():
             out = self.fn(*arrays)
+        out = self._guard_output(out)
         wall = time.perf_counter() - start
         self._runs += 1
         timing = estimate_time(self.cost, self.spec)
@@ -206,6 +215,32 @@ class CompiledProgram:
             unit="s",
         ).inc(timing.total, platform=self.spec.name)
         return RunResult(output=out, timing=timing, wall_seconds=wall)
+
+    def _guard_output(self, out: Tensor) -> Tensor:
+        """Device-output integrity boundary.
+
+        The SDC hook may flip a bit in the finished output buffer here —
+        the model for corruption on the device-to-host readback path.
+        With the guard armed, a digest taken before the hook convicts the
+        flip and raises :class:`~repro.errors.IntegrityFault` (a transient
+        fault: the retry ladder recomputes).  With guards off the wrong
+        bytes sail through, exactly like real silent corruption.
+        """
+        policy = _integrity._POLICY
+        guard = policy is not None and policy.device_output
+        arr = out.data
+        pre = plane_digest(arr) if guard else None
+        mangled = corrupt_buffer("device_output", arr, platform=self.spec.name)
+        if mangled is arr:
+            return out
+        if guard and plane_digest(mangled) != pre:
+            _integrity.note_detected("device_output", self.spec.name)
+            raise IntegrityFault(
+                f"device output digest mismatch on {self.spec.name}",
+                platform=self.spec.name,
+                site="device_output",
+            )
+        return Tensor(mangled)
 
     @property
     def runs(self) -> int:

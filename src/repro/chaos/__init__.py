@@ -21,7 +21,7 @@ See ``python -m repro chaos-soak`` and ``docs/RESILIENCE.md``.
 
 from repro.chaos.fleet import FleetSoakConfig, FleetSoakReport, run_fleet_soak
 from repro.chaos.soak import SoakConfig, SoakReport, reference_output, run_soak
-from repro.chaos.storm import STORM_RUN_KINDS, fault_storm
+from repro.chaos.storm import STORM_RUN_KINDS, fault_storm, sdc_storm
 
 __all__ = [
     "STORM_RUN_KINDS",
@@ -30,6 +30,7 @@ __all__ = [
     "SoakConfig",
     "SoakReport",
     "fault_storm",
+    "sdc_storm",
     "reference_output",
     "run_fleet_soak",
     "run_soak",

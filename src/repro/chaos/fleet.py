@@ -77,15 +77,20 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.chaos.soak import reference_output
-from repro.errors import ConfigError, ShedError
+from repro.chaos.storm import sdc_storm
+from repro.errors import ConfigError, IntegrityError, ShedError
+from repro.faults import FaultInjector, FaultPlan
 from repro.fleet import (
     FleetRouter,
     FleetStats,
+    QuarantinePolicy,
     TenantPolicy,
     WorkerFaultPlan,
     multi_tenant_trace,
     worker_storm,
 )
+from repro.integrity import policy as _ipolicy
+from repro.integrity.policy import integrity_guards
 from repro.obs import (
     CriticalPathAnalyzer,
     FlightRecorder,
@@ -137,6 +142,20 @@ class FleetSoakConfig:
     # SLOs.
     p95_budget_s: float = 0.06
     handoff_tolerance: float = 0.05
+    # Silent-data-corruption storm (sdc=True): a seeded
+    # :func:`~repro.chaos.storm.sdc_storm` flips bits in live buffers
+    # while the integrity guards and a fleet QuarantinePolicy are armed.
+    # The soak then asserts detection is total (injected == detected per
+    # site), responses stay bit-identical to the unfaulted oracle, the
+    # corrupting worker is benched and rejoins after its scrub, and the
+    # guards are transparent on clean data.
+    sdc: bool = False
+    sdc_gemm_flips: int = 3
+    sdc_output_flips: int = 2
+    sdc_snapshot_flips: int = 1
+    sdc_spacing: int = 24
+    quarantine_threshold: int = 2
+    quarantine_ordinals: int = 96
     # Online observatory (slo=True): trace propagation + burn-rate
     # alerts + flight recorder, plus the determinism / attribution /
     # zero-overhead checks.  Off by default: the base soak stays the
@@ -158,6 +177,8 @@ class FleetSoakConfig:
             raise ConfigError(
                 f"handoff_tolerance must be in [0, 1], got {self.handoff_tolerance}"
             )
+        if self.sdc and self.sdc_gemm_flips + self.sdc_output_flips == 0:
+            raise ConfigError("an SDC soak needs at least one gemm or output flip")
 
     # ------------------------------------------------------------------
     def overload_policy(self) -> OverloadPolicy:
@@ -195,6 +216,22 @@ class FleetSoakConfig:
                 replace(fault, at_request=max(fault.at_request, min_onset))
             )
         return adjusted
+
+    def sdc_plan(self) -> FaultPlan:
+        """The SDC storm; seeded apart from the worker storm's stream."""
+        return sdc_storm(
+            self.seed + 2,
+            gemm_flips=self.sdc_gemm_flips,
+            output_flips=self.sdc_output_flips,
+            snapshot_flips=self.sdc_snapshot_flips if self.crashes else 0,
+            spacing=self.sdc_spacing,
+        )
+
+    def quarantine_policy(self) -> QuarantinePolicy:
+        return QuarantinePolicy(
+            fault_threshold=self.quarantine_threshold,
+            quarantine_ordinals=self.quarantine_ordinals,
+        )
 
     def slo_rules_resolved(self) -> tuple:
         """The burn-rate rules the observatory runs under.
@@ -253,6 +290,12 @@ class FleetSoakReport:
     n_hangs: int = 0
     n_replays: int = 0
     n_handoffs: int = 0
+    # SDC-mode tallies (sdc=True runs only).
+    n_sdc_injected: int = 0
+    n_sdc_detected: int = 0
+    n_sdc_corrected: int = 0
+    n_quarantines: int = 0
+    n_scrub_dropped: int = 0
     checks: list[tuple[str, bool, str]] = field(default_factory=list)
     # Observatory outputs (slo=True runs only).
     slo_timeline: list = field(default_factory=list)
@@ -275,6 +318,14 @@ class FleetSoakReport:
             f"  {self.n_crashes} crashes, {self.n_hangs} hangs, "
             f"{self.n_replays} replays, {self.n_handoffs} warm handoffs",
         ]
+        if self.config.sdc:
+            lines.append(
+                f"  SDC: {self.n_sdc_injected} injected, "
+                f"{self.n_sdc_detected} detected "
+                f"({self.n_sdc_corrected} corrected in place), "
+                f"{self.n_quarantines} quarantines, "
+                f"{self.n_scrub_dropped} plans scrubbed"
+            )
         if self.config.slo:
             lines.append(
                 f"  {self.n_alerts} SLO alerts fired; p95-tail attribution "
@@ -307,10 +358,25 @@ class _ObservedRun:
     tracer: Tracer
     slo: SLOMonitor
     flight: FlightRecorder
+    injector: FaultInjector | None = None
+    integrity: dict = field(default_factory=dict)
 
 
-def _run_fleet(config: FleetSoakConfig, *, instrumented: bool):
-    """One soak replay from scratch; everything derives from ``config``."""
+def _run_fleet(
+    config: FleetSoakConfig,
+    *,
+    instrumented: bool,
+    sdc: bool | None = None,
+    guards: bool | None = None,
+):
+    """One soak replay from scratch; everything derives from ``config``.
+
+    ``sdc`` arms the seeded SDC injector and ``guards`` the integrity
+    policy; both default to ``config.sdc``.  The transparency legs of the
+    SDC contract run the same config with one of them off.
+    """
+    sdc = config.sdc if sdc is None else sdc
+    guards = config.sdc if guards is None else guards
     trace = multi_tenant_trace(
         config.n_requests,
         seed=config.seed,
@@ -347,11 +413,35 @@ def _run_fleet(config: FleetSoakConfig, *, instrumented: bool):
         tracer=tracer,
         registry=registry,
         slo=slo,
+        quarantine=config.quarantine_policy() if config.sdc else None,
     )
-    responses, stats = router.process(trace)
+    injector = None
+    integrity: dict = {}
+    if guards:
+        _ipolicy.reset_integrity_stats()
+    # The injector and guards are armed ONLY around the replay itself:
+    # the oracle recomputes in the checks below must see neither scripted
+    # events (which would desync injected-vs-detected accounting) nor
+    # corruption (which would poison the reference).
+    if sdc and guards:
+        with FaultInjector(config.sdc_plan()) as injector, integrity_guards():
+            responses, stats = router.process(trace)
+    elif sdc:
+        with FaultInjector(config.sdc_plan()) as injector:
+            responses, stats = router.process(trace)
+    elif guards:
+        with integrity_guards():
+            responses, stats = router.process(trace)
+    else:
+        responses, stats = router.process(trace)
+    if guards:
+        # Snapshot the module tallies now: later replays (determinism,
+        # transparency) reset the same globals.
+        integrity = _ipolicy.integrity_stats()
     return _ObservedRun(
         responses=responses, stats=stats, router=router,
         tracer=tracer, slo=slo, flight=flight,
+        injector=injector, integrity=integrity,
     )
 
 
@@ -568,6 +658,8 @@ def run_fleet_soak(
         )
     )
 
+    if config.sdc:
+        _sdc_checks(config, report, run)
     if config.slo:
         _slo_checks(config, report, run, trace_out=trace_out)
         if not report.passed and run.flight is not None:
@@ -575,6 +667,135 @@ def run_fleet_soak(
                 reason="soak_failure", monitor=run.slo
             )
     return report
+
+
+def _sdc_checks(
+    config: FleetSoakConfig, report: FleetSoakReport, run: _ObservedRun
+) -> None:
+    """The silent-data-corruption acceptance bars (see FleetSoakConfig)."""
+    checks = report.checks
+    stats, tallies = run.stats, run.integrity
+    injected: dict[str, int] = {}
+    for rec in run.injector.records:
+        injected[rec.site] = injected.get(rec.site, 0) + 1
+    report.n_sdc_injected = sum(injected.values())
+    report.n_sdc_detected = sum(
+        v for k, v in tallies.items() if k.startswith("detected:")
+    )
+    report.n_sdc_corrected = sum(
+        v for k, v in tallies.items() if k.startswith("corrected:")
+    )
+    report.n_quarantines = stats.n_quarantines
+    report.n_scrub_dropped = stats.n_scrub_dropped
+
+    # -- detection is total: injected == detected, site by site ----------
+    sites = set(injected) | {
+        k.split(":", 1)[1] for k in tallies if k.startswith("detected:")
+    }
+    mismatched = {
+        site: (injected.get(site, 0), tallies.get(f"detected:{site}", 0))
+        for site in sorted(sites)
+        if injected.get(site, 0) != tallies.get(f"detected:{site}", 0)
+    }
+    checks.append(
+        (
+            "sdc_detected",
+            report.n_sdc_injected > 0 and not mismatched,
+            f"injected {report.n_sdc_injected} "
+            f"{ {s: injected[s] for s in sorted(injected)} }, "
+            f"detected {report.n_sdc_detected}"
+            + (
+                f"; injected != detected at {mismatched}"
+                if mismatched
+                else ""
+            )
+            + ("" if report.n_sdc_injected else " — storm never struck"),
+        )
+    )
+
+    # -- the corrupting worker was benched, scrubbed, and rejoined -------
+    still_benched = [
+        w.name for w in run.router.workers.values() if w.state == "quarantined"
+    ]
+    # Every bench must resolve: served out (rejoin) or cut short by a
+    # scripted worker fault (whose own rejoin path brings the worker
+    # back) — and either way the worker ends the trace serving again.
+    benched_down = [
+        w.name
+        for w in run.router.workers.values()
+        if w.n_quarantines and w.state != "up"
+    ]
+    resolved = stats.n_quarantine_rejoins + stats.n_quarantine_interrupted
+    ok = (
+        stats.n_quarantines >= 1
+        and resolved == stats.n_quarantines
+        and not still_benched
+        and not benched_down
+    )
+    checks.append(
+        (
+            "quarantine",
+            ok,
+            f"{stats.n_quarantines} quarantine(s), "
+            f"{stats.n_quarantine_rejoins} rejoined, "
+            f"{stats.n_quarantine_interrupted} fault-interrupted, "
+            f"{stats.n_scrub_dropped} plan(s) scrubbed"
+            + (f"; still benched: {still_benched}" if still_benched else "")
+            + (f"; benched workers not back up: {benched_down}" if benched_down else "")
+            + ("" if stats.n_quarantines else " — threshold never tripped"),
+        )
+    )
+
+    # -- guards are transparent on clean data ----------------------------
+    clean_guarded = _run_fleet(config, instrumented=False, sdc=False, guards=True)
+    clean_bare = _run_fleet(config, instrumented=False, sdc=False, guards=False)
+    identical = _response_signature(clean_guarded) == _response_signature(clean_bare)
+    spurious = sum(
+        v for k, v in clean_guarded.integrity.items() if k.startswith("detected:")
+    )
+    checks.append(
+        (
+            "sdc_zero_overhead",
+            identical and spurious == 0,
+            "guards-on and guards-off clean replays "
+            + ("bit-identical" if identical else "DIVERGED")
+            + (f"; {spurious} spurious detections" if spurious else ""),
+        )
+    )
+
+    # -- stage-boundary integrity: a flipped container byte never decodes
+    checks.append(_payload_leg(config))
+
+
+def _payload_leg(config: FleetSoakConfig) -> tuple[str, bool, str]:
+    """One corrupted pack/unpack round trip through the DCZ container."""
+    from repro.core.api import make_compressor
+    from repro.core.container import pack, unpack
+
+    rng = np.random.default_rng(config.seed + 3)
+    x = rng.standard_normal((32, 32)).astype(np.float32)
+    comp = make_compressor(32, 32, method="dc", cf=2)
+    clean = pack(x, comp)
+    plan = FaultPlan(seed=config.seed + 3)
+    plan.add("payload", "bit_flip", times=1)
+    with FaultInjector(plan) as inj:
+        corrupt = pack(x, comp)
+    fired = len(inj.records) == 1
+    caught = False
+    try:
+        unpack(corrupt)
+    except IntegrityError:
+        caught = True
+    decodes, _ = unpack(clean)
+    clean_ok = decodes.shape == x.shape
+    return (
+        "payload_integrity",
+        fired and caught and clean_ok,
+        "flipped container bit "
+        + ("rejected with IntegrityError" if caught else "DECODED SILENTLY")
+        + ("" if fired else "; payload fault never fired")
+        + ("" if clean_ok else "; clean container failed to decode"),
+    )
 
 
 def _slo_checks(

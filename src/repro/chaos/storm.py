@@ -97,3 +97,53 @@ def fault_storm(
     if background_rate > 0:
         plan.add("run", "host_link_timeout", rate=background_rate)
     return plan
+
+
+def sdc_storm(
+    seed: int = 0,
+    *,
+    gemm_flips: int = 3,
+    output_flips: int = 2,
+    snapshot_flips: int = 1,
+    spacing: int = 24,
+) -> FaultPlan:
+    """Generate a seeded silent-data-corruption storm.
+
+    SDC faults never raise — each one flips the exponent MSB of one
+    element in a live buffer (see :func:`repro.faults.corrupt_buffer`)
+    and the wrong bytes propagate until an integrity guard notices:
+
+    * ``gemm_flips`` strikes hit *consecutive* tiled fast-path GEMM
+      products.  A serve dispatch runs two GEMMs, so any run of three
+      consecutive flips puts at least two detections inside one worker's
+      dispatch — which is what makes the fleet quarantine trigger a
+      property of the plan rather than of routing luck.
+    * ``output_flips`` strikes hit finished device output buffers at the
+      program-run boundary, spaced at least two events apart so a
+      detection's recompute is never itself corrupted into an
+      undetectable loop.
+    * ``snapshot_flips`` strikes poison compiled plans inside warm
+      handoff snapshots as they are restored (the event is only consumed
+      when a restore actually carries program entries).
+
+    Same contract as :func:`fault_storm`: a pure function of
+    ``(seed, knobs)`` that serializes to JSON and replays bit-for-bit.
+    """
+    if gemm_flips < 0 or output_flips < 0 or snapshot_flips < 0:
+        raise ConfigError("SDC flip counts must be >= 0")
+    if spacing < 2:
+        raise ConfigError(f"spacing must be >= 2, got {spacing}")
+    rng = np.random.default_rng(seed)
+    plan = FaultPlan(seed=seed)
+    if gemm_flips:
+        plan.add(
+            "gemm", "sdc_bit_flip",
+            after=int(rng.integers(2, 2 + spacing)), times=gemm_flips,
+        )
+    onset = int(rng.integers(0, spacing))
+    for _ in range(output_flips):
+        plan.add("device_output", "sdc_bit_flip", after=onset, times=1)
+        onset += 2 + int(rng.integers(0, spacing))
+    if snapshot_flips:
+        plan.add("snapshot", "sdc_bit_flip", times=snapshot_flips)
+    return plan

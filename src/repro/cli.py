@@ -629,12 +629,13 @@ def _cmd_chaos_soak(args) -> int:
             deadline=args.deadline,
             p95_budget_s=args.p95_budget,
             slo=args.slo,
+            sdc=args.sdc,
         )
         fleet_report = run_fleet_soak(fleet_config, trace_out=args.trace_out)
         print(fleet_report.format_report())
         return 0 if fleet_report.passed else 2
-    if args.slo or args.trace_out:
-        print("error: --slo/--trace-out require --fleet", file=sys.stderr)
+    if args.slo or args.trace_out or args.sdc:
+        print("error: --slo/--trace-out/--sdc require --fleet", file=sys.stderr)
         return 2
     config = SoakConfig(
         seed=args.seed,
@@ -1065,6 +1066,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace-out",
         help="(with --fleet --slo) write the instrumented run's trace JSONL",
+    )
+    p.add_argument(
+        "--sdc",
+        action="store_true",
+        help="(with --fleet) add a silent-data-corruption storm: seeded bit "
+        "flips in GEMM products, device outputs and handoff snapshots, with "
+        "integrity guards + worker quarantine armed; the soak fails (exit 2) "
+        "on any undetected corruption",
     )
     p.set_defaults(fn=_cmd_chaos_soak)
 

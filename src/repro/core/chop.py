@@ -28,6 +28,7 @@ from repro.core import fused
 from repro.core.dct import DEFAULT_BLOCK, block_diagonal_dct
 from repro.core.mask import chop_mask
 from repro.errors import ConfigError, ShapeError, require_int
+from repro.faults.injector import suspend_faults
 from repro.obs.profile import profiled
 from repro.tensor import Tensor, no_grad
 
@@ -225,11 +226,16 @@ class DCTChopCompressor:
         return verdict
 
     def _probe(self, direction: str, shape: tuple[int, ...], dtype) -> bool:
-        """Run dense and tiled on seeded data of this shape; compare bytes."""
+        """Run dense and tiled on seeded data of this shape; compare bytes.
+
+        Runs with fault injection suspended: a scripted SDC flip landing in
+        the probe's tiled leg would fail the comparison and wrongly pin the
+        shape dense forever (besides desynchronising the fault script).
+        """
         data = fused.probe_input(
             shape, dtype, cf=self.cf, block=self.block, direction=direction
         )
-        with no_grad():
+        with suspend_faults(), no_grad():
             t = Tensor(data, dtype=data.dtype)
             if direction == "compress":
                 dense = self._compress_dense(t)

@@ -16,13 +16,19 @@ form so datasets can actually be stored and reloaded:
 
 Format versions
 ---------------
-``DCZ2`` (current) headers carry ``crc32`` over the payload bytes;
-``unpack`` verifies both the payload *length* (against the stored
-compressed shape/dtype) and the checksum, raising
-:class:`~repro.errors.IntegrityError` on any mismatch — a corrupted file
-never silently decodes into garbage training data.  ``DCZ1`` files (no
-checksum) still load; length is validated and a ``UserWarning`` notes
-the missing checksum.
+``DCZ2`` (current) headers carry ``crc32`` over the payload bytes, a
+blake2b ``digest`` of the payload (the stage-boundary fingerprint the
+integrity layer threads through serve/decompress), and ``hcrc`` — a CRC
+over the canonical header itself, so a flipped bit in ``dtype`` or
+``compressed_shape`` cannot reinterpret a pristine payload.  ``unpack``
+verifies header checksum, payload length, payload checksum, and digest,
+raising :class:`~repro.errors.IntegrityError` on any mismatch — the
+contract (enforced by the seeded every-byte bit-flip fuzz suite) is that
+*any* single-bit corruption of a DCZ2 blob raises ``IntegrityError``,
+never crashes, never decodes wrong data.  ``DCZ1`` files (no checksum)
+still load; length is validated and a ``UserWarning`` notes the missing
+checksum.  Headers that predate ``hcrc`` keep loading; their decode path
+is hardened to reject (not crash on) corrupt-but-parseable fields.
 """
 
 from __future__ import annotations
@@ -36,8 +42,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.api import Compressor, make_compressor
-from repro.errors import ConfigError, IntegrityError
+from repro.errors import ConfigError, ContainerFormatError, IntegrityError
 from repro.faults import corrupt_payload
+from repro.integrity.digest import payload_digest
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.tensor import Tensor
@@ -45,6 +52,21 @@ from repro.tensor import Tensor
 MAGIC = b"DCZ2"
 MAGIC_V1 = b"DCZ1"
 _LEN = struct.Struct("<I")
+
+
+def _header_crc(header: dict) -> int:
+    """CRC32 over the canonical (sorted-key, ``hcrc``-less) header JSON.
+
+    The payload CRC cannot vouch for the header that frames it — a
+    flipped bit in ``dtype`` or ``compressed_shape`` would reinterpret a
+    pristine payload.  ``hcrc`` closes that gap; it is computed from the
+    *parsed* header so pack and unpack agree regardless of key order or
+    whitespace in the serialized form.
+    """
+    canonical = json.dumps(
+        {k: v for k, v in header.items() if k != "hcrc"}, sort_keys=True
+    ).encode()
+    return zlib.crc32(canonical)
 
 
 def _header_for(comp, original_shape: tuple[int, ...], dtype: str) -> dict:
@@ -113,6 +135,8 @@ def pack(x, comp: Compressor, *, payload_dtype: str = "float32") -> bytes:
     header["compressed_shape"] = list(compressed.shape)
     header["version"] = 2
     header["crc32"] = zlib.crc32(payload)
+    header["digest"] = payload_digest(payload)
+    header["hcrc"] = _header_crc(header)
     header_bytes = json.dumps(header).encode()
     buf = io.BytesIO()
     buf.write(MAGIC)
@@ -140,7 +164,7 @@ def _parse(blob: bytes) -> tuple[dict, bytes, int]:
     elif magic == MAGIC_V1:
         version = 1
     else:
-        raise ConfigError("not a DCZ container (bad magic)")
+        raise ContainerFormatError("not a DCZ container (bad magic)")
     (hlen,) = _LEN.unpack(blob[4:8])
     if 8 + hlen > len(blob):
         raise IntegrityError(
@@ -152,6 +176,22 @@ def _parse(blob: bytes) -> tuple[dict, bytes, int]:
         raise IntegrityError(f"container header is corrupt: {exc}") from exc
     if not isinstance(header, dict) or "compressed_shape" not in header or "dtype" not in header:
         raise IntegrityError("container header is corrupt: missing required fields")
+    if version >= 2:
+        # DCZ2 headers are self-checked; a missing hcrc is itself corruption
+        # (a flipped bit in the key name must not bypass verification).
+        # DCZ1 predates hcrc and is skipped — its unchecked-header risk is
+        # part of the documented legacy surface.
+        stored_hcrc = header.get("hcrc")
+        actual = _header_crc(header)
+        if stored_hcrc != actual:
+            get_registry().counter(
+                "repro_container_hcrc_failures_total",
+                help="containers rejected by header-checksum validation",
+            ).inc()
+            raise IntegrityError(
+                f"header checksum mismatch: stored {stored_hcrc}, computed {actual} "
+                "(header corrupted)"
+            )
     return header, blob[8 + hlen :], version
 
 
@@ -162,7 +202,14 @@ def unpack(blob: bytes) -> tuple[np.ndarray, dict]:
     truncated, padded, or fails its checksum.
     """
     header, payload, version = _parse(blob)
-    expected = int(np.prod(header["compressed_shape"])) * np.dtype(header["dtype"]).itemsize
+    try:
+        expected = (
+            int(np.prod(header["compressed_shape"])) * np.dtype(header["dtype"]).itemsize
+        )
+    except (TypeError, ValueError) as exc:
+        # Only reachable for pre-hcrc headers: a corrupt dtype/shape field
+        # that still parsed as JSON must reject, not crash.
+        raise IntegrityError(f"container header is corrupt: {exc}") from exc
     if len(payload) != expected:
         raise IntegrityError(
             f"payload length mismatch: header promises {expected} bytes, found {len(payload)} "
@@ -189,8 +236,16 @@ def unpack(blob: bytes) -> tuple[np.ndarray, dict]:
             "cannot be detected — re-save to upgrade to DCZ2",
             version=version,
         )
+    stored_digest = header.get("digest")
+    if stored_digest is not None and payload_digest(payload) != stored_digest:
+        raise IntegrityError("payload digest mismatch (file corrupted)")
     header.setdefault("version", version)
-    arr = np.frombuffer(payload, dtype=header["dtype"]).reshape(header["compressed_shape"])
+    try:
+        arr = np.frombuffer(payload, dtype=header["dtype"]).reshape(
+            header["compressed_shape"]
+        )
+    except (TypeError, ValueError) as exc:
+        raise IntegrityError(f"container header is corrupt: {exc}") from exc
     comp = compressor_for_header(header)
     rec = comp.decompress(arr.astype(np.float32)).numpy()
     return rec.reshape(header["shape"]), header

@@ -60,7 +60,10 @@ import numpy as np
 
 import repro.tensor as rt
 from repro.errors import ConfigError
-from repro.tensor import Tensor
+from repro.faults.injector import corrupt_buffer
+from repro.integrity import abft as _abft
+from repro.integrity import policy as _integrity
+from repro.tensor import Tensor, is_grad_enabled
 
 # ----------------------------------------------------------------------
 # Fast-path switches
@@ -240,6 +243,25 @@ def fused_cache_size() -> int:
 # ----------------------------------------------------------------------
 # Tiled kernels
 # ----------------------------------------------------------------------
+def _mm(x2d: Tensor, op: Tensor) -> Tensor:
+    """One fast-path GEMM, routed through the integrity guards.
+
+    Gradient-carrying calls keep the autograd ``Tensor.matmul`` (training
+    must backprop through compression; ABFT would sever the tape).  All
+    other calls compute the product directly on the ``.data`` arrays —
+    byte-identical to ``Tensor.matmul``'s forward, so the probe-backed
+    bit-identity guarantee is untouched — which lets the SDC hook strike
+    the product buffer and, when guards are armed, the ABFT checksum
+    verify it (see :mod:`repro.integrity.abft`).
+    """
+    if is_grad_enabled() and (x2d.requires_grad or op.requires_grad):
+        return x2d.matmul(op)
+    policy = _integrity._POLICY
+    if policy is not None and policy.abft:
+        return Tensor(_abft.checked_matmul(x2d.data, op.data, policy=policy))
+    return Tensor(corrupt_buffer("gemm", np.matmul(x2d.data, op.data)))
+
+
 def tiled_compress(
     x: Tensor,
     enc_r: Tensor,
@@ -265,12 +287,12 @@ def tiled_compress(
     # (..., nbh, B, nbw, B): axes (a, b, c, d) after the lead dims.
     z = x.reshape(*lead, nbh, block, nbw, block)
     # Column transform: contract the in-block column axis (one GEMM, K=B).
-    z = z.reshape(-1, block).matmul(enc_r)
+    z = _mm(z.reshape(-1, block), enc_r)
     z = z.reshape(*lead, nbh, block, nbw, cf)
     # Bring the in-block row axis last: (a, c, q, b).
     z = z.transpose(*range(nl), nl, nl + 2, nl + 3, nl + 1)
     # Row transform (second GEMM, K=B): -> (a, c, q, p).
-    z = z.reshape(-1, block).matmul(enc_lT)
+    z = _mm(z.reshape(-1, block), enc_lT)
     z = z.reshape(*lead, nbh, nbw, cf, cf)
     if blocks:
         # (a, c, p, q) -> (..., nblocks, cf*cf), row-major within a block.
@@ -303,11 +325,11 @@ def tiled_decompress(
         z = y.reshape(*lead, nbh, cf, nbw, cf)
         z = z.transpose(*range(nl), nl, nl + 2, nl + 1, nl + 3)
     # Column inverse first — the dense path computes ``Y @ LHS_d`` first.
-    z = z.reshape(-1, cf).matmul(dec_r)
+    z = _mm(z.reshape(-1, cf), dec_r)
     z = z.reshape(*lead, nbh, nbw, cf, block)
     # (a, c, p, bc) -> (a, c, bc, p), then the row inverse.
     z = z.transpose(*range(nl), nl, nl + 1, nl + 3, nl + 2)
-    z = z.reshape(-1, cf).matmul(dec_lT)
+    z = _mm(z.reshape(-1, cf), dec_lT)
     z = z.reshape(*lead, nbh, nbw, block, block)
     # (a, c, bc, br) -> (a, br, c, bc) -> (..., H, W)
     z = z.transpose(*range(nl), nl, nl + 3, nl + 1, nl + 2)

@@ -104,6 +104,35 @@ class DeviceLostError(DeviceError):
     """The device dropped off the bus; it will not come back this run."""
 
 
+class IntegrityFault(TransientDeviceError):
+    """An integrity guard caught silently corrupted data before it was served.
+
+    Unlike :class:`IntegrityError` (a *stored* container failed validation),
+    an ``IntegrityFault`` means a *live* result failed an ABFT checksum or a
+    stage-boundary digest: the device answered, but wrongly.  It subclasses
+    :class:`TransientDeviceError` deliberately — recomputing is the correct
+    response to a bit-flip, so detection feeds the existing retry ladder and
+    circuit breakers instead of needing a parallel recovery path.
+
+    ``site`` names the guard that fired (``"gemm"``, ``"device_output"``,
+    ``"snapshot"``).
+    """
+
+    def __init__(self, message: str, *, platform: str | None = None, site: str = "device_output"):
+        super().__init__(message, platform=platform)
+        self.site = site
+
+
+class ContainerFormatError(IntegrityError, ConfigError):
+    """Bytes handed to the container loader are not a DCZ container at all.
+
+    Dual-typed on purpose: historically a bad magic was a :class:`ConfigError`
+    (the caller passed the wrong file), but under the single-bit-flip fuzz
+    contract any corrupted load must surface as :class:`IntegrityError`.
+    Subclassing both keeps existing callers and the fuzz contract honest.
+    """
+
+
 class ShedError(ReproError):
     """The serving layer refused a request instead of serving it late.
 

@@ -18,16 +18,25 @@ Instrumented sites: ``compile`` (:func:`repro.accel.compile_program`),
 batch), ``payload`` (:func:`repro.core.container.pack` output bytes).
 The recovery machinery that turns these faults into retries, degradation
 rungs, and checkpoint resumes lives in :mod:`repro.resilience`.
+
+Silent-data-corruption sites never raise — they flip bits in live
+buffers and let the wrong bytes speak for themselves: ``gemm`` (a tiled
+fast-path matmul product), ``device_output`` (a finished program output),
+``snapshot`` (a warm plan-cache handoff).  Detection is the job of the
+:mod:`repro.integrity` guards.
 """
 
 from repro.faults.injector import (
     FaultInjector,
     InjectionRecord,
     active_injector,
+    corrupt_buffer,
     corrupt_payload,
+    corrupt_snapshot,
     fire_fault,
+    suspend_faults,
 )
-from repro.faults.plan import KINDS, SITES, FaultPlan, FaultSpec
+from repro.faults.plan import KINDS, SDC_KINDS, SDC_SITES, SITES, FaultPlan, FaultSpec
 
 __all__ = [
     "FaultPlan",
@@ -37,6 +46,11 @@ __all__ = [
     "active_injector",
     "fire_fault",
     "corrupt_payload",
+    "corrupt_buffer",
+    "corrupt_snapshot",
+    "suspend_faults",
     "KINDS",
     "SITES",
+    "SDC_KINDS",
+    "SDC_SITES",
 ]

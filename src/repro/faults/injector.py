@@ -14,14 +14,17 @@ keeps test fixtures from interfering with each other.
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.faults.plan import CORRUPTING_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import CORRUPTING_KINDS, SDC_KINDS, FaultPlan, FaultSpec
 from repro.obs.metrics import get_registry
 
 _ACTIVE: list["FaultInjector"] = []
+_SUSPENDED = 0
 
 
 @dataclass
@@ -133,7 +136,25 @@ class FaultInjector:
 
 def active_injector() -> FaultInjector | None:
     """The innermost armed injector, or ``None``."""
+    if _SUSPENDED:
+        return None
     return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def suspend_faults():
+    """Temporarily hide the active injector from instrumented code.
+
+    Used by out-of-band compute that must neither consume scripted fault
+    events nor be corrupted by them: fast-path equivalence probes, the
+    integrity scrub pass, and soak-check oracles.  Nests safely.
+    """
+    global _SUSPENDED
+    _SUSPENDED += 1
+    try:
+        yield
+    finally:
+        _SUSPENDED -= 1
 
 
 def fire_fault(site: str, *, platform: str | None = None) -> None:
@@ -160,3 +181,102 @@ def corrupt_payload(blob: bytes) -> bytes:
     mangled = inj.corrupt(blob, spec)
     inj.record(spec, "payload", None, detail=f"{len(blob)} -> {len(mangled)} bytes")
     return mangled
+
+
+# ----------------------------------------------------------------------
+# Silent-data-corruption hooks.  These never raise: the fault model is a
+# bit-flip in a live buffer, and the only symptom is wrong bytes — it is
+# the integrity guards' job (not the injector's) to notice.
+
+
+def _flip_exponent_msb(arr: np.ndarray, index: int) -> np.ndarray:
+    """Return a copy of ``arr`` with one element's exponent MSB flipped.
+
+    The exponent MSB (bit 30 of float32, bit 62 of float64) is the
+    injection model of choice because the resulting delta is *guaranteed*
+    macroscopic — 0.0 becomes 2.0, values >= 2 collapse by ~2**128 — so a
+    tolerance-based ABFT check detects it deterministically.  (A low-order
+    mantissa flip is below numeric noise by definition; defending against
+    it is a different, error-correcting-code problem.)  Non-float buffers
+    get the top bit of one byte flipped instead.
+    """
+    out = np.array(arr, copy=True)
+    flat = out.reshape(-1)
+    if flat.size == 0:
+        return out
+    index %= flat.size
+    if out.dtype == np.float32:
+        flat.view(np.uint32)[index] ^= np.uint32(1 << 30)
+    elif out.dtype == np.float64:
+        flat.view(np.uint64)[index] ^= np.uint64(1 << 62)
+    else:
+        flat.view(np.uint8)[index * out.itemsize] ^= np.uint8(0x80)
+    return out
+
+
+def corrupt_buffer(site: str, arr: np.ndarray, *, platform: str | None = None) -> np.ndarray:
+    """Return ``arr``, or a bit-flipped copy if an SDC fault is due at ``site``.
+
+    The caller decides what to do with a corrupted buffer: with integrity
+    guards enabled the flip is caught (ABFT checksum / output digest);
+    with guards disabled the wrong bytes propagate silently — exactly the
+    failure mode the soak's detection accounting measures.
+    """
+    inj = active_injector()
+    if inj is None:
+        return arr
+    spec = inj.event(site, platform=platform)
+    if spec is None or spec.kind not in SDC_KINDS:
+        return arr
+    index = int(inj._rng.integers(0, max(1, arr.size)))
+    mangled = _flip_exponent_msb(arr, index)
+    inj.record(
+        spec,
+        site,
+        platform,
+        detail=f"exponent-MSB flip at element {index % max(1, arr.size)} of {arr.shape}",
+    )
+    return mangled
+
+
+def _poisoned_fn(fn, flip_index: int):
+    """Wrap a compiled program's ``fn`` so its output carries a bit flip."""
+
+    def poisoned(*arrays):
+        out = fn(*arrays)
+        data = getattr(out, "data", out)
+        mangled = _flip_exponent_msb(np.asarray(data), flip_index)
+        if hasattr(out, "data"):
+            return type(out)(mangled)
+        return mangled
+
+    return poisoned
+
+
+def corrupt_snapshot(snapshot):
+    """Return ``snapshot``, with one cached program poisoned if a fault is due.
+
+    Models a plan-cache snapshot corrupted in transit during warm handoff:
+    the restored cache looks healthy (keys, LRU order, budgets all intact)
+    but one compiled program now produces subtly wrong planes.  The event
+    is only consumed when the snapshot actually holds a program entry, so
+    injected-vs-detected accounting stays one-to-one.
+    """
+    inj = active_injector()
+    if inj is None:
+        return snapshot
+    entries = getattr(snapshot, "entries", ())
+    slots = [i for i, (_key, entry, _budget) in enumerate(entries) if hasattr(entry, "fn")]
+    if not slots:
+        return snapshot
+    spec = inj.event("snapshot")
+    if spec is None or spec.kind not in SDC_KINDS:
+        return snapshot
+    slot = slots[int(inj._rng.integers(0, len(slots)))]
+    key, program, budget = entries[slot]
+    flip_index = int(inj._rng.integers(0, 1 << 30))
+    poisoned = dataclasses.replace(program, fn=_poisoned_fn(program.fn, flip_index))
+    new_entries = list(entries)
+    new_entries[slot] = (key, poisoned, budget)
+    inj.record(spec, "snapshot", None, detail=f"poisoned cached plan at slot {slot}")
+    return dataclasses.replace(snapshot, entries=tuple(new_entries))

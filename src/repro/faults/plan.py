@@ -27,7 +27,12 @@ from repro.errors import (
 )
 
 # Sites at which instrumented code consults the active injector.
-SITES = ("compile", "run", "payload", "train_step")
+SITES = ("compile", "run", "payload", "train_step", "gemm", "device_output", "snapshot")
+
+# Silent-data-corruption sites: the fault never raises; it flips bits in a
+# live buffer (a GEMM product, a finished device output, a warm plan-cache
+# snapshot) and the only symptom is wrong bytes downstream.
+SDC_SITES = ("gemm", "device_output", "snapshot")
 
 # Fault kinds and the site family they belong to.
 RAISING_KINDS = {
@@ -38,7 +43,8 @@ RAISING_KINDS = {
     "unsupported_operator": UnsupportedOperatorError,
 }
 CORRUPTING_KINDS = ("bit_flip", "truncate")
-KINDS = tuple(RAISING_KINDS) + CORRUPTING_KINDS
+SDC_KINDS = ("sdc_bit_flip",)
+KINDS = tuple(RAISING_KINDS) + CORRUPTING_KINDS + SDC_KINDS
 
 
 @dataclass
@@ -79,8 +85,16 @@ class FaultSpec:
             raise ConfigError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
         if self.kind in CORRUPTING_KINDS and self.site != "payload":
             raise ConfigError(f"kind {self.kind!r} only applies to the 'payload' site")
-        if self.kind in RAISING_KINDS and self.site == "payload":
-            raise ConfigError(f"kind {self.kind!r} cannot target the 'payload' site")
+        if self.kind in RAISING_KINDS and self.site in ("payload",) + SDC_SITES:
+            raise ConfigError(f"kind {self.kind!r} cannot target the {self.site!r} site")
+        if self.kind in SDC_KINDS and self.site not in SDC_SITES:
+            raise ConfigError(
+                f"kind {self.kind!r} only applies to SDC sites {SDC_SITES}"
+            )
+        if self.site in SDC_SITES and self.kind not in SDC_KINDS:
+            raise ConfigError(
+                f"site {self.site!r} only accepts SDC kinds {SDC_KINDS}"
+            )
         if self.rate is not None and not (0.0 <= self.rate <= 1.0):
             raise ConfigError(f"rate must be in [0, 1], got {self.rate}")
         if self.times < 1:

@@ -3,8 +3,10 @@
 ``repro.fleet`` scales the single :class:`~repro.serve.service.CompressionService`
 event loop out to a fleet of independent worker failure domains behind a
 consistent-hash router with bounded-load spill, weighted-fair tenant
-quotas, scripted worker faults with warm plan-cache handoff, and
-queue/p95-driven autoscaling over the simulated instance pool.  See
+quotas, scripted worker faults with warm plan-cache handoff,
+queue/p95-driven autoscaling over the simulated instance pool, and an
+integrity :class:`~repro.fleet.quarantine.QuarantinePolicy` that benches
+and scrubs workers whose dispatches keep tripping the SDC guards.  See
 ``docs/FLEET.md`` for the design tour and
 :func:`repro.chaos.run_fleet_soak` for the SLO harness that exercises
 all of it under a seeded crash storm.
@@ -18,6 +20,7 @@ from repro.fleet.faults import (
     WorkerFaultPlan,
     worker_storm,
 )
+from repro.fleet.quarantine import QuarantinePolicy
 from repro.fleet.ring import HashRing, stable_hash
 from repro.fleet.router import FleetRouter, route_key
 from repro.fleet.stats import FleetStats, TenantStats, WorkerStats
@@ -34,6 +37,7 @@ __all__ = [
     "FleetStats",
     "FleetWorker",
     "HashRing",
+    "QuarantinePolicy",
     "SLOW_RESTART_FACTOR",
     "TenantAdmission",
     "TenantPolicy",

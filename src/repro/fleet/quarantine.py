@@ -1,0 +1,65 @@
+"""Quarantine policy: what the fleet does about a corrupting worker.
+
+Crashes and hangs (:mod:`repro.fleet.faults`) are *loud* failures — the
+worker stops answering and the router reroutes.  Silent data corruption
+is the opposite: the worker keeps answering, wrongly.  The integrity
+guards (:mod:`repro.integrity`) turn each strike into a detected,
+recomputed event, but a device that corrupts *repeatedly* is telling you
+something about its hardware — and every recompute it forces burns the
+retry budget the whole service shares.
+
+:class:`QuarantinePolicy` is the fleet's response curve:
+
+* a worker whose guard-detection tally grows by ``fault_threshold``
+  since its last scrub is **quarantined** — taken off the hash ring,
+  drained, its queued requests replayed elsewhere (dedup-safe, same as
+  crash replay);
+* while quarantined its plan cache is **scrubbed**
+  (:func:`repro.integrity.scrub_cache`): every compiled plan replays a
+  probe input against the dense host oracle, and convicted plans are
+  dropped so they recompile from clean state;
+* after ``quarantine_ordinals`` fleet ordinals it **cold-rejoins**: the
+  ring range comes back, the drain latch lifts, and its per-incident
+  fault tally restarts from zero.
+
+The policy is pure configuration on the deterministic fleet clock, so a
+seeded SDC storm quarantines the same workers at the same ordinals on
+every replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """When to bench a corrupting worker, and for how long.
+
+    ``fault_threshold`` counts guard detections (ABFT corrections plus
+    device-output digest faults) attributed to the worker's dispatches
+    *since its last quarantine*, so one bad incident does not blacklist
+    a worker forever.  ``quarantine_ordinals`` is the bench length in
+    fleet request ordinals — the same clock worker-fault rejoins use.
+    """
+
+    fault_threshold: int = 2
+    quarantine_ordinals: int = 96
+
+    def __post_init__(self) -> None:
+        if self.fault_threshold < 1:
+            raise ConfigError(
+                f"fault_threshold must be >= 1, got {self.fault_threshold}"
+            )
+        if self.quarantine_ordinals < 1:
+            raise ConfigError(
+                f"quarantine_ordinals must be >= 1, got {self.quarantine_ordinals}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"quarantine after {self.fault_threshold} integrity fault(s), "
+            f"bench {self.quarantine_ordinals} ordinals + cache scrub"
+        )

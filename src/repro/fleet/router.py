@@ -52,12 +52,15 @@ import numpy as np
 
 from repro.accel.multichip import InstancePool, node_size
 from repro.errors import ConfigError, DeviceLostError, ShedError
+from repro.faults import corrupt_snapshot
 from repro.fleet.autoscale import AutoscaleEvent, AutoscalePolicy
 from repro.fleet.faults import WorkerFault, WorkerFaultPlan
+from repro.fleet.quarantine import QuarantinePolicy
 from repro.fleet.ring import HashRing
 from repro.fleet.stats import FleetStats, WorkerStats, tenant_reservoir
 from repro.fleet.tenants import TenantAdmission, TenantPolicy
 from repro.fleet.worker import FleetWorker
+from repro.integrity import policy as _integrity
 from repro.obs.context import TraceContext
 from repro.obs.metrics import get_registry
 from repro.resilience.log import RecoveryLog
@@ -93,6 +96,7 @@ class FleetRouter:
         overload: OverloadPolicy | None = None,
         fault_plan: WorkerFaultPlan | None = None,
         autoscale: AutoscalePolicy | None = None,
+        quarantine: QuarantinePolicy | None = None,
         snapshot_interval: int = 64,
         max_batch: int = 8,
         max_wait: float = 0.002,
@@ -125,6 +129,7 @@ class FleetRouter:
         self.spill_depth = spill_depth
         self.fault_plan = fault_plan
         self.autoscale = autoscale
+        self.quarantine = quarantine
         self.snapshot_interval = snapshot_interval
         self.max_batch = max_batch
         self.max_wait = max_wait
@@ -176,6 +181,23 @@ class FleetRouter:
         self._m_workers = reg.gauge(
             "repro_fleet_workers", help="live workers in the fleet"
         )
+        # Quarantine instruments exist only when a policy is attached, so
+        # integrity-free fleets leave no trace in the metric dump.
+        self._m_quarantines = self._m_quarantine_rejoins = None
+        self._m_quarantine_scrubbed = None
+        if quarantine is not None:
+            self._m_quarantines = reg.counter(
+                "repro_quarantine_total",
+                help="workers benched for repeated integrity faults, by worker",
+            )
+            self._m_quarantine_rejoins = reg.counter(
+                "repro_quarantine_rejoins_total",
+                help="quarantined workers that served their bench and rejoined",
+            )
+            self._m_quarantine_scrubbed = reg.counter(
+                "repro_quarantine_scrub_dropped_total",
+                help="compiled plans convicted and dropped by quarantine scrubs",
+            )
         self._m_tenant_requests = reg.counter(
             "repro_tenant_requests_total", help="requests arriving, by tenant"
         )
@@ -284,6 +306,8 @@ class FleetRouter:
                 for fault in self.fault_plan.due(ordinal):
                     self._fail_worker(fault, now)
             self._process_rejoins(ordinal, now)
+            if self.quarantine is not None:
+                self._check_quarantine(now)
             if self.snapshot_interval and ordinal % self.snapshot_interval == 0:
                 self._take_snapshots(now)
             if (
@@ -315,6 +339,10 @@ class FleetRouter:
         self.n_crashes = 0
         self.n_hangs = 0
         self.n_handoffs = 0
+        self.n_quarantines = 0
+        self.n_quarantine_rejoins = 0
+        self.n_quarantine_interrupted = 0
+        self.n_scrub_dropped = 0
         self.autoscale_events: list[AutoscaleEvent] = []
         self._tenant_latency: dict[str, object] = {}
         self._recent_latency: deque[float] = deque(maxlen=_RECENT_LATENCY_WINDOW)
@@ -436,8 +464,13 @@ class FleetRouter:
     # Failure domains.
     def _fail_worker(self, fault: WorkerFault, now: float) -> None:
         worker = self.workers.get(fault.worker)
-        if worker is None or not worker.up:
+        if worker is None or worker.state not in ("up", "quarantined"):
             return  # already down or retired — the fault finds nothing to kill
+        # A benched (quarantined) worker is still a live process, so a
+        # scripted fault can strike it: the bench ends by destruction and
+        # the ordinary crash/hang rejoin path takes over.
+        if worker.state == "quarantined":
+            self.n_quarantine_interrupted += 1
         queued = worker.take_queued()
         worker.state = "down"
         worker.pending_fault = fault
@@ -463,20 +496,89 @@ class FleetRouter:
     def _process_rejoins(self, ordinal: float, now: float) -> None:
         for worker in self.workers.values():
             if (
-                worker.state == "down"
+                worker.state in ("down", "quarantined")
                 and worker.restart_at is not None
                 and worker.restart_at <= ordinal
             ):
                 self._rejoin(worker, now)
 
+    # ------------------------------------------------------------------
+    # Integrity quarantine: the response curve for a *corrupting* worker
+    # (docs/INTEGRITY.md).  Crash faults are loud; SDC is silent, so the
+    # trigger is the guard-detection tally the worker's own service keeps.
+    def _check_quarantine(self, now: float) -> None:
+        for worker in list(self.workers.values()):
+            if (
+                worker.up
+                and worker.integrity_delta() >= self.quarantine.fault_threshold
+            ):
+                self._quarantine_worker(worker, now)
+
+    def _quarantine_worker(self, worker: FleetWorker, now: float) -> None:
+        faults = worker.integrity_delta()
+        # Same dedup-safe choreography as a crash: queued requests leave
+        # *before* they are served, then replay on the surviving ring.
+        queued = worker.take_queued()
+        self.ring.remove(worker.name)
+        self._collect(worker, worker.service.drain())
+        worker.state = "quarantined"
+        worker.n_quarantines += 1
+        worker.restart_at = self._ordinal + self.quarantine.quarantine_ordinals
+        self.n_quarantines += 1
+        self._m_quarantines.inc(worker=worker.name)
+        # Scrub while benched: every cached plan replays a probe against
+        # the dense host oracle; convicted plans are dropped so the
+        # worker rejoins with a revalidated (possibly smaller) cache.
+        dropped = self._scrub_worker(worker)
+        if self.tracer is not None:
+            self.tracer.record_event(
+                self.tracer.new_trace(), "fleet.quarantine", now,
+                worker=worker.name, faults=faults, scrub_dropped=dropped,
+            )
+        for req in queued:
+            self._route(req, now, replay=True)
+
+    def _scrub_worker(self, worker: FleetWorker) -> int:
+        if not (_integrity.integrity_enabled() and _integrity.current_policy().scrub):
+            return 0
+        from repro.integrity import scrub_cache
+
+        dropped = len(scrub_cache(worker.service.cache))
+        if dropped:
+            self.n_scrub_dropped += dropped
+            if self._m_quarantine_scrubbed is not None:
+                self._m_quarantine_scrubbed.inc(dropped, worker=worker.name)
+        return dropped
+
     def _rejoin(self, worker: FleetWorker, now: float) -> None:
+        if worker.state == "quarantined":
+            # Bench served: lift the drain latch and zero the strike count
+            # (the tally itself is cumulative history; the floor moves).
+            worker.restart_at = None
+            worker.service.reopen()
+            worker.integrity_floor = worker.service.integrity_faults
+            worker.state = "up"
+            self.ring.add(worker.name)
+            self.n_quarantine_rejoins += 1
+            self._m_quarantine_rejoins.inc(worker=worker.name)
+            self._set_workers_gauge()
+            if self.tracer is not None:
+                self.tracer.record_event(
+                    self.tracer.new_trace(), "fleet.quarantine_rejoin", now,
+                    worker=worker.name,
+                )
+            return
         fault = worker.pending_fault
         worker.pending_fault = None
         worker.restart_at = None
         if fault is not None and fault.loses_cache:
             service = self._make_service()
+            # A handoff snapshot crossed a machine boundary; the SDC fault
+            # model says it can be struck in flight, so the restore path
+            # corrupts it (when scripted) and then scrubs what it kept.
             snapshot = self._snapshots.get(worker.name)
             if snapshot is not None and snapshot.size > 0:
+                snapshot = corrupt_snapshot(snapshot)
                 service.cache.restore(snapshot)
                 self.n_handoffs += 1
                 self._m_handoffs.inc()
@@ -490,9 +592,18 @@ class FleetRouter:
                     )
             worker.service = service
             worker.service.slo_worker = worker.name
+            # A replacement service's guard tally restarts at zero.
+            worker.integrity_floor = 0
+            self._scrub_worker(worker)
             # The fresh cache's counters start at zero: its cumulative hit
             # rate *is* the post-handoff rate the soak asserts on.
             worker.rejoin_cache = service.cache
+        else:
+            # Hang rejoin keeps the service; if the hang struck a benched
+            # worker, lift its drain latch and restart its strike count so
+            # it is not instantly re-quarantined on stale tallies.
+            worker.service.reopen()
+            worker.integrity_floor = worker.service.integrity_faults
         worker.state = "up"
         self.ring.add(worker.name)
         self._set_workers_gauge()
@@ -597,6 +708,13 @@ class FleetRouter:
         stats.n_crashes = self.n_crashes
         stats.n_hangs = self.n_hangs
         stats.n_handoffs = self.n_handoffs
+        stats.n_quarantines = self.n_quarantines
+        stats.n_quarantine_rejoins = self.n_quarantine_rejoins
+        stats.n_quarantine_interrupted = self.n_quarantine_interrupted
+        stats.n_integrity_faults = sum(
+            w.service.integrity_faults for w in self.workers.values()
+        )
+        stats.n_scrub_dropped = self.n_scrub_dropped
         stats.autoscale_events = list(self.autoscale_events)
         stats.final_live_workers = len(self.live_workers)
         stats.workers = [
@@ -607,6 +725,8 @@ class FleetRouter:
                 n_served=w.n_served,
                 n_crashes=w.n_crashes,
                 n_hangs=w.n_hangs,
+                n_quarantines=w.n_quarantines,
+                integrity_faults=w.service.integrity_faults,
                 cache_hit_rate=w.cache_hit_rate,
                 pre_crash_hit_rate=w.pre_crash_hit_rate,
                 post_rejoin_hit_rate=w.post_rejoin_hit_rate(),

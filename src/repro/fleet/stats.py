@@ -59,6 +59,8 @@ class WorkerStats:
     n_served: int = 0                  # responses attributed to this worker
     n_crashes: int = 0                 # crash + slow_restart faults absorbed
     n_hangs: int = 0
+    n_quarantines: int = 0             # integrity benches served
+    integrity_faults: int = 0          # guard detections on its dispatches
     cache_hit_rate: float = 0.0        # current service's cache, cumulative
     pre_crash_hit_rate: float | None = None    # last crash: rate at death
     post_rejoin_hit_rate: float | None = None  # last crash: rate since handoff
@@ -80,6 +82,11 @@ class FleetStats:
     n_crashes: int = 0
     n_hangs: int = 0
     n_handoffs: int = 0                # warm cache snapshots restored
+    n_quarantines: int = 0             # workers benched for integrity faults
+    n_quarantine_rejoins: int = 0      # benches served out (scrub + rejoin)
+    n_quarantine_interrupted: int = 0  # benches cut short by a worker fault
+    n_integrity_faults: int = 0        # guard detections across all dispatches
+    n_scrub_dropped: int = 0           # plans convicted and dropped by scrubs
     n_quota_shed: int = 0
     shed_by_reason: dict[str, int] = field(default_factory=dict)
     autoscale_events: list = field(default_factory=list)   # [AutoscaleEvent]
@@ -118,6 +125,13 @@ class FleetStats:
                 f"{self.n_crashes} crashes, {self.n_hangs} hangs, "
                 f"{self.n_handoffs} warm handoffs",
             ),
+            (
+                "integrity",
+                f"{self.n_integrity_faults} guard detections, "
+                f"{self.n_quarantines} quarantines "
+                f"({self.n_quarantine_rejoins} rejoined), "
+                f"{self.n_scrub_dropped} plans scrubbed",
+            ),
             ("live workers", str(self.final_live_workers)),
         ]
         if self.shed_by_reason:
@@ -155,6 +169,11 @@ class FleetStats:
                         f", {w.n_crashes} crash(es)" if w.n_crashes else ""
                     )
                     + (f", {w.n_hangs} hang(s)" if w.n_hangs else "")
+                    + (
+                        f", {w.n_quarantines} quarantine(s)"
+                        if w.n_quarantines
+                        else ""
+                    )
                     + warm,
                 )
             )

@@ -24,8 +24,9 @@ from repro.fleet.faults import WorkerFault
 from repro.serve.plan_cache import CompiledPlanCache
 from repro.serve.service import CompressionService
 
-#: Lifecycle states a worker moves through.
-WORKER_STATES = ("up", "down", "retired")
+#: Lifecycle states a worker moves through.  ``quarantined`` is the
+#: integrity bench: off the ring for a scrub, rejoining on a timer.
+WORKER_STATES = ("up", "down", "quarantined", "retired")
 
 
 @dataclass
@@ -40,8 +41,13 @@ class FleetWorker:
     n_served: int = 0                  # responses this worker produced
     n_crashes: int = 0                 # crash + slow_restart faults absorbed
     n_hangs: int = 0
+    n_quarantines: int = 0             # integrity benches served
     pending_fault: WorkerFault | None = None
     restart_at: int | None = None      # fleet ordinal at which it rejoins
+    # Guard-detection tally at the end of the last quarantine scrub: the
+    # quarantine policy judges the *delta* past this floor, so a worker
+    # that served its bench starts its next strike count from zero.
+    integrity_floor: int = 0
     pre_crash_hit_rate: float | None = None
     rejoin_cache: CompiledPlanCache | None = None   # fresh cache after handoff
     # Shed/failure/degraded records harvested from services this worker
@@ -63,6 +69,10 @@ class FleetWorker:
     @property
     def cache_hit_rate(self) -> float:
         return self.service.cache.snapshot().hit_rate
+
+    def integrity_delta(self) -> int:
+        """Guard detections on this worker since its last quarantine."""
+        return max(0, self.service.integrity_faults - self.integrity_floor)
 
     def post_rejoin_hit_rate(self) -> float | None:
         """Hit rate of the post-handoff cache, or ``None`` before any

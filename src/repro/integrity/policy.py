@@ -1,0 +1,137 @@
+"""Global integrity-guard policy and detection accounting.
+
+The guards are **off by default** and cost nothing when off — hot paths
+check one module-level reference, exactly like the overload machinery's
+``overload is None`` pattern.  Arming them (via :func:`integrity_guards`
+or :func:`set_integrity_policy`) turns on:
+
+* ABFT checksum verification of every tiled fast-path GEMM
+  (:func:`repro.integrity.abft.checked_matmul`),
+* blake2b digests of device output buffers at the program-run boundary
+  (:meth:`repro.accel.CompiledProgram.run`),
+* scrub passes that revalidate restored plan-cache snapshots and
+  quarantined workers' caches (:func:`repro.integrity.scrub.scrub_cache`).
+
+Detections are tallied per site in a module counter (mirrored to
+``repro_sdc_detected_total``/``repro_sdc_corrected_total`` metrics) so
+chaos soaks can assert injected == detected exactly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.obs.metrics import get_registry
+
+#: Sites a guard can report a detection at.
+GUARD_SITES = ("gemm", "device_output", "snapshot", "scrub", "payload")
+
+
+@dataclass(frozen=True)
+class IntegrityPolicy:
+    """Which guards are armed and how the ABFT check is tuned.
+
+    ``rtol``/``atol`` bound the float slack allowed between a GEMM
+    product's row sums and the checksum-predicted row sums; the injection
+    model (exponent-MSB flips, delta >= ~2) sits orders of magnitude above
+    this slack, so detection is deterministic.  ``max_recomputes`` caps
+    the dense-recompute majority vote after a mismatch.
+    """
+
+    abft: bool = True
+    device_output: bool = True
+    scrub: bool = True
+    rtol: float = 1e-5
+    atol: float = 1e-8
+    max_recomputes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.rtol < 0 or self.atol < 0:
+            raise ConfigError(f"rtol/atol must be >= 0, got {self.rtol}/{self.atol}")
+        if self.max_recomputes < 1:
+            raise ConfigError(f"max_recomputes must be >= 1, got {self.max_recomputes}")
+
+
+_POLICY: IntegrityPolicy | None = None
+
+_STATS: dict[str, int] = {}
+
+
+def current_policy() -> IntegrityPolicy | None:
+    """The armed policy, or ``None`` when guards are disabled."""
+    return _POLICY
+
+
+def integrity_enabled() -> bool:
+    return _POLICY is not None
+
+
+def set_integrity_policy(policy: IntegrityPolicy | None) -> IntegrityPolicy | None:
+    """Arm (or disarm, with ``None``) the guards; returns the previous policy."""
+    global _POLICY
+    previous = _POLICY
+    _POLICY = policy
+    return previous
+
+
+@contextlib.contextmanager
+def integrity_guards(policy: IntegrityPolicy | None = None):
+    """Arm the integrity guards for the duration of the block (re-entrant)."""
+    previous = set_integrity_policy(policy if policy is not None else IntegrityPolicy())
+    try:
+        yield _POLICY
+    finally:
+        set_integrity_policy(previous)
+
+
+# ----------------------------------------------------------------------
+# Detection accounting.
+
+
+def note_detected(site: str, platform: str | None = None, *, corrected: bool = False) -> None:
+    """Tally one caught corruption at ``site`` (and mirror to metrics).
+
+    ``corrected`` marks detections the guard also repaired in place (an
+    ABFT mismatch resolved by dense recompute + majority vote) as opposed
+    to detections that escalate via :class:`~repro.errors.IntegrityFault`.
+    """
+    _STATS[f"detected:{site}"] = _STATS.get(f"detected:{site}", 0) + 1
+    get_registry().counter(
+        "repro_sdc_detected_total", help="silent corruptions caught, by site"
+    ).inc(site=site)
+    if corrected:
+        _STATS[f"corrected:{site}"] = _STATS.get(f"corrected:{site}", 0) + 1
+        get_registry().counter(
+            "repro_sdc_corrected_total", help="corruptions repaired in place, by site"
+        ).inc(site=site)
+
+
+def note_scrub(checked: int, dropped: int) -> None:
+    """Tally one scrub pass (``checked`` plans validated, ``dropped`` failed)."""
+    _STATS["scrub:checked"] = _STATS.get("scrub:checked", 0) + checked
+    _STATS["scrub:dropped"] = _STATS.get("scrub:dropped", 0) + dropped
+    get_registry().counter(
+        "repro_sdc_scrub_checked_total", help="cached plans revalidated by scrub passes"
+    ).inc(checked)
+    if dropped:
+        get_registry().counter(
+            "repro_sdc_scrub_dropped_total", help="cached plans dropped by scrub passes"
+        ).inc(dropped)
+
+
+def integrity_stats() -> dict[str, int]:
+    """A copy of the detection tallies (``detected:<site>``, ``corrected:<site>``, ``scrub:*``)."""
+    return dict(_STATS)
+
+
+def detected(site: str | None = None) -> int:
+    """Total detections, optionally restricted to one site."""
+    if site is not None:
+        return _STATS.get(f"detected:{site}", 0)
+    return sum(v for k, v in _STATS.items() if k.startswith("detected:"))
+
+
+def reset_integrity_stats() -> None:
+    _STATS.clear()

@@ -1,0 +1,115 @@
+"""Scrub pass: revalidate cached compiled plans against host oracles.
+
+A plan cache is the one place silent corruption *persists*: a poisoned
+compiled program keeps producing wrong planes on every hit, and warm
+snapshot handoff happily ships it to a replacement worker.  The scrub
+pass re-derives each cached compressor plan's ground truth on the host —
+rebuild the compressor from the :class:`~repro.accel.PlanKey`, run the
+same seeded equivalence probe the fast path uses, compare bytes — and
+drops any entry that disagrees.  Dropped entries just re-miss once; a
+recompile is always cheaper than serving a wrong plane.
+
+Runs under :func:`~repro.faults.suspend_faults` so the scrub itself
+neither consumes scripted fault events nor gets corrupted mid-check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompileError, ConfigError, ShapeError
+from repro.faults.injector import suspend_faults
+from repro.integrity.policy import note_detected, note_scrub
+from repro.tensor import Tensor, no_grad
+
+
+def _original_resolution(key) -> tuple[int, int] | None:
+    """Recover the uncompressed (H, W) a cached plan was built for.
+
+    Compress-direction keys carry it directly.  Decompress keys carry the
+    *compressed* layout; for dc/ps the dense compressed plane scales each
+    spatial side by cf/block, so the inverse is exact.  SG decompress keys
+    use the blocks layout, whose (nbh, nbw) split is not recoverable from
+    the key alone — those entries are skipped rather than guessed at.
+    """
+    shape = key.input_shapes[0]
+    if len(shape) < 2:
+        return None
+    h, w = int(shape[-2]), int(shape[-1])
+    if key.direction == "compress":
+        return h, w
+    if key.direction == "decompress" and key.method in ("dc", "ps") and key.cf and key.block:
+        return h * key.block // key.cf, w * key.block // key.cf
+    return None
+
+
+def validate_program(key, program) -> bool:
+    """True when ``program`` reproduces the host oracle on a seeded probe.
+
+    Entries no oracle can be built for (custom traced graphs, SG
+    decompress layouts, configs the host compressor rejects) are treated
+    as valid — the scrub only drops plans it can positively convict.
+    """
+    from repro.core.api import make_compressor
+    from repro.core.fused import probe_input
+
+    resolution = _original_resolution(key)
+    if resolution is None:
+        return True
+    try:
+        comp = make_compressor(
+            resolution[0],
+            resolution[1],
+            method=key.method,
+            cf=key.cf,
+            s=key.s,
+            block=key.block,
+            fast=False,
+        )
+    except ConfigError:
+        return True
+    probe = probe_input(
+        tuple(key.input_shapes[0]),
+        np.float32,
+        cf=key.cf,
+        block=key.block,
+        direction=key.direction or "compress",
+    )
+    with suspend_faults(), no_grad():
+        try:
+            got = program.fn(Tensor(probe))
+            oracle = (
+                comp.compress(Tensor(probe))
+                if key.direction == "compress"
+                else comp.decompress(Tensor(probe))
+            )
+        except (ConfigError, ShapeError):
+            return True
+    got_arr = np.asarray(getattr(got, "data", got))
+    oracle_arr = np.asarray(getattr(oracle, "data", oracle))
+    return got_arr.dtype == oracle_arr.dtype and np.array_equal(got_arr, oracle_arr)
+
+
+def scrub_cache(cache, *, site: str = "snapshot") -> list:
+    """Revalidate every compressor plan in ``cache``; drop and return failures.
+
+    Each dropped plan is tallied as one detection at ``site`` (default
+    ``"snapshot"`` — the scrub's main customer is warm-handoff restore and
+    quarantine revalidation).  Negative entries and non-compressor graphs
+    are left untouched.
+    """
+    dropped = []
+    checked = 0
+    for key, entry, _budget in cache.export_snapshot().entries:
+        if isinstance(entry, CompileError) or not hasattr(entry, "fn"):
+            continue
+        if not key.method or not key.direction:
+            continue
+        checked += 1
+        if not validate_program(key, entry):
+            dropped.append(key)
+    for key in dropped:
+        cache.discard(key)
+        note_detected(site)
+    note_scrub(checked, len(dropped))
+    return dropped

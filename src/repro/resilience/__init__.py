@@ -18,6 +18,7 @@ Checkpoint/resume for training lives with the trainer
 :mod:`repro.faults`.  See ``docs/RESILIENCE.md``.
 """
 
+from repro.resilience.budget import RetryBudget
 from repro.resilience.compressor import ResilientCompressor
 from repro.resilience.ladder import (
     Attempt,
@@ -39,5 +40,6 @@ __all__ = [
     "RecoveryLog",
     "RecoveryEvent",
     "RetryPolicy",
+    "RetryBudget",
     "run_with_recovery",
 ]

@@ -1,0 +1,88 @@
+"""Retry token budget: the anti-amplification governor for retry storms.
+
+Retries are load multipliers.  Under a silent-data-corruption storm every
+detected :class:`~repro.errors.IntegrityFault` triggers a recompute; if
+corruption strikes faster than recomputes drain, retries of retries pile
+up and a recoverable incident becomes a metastable one — the classic
+retry-storm failure (the design follows Finagle's ``RetryBudget``).
+
+The budget is a token bucket shared per service:
+
+* every *first* attempt deposits ``refill_per_success`` tokens (capped at
+  ``capacity``), so sustained healthy traffic continuously earns the
+  right to retry;
+* every retry withdraws one token;
+* an empty bucket means the retry is **not** attempted — the fault
+  propagates immediately and ``repro_retry_budget_exhausted_total``
+  counts the suppression.
+
+With the default 20% refill ratio, retries can add at most ~20% load on
+top of first attempts no matter how hard the fault injector leans on the
+service.  The deposit/withdraw arithmetic is pure and deterministic, so
+seeded soaks replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.obs.metrics import get_registry
+
+
+@dataclass
+class RetryBudget:
+    """Token bucket bounding retry amplification for one service.
+
+    ``capacity`` also sets the initial balance — a cold service can ride
+    out a small burst immediately, which keeps single-fault recovery
+    (the common case) unthrottled.
+    """
+
+    capacity: float = 32.0
+    refill_per_success: float = 0.2
+    service: str = "default"
+    _tokens: float = field(init=False, repr=False)
+    _exhausted: int = field(default=0, init=False, repr=False)
+    _withdrawn: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError(f"capacity must be > 0, got {self.capacity}")
+        if self.refill_per_success < 0:
+            raise ConfigError(
+                f"refill_per_success must be >= 0, got {self.refill_per_success}"
+            )
+        self._tokens = float(self.capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    @property
+    def exhaustions(self) -> int:
+        """Retries suppressed because the bucket was empty."""
+        return self._exhausted
+
+    @property
+    def withdrawals(self) -> int:
+        """Retries paid for so far."""
+        return self._withdrawn
+
+    def deposit(self) -> None:
+        """Credit one successful first attempt."""
+        self._tokens = min(float(self.capacity), self._tokens + self.refill_per_success)
+
+    def try_withdraw(self) -> bool:
+        """Spend one token for a retry; False (and counted) when broke."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self._withdrawn += 1
+            return True
+        self._exhausted += 1
+        get_registry().counter(
+            "repro_retry_budget_exhausted_total",
+            help="retries suppressed by the per-service retry token budget",
+        ).inc(service=self.service)
+        return False

@@ -49,6 +49,7 @@ class ResilientCompressor:
         plan_cache=None,
         preresolved: LadderResult | None = None,
         retry_key: int = 0,
+        retry_budget=None,
     ) -> None:
         """``plan_cache`` and ``preresolved`` avoid redundant compiles.
 
@@ -64,6 +65,11 @@ class ResilientCompressor:
         ``retry_key`` selects the jitter stream for retry backoff (the
         serving layer passes a per-request id so concurrent traces
         replay bit-identically).
+
+        ``retry_budget`` (a :class:`~repro.resilience.budget.RetryBudget`)
+        is shared across every compressor a service builds, bounding the
+        aggregate retry amplification an integrity-fault or transient
+        storm can produce.
         """
         self.height = height
         self.width = width if width is not None else height
@@ -81,6 +87,7 @@ class ResilientCompressor:
         self.max_failovers = max_failovers
         self.plan_cache = plan_cache
         self.retry_key = retry_key
+        self.retry_budget = retry_budget
         self._dead: set[str] = set()
         self._compiled: dict[str, LadderResult] = {}
         if preresolved is not None:
@@ -183,6 +190,7 @@ class ResilientCompressor:
             run = run_with_recovery(
                 result.program.run, arr,
                 policy=self.retry, log=self.log, retry_key=self.retry_key,
+                budget=self.retry_budget,
             )
             return run.output
         shards = np.split(arr, n, axis=0)
@@ -190,6 +198,7 @@ class ResilientCompressor:
             run_with_recovery(
                 result.program.run, shard,
                 policy=self.retry, log=self.log, retry_key=self.retry_key,
+                budget=self.retry_budget,
             ).output
             for shard in shards
         ]

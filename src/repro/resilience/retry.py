@@ -55,6 +55,7 @@ def run_with_recovery(
     policy: RetryPolicy | None = None,
     log: RecoveryLog | None = None,
     retry_key: int = 0,
+    budget=None,
     **kwargs,
 ):
     """Call ``fn(*args, **kwargs)``, retrying transient device faults.
@@ -64,6 +65,12 @@ def run_with_recovery(
     non-transient exception immediately (device-lost and compile errors
     are the degradation ladder's job, not retry's).  ``retry_key``
     selects the jitter stream (see :meth:`RetryPolicy.delay`).
+
+    ``budget`` (a :class:`~repro.resilience.budget.RetryBudget`) bounds
+    retry amplification across *all* calls sharing it: each retry must
+    withdraw a token, and when the bucket is empty the fault propagates
+    immediately instead of joining a retry storm.  First-attempt
+    successes deposit the refill credit.
     """
     policy = policy if policy is not None else RetryPolicy()
     # Explicit None check: an empty RecoveryLog is falsy (it has __len__).
@@ -83,6 +90,13 @@ def run_with_recovery(
             if attempt >= policy.max_retries:
                 log.record("gave_up", f"retries exhausted after {attempt + 1} attempts")
                 raise
+            if budget is not None and not budget.try_withdraw():
+                log.record(
+                    "gave_up",
+                    f"retry budget exhausted after {attempt + 1} attempts",
+                    reason="retry_budget",
+                )
+                raise
             pause = policy.delay(attempt, key=retry_key)
             log.record("retry", f"retrying after {pause * 1e3:.0f} ms backoff", attempt=attempt + 1)
             policy.sleep(pause)
@@ -90,4 +104,6 @@ def run_with_recovery(
             continue
         if attempt:
             log.record("recovered", f"succeeded on attempt {attempt + 1}")
+        elif budget is not None:
+            budget.deposit()
         return result

@@ -207,7 +207,14 @@ class CompiledPlanCache:
                 raise
             self.put(key, entry)
         if isinstance(entry, CompileError):
-            raise entry
+            # Raise a fresh instance chained to the cached one rather than
+            # re-raising the cached object: re-raising mutates the stored
+            # exception's traceback (it grows with every negative hit), and
+            # flight-recorder dumps need ``__cause__`` to show *when* the
+            # configuration originally failed, not the latest lookup stack.
+            rejection = type(entry)(str(entry), platform=entry.platform, reason=entry.reason)
+            rejection.deterministic = entry.deterministic
+            raise rejection from entry
         return entry
 
     # ------------------------------------------------------------------
@@ -228,6 +235,20 @@ class CompiledPlanCache:
             self._entries.clear()
             self._neg_budget.clear()
             self._g_size.set(0, cache=self._label)
+
+    def discard(self, key: PlanKey) -> bool:
+        """Drop one entry (if present) without disturbing anything else.
+
+        Used by the integrity scrub to evict a plan convicted of producing
+        corrupt output; the key simply re-misses and recompiles on next
+        use.  Not counted as an eviction — evictions are capacity events.
+        """
+        with self._lock:
+            present = self._entries.pop(key, None) is not None
+            self._neg_budget.pop(key, None)
+            if present:
+                self._g_size.set(len(self._entries), cache=self._label)
+            return present
 
     # ------------------------------------------------------------------
     def export_snapshot(self, *, taken_at: float = 0.0) -> PlanCacheSnapshot:

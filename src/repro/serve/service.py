@@ -64,6 +64,7 @@ from repro.errors import (
     ShapeError,
     ShedError,
 )
+from repro.integrity import policy as _integrity
 from repro.obs.metrics import exponential_buckets, get_registry
 from repro.resilience import LadderPolicy, ResilientCompressor, RetryPolicy
 from repro.resilience.log import RecoveryLog
@@ -124,6 +125,7 @@ class CompressionService:
         tracer=None,
         registry=None,
         slo=None,
+        retry_budget=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -141,6 +143,7 @@ class CompressionService:
         )
         self.scheduler = Scheduler(tuple(platforms), policy=policy)
         self.retry = retry if retry is not None else RetryPolicy(sleep=lambda _s: None)
+        self.retry_budget = retry_budget
         self.ladder = ladder if ladder is not None else LadderPolicy()
         # Explicit None check: an empty RecoveryLog is falsy (it has __len__).
         self.log = log if log is not None else RecoveryLog()
@@ -153,6 +156,11 @@ class CompressionService:
         self._n_failovers = 0
         self._n_hedges = 0
         self._n_hedge_wins = 0
+        # Corruptions the integrity guards caught during this service's
+        # dispatches (ABFT corrections + device-output digest faults).
+        # The fleet router's quarantine policy reads this as the worker's
+        # health score; stays 0 (and costs one flag check) with guards off.
+        self.integrity_faults = 0
         self._draining = False
         self._latency = latency_reservoir()
         self._trace_ids: dict[int, str] = {}
@@ -271,6 +279,16 @@ class CompressionService:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    def reopen(self) -> None:
+        """Lift a drain: accept new work again.
+
+        The quarantine lifecycle uses this — a worker drained for an
+        integrity scrub re-opens once its plan cache is revalidated.
+        The integrity-fault tally is *not* reset; it is cumulative
+        history, and the router tracks per-incident deltas itself.
+        """
+        self._draining = False
 
     def _ingest(self, req: Request, responses: list[Response], ctx=None) -> int:
         """Admit one request into the batcher; returns the queue depth."""
@@ -531,8 +549,10 @@ class CompressionService:
             max_failovers=self.max_failovers,
             plan_cache=self.cache,
             retry_key=batch.requests[0].rid,
+            retry_budget=self.retry_budget,
         )
         misses_before = self.cache.misses
+        detected_before = _integrity.detected() if _integrity.integrity_enabled() else 0
         log_mark = self.log.mark()
         if self.tracer is not None:
             member_tids = [
@@ -546,6 +566,7 @@ class CompressionService:
             resolved = rc.compile("compress")
         except (CompileError, DeviceError) as exc:
             self._note_dead(rc)
+            self._note_integrity(detected_before, now, batch)
             self._feed_breakers(log_mark, now, attempted=worker.platform)
             self._publish_breaker_transitions(batch, now)
             self._fail_batch(batch, exc)
@@ -553,6 +574,7 @@ class CompressionService:
         finally:
             if self.tracer is not None:
                 self.log.unbind()
+        self._note_integrity(detected_before, now, batch)
         self._note_dead(rc)
         self._n_batches += 1
         # Book modelled time on an instance of the platform that actually
@@ -635,6 +657,34 @@ class CompressionService:
                 )
             if self.tracer is not None and response.trace_id is not None:
                 self._trace_request(response, batch, resolved, compiles)
+
+    # ------------------------------------------------------------------
+    def _note_integrity(self, detected_before: int, now: float, batch) -> None:
+        """Attribute guard detections during one dispatch to this service.
+
+        Dispatches run sequentially on the modelled clock, so the delta in
+        the global detection tally over one ``rc.compress`` call is exactly
+        this worker's corruption count — the health signal the fleet's
+        quarantine policy acts on.  Detections also land as
+        ``integrity.fault`` events on every member request's trace.
+        """
+        if not _integrity.integrity_enabled():
+            return
+        delta = _integrity.detected() - detected_before
+        if not delta:
+            return
+        self.integrity_faults += delta
+        self._registry.counter(
+            "repro_sdc_worker_faults_total",
+            help="guard detections attributed to dispatches, by worker",
+        ).inc(delta, worker=self.slo_worker or "service")
+        if self.tracer is not None:
+            for r in batch.requests:
+                tid = self._trace_ids.get(r.rid)
+                if tid is not None:
+                    self.tracer.record_event(
+                        tid, "integrity.fault", now, detected=delta
+                    )
 
     # ------------------------------------------------------------------
     # Circuit-breaker feedback: retry/fault outcomes logged by the

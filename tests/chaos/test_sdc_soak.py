@@ -1,0 +1,68 @@
+"""SDC chaos soak: injected == detected, zero corrupt responses, quarantine."""
+
+import pytest
+
+from repro.chaos import FleetSoakConfig, run_fleet_soak, sdc_storm
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def _config(seed=0, **kwargs):
+    kwargs.setdefault("n_requests", 600)
+    return FleetSoakConfig(seed=seed, sdc=True, **kwargs)
+
+
+class TestSdcStormPlan:
+    def test_seeded_and_deterministic(self):
+        assert sdc_storm(3).to_json() == sdc_storm(3).to_json()
+        assert sdc_storm(3).to_json() != sdc_storm(4).to_json()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sdc_storm(0, gemm_flips=-1)
+        with pytest.raises(ConfigError):
+            sdc_storm(0, spacing=1)
+
+    def test_config_requires_at_least_one_corruption(self):
+        with pytest.raises(ConfigError):
+            _config(sdc_gemm_flips=0, sdc_output_flips=0)
+
+
+class TestSdcSoak:
+    def test_default_sdc_soak_passes(self):
+        report = run_fleet_soak(_config())
+        assert report.passed, report.format_report()
+        # The storm struck, every corruption was caught, and at least one
+        # worker went through the full quarantine lifecycle.
+        assert report.n_sdc_injected > 0
+        assert report.n_sdc_detected == report.n_sdc_injected
+        assert report.n_quarantines >= 1
+        checks = {name for name, ok, _ in report.checks if ok}
+        assert {"sdc_detected", "bit_identity", "quarantine", "sdc_zero_overhead"} <= checks
+
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    def test_sdc_soak_seed_sweep(self, seed):
+        report = run_fleet_soak(_config(seed=seed))
+        assert report.passed, report.format_report()
+        assert report.n_sdc_detected == report.n_sdc_injected > 0
+
+    def test_report_format_carries_the_sdc_line(self):
+        report = run_fleet_soak(_config())
+        text = report.format_report()
+        assert "SDC" in text
+        assert "quarantine" in text
+        assert "PASSED" in text
+
+    def test_sdc_soak_is_deterministic(self):
+        a = run_fleet_soak(_config(seed=5))
+        set_registry(MetricsRegistry())
+        b = run_fleet_soak(_config(seed=5))
+        assert a.format_report() == b.format_report()

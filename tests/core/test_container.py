@@ -114,3 +114,46 @@ class TestFiles:
             rec, header = container.load(path)
             assert rec.shape == x.shape
             assert header["cf"] == cf
+
+
+class TestEveryByteBitFlipFuzz:
+    """No single bit flip anywhere in a container may slip through.
+
+    The container's layered checks (magic, framing, hcrc over the parsed
+    header, CRC32 + blake2b over the payload) exist to make this property
+    total: for EVERY byte position and EVERY bit, the mutated blob must
+    raise IntegrityError — never crash with an unrelated exception, and
+    never decode to an array at all (a "successful" decode of corrupt
+    bytes would be a silent wrong answer).
+    """
+
+    def test_every_single_bit_flip_raises_integrity_error(self, rng):
+        from repro.errors import IntegrityError
+
+        x = rng.standard_normal((2, 1, 16, 16)).astype(np.float32)
+        comp = DCTChopCompressor(16, cf=2)
+        blob = container.pack(x, comp)
+        container.unpack(blob)                    # pristine blob decodes
+        survived = []
+        for pos in range(len(blob)):
+            for bit in range(8):
+                mutated = bytearray(blob)
+                mutated[pos] ^= 1 << bit
+                try:
+                    container.unpack(bytes(mutated))
+                except IntegrityError:
+                    continue
+                except Exception as exc:          # noqa: BLE001 - the fuzz contract
+                    survived.append(f"byte {pos} bit {bit}: crashed with {type(exc).__name__}")
+                else:
+                    survived.append(f"byte {pos} bit {bit}: decoded corrupt bytes")
+        assert not survived, "; ".join(survived[:10])
+
+    def test_truncation_at_every_length_raises_integrity_error(self, rng):
+        from repro.errors import IntegrityError
+
+        x = rng.standard_normal((1, 16, 16)).astype(np.float32)
+        blob = container.pack(x, DCTChopCompressor(16, cf=4))
+        for cut in range(len(blob)):
+            with pytest.raises(IntegrityError):
+                container.unpack(blob[:cut])

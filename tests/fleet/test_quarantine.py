@@ -1,0 +1,102 @@
+"""Worker quarantine: policy, deterministic bench/scrub/rejoin lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import reference_output, sdc_storm
+from repro.errors import ConfigError
+from repro.faults import FaultInjector
+from repro.fleet import FleetRouter, QuarantinePolicy, multi_tenant_trace
+from repro.integrity import integrity_guards, reset_integrity_stats, set_integrity_policy
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    previous = set_integrity_policy(None)
+    reset_integrity_stats()
+    yield
+    reset_integrity_stats()
+    set_integrity_policy(previous)
+    set_registry(old)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            QuarantinePolicy(fault_threshold=0)
+        with pytest.raises(ConfigError):
+            QuarantinePolicy(quarantine_ordinals=0)
+
+    def test_describe(self):
+        text = QuarantinePolicy(fault_threshold=3, quarantine_ordinals=50).describe()
+        assert "3" in text and "50" in text and "scrub" in text
+
+
+def _run_storm(seed=0, n=240, ordinals=48):
+    trace = multi_tenant_trace(n, seed=seed)
+    router = FleetRouter(
+        3,
+        quarantine=QuarantinePolicy(fault_threshold=2, quarantine_ordinals=ordinals),
+    )
+    plan = sdc_storm(seed, gemm_flips=3, output_flips=2, snapshot_flips=0)
+    with integrity_guards(), FaultInjector(plan) as inj:
+        responses, stats = router.process(trace)
+    return router, responses, stats, inj
+
+
+class TestQuarantineLifecycle:
+    def test_corrupting_worker_is_benched_and_rejoins(self):
+        router, responses, stats, inj = _run_storm()
+        # The storm struck and every strike was detected.
+        assert len(inj.records) == 5
+        assert stats.n_integrity_faults >= 2
+        # The gemm triple (consecutive dispatches on one worker) tripped
+        # the threshold; the bench was served out and the worker is back.
+        assert stats.n_quarantines >= 1
+        assert (
+            stats.n_quarantine_rejoins + stats.n_quarantine_interrupted
+            == stats.n_quarantines
+        )
+        for w in router.workers.values():
+            assert w.state == "up"
+        # Nothing was lost and nothing corrupt was served.
+        assert stats.accounted == stats.n_requests
+        for r in responses:
+            assert np.array_equal(r.output, reference_output(r))
+
+    def test_quarantine_is_deterministic(self):
+        a_router, _, a_stats, _ = _run_storm(seed=4)
+        set_registry(MetricsRegistry())
+        reset_integrity_stats()
+        b_router, _, b_stats, _ = _run_storm(seed=4)
+        assert a_stats.n_quarantines == b_stats.n_quarantines
+        assert {w.name: w.n_quarantines for w in a_router.workers.values()} == {
+            w.name: w.n_quarantines for w in b_router.workers.values()
+        }
+
+    def test_metrics_and_floor_reset(self):
+        router, _, stats, _ = _run_storm()
+        reg = get_registry()
+        assert reg.counter("repro_quarantine_total").total == stats.n_quarantines
+        assert (
+            reg.counter("repro_quarantine_rejoins_total").total
+            == stats.n_quarantine_rejoins
+        )
+        # After rejoin the per-incident floor equals the lifetime tally, so
+        # the old strikes can't instantly re-bench the worker.
+        for w in router.workers.values():
+            if w.n_quarantines:
+                assert w.integrity_delta() == 0
+
+    def test_no_quarantine_without_policy(self):
+        trace = multi_tenant_trace(240, seed=0)
+        router = FleetRouter(3)
+        plan = sdc_storm(0, gemm_flips=3, output_flips=2, snapshot_flips=0)
+        with integrity_guards(), FaultInjector(plan):
+            _, stats = router.process(trace)
+        # Guards still detect and correct, but nobody gets benched.
+        assert stats.n_integrity_faults >= 2
+        assert stats.n_quarantines == 0

@@ -1,0 +1,19 @@
+"""Shared fixtures for the integrity suite: clean global state per test."""
+
+import pytest
+
+from repro.integrity import reset_integrity_stats, set_integrity_policy
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_integrity_state():
+    """Fresh metrics registry, disarmed guards, zeroed tallies per test."""
+    old_registry = get_registry()
+    set_registry(MetricsRegistry())
+    previous = set_integrity_policy(None)
+    reset_integrity_stats()
+    yield
+    reset_integrity_stats()
+    set_integrity_policy(previous)
+    set_registry(old_registry)

@@ -1,0 +1,50 @@
+"""Exception-chaining audit: every re-raise inside a handler carries its cause.
+
+A swallowed ``__cause__`` is how corruption incidents lose their origin:
+the flight recorder dumps the translated exception and the original
+device fault (with its platform, site, and timing) is gone.  This test
+walks the whole source tree's AST and fails on any ``raise NewError(...)``
+inside an ``except`` block that neither chains (``raise ... from exc``)
+nor re-raises the caught object itself.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set:
+    return {handler.name} if handler.name else set()
+
+
+def _violations(path: Path) -> list:
+    tree = ast.parse(path.read_text())
+    bad = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = _caught_names(node)
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Raise) or inner.exc is None:
+                continue
+            if inner.cause is not None:
+                continue
+            # ``raise exc`` / ``raise err`` of the caught name is a
+            # deliberate re-raise and keeps the original traceback.
+            if isinstance(inner.exc, ast.Name) and inner.exc.id in caught:
+                continue
+            if isinstance(inner.exc, ast.Call):
+                bad.append(f"{path.relative_to(SRC.parent.parent)}:{inner.lineno}")
+    return bad
+
+
+def test_every_handler_raise_is_chained():
+    assert SRC.is_dir()
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        offenders.extend(_violations(path))
+    assert not offenders, (
+        "unchained raise inside an except handler (use 'raise ... from exc'):\n"
+        + "\n".join(offenders)
+    )

@@ -1,0 +1,101 @@
+"""Integrity policy: gating, context restore, validation, accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.integrity import (
+    GUARD_SITES,
+    IntegrityPolicy,
+    current_policy,
+    detected,
+    integrity_enabled,
+    integrity_guards,
+    integrity_stats,
+    note_detected,
+    note_scrub,
+    reset_integrity_stats,
+    set_integrity_policy,
+)
+from repro.obs.metrics import get_registry
+
+
+class TestGating:
+    def test_guards_off_by_default(self):
+        assert not integrity_enabled()
+        assert current_policy() is None
+
+    def test_context_arms_and_restores(self):
+        with integrity_guards() as policy:
+            assert integrity_enabled()
+            assert current_policy() is policy
+            assert policy.abft and policy.device_output and policy.scrub
+        assert not integrity_enabled()
+
+    def test_context_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with integrity_guards():
+                raise RuntimeError("boom")
+        assert current_policy() is None
+
+    def test_nested_contexts_restore_outer(self):
+        outer = IntegrityPolicy(rtol=1e-3)
+        inner = IntegrityPolicy(abft=False)
+        with integrity_guards(outer):
+            with integrity_guards(inner):
+                assert current_policy() is inner
+            assert current_policy() is outer
+        assert current_policy() is None
+
+    def test_set_policy_returns_previous(self):
+        policy = IntegrityPolicy()
+        assert set_integrity_policy(policy) is None
+        assert set_integrity_policy(None) is policy
+
+
+class TestValidation:
+    def test_negative_tolerances_rejected(self):
+        with pytest.raises(ConfigError):
+            IntegrityPolicy(rtol=-1e-5)
+        with pytest.raises(ConfigError):
+            IntegrityPolicy(atol=-1.0)
+
+    def test_max_recomputes_floor(self):
+        with pytest.raises(ConfigError):
+            IntegrityPolicy(max_recomputes=0)
+
+
+class TestAccounting:
+    def test_detected_tallies_by_site(self):
+        note_detected("gemm")
+        note_detected("gemm", corrected=True)
+        note_detected("device_output", "ipu")
+        assert detected() == 3
+        assert detected("gemm") == 2
+        assert detected("device_output") == 1
+        stats = integrity_stats()
+        assert stats["corrected:gemm"] == 1
+        assert "corrected:device_output" not in stats
+
+    def test_detected_mirrors_to_metrics(self):
+        note_detected("payload", corrected=False)
+        reg = get_registry()
+        assert reg.counter("repro_sdc_detected_total").value(site="payload") == 1
+        assert reg.counter("repro_sdc_corrected_total").value(site="payload") == 0
+
+    def test_scrub_tallies(self):
+        note_scrub(checked=7, dropped=2)
+        stats = integrity_stats()
+        assert stats["scrub:checked"] == 7
+        assert stats["scrub:dropped"] == 2
+        reg = get_registry()
+        assert reg.counter("repro_sdc_scrub_checked_total").value() == 7
+        assert reg.counter("repro_sdc_scrub_dropped_total").value() == 2
+
+    def test_reset_clears_tallies(self):
+        note_detected("snapshot")
+        reset_integrity_stats()
+        assert detected() == 0
+        assert integrity_stats() == {}
+
+    def test_guard_sites_cover_the_pipeline(self):
+        assert set(GUARD_SITES) >= {"gemm", "device_output", "snapshot", "payload"}

@@ -1,0 +1,90 @@
+"""Scrub pass: cached plans revalidate against the host oracle."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.accel import PlanKey, compile_program
+from repro.core import make_compressor
+from repro.errors import OutOfMemoryError
+from repro.integrity import integrity_stats, scrub_cache, validate_program
+from repro.serve import CompiledPlanCache
+from repro.tensor import Tensor
+
+
+def _compiled(resolution=32, cf=4, platform="a100", batch=2):
+    comp = make_compressor(resolution, cf=cf)
+    example = np.zeros((batch, 1, resolution, resolution), np.float32)
+    key = PlanKey.for_compressor(
+        platform,
+        example.shape,
+        method="dc",
+        cf=cf,
+        s=getattr(comp, "s", 2),
+        block=comp.block,
+        direction="compress",
+    )
+    program = compile_program(comp.compress, example, platform, key=key)
+    return key, program
+
+
+def _poison(program):
+    """A copy of ``program`` whose output carries one flipped sign bit."""
+    honest = program.fn
+
+    def bad(*arrays):
+        out = honest(*arrays)
+        data = np.array(np.asarray(getattr(out, "data", out)), copy=True)
+        data.reshape(-1)[0] = -data.reshape(-1)[0] - 1.0
+        return Tensor(data)
+
+    return dataclasses.replace(program, fn=bad)
+
+
+class TestValidateProgram:
+    def test_clean_plan_validates(self):
+        key, program = _compiled()
+        assert validate_program(key, program)
+
+    def test_poisoned_plan_convicted(self):
+        key, program = _compiled()
+        assert not validate_program(key, _poison(program))
+
+    def test_unrecoverable_key_treated_valid(self):
+        # No oracle can be rebuilt for a 1-D shape; the scrub must only
+        # drop plans it can positively convict.
+        key, program = _compiled()
+        odd = PlanKey(platform="a100", input_shapes=((7,),), name="custom")
+        assert validate_program(odd, _poison(program))
+
+
+class TestScrubCache:
+    def test_keeps_clean_drops_poisoned(self):
+        cache = CompiledPlanCache(capacity=8)
+        clean_key, clean = _compiled(32, cf=4)
+        bad_key, victim = _compiled(24, cf=2)
+        cache.put(clean_key, clean)
+        cache.put(bad_key, _poison(victim))
+        dropped = scrub_cache(cache)
+        assert dropped == [bad_key]
+        assert clean_key in cache and bad_key not in cache
+        stats = integrity_stats()
+        assert stats["detected:snapshot"] == 1
+        assert stats["scrub:checked"] == 2 and stats["scrub:dropped"] == 1
+
+    def test_negative_entries_left_untouched(self):
+        cache = CompiledPlanCache(capacity=8)
+        key, program = _compiled()
+        neg_key = dataclasses.replace(key, platform="sn30")
+        cache.put(key, program)
+        cache.put(neg_key, OutOfMemoryError("scripted rejection", platform="sn30"))
+        assert scrub_cache(cache) == []
+        assert neg_key in cache
+        assert integrity_stats()["scrub:checked"] == 1
+
+    def test_scrub_site_is_configurable(self):
+        cache = CompiledPlanCache(capacity=4)
+        key, program = _compiled()
+        cache.put(key, _poison(program))
+        scrub_cache(cache, site="scrub")
+        assert integrity_stats()["detected:scrub"] == 1

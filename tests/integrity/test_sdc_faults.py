@@ -1,0 +1,102 @@
+"""SDC fault sites: plan validation, bit-flip mechanics, snapshot poisoning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.injector import corrupt_buffer, corrupt_snapshot, suspend_faults
+from repro.faults.plan import SDC_KINDS, SDC_SITES
+from repro.serve.plan_cache import CompiledPlanCache
+from repro.tensor import Tensor
+from tests.integrity.test_scrub import _compiled
+
+
+class TestPlanValidation:
+    def test_sdc_kind_requires_sdc_site(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().add("run", "sdc_bit_flip")
+        with pytest.raises(ConfigError):
+            FaultPlan().add("payload", "sdc_bit_flip")
+
+    def test_sdc_site_rejects_raising_kinds(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().add("gemm", "host_link_timeout")
+        with pytest.raises(ConfigError):
+            FaultPlan().add("device_output", "bit_flip")
+
+    def test_every_sdc_site_accepts_every_sdc_kind(self):
+        for site in SDC_SITES:
+            for kind in SDC_KINDS:
+                FaultPlan().add(site, kind)
+
+
+class TestCorruptBuffer:
+    def test_noop_without_injector(self, rng):
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        assert corrupt_buffer("gemm", x) is x
+
+    def test_flips_exactly_one_element(self, rng):
+        x = rng.standard_normal((8, 8)).astype(np.float32)
+        plan = FaultPlan(seed=9).add("gemm", "sdc_bit_flip", after=0, times=1)
+        with FaultInjector(plan) as inj:
+            y = corrupt_buffer("gemm", x)
+        assert len(inj.records) == 1
+        diff = np.flatnonzero(x.reshape(-1) != y.reshape(-1))
+        assert diff.size == 1
+        # Exponent-MSB flip: the delta is macroscopic by construction.
+        idx = int(diff[0])
+        assert (
+            x.reshape(-1).view(np.uint32)[idx] ^ y.reshape(-1).view(np.uint32)[idx]
+        ) == np.uint32(1 << 30)
+        # The original buffer is never mutated in place.
+        assert y is not x
+
+    def test_never_raises_and_fires_exactly_times(self, rng):
+        x = rng.standard_normal((4,)).astype(np.float32)
+        plan = FaultPlan(seed=0).add("gemm", "sdc_bit_flip", after=1, times=2)
+        with FaultInjector(plan) as inj:
+            outs = [corrupt_buffer("gemm", x) for _ in range(5)]
+        flipped = [i for i, o in enumerate(outs) if not np.array_equal(o, x)]
+        assert flipped == [1, 2]
+        assert len(inj.records) == 2
+
+    def test_suspend_faults_hides_the_injector(self, rng):
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        plan = FaultPlan(seed=1).add("gemm", "sdc_bit_flip", after=0, times=1)
+        with FaultInjector(plan) as inj:
+            with suspend_faults():
+                assert corrupt_buffer("gemm", x) is x
+            assert inj.events_seen("gemm") == 0     # event not consumed
+            assert not np.array_equal(corrupt_buffer("gemm", x), x)
+
+
+class TestCorruptSnapshot:
+    def test_poisons_one_cached_program(self):
+        key, program = _compiled()
+        cache = CompiledPlanCache(capacity=4)
+        cache.put(key, program)
+        snapshot = cache.export_snapshot()
+        plan = FaultPlan(seed=3).add("snapshot", "sdc_bit_flip", after=0, times=1)
+        probe = np.zeros(program.key.input_shapes[0], np.float32)
+        with FaultInjector(plan) as inj:
+            poisoned = corrupt_snapshot(snapshot)
+        assert len(inj.records) == 1 and inj.records[0].site == "snapshot"
+        assert poisoned is not snapshot
+        # Keys, order, and budgets all look healthy; only the bytes lie.
+        assert poisoned.keys() == snapshot.keys()
+        honest = np.asarray(snapshot.entries[0][1].fn(Tensor(probe)).data)
+        sick = np.asarray(poisoned.entries[0][1].fn(Tensor(probe)).data)
+        assert honest.shape == sick.shape
+        assert not np.array_equal(honest, sick)
+
+    def test_event_not_consumed_without_program_slots(self):
+        # A snapshot holding only negative entries can't be poisoned; the
+        # scripted event must stay live so injected == detected holds.
+        cache = CompiledPlanCache(capacity=4)
+        snapshot = cache.export_snapshot()
+        plan = FaultPlan(seed=3).add("snapshot", "sdc_bit_flip", after=0, times=1)
+        with FaultInjector(plan) as inj:
+            assert corrupt_snapshot(snapshot) is snapshot
+            assert inj.events_seen("snapshot") == 0
+            assert inj.records == []

@@ -1,0 +1,101 @@
+"""RetryBudget: token-bucket mechanics and run_with_recovery integration."""
+
+import pytest
+
+from repro.errors import ConfigError, HostLinkTimeoutError
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.resilience import RecoveryLog, RetryBudget, RetryPolicy, run_with_recovery
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    yield
+    set_registry(old)
+
+
+def _policy():
+    return RetryPolicy(max_retries=5, base_delay=0.0, jitter=0.0, sleep=lambda _s: None)
+
+
+class TestBucketMechanics:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryBudget(capacity=0)
+        with pytest.raises(ConfigError):
+            RetryBudget(refill_per_success=-0.1)
+
+    def test_starts_full_and_withdraws_whole_tokens(self):
+        budget = RetryBudget(capacity=2.0)
+        assert budget.tokens == 2.0
+        assert budget.try_withdraw() and budget.try_withdraw()
+        assert not budget.try_withdraw()
+        assert budget.withdrawals == 2
+        assert budget.exhaustions == 1
+
+    def test_deposit_caps_at_capacity(self):
+        budget = RetryBudget(capacity=1.0, refill_per_success=0.4)
+        budget.deposit()
+        assert budget.tokens == 1.0                 # already full
+        budget.try_withdraw()
+        for _ in range(10):
+            budget.deposit()
+        assert budget.tokens == 1.0                 # capped, not 4.0
+
+    def test_successes_earn_back_retries(self):
+        budget = RetryBudget(capacity=1.0, refill_per_success=0.2)
+        assert budget.try_withdraw()
+        assert not budget.try_withdraw()            # broke
+        for _ in range(5):
+            budget.deposit()                        # 5 successes = 1 token
+        assert budget.try_withdraw()
+
+    def test_exhaustion_metric_labelled_by_service(self):
+        budget = RetryBudget(capacity=1.0, service="svc-a")
+        budget.try_withdraw()
+        budget.try_withdraw()
+        counter = get_registry().counter("repro_retry_budget_exhausted_total")
+        assert counter.value(service="svc-a") == 1
+
+
+class TestRunWithRecoveryIntegration:
+    def test_exhausted_budget_stops_the_retry_storm(self):
+        budget = RetryBudget(capacity=1.0, refill_per_success=0.0)
+        calls = {"n": 0}
+
+        def always_flaky():
+            calls["n"] += 1
+            raise HostLinkTimeoutError("scripted", platform="ipu")
+
+        log = RecoveryLog()
+        with pytest.raises(HostLinkTimeoutError):
+            run_with_recovery(always_flaky, policy=_policy(), log=log, budget=budget)
+        # One paid retry, then the empty bucket propagates the fault
+        # instead of burning the remaining max_retries.
+        assert calls["n"] == 2
+        assert budget.exhaustions == 1
+        gave_up = [e for e in log.events if e.action == "gave_up"]
+        assert len(gave_up) == 1
+        assert gave_up[0].context.get("reason") == "retry_budget"
+
+    def test_first_attempt_success_deposits(self):
+        budget = RetryBudget(capacity=4.0, refill_per_success=0.5)
+        budget.try_withdraw()
+        assert budget.tokens == 3.0
+        assert run_with_recovery(lambda: 42, policy=_policy(), budget=budget) == 42
+        assert budget.tokens == 3.5
+
+    def test_recovery_within_budget_is_unthrottled(self):
+        budget = RetryBudget(capacity=4.0)
+        calls = {"n": 0}
+
+        def flaky_once():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise HostLinkTimeoutError("scripted", platform="ipu")
+            return "ok"
+
+        assert run_with_recovery(flaky_once, policy=_policy(), budget=budget) == "ok"
+        assert budget.withdrawals == 1
+        assert budget.exhaustions == 0

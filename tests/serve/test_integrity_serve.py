@@ -1,0 +1,121 @@
+"""Serving-layer integrity: budget threading, fault attribution, reopen."""
+
+import numpy as np
+import pytest
+
+from repro.accel import PlanKey
+from repro.errors import OutOfMemoryError
+from repro.faults import FaultInjector, FaultPlan
+from repro.integrity import reset_integrity_stats, set_integrity_policy, integrity_guards
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+from repro.resilience import RetryBudget
+from repro.serve import CompiledPlanCache, CompressionService, synthetic_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    old = get_registry()
+    set_registry(MetricsRegistry())
+    previous = set_integrity_policy(None)
+    reset_integrity_stats()
+    yield
+    reset_integrity_stats()
+    set_integrity_policy(previous)
+    set_registry(old)
+
+
+def _trace(n=40, seed=0):
+    return synthetic_trace(n, seed=seed, resolutions=(16,), channels=1, cfs=(2,), rate=4000.0)
+
+
+def _sdc_plan(times=2, seed=8):
+    return FaultPlan(seed=seed).add("device_output", "sdc_bit_flip", after=2, times=times)
+
+
+class TestIntegrityAttribution:
+    def test_detections_counted_per_service_and_served_clean(self):
+        clean_service = CompressionService(("ipu",), max_batch=4, max_wait=0.01)
+        clean, _ = clean_service.process(_trace())
+        service = CompressionService(("ipu",), max_batch=4, max_wait=0.01)
+        with integrity_guards(), FaultInjector(_sdc_plan()) as inj:
+            responses, stats = service.process(_trace())
+        assert len(inj.records) == 2
+        assert stats.n_failed == 0
+        assert service.integrity_faults == 2
+        # Every response is bit-identical to the unfaulted replay: the
+        # corrupt results were recomputed, never served.
+        by_rid = {r.request.rid: r for r in responses}
+        for r in clean:
+            assert np.array_equal(by_rid[r.request.rid].output, r.output)
+        worker_counter = get_registry().counter("repro_sdc_worker_faults_total")
+        assert worker_counter.value(worker="service") == 2
+
+    def test_no_attribution_when_guards_are_off(self):
+        service = CompressionService(("ipu",), max_batch=4, max_wait=0.01)
+        with FaultInjector(_sdc_plan()):
+            _, stats = service.process(_trace())
+        assert stats.n_failed == 0
+        assert service.integrity_faults == 0
+
+
+class TestRetryBudgetThreading:
+    def test_recomputes_withdraw_from_the_shared_budget(self):
+        budget = RetryBudget(capacity=8.0, service="svc")
+        service = CompressionService(
+            ("ipu",), max_batch=4, max_wait=0.01, retry_budget=budget
+        )
+        with integrity_guards(), FaultInjector(_sdc_plan(times=3)):
+            _, stats = service.process(_trace())
+        assert stats.n_failed == 0
+        assert budget.withdrawals == 3
+        assert budget.exhaustions == 0
+
+    def test_service_without_budget_is_unchanged(self):
+        service = CompressionService(("ipu",), max_batch=4, max_wait=0.01)
+        assert service.retry_budget is None
+        _, stats = service.process(_trace())
+        assert stats.n_failed == 0
+
+
+class TestReopen:
+    def test_reopen_lifts_the_drain_latch_and_keeps_the_tally(self):
+        service = CompressionService(("ipu",), max_batch=4, max_wait=0.01)
+        service.process(_trace())
+        service.integrity_faults = 5
+        service.drain()
+        assert service.draining
+        service.reopen()
+        assert not service.draining
+        # The lifetime tally survives; quarantine uses a per-incident
+        # floor on the worker, not a reset here.
+        assert service.integrity_faults == 5
+
+
+class TestNegativeEntryChaining:
+    def test_cached_rejection_raises_fresh_chained_instance(self):
+        cache = CompiledPlanCache(capacity=4)
+        key = PlanKey(platform="sn30", input_shapes=((1, 512, 512),), name="oom")
+
+        def factory():
+            raise OutOfMemoryError("scripted 512x512 rejection", platform="sn30")
+
+        with pytest.raises(OutOfMemoryError) as first:
+            cache.get_or_compile(key, factory)
+        original = first.value
+
+        def tb_depth(exc):
+            depth, tb = 0, exc.__traceback__
+            while tb is not None:
+                depth, tb = depth + 1, tb.tb_next
+            return depth
+
+        baseline = tb_depth(original)
+        for _ in range(3):
+            with pytest.raises(OutOfMemoryError) as err:
+                cache.get_or_compile(key, factory)
+            # A fresh instance chained to the stored original — not the
+            # stored object re-raised (that would grow its traceback and
+            # lose the original failure point in flight-recorder dumps).
+            assert err.value is not original
+            assert err.value.__cause__ is original
+            assert tb_depth(original) == baseline
