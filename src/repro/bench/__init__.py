@@ -9,16 +9,21 @@ from repro.bench.runner import (
     BenchReport,
     CaseResult,
     Comparison,
+    ParallelResult,
     SpeedupResult,
     calibrate,
     compare,
     default_suite,
     load_baseline,
+    measure_parallel,
+    measure_precision,
     measure_speedups,
+    merge_reports,
     run_case,
     run_suite,
     DEFAULT_TOLERANCE,
     MIN_SPEEDUP,
+    PARALLEL_WORKERS,
     SCHEMA,
 )
 
@@ -27,15 +32,20 @@ __all__ = [
     "BenchReport",
     "CaseResult",
     "Comparison",
+    "ParallelResult",
     "SpeedupResult",
     "calibrate",
     "compare",
     "default_suite",
     "load_baseline",
+    "measure_parallel",
+    "measure_precision",
     "measure_speedups",
+    "merge_reports",
     "run_case",
     "run_suite",
     "DEFAULT_TOLERANCE",
     "MIN_SPEEDUP",
+    "PARALLEL_WORKERS",
     "SCHEMA",
 ]

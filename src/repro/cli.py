@@ -78,6 +78,7 @@ from __future__ import annotations
 
 import argparse
 import functools
+import json
 import sys
 
 import numpy as np
@@ -189,7 +190,28 @@ def _bench_suite(args) -> int:
     """
     from repro import bench
 
-    report = bench.run_suite(seed=args.seed, repeats=args.repeats)
+    if args.refresh:
+        if not args.out:
+            print("--refresh needs --out to write the merged baseline", file=sys.stderr)
+            return 1
+        reports = [
+            bench.run_suite(seed=args.seed, repeats=args.repeats, workers=args.workers)
+            for _ in range(args.refresh)
+        ]
+        merged = bench.merge_reports(reports)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"merged {args.refresh} suite runs -> {args.out} "
+            f"(median speedup {merged['median_speedup']:.2f}x, "
+            f"parallel {merged['median_parallel_speedup']:.2f}x)"
+        )
+        return 0
+
+    report = bench.run_suite(
+        seed=args.seed, repeats=args.repeats, workers=args.workers
+    )
     print(
         f"bench suite: {len(report.cases)} cases, seed={report.seed}, "
         f"repeats={report.repeats}, calibration {report.calibration_s * 1e3:.3f} ms"
@@ -201,6 +223,23 @@ def _bench_suite(args) -> int:
             f" -> fast {s.fast_median_s * 1e3:.2f} ms ({s.speedup:.1f}x){marker}"
         )
     print(f"  median fast-path speedup at n=512: {report.median_speedup:.2f}x")
+    for p in report.parallel:
+        marker = "" if p.identical else "  [OUTPUT MISMATCH]"
+        print(
+            f"  n={p.n} cf={p.cf} parallel w={p.workers}: serial "
+            f"{p.serial_median_s * 1e3:.2f} ms -> "
+            f"{p.parallel_median_s * 1e3:.2f} ms ({p.speedup:.2f}x){marker}"
+        )
+    print(
+        f"  median parallel speedup at n=512 (w={args.workers}): "
+        f"{report.median_parallel_speedup:.2f}x"
+    )
+    for row in report.precision:
+        print(
+            f"  precision {row['name']}: ratio {row['ratio']:.1f}x "
+            f"nrmse {row['nrmse']:.5f} psnr {row['psnr']:.1f} dB "
+            f"roundtrip {row['median_s'] * 1e3:.2f} ms"
+        )
     if args.out:
         report.write(args.out)
         print(f"wrote {args.out}")
@@ -212,6 +251,27 @@ def _bench_suite(args) -> int:
         print(f"cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
         return 1
     result = bench.compare(report, baseline, tolerance=args.tolerance)
+    if result.regressions and not result.failures:
+        # Timing-only regressions must reproduce on an immediate rerun
+        # before they fail the gate: a sustained slow phase on a shared
+        # host shifts whole runs, and one sample of one phase is not
+        # evidence the code got slower.  Hard failures (bit-identity,
+        # checksum-backed) never get this second chance.
+        print(
+            f"bench: {len(result.regressions)} timing regression(s); "
+            "re-running suite once to confirm"
+        )
+        rerun = bench.run_suite(
+            seed=args.seed, repeats=args.repeats, workers=args.workers
+        )
+        confirm = bench.compare(rerun, baseline, tolerance=args.tolerance)
+        confirmed_keys = {line.split(":", 1)[0] for line in confirm.regressions}
+        result.regressions = [
+            line
+            for line in result.regressions
+            if line.split(":", 1)[0] in confirmed_keys
+        ]
+        result.failures.extend(confirm.failures)
     for warning in result.warnings:
         print(f"warning: {warning}")
     for line in result.regressions + result.failures:
@@ -938,6 +998,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="allowed normalised-median slowdown vs baseline (suite mode)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="thread-pool width for the parallel fan-out section (suite mode)",
+    )
+    p.add_argument(
+        "--refresh",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the suite N times and write the merged envelope baseline "
+        "to --out (suite mode; this is how BENCH_compressor.json is made)",
     )
     p.set_defaults(fn=_cmd_bench)
 

@@ -44,9 +44,25 @@ from repro.core.fused import (
     fused_operators,
     clear_fused_cache,
     fast_path_stats,
+    has_nonfinite,
 )
+from repro.core.arena import Arena
+from repro.core.parallel import cpu_workers, get_workers, set_workers
 from repro.core.padded import PaddedCompressor, AdaptiveCompressor
-from repro.core.autotune import select_cf, build_for_target, TuneResult
+from repro.core.autotune import (
+    select_cf,
+    build_for_target,
+    TuneResult,
+    ExecutionPlan,
+    plan_execution,
+)
+from repro.core.precision import (
+    PRECISIONS,
+    PrecisionPoint,
+    accuracy_curve,
+    quantize_int8,
+    dequantize_int8,
+)
 from repro.core import container, colorspace
 
 __all__ = [
@@ -82,11 +98,23 @@ __all__ = [
     "fused_operators",
     "clear_fused_cache",
     "fast_path_stats",
+    "has_nonfinite",
+    "Arena",
+    "cpu_workers",
+    "get_workers",
+    "set_workers",
     "PaddedCompressor",
     "AdaptiveCompressor",
     "select_cf",
     "build_for_target",
     "TuneResult",
+    "ExecutionPlan",
+    "plan_execution",
+    "PRECISIONS",
+    "PrecisionPoint",
+    "accuracy_curve",
+    "quantize_int8",
+    "dequantize_int8",
     "container",
     "colorspace",
 ]

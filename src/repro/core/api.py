@@ -54,7 +54,8 @@ def make_compressor(
     cf: int = 4,
     s: int = 2,
     block: int = DEFAULT_BLOCK,
-    fast: bool | None = None,
+    fast: bool | str | None = None,
+    workers: int | None = None,
 ) -> Compressor:
     """Build a compiled compressor.
 
@@ -67,19 +68,47 @@ def make_compressor(
         Chop factor; the paper sweeps 2..7.
     fast:
         Tiled fast-path override (``None`` follows the global switch;
-        see :func:`repro.core.fused.set_fast_path`).
+        see :func:`repro.core.fused.set_fast_path`).  ``"auto"`` consults
+        the measured execution plan for this workload
+        (:func:`repro.core.autotune.planned` — the first build per
+        ``(shape, cf, block)`` runs a short timing scan) and applies its
+        fast-vs-dense and worker-count verdict; an explicit ``workers=``
+        still wins over the planned count.
+    workers:
+        Fast-path thread fan-out: ``None`` follows the global default
+        (:func:`repro.core.parallel.set_workers`, off by default), ``1``
+        forces serial, ``0`` means every visible CPU.  Parallel results
+        are probe-verified bit-identical to the dense oracle per
+        ``(shape, dtype, workers)`` — see :mod:`repro.core.parallel`.
 
     Degenerate configurations — non-integral or non-positive sizes,
     ``cf > block``, ``s`` not dividing the resolution, resolutions that
     are not block multiples — raise :class:`ConfigError` naming the
     offending values; nothing is silently truncated.
     """
+    if fast == "auto":
+        from repro.core import autotune
+
+        # Plan at the plane resolution the method actually executes
+        # (PS runs the inner chunk-resolution compressor per cell).
+        w = height if width is None else width
+        plan_h, plan_w = (height // s, w // s) if method == "ps" else (height, w)
+        plan = autotune.planned(plan_h, plan_w, cf=cf, block=block)
+        fast = plan.fast
+        if workers is None:
+            workers = plan.workers
+    elif isinstance(fast, str):
+        raise ConfigError(f'fast must be True, False, None, or "auto", got {fast!r}')
     if method == "dc":
-        return DCTChopCompressor(height, width, cf=cf, block=block, fast=fast)
+        return DCTChopCompressor(height, width, cf=cf, block=block, fast=fast, workers=workers)
     if method == "ps":
-        return PartialSerializedCompressor(height, width, cf=cf, s=s, block=block, fast=fast)
+        return PartialSerializedCompressor(
+            height, width, cf=cf, s=s, block=block, fast=fast, workers=workers
+        )
     if method == "sg":
-        return ScatterGatherCompressor(height, width, cf=cf, block=block, fast=fast)
+        return ScatterGatherCompressor(
+            height, width, cf=cf, block=block, fast=fast, workers=workers
+        )
     raise ConfigError(f"unknown method {method!r}; expected one of {METHODS}")
 
 

@@ -1,4 +1,4 @@
-"""Error-targeted chop-factor selection.
+"""Error-targeted chop-factor selection and execution planning.
 
 SZ-style compressors take an error bound; DCT+Chop takes a chop factor.
 This module bridges the two: given calibration data and a quality target
@@ -6,18 +6,33 @@ This module bridges the two: given calibration data and a quality target
 compression ratio — whose reconstruction meets the target.  Because the
 chop is an orthogonal projection, reconstruction error is monotone in CF,
 so a simple ascending scan is exact.
+
+The second half plans *execution*: for one ``(n, cf, dtype)`` workload,
+:func:`plan_execution` measures the dense oracle, the serial tiled fast
+path, and the parallel fast path at candidate worker counts on seeded
+synthetic samples, then picks the fastest.  The winning configuration —
+fast-vs-dense, worker count, and the resulting per-span tile rows (the M
+dimension each worker's skinny GEMM sees) — is returned as an
+:class:`ExecutionPlan` and cached, which is what ``fast="auto"`` in
+:func:`repro.core.api.make_compressor` consumes.  Measurements use the
+real compressors, so a shape whose equivalence probe pins it to dense is
+timed as dense — the plan never promises a path the bit-identity
+contract would refuse.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import parallel as parallel_mod
 from repro.core.api import Compressor, make_compressor
 from repro.core.dct import DEFAULT_BLOCK
 from repro.core.metrics import nrmse, psnr
-from repro.errors import ConfigError
+from repro.errors import ConfigError, require_int
 from repro.tensor import Tensor
 
 
@@ -93,3 +108,147 @@ def build_for_target(
         arr.shape[-2], arr.shape[-1], method=method, cf=result.cf, block=block, s=s
     )
     return comp, result
+
+
+# ----------------------------------------------------------------------
+# Execution planning (fast-vs-dense, worker count, tile shape)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Measured execution choice for one ``(n, cf, dtype)`` workload.
+
+    ``span_rows`` is the tile-row count each worker span receives at the
+    chosen worker count — i.e. the M dimension of each worker's first
+    skinny GEMM is ``span_rows * block * nbw`` (see
+    :func:`repro.core.parallel.span_partition`).
+    """
+
+    height: int
+    width: int
+    cf: int
+    block: int
+    dtype: str
+    fast: bool
+    workers: int  # 1 == serial
+    span_rows: int
+    samples: dict = field(default_factory=dict, compare=False)  # label -> median s
+
+    @property
+    def label(self) -> str:
+        return "dense" if not self.fast else f"fast@{self.workers}"
+
+
+def _plan_sample(height: int, width: int, batch: int, dtype, seed: int) -> np.ndarray:
+    rng = np.random.default_rng([int(seed), batch, height, width])
+    return (rng.standard_normal((batch, height, width)) * 4.0).astype(dtype)
+
+
+def _median_time(fn, arg, repeats: int) -> float:
+    fn(arg)  # warmup: probes, operator build, buffer growth
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(arg)
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def plan_execution(
+    height: int,
+    width: int | None = None,
+    *,
+    cf: int = 4,
+    block: int = DEFAULT_BLOCK,
+    dtype=np.float32,
+    batch: int = 4,
+    worker_candidates: tuple[int, ...] | None = None,
+    repeats: int = 3,
+    seed: int = 1234,
+) -> ExecutionPlan:
+    """Measure candidate execution configs and return the fastest.
+
+    Candidates are the dense oracle, the serial fast path, and the fast
+    path at each count in ``worker_candidates`` (default: 2 and the
+    visible CPU count, deduplicated).  Each candidate times the *real*
+    compressor — probe pinning, dispatch fallbacks and all — on a seeded
+    synthetic batch, so the verdict reflects what serving traffic would
+    actually run.
+    """
+    height = require_int("height", height)
+    width = height if width is None else require_int("width", width)
+    repeats = require_int("repeats", repeats)
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
+    if worker_candidates is None:
+        worker_candidates = tuple(
+            sorted({2, parallel_mod.cpu_workers()} - {1})
+        )
+    for w in worker_candidates:
+        if int(w) < 2:
+            raise ConfigError(f"worker candidates must be >= 2, got {w}")
+    x = _plan_sample(height, width, batch, dtype, seed)
+
+    samples: dict[str, float] = {}
+    dense = make_compressor(height, width, cf=cf, block=block, fast=False)
+    samples["dense"] = _median_time(dense.compress, x, repeats)
+    serial = make_compressor(height, width, cf=cf, block=block, fast=True)
+    samples["fast@1"] = _median_time(serial.compress, x, repeats)
+    for w in worker_candidates:
+        comp = make_compressor(
+            height, width, cf=cf, block=block, fast=True, workers=int(w)
+        )
+        samples[f"fast@{int(w)}"] = _median_time(comp.compress, x, repeats)
+
+    best = min(samples, key=samples.get)
+    fast = best != "dense"
+    workers = 1 if not fast else int(best.split("@", 1)[1])
+    rows = x.shape[0] * (height // block)
+    spans = parallel_mod.span_partition(rows, workers)
+    span_rows = max(hi - lo for lo, hi in spans) if spans else rows
+    return ExecutionPlan(
+        height=height,
+        width=width,
+        cf=cf,
+        block=block,
+        dtype=np.dtype(dtype).str,
+        fast=fast,
+        workers=workers,
+        span_rows=span_rows,
+        samples=samples,
+    )
+
+
+# Plan cache consumed by ``make_compressor(fast="auto")``.
+_plan_lock = threading.Lock()
+_plans: dict[tuple, ExecutionPlan] = {}
+
+
+def planned(
+    height: int,
+    width: int | None = None,
+    *,
+    cf: int = 4,
+    block: int = DEFAULT_BLOCK,
+    dtype=np.float32,
+) -> ExecutionPlan:
+    """The cached plan for ``(height, width, cf, block, dtype)``.
+
+    Measures once per key (a handful of compress calls); subsequent
+    lookups are a dict hit.  :func:`clear_plans` resets for tests.
+    """
+    width = height if width is None else width
+    key = (int(height), int(width), int(cf), int(block), np.dtype(dtype).str)
+    with _plan_lock:
+        plan = _plans.get(key)
+    if plan is not None:
+        return plan
+    plan = plan_execution(height, width, cf=cf, block=block, dtype=dtype)
+    with _plan_lock:
+        return _plans.setdefault(key, plan)
+
+
+def clear_plans() -> None:
+    """Drop every cached execution plan (test hook)."""
+    with _plan_lock:
+        _plans.clear()

@@ -18,19 +18,22 @@ exactly the paper's PyTorch listing::
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
 
 import repro.tensor as rt
+from repro.core import arena as arena_mod
 from repro.core import flops as flops_mod
 from repro.core import fused
+from repro.core import parallel as parallel_mod
 from repro.core.dct import DEFAULT_BLOCK, block_diagonal_dct
 from repro.core.mask import chop_mask
 from repro.errors import ConfigError, ShapeError, require_int
 from repro.faults.injector import suspend_faults
 from repro.obs.profile import profiled
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, is_grad_enabled, no_grad
 
 # Probe verdicts cached per compressor; bounded so a pathological caller
 # cycling through batch shapes cannot grow it without limit.
@@ -74,6 +77,13 @@ class DCTChopCompressor:
         shape only uses the fast path after a seeded equivalence probe
         proves it bit-identical to the dense oracle — see
         :mod:`repro.core.fused`.
+    workers:
+        Fast-path thread-pool override: ``None`` (default) follows the
+        global :func:`repro.core.parallel.set_workers` setting, ``1``
+        forces serial execution, ``>= 2`` fans tile-row spans across
+        that many pool threads.  Parallel execution is probed per
+        ``(shape, dtype, workers)`` like everything else — a divergent
+        combination falls back to the serial fast path, then dense.
     """
 
     method = "dc"
@@ -87,6 +97,7 @@ class DCTChopCompressor:
         block: int = DEFAULT_BLOCK,
         transform: np.ndarray | None = None,
         fast: bool | None = None,
+        workers: int | None = None,
     ) -> None:
         height = require_int("height", height)
         width = height if width is None else require_int("width", width)
@@ -103,6 +114,11 @@ class DCTChopCompressor:
         self.cf = cf
         self.block = block
         self._fast = fast
+        if workers is not None:
+            workers = require_int("workers", workers, minimum=0)
+            if workers == 0:
+                workers = parallel_mod.cpu_workers()
+        self._workers = workers
 
         # "Computed offline ... during compilation" (Section 3.3).
         # Forward (per block): D = T A T^T; inverse: A = S D S^T with
@@ -148,8 +164,12 @@ class DCTChopCompressor:
         self._enc_lT = Tensor(ops.enc_lT)
         self._dec_r = Tensor(ops.dec_r)
         self._dec_lT = Tensor(ops.dec_lT)
-        # (direction, lead shape, dtype) -> probe verdict (True = fast ok).
+        # (direction, lead shape, dtype[, workers]) -> probe verdict
+        # (True = fast ok).  The lock serializes probe-and-insert: without
+        # it, concurrent first-calls on one shape probe twice and racing
+        # inserts can evict live verdicts mid-update.
         self._verdicts: OrderedDict[tuple, bool] = OrderedDict()
+        self._verdict_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -206,44 +226,89 @@ class DCTChopCompressor:
     # ------------------------------------------------------------------
     # Fast-path dispatch (see repro.core.fused for the full story)
     # ------------------------------------------------------------------
-    def _use_fast(self, shape: tuple[int, ...], dtype, direction: str) -> bool:
+    def _use_fast(
+        self, shape: tuple[int, ...], dtype, direction: str, workers: int = 1
+    ) -> bool:
         """Whether this exact call shape runs the tiled kernels.
 
         True only when the fast path is enabled *and* the seeded
         equivalence probe has proven this ``(direction, batch, dtype)``
-        bit-identical to the dense oracle.  Verdicts are cached (bounded).
+        (plus ``workers`` when parallel) bit-identical to the dense
+        oracle.  Verdicts are cached (bounded).  The lock is held across
+        the probe itself so concurrent first-calls on one shape cannot
+        probe it twice.
         """
         if not fused.fast_path_active(self._fast):
             return False
         key = (direction, shape[:-2], np.dtype(dtype).str)
-        verdict = self._verdicts.get(key)
-        if verdict is None:
-            verdict = self._probe(direction, shape, dtype)
-            fused.record_probe(verdict)
-            while len(self._verdicts) >= _VERDICT_CAP:
-                self._verdicts.popitem(last=False)
-            self._verdicts[key] = verdict
+        if workers > 1:
+            key = key + (workers,)
+        with self._verdict_lock:
+            verdict = self._verdicts.get(key)
+            if verdict is None:
+                verdict = self._probe(direction, shape, dtype, workers)
+                fused.record_probe(verdict)
+                while len(self._verdicts) >= _VERDICT_CAP:
+                    self._verdicts.popitem(last=False)
+                self._verdicts[key] = verdict
         return verdict
 
-    def _probe(self, direction: str, shape: tuple[int, ...], dtype) -> bool:
+    def _probe(
+        self, direction: str, shape: tuple[int, ...], dtype, workers: int = 1
+    ) -> bool:
         """Run dense and tiled on seeded data of this shape; compare bytes.
+
+        A serial verdict (``workers == 1``) certifies *both* tiled kernel
+        families — the autograd Tensor kernels and the ``out=``-buffer nd
+        kernels — against the dense oracle, since dispatch may use either
+        depending on gradient state and armed guards.  A parallel verdict
+        certifies the nd kernels at exactly that worker count (the only
+        parallel execution there is).
 
         Runs with fault injection suspended: a scripted SDC flip landing in
         the probe's tiled leg would fail the comparison and wrongly pin the
         shape dense forever (besides desynchronising the fault script).
+        The arena is bypassed so probe shapes never reserve buffers.
         """
         data = fused.probe_input(
             shape, dtype, cf=self.cf, block=self.block, direction=direction
         )
-        with suspend_faults(), no_grad():
+        with suspend_faults(), no_grad(), arena_mod.bypass():
             t = Tensor(data, dtype=data.dtype)
             if direction == "compress":
-                dense = self._compress_dense(t)
-                tiled = self._compress_tiled(t)
+                dense = self._compress_dense(t).data
+                legs = [self._compress_tiled(t).data] if workers == 1 else []
+                legs.append(
+                    fused.tiled_compress_nd(t.data, self._fops, workers=workers)
+                )
             else:
-                dense = self._decompress_dense(t)
-                tiled = self._decompress_tiled(t)
-        return np.array_equal(dense.data, tiled.data)
+                dense = self._decompress_dense(t).data
+                legs = [self._decompress_tiled(t).data] if workers == 1 else []
+                legs.append(
+                    fused.tiled_decompress_nd(
+                        t.data, self._fops,
+                        self.height // self.block, self.width // self.block,
+                        workers=workers,
+                    )
+                )
+        return all(np.array_equal(dense, leg) for leg in legs)
+
+    def _dispatch_fast(
+        self, shape: tuple[int, ...], dtype, direction: str, use_nd: bool
+    ) -> int | None:
+        """Resolve one call's execution: worker count, or ``None`` = dense.
+
+        Parallel execution only exists on the nd kernels, so the worker
+        count collapses to 1 whenever they are ineligible.  A failed
+        parallel probe falls back to the (probed) serial fast path before
+        giving up and going dense.
+        """
+        workers = parallel_mod.resolve_workers(self._workers) if use_nd else 1
+        if self._use_fast(shape, dtype, direction, workers):
+            return workers
+        if workers > 1 and self._use_fast(shape, dtype, direction, 1):
+            return 1
+        return None
 
     # ------------------------------------------------------------------
     # Kernels
@@ -266,14 +331,37 @@ class DCTChopCompressor:
             from_blocks=from_blocks,
         )
 
+    def _grad_carrying(self, t: Tensor) -> bool:
+        return is_grad_enabled() and t.requires_grad
+
+    def _compress_nd(self, x: Tensor, workers: int, *, blocks: bool = False) -> Tensor:
+        return Tensor(
+            fused.tiled_compress_nd(x.data, self._fops, blocks=blocks, workers=workers)
+        )
+
+    def _decompress_nd(
+        self, y: Tensor, workers: int, *, from_blocks: bool = False
+    ) -> Tensor:
+        return Tensor(
+            fused.tiled_decompress_nd(
+                y.data, self._fops,
+                self.height // self.block, self.width // self.block,
+                from_blocks=from_blocks, workers=workers,
+            )
+        )
+
     @profiled("core.dc.compress", matmuls=2)
-    def _compress_tiled_blocks(self, x: Tensor) -> Tensor:
+    def _compress_tiled_blocks(self, x: Tensor, workers: int = 1) -> Tensor:
         """Blocks-layout tiled compress, profiled as the DC work it is."""
+        if not self._grad_carrying(x) and fused.nd_path_eligible():
+            return self._compress_nd(x, workers, blocks=True)
         return self._compress_tiled(x, blocks=True)
 
     @profiled("core.dc.decompress", matmuls=2)
-    def _decompress_tiled_blocks(self, y: Tensor) -> Tensor:
+    def _decompress_tiled_blocks(self, y: Tensor, workers: int = 1) -> Tensor:
         """Blocks-layout tiled decompress, profiled as the DC work it is."""
+        if not self._grad_carrying(y) and fused.nd_path_eligible():
+            return self._decompress_nd(y, workers, from_blocks=True)
         return self._decompress_tiled(y, from_blocks=True)
 
     @profiled("core.dc.compress", matmuls=2)
@@ -283,12 +371,21 @@ class DCTChopCompressor:
         Executed via the tiled fast path when enabled and probe-verified
         for this shape (bit-identical output either way); the dense
         two-matmul form remains the oracle and the traced device program.
+        Non-finite inputs are detected on the (small) compressed result —
+        IEEE propagation guarantees a poisoned plane yields non-finite
+        retained coefficients — and re-routed to the dense oracle, whose
+        ``0 * inf`` row-poisoning *is* the contractual output.
         """
         x = x if isinstance(x, Tensor) else Tensor(x)
         self._check_plane(x.shape)
-        if self._use_fast(x.shape, x.dtype, "compress"):
-            return self._compress_tiled(x)
-        return self._compress_dense(x)
+        use_nd = not self._grad_carrying(x) and fused.nd_path_eligible()
+        workers = self._dispatch_fast(x.shape, x.dtype, "compress", use_nd)
+        if workers is None:
+            return self._compress_dense(x)
+        result = self._compress_nd(x, workers) if use_nd else self._compress_tiled(x)
+        if fused.has_nonfinite(result.data):
+            return self._compress_dense(x)
+        return result
 
     @profiled("core.dc.decompress", matmuls=2)
     def decompress(self, y) -> Tensor:
@@ -299,9 +396,14 @@ class DCTChopCompressor:
                 f"expected compressed planes of "
                 f"{self.compressed_height}x{self.compressed_width}, got {y.shape}"
             )
-        if self._use_fast(y.shape, y.dtype, "decompress"):
-            return self._decompress_tiled(y)
-        return self._decompress_dense(y)
+        # The input *is* the small compressed side — check it directly.
+        if fused.has_nonfinite(y.data):
+            return self._decompress_dense(y)
+        use_nd = not self._grad_carrying(y) and fused.nd_path_eligible()
+        workers = self._dispatch_fast(y.shape, y.dtype, "decompress", use_nd)
+        if workers is None:
+            return self._decompress_dense(y)
+        return self._decompress_nd(y, workers) if use_nd else self._decompress_tiled(y)
 
     def roundtrip(self, x) -> Tensor:
         """Compress then decompress — the per-batch op used during training."""

@@ -43,10 +43,31 @@ compiled graphs and modelled timings keep the paper's two-matmul shape).
 Fused operators are cached per ``(block, cf, dtype)`` as read-only arrays
 behind a lock; :func:`clear_fused_cache` resets the cache for tests.
 
-Note: the fast path assumes finite inputs.  The dense path multiplies
-other blocks' values by exact zeros, so a non-finite value poisons its
-whole plane row (``0 * inf = nan``) — an artifact of the dense realisation
-that the tiled kernels do not reproduce.
+Non-finite inputs
+-----------------
+The dense path multiplies other blocks' values by exact zeros, so a
+non-finite value poisons its whole plane row (``0 * inf = nan``) — an
+artifact of the dense realisation the tiled kernels do not reproduce.
+The compressors therefore detect non-finite data (:func:`has_nonfinite`)
+and pin those calls to the dense oracle, so fast and dense outputs agree
+on NaN/Inf data too.  Detection exploits IEEE-754 propagation: any
+product involving a non-finite operand is non-finite (``0 * inf`` and
+``0 * nan`` are both NaN) and stays non-finite through summation, so a
+non-finite plane always yields non-finite retained coefficients — the
+*compressed-side* array (compress output / decompress input) is checked,
+which is ``cf^2/block^2`` of the plane data.
+
+Raw-ndarray (``_nd``) kernels
+-----------------------------
+:func:`tiled_compress_nd` / :func:`tiled_decompress_nd` are the same two
+skinny GEMMs expressed directly on ndarrays with ``out=`` buffers — with
+a single worker they issue byte-identical GEMMs in the same order as the
+Tensor kernels, while supporting the preallocated-buffer arena
+(:mod:`repro.core.arena`) and the thread-pool span fan-out
+(:mod:`repro.core.parallel`).  They bypass the autograd tape and the
+per-GEMM fault/ABFT hooks, so dispatch routes gradient-carrying calls
+and any call made while an injector or integrity policy is armed through
+the Tensor kernels instead (:func:`nd_path_eligible`).
 """
 
 from __future__ import annotations
@@ -59,11 +80,14 @@ from dataclasses import dataclass
 import numpy as np
 
 import repro.tensor as rt
+from repro.core import arena as arena_mod
+from repro.core import parallel as parallel_mod
 from repro.errors import ConfigError
-from repro.faults.injector import corrupt_buffer
+from repro.faults.injector import active_injector, corrupt_buffer
 from repro.integrity import abft as _abft
 from repro.integrity import policy as _integrity
 from repro.tensor import Tensor, is_grad_enabled
+from repro.tensor.tensor import DEFAULT_DTYPE as _DEFAULT_DTYPE
 
 # ----------------------------------------------------------------------
 # Fast-path switches
@@ -115,15 +139,38 @@ def fast_path_active(override: bool | None = None) -> bool:
 # Probe bookkeeping (module-level counters; cheap, no registry coupling)
 # ----------------------------------------------------------------------
 _probe_stats = {"pass": 0, "fail": 0}
+# Guards the counters: += on a shared dict is a read-modify-write, and
+# concurrent probes (parallel hot path, threaded serving) would lose
+# updates without it.  The compressors' per-instance verdict locks
+# serialize the probes themselves; this lock keeps the global tally
+# consistent across compressor instances.
+_probe_lock = threading.Lock()
 
 
 def record_probe(ok: bool) -> None:
-    _probe_stats["pass" if ok else "fail"] += 1
+    with _probe_lock:
+        _probe_stats["pass" if ok else "fail"] += 1
 
 
 def fast_path_stats() -> dict[str, int]:
     """``{"pass": ..., "fail": ...}`` equivalence-probe outcomes so far."""
-    return dict(_probe_stats)
+    with _probe_lock:
+        return dict(_probe_stats)
+
+
+def has_nonfinite(arr: np.ndarray) -> bool:
+    """True when ``arr`` contains NaN or ±Inf (cheap two-reduction check).
+
+    ``min + max`` is non-finite iff the array holds a non-finite value —
+    except for a near-overflow false positive (``|min| + |max|`` past the
+    dtype maximum), which is safe here: callers route flagged data to the
+    dense oracle, and the oracle is correct for every input.
+    """
+    if arr.size == 0 or arr.dtype.kind not in "fc":
+        return False
+    with np.errstate(over="ignore", invalid="ignore"):
+        extremes = arr.min() + arr.max()
+    return not np.isfinite(extremes)
 
 
 # ----------------------------------------------------------------------
@@ -334,6 +381,173 @@ def tiled_decompress(
     # (a, c, bc, br) -> (a, br, c, bc) -> (..., H, W)
     z = z.transpose(*range(nl), nl, nl + 3, nl + 1, nl + 2)
     return z.reshape(*lead, nbh * block, nbw * block)
+
+
+# ----------------------------------------------------------------------
+# Raw-ndarray kernels: out= buffers, arena reuse, span fan-out
+# ----------------------------------------------------------------------
+def nd_path_eligible() -> bool:
+    """Whether the nd kernels may run right now.
+
+    They compute plain ``np.matmul`` without the per-GEMM fault/ABFT
+    routing and without the autograd tape, so they step aside while an
+    injector or integrity policy is armed (gradient-carrying calls are
+    the caller's check — tensors know, this module doesn't).
+    """
+    return _integrity._POLICY is None and active_injector() is None
+
+
+def _ingest(arr: np.ndarray) -> np.ndarray:
+    """Mirror the Tensor kernels' ingestion: contiguous, f64 -> f32.
+
+    Every :class:`~repro.tensor.Tensor` op casts float64 results to the
+    library's float32 default, so the Tensor tiled kernels never run a
+    float64 GEMM; the nd kernels must do the same to stay byte-identical.
+    """
+    if arr.dtype == np.float64:
+        arr = arr.astype(_DEFAULT_DTYPE)
+    return np.ascontiguousarray(arr)
+
+
+def _lead_rows(shape: tuple[int, ...], nbh: int) -> int:
+    planes = 1
+    for d in shape[:-2]:
+        planes *= int(d)
+    return planes * nbh
+
+
+def _scratch(arena, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    if arena is not None:
+        return arena.buffer(tag, shape, dtype)
+    return np.empty(shape, dtype)
+
+
+def _output(arena, tag: str, shape: tuple[int, ...], dtype, out) -> np.ndarray:
+    if out is None:
+        if arena is not None:
+            return arena.ring(tag, shape, dtype)
+        return np.empty(shape, dtype)
+    if not isinstance(out, np.ndarray):
+        raise ConfigError(f"out must be an ndarray, got {type(out).__name__}")
+    if out.shape != shape or out.dtype != np.dtype(dtype):
+        raise ConfigError(
+            f"out has shape {out.shape} dtype {out.dtype}; kernel needs "
+            f"shape {shape} dtype {np.dtype(dtype)}"
+        )
+    if not out.flags.c_contiguous or not out.flags.writeable:
+        raise ConfigError("out must be C-contiguous and writable")
+    return out
+
+
+def tiled_compress_nd(
+    x: np.ndarray,
+    ops: FusedOps,
+    *,
+    blocks: bool = False,
+    workers: int = 1,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Raw-ndarray tiled compress: same GEMMs, ``out=`` buffers throughout.
+
+    With ``workers == 1`` the bytes are identical to
+    :func:`tiled_compress` (same GEMM shapes issued in the same order on
+    the same contiguous data).  With ``workers > 1`` the tile-row range
+    is split by :func:`repro.core.parallel.span_partition` and fanned
+    across the thread pool; each span's GEMM has its own M dimension, so
+    bit-identity to the dense oracle is re-proven per ``(shape, dtype,
+    workers)`` by the compressor's probe before this path serves traffic.
+
+    Buffers come from the active :class:`~repro.core.arena.Arena` when
+    one is installed (zero steady-state allocations), else ``np.empty``.
+    An explicit ``out=`` must be C-contiguous, writable, and exactly the
+    result shape/dtype.
+    """
+    block, cf = ops.block, ops.cf
+    x = _ingest(x)
+    lead = x.shape[:-2]
+    nbh = x.shape[-2] // block
+    nbw = x.shape[-1] // block
+    rows = _lead_rows(x.shape, nbh)
+    rdtype = np.result_type(x.dtype, ops.enc_r.dtype)
+    arena = arena_mod.current()
+    g1 = _scratch(arena, "c.g1", (rows, block, nbw, cf), rdtype)
+    s2 = _scratch(arena, "c.s2", (rows, nbw, cf, block), rdtype)
+    g2 = _scratch(arena, "c.g2", (rows, nbw, cf, cf), rdtype)
+    if blocks:
+        out_shape = lead + (nbh * nbw, cf * cf)
+    else:
+        out_shape = lead + (cf * nbh, cf * nbw)
+    out = _output(arena, "c.out" + (".blocks" if blocks else ""), out_shape, rdtype, out)
+    z0 = x.reshape(rows, block, nbw, block)
+    out_v = out.reshape(rows, nbw, cf, cf) if blocks else out.reshape(rows, cf, nbw, cf)
+    enc_r, enc_lT = ops.enc_r, ops.enc_lT
+
+    def work(lo: int, hi: int) -> None:
+        # Column transform (GEMM 1, K=block): (span*B*nbw, B) @ (B, cf).
+        np.matmul(z0[lo:hi].reshape(-1, block), enc_r, out=g1[lo:hi].reshape(-1, cf))
+        # (r, b, c, q) -> (r, c, q, b): in-block row axis last.
+        np.copyto(s2[lo:hi], g1[lo:hi].transpose(0, 2, 3, 1))
+        # Row transform (GEMM 2, K=block) -> (r, c, q, p).
+        np.matmul(s2[lo:hi].reshape(-1, block), enc_lT, out=g2[lo:hi].reshape(-1, cf))
+        if blocks:
+            # (r, c, q, p) -> (r, c, p, q): SG block layout.
+            np.copyto(out_v[lo:hi], g2[lo:hi].transpose(0, 1, 3, 2))
+        else:
+            # (r, c, q, p) -> (r, p, c, q): dense compressed layout.
+            np.copyto(out_v[lo:hi], g2[lo:hi].transpose(0, 3, 1, 2))
+
+    parallel_mod.run_spans(work, parallel_mod.span_partition(rows, workers), workers)
+    return out
+
+
+def tiled_decompress_nd(
+    y: np.ndarray,
+    ops: FusedOps,
+    nbh: int,
+    nbw: int,
+    *,
+    from_blocks: bool = False,
+    workers: int = 1,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Raw-ndarray inverse of :func:`tiled_compress_nd` (same contract)."""
+    block, cf = ops.block, ops.cf
+    y = _ingest(y)
+    lead = y.shape[:-2]
+    rows = _lead_rows(y.shape, nbh)
+    rdtype = np.result_type(y.dtype, ops.dec_r.dtype)
+    arena = arena_mod.current()
+    g1 = _scratch(arena, "d.g1", (rows, nbw, cf, block), rdtype)
+    s1 = _scratch(arena, "d.s1", (rows, nbw, block, cf), rdtype)
+    g2 = _scratch(arena, "d.g2", (rows, nbw, block, block), rdtype)
+    out_shape = lead + (nbh * block, nbw * block)
+    out = _output(arena, "d.out", out_shape, rdtype, out)
+    out_v = out.reshape(rows, block, nbw, block)
+    dec_r, dec_lT = ops.dec_r, ops.dec_lT
+    if from_blocks:
+        # Blocks layout is already (r, c, p, q) — the GEMM input, no copy.
+        s0 = y.reshape(rows, nbw, cf, cf)
+        y4 = None
+    else:
+        s0 = _scratch(arena, "d.s0", (rows, nbw, cf, cf), y.dtype)
+        y4 = y.reshape(rows, cf, nbw, cf)
+
+    def work(lo: int, hi: int) -> None:
+        if y4 is not None:
+            # (r, p, c, q) -> (r, c, p, q).
+            np.copyto(s0[lo:hi], y4[lo:hi].transpose(0, 2, 1, 3))
+        # Column inverse first (matches the dense evaluation order):
+        # (span*nbw*cf, cf) @ (cf, B) -> (r, c, p, bc).
+        np.matmul(s0[lo:hi].reshape(-1, cf), dec_r, out=g1[lo:hi].reshape(-1, block))
+        # (r, c, p, bc) -> (r, c, bc, p).
+        np.copyto(s1[lo:hi], g1[lo:hi].transpose(0, 1, 3, 2))
+        # Row inverse -> (r, c, bc, br).
+        np.matmul(s1[lo:hi].reshape(-1, cf), dec_lT, out=g2[lo:hi].reshape(-1, block))
+        # (r, c, bc, br) -> (r, br, c, bc): the plane layout.
+        np.copyto(out_v[lo:hi], g2[lo:hi].transpose(0, 3, 1, 2))
+
+    parallel_mod.run_spans(work, parallel_mod.span_partition(rows, workers), workers)
+    return out
 
 
 def probe_input(shape: tuple[int, ...], dtype, *, cf: int, block: int, direction: str) -> np.ndarray:

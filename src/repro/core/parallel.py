@@ -1,0 +1,156 @@
+"""Thread-pool execution for the tiled fast path.
+
+The tiled kernels in :mod:`repro.core.fused` are two skinny GEMMs plus
+two layout copies — all operations that release the GIL inside NumPy —
+so a plain :class:`~concurrent.futures.ThreadPoolExecutor` scales them
+across cores without any serialization of the plane data.  This module
+owns the pool and the deterministic work partition:
+
+* The unit of work is a **tile-row span**: a contiguous range of
+  ``(plane, block-row)`` pairs.  Every span's output lands in a disjoint,
+  pre-computed slice of the shared output buffers, and spans are derived
+  only from ``(total_rows, parts)`` — so reassembly is a no-op and the
+  result bytes depend only on the partition, never on scheduling order.
+* BLAS kernel *selection* can depend on the GEMM's M dimension, so a
+  partitioned run is not a-priori bit-identical to the unpartitioned one.
+  The compressors therefore extend their seeded equivalence probe to the
+  exact ``(shape, dtype, workers)`` combination and pin any divergent
+  combination back to the dense oracle — the same constructive guarantee
+  the serial fast path has (see :mod:`repro.core.fused`).
+
+Parallel execution is **off by default** (``workers=None`` everywhere);
+with it off, execution is byte-for-byte the serial fast path.  It also
+steps aside automatically while a fault injector or integrity policy is
+armed: scripted fault/SDC sites fire on the calling thread, and fanning
+the GEMMs out would silently desynchronise fault scripts.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ConfigError
+
+# Global default worker count; None/1 means serial.  Per-compressor
+# ``workers=`` overrides it, mirroring the fast-path switch design.
+_WORKERS: int | None = None
+_pools: dict[int, ThreadPoolExecutor] = {}
+_lock = threading.Lock()
+
+
+def cpu_workers() -> int:
+    """Worker count matching the visible CPUs (>= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def set_workers(workers: int | None) -> int | None:
+    """Set the global default worker count; returns the old value.
+
+    ``None`` or ``1`` disables parallel execution (the default).
+    ``0`` means "use every visible CPU".
+    """
+    global _WORKERS
+    if workers is not None:
+        workers = int(workers)
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 0 or None, got {workers}")
+        if workers == 0:
+            workers = cpu_workers()
+    previous, _WORKERS = _WORKERS, workers
+    return previous
+
+
+def get_workers() -> int | None:
+    """The global default (per-compressor ``workers=`` overrides it)."""
+    return _WORKERS
+
+
+def resolve_workers(override: int | None = None) -> int:
+    """Effective worker count for one call (>= 1; 1 == serial).
+
+    Falls back to serial while a fault injector or an integrity policy is
+    armed: both machineries script events against a single calling
+    thread, and running the GEMMs elsewhere would skip their hooks.
+    """
+    workers = _WORKERS if override is None else int(override)
+    if workers is None or workers <= 1:
+        return 1
+    from repro.faults.injector import active_injector
+    from repro.integrity import policy as _integrity
+
+    if active_injector() is not None or _integrity._POLICY is not None:
+        return 1
+    return workers
+
+
+def executor(workers: int) -> ThreadPoolExecutor:
+    """The shared pool for ``workers`` threads (lazily built, cached)."""
+    if workers < 2:
+        raise ConfigError(f"executor needs >= 2 workers, got {workers}")
+    with _lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-fast-{workers}"
+            )
+            _pools[workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached pool (test hook)."""
+    with _lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+def span_partition(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into <= ``parts`` contiguous, non-empty spans.
+
+    Deterministic in ``(total, parts)`` alone.  Sizes differ by at most
+    one, larger spans first — the classic balanced block partition.
+    """
+    if total < 0:
+        raise ConfigError(f"total must be >= 0, got {total}")
+    if parts < 1:
+        raise ConfigError(f"parts must be >= 1, got {parts}")
+    parts = min(parts, total) or 1
+    base, extra = divmod(total, parts)
+    spans = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        if hi > lo:
+            spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+def run_spans(work, spans: list[tuple[int, int]], workers: int) -> None:
+    """Run ``work(lo, hi)`` over every span, fanning across the pool.
+
+    With one span (or one worker) the call runs inline — zero pool
+    overhead on the serial path.  Each span must write only its own
+    output slice; the first exception (if any) is re-raised after all
+    submitted spans settle, so shared buffers are never abandoned
+    half-written while a worker still runs.
+    """
+    if workers <= 1 or len(spans) <= 1:
+        for lo, hi in spans:
+            work(lo, hi)
+        return
+    pool = executor(workers)
+    futures = [pool.submit(work, lo, hi) for lo, hi in spans]
+    error = None
+    for future in futures:
+        try:
+            future.result()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if error is None:
+                error = exc
+    if error is not None:
+        raise error

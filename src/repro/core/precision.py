@@ -1,0 +1,208 @@
+"""Reduced-precision transform variants and their accuracy pricing.
+
+The production pipeline is float32 end to end (the Tensor library's
+default dtype); this module brackets it from both sides:
+
+* **float64** — an honest double-precision DCT+Chop roundtrip computed
+  with raw NumPy outside the Tensor library (which would silently cast
+  back to float32).  Not a serving path: it is the accuracy *reference*
+  the cheaper variants are priced against.
+* **float32** — the standard tiled fast path, included so the curve has
+  the production point on it.
+* **int8** — the float32 transform followed by symmetric per-call int8
+  quantization of the retained coefficients.  The transform is
+  unchanged; only the *storage* of the compressed representation shrinks
+  (4 bytes -> 1 byte per coefficient), multiplying the compression ratio
+  by 4 at a quality cost the curve quantifies.
+
+Each variant is priced against the :class:`UniformQuantizer` baseline
+(``repro.baselines.quantization``) at the bit width matching int8, so
+the accuracy-vs-throughput table in ``docs/BENCHMARKS.md`` compares the
+DCT variants against the simplest fixed-ratio scheme at equal storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.quantization import UniformQuantizer
+from repro.core.dct import DEFAULT_BLOCK
+from repro.core.metrics import nrmse, psnr
+from repro.errors import ConfigError
+from repro.tensor import Tensor
+
+PRECISIONS = ("float64", "float32", "int8")
+
+_INT8_LEVELS = 127  # symmetric: codes in [-127, 127], -128 unused
+
+
+def _as_array(x) -> np.ndarray:
+    return x.data if isinstance(x, Tensor) else np.asarray(x)
+
+
+# ----------------------------------------------------------------------
+# float64 reference (raw NumPy — the Tensor library is float32-native)
+# ----------------------------------------------------------------------
+def _dct_matrix_f64(block: int) -> np.ndarray:
+    j = np.arange(block)
+    i = np.arange(block).reshape(-1, 1)
+    t = np.sqrt(2.0 / block) * np.cos(np.pi * (2 * j + 1) * i / (2 * block))
+    t[0, :] = 1.0 / np.sqrt(block)
+    return t
+
+
+def _tiles(x: np.ndarray, block: int) -> np.ndarray:
+    """(..., H, W) -> (..., nbh, nbw, block, block)."""
+    lead = x.shape[:-2]
+    nbh = x.shape[-2] // block
+    nbw = x.shape[-1] // block
+    z = x.reshape(*lead, nbh, block, nbw, block)
+    return np.moveaxis(z, -3, -2)
+
+
+def _untile(z: np.ndarray) -> np.ndarray:
+    """(..., nbh, nbw, block, block) -> (..., H, W)."""
+    lead = z.shape[:-4]
+    nbh, nbw, block = z.shape[-4], z.shape[-3], z.shape[-1]
+    z = np.moveaxis(z, -2, -3)
+    return z.reshape(*lead, nbh * block, nbw * block)
+
+
+def compress_f64(x, *, cf: int = 4, block: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Double-precision DCT+Chop compress: ``(..., nbh, nbw, cf, cf)``.
+
+    Pure float64 throughout — the reference the float32/int8 serving
+    variants are measured against.  Keeps the per-tile layout (no dense
+    plane shuffle) because nothing downstream consumes it but
+    :func:`decompress_f64`.
+    """
+    if not 1 <= cf <= block:
+        raise ConfigError(f"chop factor must be in [1, {block}], got {cf}")
+    arr = np.asarray(_as_array(x), dtype=np.float64)
+    if arr.ndim < 2 or arr.shape[-2] % block or arr.shape[-1] % block:
+        raise ConfigError(
+            f"input shape {arr.shape} is not a (..., H, W) block-{block} multiple"
+        )
+    t = _dct_matrix_f64(block)[:cf]  # (cf, block)
+    tiles = _tiles(arr, block)
+    return np.einsum("pi,...ij,qj->...pq", t, tiles, t, optimize=True)
+
+
+def decompress_f64(y: np.ndarray, *, block: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Inverse of :func:`compress_f64` back to the ``(..., H, W)`` plane."""
+    y = np.asarray(y, dtype=np.float64)
+    cf = y.shape[-1]
+    t = _dct_matrix_f64(block)[:cf]
+    tiles = np.einsum("pi,...pq,qj->...ij", t, y, t, optimize=True)
+    return _untile(tiles)
+
+
+def roundtrip_f64(x, *, cf: int = 4, block: int = DEFAULT_BLOCK) -> np.ndarray:
+    return decompress_f64(compress_f64(x, cf=cf, block=block), block=block)
+
+
+# ----------------------------------------------------------------------
+# int8 coefficient codec
+# ----------------------------------------------------------------------
+def quantize_int8(y) -> dict:
+    """Symmetric int8 quantization of compressed coefficients.
+
+    One float32 scale per call (``max|y| / 127``); codes are int8 in
+    ``[-127, 127]``.  Storage per retained coefficient drops from 4
+    bytes to 1, so the effective compression ratio is ``4x`` the float32
+    variant's.  Non-finite coefficients are rejected — quantized serving
+    has no dense-oracle poisoning semantics to preserve.
+    """
+    arr = _as_array(y)
+    with np.errstate(invalid="ignore"):
+        peak = float(np.max(np.abs(arr))) if arr.size else 0.0
+    if not np.isfinite(peak):
+        raise ConfigError("int8 quantization requires finite coefficients")
+    scale = np.float32(peak / _INT8_LEVELS) if peak > 0.0 else np.float32(1.0)
+    codes = np.clip(np.rint(arr / scale), -_INT8_LEVELS, _INT8_LEVELS).astype(np.int8)
+    return {"codes": codes, "scale": scale}
+
+
+def dequantize_int8(payload: dict) -> np.ndarray:
+    """Reconstruct float32 coefficients from an int8 payload."""
+    return payload["codes"].astype(np.float32) * payload["scale"]
+
+
+# ----------------------------------------------------------------------
+# Variant pricing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """One point on the accuracy-vs-ratio curve."""
+
+    name: str  # "dct-float64", "dct-float32", "dct-int8", "quant-8bit"
+    ratio: float
+    nrmse: float
+    psnr: float
+
+
+def variant_ratio(precision: str, base_ratio: float) -> float:
+    """Effective compression ratio of a variant given the chop ratio."""
+    if precision in ("float64", "float32"):
+        return float(base_ratio)
+    if precision == "int8":
+        return float(base_ratio) * 4.0
+    raise ConfigError(f"unknown precision {precision!r}; expected one of {PRECISIONS}")
+
+
+def variant_roundtrip(compressor, x, precision: str) -> np.ndarray:
+    """Roundtrip ``x`` through one precision variant of ``compressor``.
+
+    ``float32`` is the compressor's own path; ``int8`` inserts the
+    coefficient codec between compress and decompress; ``float64`` runs
+    the raw-NumPy reference at the compressor's ``(cf, block)``.
+    """
+    if precision == "float64":
+        return roundtrip_f64(x, cf=compressor.cf, block=compressor.block)
+    if precision == "float32":
+        return _as_array(compressor.roundtrip(x))
+    if precision == "int8":
+        y = compressor.compress(x)
+        coeffs = dequantize_int8(quantize_int8(y))
+        return _as_array(compressor.decompress(Tensor(coeffs)))
+    raise ConfigError(f"unknown precision {precision!r}; expected one of {PRECISIONS}")
+
+
+def accuracy_curve(
+    compressor,
+    x,
+    *,
+    precisions: tuple[str, ...] = PRECISIONS,
+    quant_bits: int = 8,
+) -> list[PrecisionPoint]:
+    """Price every precision variant of ``compressor`` on sample ``x``.
+
+    Returns one :class:`PrecisionPoint` per variant plus the
+    :class:`UniformQuantizer` baseline at ``quant_bits`` — the comparison
+    the int8 variant must beat to justify the extra transform work.
+    """
+    arr = _as_array(x)
+    points = []
+    for precision in precisions:
+        rec = variant_roundtrip(compressor, arr, precision)
+        points.append(
+            PrecisionPoint(
+                name=f"dct-{precision}",
+                ratio=variant_ratio(precision, compressor.ratio),
+                nrmse=nrmse(arr, rec),
+                psnr=psnr(arr, rec),
+            )
+        )
+    quant = UniformQuantizer(quant_bits)
+    rec = quant.roundtrip(arr)
+    points.append(
+        PrecisionPoint(
+            name=f"quant-{quant_bits}bit",
+            ratio=quant.ratio,
+            nrmse=nrmse(arr, rec),
+            psnr=psnr(arr, rec),
+        )
+    )
+    return points

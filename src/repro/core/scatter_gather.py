@@ -16,6 +16,7 @@ import numpy as np
 
 import repro.tensor as rt
 from repro.core import flops as flops_mod
+from repro.core import fused
 from repro.core.chop import DCTChopCompressor
 from repro.core.dct import DEFAULT_BLOCK
 from repro.core.mask import triangle_count, triangle_indices
@@ -37,8 +38,11 @@ class ScatterGatherCompressor:
         cf: int = 4,
         block: int = DEFAULT_BLOCK,
         fast: bool | None = None,
+        workers: int | None = None,
     ) -> None:
-        self.inner = DCTChopCompressor(height, width, cf=cf, block=block, fast=fast)
+        self.inner = DCTChopCompressor(
+            height, width, cf=cf, block=block, fast=fast, workers=workers
+        )
         self.height = self.inner.height
         self.width = self.inner.width
         self.cf = self.inner.cf
@@ -125,8 +129,14 @@ class ScatterGatherCompressor:
         """
         x = x if isinstance(x, Tensor) else Tensor(x)
         self.inner._check_plane(x.shape)
-        if self.inner._use_fast(x.shape, x.dtype, "compress"):
-            blocks = self.inner._compress_tiled_blocks(x)
+        use_nd = not self.inner._grad_carrying(x) and fused.nd_path_eligible()
+        workers = self.inner._dispatch_fast(x.shape, x.dtype, "compress", use_nd)
+        if workers is not None:
+            blocks = self.inner._compress_tiled_blocks(x, workers)
+            if fused.has_nonfinite(blocks.data):
+                # Non-finite planes take the dense oracle, whose 0*inf
+                # row-poisoning is the contractual output (see fused.py).
+                blocks = self._to_blocks(self.inner._compress_dense(x))
         else:
             blocks = self._to_blocks(self.inner.compress(x))
         return rt.gather(blocks, -1, self._indices_for(x.shape[:-2]))
@@ -142,8 +152,15 @@ class ScatterGatherCompressor:
         dense_layout_shape = z.shape[:-2] + (
             self.inner.compressed_height, self.inner.compressed_width,
         )
-        if self.inner._use_fast(dense_layout_shape, z.dtype, "decompress"):
-            return self.inner._decompress_tiled_blocks(blocks)
+        # The retained triangle is the small compressed side: check it for
+        # non-finite data before the fast path may run (pin to dense).
+        if not fused.has_nonfinite(z.data):
+            use_nd = not self.inner._grad_carrying(z) and fused.nd_path_eligible()
+            workers = self.inner._dispatch_fast(
+                dense_layout_shape, z.dtype, "decompress", use_nd
+            )
+            if workers is not None:
+                return self.inner._decompress_tiled_blocks(blocks, workers)
         return self.inner.decompress(self._from_blocks(blocks))
 
     def roundtrip(self, x) -> Tensor:

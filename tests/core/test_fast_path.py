@@ -229,3 +229,74 @@ class TestTracingStaysDense:
         prog = compile_program(c.compress, (x,), "a100")
         out = prog.run(x).output
         assert np.array_equal(out.data, dense.compress(x).data)
+
+
+class TestConcurrentProbes:
+    """Satellite: the probe-verdict cache and the global probe counters
+    are shared mutable state; concurrent first-touch traffic must not
+    lose updates or double-probe."""
+
+    def test_concurrent_fresh_shapes_probe_exactly_once_each(self, rng):
+        import threading
+
+        c = DCTChopCompressor(16, cf=2, fast=True)
+        probes = []
+        probe_lock = threading.Lock()
+        original = c._probe
+
+        def counting_probe(direction, shape, dtype, workers=1):
+            with probe_lock:
+                probes.append((direction, shape, workers))
+            return original(direction, shape, dtype, workers)
+
+        c._probe = counting_probe
+        inputs = [
+            rng.standard_normal((batch, 16, 16)).astype(np.float32)
+            for batch in range(1, 9)
+        ]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(x):
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    c.compress(x)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(x,)) for x in inputs]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # One probe per distinct lead shape — the verdict lock must hold
+        # across probe + insert, or racing threads re-probe.
+        assert len(probes) == len(set(probes)) == 8
+        assert len(c._verdicts) == 8
+
+    def test_probe_counters_lose_no_updates(self):
+        import threading
+
+        before = fused.fast_path_stats()
+        rounds, threads_n = 50, 8
+
+        def spin():
+            for i in range(rounds):
+                fused.record_probe(i % 2 == 0)
+
+        threads = [threading.Thread(target=spin) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        after = fused.fast_path_stats()
+        gained = (after["pass"] - before["pass"]) + (after["fail"] - before["fail"])
+        assert gained == rounds * threads_n
+        assert after["pass"] - before["pass"] == rounds * threads_n // 2
+
+    def test_stats_snapshot_is_a_copy(self):
+        snap = fused.fast_path_stats()
+        snap["pass"] += 1000
+        assert fused.fast_path_stats()["pass"] != snap["pass"]

@@ -1,0 +1,188 @@
+"""Thread-pool fan-out: partition determinism, worker resolution,
+serial-vs-parallel bit-identity across all three compressor variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import parallel
+from repro.core.chop import DCTChopCompressor
+from repro.core.scatter_gather import ScatterGatherCompressor
+from repro.core.serialization import PartialSerializedCompressor
+from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.integrity.policy import IntegrityPolicy, set_integrity_policy
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(autouse=True)
+def _serial_default():
+    """Restore the global worker default around every test."""
+    previous = parallel.set_workers(None)
+    yield
+    parallel.set_workers(previous)
+
+
+class TestSpanPartition:
+    def test_covers_range_disjointly(self):
+        for total in (0, 1, 5, 16, 17, 100):
+            for parts in (1, 2, 3, 7):
+                spans = parallel.span_partition(total, parts)
+                covered = [i for lo, hi in spans for i in range(lo, hi)]
+                assert covered == list(range(total))
+
+    def test_balanced_sizes(self):
+        spans = parallel.span_partition(17, 4)
+        sizes = [hi - lo for lo, hi in spans]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)  # larger spans first
+
+    def test_deterministic(self):
+        assert parallel.span_partition(100, 8) == parallel.span_partition(100, 8)
+
+    def test_never_more_spans_than_items(self):
+        assert len(parallel.span_partition(3, 16)) == 3
+        assert parallel.span_partition(0, 4) == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError, match="total"):
+            parallel.span_partition(-1, 2)
+        with pytest.raises(ConfigError, match="parts"):
+            parallel.span_partition(10, 0)
+
+
+class TestWorkerResolution:
+    def test_default_is_serial(self):
+        assert parallel.get_workers() is None
+        assert parallel.resolve_workers() == 1
+
+    def test_set_and_restore(self):
+        old = parallel.set_workers(3)
+        assert parallel.get_workers() == 3
+        assert parallel.resolve_workers() == 3
+        parallel.set_workers(old)
+        assert parallel.resolve_workers() == 1
+
+    def test_zero_means_all_cpus(self):
+        parallel.set_workers(0)
+        assert parallel.get_workers() == parallel.cpu_workers()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            parallel.set_workers(-2)
+
+    def test_override_beats_global(self):
+        parallel.set_workers(4)
+        assert parallel.resolve_workers(2) == 2
+        assert parallel.resolve_workers(1) == 1
+
+    def test_collapses_under_fault_injector(self):
+        parallel.set_workers(4)
+        with FaultInjector(FaultPlan()):
+            assert parallel.resolve_workers() == 1
+        assert parallel.resolve_workers() == 4
+
+    def test_collapses_under_integrity_policy(self):
+        parallel.set_workers(4)
+        previous = set_integrity_policy(IntegrityPolicy())
+        try:
+            assert parallel.resolve_workers() == 1
+        finally:
+            set_integrity_policy(previous)
+        assert parallel.resolve_workers() == 4
+
+
+class TestRunSpans:
+    def test_inline_when_serial(self):
+        import threading
+
+        seen = []
+        parallel.run_spans(
+            lambda lo, hi: seen.append((lo, hi, threading.current_thread().name)),
+            [(0, 4), (4, 8)],
+            workers=1,
+        )
+        main = threading.current_thread().name
+        assert [(lo, hi) for lo, hi, _ in seen] == [(0, 4), (4, 8)]
+        assert all(name == main for _, _, name in seen)
+
+    def test_fans_out_and_completes_every_span(self):
+        out = np.zeros(64, dtype=np.int64)
+
+        def work(lo, hi):
+            out[lo:hi] = np.arange(lo, hi)
+
+        parallel.run_spans(work, parallel.span_partition(64, 4), workers=4)
+        assert np.array_equal(out, np.arange(64))
+
+    def test_first_exception_propagates_after_settling(self):
+        done = []
+
+        def work(lo, hi):
+            if lo == 0:
+                raise ValueError("span zero failed")
+            done.append((lo, hi))
+
+        with pytest.raises(ValueError, match="span zero failed"):
+            parallel.run_spans(work, [(0, 4), (4, 8), (8, 12)], workers=2)
+        # The other spans were not abandoned mid-flight.
+        assert (4, 8) in done and (8, 12) in done
+
+    def test_executor_rejects_serial_count(self):
+        with pytest.raises(ConfigError, match=">= 2"):
+            parallel.executor(1)
+
+
+@pytest.mark.parametrize("method", ["dc", "ps", "sg"])
+@pytest.mark.parametrize("direction", ["compress", "decompress"])
+def test_parallel_bit_identical_to_serial(method, direction, rng):
+    """workers=2 must reproduce the serial output byte for byte — the
+    probe certifies the exact (shape, dtype, workers) combination."""
+    n = 64
+    kwargs = {"cf": 4}
+    if method == "dc":
+        serial = DCTChopCompressor(n, **kwargs)
+        fanned = DCTChopCompressor(n, workers=2, **kwargs)
+    elif method == "ps":
+        serial = PartialSerializedCompressor(n, s=2, **kwargs)
+        fanned = PartialSerializedCompressor(n, s=2, workers=2, **kwargs)
+    else:
+        serial = ScatterGatherCompressor(n, **kwargs)
+        fanned = ScatterGatherCompressor(n, workers=2, **kwargs)
+    x = Tensor(rng.standard_normal((3, n, n)).astype(np.float32))
+    with no_grad():
+        if direction == "compress":
+            a, b = serial.compress(x), fanned.compress(x)
+        else:
+            y = serial.compress(x)
+            a, b = serial.decompress(y), fanned.decompress(y)
+    assert a.data.tobytes() == b.data.tobytes()
+
+
+def test_workers_zero_means_all_cpus_in_ctor():
+    comp = DCTChopCompressor(64, cf=4, workers=0)
+    assert comp._workers == parallel.cpu_workers()
+
+
+def test_ctor_rejects_negative_workers():
+    with pytest.raises(ConfigError, match="workers"):
+        DCTChopCompressor(64, cf=4, workers=-1)
+
+
+def test_global_workers_feed_default_compressors(rng):
+    """A compressor built without workers= follows the global default."""
+    x = Tensor(rng.standard_normal((2, 64, 64)).astype(np.float32))
+    comp = DCTChopCompressor(64, cf=4)
+    with no_grad():
+        baseline = comp.compress(x)
+        parallel.set_workers(2)
+        fanned = comp.compress(x)
+    assert baseline.data.tobytes() == fanned.data.tobytes()
+
+
+def test_grad_carrying_inputs_stay_serial_and_differentiable(rng):
+    comp = PartialSerializedCompressor(64, cf=4, s=2, workers=2)
+    x = Tensor(rng.standard_normal((64, 64)).astype(np.float32), requires_grad=True)
+    rec = comp.decompress(comp.compress(x))
+    rec.sum().backward()
+    assert x.grad is not None and np.isfinite(x.grad).all()

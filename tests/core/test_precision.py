@@ -1,0 +1,120 @@
+"""Reduced-precision transform variants: float64 reference, int8 codec,
+and the accuracy-vs-ratio curve they are priced on."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_compressor
+from repro.core import precision
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def x(rng):
+    return (rng.standard_normal((2, 32, 32)) * 4.0).astype(np.float32)
+
+
+class TestFloat64Reference:
+    def test_roundtrip_matches_float32_closely(self, x):
+        comp = make_compressor(32, cf=4)
+        rec64 = precision.roundtrip_f64(x, cf=4)
+        rec32 = comp.roundtrip(x).data
+        assert rec64.dtype == np.float64
+        assert np.max(np.abs(rec64 - rec32)) < 1e-5
+
+    def test_lossless_at_full_cf(self, x):
+        rec = precision.roundtrip_f64(x, cf=8)
+        assert np.allclose(rec, x, atol=1e-12)
+
+    def test_compressed_layout(self, x):
+        y = precision.compress_f64(x, cf=3)
+        assert y.shape == (2, 4, 4, 3, 3)
+
+    def test_error_monotone_in_cf(self, x):
+        errs = [
+            float(np.abs(precision.roundtrip_f64(x, cf=cf) - x).max())
+            for cf in (2, 4, 6, 8)
+        ]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_rejects_bad_cf_and_shape(self, x):
+        with pytest.raises(ConfigError, match="chop factor"):
+            precision.compress_f64(x, cf=0)
+        with pytest.raises(ConfigError, match="multiple"):
+            precision.compress_f64(np.zeros((5, 5), np.float32), cf=4)
+
+
+class TestInt8Codec:
+    def test_roundtrip_error_bounded_by_half_step(self, x):
+        comp = make_compressor(32, cf=4)
+        y = comp.compress(x).data
+        payload = precision.quantize_int8(y)
+        assert payload["codes"].dtype == np.int8
+        assert payload["scale"].dtype == np.float32
+        rec = precision.dequantize_int8(payload)
+        assert np.max(np.abs(rec - y)) <= payload["scale"] / 2 + 1e-7
+
+    def test_codes_symmetric_range(self, rng):
+        y = rng.standard_normal(1000).astype(np.float32) * 100
+        codes = precision.quantize_int8(y)["codes"]
+        assert codes.min() >= -127 and codes.max() <= 127  # -128 unused
+
+    def test_zero_input_safe(self):
+        payload = precision.quantize_int8(np.zeros((4, 4), np.float32))
+        assert payload["scale"] == 1.0
+        assert not payload["codes"].any()
+        assert not precision.dequantize_int8(payload).any()
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_rejected(self, bad):
+        y = np.ones((4, 4), np.float32)
+        y[1, 1] = bad
+        with pytest.raises(ConfigError, match="finite"):
+            precision.quantize_int8(y)
+
+
+class TestVariantPricing:
+    def test_variant_ratio(self):
+        assert precision.variant_ratio("float32", 4.0) == 4.0
+        assert precision.variant_ratio("float64", 4.0) == 4.0
+        assert precision.variant_ratio("int8", 4.0) == 16.0
+        with pytest.raises(ConfigError, match="unknown precision"):
+            precision.variant_ratio("bfloat16", 4.0)
+
+    def test_variant_roundtrip_unknown_rejected(self, x):
+        comp = make_compressor(32, cf=4)
+        with pytest.raises(ConfigError, match="unknown precision"):
+            precision.variant_roundtrip(comp, x, "fp16")
+
+    def test_accuracy_curve_rows(self, x):
+        comp = make_compressor(32, cf=4)
+        points = precision.accuracy_curve(comp, x)
+        names = [p.name for p in points]
+        assert names == ["dct-float64", "dct-float32", "dct-int8", "quant-8bit"]
+        by_name = {p.name: p for p in points}
+        assert by_name["dct-int8"].ratio == pytest.approx(4 * comp.ratio)
+        assert by_name["quant-8bit"].ratio == pytest.approx(4.0)  # 32 / 8 bits
+        # int8 can only lose accuracy relative to its own float32 transform.
+        assert by_name["dct-int8"].nrmse >= by_name["dct-float32"].nrmse
+        for p in points:
+            assert np.isfinite(p.nrmse) and np.isfinite(p.psnr)
+
+    def test_curve_respects_precision_subset(self, x):
+        comp = make_compressor(32, cf=4)
+        points = precision.accuracy_curve(comp, x, precisions=("float32",))
+        assert [p.name for p in points] == ["dct-float32", "quant-8bit"]
+
+    def test_int8_variant_beats_uniform_quantizer_at_equal_storage(self, rng):
+        """The table's headline: at *matched* storage (16x — int8 codes on
+        a cf=4 chop vs 2-bit uniform quantization) the DCT stack wins
+        decisively on smooth data."""
+        t = np.linspace(0, 4 * np.pi, 64, dtype=np.float32)
+        smooth = (np.sin(t)[None, :, None] * np.cos(t)[None, None, :]).astype(
+            np.float32
+        ) + 0.01 * rng.standard_normal((1, 64, 64)).astype(np.float32)
+        comp = make_compressor(64, cf=4)
+        points = {
+            p.name: p for p in precision.accuracy_curve(comp, smooth, quant_bits=2)
+        }
+        assert points["dct-int8"].ratio == pytest.approx(points["quant-2bit"].ratio)
+        assert points["dct-int8"].psnr > points["quant-2bit"].psnr + 10.0
